@@ -1,0 +1,43 @@
+// Table 1 reproduction: area/delay tradeoff curves of the characterized
+// library at the paper's anchor points (8x8 multiplier, 16-bit adder,
+// TSMC 90nm), plus the generated curves at neighboring widths to show the
+// scaling model.
+#include <cstdio>
+
+#include "netlist/report.h"
+#include "tech/resource_library.h"
+
+namespace {
+
+void printCurve(const thls::ResourceLibrary& lib, thls::ResourceClass cls,
+                int width, const char* label) {
+  const thls::VariantCurve& c = lib.curve(cls, width);
+  thls::TableWriter t({"variant", "delay(ps)", "area"});
+  int i = 0;
+  for (const thls::TradeoffPoint& p : c.points()) {
+    t.addRow({thls::strCat("v", i++), thls::fmt(p.delay, 0),
+              thls::fmt(p.area, 0)});
+  }
+  std::printf("%s\n%s\n", label, t.str().c_str());
+}
+
+}  // namespace
+
+int main() {
+  thls::ResourceLibrary lib = thls::ResourceLibrary::tsmc90();
+
+  std::printf("== Table 1: area and delay trade-offs (paper anchors) ==\n\n");
+  printCurve(lib, thls::ResourceClass::kMul, 8, "Mul 8*8bit  (paper row 1)");
+  printCurve(lib, thls::ResourceClass::kAddSub, 16, "Add 16bit  (paper row 2)");
+
+  std::printf("== Scaling model at non-anchor widths ==\n\n");
+  printCurve(lib, thls::ResourceClass::kMul, 16, "Mul 16*16bit (generated)");
+  printCurve(lib, thls::ResourceClass::kAddSub, 32, "Add 32bit   (generated)");
+  printCurve(lib, thls::ResourceClass::kDiv, 16, "Div 16bit   (generated)");
+
+  std::printf(
+      "Expected paper values -- Mul8: 430/878 470/662 510/618 540/575 "
+      "570/545 610/510; Add16: 220/556 400/254 580/225 760/216 940/210 "
+      "1220/206\n");
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Table 3 reproduction: sequential slack computation on the resizer DFG
+// (paper Fig. 3-5) under the paper's symbolic assumptions, instantiated
+// numerically:
+//   del(I/O) = d = 50 ps,  del(other ops) = D = 400 ps,  T = 700 ps
+//   (satisfying the paper's constraint D + d < T < 2D).
+//
+// Expected symbolic values (paper Table 3):
+//   rd_a: Arr 0        Req 2T-4D-d    slack 2T-4D-d
+//   add : Arr d        Req 2T-4D      slack 2T-4D-d
+//   div : Arr d+D      Req 2T-3D      slack 2T-4D-d
+//   sub : Arr d+2D     Req 2T-2D      slack 2T-4D-d
+//   rd_b: Arr 0        Req T-2D-d     slack T-2D-d
+//   mul : Arr d        Req T-2D       slack T-2D-d
+//   mux : Arr d+3D-T   Req T-D        slack 2T-4D-d
+//   wr  : Arr d+4D-2T  Req T-d        slack 3T-4D-2d
+// Critical path (min slack): rd_a -> add -> div -> sub -> mux.
+#include <cstdio>
+
+#include "ir/opspan.h"
+#include "netlist/report.h"
+#include "timing/slack.h"
+#include "workloads/workloads.h"
+
+using namespace thls;
+
+int main() {
+  const double d = 50, D = 400, T = 700;
+
+  LibraryConfig cfg;
+  cfg.ioDelay = d;
+  ResourceLibrary lib(cfg);
+  // Uniform delay D for every non-I/O resource class used by the resizer.
+  for (ResourceClass cls : {ResourceClass::kAddSub, ResourceClass::kDiv,
+                            ResourceClass::kMul, ResourceClass::kMux}) {
+    lib.setCurve(cls, 16, VariantCurve({{D, 100}}));
+  }
+  lib.setCurve(ResourceClass::kCmp, 1, VariantCurve({{D, 100}}));
+
+  Behavior bhv = workloads::makeResizer();
+  LatencyTable lat(bhv.cfg);
+  OpSpanAnalysis spans(bhv.cfg, bhv.dfg, lat);
+  TimedDfg timed(bhv.cfg, bhv.dfg, lat, spans);
+
+  std::vector<double> delays(bhv.dfg.numOps(), 0.0);
+  for (OpId op : bhv.dfg.schedulableOps()) {
+    const Operation& o = bhv.dfg.op(op);
+    delays[op.index()] =
+        resourceClassOf(o.kind) == ResourceClass::kIo
+            ? (o.kind == OpKind::kOutput ? 0.0 : d)
+            : D;
+  }
+
+  TimingOptions topts{T, /*aligned=*/false};
+  TimingResult r = sequentialSlack(timed, delays, topts);
+
+  struct Row {
+    const char* op;
+    double arr, req, slack;
+  };
+  const Row expected[] = {
+      {"rd_a", 0, 2 * T - 4 * D - d, 2 * T - 4 * D - d},
+      {"add", d, 2 * T - 4 * D, 2 * T - 4 * D - d},
+      {"div", d + D, 2 * T - 3 * D, 2 * T - 4 * D - d},
+      {"sub", d + 2 * D, 2 * T - 2 * D, 2 * T - 4 * D - d},
+      {"rd_b", 0, T - 2 * D - d, T - 2 * D - d},
+      {"mul", d, T - 2 * D, T - 2 * D - d},
+      {"phi0", d + 3 * D - T, T - D, 2 * T - 4 * D - d},
+      {"wr_out", d + 4 * D - 2 * T, T - d, 3 * T - 4 * D - 2 * d},
+  };
+
+  std::printf("== Table 3: sequential slack on the resizer DFG "
+              "(d=%.0f, D=%.0f, T=%.0f) ==\n\n", d, D, T);
+  TableWriter t({"Op", "Arr", "Arr(paper)", "Req", "Req(paper)", "slack",
+                 "slack(paper)", "match"});
+  bool allMatch = true;
+  for (const Row& e : expected) {
+    OpId op = OpId::invalid();
+    for (std::size_t i = 0; i < bhv.dfg.numOps(); ++i) {
+      if (bhv.dfg.op(OpId(static_cast<std::int32_t>(i))).name == e.op) {
+        op = OpId(static_cast<std::int32_t>(i));
+        break;
+      }
+    }
+    const OpTiming& ot = r.perOp[op.index()];
+    bool match = std::abs(ot.arrival - e.arr) < 1e-6 &&
+                 std::abs(ot.required - e.req) < 1e-6 &&
+                 std::abs(ot.slack - e.slack) < 1e-6;
+    allMatch = allMatch && match;
+    t.addRow({e.op, fmt(ot.arrival, 0), fmt(e.arr, 0), fmt(ot.required, 0),
+              fmt(e.req, 0), fmt(ot.slack, 0), fmt(e.slack, 0),
+              match ? "yes" : "NO"});
+  }
+  std::printf("%s\n", t.str().c_str());
+  std::printf("critical path ops share the minimal slack (2T-4D-d = %.0f): "
+              "%s\n", 2 * T - 4 * D - d, allMatch ? "REPRODUCED" : "MISMATCH");
+  return allMatch ? 0 : 1;
+}

@@ -1,0 +1,122 @@
+// Table 5 reproduction: relative scheduling execution times of
+//   (1) conventional scheduling (no behavioral timing analysis),
+//   (2) the slack-based approach with the linear sequential-slack engine,
+//   (3) the slack-based approach with Bellman-Ford timing (prior work [10]).
+//
+// Paper: 1 : 1.18 : 10.2.  We report wall-clock ratios of scheduleBehavior
+// on the D1 design (IDCT at the largest latency); absolute seconds are
+// machine-dependent, the ratios are the claim.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+
+#include "flow/hls_flow.h"
+#include "ir/opspan.h"
+#include "workloads/workloads.h"
+
+using namespace thls;
+
+namespace {
+
+constexpr double kClock = 1250.0;
+constexpr int kLatency = 32;
+
+Behavior makeD1() {
+  return workloads::makeIdct8x8({.latencyStates = kLatency});
+}
+
+void runOnce(StartPolicy policy, TimingEngine engine, bool rebudget) {
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+  SchedulerOptions opts;
+  opts.clockPeriod = kClock;
+  opts.startPolicy = policy;
+  opts.engine = engine;
+  opts.rebudgetPerEdge = rebudget;
+  Behavior bhv = makeD1();
+  ScheduleOutcome o = scheduleBehavior(bhv, lib, opts);
+  benchmark::DoNotOptimize(o.success);
+}
+
+void BM_Conventional(benchmark::State& state) {
+  for (auto _ : state) {
+    runOnce(StartPolicy::kFastest, TimingEngine::kSequential, false);
+  }
+}
+BENCHMARK(BM_Conventional)->Unit(benchmark::kMillisecond);
+
+void BM_SequentialSlack(benchmark::State& state) {
+  for (auto _ : state) {
+    runOnce(StartPolicy::kBudgeted, TimingEngine::kSequential, true);
+  }
+}
+BENCHMARK(BM_SequentialSlack)->Unit(benchmark::kMillisecond);
+
+void BM_BellmanFord(benchmark::State& state) {
+  for (auto _ : state) {
+    runOnce(StartPolicy::kBudgeted, TimingEngine::kBellmanFord, true);
+  }
+}
+BENCHMARK(BM_BellmanFord)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // A short pre-run prints the paper-style ratio table before the
+  // google-benchmark output.
+  auto time = [](StartPolicy p, TimingEngine e, bool rb) {
+    auto t0 = std::chrono::steady_clock::now();
+    runOnce(p, e, rb);
+    auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(t1 - t0).count();
+  };
+  double conv = time(StartPolicy::kFastest, TimingEngine::kSequential, false);
+  double seq = time(StartPolicy::kBudgeted, TimingEngine::kSequential, true);
+  double bf = time(StartPolicy::kBudgeted, TimingEngine::kBellmanFord, true);
+  std::printf("== Table 5: relative scheduling execution times (D1) ==\n");
+  std::printf("Conventional  Sequential-slack  Bellman-Ford\n");
+  std::printf("%-13.2f %-17.2f %.2f\n", 1.0, seq / conv, bf / conv);
+  std::printf("(paper:       1.18              10.2)\n");
+  std::printf("absolute: conv=%.3fs seq=%.3fs bf=%.3fs\n", conv, seq, bf);
+  std::printf("note: our scheduler amortizes timing analysis differently "
+              "than the paper's (per-round rebudget),\nso whole-scheduling "
+              "ratios mix in placement cost; the engine comparison below "
+              "isolates the analysis.\n\n");
+
+  // Analysis-only comparison on the D1 timed DFG: the paper's actual
+  // complexity argument (one topological sweep vs Bellman-Ford fixpoint).
+  {
+    ResourceLibrary lib = ResourceLibrary::tsmc90();
+    Behavior bhv = makeD1();
+    LatencyTable lat(bhv.cfg);
+    OpSpanAnalysis spans(bhv.cfg, bhv.dfg, lat);
+    TimedDfg timed(bhv.cfg, bhv.dfg, lat, spans);
+    std::vector<double> delays(bhv.dfg.numOps(), 0.0);
+    for (OpId op : bhv.dfg.schedulableOps()) {
+      const Operation& o = bhv.dfg.op(op);
+      delays[op.index()] = lib.minDelay(o.kind, o.width);
+    }
+    TimingOptions topts{kClock, /*aligned=*/true};
+    auto timeAnalysis = [&](TimingEngine e) {
+      // Warm up once, then measure a batch.
+      analyzeTiming(e, timed, delays, topts);
+      const int reps = 200;
+      auto t0 = std::chrono::steady_clock::now();
+      for (int i = 0; i < reps; ++i) {
+        benchmark::DoNotOptimize(analyzeTiming(e, timed, delays, topts));
+      }
+      auto t1 = std::chrono::steady_clock::now();
+      return std::chrono::duration<double>(t1 - t0).count() / reps;
+    };
+    double seqA = timeAnalysis(TimingEngine::kSequential);
+    double bfA = timeAnalysis(TimingEngine::kBellmanFord);
+    std::printf("== timing-analysis-only ratio on the D1 timed DFG ==\n");
+    std::printf("sequential-slack sweep: %.1f us/call\n", seqA * 1e6);
+    std::printf("Bellman-Ford fixpoint:  %.1f us/call  (%.1fx slower; the "
+                "paper's [10] comparison)\n\n", bfA * 1e6, bfA / seqA);
+  }
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

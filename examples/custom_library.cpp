@@ -1,0 +1,63 @@
+// Bringing your own technology: overrides the characterized curves with a
+// custom (coarser, FPGA-flavored) resource library, then runs the slack
+// flow on a FIR filter.  Demonstrates ResourceLibrary::setCurve, discrete
+// (non-resizable) variant mode and library-sensitive scheduling outcomes.
+//
+//   $ ./build/examples/custom_library
+#include <cstdio>
+
+#include "flow/hls_flow.h"
+#include "netlist/report.h"
+#include "workloads/workloads.h"
+
+using namespace thls;
+
+namespace {
+
+ResourceLibrary myFpgaLibrary() {
+  LibraryConfig cfg;
+  cfg.continuousSizing = false;  // LUT fabrics: discrete implementations only
+  cfg.mux2Delay = 120.0;         // routing-dominated steering
+  cfg.mux2AreaPerBit = 0.5;      // muxes are nearly free in LUTs
+  cfg.regAreaPerBit = 1.0;       // a flop per LUT anyway
+  ResourceLibrary lib(cfg);
+  // Two DSP-ish multiplier modes and three adder modes at 16 bit.
+  lib.setCurve(ResourceClass::kMul, 16,
+               VariantCurve({{2500.0, 900.0}, {4000.0, 520.0}}));
+  lib.setCurve(ResourceClass::kAddSub, 16,
+               VariantCurve({{800.0, 260.0}, {1500.0, 140.0},
+                             {2600.0, 90.0}}));
+  lib.setCurve(ResourceClass::kCmp, 16, VariantCurve({{700.0, 80.0}}));
+  return lib;
+}
+
+void report(const char* name, const FlowResult& r) {
+  if (!r.success) {
+    std::printf("%-14s FAILED: %s\n", name, r.failureReason.c_str());
+    return;
+  }
+  std::printf("%-14s area=%s  (states=%zu, scheduling %.1f ms)\n", name,
+              describe(r.area).c_str(), r.states,
+              r.schedulingSeconds * 1e3);
+}
+
+}  // namespace
+
+int main() {
+  ResourceLibrary fpga = myFpgaLibrary();
+  ResourceLibrary asic = ResourceLibrary::tsmc90();
+
+  std::printf("== 16-tap FIR on a custom 'FPGA' library (T = 5 ns) ==\n");
+  FlowOptions opts;
+  opts.sched.clockPeriod = 5000.0;
+  report("conventional", conventionalFlow(workloads::makeFir(16, 8), fpga, opts));
+  report("slack-based", slackBasedFlow(workloads::makeFir(16, 8), fpga, opts));
+
+  std::printf("\n== Same FIR on the default TSMC90 library (T = 1.25 ns) ==\n");
+  FlowOptions asicOpts;
+  asicOpts.sched.clockPeriod = 1250.0;
+  report("conventional",
+         conventionalFlow(workloads::makeFir(16, 8), asic, asicOpts));
+  report("slack-based", slackBasedFlow(workloads::makeFir(16, 8), asic, asicOpts));
+  return 0;
+}

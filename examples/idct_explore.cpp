@@ -1,0 +1,50 @@
+// Mini design-space exploration on the 1-D IDCT kernel: sweeps latency and
+// clock period through both flows and prints the Pareto table -- a fast
+// version of the paper's §VII experiment (the full 8x8 sweep lives in
+// bench/table4_idct_area and bench/dse_idct).
+//
+//   $ ./build/examples/idct_explore
+#include <cstdio>
+
+#include "flow/dse.h"
+#include "netlist/report.h"
+#include "workloads/workloads.h"
+
+using namespace thls;
+
+int main() {
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+  FlowOptions base;
+
+  std::vector<DesignPoint> grid;
+  int idx = 1;
+  for (double clock : {1600.0, 1250.0, 1000.0}) {
+    for (int latency : {12, 8, 6, 4, 3}) {
+      grid.push_back({strCat("P", idx++), latency, clock, latency <= 4});
+    }
+  }
+
+  auto gen = [](int latency) {
+    return workloads::makeIdct1d({.latencyStates = latency});
+  };
+  DseSummary s = exploreDesignSpace(gen, grid, lib, base);
+
+  std::printf("== 1-D IDCT exploration: conventional vs slack-based ==\n\n");
+  TableWriter t({"point", "lat", "T(ps)", "A_conv", "A_slack", "save%",
+                 "throughput(/ns)", "power"});
+  for (const DsePointResult& r : s.points) {
+    t.addRow({r.point.name, strCat(r.point.latencyStates),
+              fmt(r.point.clockPeriod, 0),
+              r.conv.success ? fmt(r.conv.area.total(), 0) : "FAIL",
+              r.slack.success ? fmt(r.slack.area.total(), 0) : "FAIL",
+              r.conv.success && r.slack.success ? fmt(r.savingPercent, 1) : "-",
+              r.slack.success ? fmt(r.slack.power.throughput, 4) : "-",
+              r.slack.success ? fmt(r.slack.power.dynamic, 0) : "-"});
+  }
+  std::printf("%s\n", t.str().c_str());
+  std::printf("average saving %.1f%%, power range %.1fx, throughput range "
+              "%.1fx, area range %.2fx\n",
+              s.averageSavingPercent, s.powerRange, s.throughputRange,
+              s.areaRange);
+  return 0;
+}

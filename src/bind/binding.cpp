@@ -1,0 +1,162 @@
+#include "bind/binding.h"
+
+#include <algorithm>
+
+namespace thls {
+
+const FuBinding* BindingResult::forFu(FuId fu) const {
+  for (const FuBinding& fb : fuBindings) {
+    if (fb.fu == fu) return &fb;
+  }
+  return nullptr;
+}
+
+namespace {
+
+/// Index of `src` in `sources`, or -1.
+int findSource(const std::vector<OpId>& sources, OpId src) {
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    if (sources[i] == src) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace
+
+BindingResult bindPorts(const Behavior& bhv, const Schedule& sched,
+                        const ResourceLibrary& lib,
+                        const BindingOptions& opts) {
+  BindingResult result;
+  const Dfg& dfg = bhv.dfg;
+
+  for (std::size_t f = 0; f < sched.fus.size(); ++f) {
+    const FuInstance& fu = sched.fus[f];
+    if (fu.ops.empty() || fu.cls == ResourceClass::kIo) continue;
+    FuBinding fb;
+    fb.fu = FuId(static_cast<std::int32_t>(f));
+
+    // Port count = max operand count among bound ops.
+    std::size_t nPorts = 0;
+    for (OpId op : fu.ops) {
+      nPorts = std::max(nPorts, dfg.op(op).inputs.size());
+    }
+    fb.ports.resize(nPorts);
+    for (std::size_t p = 0; p < nPorts; ++p) {
+      fb.ports[p].port = static_cast<int>(p);
+      fb.ports[p].width = fu.width;
+    }
+
+    for (OpId op : fu.ops) {
+      const Operation& o = dfg.op(op);
+      std::vector<OpId> operands = o.inputs;
+      if (opts.commutativeSwap && isCommutative(o.kind) &&
+          operands.size() == 2) {
+        // Greedy: keep operand order unless swapping avoids a new source.
+        int keepNew = (findSource(fb.ports[0].sources, operands[0]) < 0) +
+                      (findSource(fb.ports[1].sources, operands[1]) < 0);
+        int swapNew = (findSource(fb.ports[0].sources, operands[1]) < 0) +
+                      (findSource(fb.ports[1].sources, operands[0]) < 0);
+        if (swapNew < keepNew) std::swap(operands[0], operands[1]);
+      }
+      for (std::size_t p = 0; p < operands.size(); ++p) {
+        if (!operands[p].valid()) continue;
+        if (findSource(fb.ports[p].sources, operands[p]) < 0) {
+          fb.ports[p].sources.push_back(operands[p]);
+        }
+      }
+    }
+
+    for (const PortBinding& pb : fb.ports) {
+      int ways = static_cast<int>(pb.sources.size());
+      fb.muxArea += lib.muxArea(pb.width, ways);
+      fb.muxDelay = std::max(fb.muxDelay, lib.muxDelay(ways));
+    }
+    result.totalMuxArea += fb.muxArea;
+    result.fuBindings.push_back(std::move(fb));
+  }
+  return result;
+}
+
+int compactBinding(const Behavior& bhv, const LatencyTable& lat,
+                   const ResourceLibrary& lib, Schedule& sched,
+                   int maxShare) {
+  const Cfg& cfg = bhv.cfg;
+  int merges = 0;
+
+  auto conflictFree = [&](const FuInstance& a, const FuInstance& b) {
+    for (OpId x : a.ops) {
+      for (OpId y : b.ops) {
+        if (edgesConcurrent(cfg, lat, sched.opEdge[x.index()],
+                            sched.opEdge[y.index()])) {
+          return false;
+        }
+      }
+    }
+    return true;
+  };
+
+  auto fuArea = [&](const FuInstance& fu) {
+    if (fu.ops.empty() || fu.cls == ResourceClass::kIo) return 0.0;
+    double a = lib.curve(fu.cls, fu.width).areaAt(fu.delay);
+    for (std::size_t p = 0; p < 2; ++p) {  // steering estimate
+      a += lib.muxArea(fu.width, static_cast<int>(fu.ops.size()));
+    }
+    return a;
+  };
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // Donors smallest-first: emptying a one-op instance is the usual win.
+    std::vector<std::size_t> order;
+    for (std::size_t f = 0; f < sched.fus.size(); ++f) {
+      const FuInstance& fu = sched.fus[f];
+      if (!fu.ops.empty() && !fu.dedicated &&
+          fu.cls != ResourceClass::kIo) {
+        order.push_back(f);
+      }
+    }
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return sched.fus[a].ops.size() < sched.fus[b].ops.size();
+    });
+
+    for (std::size_t donorIdx : order) {
+      FuInstance& donor = sched.fus[donorIdx];
+      if (donor.ops.empty()) continue;
+      for (std::size_t accIdx : order) {
+        if (accIdx == donorIdx) continue;
+        FuInstance& acc = sched.fus[accIdx];
+        if (acc.ops.empty()) continue;
+        if (acc.cls != donor.cls || acc.width != donor.width) continue;
+        if (static_cast<int>(acc.ops.size() + donor.ops.size()) > maxShare) {
+          continue;
+        }
+        if (!conflictFree(donor, acc)) continue;
+
+        double areaBefore = fuArea(donor) + fuArea(acc);
+        Schedule trial = sched;
+        FuInstance& tAcc = trial.fus[accIdx];
+        FuInstance& tDon = trial.fus[donorIdx];
+        tAcc.delay = std::min(tAcc.delay, tDon.delay);
+        for (OpId op : tDon.ops) {
+          tAcc.ops.push_back(op);
+          trial.opFu[op.index()] = FuId(static_cast<std::int32_t>(accIdx));
+        }
+        tDon.ops.clear();
+        double muxD = lib.muxDelay(static_cast<int>(tAcc.ops.size()));
+        for (OpId op : tAcc.ops) {
+          trial.opDelay[op.index()] = muxD + tAcc.delay;
+        }
+        if (!recomputeChainStarts(bhv, lat, lib, trial)) continue;
+        if (fuArea(tAcc) + 1e-9 >= areaBefore) continue;
+        sched = std::move(trial);
+        ++merges;
+        changed = true;
+        break;  // donor is gone; restart donor scan
+      }
+    }
+  }
+  return merges;
+}
+
+}  // namespace thls

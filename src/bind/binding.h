@@ -1,0 +1,54 @@
+// Port binding and steering-logic estimation (paper §VI).
+//
+// Sharing a functional unit among operations merges their input cones: each
+// FU input port needs a selector over the distinct sources feeding it.  This
+// module derives, from a finished Schedule, the per-port source sets, the
+// resulting mux area/delay, and (optionally) swaps operands of commutative
+// operations to minimize distinct sources per port.
+#pragma once
+
+#include "sched/schedule.h"
+
+namespace thls {
+
+struct PortBinding {
+  int port = 0;
+  int width = 0;
+  /// Distinct producing operations steering into this port.
+  std::vector<OpId> sources;
+};
+
+struct FuBinding {
+  FuId fu;
+  std::vector<PortBinding> ports;
+  double muxArea = 0;
+  double muxDelay = 0;
+};
+
+struct BindingResult {
+  std::vector<FuBinding> fuBindings;
+  double totalMuxArea = 0;
+
+  const FuBinding* forFu(FuId fu) const;
+};
+
+struct BindingOptions {
+  /// Swap operands of commutative ops to reduce per-port source counts.
+  bool commutativeSwap = true;
+};
+
+BindingResult bindPorts(const Behavior& bhv, const Schedule& sched,
+                        const ResourceLibrary& lib,
+                        const BindingOptions& opts = {});
+
+/// Post-scheduling binding compaction: merges functional-unit instances of
+/// the same class/width whose operations never execute in concurrent cycles
+/// (classic rebinding).  A merge implements all moved ops at the faster of
+/// the two variant delays and is kept only when every state-local chain
+/// still meets the clock and total area (FU + steering estimate) improves.
+/// Returns the number of instances emptied.
+int compactBinding(const Behavior& bhv, const LatencyTable& lat,
+                   const ResourceLibrary& lib, Schedule& sched,
+                   int maxShare = 64);
+
+}  // namespace thls

@@ -1,0 +1,98 @@
+#include "bind/regalloc.h"
+
+#include <algorithm>
+#include <map>
+
+namespace thls {
+
+double RegisterAllocation::totalArea(const ResourceLibrary& lib) const {
+  double area = 0;
+  for (const RegisterInfo& r : registers) {
+    area += lib.registerArea(r.width);
+  }
+  return area;
+}
+
+RegisterAllocation allocateRegisters(const Behavior& bhv,
+                                     const LatencyTable& lat,
+                                     const Schedule& sched) {
+  const Cfg& cfg = bhv.cfg;
+  const Dfg& dfg = bhv.dfg;
+  RegisterAllocation result;
+
+  // Collect lifetimes of values that cross at least one state boundary.
+  for (std::size_t i = 0; i < dfg.numOps(); ++i) {
+    OpId op(static_cast<std::int32_t>(i));
+    const Operation& o = dfg.op(op);
+    if (isFreeKind(o.kind) || o.kind == OpKind::kWrite) continue;
+    if (!sched.scheduled(op)) continue;
+    CfgEdgeId pe = sched.opEdge[i];
+    std::size_t begin = cfg.topoIndexOfEdge(pe);
+    std::size_t end = begin;
+    bool registered = false;
+    bool loopCarried = false;
+    for (const DataDependence& d : dfg.dependences()) {
+      if (d.from != op) continue;
+      if (d.loopCarried) {
+        registered = true;
+        loopCarried = true;
+        continue;
+      }
+      const Operation& c = dfg.op(d.to);
+      if (isFreeKind(c.kind)) continue;
+      if (!sched.scheduled(d.to)) continue;
+      CfgEdgeId ce = sched.opEdge[d.to.index()];
+      int l = lat.latency(pe, ce);
+      if (l == LatencyTable::kUndefined) continue;
+      if (l >= 1) {
+        registered = true;
+        end = std::max(end, cfg.topoIndexOfEdge(ce));
+      }
+    }
+    if (!registered) continue;
+    ValueLifetime lt;
+    lt.producer = op;
+    lt.width = o.width;
+    lt.begin = begin;
+    lt.end = loopCarried ? cfg.numEdges() : end;
+    lt.loopCarried = loopCarried;
+    result.lifetimes.push_back(lt);
+  }
+
+  // Left-edge allocation per width class.
+  std::map<int, std::vector<std::size_t>> byWidth;  // width -> lifetime idx
+  for (std::size_t i = 0; i < result.lifetimes.size(); ++i) {
+    byWidth[result.lifetimes[i].width].push_back(i);
+  }
+  for (auto& [width, idxs] : byWidth) {
+    std::sort(idxs.begin(), idxs.end(), [&](std::size_t a, std::size_t b) {
+      return result.lifetimes[a].begin < result.lifetimes[b].begin;
+    });
+    // regEnd[k] = end index of the last value placed in register k.
+    std::vector<std::size_t> regEnd;
+    std::vector<std::size_t> regIdx;  // indices into result.registers
+    for (std::size_t li : idxs) {
+      const ValueLifetime& lt = result.lifetimes[li];
+      bool placed = false;
+      for (std::size_t k = 0; k < regEnd.size(); ++k) {
+        if (regEnd[k] < lt.begin) {
+          regEnd[k] = lt.end;
+          result.registers[regIdx[k]].values.push_back(lt.producer);
+          placed = true;
+          break;
+        }
+      }
+      if (!placed) {
+        RegisterInfo r;
+        r.width = width;
+        r.values.push_back(lt.producer);
+        regIdx.push_back(result.registers.size());
+        regEnd.push_back(lt.end);
+        result.registers.push_back(std::move(r));
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace thls

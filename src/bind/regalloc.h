@@ -1,0 +1,42 @@
+// Value lifetime analysis and left-edge register allocation.
+//
+// A value must be registered whenever it crosses a state boundary between
+// its producer and a consumer (or feeds a loop-carried dependence).  Values
+// consumed only combinationally in the producer's own cycle stay in wires.
+// Lifetimes are measured on the CFG's topological edge order; registers of
+// the same width are shared among non-overlapping lifetimes with the
+// classic left-edge algorithm.
+#pragma once
+
+#include "sched/schedule.h"
+
+namespace thls {
+
+struct ValueLifetime {
+  OpId producer;
+  int width = 0;
+  /// Interval in CFG edge topological indices, inclusive.
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  /// Loop-carried values stay alive to the end of the iteration.
+  bool loopCarried = false;
+};
+
+struct RegisterInfo {
+  int width = 0;
+  std::vector<OpId> values;  ///< producers time-sharing this register
+};
+
+struct RegisterAllocation {
+  std::vector<ValueLifetime> lifetimes;  ///< registered values only
+  std::vector<RegisterInfo> registers;
+
+  double totalArea(const ResourceLibrary& lib) const;
+  std::size_t registerCount() const { return registers.size(); }
+};
+
+RegisterAllocation allocateRegisters(const Behavior& bhv,
+                                     const LatencyTable& lat,
+                                     const Schedule& sched);
+
+}  // namespace thls

@@ -1,0 +1,178 @@
+#include "budget/budgeter.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace thls {
+
+namespace {
+
+/// Largest useful delay budget for an op: a full clock period minus the
+/// sequential margin and (for shareable classes) one level of FU input mux.
+/// Budgeting to the raw period produces plans no shared datapath can realize.
+double delayCap(const Operation& o, const ResourceLibrary& lib, double T) {
+  double cap = T - lib.config().seqMargin;
+  ResourceClass cls = resourceClassOf(o.kind);
+  if (cls != ResourceClass::kIo && cls != ResourceClass::kMux &&
+      cls != ResourceClass::kLogic) {
+    cap -= lib.muxDelay(2);
+  }
+  return cap;
+}
+
+}  // namespace
+
+DelayBounds delayBoundsFor(const Dfg& dfg, const ResourceLibrary& lib) {
+  DelayBounds b;
+  b.minDelay.assign(dfg.numOps(), 0.0);
+  b.maxDelay.assign(dfg.numOps(), 0.0);
+  for (std::size_t i = 0; i < dfg.numOps(); ++i) {
+    const Operation& o = dfg.op(OpId(static_cast<std::int32_t>(i)));
+    if (isFreeKind(o.kind)) continue;
+    b.minDelay[i] = lib.minDelay(o.kind, o.width);
+    b.maxDelay[i] = lib.maxDelay(o.kind, o.width);
+  }
+  return b;
+}
+
+BudgetResult fixNegativeSlack(const TimedDfg& graph, const Dfg& dfg,
+                              const ResourceLibrary& lib,
+                              std::vector<double> delays,
+                              const BudgetOptions& opts) {
+  const double T = opts.clockPeriod;
+  const double margin = opts.marginFraction * T;
+  const DelayBounds bounds = delayBoundsFor(dfg, lib);
+  TimingOptions topts{T, opts.aligned};
+
+  BudgetResult result;
+
+  // Ops slower than their realizable share of a cycle can never fit; clamp
+  // them first.
+  for (std::size_t i = 0; i < dfg.numOps(); ++i) {
+    const Operation& o = dfg.op(OpId(static_cast<std::int32_t>(i)));
+    if (isFreeKind(o.kind)) continue;
+    double cap = delayCap(o, lib, T);
+    if (delays[i] > cap + topts.epsilon) {
+      delays[i] = lib.snapDelay(o.kind, o.width,
+                                std::max(bounds.minDelay[i], cap));
+    }
+  }
+
+  TimingResult timing = analyzeTiming(opts.engine, graph, delays, topts);
+  int iter = 0;
+  // Greedy sensitivity-driven repair (the paper's "uneven distribution
+  // taking into account sensitivities of the area to delay increase"): each
+  // round the violating op whose speed-up costs the least area per ps
+  // absorbs its whole violation, then timing is refreshed.  One op moves per
+  // round, so chains never overshoot.
+  while (timing.minSlack < -topts.epsilon && iter < opts.maxNegativeIterations) {
+    ++iter;
+    std::size_t best = dfg.numOps();
+    double bestRatio = 0, bestTarget = 0;
+    bool first = true;
+    for (std::size_t i = 0; i < dfg.numOps(); ++i) {
+      const Operation& o = dfg.op(OpId(static_cast<std::int32_t>(i)));
+      if (isFreeKind(o.kind)) continue;
+      double slack = timing.perOp[i].slack;
+      if (slack >= -topts.epsilon) continue;
+      if (delays[i] <= bounds.minDelay[i] + topts.epsilon) continue;
+      double need = std::isfinite(slack) ? -slack
+                                         : delays[i] - bounds.minDelay[i];
+      // Round violations up to the binning margin so convergence is brisk.
+      need = std::max(need, margin);
+      double target = lib.snapDelay(
+          o.kind, o.width, std::max(bounds.minDelay[i], delays[i] - need));
+      if (target >= delays[i] - topts.epsilon) continue;
+      double saved = delays[i] - target;
+      double cost = lib.areaFor(o.kind, o.width, target) -
+                    lib.areaFor(o.kind, o.width, delays[i]);
+      double ratio = cost / saved;
+      if (first || ratio < bestRatio) {
+        first = false;
+        bestRatio = ratio;
+        best = i;
+        bestTarget = target;
+      }
+    }
+    if (best == dfg.numOps()) break;  // every violator is at minimum delay
+    delays[best] = bestTarget;
+    timing = analyzeTiming(opts.engine, graph, delays, topts);
+  }
+
+  result.delays = std::move(delays);
+  result.timing = std::move(timing);
+  result.feasible = result.timing.feasible;
+  result.negativeIterations = iter;
+  return result;
+}
+
+BudgetResult budgetSlack(const TimedDfg& graph, const Dfg& dfg,
+                         const ResourceLibrary& lib,
+                         const BudgetOptions& opts) {
+  const double T = opts.clockPeriod;
+  THLS_REQUIRE(T > 0, "clock period must be positive");
+  const double margin = opts.marginFraction * T;
+  const DelayBounds bounds = delayBoundsFor(dfg, lib);
+  TimingOptions topts{T, opts.aligned};
+
+  // Step 2: slowest variants everywhere (fixNegativeSlack clamps anything
+  // beyond the realizable per-cycle cap up front).
+  std::vector<double> delays = bounds.maxDelay;
+
+  // Step 3: budget away negative aligned slack.
+  BudgetResult result = fixNegativeSlack(graph, dfg, lib, std::move(delays), opts);
+  if (!result.feasible) return result;
+
+  // Step 4: spend positive slack, most area-sensitive op first, one grant
+  // per timing refresh.
+  delays = std::move(result.delays);
+  TimingResult timing = std::move(result.timing);
+  int grants = 0;
+  while (grants < opts.maxPositiveGrants) {
+    // Pick the op with the largest area recovery achievable within its
+    // binned slack.
+    std::size_t best = dfg.numOps();
+    double bestGain = 0.0, bestTarget = 0.0;
+    for (std::size_t i = 0; i < dfg.numOps(); ++i) {
+      const Operation& o = dfg.op(OpId(static_cast<std::int32_t>(i)));
+      if (isFreeKind(o.kind)) continue;
+      double slack = timing.perOp[i].slack;
+      if (!std::isfinite(slack) || slack < margin) continue;
+      if (delays[i] >= bounds.maxDelay[i] - topts.epsilon) continue;
+      // Keep one binning margin of headroom per grant: binding-time mux
+      // growth and packing noise must not immediately re-violate the plan.
+      double target = lib.snapDelay(
+          o.kind, o.width,
+          std::min(bounds.maxDelay[i],
+                   std::min(delays[i] + slack - margin, delayCap(o, lib, T))));
+      if (target <= delays[i] + topts.epsilon) continue;
+      double gain = lib.areaFor(o.kind, o.width, delays[i]) -
+                    lib.areaFor(o.kind, o.width, target);
+      if (gain > bestGain + 1e-9) {
+        bestGain = gain;
+        best = i;
+        bestTarget = target;
+      }
+    }
+    if (best == dfg.numOps()) break;
+    delays[best] = bestTarget;
+    ++grants;
+    timing = analyzeTiming(opts.engine, graph, delays, topts);
+    // A grant may not make timing infeasible: it consumed only its own
+    // slack.  Numerical edge cases are repaired conservatively.
+    if (timing.minSlack < -topts.epsilon) {
+      BudgetResult fix =
+          fixNegativeSlack(graph, dfg, lib, std::move(delays), opts);
+      delays = std::move(fix.delays);
+      timing = std::move(fix.timing);
+    }
+  }
+
+  result.delays = std::move(delays);
+  result.timing = std::move(timing);
+  result.feasible = result.timing.feasible;
+  result.positiveGrants = grants;
+  return result;
+}
+
+}  // namespace thls

@@ -1,0 +1,74 @@
+// Slack budgeting (paper §V, Fig. 7): maps sequential slack to per-operation
+// delay budgets, which in turn select area-efficient resource variants.
+//
+//   1. start from the *slowest* library variants (maximal delays);
+//   2. compute aligned sequential slack;
+//   3. budget away negative slack by speeding operations up inside their
+//      [min, max] library range (infeasible if violations persist at
+//      minimum delays);
+//   4. spend the remaining positive slack by slowing operations down -- a
+//      multi-cycle generalization of the zero-slack algorithm [14], with
+//      slack *binning* (delays within `marginFraction * T` of each other are
+//      treated as equal) and area-sensitivity-driven distribution.
+//
+// The positive pass is greedy-with-recompute: each grant gives the most
+// area-sensitive operation its full binned slack, then refreshes timing.
+// This is the "uneven distribution taking into account sensitivities" the
+// paper describes; it is quadratic in the worst case but linear in practice
+// because each operation saturates after a few grants.
+#pragma once
+
+#include "tech/resource_library.h"
+#include "timing/bellman_ford.h"
+
+namespace thls {
+
+struct BudgetOptions {
+  double clockPeriod = 0;
+  /// Slack-binning margin as a fraction of the clock period (paper: 5 %).
+  double marginFraction = 0.05;
+  /// Timing engine (Table 5 swaps in Bellman-Ford here).
+  TimingEngine engine = TimingEngine::kSequential;
+  /// Use aligned (clock-boundary-respecting) slack.  The paper's budgeting
+  /// always does; plain sequential slack is exposed for analysis only.
+  bool aligned = true;
+  /// Safety valve for the negative fix-up loop.
+  int maxNegativeIterations = 1000;
+  /// Safety valve for positive grants.
+  int maxPositiveGrants = 100000;
+};
+
+struct BudgetResult {
+  /// Budgeted delay per op (indexed by OpId; free ops get 0).
+  std::vector<double> delays;
+  /// Timing at the budgeted delays.
+  TimingResult timing;
+  /// False when negative slack survives even at minimal delays -- by
+  /// Proposition 1's converse, no feasible schedule exists.
+  bool feasible = false;
+  int negativeIterations = 0;
+  int positiveGrants = 0;
+};
+
+/// Per-op delay bounds from the library ([min, max] variant range).
+struct DelayBounds {
+  std::vector<double> minDelay;
+  std::vector<double> maxDelay;
+};
+
+DelayBounds delayBoundsFor(const Dfg& dfg, const ResourceLibrary& lib);
+
+/// Full Fig. 7 budgeting: slowest start, negative fix-up, positive spend.
+BudgetResult budgetSlack(const TimedDfg& graph, const Dfg& dfg,
+                         const ResourceLibrary& lib, const BudgetOptions& opts);
+
+/// In-scheduling re-budget (paper §VI): sharing only worsens timing, so only
+/// the negative fix-up runs -- delays may decrease, never increase.
+/// `lowerBound` optionally overrides library minimum delays (e.g. an op tied
+/// to a shared FU cannot go below what its FU mates tolerate).
+BudgetResult fixNegativeSlack(const TimedDfg& graph, const Dfg& dfg,
+                              const ResourceLibrary& lib,
+                              std::vector<double> delays,
+                              const BudgetOptions& opts);
+
+}  // namespace thls

@@ -1,0 +1,72 @@
+#include "flow/dse.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace thls {
+
+DseSummary exploreDesignSpace(
+    const std::function<Behavior(int latencyStates)>& generator,
+    const std::vector<DesignPoint>& points, const ResourceLibrary& lib,
+    const FlowOptions& base) {
+  DseSummary summary;
+  double savingSum = 0;
+  int savingCount = 0;
+  double pMin = 1e30, pMax = 0, tMin = 1e30, tMax = 0, aMin = 1e30, aMax = 0;
+
+  for (const DesignPoint& pt : points) {
+    DsePointResult r;
+    r.point = pt;
+    FlowOptions opts = base;
+    opts.sched.clockPeriod = pt.clockPeriod;
+    opts.iterationCycles = pt.latencyStates;
+
+    Behavior conv = generator(pt.latencyStates);
+    Behavior slack = generator(pt.latencyStates);
+    r.conv = conventionalFlow(std::move(conv), lib, opts);
+    r.slack = slackBasedFlow(std::move(slack), lib, opts);
+    if (r.conv.success && r.slack.success && r.conv.area.total() > 0) {
+      r.savingPercent = (r.conv.area.total() - r.slack.area.total()) /
+                        r.conv.area.total() * 100.0;
+      savingSum += r.savingPercent;
+      ++savingCount;
+      pMin = std::min(pMin, r.slack.power.dynamic);
+      pMax = std::max(pMax, r.slack.power.dynamic);
+      tMin = std::min(tMin, r.slack.power.throughput);
+      tMax = std::max(tMax, r.slack.power.throughput);
+      aMin = std::min(aMin, r.slack.area.total());
+      aMax = std::max(aMax, r.slack.area.total());
+    }
+    summary.points.push_back(std::move(r));
+  }
+  if (savingCount > 0) {
+    summary.averageSavingPercent = savingSum / savingCount;
+    summary.powerRange = pMax / pMin;
+    summary.throughputRange = tMax / tMin;
+    summary.areaRange = aMax / aMin;
+  }
+  return summary;
+}
+
+std::vector<DesignPoint> idctDesignGrid() {
+  // Clock choices keep sharing physically realizable for 16-bit datapaths
+  // (the fastest 16-bit multiplier is ~573 ps; the paper "made sure that
+  // timing was met for the specified clock period" on every point).
+  std::vector<DesignPoint> grid;
+  const int latencies[] = {32, 24, 16, 12, 8};
+  const double clocks[] = {1600.0, 1250.0, 1000.0};
+  int idx = 1;
+  for (double t : clocks) {
+    for (int l : latencies) {
+      DesignPoint pt;
+      pt.name = strCat("D", idx++);
+      pt.latencyStates = l;
+      pt.clockPeriod = t;
+      pt.pipelined = (l <= 12);
+      grid.push_back(pt);
+    }
+  }
+  return grid;
+}
+
+}  // namespace thls

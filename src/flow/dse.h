@@ -1,0 +1,51 @@
+// Design-space exploration driver (paper §VII): sweeps latency x clock
+// points of a workload generator through both flows and reports the Pareto
+// data behind Table 4 and the 20x-power / 7x-throughput / 1.5x-area claim.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "flow/hls_flow.h"
+
+namespace thls {
+
+struct DesignPoint {
+  std::string name;       ///< D1..D15 labels
+  int latencyStates = 1;  ///< schedule length in states
+  double clockPeriod = 0; ///< ps
+  /// Pipelined points are modeled by scheduling at latency == II; their
+  /// throughput is 1/(II*T) (see DESIGN.md substitution notes).
+  bool pipelined = false;
+};
+
+struct DsePointResult {
+  DesignPoint point;
+  FlowResult conv;
+  FlowResult slack;
+  double savingPercent = 0;
+};
+
+struct DseSummary {
+  std::vector<DsePointResult> points;
+  double averageSavingPercent = 0;
+  /// min/max over successful slack-flow points.
+  double powerRange = 0;       ///< max/min dynamic power
+  double throughputRange = 0;  ///< max/min throughput
+  double areaRange = 0;        ///< max/min total area
+};
+
+/// `generator(latencyStates)` must build the workload targeting the given
+/// number of states.
+DseSummary exploreDesignSpace(
+    const std::function<Behavior(int latencyStates)>& generator,
+    const std::vector<DesignPoint>& points, const ResourceLibrary& lib,
+    const FlowOptions& base);
+
+/// The 15-point IDCT grid used for Table 4 / the DSE bench: latencies
+/// {32, 24, 16, 12, 8} x clocks {1250, 1000, 800} ps, the lowest-latency
+/// third marked pipelined-equivalent.
+std::vector<DesignPoint> idctDesignGrid();
+
+}  // namespace thls

@@ -1,0 +1,71 @@
+#include "flow/hls_flow.h"
+
+#include <chrono>
+
+namespace thls {
+
+FlowResult runFlow(Behavior bhv, const ResourceLibrary& lib,
+                   const FlowOptions& opts) {
+  FlowResult result;
+
+  auto t0 = std::chrono::steady_clock::now();
+  ScheduleOutcome outcome = scheduleBehavior(bhv, lib, opts.sched);
+  auto t1 = std::chrono::steady_clock::now();
+  result.schedulingSeconds = std::chrono::duration<double>(t1 - t0).count();
+  result.stats = outcome.stats;
+  result.states = bhv.cfg.numStates();
+
+  if (!outcome.success) {
+    result.failureReason = outcome.failureReason;
+    return result;
+  }
+  result.success = true;
+
+  LatencyTable lat(bhv.cfg);
+  Schedule sched = std::move(outcome.schedule);
+  if (opts.compactBinding) {
+    compactBinding(bhv, lat, lib, sched, opts.sched.maxShare);
+  }
+  if (opts.areaRecovery) {
+    RecoveryResult rec = stateLocalAreaRecovery(bhv, lat, std::move(sched), lib);
+    sched = std::move(rec.schedule);
+  }
+
+  result.area = areaReport(bhv, lat, sched, lib, opts.binding);
+  PowerOptions popts;
+  popts.iterationCycles = opts.iterationCycles > 0
+                              ? opts.iterationCycles
+                              : static_cast<double>(bhv.cfg.numStates());
+  if (popts.iterationCycles < 1) popts.iterationCycles = 1;
+  result.power = powerReport(bhv, lat, sched, lib, popts);
+  result.schedule = std::move(sched);
+  return result;
+}
+
+FlowResult conventionalFlow(Behavior bhv, const ResourceLibrary& lib,
+                            FlowOptions opts) {
+  opts.sched.startPolicy = StartPolicy::kFastest;
+  opts.sched.rebudgetPerEdge = false;
+  return runFlow(std::move(bhv), lib, opts);
+}
+
+FlowResult slackBasedFlow(Behavior bhv, const ResourceLibrary& lib,
+                          FlowOptions opts) {
+  opts.sched.startPolicy = StartPolicy::kBudgeted;
+  opts.sched.rebudgetPerEdge = true;
+  return runFlow(std::move(bhv), lib, opts);
+}
+
+FlowComparison compareFlows(const Behavior& bhv, const ResourceLibrary& lib,
+                            const FlowOptions& opts) {
+  FlowComparison cmp;
+  cmp.conv = conventionalFlow(bhv, lib, opts);
+  cmp.slack = slackBasedFlow(bhv, lib, opts);
+  if (cmp.conv.success && cmp.slack.success && cmp.conv.area.total() > 0) {
+    cmp.savingPercent = (cmp.conv.area.total() - cmp.slack.area.total()) /
+                        cmp.conv.area.total() * 100.0;
+  }
+  return cmp;
+}
+
+}  // namespace thls

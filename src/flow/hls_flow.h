@@ -1,0 +1,58 @@
+// End-to-end HLS flow driver: schedule + bind, state-local area recovery,
+// area/power reporting.  The two §VII competitors are:
+//   conventionalFlow() -- fastest resources, schedule, state-local recovery;
+//   slackBasedFlow()   -- Fig. 8 with slack budgeting + per-edge rebudget.
+#pragma once
+
+#include <functional>
+
+#include "netlist/power_model.h"
+#include "netlist/recovery.h"
+#include "sched/list_scheduler.h"
+
+namespace thls {
+
+struct FlowOptions {
+  SchedulerOptions sched;
+  bool areaRecovery = true;
+  /// Post-scheduling FU merge pass (see bind/binding.h compactBinding).
+  bool compactBinding = true;
+  BindingOptions binding;
+  /// Cycles per processed sample for power (defaults to the CFG state count).
+  double iterationCycles = 0;
+};
+
+struct FlowResult {
+  bool success = false;
+  std::string failureReason;
+  Schedule schedule;  ///< after area recovery
+  SchedulerStats stats;
+  AreaReport area;
+  PowerReport power;
+  /// Wall-clock seconds spent inside scheduleBehavior (Table 5 metric).
+  double schedulingSeconds = 0;
+  std::size_t states = 0;
+};
+
+/// Runs the full flow on a copy of the behavior (the scheduler may insert
+/// states during relaxation).
+FlowResult runFlow(Behavior bhv, const ResourceLibrary& lib,
+                   const FlowOptions& opts);
+
+/// Convenience wrappers fixing the §VII flavor.
+FlowResult conventionalFlow(Behavior bhv, const ResourceLibrary& lib,
+                            FlowOptions opts);
+FlowResult slackBasedFlow(Behavior bhv, const ResourceLibrary& lib,
+                          FlowOptions opts);
+
+struct FlowComparison {
+  FlowResult conv;
+  FlowResult slack;
+  /// (A_conv - A_slack) / A_conv * 100, the paper's "Save %".
+  double savingPercent = 0;
+};
+
+FlowComparison compareFlows(const Behavior& bhv, const ResourceLibrary& lib,
+                            const FlowOptions& opts);
+
+}  // namespace thls

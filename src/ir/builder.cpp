@@ -1,0 +1,173 @@
+#include "ir/builder.h"
+
+#include <algorithm>
+
+namespace thls {
+
+BehaviorBuilder::BehaviorBuilder(std::string name) {
+  bhv_.name = std::move(name);
+  cursor_ = bhv_.cfg.addNode(CfgNodeKind::kBasic, "n1");
+  curEdge_ = bhv_.cfg.addEdge(bhv_.cfg.startNode(), cursor_);
+}
+
+Value BehaviorBuilder::input(const std::string& name, int width) {
+  OpId id = bhv_.dfg.addOp(OpKind::kInput, width, curEdge_, name);
+  return {id, width};
+}
+
+void BehaviorBuilder::output(const std::string& name, Value v) {
+  OpId id = bhv_.dfg.addOp(OpKind::kOutput, v.width, curEdge_, name);
+  bhv_.dfg.addDependence(v.id, id, 0);
+}
+
+Value BehaviorBuilder::constant(long long value, int width) {
+  OpId id = bhv_.dfg.addConst(value, width, curEdge_);
+  return {id, width};
+}
+
+Value BehaviorBuilder::read(const std::string& port, int width) {
+  OpId id = bhv_.dfg.addOp(OpKind::kRead, width, curEdge_,
+                           strCat("rd_", port));
+  return {id, width};
+}
+
+void BehaviorBuilder::write(const std::string& port, Value v) {
+  OpId id = bhv_.dfg.addOp(OpKind::kWrite, v.width, curEdge_,
+                           strCat("wr_", port));
+  bhv_.dfg.addDependence(v.id, id, 0);
+}
+
+Value BehaviorBuilder::makeBinary(OpKind kind, Value a, Value b, int width,
+                                  const std::string& name) {
+  if (width == 0) width = std::max(a.width, b.width);
+  OpId id = bhv_.dfg.addOp(kind, width, curEdge_, name);
+  bhv_.dfg.addDependence(a.id, id, 0);
+  bhv_.dfg.addDependence(b.id, id, 1);
+  return {id, width};
+}
+
+Value BehaviorBuilder::binary(OpKind kind, Value a, Value b, int width,
+                              const std::string& name) {
+  return makeBinary(kind, a, b, width, name);
+}
+
+Value BehaviorBuilder::add(Value a, Value b, const std::string& name) {
+  return makeBinary(OpKind::kAdd, a, b, 0, name);
+}
+Value BehaviorBuilder::sub(Value a, Value b, const std::string& name) {
+  return makeBinary(OpKind::kSub, a, b, 0, name);
+}
+Value BehaviorBuilder::mul(Value a, Value b, const std::string& name) {
+  return makeBinary(OpKind::kMul, a, b, 0, name);
+}
+Value BehaviorBuilder::div(Value a, Value b, const std::string& name) {
+  return makeBinary(OpKind::kDiv, a, b, 0, name);
+}
+Value BehaviorBuilder::gt(Value a, Value b, const std::string& name) {
+  return makeBinary(OpKind::kCmpGt, a, b, 1, name);
+}
+Value BehaviorBuilder::lt(Value a, Value b, const std::string& name) {
+  return makeBinary(OpKind::kCmpLt, a, b, 1, name);
+}
+Value BehaviorBuilder::eq(Value a, Value b, const std::string& name) {
+  return makeBinary(OpKind::kCmpEq, a, b, 1, name);
+}
+Value BehaviorBuilder::shl(Value a, Value b, const std::string& name) {
+  return makeBinary(OpKind::kShl, a, b, a.width, name);
+}
+Value BehaviorBuilder::shr(Value a, Value b, const std::string& name) {
+  return makeBinary(OpKind::kShr, a, b, a.width, name);
+}
+Value BehaviorBuilder::and_(Value a, Value b, const std::string& name) {
+  return makeBinary(OpKind::kAnd, a, b, 0, name);
+}
+Value BehaviorBuilder::or_(Value a, Value b, const std::string& name) {
+  return makeBinary(OpKind::kOr, a, b, 0, name);
+}
+Value BehaviorBuilder::xor_(Value a, Value b, const std::string& name) {
+  return makeBinary(OpKind::kXor, a, b, 0, name);
+}
+
+Value BehaviorBuilder::select(Value cond, Value ifTrue, Value ifFalse,
+                              const std::string& name) {
+  int width = std::max(ifTrue.width, ifFalse.width);
+  OpId id = bhv_.dfg.addOp(OpKind::kMux, width, curEdge_,
+                           name.empty() ? "sel" : name);
+  bhv_.dfg.addDependence(cond.id, id, 0);
+  bhv_.dfg.addDependence(ifTrue.id, id, 1);
+  bhv_.dfg.addDependence(ifFalse.id, id, 2);
+  return {id, width};
+}
+
+void BehaviorBuilder::wait() {
+  bhv_.cfg.promote(cursor_, CfgNodeKind::kState);
+  CfgNodeId next = bhv_.cfg.addNode(CfgNodeKind::kBasic);
+  curEdge_ = bhv_.cfg.addEdge(cursor_, next);
+  cursor_ = next;
+}
+
+std::vector<Value> BehaviorBuilder::ifElse(
+    Value cond, const std::function<std::vector<Value>()>& thenFn,
+    const std::function<std::vector<Value>()>& elseFn) {
+  // The FSM consumes the branch condition at the fork: pin it there with a
+  // zero-delay fixed sink so the producer cannot drift into a branch.
+  OpId br = bhv_.dfg.addOp(OpKind::kOutput, 1, curEdge_,
+                           strCat("br", bhv_.dfg.numOps()));
+  bhv_.dfg.addDependence(cond.id, br, 0);
+
+  bhv_.cfg.promote(cursor_, CfgNodeKind::kFork);
+  CfgNodeId fork = cursor_;
+  CfgNodeId join = bhv_.cfg.addNode(CfgNodeKind::kJoin);
+
+  auto runBranch = [&](const std::function<std::vector<Value>()>& fn) {
+    CfgNodeId bCursor = bhv_.cfg.addNode(CfgNodeKind::kBasic);
+    curEdge_ = bhv_.cfg.addEdge(fork, bCursor);
+    cursor_ = bCursor;
+    std::vector<Value> vals = fn();
+    // Close the branch by steering its open edge straight into the join,
+    // matching the paper's Fig. 4 shape (no extra pass-through edge).
+    bhv_.cfg.retargetEdge(curEdge_, join);
+    return vals;
+  };
+
+  std::vector<Value> thenVals = runBranch(thenFn);
+  std::vector<Value> elseVals = runBranch(elseFn);
+  THLS_REQUIRE(thenVals.size() == elseVals.size(),
+               "ifElse branches must merge the same number of values");
+
+  CfgNodeId next = bhv_.cfg.addNode(CfgNodeKind::kBasic);
+  curEdge_ = bhv_.cfg.addEdge(join, next);
+  cursor_ = next;
+
+  std::vector<Value> merged;
+  merged.reserve(thenVals.size());
+  for (std::size_t i = 0; i < thenVals.size(); ++i) {
+    int width = std::max(thenVals[i].width, elseVals[i].width);
+    OpId id = bhv_.dfg.addOp(OpKind::kMux, width, curEdge_,
+                             strCat("phi", i));
+    bhv_.dfg.op(id).joinPhi = true;
+    bhv_.dfg.addDependence(cond.id, id, 0);
+    bhv_.dfg.addDependence(thenVals[i].id, id, 1);
+    bhv_.dfg.addDependence(elseVals[i].id, id, 2);
+    merged.push_back({id, width});
+  }
+  return merged;
+}
+
+void BehaviorBuilder::unrolledLoop(int n, const std::function<void(int)>& body) {
+  for (int i = 0; i < n; ++i) body(i);
+}
+
+Behavior BehaviorBuilder::finish(bool threadLoop) {
+  THLS_REQUIRE(!finished_, "BehaviorBuilder::finish called twice");
+  finished_ = true;
+  if (threadLoop) {
+    // Close the thread's infinite loop with a back edge to the start node.
+    bhv_.cfg.addEdge(cursor_, bhv_.cfg.startNode(), "loop");
+  }
+  bhv_.cfg.finalize();
+  bhv_.dfg.validate(bhv_.cfg);
+  return std::move(bhv_);
+}
+
+}  // namespace thls

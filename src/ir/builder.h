@@ -1,0 +1,108 @@
+// BehaviorBuilder: an embedded DSL for constructing paired CFG + DFG
+// behaviors the way a SystemC thread elaborates (paper §IV, Fig. 3/4).
+//
+//   BehaviorBuilder b("interp");
+//   Value x  = b.input("x0", 16);
+//   Value dx = b.input("deltaX0", 16);
+//   Value x1 = b.mul(x, dx);
+//   b.wait();                       // clock-cycle boundary (state node)
+//   b.output("fx", x1);
+//   Behavior bhv = b.finish();
+//
+// Structured control flow (`ifElse`) forks the CFG, runs both branch
+// callbacks, joins, and materializes one join-phi mux per merged value.
+// `wait()` inside branches is allowed (the resizer example waits on both
+// sides of its condition).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ir/cfg.h"
+#include "ir/dfg.h"
+
+namespace thls {
+
+/// SSA-style value handle produced by builder calls.
+struct Value {
+  OpId id;
+  int width = 0;
+};
+
+/// A finished behavior: a finalized CFG plus a validated DFG.
+struct Behavior {
+  std::string name;
+  Cfg cfg;
+  Dfg dfg;
+};
+
+class BehaviorBuilder {
+ public:
+  explicit BehaviorBuilder(std::string name);
+
+  // --- sources and sinks -------------------------------------------------
+  /// Free register-fed operand (available at cycle start, no hardware).
+  Value input(const std::string& name, int width);
+  /// Free register sink.
+  void output(const std::string& name, Value v);
+  /// Literal constant (stripped from timing per §V Def. 2).
+  Value constant(long long value, int width);
+  /// Blocking protocol read: fixed to the current edge, has I/O delay.
+  Value read(const std::string& port, int width);
+  /// Blocking protocol write: fixed to the current edge, has I/O delay.
+  void write(const std::string& port, Value v);
+
+  // --- operations ---------------------------------------------------------
+  Value binary(OpKind kind, Value a, Value b, int width = 0,
+               const std::string& name = {});
+  Value add(Value a, Value b, const std::string& name = {});
+  Value sub(Value a, Value b, const std::string& name = {});
+  Value mul(Value a, Value b, const std::string& name = {});
+  Value div(Value a, Value b, const std::string& name = {});
+  Value gt(Value a, Value b, const std::string& name = {});
+  Value lt(Value a, Value b, const std::string& name = {});
+  Value eq(Value a, Value b, const std::string& name = {});
+  Value shl(Value a, Value b, const std::string& name = {});
+  Value shr(Value a, Value b, const std::string& name = {});
+  Value and_(Value a, Value b, const std::string& name = {});
+  Value or_(Value a, Value b, const std::string& name = {});
+  Value xor_(Value a, Value b, const std::string& name = {});
+  /// Explicit data selector (not a control join).
+  Value select(Value cond, Value ifTrue, Value ifFalse,
+               const std::string& name = {});
+
+  // --- control flow -------------------------------------------------------
+  /// Inserts a state node: everything after executes in a later cycle.
+  void wait();
+
+  /// Branches on `cond`: runs `thenFn` and `elseFn` on forked CFG paths,
+  /// joins, and returns one join-phi mux per position of the returned value
+  /// vectors (both branches must return the same number of values, with
+  /// matching widths).
+  std::vector<Value> ifElse(Value cond,
+                            const std::function<std::vector<Value>()>& thenFn,
+                            const std::function<std::vector<Value>()>& elseFn);
+
+  /// Fully unrolled counted loop: simply calls `body(i)` n times.
+  void unrolledLoop(int n, const std::function<void(int)>& body);
+
+  /// Current open CFG edge (birth edge for newly created ops).
+  CfgEdgeId currentEdge() const { return curEdge_; }
+
+  /// Finalizes the CFG (optionally closing a thread back edge to the start
+  /// node), validates the DFG, and returns the behavior.  The builder is
+  /// not reusable afterwards.
+  Behavior finish(bool threadLoop = true);
+
+ private:
+  Value makeBinary(OpKind kind, Value a, Value b, int width,
+                   const std::string& name);
+
+  Behavior bhv_;
+  CfgEdgeId curEdge_;
+  CfgNodeId cursor_;
+  bool finished_ = false;
+};
+
+}  // namespace thls

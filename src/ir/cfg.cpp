@@ -1,0 +1,261 @@
+#include "ir/cfg.h"
+
+#include <algorithm>
+
+#include "support/topo.h"
+
+namespace thls {
+
+const char* toString(CfgNodeKind kind) {
+  switch (kind) {
+    case CfgNodeKind::kStart:
+      return "start";
+    case CfgNodeKind::kState:
+      return "state";
+    case CfgNodeKind::kFork:
+      return "fork";
+    case CfgNodeKind::kJoin:
+      return "join";
+    case CfgNodeKind::kBasic:
+      return "basic";
+  }
+  return "?";
+}
+
+Cfg::Cfg() { start_ = addNode(CfgNodeKind::kStart, "start"); }
+
+CfgNodeId Cfg::addNode(CfgNodeKind kind, std::string name) {
+  CfgNodeId id(static_cast<std::int32_t>(nodes_.size()));
+  CfgNode n;
+  n.kind = kind;
+  n.name = name.empty() ? strCat(toString(kind), id.value()) : std::move(name);
+  nodes_.push_back(std::move(n));
+  finalized_ = false;
+  return id;
+}
+
+CfgEdgeId Cfg::addEdge(CfgNodeId from, CfgNodeId to, std::string name) {
+  THLS_ASSERT(from.valid() && to.valid(), "edge endpoints must be valid");
+  CfgEdgeId id(static_cast<std::int32_t>(edges_.size()));
+  CfgEdge e;
+  e.from = from;
+  e.to = to;
+  e.name = name.empty() ? strCat("e", id.value() + 1) : std::move(name);
+  edges_.push_back(std::move(e));
+  nodes_[from.index()].out.push_back(id);
+  nodes_[to.index()].in.push_back(id);
+  finalized_ = false;
+  return id;
+}
+
+std::size_t Cfg::numStates() const {
+  std::size_t n = 0;
+  for (const CfgNode& node : nodes_) {
+    if (node.kind == CfgNodeKind::kState) ++n;
+  }
+  return n;
+}
+
+void Cfg::classifyBackEdges() {
+  // Iterative DFS from the start node; an edge to a node currently on the
+  // DFS stack is a back edge (Muchnick [13], depth-first classification).
+  enum class Color { kWhite, kGray, kBlack };
+  std::vector<Color> color(nodes_.size(), Color::kWhite);
+  for (CfgEdge& e : edges_) e.backward = false;
+
+  struct Frame {
+    CfgNodeId node;
+    std::size_t nextOut = 0;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({start_});
+  color[start_.index()] = Color::kGray;
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    const CfgNode& n = nodes_[f.node.index()];
+    if (f.nextOut >= n.out.size()) {
+      color[f.node.index()] = Color::kBlack;
+      stack.pop_back();
+      continue;
+    }
+    CfgEdgeId eid = n.out[f.nextOut++];
+    CfgEdge& e = edges_[eid.index()];
+    Color c = color[e.to.index()];
+    if (c == Color::kGray) {
+      e.backward = true;
+    } else if (c == Color::kWhite) {
+      color[e.to.index()] = Color::kGray;
+      stack.push_back({e.to});
+    }
+  }
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    // Fully isolated nodes are tolerated: the builder's retargetEdge leaves
+    // orphan placeholders behind by design.
+    if (nodes_[i].in.empty() && nodes_[i].out.empty()) continue;
+    THLS_REQUIRE(color[i] == Color::kBlack,
+                 strCat("CFG node '", nodes_[i].name,
+                        "' is unreachable from the start node"));
+  }
+}
+
+void Cfg::computeTopoOrders() {
+  auto forEachSucc = [&](std::size_t u, const std::function<void(std::size_t)>& cb) {
+    for (CfgEdgeId eid : nodes_[u].out) {
+      const CfgEdge& e = edges_[eid.index()];
+      if (!e.backward) cb(e.to.index());
+    }
+  };
+  auto order = topologicalOrder(nodes_.size(), forEachSucc);
+  THLS_REQUIRE(order.has_value(),
+               "CFG forward subgraph is cyclic; loops must close through "
+               "back edges (check node reachability from the start node)");
+  // Kahn's algorithm visits nodes in an arbitrary valid order; stabilize by
+  // re-sorting levels so results are deterministic across platforms.
+  topoNodes_.clear();
+  nodeTopoIndex_.assign(nodes_.size(), 0);
+  for (std::size_t pos = 0; pos < order->size(); ++pos) {
+    CfgNodeId id(static_cast<std::int32_t>((*order)[pos]));
+    topoNodes_.push_back(id);
+    nodeTopoIndex_[(*order)[pos]] = pos;
+  }
+
+  // Edge order: sorted by (topo(from), topo(to), id).  Back edges go last.
+  topoEdges_.clear();
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    topoEdges_.push_back(CfgEdgeId(static_cast<std::int32_t>(i)));
+  }
+  std::sort(topoEdges_.begin(), topoEdges_.end(),
+            [&](CfgEdgeId a, CfgEdgeId b) {
+              const CfgEdge& ea = edges_[a.index()];
+              const CfgEdge& eb = edges_[b.index()];
+              auto keyA = std::make_tuple(ea.backward,
+                                          nodeTopoIndex_[ea.from.index()],
+                                          nodeTopoIndex_[ea.to.index()], a.value());
+              auto keyB = std::make_tuple(eb.backward,
+                                          nodeTopoIndex_[eb.from.index()],
+                                          nodeTopoIndex_[eb.to.index()], b.value());
+              return keyA < keyB;
+            });
+  edgeTopoIndex_.assign(edges_.size(), 0);
+  for (std::size_t pos = 0; pos < topoEdges_.size(); ++pos) {
+    edgeTopoIndex_[topoEdges_[pos].index()] = pos;
+  }
+}
+
+void Cfg::computeEdgeReachability() {
+  // reach_[a][b]: edge b is forward-reachable from edge a, i.e. there is a
+  // forward path (possibly empty) from a.to to b.from, or a == b.
+  const std::size_t ne = edges_.size();
+  // nodeReach[u][v]: forward node reachability, computed over reverse topo.
+  std::vector<std::vector<bool>> nodeReach(nodes_.size(),
+                                           std::vector<bool>(nodes_.size(), false));
+  for (auto it = topoNodes_.rbegin(); it != topoNodes_.rend(); ++it) {
+    std::size_t u = it->index();
+    nodeReach[u][u] = true;
+    for (CfgEdgeId eid : nodes_[u].out) {
+      const CfgEdge& e = edges_[eid.index()];
+      if (e.backward) continue;
+      std::size_t v = e.to.index();
+      for (std::size_t w = 0; w < nodes_.size(); ++w) {
+        if (nodeReach[v][w]) nodeReach[u][w] = true;
+      }
+    }
+  }
+  reach_.assign(ne, std::vector<bool>(ne, false));
+  for (std::size_t a = 0; a < ne; ++a) {
+    const CfgEdge& ea = edges_[a];
+    reach_[a][a] = true;
+    if (ea.backward) continue;
+    for (std::size_t b = 0; b < ne; ++b) {
+      if (a == b || edges_[b].backward) continue;
+      if (nodeReach[ea.to.index()][edges_[b].from.index()]) reach_[a][b] = true;
+    }
+  }
+}
+
+void Cfg::finalize() {
+  THLS_REQUIRE(!edges_.empty(), "CFG has no edges");
+  classifyBackEdges();
+  computeTopoOrders();
+  computeEdgeReachability();
+  finalized_ = true;
+}
+
+std::size_t Cfg::topoIndexOfNode(CfgNodeId id) const {
+  THLS_ASSERT(finalized_, "CFG not finalized");
+  return nodeTopoIndex_[id.index()];
+}
+
+std::size_t Cfg::topoIndexOfEdge(CfgEdgeId id) const {
+  THLS_ASSERT(finalized_, "CFG not finalized");
+  return edgeTopoIndex_[id.index()];
+}
+
+std::vector<CfgEdgeId> Cfg::forwardOut(CfgNodeId id) const {
+  std::vector<CfgEdgeId> result;
+  for (CfgEdgeId eid : node(id).out) {
+    if (!edge(eid).backward) result.push_back(eid);
+  }
+  return result;
+}
+
+std::vector<CfgEdgeId> Cfg::forwardIn(CfgNodeId id) const {
+  std::vector<CfgEdgeId> result;
+  for (CfgEdgeId eid : node(id).in) {
+    if (!edge(eid).backward) result.push_back(eid);
+  }
+  return result;
+}
+
+bool Cfg::edgeReaches(CfgEdgeId from, CfgEdgeId to) const {
+  THLS_ASSERT(finalized_, "CFG not finalized");
+  return reach_[from.index()][to.index()];
+}
+
+void Cfg::retargetEdge(CfgEdgeId eid, CfgNodeId newTo) {
+  CfgEdge& e = edges_[eid.index()];
+  CfgNode& oldTo = nodes_[e.to.index()];
+  oldTo.in.erase(std::remove(oldTo.in.begin(), oldTo.in.end(), eid),
+                 oldTo.in.end());
+  e.to = newTo;
+  nodes_[newTo.index()].in.push_back(eid);
+  finalized_ = false;
+}
+
+void Cfg::promote(CfgNodeId id, CfgNodeKind kind) {
+  CfgNode& n = nodes_[id.index()];
+  THLS_REQUIRE(kind != CfgNodeKind::kStart, "cannot create a second start node");
+  THLS_REQUIRE(n.kind == CfgNodeKind::kBasic,
+               strCat("only pass-through nodes can be promoted, '", n.name,
+                      "' is a ", toString(n.kind)));
+  n.kind = kind;
+  finalized_ = false;
+}
+
+void Cfg::promoteToState(CfgNodeId id) {
+  CfgNode& n = nodes_[id.index()];
+  THLS_REQUIRE(n.kind == CfgNodeKind::kBasic,
+               strCat("only pass-through nodes can become states, '", n.name,
+                      "' is a ", toString(n.kind)));
+  n.kind = CfgNodeKind::kState;
+  finalized_ = false;
+}
+
+CfgEdgeId Cfg::insertStateOnEdge(CfgEdgeId eid) {
+  CfgEdge& e = edges_[eid.index()];
+  THLS_REQUIRE(!e.backward, "cannot insert a state on a back edge");
+  CfgNodeId mid = addNode(CfgNodeKind::kState,
+                          strCat("s_relax", nodes_.size()));
+  CfgNodeId oldTo = edges_[eid.index()].to;
+  // Retarget the original edge to the new state node.
+  CfgNode& toNode = nodes_[oldTo.index()];
+  toNode.in.erase(std::remove(toNode.in.begin(), toNode.in.end(), eid),
+                  toNode.in.end());
+  edges_[eid.index()].to = mid;
+  nodes_[mid.index()].in.push_back(eid);
+  CfgEdgeId tail = addEdge(mid, oldTo, strCat(edges_[eid.index()].name, "'"));
+  finalized_ = false;
+  return tail;
+}
+
+}  // namespace thls

@@ -1,0 +1,133 @@
+// Control-flow graph (paper §IV, Definition 1).
+//
+// A CFG is a directed graph G = (V, E, v0, S) where v0 is the unique start
+// node and S ⊆ V is the set of *state* nodes.  State nodes correspond to
+// `wait()` calls in the SystemC source: crossing one during execution
+// consumes a clock cycle.  All other nodes only fork/join control flow.
+//
+// DFG operations are scheduled on CFG *edges*: all operations on the same
+// edge (and on edges connected without an intervening state node) execute
+// in the same clock cycle.
+//
+// After `finalize()`:
+//  * back edges (loop edges) are classified by DFS from the start node,
+//  * a topological order of nodes and edges over the forward subgraph is
+//    available; "first/last edge" comparisons in the opSpan analysis use
+//    this edge order.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/diagnostics.h"
+#include "support/ids.h"
+
+namespace thls {
+
+enum class CfgNodeKind {
+  kStart,  ///< unique entry node v0
+  kState,  ///< wait() boundary; crossing it consumes one clock cycle
+  kFork,   ///< control-flow split (if / case)
+  kJoin,   ///< control-flow merge
+  kBasic,  ///< plain pass-through node (loop headers, labels, exit)
+};
+
+const char* toString(CfgNodeKind kind);
+
+struct CfgNode {
+  CfgNodeKind kind = CfgNodeKind::kBasic;
+  std::string name;
+  std::vector<CfgEdgeId> in;
+  std::vector<CfgEdgeId> out;
+};
+
+struct CfgEdge {
+  CfgNodeId from;
+  CfgNodeId to;
+  std::string name;
+  /// True for loop back edges (ancestor target in the DFS tree).  Backward
+  /// edges are excluded from all timing analyses (paper §V, Def. 2 step 1).
+  bool backward = false;
+};
+
+class Cfg {
+ public:
+  Cfg();
+
+  CfgNodeId addNode(CfgNodeKind kind, std::string name = {});
+  CfgEdgeId addEdge(CfgNodeId from, CfgNodeId to, std::string name = {});
+
+  /// Classifies back edges and computes forward topological orders.  Must be
+  /// called (again) after any structural mutation before running analyses.
+  /// Throws HlsError if the forward subgraph is cyclic or nodes are
+  /// unreachable from the start node.
+  void finalize();
+  bool finalized() const { return finalized_; }
+
+  CfgNodeId startNode() const { return start_; }
+
+  std::size_t numNodes() const { return nodes_.size(); }
+  std::size_t numEdges() const { return edges_.size(); }
+
+  const CfgNode& node(CfgNodeId id) const { return nodes_[id.index()]; }
+  const CfgEdge& edge(CfgEdgeId id) const { return edges_[id.index()]; }
+
+  bool isState(CfgNodeId id) const {
+    return node(id).kind == CfgNodeKind::kState;
+  }
+
+  /// Number of state nodes in the whole CFG.
+  std::size_t numStates() const;
+
+  /// Position of a node/edge in the forward topological order.  Valid after
+  /// finalize().  The "first" edge of a set (paper Def. 4) is the one with
+  /// the smallest edge topological index.
+  std::size_t topoIndexOfNode(CfgNodeId id) const;
+  std::size_t topoIndexOfEdge(CfgEdgeId id) const;
+
+  /// Nodes/edges listed in forward topological order.
+  const std::vector<CfgNodeId>& topoNodes() const { return topoNodes_; }
+  const std::vector<CfgEdgeId>& topoEdges() const { return topoEdges_; }
+
+  /// Forward out/in edges of a node (back edges filtered out).
+  std::vector<CfgEdgeId> forwardOut(CfgNodeId id) const;
+  std::vector<CfgEdgeId> forwardIn(CfgNodeId id) const;
+
+  /// True iff `to` is forward-reachable from `from` (an edge reaches itself).
+  bool edgeReaches(CfgEdgeId from, CfgEdgeId to) const;
+
+  /// Turns a fork/join-free pass-through node into a state node (used by the
+  /// relaxation engine when the designer allows extra latency).
+  void promoteToState(CfgNodeId id);
+
+  /// Re-kinds a pass-through placeholder node (builder use).
+  void promote(CfgNodeId id, CfgNodeKind kind);
+
+  /// Splits edge `e` by inserting a new state node in the middle; returns the
+  /// new downstream edge.  Used by relaxation to "add a state".
+  CfgEdgeId insertStateOnEdge(CfgEdgeId e);
+
+  /// Redirects edge `e` to a new destination node (builder use: closing a
+  /// branch into its join).  The old destination may become fully isolated;
+  /// isolated placeholder nodes are ignored by finalize().
+  void retargetEdge(CfgEdgeId e, CfgNodeId newTo);
+
+ private:
+  void classifyBackEdges();
+  void computeTopoOrders();
+  void computeEdgeReachability();
+
+  std::vector<CfgNode> nodes_;
+  std::vector<CfgEdge> edges_;
+  CfgNodeId start_;
+  bool finalized_ = false;
+
+  std::vector<std::size_t> nodeTopoIndex_;
+  std::vector<std::size_t> edgeTopoIndex_;
+  std::vector<CfgNodeId> topoNodes_;
+  std::vector<CfgEdgeId> topoEdges_;
+  /// reach_[e1][e2] — bit matrix of forward edge reachability.
+  std::vector<std::vector<bool>> reach_;
+};
+
+}  // namespace thls

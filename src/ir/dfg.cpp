@@ -1,0 +1,121 @@
+#include "ir/dfg.h"
+
+#include <algorithm>
+
+#include "support/topo.h"
+
+namespace thls {
+
+OpId Dfg::addOp(OpKind kind, int width, CfgEdgeId birth, std::string name) {
+  THLS_REQUIRE(width > 0 || kind == OpKind::kWrite,
+               strCat("operation width must be positive, got ", width));
+  OpId id(static_cast<std::int32_t>(ops_.size()));
+  Operation o;
+  o.kind = kind;
+  o.width = width;
+  o.birth = birth;
+  o.fixed = isFixedKind(kind);
+  o.name = name.empty() ? strCat(toString(kind), "_", id.value()) : std::move(name);
+  ops_.push_back(std::move(o));
+  depsIn_.emplace_back();
+  depsOut_.emplace_back();
+  return id;
+}
+
+OpId Dfg::addConst(long long value, int width, CfgEdgeId birth,
+                   std::string name) {
+  OpId id = addOp(OpKind::kConst, width, birth,
+                  name.empty() ? strCat("c", value) : std::move(name));
+  ops_[id.index()].constValue = value;
+  return id;
+}
+
+void Dfg::addDependence(OpId from, OpId to, int toPort, bool loopCarried) {
+  THLS_ASSERT(from.valid() && to.valid(), "dependence endpoints must be valid");
+  THLS_ASSERT(toPort >= 0, "port index must be non-negative");
+  std::size_t idx = deps_.size();
+  deps_.push_back({from, to, toPort, loopCarried});
+  depsIn_[to.index()].push_back(idx);
+  depsOut_[from.index()].push_back(idx);
+
+  Operation& consumer = ops_[to.index()];
+  if (static_cast<std::size_t>(toPort) >= consumer.inputs.size()) {
+    consumer.inputs.resize(toPort + 1, OpId::invalid());
+    consumer.operandWidths.resize(toPort + 1, 0);
+  }
+  consumer.inputs[toPort] = from;
+  consumer.operandWidths[toPort] = ops_[from.index()].width;
+  ops_[from.index()].users.push_back(to);
+}
+
+std::vector<OpId> Dfg::timingPreds(OpId id) const {
+  std::vector<OpId> result;
+  for (std::size_t di : depsIn_[id.index()]) {
+    const DataDependence& d = deps_[di];
+    if (d.loopCarried) continue;
+    if (isFreeKind(ops_[d.from.index()].kind)) continue;
+    if (std::find(result.begin(), result.end(), d.from) == result.end()) {
+      result.push_back(d.from);
+    }
+  }
+  return result;
+}
+
+std::vector<OpId> Dfg::timingSuccs(OpId id) const {
+  std::vector<OpId> result;
+  for (std::size_t di : depsOut_[id.index()]) {
+    const DataDependence& d = deps_[di];
+    if (d.loopCarried) continue;
+    if (isFreeKind(ops_[d.to.index()].kind)) continue;
+    if (std::find(result.begin(), result.end(), d.to) == result.end()) {
+      result.push_back(d.to);
+    }
+  }
+  return result;
+}
+
+std::vector<OpId> Dfg::topoOrder() const {
+  auto forEachSucc = [&](std::size_t u, const std::function<void(std::size_t)>& cb) {
+    for (std::size_t di : depsOut_[u]) {
+      if (!deps_[di].loopCarried) cb(deps_[di].to.index());
+    }
+  };
+  auto order = topologicalOrder(ops_.size(), forEachSucc);
+  THLS_REQUIRE(order.has_value(),
+               "DFG forward dependences form a cycle; mark loop-carried "
+               "dependences with loopCarried=true");
+  std::vector<OpId> result;
+  result.reserve(order->size());
+  for (std::size_t idx : *order) {
+    result.push_back(OpId(static_cast<std::int32_t>(idx)));
+  }
+  return result;
+}
+
+std::vector<OpId> Dfg::schedulableOps() const {
+  std::vector<OpId> result;
+  for (std::size_t i = 0; i < ops_.size(); ++i) {
+    if (!isFreeKind(ops_[i].kind)) {
+      result.push_back(OpId(static_cast<std::int32_t>(i)));
+    }
+  }
+  return result;
+}
+
+void Dfg::validate(const Cfg& cfg) const {
+  for (std::size_t i = 0; i < ops_.size(); ++i) {
+    const Operation& o = ops_[i];
+    THLS_REQUIRE(o.birth.valid() && o.birth.index() < cfg.numEdges(),
+                 strCat("op '", o.name, "' has no valid birth edge"));
+    THLS_REQUIRE(!cfg.edge(o.birth).backward,
+                 strCat("op '", o.name, "' is born on a back edge"));
+    for (std::size_t p = 0; p < o.inputs.size(); ++p) {
+      THLS_REQUIRE(o.inputs[p].valid(),
+                   strCat("op '", o.name, "' has unconnected input port ", p));
+    }
+  }
+  // Forward dependences must be acyclic (throws otherwise).
+  (void)topoOrder();
+}
+
+}  // namespace thls

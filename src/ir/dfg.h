@@ -1,0 +1,89 @@
+// Data-flow graph (paper §IV, Definitions 2-3).
+//
+// DFG vertices are operations; a directed edge (o1, o2) exists when o2
+// consumes a result produced by o1.  Every operation carries a *birth edge*
+// (the CFG edge implied by its position in the source) and, once scheduled,
+// a *sched edge*.  Loop-carried dependencies are marked `loopCarried` and
+// excluded from timing analysis, mirroring the paper's back-edge exclusion.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/cfg.h"
+#include "ir/op_kind.h"
+#include "support/ids.h"
+
+namespace thls {
+
+struct Operation {
+  OpKind kind = OpKind::kConst;
+  std::string name;
+  /// Result bitwidth.
+  int width = 0;
+  /// Bitwidths of the operands, in port order (mirrors `inputs`).
+  std::vector<int> operandWidths;
+  /// birth: O -> E (Def. 3): CFG edge where the source code places the op.
+  CfgEdgeId birth;
+  /// True when the op must be scheduled exactly on its birth edge (I/O).
+  bool fixed = false;
+  /// True for muxes that merge control-flow branches (phi nodes).  A join
+  /// phi may not move above its birth edge: both branch values must be
+  /// defined where it executes.
+  bool joinPhi = false;
+  /// Constant payload, meaningful only when kind == kConst.
+  long long constValue = 0;
+
+  std::vector<OpId> inputs;   ///< producers, in port order
+  std::vector<OpId> users;    ///< consumers (unordered)
+};
+
+struct DataDependence {
+  OpId from;
+  OpId to;
+  int toPort = 0;
+  /// Loop-carried dependencies close DFG cycles through CFG back edges and
+  /// are invisible to the (acyclic) timed DFG.
+  bool loopCarried = false;
+};
+
+class Dfg {
+ public:
+  OpId addOp(OpKind kind, int width, CfgEdgeId birth, std::string name = {});
+  OpId addConst(long long value, int width, CfgEdgeId birth,
+                std::string name = {});
+
+  /// Connects producer `from` to port `toPort` of consumer `to`.
+  void addDependence(OpId from, OpId to, int toPort, bool loopCarried = false);
+
+  std::size_t numOps() const { return ops_.size(); }
+  std::size_t numDeps() const { return deps_.size(); }
+
+  const Operation& op(OpId id) const { return ops_[id.index()]; }
+  Operation& op(OpId id) { return ops_[id.index()]; }
+  const std::vector<DataDependence>& dependences() const { return deps_; }
+
+  /// Data predecessors of `id` excluding loop-carried inputs and free ops
+  /// (constants/copies contribute neither timing nor span constraints).
+  std::vector<OpId> timingPreds(OpId id) const;
+  std::vector<OpId> timingSuccs(OpId id) const;
+
+  /// All ops in a topological order of the forward (non-loop-carried)
+  /// dependence graph.  Throws HlsError if that subgraph has a cycle.
+  std::vector<OpId> topoOrder() const;
+
+  /// Ops that occupy hardware (everything except constants and copies).
+  std::vector<OpId> schedulableOps() const;
+
+  /// Validates structural sanity: port wiring, widths, birth edges present.
+  void validate(const Cfg& cfg) const;
+
+ private:
+  std::vector<Operation> ops_;
+  std::vector<DataDependence> deps_;
+  /// dep indices by consumer, to keep loop-carried lookup cheap.
+  std::vector<std::vector<std::size_t>> depsIn_;
+  std::vector<std::vector<std::size_t>> depsOut_;
+};
+
+}  // namespace thls

@@ -1,0 +1,51 @@
+#include "ir/dot.h"
+
+#include <sstream>
+
+namespace thls {
+
+std::string toDot(const Cfg& cfg) {
+  std::ostringstream os;
+  os << "digraph cfg {\n  rankdir=TB;\n";
+  for (std::size_t i = 0; i < cfg.numNodes(); ++i) {
+    const CfgNode& n = cfg.node(CfgNodeId(static_cast<std::int32_t>(i)));
+    os << "  n" << i << " [label=\"" << n.name << "\"";
+    if (n.kind == CfgNodeKind::kState) {
+      os << ", style=filled, fillcolor=gray80, shape=circle";
+    } else if (n.kind == CfgNodeKind::kFork || n.kind == CfgNodeKind::kJoin) {
+      os << ", shape=diamond";
+    }
+    os << "];\n";
+  }
+  for (std::size_t i = 0; i < cfg.numEdges(); ++i) {
+    const CfgEdge& e = cfg.edge(CfgEdgeId(static_cast<std::int32_t>(i)));
+    os << "  n" << e.from.value() << " -> n" << e.to.value() << " [label=\""
+       << e.name << "\"";
+    if (e.backward) os << ", style=dashed, constraint=false";
+    os << "];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string toDot(const Dfg& dfg) {
+  std::ostringstream os;
+  os << "digraph dfg {\n  rankdir=TB;\n";
+  for (std::size_t i = 0; i < dfg.numOps(); ++i) {
+    const Operation& o = dfg.op(OpId(static_cast<std::int32_t>(i)));
+    os << "  o" << i << " [label=\"" << o.name << "\\n" << toString(o.kind)
+       << ":" << o.width << "\"";
+    if (o.fixed) os << ", shape=box";
+    if (isFreeKind(o.kind)) os << ", style=dotted";
+    os << "];\n";
+  }
+  for (const DataDependence& d : dfg.dependences()) {
+    os << "  o" << d.from.value() << " -> o" << d.to.value();
+    if (d.loopCarried) os << " [style=dashed]";
+    os << ";\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace thls

@@ -1,0 +1,18 @@
+// Graphviz export for CFGs and DFGs (debugging / documentation aid).
+#pragma once
+
+#include <string>
+
+#include "ir/cfg.h"
+#include "ir/dfg.h"
+
+namespace thls {
+
+/// Renders the CFG in dot format; state nodes are shaded as in the paper's
+/// Fig. 4.
+std::string toDot(const Cfg& cfg);
+
+/// Renders the DFG in dot format; loop-carried dependences are dashed.
+std::string toDot(const Dfg& dfg);
+
+}  // namespace thls

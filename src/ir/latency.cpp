@@ -1,0 +1,40 @@
+#include "ir/latency.h"
+
+#include <algorithm>
+
+namespace thls {
+
+LatencyTable::LatencyTable(const Cfg& cfg) : cfg_(&cfg) {
+  THLS_ASSERT(cfg.finalized(), "LatencyTable needs a finalized CFG");
+  const std::size_t nv = cfg.numNodes();
+  minStates_.assign(nv, std::vector<int>(nv, kUndefined));
+
+  // DP over the reverse forward-topological order: minStates_[v][u] counts
+  // state nodes on the inclusive node path v..u.
+  const auto& topo = cfg.topoNodes();
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    const std::size_t v = it->index();
+    const int selfCount = cfg.isState(CfgNodeId(static_cast<std::int32_t>(v))) ? 1 : 0;
+    minStates_[v][v] = selfCount;
+    for (CfgEdgeId eid : cfg.node(CfgNodeId(static_cast<std::int32_t>(v))).out) {
+      const CfgEdge& e = cfg.edge(eid);
+      if (e.backward) continue;
+      const std::size_t w = e.to.index();
+      for (std::size_t u = 0; u < nv; ++u) {
+        if (minStates_[w][u] == kUndefined) continue;
+        minStates_[v][u] =
+            std::min(minStates_[v][u], selfCount + minStates_[w][u]);
+      }
+    }
+  }
+}
+
+int LatencyTable::latency(CfgEdgeId from, CfgEdgeId to) const {
+  if (from == to) return 0;
+  const CfgEdge& ef = cfg_->edge(from);
+  const CfgEdge& et = cfg_->edge(to);
+  if (ef.backward || et.backward) return kUndefined;
+  return minStates_[ef.to.index()][et.from.index()];
+}
+
+}  // namespace thls

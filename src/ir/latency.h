@@ -1,0 +1,43 @@
+// Edge-to-edge latency analysis (paper §V, Definition 1).
+//
+// latency(e1, e2) = minimum number of state nodes on any forward CFG path
+// "between" e1 and e2, i.e. over the node sequence from dst(e1) to src(e2)
+// inclusive.  latency(e, e) = 0.  Undefined (kUndefined) when e2 is not
+// forward-reachable from e1.
+//
+// Worked example (Fig. 4):   e2: if_top -> s0,  e4: s0 -> if_bot
+//   latency(e2, e4) = 1      (the node path is just {s0})
+//   latency(e4, e6) = 0      (path {if_bot}, no state node)
+//   latency(e1, e7) = 2      (path crosses s0-or-s1 and s2)
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "ir/cfg.h"
+
+namespace thls {
+
+class LatencyTable {
+ public:
+  static constexpr int kUndefined = std::numeric_limits<int>::max();
+
+  /// Precomputes all-pairs latency over the finalized CFG.  O(V*(V+E)).
+  explicit LatencyTable(const Cfg& cfg);
+
+  /// Latency in clock cycles between two (forward) edges; kUndefined when
+  /// `to` is not forward-reachable from `from`.
+  int latency(CfgEdgeId from, CfgEdgeId to) const;
+
+  bool defined(CfgEdgeId from, CfgEdgeId to) const {
+    return latency(from, to) != kUndefined;
+  }
+
+ private:
+  /// minStates_[v][u]: min #state nodes on node paths v..u inclusive,
+  /// kUndefined when unreachable.
+  std::vector<std::vector<int>> minStates_;
+  const Cfg* cfg_;
+};
+
+}  // namespace thls

@@ -1,0 +1,114 @@
+#include "ir/op_kind.h"
+
+namespace thls {
+
+const char* toString(OpKind kind) {
+  switch (kind) {
+    case OpKind::kConst: return "const";
+    case OpKind::kCopy: return "copy";
+    case OpKind::kInput: return "input";
+    case OpKind::kOutput: return "output";
+    case OpKind::kRead: return "read";
+    case OpKind::kWrite: return "write";
+    case OpKind::kAdd: return "add";
+    case OpKind::kSub: return "sub";
+    case OpKind::kMul: return "mul";
+    case OpKind::kDiv: return "div";
+    case OpKind::kMod: return "mod";
+    case OpKind::kMux: return "mux";
+    case OpKind::kCmpGt: return "gt";
+    case OpKind::kCmpLt: return "lt";
+    case OpKind::kCmpGe: return "ge";
+    case OpKind::kCmpLe: return "le";
+    case OpKind::kCmpEq: return "eq";
+    case OpKind::kCmpNe: return "ne";
+    case OpKind::kAnd: return "and";
+    case OpKind::kOr: return "or";
+    case OpKind::kXor: return "xor";
+    case OpKind::kNot: return "not";
+    case OpKind::kShl: return "shl";
+    case OpKind::kShr: return "shr";
+  }
+  return "?";
+}
+
+const char* toString(ResourceClass cls) {
+  switch (cls) {
+    case ResourceClass::kNone: return "none";
+    case ResourceClass::kIo: return "io";
+    case ResourceClass::kAddSub: return "addsub";
+    case ResourceClass::kMul: return "mul";
+    case ResourceClass::kDiv: return "div";
+    case ResourceClass::kMux: return "mux";
+    case ResourceClass::kCmp: return "cmp";
+    case ResourceClass::kLogic: return "logic";
+    case ResourceClass::kShift: return "shift";
+  }
+  return "?";
+}
+
+ResourceClass resourceClassOf(OpKind kind) {
+  switch (kind) {
+    case OpKind::kConst:
+    case OpKind::kCopy:
+    case OpKind::kInput:
+      return ResourceClass::kNone;
+    case OpKind::kOutput:
+    case OpKind::kRead:
+    case OpKind::kWrite:
+      return ResourceClass::kIo;
+    case OpKind::kAdd:
+    case OpKind::kSub:
+      return ResourceClass::kAddSub;
+    case OpKind::kMul:
+      return ResourceClass::kMul;
+    case OpKind::kDiv:
+    case OpKind::kMod:
+      return ResourceClass::kDiv;
+    case OpKind::kMux:
+      return ResourceClass::kMux;
+    case OpKind::kCmpGt:
+    case OpKind::kCmpLt:
+    case OpKind::kCmpGe:
+    case OpKind::kCmpLe:
+    case OpKind::kCmpEq:
+    case OpKind::kCmpNe:
+      return ResourceClass::kCmp;
+    case OpKind::kAnd:
+    case OpKind::kOr:
+    case OpKind::kXor:
+    case OpKind::kNot:
+      return ResourceClass::kLogic;
+    case OpKind::kShl:
+    case OpKind::kShr:
+      return ResourceClass::kShift;
+  }
+  return ResourceClass::kNone;
+}
+
+bool isFixedKind(OpKind kind) {
+  return kind == OpKind::kRead || kind == OpKind::kWrite ||
+         kind == OpKind::kOutput;
+}
+
+bool isFreeKind(OpKind kind) {
+  return kind == OpKind::kConst || kind == OpKind::kCopy ||
+         kind == OpKind::kInput;
+}
+
+bool isCommutative(OpKind kind) {
+  switch (kind) {
+    case OpKind::kAdd:
+    case OpKind::kMul:
+    case OpKind::kAnd:
+    case OpKind::kOr:
+    case OpKind::kXor:
+    case OpKind::kCmpEq:
+    case OpKind::kCmpNe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace thls

@@ -1,0 +1,70 @@
+// Operation kinds shared by the DFG IR and the resource library.
+#pragma once
+
+#include <string>
+
+namespace thls {
+
+/// The operation vocabulary of the DFG.  Each kind maps to a resource class
+/// in the technology library (see tech/resource_library.h); kConst and kCopy
+/// are free and are stripped from timing analysis.
+enum class OpKind {
+  kConst,   ///< literal constant; removed from the timed DFG (§V Def. 2)
+  kCopy,    ///< wire alias (phi placeholder); zero delay / zero area
+  kInput,   ///< register-fed operand: free, always available at cycle start
+  kOutput,  ///< register sink: fixed to its birth edge, zero delay/area
+  kRead,    ///< blocking port read; fixed to its birth edge
+  kWrite,   ///< blocking port write; fixed to its birth edge
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kMod,
+  kMux,     ///< 2:1 data selector (if-conversion merge)
+  kCmpGt,
+  kCmpLt,
+  kCmpGe,
+  kCmpLe,
+  kCmpEq,
+  kCmpNe,
+  kAnd,
+  kOr,
+  kXor,
+  kNot,
+  kShl,
+  kShr,
+};
+
+const char* toString(OpKind kind);
+
+/// Resource classes group op kinds that can execute on the same functional
+/// unit family.  kAdd and kSub may additionally be served by an
+/// adder-subtractor (paper §II.A); the library decides per allocation.
+enum class ResourceClass {
+  kNone,    ///< consts / copies: no hardware
+  kIo,      ///< port reader / writer
+  kAddSub,  ///< adder, subtractor, adder-subtractor
+  kMul,
+  kDiv,     ///< divider / modulo
+  kMux,
+  kCmp,
+  kLogic,   ///< bitwise and/or/xor/not
+  kShift,
+};
+
+const char* toString(ResourceClass cls);
+
+ResourceClass resourceClassOf(OpKind kind);
+
+/// True for operations whose schedule is pinned to the birth edge because
+/// they implement the I/O protocol with the environment (§IV).
+bool isFixedKind(OpKind kind);
+
+/// True for operations that consume no hardware and no delay.
+bool isFreeKind(OpKind kind);
+
+/// True for commutative binary operations (operand order may be swapped
+/// when sharing functional-unit input ports).
+bool isCommutative(OpKind kind);
+
+}  // namespace thls

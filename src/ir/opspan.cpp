@@ -1,0 +1,204 @@
+#include "ir/opspan.h"
+
+#include <algorithm>
+
+namespace thls {
+
+namespace {
+
+/// Edge-dominance sets: edom[n] = edges lying on *every* forward path from
+/// the start node to node n.  Computed by intersection over predecessors in
+/// topological order.
+std::vector<std::vector<bool>> edgeDominators(const Cfg& cfg) {
+  const std::size_t nv = cfg.numNodes();
+  const std::size_t ne = cfg.numEdges();
+  std::vector<std::vector<bool>> edom(nv, std::vector<bool>(ne, false));
+  std::vector<bool> seen(nv, false);
+  for (CfgNodeId nid : cfg.topoNodes()) {
+    const std::size_t n = nid.index();
+    bool first = true;
+    for (CfgEdgeId eid : cfg.forwardIn(nid)) {
+      const CfgEdge& e = cfg.edge(eid);
+      std::vector<bool> viaThis = edom[e.from.index()];
+      viaThis[eid.index()] = true;
+      if (first) {
+        edom[n] = std::move(viaThis);
+        first = false;
+      } else {
+        for (std::size_t k = 0; k < ne; ++k) {
+          edom[n][k] = edom[n][k] && viaThis[k];
+        }
+      }
+    }
+    seen[n] = true;
+  }
+  return edom;
+}
+
+}  // namespace
+
+std::vector<bool> OpSpanAnalysis::candidateEdges(const Operation& op) const {
+  const std::size_t ne = cfg_.numEdges();
+  std::vector<bool> cand(ne, false);
+  cand[op.birth.index()] = true;
+
+  // Downward motion: BFS from dst(birth) through non-join nodes only; an op
+  // never migrates past the join that merges its branch.
+  {
+    std::vector<bool> visited(cfg_.numNodes(), false);
+    std::vector<CfgNodeId> work;
+    CfgNodeId d0 = cfg_.edge(op.birth).to;
+    if (cfg_.node(d0).kind != CfgNodeKind::kJoin) {
+      visited[d0.index()] = true;
+      work.push_back(d0);
+    }
+    while (!work.empty()) {
+      CfgNodeId n = work.back();
+      work.pop_back();
+      for (CfgEdgeId eid : cfg_.forwardOut(n)) {
+        cand[eid.index()] = true;
+        CfgNodeId m = cfg_.edge(eid).to;
+        if (!visited[m.index()] &&
+            cfg_.node(m).kind != CfgNodeKind::kJoin) {
+          visited[m.index()] = true;
+          work.push_back(m);
+        }
+      }
+    }
+  }
+
+  // Upward motion (speculation): only onto edges that dominate the birth
+  // edge, so the op still executes on every path reaching its original
+  // location.  Join phis may not speculate at all.
+  if (!op.joinPhi) {
+    const std::vector<bool>& dom = edom_[cfg_.edge(op.birth).from.index()];
+    for (std::size_t k = 0; k < ne; ++k) {
+      if (dom[k]) cand[k] = true;
+    }
+  }
+  return cand;
+}
+
+OpSpanAnalysis::OpSpanAnalysis(const Cfg& cfg, const Dfg& dfg,
+                               const LatencyTable& lat,
+                               const std::vector<std::optional<CfgEdgeId>>* pins,
+                               const std::vector<std::size_t>* minEdgeTopoIdx)
+    : cfg_(cfg), dfg_(dfg), lat_(lat) {
+  THLS_ASSERT(cfg.finalized(), "OpSpanAnalysis needs a finalized CFG");
+  edom_ = edgeDominators(cfg);
+  spans_.resize(dfg.numOps());
+
+  const std::vector<OpId> order = dfg.topoOrder();
+
+  auto pinOf = [&](OpId id) -> std::optional<CfgEdgeId> {
+    if (pins != nullptr && id.index() < pins->size()) return (*pins)[id.index()];
+    return std::nullopt;
+  };
+
+  // Forward pass: early edges.
+  for (OpId id : order) {
+    const Operation& op = dfg.op(id);
+    OpSpan& s = spans_[id.index()];
+    if (isFreeKind(op.kind)) {
+      s.early = s.late = op.birth;
+      s.edges = {op.birth};
+      continue;
+    }
+    std::optional<CfgEdgeId> pin = pinOf(id);
+    if (op.fixed || pin.has_value()) {
+      s.early = pin.value_or(op.birth);
+      continue;
+    }
+    std::vector<bool> cand = candidateEdges(op);
+    const std::vector<OpId> preds = dfg.timingPreds(id);
+    const std::size_t minIdx =
+        (minEdgeTopoIdx != nullptr && id.index() < minEdgeTopoIdx->size())
+            ? (*minEdgeTopoIdx)[id.index()]
+            : 0;
+    CfgEdgeId best;
+    for (CfgEdgeId e : cfg.topoEdges()) {  // smallest topo index first
+      if (!cand[e.index()]) continue;
+      if (cfg.topoIndexOfEdge(e) < minIdx) continue;
+      bool ok = true;
+      for (OpId p : preds) {
+        if (!cfg.edgeReaches(spans_[p.index()].early, e)) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) {
+        best = e;
+        break;
+      }
+    }
+    THLS_REQUIRE(best.valid(),
+                 strCat("op '", op.name,
+                        "' has no legal early edge (conflicting dependences)"));
+    s.early = best;
+  }
+
+  // Backward pass: late edges, then materialized spans.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    OpId id = *it;
+    const Operation& op = dfg.op(id);
+    OpSpan& s = spans_[id.index()];
+    if (isFreeKind(op.kind)) continue;
+    std::optional<CfgEdgeId> pin = pinOf(id);
+    if (op.fixed || pin.has_value()) {
+      s.late = pin.value_or(op.birth);
+      s.edges = {s.late};
+      continue;
+    }
+    std::vector<bool> cand = candidateEdges(op);
+    const std::vector<OpId> succs = dfg.timingSuccs(id);
+    CfgEdgeId best;
+    const auto& topoEdges = cfg.topoEdges();
+    for (auto eit = topoEdges.rbegin(); eit != topoEdges.rend(); ++eit) {
+      CfgEdgeId e = *eit;  // largest topo index first
+      if (!cand[e.index()]) continue;
+      if (!cfg.edgeReaches(s.early, e)) continue;
+      bool ok = true;
+      for (OpId succ : succs) {
+        const Operation& so = dfg.op(succ);
+        const CfgEdgeId succLate = spans_[succ.index()].late;
+        if (!cfg.edgeReaches(e, succLate)) {
+          ok = false;
+          break;
+        }
+        // Inputs of fixed writes must be registered: at least one state
+        // between the producer and the write.
+        if (so.fixed && so.kind == OpKind::kWrite) {
+          int latcy = lat.latency(e, spans_[succ.index()].early);
+          if (latcy == LatencyTable::kUndefined || latcy < 1) {
+            ok = false;
+            break;
+          }
+        }
+      }
+      if (ok) {
+        best = e;
+        break;
+      }
+    }
+    THLS_REQUIRE(best.valid(),
+                 strCat("op '", op.name,
+                        "' has no legal late edge (conflicting dependences)"));
+    s.late = best;
+
+    s.edges.clear();
+    for (CfgEdgeId e : cfg.topoEdges()) {
+      if (!cand[e.index()]) continue;
+      if (cfg.edgeReaches(s.early, e) && cfg.edgeReaches(e, s.late)) {
+        s.edges.push_back(e);
+      }
+    }
+    THLS_ASSERT(!s.edges.empty(), strCat("empty span for op '", op.name, "'"));
+  }
+}
+
+bool OpSpanAnalysis::contains(OpId op, CfgEdgeId e) const {
+  const OpSpan& s = spans_[op.index()];
+  return std::find(s.edges.begin(), s.edges.end(), e) != s.edges.end();
+}
+
+}  // namespace thls

@@ -1,0 +1,77 @@
+// Operation-span analysis (paper §IV, Definition 4).
+//
+// The opSpan of an operation generalizes the ASAP/ALAP mobility interval to
+// arbitrary CFGs: span(o) is the topologically ordered set of CFG edges on
+// which o may legally be scheduled.
+//
+//   early(o) = the first edge forward-reachable from the early edge of
+//              every direct data predecessor of o;
+//   late(o)  = the last edge from which the late edge of every direct data
+//              successor of o is reachable.
+//
+// Legal-placement rules (reproduce the paper's Fig. 5 spans exactly):
+//  * fixed I/O operations: span = {birth};
+//  * upward code motion (speculation above the birth edge) is allowed only
+//    onto edges that *dominate* the birth edge -- the op must still execute
+//    on every path that reaches its original location;
+//  * downward motion never crosses a control join: an op stays inside the
+//    branch it was born in (join phis merge values, operations do not
+//    migrate past them);
+//  * join-phi muxes cannot move above their birth edge at all;
+//  * producers feeding a fixed write must finish at least one state before
+//    the write executes (I/O inputs are registered).
+//
+// The analysis also honors scheduling pins: once sched(o) is set, the span
+// collapses to that single edge and downstream spans tighten accordingly.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "ir/cfg.h"
+#include "ir/dfg.h"
+#include "ir/latency.h"
+
+namespace thls {
+
+struct OpSpan {
+  CfgEdgeId early;
+  CfgEdgeId late;
+  /// All legal edges, sorted by CFG edge topological order.
+  std::vector<CfgEdgeId> edges;
+};
+
+class OpSpanAnalysis {
+ public:
+  /// `pins` optionally fixes a subset of ops to specific edges (used by the
+  /// scheduler to re-run span analysis as operations get placed).
+  /// `minEdgeTopoIdx` optionally bounds each op's earliest legal edge from
+  /// below (by CFG edge topological index); the scheduler uses it to record
+  /// that a deferred op can no longer take edges it has already passed.
+  OpSpanAnalysis(const Cfg& cfg, const Dfg& dfg, const LatencyTable& lat,
+                 const std::vector<std::optional<CfgEdgeId>>* pins = nullptr,
+                 const std::vector<std::size_t>* minEdgeTopoIdx = nullptr);
+
+  const OpSpan& span(OpId op) const { return spans_[op.index()]; }
+  CfgEdgeId early(OpId op) const { return spans_[op.index()].early; }
+  CfgEdgeId late(OpId op) const { return spans_[op.index()].late; }
+
+  /// True iff edge `e` is a legal schedule location for `op`.
+  bool contains(OpId op, CfgEdgeId e) const;
+
+  /// Number of legal edges (mobility) of `op`.
+  std::size_t mobility(OpId op) const { return spans_[op.index()].edges.size(); }
+
+ private:
+  /// Candidate edges for op placement before data-dependence constraints.
+  std::vector<bool> candidateEdges(const Operation& op) const;
+
+  const Cfg& cfg_;
+  const Dfg& dfg_;
+  const LatencyTable& lat_;
+  std::vector<OpSpan> spans_;
+  /// edom_[n][e]: edge e lies on every forward path from start to node n.
+  std::vector<std::vector<bool>> edom_;
+};
+
+}  // namespace thls

@@ -1,0 +1,17 @@
+#include "netlist/area_model.h"
+
+namespace thls {
+
+AreaReport areaReport(const Behavior& bhv, const LatencyTable& lat,
+                      const Schedule& sched, const ResourceLibrary& lib,
+                      const BindingOptions& bindOpts) {
+  Datapath dp = buildDatapath(bhv, lat, sched, lib, bindOpts);
+  AreaReport r;
+  r.fuArea = sched.fuArea(lib);
+  r.muxArea = dp.binding.totalMuxArea;
+  r.regArea = dp.registers.totalArea(lib);
+  r.fsmArea = lib.fsmArea(dp.numStates);
+  return r;
+}
+
+}  // namespace thls

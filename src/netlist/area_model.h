@@ -1,0 +1,28 @@
+// Post-"logic synthesis" area model.
+//
+// The paper reports pre-placement cell area after logic synthesis with a
+// TSMC 90nm library.  Our proxy sums the characterized FU variant areas
+// (after state-local area recovery, which is what RTL logic synthesis
+// contributes in this comparison), steering muxes, datapath registers and
+// the FSM.  Both the conventional and the slack-based flow use this same
+// model, so relative comparisons (Table 2/4) are apples-to-apples.
+#pragma once
+
+#include "netlist/datapath.h"
+
+namespace thls {
+
+struct AreaReport {
+  double fuArea = 0;
+  double muxArea = 0;
+  double regArea = 0;
+  double fsmArea = 0;
+
+  double total() const { return fuArea + muxArea + regArea + fsmArea; }
+};
+
+AreaReport areaReport(const Behavior& bhv, const LatencyTable& lat,
+                      const Schedule& sched, const ResourceLibrary& lib,
+                      const BindingOptions& bindOpts = {});
+
+}  // namespace thls

@@ -1,0 +1,20 @@
+#include "netlist/datapath.h"
+
+namespace thls {
+
+Datapath buildDatapath(const Behavior& bhv, const LatencyTable& lat,
+                       const Schedule& sched, const ResourceLibrary& lib,
+                       const BindingOptions& bindOpts) {
+  Datapath dp;
+  dp.binding = bindPorts(bhv, sched, lib, bindOpts);
+  dp.registers = allocateRegisters(bhv, lat, sched);
+  dp.numStates = bhv.cfg.numStates();
+  for (const FuInstance& fu : sched.fus) {
+    if (fu.ops.empty() || fu.cls == ResourceClass::kIo) continue;
+    dp.fuCount++;
+    if (fu.ops.size() > 1) dp.sharedFuCount++;
+  }
+  return dp;
+}
+
+}  // namespace thls

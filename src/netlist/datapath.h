@@ -1,0 +1,23 @@
+// Datapath assembly: combines the schedule, port binding and register
+// allocation into the structure whose area the experiments report.
+#pragma once
+
+#include "bind/binding.h"
+#include "bind/regalloc.h"
+
+namespace thls {
+
+struct Datapath {
+  BindingResult binding;
+  RegisterAllocation registers;
+  std::size_t numStates = 0;
+
+  std::size_t fuCount = 0;       ///< occupied FU instances
+  std::size_t sharedFuCount = 0; ///< instances executing more than one op
+};
+
+Datapath buildDatapath(const Behavior& bhv, const LatencyTable& lat,
+                       const Schedule& sched, const ResourceLibrary& lib,
+                       const BindingOptions& bindOpts = {});
+
+}  // namespace thls

@@ -1,0 +1,34 @@
+#include "netlist/power_model.h"
+
+#include <algorithm>
+
+namespace thls {
+
+PowerReport powerReport(const Behavior& bhv, const LatencyTable& lat,
+                        const Schedule& sched, const ResourceLibrary& lib,
+                        const PowerOptions& opts) {
+  THLS_REQUIRE(opts.iterationCycles >= 1, "iterationCycles must be >= 1");
+  Datapath dp = buildDatapath(bhv, lat, sched, lib);
+
+  // Switched capacitance per cycle, proportional to area * activity.
+  double switched = 0;
+  for (const FuInstance& fu : sched.fus) {
+    if (fu.ops.empty() || fu.cls == ResourceClass::kIo) continue;
+    double activity =
+        static_cast<double>(fu.ops.size()) / opts.iterationCycles;
+    activity = std::min(activity, 1.0);
+    switched += lib.curve(fu.cls, fu.width).areaAt(fu.delay) * activity;
+  }
+  switched += dp.binding.totalMuxArea * opts.muxActivity;
+  switched += dp.registers.totalArea(lib) * opts.regActivity;
+  switched += lib.fsmArea(dp.numStates) * opts.fsmActivity;
+
+  PowerReport r;
+  const double periodNs = sched.clockPeriod / 1000.0;
+  r.dynamic = switched / periodNs;  // per-cycle switching * frequency
+  r.energyPerSample = switched * opts.iterationCycles;
+  r.throughput = 1.0 / (opts.iterationCycles * periodNs);
+  return r;
+}
+
+}  // namespace thls

@@ -1,0 +1,36 @@
+// First-order dynamic power model for the design-space exploration (§VII).
+//
+// P  ~  f_effective * sum over components of (area * switching activity)
+//
+// Functional-unit activity is its utilization (bound ops per iteration
+// divided by iteration latency); registers and muxes get fixed activity
+// factors.  Absolute units are arbitrary ("power units"); the DSE claims in
+// the paper are *ranges* (20x power across the Pareto sweep), which only
+// need relative fidelity.
+#pragma once
+
+#include "netlist/area_model.h"
+
+namespace thls {
+
+struct PowerOptions {
+  /// Cycles per processed sample: latency for non-pipelined designs, the
+  /// initiation interval for pipelined ones.
+  double iterationCycles = 1;
+  double regActivity = 0.5;
+  double muxActivity = 0.3;
+  double fsmActivity = 0.2;
+};
+
+struct PowerReport {
+  double dynamic = 0;       ///< power units
+  double energyPerSample = 0;
+  /// Samples per nanosecond (the throughput axis of the DSE plot).
+  double throughput = 0;
+};
+
+PowerReport powerReport(const Behavior& bhv, const LatencyTable& lat,
+                        const Schedule& sched, const ResourceLibrary& lib,
+                        const PowerOptions& opts);
+
+}  // namespace thls

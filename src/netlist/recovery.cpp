@@ -1,0 +1,98 @@
+#include "netlist/recovery.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace thls {
+
+namespace {
+constexpr double kEps = 1e-6;
+}  // namespace
+
+RecoveryResult stateLocalAreaRecovery(const Behavior& bhv,
+                                      const LatencyTable& lat,
+                                      Schedule sched,
+                                      const ResourceLibrary& lib) {
+  const Dfg& dfg = bhv.dfg;
+  const double T = sched.clockPeriod;
+  RecoveryResult result;
+
+  // FinReq(op): latest admissible finish of op inside its cycle, from a
+  // backward pass over same-cycle (combinational) consumer chains.
+  auto finishRequired = [&](std::vector<double>& finReq) {
+    finReq.assign(dfg.numOps(), T);
+    const std::vector<OpId> order = dfg.topoOrder();
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+      OpId op = *it;
+      const Operation& o = dfg.op(op);
+      if (isFreeKind(o.kind) || !sched.scheduled(op)) continue;
+      for (OpId c : dfg.timingSuccs(op)) {
+        if (!sched.scheduled(c)) continue;
+        if (lat.latency(sched.opEdge[op.index()], sched.opEdge[c.index()]) ==
+            0) {
+          finReq[op.index()] =
+              std::min(finReq[op.index()],
+                       finReq[c.index()] - sched.opDelay[c.index()]);
+        }
+      }
+    }
+  };
+
+  double savedTotal = 0;
+  bool changed = true;
+  int guard = 0;
+  while (changed && guard++ < 1000) {
+    changed = false;
+    recomputeChainStarts(bhv, lat, lib, sched);
+    std::vector<double> finReq;
+    finishRequired(finReq);
+
+    // Pick the FU with the largest area gain from absorbing its slack.
+    std::size_t bestFu = sched.fus.size();
+    double bestGain = 1e-9, bestDelta = 0;
+    for (std::size_t f = 0; f < sched.fus.size(); ++f) {
+      const FuInstance& fu = sched.fus[f];
+      if (fu.ops.empty() || fu.cls == ResourceClass::kIo) continue;
+      const VariantCurve& curve = lib.curve(fu.cls, fu.width);
+      if (fu.delay >= curve.maxDelay() - kEps) continue;
+      double delta = curve.maxDelay() - fu.delay;
+      for (OpId q : fu.ops) {
+        double fin = sched.opStart[q.index()] + sched.opDelay[q.index()];
+        delta = std::min(delta, finReq[q.index()] - fin);
+      }
+      if (delta <= kEps) continue;
+      double gain =
+          curve.areaAt(fu.delay) - curve.areaAt(fu.delay + delta);
+      if (gain > bestGain) {
+        bestGain = gain;
+        bestFu = f;
+        bestDelta = delta;
+      }
+    }
+    if (bestFu == sched.fus.size()) break;
+
+    FuInstance& fu = sched.fus[bestFu];
+    const VariantCurve& curve = lib.curve(fu.cls, fu.width);
+    double before = curve.areaAt(fu.delay);
+    fu.delay += bestDelta;
+    double muxD = 0;
+    if (!fu.dedicated && fu.ops.size() > 1) {
+      muxD = lib.muxDelay(static_cast<int>(fu.ops.size()));
+    } else if (!fu.dedicated && fu.ops.size() == 1) {
+      muxD = lib.muxDelay(1);
+    }
+    for (OpId q : fu.ops) {
+      sched.opDelay[q.index()] = muxD + fu.delay;
+    }
+    savedTotal += before - curve.areaAt(fu.delay);
+    result.fusResized++;
+    changed = true;
+  }
+
+  recomputeChainStarts(bhv, lat, lib, sched);
+  result.schedule = std::move(sched);
+  result.areaSaved = savedTotal;
+  return result;
+}
+
+}  // namespace thls

@@ -1,0 +1,28 @@
+// State-local area recovery (the RTL-style zero-slack pass, paper §II/§VI).
+//
+// After scheduling, functional units whose state-local combinational chains
+// leave slack are downsized (slower, smaller variants) until every chain is
+// slack-free or the library's slowest variant is reached.  This is exactly
+// the "area recovery for gates with slack, after timing has been met"
+// methodology the paper attributes to RTL synthesis -- limited to a single
+// state, which is why the conventional flow underperforms when inter-state
+// slack exists.  Both flows run it (Fig. 8 step 3: "if successful, do area
+// recovery"), so the slack-based gain measured on top is genuine.
+#pragma once
+
+#include "sched/schedule.h"
+
+namespace thls {
+
+struct RecoveryResult {
+  Schedule schedule;
+  int fusResized = 0;
+  double areaSaved = 0;
+};
+
+RecoveryResult stateLocalAreaRecovery(const Behavior& bhv,
+                                      const LatencyTable& lat,
+                                      Schedule sched,
+                                      const ResourceLibrary& lib);
+
+}  // namespace thls

@@ -1,0 +1,54 @@
+#include "netlist/report.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace thls {
+
+TableWriter::TableWriter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TableWriter::addRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TableWriter::str() const {
+  std::vector<std::size_t> w(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    w[c] = headers_[c].size();
+    for (const auto& row : rows_) w[c] = std::max(w[c], row[c].size());
+  }
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << std::left << std::setw(static_cast<int>(w[c]) + 2) << row[c];
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  std::string rule;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    rule += std::string(w[c], '-') + "  ";
+  }
+  os << rule << '\n';
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+std::string fmt(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string describe(const AreaReport& area) {
+  std::ostringstream os;
+  os << "fu=" << fmt(area.fuArea) << " mux=" << fmt(area.muxArea)
+     << " reg=" << fmt(area.regArea) << " fsm=" << fmt(area.fsmArea)
+     << " total=" << fmt(area.total());
+  return os.str();
+}
+
+}  // namespace thls

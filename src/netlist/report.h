@@ -1,0 +1,29 @@
+// Plain-text table formatting shared by the bench binaries so their output
+// visually mirrors the paper's tables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/area_model.h"
+
+namespace thls {
+
+class TableWriter {
+ public:
+  explicit TableWriter(std::vector<std::string> headers);
+  void addRow(std::vector<std::string> cells);
+  std::string str() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision double formatting ("123.4").
+std::string fmt(double v, int precision = 1);
+
+/// One-line area breakdown ("fu=... mux=... reg=... fsm=... total=...").
+std::string describe(const AreaReport& area);
+
+}  // namespace thls

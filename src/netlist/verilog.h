@@ -1,0 +1,29 @@
+// Verilog-2001 emission of a scheduled behavior: a linear/branching FSM
+// plus a datapath with one register per state-crossing value.
+//
+// The emitted RTL is *semantic* rather than structural: each operation
+// becomes an expression in its state (functional-unit sharing is a
+// synthesis-level property that the area model accounts for separately).
+// It elaborates in any Verilog front end and is handy for eyeballing what
+// the schedule actually computes; sim/evaluate.h is the bit-accurate
+// reference for its values.
+#pragma once
+
+#include <string>
+
+#include "sched/schedule.h"
+
+namespace thls {
+
+struct VerilogOptions {
+  std::string moduleName = "thls_design";
+  bool includeHeaderComment = true;
+};
+
+/// Emits the scheduled behavior as a synthesizable Verilog module.
+/// Ports: clk, rst, per-kRead/kInput inputs, per-kWrite/kOutput outputs
+/// (registered), plus a `done` pulse at the end of the iteration.
+std::string emitVerilog(const Behavior& bhv, const LatencyTable& lat,
+                        const Schedule& sched, const VerilogOptions& opts = {});
+
+}  // namespace thls

@@ -1,0 +1,733 @@
+#include "sched/list_scheduler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <memory>
+#include <set>
+#include <tuple>
+
+#include "ir/opspan.h"
+#include "timing/timed_dfg.h"
+
+namespace thls {
+
+namespace {
+
+constexpr double kEps = 1e-6;
+
+enum class FailReason { kNone, kResource, kTiming, kBudgetInfeasible };
+
+struct PassFailure {
+  FailReason reason = FailReason::kNone;
+  OpId op;
+  CfgEdgeId edge;
+  ResourceClass cls = ResourceClass::kNone;
+  int width = 0;
+  /// Unscheduled ops of the failing (class, width) when the pass died --
+  /// sizes the relaxation step so large designs converge in O(log) passes.
+  int unscheduledOfClass = 0;
+};
+
+struct AllocKey {
+  ResourceClass cls;
+  int width;
+  bool operator<(const AllocKey& o) const {
+    return std::tie(cls, width) < std::tie(o.cls, o.width);
+  }
+  bool operator==(const AllocKey& o) const {
+    return cls == o.cls && width == o.width;
+  }
+};
+
+bool isDedicatedClass(ResourceClass cls) {
+  return cls == ResourceClass::kMux || cls == ResourceClass::kLogic;
+}
+
+class SchedulerImpl {
+ public:
+  SchedulerImpl(Behavior& bhv, const ResourceLibrary& lib,
+                const SchedulerOptions& opts)
+      : bhv_(bhv), lib_(lib), opts_(opts) {}
+
+  ScheduleOutcome run();
+
+ private:
+  struct PassState {
+    Schedule sched;
+    std::vector<std::optional<CfgEdgeId>> pins;
+    std::vector<double> budgets;
+    std::vector<FailReason> lastFail;  // per op, reason of last failed try
+    /// Freshest timing picture (initial budget, then per-round rebudgets);
+    /// drives ready-list priorities and criticality-triggered speedups.
+    TimingResult lastTiming;
+    /// Lower bound (CFG edge topo index) on where each unscheduled op may
+    /// still go: deferring past an edge forfeits it, and the timing model
+    /// must learn that (paper §VI: recompute opSpans of unscheduled ops).
+    std::vector<std::size_t> earliest;
+  };
+
+  AllocKey keyFor(const Operation& o) const {
+    ResourceClass cls = resourceClassOf(o.kind);
+    int width = o.width;
+    if (opts_.mergeWidths) {
+      auto it = maxWidth_.find(cls);  // only shared classes are grouped
+      if (it != maxWidth_.end()) width = it->second;
+    }
+    return {cls, width};
+  }
+
+  void computeInitialAllocation();
+  bool schedulePass(PassFailure* failure);
+  /// Attempts to place `op` on edge `e`.  With `allowSpeedup` the op may be
+  /// implemented faster than its budget to fit the chain (used on the last
+  /// edge of a span); otherwise an op that cannot run at its budgeted delay
+  /// is deferred to a later edge.
+  /// `cyclesIn` = latency(early(op), e), for interpreting budget-plan times.
+  bool tryPlace(PassState& ps, OpId op, CfgEdgeId e, bool allowSpeedup,
+                int cyclesIn);
+  void rebudget(PassState& ps, const LatencyTable& lat,
+                const OpSpanAnalysis& spans);
+  /// ...updates ps.lastTiming as a side effect.
+  bool relax(const PassFailure& failure);
+
+  Behavior& bhv_;
+  const ResourceLibrary& lib_;
+  SchedulerOptions opts_;
+  SchedulerStats stats_;
+
+  std::map<AllocKey, int> allocation_;
+  std::map<ResourceClass, int> maxWidth_;
+  std::set<OpId> fastestOverride_;
+  /// Op that caused the previous pass failure: a repeat means the blamed
+  /// class was not the real bottleneck, so the relaxation escalates.
+  OpId lastFailOp_;
+  std::vector<double> initialBudgets_;
+  /// Kept alive across pass internals (rebuilt each pass; CFG may change).
+  std::unique_ptr<LatencyTable> lat_;
+  PassState best_;
+};
+
+void SchedulerImpl::computeInitialAllocation() {
+  maxWidth_.clear();
+  std::map<AllocKey, int> counts;
+  for (OpId op : bhv_.dfg.schedulableOps()) {
+    const Operation& o = bhv_.dfg.op(op);
+    ResourceClass cls = resourceClassOf(o.kind);
+    if (cls == ResourceClass::kIo || isDedicatedClass(cls)) continue;
+    auto [it, inserted] = maxWidth_.emplace(cls, o.width);
+    if (!inserted) it->second = std::max(it->second, o.width);
+  }
+  for (OpId op : bhv_.dfg.schedulableOps()) {
+    const Operation& o = bhv_.dfg.op(op);
+    ResourceClass cls = resourceClassOf(o.kind);
+    if (cls == ResourceClass::kIo || isDedicatedClass(cls)) continue;
+    counts[keyFor(o)]++;
+  }
+  const int states = std::max<int>(1, static_cast<int>(bhv_.cfg.numStates()));
+  for (auto& [key, n] : counts) {
+    int lower = (n + states - 1) / states;
+    auto it = allocation_.find(key);
+    if (it == allocation_.end()) {
+      allocation_[key] = lower;
+    } else {
+      it->second = std::max(it->second, lower);
+    }
+  }
+}
+
+bool SchedulerImpl::tryPlace(PassState& ps, OpId op, CfgEdgeId e,
+                             bool allowSpeedup, int cyclesIn) {
+  const Operation& o = bhv_.dfg.op(op);
+  const Cfg& cfg = bhv_.cfg;
+  const LatencyTable& lat = *lat_;
+  const double T = opts_.clockPeriod;
+  const double seqMargin = lib_.config().seqMargin;
+  Schedule& sched = ps.sched;
+
+  // A scheduled producer must actually reach this edge (a speculated
+  // producer pinned to a sibling branch cannot feed us here).
+  for (OpId p : bhv_.dfg.timingPreds(op)) {
+    CfgEdgeId pe = sched.opEdge[p.index()];
+    THLS_ASSERT(pe.valid(), "tryPlace called with unscheduled predecessor");
+    if (!cfg.edgeReaches(pe, e) ||
+        lat.latency(pe, e) == LatencyTable::kUndefined) {
+      ps.lastFail[op.index()] = FailReason::kTiming;
+      return false;
+    }
+  }
+
+  // Chain start: after every same-cycle producer finishes.
+  double chainStart = seqMargin;
+  for (OpId p : bhv_.dfg.timingPreds(op)) {
+    CfgEdgeId pe = sched.opEdge[p.index()];
+    if (lat.latency(pe, e) == 0) {
+      chainStart = std::max(
+          chainStart, sched.opStart[p.index()] + sched.opDelay[p.index()]);
+    }
+  }
+
+  auto place = [&](FuId fu, double start, double effDelay) {
+    sched.opEdge[op.index()] = e;
+    sched.opFu[op.index()] = fu;
+    sched.opStart[op.index()] = start;
+    sched.opDelay[op.index()] = effDelay;
+    ps.pins[op.index()] = e;
+  };
+
+  if (resourceClassOf(o.kind) == ResourceClass::kIo) {
+    double delay = o.kind == OpKind::kOutput ? 0.0 : lib_.config().ioDelay;
+    if (chainStart + delay > T + kEps) {
+      ps.lastFail[op.index()] = FailReason::kTiming;
+      return false;
+    }
+    place(FuId::invalid(), chainStart, delay);
+    return true;
+  }
+
+  const AllocKey key = keyFor(o);
+  const VariantCurve& curve = lib_.curve(key.cls, key.width);
+  const double budget = ps.budgets[op.index()];
+
+  struct Candidate {
+    FuId fu;
+    double newDelay = 0;
+    double effDelay = 0;
+    double cost = 0;
+  };
+  std::optional<Candidate> bestCand;
+  bool sawResourceSlot = false;
+
+  auto evaluateFu = [&](FuId fid) {
+    FuInstance& fu = sched.fus[fid.index()];
+    if (fu.cls != key.cls || fu.width != key.width) return;
+    if (fu.dedicated && !fu.ops.empty()) return;
+    if (static_cast<int>(fu.ops.size()) >= opts_.maxShare) return;
+    // Conflict check against concurrently active mates.
+    for (OpId q : fu.ops) {
+      if (edgesConcurrent(cfg, lat, sched.opEdge[q.index()], e)) return;
+    }
+    sawResourceSlot = true;
+    double newDelay = fu.ops.empty()
+                          ? curve.snapDelay(std::min(budget, T))
+                          : std::min(fu.delay, curve.snapDelay(budget));
+    int ways = static_cast<int>(fu.ops.size()) + 1;
+    double muxD = fu.dedicated ? 0.0 : lib_.muxDelay(ways);
+    if (chainStart + muxD + newDelay > T + kEps) {
+      if (!allowSpeedup) return;
+      // Joint scheduling/binding choice: implement the op (and its FU
+      // mates) with a faster variant so the chain fits this cycle.  The
+      // naive slowest-first strategy (paper Case 2) jumps straight to the
+      // fastest variant instead of the minimal upgrade.
+      double maxFit = T - chainStart - muxD;
+      if (maxFit < curve.minDelay() - kEps) return;
+      newDelay = opts_.startPolicy == StartPolicy::kSlowest
+                     ? curve.minDelay()
+                     : curve.snapDelay(maxFit);
+    }
+    double effDelay = muxD + newDelay;
+    if (chainStart + effDelay > T + kEps) return;
+    // Respect the budget plan's required time: starting later than the plan
+    // tolerates would break the downstream chain even though this cycle has
+    // room.  A faster-than-budget variant buys back the difference, and a
+    // whole clock period of grace is left because the per-round rebudget
+    // repairs one-cycle slips by speeding the downstream budgets up.
+    // (Only meaningful when per-round rebudgets keep lastTiming fresh.)
+    double req = ps.lastTiming.perOp[op.index()].required;
+    if (opts_.rebudgetPerEdge && std::isfinite(req) && cyclesIn >= 0) {
+      double latestStart =
+          req + (ps.budgets[op.index()] - newDelay) - cyclesIn * T;
+      if (chainStart - seqMargin > latestStart + T + kEps) return;
+    }
+    // Growth of the input mux slows every mate: verify their chains and
+    // same-cycle consumers still hold.
+    for (OpId q : fu.ops) {
+      double qEff = muxD + newDelay;
+      double qFinish = sched.opStart[q.index()] + qEff;
+      if (qFinish > T + kEps) return;
+      for (OpId c : bhv_.dfg.timingSuccs(q)) {
+        if (!sched.scheduled(c)) continue;
+        if (lat.latency(sched.opEdge[q.index()], sched.opEdge[c.index()]) == 0 &&
+            sched.opStart[c.index()] + kEps < qFinish) {
+          return;
+        }
+      }
+    }
+    double areaNow = fu.ops.empty() ? 0.0 : curve.areaAt(fu.delay);
+    double areaNext = curve.areaAt(newDelay);
+    double muxCost = fu.dedicated
+                         ? 0.0
+                         : lib_.muxArea(key.width, ways) -
+                               lib_.muxArea(key.width, ways - 1);
+    Candidate cand{fid, newDelay, effDelay, areaNext - areaNow + muxCost};
+    if (!bestCand || cand.cost < bestCand->cost - kEps ||
+        (std::abs(cand.cost - bestCand->cost) <= kEps &&
+         cand.effDelay < bestCand->effDelay)) {
+      bestCand = cand;
+    }
+  };
+
+  if (isDedicatedClass(key.cls)) {
+    // Dedicated instance per op, created on demand.
+    FuId fid(static_cast<std::int32_t>(sched.fus.size()));
+    FuInstance fu;
+    fu.cls = key.cls;
+    fu.width = key.width;
+    fu.dedicated = true;
+    fu.name = strCat(toString(key.cls), key.width, "_", fid.value());
+    sched.fus.push_back(fu);
+    evaluateFu(fid);
+    if (!bestCand) {
+      sched.fus.pop_back();
+      ps.lastFail[op.index()] = FailReason::kTiming;
+      return false;
+    }
+  } else {
+    for (std::size_t f = 0; f < sched.fus.size(); ++f) {
+      evaluateFu(FuId(static_cast<std::int32_t>(f)));
+    }
+    if (!bestCand) {
+      ps.lastFail[op.index()] =
+          sawResourceSlot ? FailReason::kTiming : FailReason::kResource;
+      return false;
+    }
+  }
+
+  FuInstance& fu = sched.fus[bestCand->fu.index()];
+  fu.delay = bestCand->newDelay;
+  fu.ops.push_back(op);
+  logLine(3, strCat("place ", o.name, " on ", cfg.edge(e).name, " fu=",
+                    fu.name, " delay=", fu.delay, " start=", chainStart));
+  // Refresh the effective delay of every mate (mux growth / FU upgrade).
+  int ways = static_cast<int>(fu.ops.size());
+  double muxD = fu.dedicated ? 0.0 : lib_.muxDelay(ways);
+  for (OpId q : fu.ops) {
+    sched.opDelay[q.index()] = muxD + fu.delay;
+  }
+  place(bestCand->fu, chainStart, muxD + fu.delay);
+  return true;
+}
+
+void SchedulerImpl::rebudget(PassState& ps, const LatencyTable& lat,
+                             const OpSpanAnalysis& spans) {
+  TimedDfg timed(bhv_.cfg, bhv_.dfg, lat, spans);
+  std::vector<double> delays(bhv_.dfg.numOps(), 0.0);
+  for (OpId op : bhv_.dfg.schedulableOps()) {
+    delays[op.index()] = ps.sched.scheduled(op) ? ps.sched.opDelay[op.index()]
+                                                : ps.budgets[op.index()];
+  }
+  BudgetOptions bopts;
+  bopts.clockPeriod = opts_.clockPeriod;
+  bopts.marginFraction = opts_.marginFraction;
+  bopts.engine = opts_.engine;
+  BudgetResult r = fixNegativeSlack(timed, bhv_.dfg, lib_, std::move(delays), bopts);
+  stats_.timingAnalyses += 1 + r.negativeIterations;
+  ps.lastTiming = r.timing;
+
+  // Scheduled ops: speed their FU up when the budget demands it.
+  for (OpId op : bhv_.dfg.schedulableOps()) {
+    double d = r.delays[op.index()];
+    if (!ps.sched.scheduled(op)) {
+      ps.budgets[op.index()] = std::min(ps.budgets[op.index()], d);
+      continue;
+    }
+    FuId fid = ps.sched.opFu[op.index()];
+    if (!fid.valid()) continue;  // I/O
+    FuInstance& fu = ps.sched.fus[fid.index()];
+    double muxD =
+        fu.dedicated ? 0.0 : lib_.muxDelay(static_cast<int>(fu.ops.size()));
+    double coreTarget = d - muxD;
+    const VariantCurve& curve = lib_.curve(fu.cls, fu.width);
+    coreTarget = std::max(coreTarget, curve.minDelay());
+    if (coreTarget < fu.delay - kEps) {
+      fu.delay = coreTarget;
+      for (OpId q : fu.ops) {
+        ps.sched.opDelay[q.index()] = muxD + fu.delay;
+      }
+    }
+  }
+}
+
+bool SchedulerImpl::schedulePass(PassFailure* failure) {
+  const Cfg& cfg = bhv_.cfg;
+  const Dfg& dfg = bhv_.dfg;
+  stats_.schedulePasses++;
+
+  lat_ = std::make_unique<LatencyTable>(cfg);
+  OpSpanAnalysis freeSpans(cfg, dfg, *lat_);
+  TimedDfg timed(cfg, dfg, *lat_, freeSpans);
+  const DelayBounds bounds = delayBoundsFor(dfg, lib_);
+
+  PassState ps;
+  ps.sched.clockPeriod = opts_.clockPeriod;
+  ps.sched.opEdge.assign(dfg.numOps(), CfgEdgeId::invalid());
+  ps.sched.opFu.assign(dfg.numOps(), FuId::invalid());
+  ps.sched.opStart.assign(dfg.numOps(), 0.0);
+  ps.sched.opDelay.assign(dfg.numOps(), 0.0);
+  ps.pins.assign(dfg.numOps(), std::nullopt);
+  ps.lastFail.assign(dfg.numOps(), FailReason::kNone);
+  ps.earliest.assign(dfg.numOps(), 0);
+
+  BudgetOptions bopts;
+  bopts.clockPeriod = opts_.clockPeriod;
+  bopts.marginFraction = opts_.marginFraction;
+  bopts.engine = opts_.engine;
+
+  TimingResult priorityTiming;
+  if (opts_.startPolicy == StartPolicy::kBudgeted) {
+    BudgetResult b = budgetSlack(timed, dfg, lib_, bopts);
+    stats_.timingAnalyses += 1 + b.negativeIterations + b.positiveGrants;
+    if (!b.feasible) {
+      failure->reason = FailReason::kBudgetInfeasible;
+      // Most negative op guides the relaxation engine.
+      double worst = 0;
+      for (OpId op : dfg.schedulableOps()) {
+        double s = b.timing.slack(op);
+        if (s < worst) {
+          worst = s;
+          failure->op = op;
+          failure->edge = freeSpans.early(op);
+        }
+      }
+      return false;
+    }
+    ps.budgets = b.delays;
+    priorityTiming = b.timing;
+  } else if (opts_.startPolicy == StartPolicy::kSlowest) {
+    // Case 2: slowest variants that still fit a cycle; upgraded on the fly
+    // by the in-scheduling rebudget/speedup machinery.
+    ps.budgets = bounds.maxDelay;
+    for (OpId op : dfg.schedulableOps()) {
+      const Operation& o = dfg.op(op);
+      if (ps.budgets[op.index()] > opts_.clockPeriod) {
+        ps.budgets[op.index()] = lib_.snapDelay(
+            o.kind, o.width,
+            std::max(bounds.minDelay[op.index()], opts_.clockPeriod));
+      }
+    }
+    TimingOptions topts{opts_.clockPeriod, /*aligned=*/true};
+    priorityTiming = analyzeTiming(opts_.engine, timed, ps.budgets, topts);
+    stats_.timingAnalyses += 1;
+  } else {
+    ps.budgets = bounds.minDelay;
+    TimingOptions topts{opts_.clockPeriod, /*aligned=*/true};
+    priorityTiming = analyzeTiming(opts_.engine, timed, ps.budgets, topts);
+    stats_.timingAnalyses += 1;
+    if (!priorityTiming.feasible) {
+      failure->reason = FailReason::kBudgetInfeasible;
+      std::vector<OpId> crit = criticalOps(timed, priorityTiming, kEps);
+      if (!crit.empty()) {
+        failure->op = crit.front();
+        failure->edge = freeSpans.early(failure->op);
+      }
+      return false;
+    }
+  }
+  for (OpId op : fastestOverride_) {
+    ps.budgets[op.index()] = bounds.minDelay[op.index()];
+  }
+  ps.lastTiming = priorityTiming;
+  if (initialBudgets_.empty()) initialBudgets_ = ps.budgets;
+
+  // Allocate the shared FU instances.
+  for (const auto& [key, count] : allocation_) {
+    for (int i = 0; i < count; ++i) {
+      FuInstance fu;
+      fu.cls = key.cls;
+      fu.width = key.width;
+      fu.name = strCat(toString(key.cls), key.width, "_", i);
+      ps.sched.fus.push_back(std::move(fu));
+    }
+  }
+
+  std::size_t remaining = dfg.schedulableOps().size();
+  std::unique_ptr<OpSpanAnalysis> spans = std::make_unique<OpSpanAnalysis>(
+      cfg, dfg, *lat_, &ps.pins, &ps.earliest);
+
+  Behavior& bhvRef = bhv_;
+  for (CfgEdgeId e : cfg.topoEdges()) {
+    if (cfg.edge(e).backward) continue;
+    bool repaired = false;
+    std::set<OpId> readyHere;
+    while (true) {
+      bool placedAny = true;
+      while (placedAny && remaining > 0) {
+        placedAny = false;
+        // Ready set: unscheduled, legal here, all producers placed.
+        std::vector<OpId> ready;
+        for (OpId op : dfg.schedulableOps()) {
+          if (ps.sched.scheduled(op)) continue;
+          if (!spans->contains(op, e)) continue;
+          bool preds = true;
+          for (OpId p : dfg.timingPreds(op)) {
+            if (!ps.sched.scheduled(p)) {
+              preds = false;
+              break;
+            }
+          }
+          if (preds) {
+            ready.push_back(op);
+            readyHere.insert(op);
+          }
+        }
+        std::sort(ready.begin(), ready.end(), [&](OpId a, OpId b) {
+          double sa = ps.lastTiming.slack(a), sb = ps.lastTiming.slack(b);
+          if (std::abs(sa - sb) > kEps) return sa < sb;
+          std::size_t ma = spans->mobility(a), mb = spans->mobility(b);
+          if (ma != mb) return ma < mb;
+          std::size_t fa = dfg.timingSuccs(a).size(),
+                      fb = dfg.timingSuccs(b).size();
+          if (fa != fb) return fa > fb;
+          return a < b;
+        });
+        const double critMargin = opts_.marginFraction * opts_.clockPeriod;
+        for (OpId op : ready) {
+          bool mustPlace = cfg.topoIndexOfEdge(spans->late(op)) <=
+                           cfg.topoIndexOfEdge(e);
+          // Critical ops (no slack left in the budget plan) may not defer at
+          // their budgeted delay: implement them faster instead -- "for
+          // critical operations the fastest resources are created" (§VI).
+          bool critical = ps.lastTiming.slack(op) <= critMargin;
+          // Ops at or past the cycle their budgeted (aligned) arrival plans
+          // must also stop deferring: the plan says they run now.
+          int planned = 0;
+          double arr = ps.lastTiming.perOp[op.index()].arrival;
+          if (std::isfinite(arr) && arr > 0) {
+            planned = static_cast<int>(std::floor((arr + kEps) /
+                                                  opts_.clockPeriod));
+          }
+          int cyclesIn = lat_->latency(spans->early(op), e);
+          bool duePlan = cyclesIn != LatencyTable::kUndefined &&
+                         cyclesIn >= planned;
+          if (tryPlace(ps, op, e,
+                       /*allowSpeedup=*/mustPlace || critical || duePlan,
+                       cyclesIn == LatencyTable::kUndefined ? -1 : cyclesIn)) {
+            placedAny = true;
+            --remaining;
+          }
+        }
+        if (placedAny) {
+          // Placements shift spans of dependents; refresh before rescanning,
+          // and redo slack budgeting so deferral decisions in the next round
+          // see chain realities (sharing only worsens timing, §VI).
+          spans = std::make_unique<OpSpanAnalysis>(cfg, dfg, *lat_, &ps.pins,
+                                                   &ps.earliest);
+          if (opts_.rebudgetPerEdge && opts_.startPolicy != StartPolicy::kFastest &&
+              remaining > 0) {
+            rebudget(ps, *lat_, *spans);
+            recomputeChainStarts(bhvRef, *lat_, lib_, ps.sched);
+          }
+        }
+      }
+
+      // Any op stranded past its last span edge?
+      bool stranded = false;
+      for (OpId op : dfg.schedulableOps()) {
+        if (!ps.sched.scheduled(op) &&
+            cfg.topoIndexOfEdge(spans->late(op)) <= cfg.topoIndexOfEdge(e)) {
+          stranded = true;
+          break;
+        }
+      }
+      if (!stranded) break;
+      if (!repaired) {
+        // In-edge repair: redo slack budgeting against the pins so far (only
+        // speeds ops up), re-layout the chains, then retry placement.
+        repaired = true;
+        rebudget(ps, *lat_, *spans);
+        recomputeChainStarts(bhvRef, *lat_, lib_, ps.sched);
+        continue;
+      }
+      // "if e is the last edge in span(o) and o is not scheduled: failure"
+      for (OpId op : dfg.schedulableOps()) {
+        if (ps.sched.scheduled(op) ||
+            cfg.topoIndexOfEdge(spans->late(op)) > cfg.topoIndexOfEdge(e)) {
+          continue;
+        }
+        failure->op = op;
+        failure->edge = e;
+        failure->reason = ps.lastFail[op.index()] == FailReason::kNone
+                              ? FailReason::kResource
+                              : ps.lastFail[op.index()];
+        const Operation& o = dfg.op(op);
+        failure->cls = resourceClassOf(o.kind);
+        failure->width = keyFor(o).width;
+        for (OpId q : dfg.schedulableOps()) {
+          if (!ps.sched.scheduled(q) && keyFor(dfg.op(q)) == keyFor(o)) {
+            failure->unscheduledOfClass++;
+          }
+        }
+        logLine(2, strCat("pass failure: ", o.name, " at ", cfg.edge(e).name,
+                          " late=", cfg.edge(spans->late(op)).name,
+                          " budget=", ps.budgets[op.index()]));
+        return false;
+      }
+    }
+
+    // Ops that were ready here but deferred can no longer take this edge;
+    // recompute their spans so the next rebudget sees the slipped schedule.
+    bool bumped = false;
+    for (OpId op : readyHere) {
+      if (ps.sched.scheduled(op)) continue;
+      std::size_t bound = cfg.topoIndexOfEdge(e) + 1;
+      if (ps.earliest[op.index()] < bound) {
+        ps.earliest[op.index()] = bound;
+        bumped = true;
+      }
+    }
+    if (bumped) {
+      spans = std::make_unique<OpSpanAnalysis>(cfg, dfg, *lat_, &ps.pins,
+                                               &ps.earliest);
+    }
+    if (opts_.rebudgetPerEdge && opts_.startPolicy != StartPolicy::kFastest && remaining > 0) {
+      rebudget(ps, *lat_, *spans);
+    }
+  }
+
+  if (remaining != 0) {
+    // Should be caught by the late-edge check; belt and braces.
+    for (OpId op : dfg.schedulableOps()) {
+      if (!ps.sched.scheduled(op)) {
+        failure->op = op;
+        failure->edge = spans->late(op);
+        failure->reason = FailReason::kResource;
+        const Operation& o = dfg.op(op);
+        failure->cls = resourceClassOf(o.kind);
+        failure->width = keyFor(o).width;
+        return false;
+      }
+    }
+  }
+  best_ = std::move(ps);
+  return true;
+}
+
+bool SchedulerImpl::relax(const PassFailure& failure) {
+  stats_.relaxations++;
+  auto groupSize = [&](const AllocKey& key) {
+    int n = 0;
+    for (OpId op : bhv_.dfg.schedulableOps()) {
+      if (keyFor(bhv_.dfg.op(op)) == key) ++n;
+    }
+    return n;
+  };
+  auto addInstances = [&](const AllocKey& key, int want) {
+    if (isDedicatedClass(key.cls) || key.cls == ResourceClass::kNone) {
+      return false;
+    }
+    auto it = allocation_.find(key);
+    if (it == allocation_.end()) return false;
+    int cap = groupSize(key);
+    int added = std::min(want, cap - it->second);
+    if (added <= 0) return false;
+    it->second += added;
+    stats_.resourcesAdded += added;
+    logLine(2, strCat("relax: +", added, " ", toString(key.cls), key.width,
+                      " (now ", it->second, ")"));
+    return true;
+  };
+
+  switch (failure.reason) {
+    case FailReason::kResource: {
+      AllocKey key{failure.cls, failure.width};
+      // Budgeted mode sizes the step to the observed shortfall (unused
+      // instances stay empty and free).  The ASAP policies grow one
+      // instance at a time, classic style: any spare instance they get,
+      // they greedily fill, losing sharing.
+      const int states =
+          std::max<int>(1, static_cast<int>(bhv_.cfg.numStates()));
+      int want =
+          std::max(1, (failure.unscheduledOfClass + states - 1) / states);
+      if (addInstances(key, want)) return true;
+      // Fully dedicated already; treat as a timing problem.
+      [[fallthrough]];
+    }
+    case FailReason::kTiming: {
+      bool did = false;
+      // The same op stranding twice means the blamed class is not the real
+      // bottleneck (often an upstream class serializes the whole design):
+      // grow every shareable class.  Budgeted mode only -- its deferral
+      // discipline keeps spare instances unused unless needed, whereas the
+      // ASAP policies would greedily fill them and destroy sharing.
+      if (opts_.startPolicy == StartPolicy::kBudgeted && failure.op.valid() &&
+          failure.op == lastFailOp_) {
+        for (auto& [key, cnt] : allocation_) {
+          if (addInstances(key, std::max(1, groupSize(key) / 8))) did = true;
+        }
+      }
+      lastFailOp_ = failure.op;
+      if (failure.op.valid() && !fastestOverride_.count(failure.op)) {
+        fastestOverride_.insert(failure.op);
+        stats_.fastestOverrides++;
+        logLine(2, strCat("relax: fastest variant for '",
+                          bhv_.dfg.op(failure.op).name, "'"));
+        did = true;
+      }
+      // Extra instances also relieve timing (shallower input muxes, more
+      // same-cycle slots); a stranded op usually means its whole class was
+      // starved of slots upstream, so size the step like a shortage.
+      const int states =
+          std::max<int>(1, static_cast<int>(bhv_.cfg.numStates()));
+      int want =
+          std::max(1, (failure.unscheduledOfClass + states - 1) / states);
+      if (addInstances({failure.cls, failure.width}, want)) did = true;
+      if (did) return true;
+      [[fallthrough]];
+    }
+    case FailReason::kBudgetInfeasible: {
+      if (opts_.allowAddState && failure.edge.valid()) {
+        bhv_.cfg.insertStateOnEdge(failure.edge);
+        bhv_.cfg.finalize();
+        stats_.statesAdded++;
+        logLine(2, "relax: inserted a state");
+        return true;
+      }
+      return false;
+    }
+    case FailReason::kNone:
+      return false;
+  }
+  return false;
+}
+
+ScheduleOutcome SchedulerImpl::run() {
+  THLS_REQUIRE(opts_.clockPeriod > 0, "clock period must be positive");
+  computeInitialAllocation();
+
+  ScheduleOutcome outcome;
+  for (int attempt = 0; attempt <= opts_.maxRelaxations; ++attempt) {
+    PassFailure failure;
+    if (schedulePass(&failure)) {
+      outcome.success = true;
+      outcome.schedule = std::move(best_.sched);
+      outcome.stats = stats_;
+      outcome.initialBudgets = initialBudgets_;
+      return outcome;
+    }
+    if (attempt == opts_.maxRelaxations || !relax(failure)) {
+      outcome.success = false;
+      outcome.stats = stats_;
+      outcome.failureReason = strCat(
+          "no relaxation helps: op '",
+          failure.op.valid() ? bhv_.dfg.op(failure.op).name : "?",
+          "' unschedulable (",
+          failure.reason == FailReason::kResource ? "resource shortage"
+          : failure.reason == FailReason::kTiming
+              ? "timing"
+              : "budget infeasible at fastest variants",
+          ")");
+      return outcome;
+    }
+  }
+  return outcome;
+}
+
+}  // namespace
+
+ScheduleOutcome scheduleBehavior(Behavior& bhv, const ResourceLibrary& lib,
+                                 const SchedulerOptions& opts) {
+  SchedulerImpl impl(bhv, lib, opts);
+  return impl.run();
+}
+
+}  // namespace thls

@@ -1,0 +1,75 @@
+// Joint scheduling + binding with slack guidance (paper §VI, Fig. 8).
+//
+// The driver loop mirrors the paper's framework:
+//   0. (slack-based mode) find per-op delay budgets by slack budgeting;
+//   1. create a minimal initial resource set;
+//   2. run Schedule_pass: walk CFG edges in topological order, placing ready
+//      operations by criticality; after every edge, recompute the opSpans of
+//      unscheduled ops and redo (negative) slack budgeting so that
+//      sharing-induced degradation is repaired by speeding resources up;
+//   3. on success, hand the schedule to state-local area recovery
+//      (netlist/recovery.h);
+//   4. on failure, a relaxation expert system adds a resource, forces a
+//      fastest variant, or (if allowed) adds a state, then retries;
+//   5. report failure when no relaxation helps.
+//
+// The conventional baseline (paper §VII "A_conv") is the same machinery
+// with `startPolicy = kFastest`: every budget starts at the library's
+// fastest delay and only post-schedule state-local recovery downsizes.
+#pragma once
+
+#include "budget/budgeter.h"
+#include "sched/schedule.h"
+
+namespace thls {
+
+/// Initial resource-speed assumption (paper §II.B cases):
+///   kFastest  -- Case 1 / conventional: fastest variants, rely on recovery;
+///   kSlowest  -- Case 2: slowest variants, upgraded on the fly;
+///   kBudgeted -- the paper's proposal: Fig. 7 slack budgeting up front.
+enum class StartPolicy { kFastest, kSlowest, kBudgeted };
+
+struct SchedulerOptions {
+  double clockPeriod = 0;
+  StartPolicy startPolicy = StartPolicy::kBudgeted;
+  /// Redo (negative) slack budgeting after scheduling every CFG edge.
+  bool rebudgetPerEdge = true;
+  /// Timing analysis engine (Table 5 swaps in Bellman-Ford).
+  TimingEngine engine = TimingEngine::kSequential;
+  /// Allow the relaxation engine to insert extra states.
+  bool allowAddState = false;
+  int maxRelaxations = 100;
+  /// Slack-binning margin as a fraction of the clock (paper: 5 %).
+  double marginFraction = 0.05;
+  /// Group all widths of a class onto max-width FUs (paper §II.A width
+  /// grouping; exposed for the ablation bench).
+  bool mergeWidths = false;
+  /// Maximum ops shared per FU instance before another instance is forced.
+  int maxShare = 64;
+};
+
+struct SchedulerStats {
+  int schedulePasses = 0;
+  int relaxations = 0;
+  /// Number of timing-analysis invocations (budget + per-edge rebudgets).
+  int timingAnalyses = 0;
+  int resourcesAdded = 0;
+  int statesAdded = 0;
+  int fastestOverrides = 0;
+};
+
+struct ScheduleOutcome {
+  bool success = false;
+  Schedule schedule;
+  std::string failureReason;
+  SchedulerStats stats;
+  /// Delay budgets the initial Fig. 7 budgeting produced (slack-based mode).
+  std::vector<double> initialBudgets;
+};
+
+/// Schedules and binds `bhv`.  The behavior is non-const because the
+/// relaxation engine may insert states into the CFG (when allowed).
+ScheduleOutcome scheduleBehavior(Behavior& bhv, const ResourceLibrary& lib,
+                                 const SchedulerOptions& opts);
+
+}  // namespace thls

@@ -1,0 +1,191 @@
+#include "sched/schedule.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "ir/opspan.h"
+
+namespace thls {
+
+double Schedule::fuArea(const ResourceLibrary& lib) const {
+  double area = 0;
+  for (const FuInstance& fu : fus) {
+    if (fu.ops.empty() || fu.cls == ResourceClass::kIo) continue;
+    area += lib.curve(fu.cls, fu.width).areaAt(fu.delay);
+  }
+  return area;
+}
+
+std::vector<OpId> Schedule::opsOnEdge(CfgEdgeId e) const {
+  std::vector<OpId> result;
+  for (std::size_t i = 0; i < opEdge.size(); ++i) {
+    if (opEdge[i] == e) result.push_back(OpId(static_cast<std::int32_t>(i)));
+  }
+  return result;
+}
+
+std::string Schedule::describe(const Behavior& bhv) const {
+  std::ostringstream os;
+  for (CfgEdgeId e : bhv.cfg.topoEdges()) {
+    if (bhv.cfg.edge(e).backward) continue;
+    std::vector<OpId> ops = opsOnEdge(e);
+    if (ops.empty()) continue;
+    std::sort(ops.begin(), ops.end(), [&](OpId a, OpId b) {
+      return opStart[a.index()] < opStart[b.index()];
+    });
+    os << bhv.cfg.edge(e).name << ":";
+    for (OpId op : ops) {
+      os << "  " << bhv.dfg.op(op).name << "@" << opStart[op.index()] << "+"
+         << opDelay[op.index()];
+      if (opFu[op.index()].valid()) {
+        os << "(" << fus[opFu[op.index()].index()].name << ")";
+      }
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+bool recomputeChainStarts(const Behavior& bhv, const LatencyTable& lat,
+                          const ResourceLibrary& lib, Schedule& sched) {
+  const Dfg& dfg = bhv.dfg;
+  const double T = sched.clockPeriod;
+  const double seqMargin = lib.config().seqMargin;
+  bool fits = true;
+  for (OpId op : dfg.topoOrder()) {
+    const Operation& o = dfg.op(op);
+    if (isFreeKind(o.kind) || !sched.scheduled(op)) continue;
+    CfgEdgeId e = sched.opEdge[op.index()];
+    double start = seqMargin;
+    for (OpId p : dfg.timingPreds(op)) {
+      if (!sched.scheduled(p)) continue;
+      CfgEdgeId pe = sched.opEdge[p.index()];
+      if (lat.latency(pe, e) == 0) {
+        start = std::max(start,
+                         sched.opStart[p.index()] + sched.opDelay[p.index()]);
+      }
+    }
+    sched.opStart[op.index()] = start;
+    if (start + sched.opDelay[op.index()] > T + 1e-6) fits = false;
+  }
+  return fits;
+}
+
+bool edgesConcurrent(const Cfg& cfg, const LatencyTable& lat, CfgEdgeId a,
+                     CfgEdgeId b) {
+  if (a == b) return true;
+  if (cfg.edgeReaches(a, b) && lat.latency(a, b) == 0) return true;
+  if (cfg.edgeReaches(b, a) && lat.latency(b, a) == 0) return true;
+  return false;
+}
+
+std::vector<std::string> validateSchedule(const Behavior& bhv,
+                                          const LatencyTable& lat,
+                                          const ResourceLibrary& lib,
+                                          const Schedule& sched) {
+  std::vector<std::string> errors;
+  const Cfg& cfg = bhv.cfg;
+  const Dfg& dfg = bhv.dfg;
+  const double T = sched.clockPeriod;
+  OpSpanAnalysis spans(cfg, dfg, lat);
+
+  auto err = [&](const std::string& m) { errors.push_back(m); };
+
+  for (std::size_t i = 0; i < dfg.numOps(); ++i) {
+    OpId op(static_cast<std::int32_t>(i));
+    const Operation& o = dfg.op(op);
+    if (isFreeKind(o.kind)) continue;
+    if (!sched.scheduled(op)) {
+      err(strCat("op '", o.name, "' is unscheduled"));
+      continue;
+    }
+    CfgEdgeId e = sched.opEdge[i];
+    if (!spans.contains(op, e)) {
+      err(strCat("op '", o.name, "' scheduled on ", cfg.edge(e).name,
+                 " outside its span [", cfg.edge(spans.early(op)).name, ", ",
+                 cfg.edge(spans.late(op)).name, "]"));
+    }
+    if (sched.opStart[i] < -1e-9) {
+      err(strCat("op '", o.name, "' starts before its cycle"));
+    }
+    if (sched.opStart[i] + sched.opDelay[i] > T + 1e-6) {
+      err(strCat("op '", o.name, "' finishes at ",
+                 sched.opStart[i] + sched.opDelay[i],
+                 "ps, beyond the clock period ", T));
+    }
+  }
+
+  // Dependence ordering and chaining.
+  for (const DataDependence& d : dfg.dependences()) {
+    if (d.loopCarried) continue;
+    const Operation& po = dfg.op(d.from);
+    const Operation& co = dfg.op(d.to);
+    if (isFreeKind(po.kind) || isFreeKind(co.kind)) continue;
+    if (!sched.scheduled(d.from) || !sched.scheduled(d.to)) continue;
+    CfgEdgeId pe = sched.opEdge[d.from.index()];
+    CfgEdgeId ce = sched.opEdge[d.to.index()];
+    if (!cfg.edgeReaches(pe, ce)) {
+      err(strCat("producer '", po.name, "' on ", cfg.edge(pe).name,
+                 " does not reach consumer '", co.name, "' on ",
+                 cfg.edge(ce).name));
+      continue;
+    }
+    int l = lat.latency(pe, ce);
+    if (l == 0) {
+      // Same cycle: combinational chaining, producer must finish first.
+      double pFinish =
+          sched.opStart[d.from.index()] + sched.opDelay[d.from.index()];
+      if (sched.opStart[d.to.index()] + 1e-6 < pFinish) {
+        err(strCat("consumer '", co.name, "' starts at ",
+                   sched.opStart[d.to.index()], "ps before producer '",
+                   po.name, "' finishes at ", pFinish, "ps in the same cycle"));
+      }
+    }
+    if (co.fixed && co.kind == OpKind::kWrite && l < 1) {
+      err(strCat("write '", co.name, "' consumes unregistered input from '",
+                 po.name, "'"));
+    }
+  }
+
+  // FU consistency and conflicts.
+  for (std::size_t f = 0; f < sched.fus.size(); ++f) {
+    const FuInstance& fu = sched.fus[f];
+    if (fu.cls == ResourceClass::kIo || fu.cls == ResourceClass::kNone) continue;
+    if (!fu.ops.empty()) {
+      const VariantCurve& c = lib.curve(fu.cls, fu.width);
+      if (fu.delay < c.minDelay() - 1e-6 || fu.delay > c.maxDelay() + 1e-6) {
+        err(strCat("FU '", fu.name, "' delay ", fu.delay,
+                   "ps outside library range"));
+      }
+    }
+    for (OpId op : fu.ops) {
+      const Operation& o = dfg.op(op);
+      if (resourceClassOf(o.kind) != fu.cls) {
+        err(strCat("op '", o.name, "' bound to FU '", fu.name,
+                   "' of wrong class"));
+      }
+      if (o.width > fu.width) {
+        err(strCat("op '", o.name, "' wider than its FU '", fu.name, "'"));
+      }
+      if (sched.opFu[op.index()].value() != static_cast<std::int32_t>(f)) {
+        err(strCat("binding tables disagree for op '", o.name, "'"));
+      }
+    }
+    for (std::size_t a = 0; a < fu.ops.size(); ++a) {
+      for (std::size_t b = a + 1; b < fu.ops.size(); ++b) {
+        CfgEdgeId ea = sched.opEdge[fu.ops[a].index()];
+        CfgEdgeId eb = sched.opEdge[fu.ops[b].index()];
+        if (ea.valid() && eb.valid() && edgesConcurrent(cfg, lat, ea, eb)) {
+          err(strCat("ops '", dfg.op(fu.ops[a]).name, "' and '",
+                     dfg.op(fu.ops[b]).name, "' share FU '", fu.name,
+                     "' in concurrent cycles (", cfg.edge(ea).name, ", ",
+                     cfg.edge(eb).name, ")"));
+        }
+      }
+    }
+  }
+  return errors;
+}
+
+}  // namespace thls

@@ -1,0 +1,87 @@
+// Schedule and binding result containers (paper §VI).
+//
+// A Schedule fixes, for every hardware operation, the two mappings the
+// paper's framework produces jointly:
+//   sched: O -> E   (operation to CFG edge / control step)
+//   bind:  O -> Res (operation to functional-unit instance)
+// together with the chosen per-FU delay variant and the start offset of the
+// operation inside its clock cycle (combinational chaining position).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ir/builder.h"
+#include "ir/latency.h"
+#include "tech/resource_library.h"
+
+namespace thls {
+
+/// One allocated functional-unit instance.
+struct FuInstance {
+  ResourceClass cls = ResourceClass::kNone;
+  int width = 0;
+  /// Variant delay currently implemented (ps).  Shared ops all run at this
+  /// delay; binding a faster-budgeted op upgrades the instance.
+  double delay = 0;
+  std::string name;
+  std::vector<OpId> ops;  ///< operations bound to this instance
+  /// True when the instance is never shared (cheap classes: mux, logic).
+  bool dedicated = false;
+};
+
+struct Schedule {
+  double clockPeriod = 0;
+
+  /// sched: O -> E.  Invalid for unscheduled / free ops.
+  std::vector<CfgEdgeId> opEdge;
+  /// bind: O -> Res.  Invalid for free and I/O ops.
+  std::vector<FuId> opFu;
+  /// Effective operation delay (its FU's variant delay, or I/O delay).
+  std::vector<double> opDelay;
+  /// Start offset of the op inside its clock cycle, ps from the state start.
+  std::vector<double> opStart;
+
+  std::vector<FuInstance> fus;
+
+  bool scheduled(OpId op) const { return opEdge[op.index()].valid(); }
+
+  /// Sum of functional-unit areas at their final variant delays (the
+  /// quantity Table 2 compares; full netlist area adds steering/registers).
+  double fuArea(const ResourceLibrary& lib) const;
+
+  /// Operations placed on a given edge.
+  std::vector<OpId> opsOnEdge(CfgEdgeId e) const;
+
+  /// Human-readable state-by-state dump (used by the Fig. 2 bench).
+  std::string describe(const Behavior& bhv) const;
+};
+
+/// True when two CFG edges can be active in the same clock cycle on some
+/// execution path (same edge, or zero-latency forward path either way).
+/// Ops bound to one FU instance on concurrent edges conflict.
+bool edgesConcurrent(const Cfg& cfg, const LatencyTable& lat, CfgEdgeId a,
+                     CfgEdgeId b);
+
+/// Structural + timing legality check.  Returns human-readable violation
+/// descriptions (empty = legal):
+///  * every hardware op scheduled inside its (pin-free) span,
+///  * producers scheduled no later than consumers, with correct chaining
+///    order inside shared cycles,
+///  * no two ops on one FU instance in concurrent cycles,
+///  * every state-local combinational chain (including FU input muxes and
+///    the sequential margin) fits in the clock period,
+///  * FU delays within the library's variant range.
+std::vector<std::string> validateSchedule(const Behavior& bhv,
+                                          const LatencyTable& lat,
+                                          const ResourceLibrary& lib,
+                                          const Schedule& sched);
+
+/// Recomputes chain start offsets (ASAP inside each scheduled cycle) for the
+/// schedule's current delays; returns false when a chain exceeds the clock
+/// period.  Used after FU delay changes (rebudget repair, area recovery).
+bool recomputeChainStarts(const Behavior& bhv, const LatencyTable& lat,
+                          const ResourceLibrary& lib, Schedule& sched);
+
+}  // namespace thls

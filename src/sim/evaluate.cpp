@@ -1,0 +1,162 @@
+#include "sim/evaluate.h"
+
+#include <algorithm>
+
+namespace thls {
+
+namespace {
+
+/// Two's-complement wrap of `v` to `width` bits (signed interpretation).
+long long wrapToWidth(long long v, int width) {
+  if (width <= 0 || width >= 64) return v;
+  const unsigned long long mask = (1ull << width) - 1;
+  unsigned long long u = static_cast<unsigned long long>(v) & mask;
+  // Sign-extend.
+  if (u & (1ull << (width - 1))) {
+    u |= ~mask;
+  }
+  return static_cast<long long>(u);
+}
+
+long long inputValueFor(const Operation& o, const ValueMap& inputs) {
+  auto it = inputs.find(o.name);
+  return it == inputs.end() ? 0 : it->second;
+}
+
+}  // namespace
+
+long long applyOp(OpKind kind, int width,
+                  const std::vector<long long>& operands) {
+  auto arg = [&](std::size_t i) -> long long {
+    return i < operands.size() ? operands[i] : 0;
+  };
+  long long r = 0;
+  switch (kind) {
+    case OpKind::kAdd: r = arg(0) + arg(1); break;
+    case OpKind::kSub: r = arg(0) - arg(1); break;
+    case OpKind::kMul: r = arg(0) * arg(1); break;
+    case OpKind::kDiv: r = arg(1) == 0 ? 0 : arg(0) / arg(1); break;
+    case OpKind::kMod: r = arg(1) == 0 ? 0 : arg(0) % arg(1); break;
+    case OpKind::kMux: r = arg(0) != 0 ? arg(1) : arg(2); break;
+    // Comparison results are boolean 0/1, not sign-wrapped.
+    case OpKind::kCmpGt: return arg(0) > arg(1);
+    case OpKind::kCmpLt: return arg(0) < arg(1);
+    case OpKind::kCmpGe: return arg(0) >= arg(1);
+    case OpKind::kCmpLe: return arg(0) <= arg(1);
+    case OpKind::kCmpEq: return arg(0) == arg(1);
+    case OpKind::kCmpNe: return arg(0) != arg(1);
+    case OpKind::kAnd: r = arg(0) & arg(1); break;
+    case OpKind::kOr: r = arg(0) | arg(1); break;
+    case OpKind::kXor: r = arg(0) ^ arg(1); break;
+    case OpKind::kNot: r = ~arg(0); break;
+    case OpKind::kShl: r = arg(0) << (arg(1) & 63); break;
+    case OpKind::kShr: r = arg(0) >> (arg(1) & 63); break;
+    case OpKind::kCopy:
+    case OpKind::kOutput:
+    case OpKind::kWrite:
+      r = arg(0);
+      break;
+    case OpKind::kConst:
+    case OpKind::kInput:
+    case OpKind::kRead:
+      THLS_ASSERT(false, "sources are not applied");
+  }
+  return wrapToWidth(r, width);
+}
+
+namespace {
+
+long long evalOneOp(const Dfg& dfg, OpId op,
+                    const std::map<std::int32_t, long long>& wires,
+                    const ValueMap& inputs, bool* operandsReady) {
+  const Operation& o = dfg.op(op);
+  if (o.kind == OpKind::kConst) return wrapToWidth(o.constValue, o.width);
+  if (o.kind == OpKind::kInput || o.kind == OpKind::kRead) {
+    return wrapToWidth(inputValueFor(o, inputs), o.width);
+  }
+  std::vector<long long> operands;
+  operands.reserve(o.inputs.size());
+  for (OpId in : o.inputs) {
+    auto it = wires.find(in.value());
+    if (it == wires.end()) {
+      if (operandsReady != nullptr) *operandsReady = false;
+      operands.push_back(0);
+    } else {
+      operands.push_back(it->second);
+    }
+  }
+  return applyOp(o.kind, o.width, operands);
+}
+
+}  // namespace
+
+SimResult evaluateDfg(const Behavior& bhv, const ValueMap& inputs) {
+  SimResult result;
+  const Dfg& dfg = bhv.dfg;
+  for (OpId op : dfg.topoOrder()) {
+    const Operation& o = dfg.op(op);
+    long long v = evalOneOp(dfg, op, result.wires, inputs, nullptr);
+    result.wires[op.value()] = v;
+    if (o.kind == OpKind::kOutput || o.kind == OpKind::kWrite) {
+      result.outputs[o.name] = v;
+    }
+  }
+  return result;
+}
+
+SimResult evaluateSchedule(const Behavior& bhv, const LatencyTable& lat,
+                           const Schedule& sched, const ValueMap& inputs) {
+  SimResult result;
+  const Dfg& dfg = bhv.dfg;
+  const Cfg& cfg = bhv.cfg;
+
+  // Sources and constants are available from the start.
+  for (std::size_t i = 0; i < dfg.numOps(); ++i) {
+    OpId op(static_cast<std::int32_t>(i));
+    const Operation& o = dfg.op(op);
+    if (o.kind == OpKind::kConst) {
+      result.wires[op.value()] = wrapToWidth(o.constValue, o.width);
+    } else if (o.kind == OpKind::kInput || o.kind == OpKind::kRead) {
+      result.wires[op.value()] = wrapToWidth(inputValueFor(o, inputs), o.width);
+    }
+  }
+
+  // Cycle-by-cycle: CFG edges in topological order; within an edge, ops in
+  // chain order (start offset).  Copies piggyback on their producer.
+  for (CfgEdgeId e : cfg.topoEdges()) {
+    if (cfg.edge(e).backward) continue;
+    std::vector<OpId> ops = sched.opsOnEdge(e);
+    std::sort(ops.begin(), ops.end(), [&](OpId a, OpId b) {
+      if (sched.opStart[a.index()] != sched.opStart[b.index()]) {
+        return sched.opStart[a.index()] < sched.opStart[b.index()];
+      }
+      return a < b;
+    });
+    for (OpId op : ops) {
+      const Operation& o = dfg.op(op);
+      if (isFreeKind(o.kind)) continue;
+      if (o.kind == OpKind::kRead) continue;  // preloaded above
+      bool ready = true;
+      long long v = evalOneOp(dfg, op, result.wires, inputs, &ready);
+      THLS_REQUIRE(ready,
+                   strCat("op '", o.name, "' on ", cfg.edge(e).name,
+                          " consumes a value that has not been produced yet"));
+      result.wires[op.value()] = v;
+      if (o.kind == OpKind::kOutput || o.kind == OpKind::kWrite) {
+        result.outputs[o.name] = v;
+      }
+    }
+  }
+
+  // Copies are transparent: resolve any that were skipped.
+  for (OpId op : dfg.topoOrder()) {
+    const Operation& o = dfg.op(op);
+    if (o.kind == OpKind::kCopy && !o.inputs.empty()) {
+      auto it = result.wires.find(o.inputs[0].value());
+      if (it != result.wires.end()) result.wires[op.value()] = it->second;
+    }
+  }
+  return result;
+}
+
+}  // namespace thls

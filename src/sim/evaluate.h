@@ -1,0 +1,47 @@
+// Functional simulation of behaviors and schedules.
+//
+// Two evaluators over integer stimulus:
+//  * evaluateDfg       -- golden model: topological evaluation of the
+//                         (if-converted) DFG, schedule-independent;
+//  * evaluateSchedule  -- executes the scheduled design cycle by cycle in
+//                         chain order, verifying that every operand was
+//                         produced in an earlier cycle or earlier in the
+//                         same cycle's chain.
+//
+// A legal schedule must compute exactly the golden values; the equivalence
+// is asserted across workloads and random DFGs in tests/sim_test.cpp.
+// Arithmetic is two's-complement at each op's declared bitwidth.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "sched/schedule.h"
+
+namespace thls {
+
+using ValueMap = std::map<std::string, long long>;
+
+struct SimResult {
+  /// Values absorbed by kOutput / kWrite ops, keyed by op name.
+  ValueMap outputs;
+  /// Every op's result (keyed by OpId index) for debugging.
+  std::map<std::int32_t, long long> wires;
+};
+
+/// Golden model: evaluates the DFG in topological order.  `inputs` supplies
+/// kInput and kRead operands by op name (e.g. "x0", "rd_a"); missing names
+/// default to 0.
+SimResult evaluateDfg(const Behavior& bhv, const ValueMap& inputs);
+
+/// Executes the schedule cycle by cycle (CFG edges in topological order,
+/// ops within a cycle by chain start offset).  Throws HlsError if an
+/// operand is consumed before it was produced -- a schedule-order bug that
+/// structural validation alone cannot see.
+SimResult evaluateSchedule(const Behavior& bhv, const LatencyTable& lat,
+                           const Schedule& sched, const ValueMap& inputs);
+
+/// Applies `kind` to operands at `width` (two's complement wrap).
+long long applyOp(OpKind kind, int width, const std::vector<long long>& operands);
+
+}  // namespace thls

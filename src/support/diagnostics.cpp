@@ -1,0 +1,26 @@
+#include "support/diagnostics.h"
+
+#include <iostream>
+
+namespace thls {
+namespace {
+int g_logLevel = 0;
+}  // namespace
+
+void throwInternal(const char* file, int line, const char* cond,
+                   const std::string& msg) {
+  throw InternalError(strCat("internal error at ", file, ":", line,
+                             ": assertion `", cond, "` failed: ", msg));
+}
+
+int logLevel() { return g_logLevel; }
+
+void setLogLevel(int level) { g_logLevel = level; }
+
+void logLine(int level, const std::string& msg) {
+  if (g_logLevel >= level) {
+    std::cerr << "[thls] " << msg << '\n';
+  }
+}
+
+}  // namespace thls

@@ -1,0 +1,61 @@
+// Error reporting and internal-consistency checking.
+//
+// TradeHLS distinguishes two failure classes:
+//  * `HlsError`       - problems in user input (infeasible constraints,
+//                       malformed graphs).  Thrown as exceptions so callers
+//                       (DSE sweeps, relaxation loops) can recover.
+//  * `THLS_ASSERT`    - internal invariant violations; also throw (as
+//                       `InternalError`) so tests can exercise failure paths
+//                       without aborting the process.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace thls {
+
+/// Error caused by user input: infeasible constraints, malformed IR, etc.
+class HlsError : public std::runtime_error {
+ public:
+  explicit HlsError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Internal invariant violation (a bug in TradeHLS itself).
+class InternalError : public std::logic_error {
+ public:
+  explicit InternalError(const std::string& what) : std::logic_error(what) {}
+};
+
+[[noreturn]] void throwInternal(const char* file, int line, const char* cond,
+                                const std::string& msg);
+
+/// Verbosity-gated logging to stderr.  Level 0 = silent, 1 = flow progress,
+/// 2 = per-edge scheduling detail, 3 = timing-analysis traces.
+int logLevel();
+void setLogLevel(int level);
+void logLine(int level, const std::string& msg);
+
+/// Small helper to build log/error messages inline.
+template <typename... Args>
+std::string strCat(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+
+}  // namespace thls
+
+#define THLS_ASSERT(cond, msg)                                     \
+  do {                                                             \
+    if (!(cond)) {                                                 \
+      ::thls::throwInternal(__FILE__, __LINE__, #cond, (msg));     \
+    }                                                              \
+  } while (false)
+
+#define THLS_REQUIRE(cond, msg)          \
+  do {                                   \
+    if (!(cond)) {                       \
+      throw ::thls::HlsError((msg));     \
+    }                                    \
+  } while (false)

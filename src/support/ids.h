@@ -1,0 +1,62 @@
+// Strongly typed integer identifiers for IR entities.
+//
+// All graph entities in TradeHLS (CFG nodes/edges, DFG operations/values,
+// resource instances, ...) are referenced by dense indices into vectors
+// owned by their container.  Raw `int` indices invite cross-container
+// mix-ups, so each entity gets its own phantom-tagged id type.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace thls {
+
+/// Dense index wrapper with a phantom Tag to prevent mixing id spaces.
+template <typename Tag>
+class Id {
+ public:
+  constexpr Id() = default;
+  constexpr explicit Id(std::int32_t v) : value_(v) {}
+
+  /// Sentinel used for "not yet assigned".
+  static constexpr Id invalid() { return Id(); }
+
+  constexpr bool valid() const { return value_ >= 0; }
+  constexpr std::int32_t value() const { return value_; }
+  constexpr std::size_t index() const {
+    return static_cast<std::size_t>(value_);
+  }
+
+  friend constexpr bool operator==(Id a, Id b) { return a.value_ == b.value_; }
+  friend constexpr bool operator!=(Id a, Id b) { return a.value_ != b.value_; }
+  friend constexpr bool operator<(Id a, Id b) { return a.value_ < b.value_; }
+
+ private:
+  std::int32_t value_ = -1;
+};
+
+struct CfgNodeTag {};
+struct CfgEdgeTag {};
+struct OpTag {};
+struct TimedNodeTag {};
+struct FuTag {};
+struct RegTag {};
+
+using CfgNodeId = Id<CfgNodeTag>;
+using CfgEdgeId = Id<CfgEdgeTag>;
+using OpId = Id<OpTag>;
+using TimedNodeId = Id<TimedNodeTag>;
+using FuId = Id<FuTag>;
+using RegId = Id<RegTag>;
+
+}  // namespace thls
+
+namespace std {
+template <typename Tag>
+struct hash<thls::Id<Tag>> {
+  size_t operator()(thls::Id<Tag> id) const noexcept {
+    return std::hash<std::int32_t>()(id.value());
+  }
+};
+}  // namespace std

@@ -1,0 +1,39 @@
+#include "support/topo.h"
+
+namespace thls {
+
+std::optional<std::vector<std::size_t>> topologicalOrder(
+    std::size_t n,
+    const std::function<void(std::size_t, const std::function<void(std::size_t)>&)>&
+        forEachSucc) {
+  std::vector<std::size_t> indeg(n, 0);
+  for (std::size_t u = 0; u < n; ++u) {
+    forEachSucc(u, [&](std::size_t v) { ++indeg[v]; });
+  }
+  std::vector<std::size_t> ready;
+  ready.reserve(n);
+  for (std::size_t u = 0; u < n; ++u) {
+    if (indeg[u] == 0) ready.push_back(u);
+  }
+  std::vector<std::size_t> order;
+  order.reserve(n);
+  while (!ready.empty()) {
+    std::size_t u = ready.back();
+    ready.pop_back();
+    order.push_back(u);
+    forEachSucc(u, [&](std::size_t v) {
+      if (--indeg[v] == 0) ready.push_back(v);
+    });
+  }
+  if (order.size() != n) return std::nullopt;
+  return order;
+}
+
+bool isAcyclic(
+    std::size_t n,
+    const std::function<void(std::size_t, const std::function<void(std::size_t)>&)>&
+        forEachSucc) {
+  return topologicalOrder(n, forEachSucc).has_value();
+}
+
+}  // namespace thls

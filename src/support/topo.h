@@ -1,0 +1,27 @@
+// Generic topological-ordering helpers shared by the CFG, DFG and timed-DFG
+// analyses.  Graphs are presented as adjacency callbacks over dense node
+// indices so every IR can reuse the same Kahn implementation.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <vector>
+
+namespace thls {
+
+/// Kahn topological sort over nodes [0, n).  `forEachSucc(u, cb)` must call
+/// `cb(v)` for every successor v of u.  Returns std::nullopt when the graph
+/// contains a cycle.
+std::optional<std::vector<std::size_t>> topologicalOrder(
+    std::size_t n,
+    const std::function<void(std::size_t, const std::function<void(std::size_t)>&)>&
+        forEachSucc);
+
+/// Returns true iff the graph restricted to the given adjacency is acyclic.
+bool isAcyclic(
+    std::size_t n,
+    const std::function<void(std::size_t, const std::function<void(std::size_t)>&)>&
+        forEachSucc);
+
+}  // namespace thls

@@ -1,0 +1,176 @@
+// Analytic characterization of resource tradeoff curves.
+//
+// Anchors (exact Table 1 rows from the paper, TSMC 90nm):
+//   mul 8x8 : delay 430 470 510 540 570 610   area 878 662 618 575 545 510
+//   add 16  : delay 220 400 580 760 940 1220  area 556 254 225 216 210 206
+//
+// Other widths are produced by interpolating between two architecture
+// endpoints with the anchor's normalized *shape*:
+//   adders      fastest = parallel-prefix  (delay ~ log2 w, area ~ w log2 w)
+//               slowest = ripple-carry     (delay ~ w,      area ~ w)
+//   multipliers fastest = Wallace tree     (delay ~ log2 w, area ~ w^2)
+//               slowest = array            (delay ~ w,      area ~ w^2)
+// so curve_i(w) = slow(w) + (fast(w) - slow(w)) * shape_i, where shape_i is
+// the anchor row i normalized into [0,1].  At the anchor width the curve
+// reproduces Table 1 exactly.
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <vector>
+
+#include "tech/resource_library.h"
+
+namespace thls {
+namespace {
+
+constexpr int kVariants = 6;
+
+struct Shape {
+  // Normalized positions of the 6 table rows: 0 = fastest/largest endpoint,
+  // 1 = slowest/smallest endpoint.
+  std::array<double, kVariants> delayShape;
+  std::array<double, kVariants> areaShape;  // 0 = largest area (fast end)
+};
+
+Shape shapeFromAnchor(const std::array<double, kVariants>& delays,
+                      const std::array<double, kVariants>& areas) {
+  Shape s{};
+  const double d0 = delays.front(), d1 = delays.back();
+  const double a0 = areas.front(), a1 = areas.back();
+  for (int i = 0; i < kVariants; ++i) {
+    s.delayShape[i] = (delays[i] - d0) / (d1 - d0);
+    s.areaShape[i] = (a0 - areas[i]) / (a0 - a1);
+  }
+  return s;
+}
+
+// --- Table 1 anchors ------------------------------------------------------
+constexpr std::array<double, kVariants> kMulDelay8 = {430, 470, 510,
+                                                      540, 570, 610};
+constexpr std::array<double, kVariants> kMulArea8 = {878, 662, 618,
+                                                     575, 545, 510};
+constexpr std::array<double, kVariants> kAddDelay16 = {220, 400, 580,
+                                                       760, 940, 1220};
+constexpr std::array<double, kVariants> kAddArea16 = {556, 254, 225,
+                                                      216, 210, 206};
+
+double log2w(int w) { return std::log2(static_cast<double>(std::max(w, 2))); }
+
+/// Interpolates a 6-point curve between (fastDelay, fastArea) and
+/// (slowDelay, slowArea) endpoints using the given anchor shape.
+VariantCurve shapedCurve(const Shape& s, double fastDelay, double slowDelay,
+                         double fastArea, double slowArea) {
+  // At tiny widths the ripple/array "small" architecture stops being
+  // smaller than the fast one; flatten the area axis so the curve stays
+  // monotone (one effective implementation).
+  slowArea = std::min(slowArea, fastArea);
+  std::vector<TradeoffPoint> pts;
+  pts.reserve(kVariants);
+  for (int i = 0; i < kVariants; ++i) {
+    TradeoffPoint p;
+    p.delay = fastDelay + (slowDelay - fastDelay) * s.delayShape[i];
+    p.area = fastArea - (fastArea - slowArea) * s.areaShape[i];
+    pts.push_back(p);
+  }
+  return VariantCurve(std::move(pts));
+}
+
+VariantCurve adderCurve(int w) {
+  static const Shape s = shapeFromAnchor(kAddDelay16, kAddArea16);
+  // Endpoint models calibrated so w == 16 reproduces the anchor exactly:
+  //   prefix adder:  delay = 55 * log2(w),     area = 8.6875 * w * log2(w)
+  //   ripple adder:  delay = 76.25 * w,        area = 12.875 * w
+  const double fastDelay = 55.0 * log2w(w);
+  const double slowDelay = 76.25 * w;
+  const double fastArea = 8.6875 * w * log2w(w);
+  const double slowArea = 12.875 * w;
+  return shapedCurve(s, fastDelay, slowDelay, fastArea, slowArea);
+}
+
+VariantCurve mulCurve(int w) {
+  static const Shape s = shapeFromAnchor(kMulDelay8, kMulArea8);
+  // Calibrated at w == 8:
+  //   Wallace tree: delay = 143.33 * log2(w),  area = 13.72 * w^2
+  //   array:        delay = 76.25 * w,         area = 7.97 * w^2
+  const double fastDelay = (430.0 / 3.0) * log2w(w);
+  const double slowDelay = 76.25 * w;
+  const double fastArea = (878.0 / 64.0) * w * w;
+  const double slowArea = (510.0 / 64.0) * w * w;
+  return shapedCurve(s, fastDelay, slowDelay, fastArea, slowArea);
+}
+
+VariantCurve divCurve(int w) {
+  // No paper anchor; textbook ratios relative to the multiplier: a
+  // non-restoring array divider is roughly 2.2x slower and 1.8x larger
+  // than the array multiplier of the same width.
+  VariantCurve mul = mulCurve(w);
+  std::vector<TradeoffPoint> pts;
+  for (const TradeoffPoint& p : mul.points()) {
+    pts.push_back({p.delay * 2.2, p.area * 1.8});
+  }
+  return VariantCurve(std::move(pts));
+}
+
+VariantCurve cmpCurve(int w) {
+  // A comparator is a subtractor without the sum output: adder delays,
+  // ~60 % of adder area.
+  VariantCurve add = adderCurve(w);
+  std::vector<TradeoffPoint> pts;
+  for (const TradeoffPoint& p : add.points()) {
+    pts.push_back({p.delay, p.area * 0.6});
+  }
+  return VariantCurve(std::move(pts));
+}
+
+VariantCurve logicCurve(int w) {
+  // Bitwise ops: one gate level; a slower drive-strength variant exists.
+  return VariantCurve({{40.0, 3.0 * w}, {80.0, 2.0 * w}});
+}
+
+VariantCurve shiftCurve(int w) {
+  // Barrel shifter: log2(w) mux levels; slow variant uses smaller muxes.
+  const double d = 30.0 * log2w(w);
+  const double a = 7.0 * w * log2w(w);
+  return VariantCurve({{d, a}, {1.6 * d, 0.72 * a}});
+}
+
+VariantCurve muxOpCurve(int w, const LibraryConfig& cfg) {
+  // A 2:1 data selector op (select / join phi).
+  return VariantCurve({{cfg.mux2Delay, cfg.mux2AreaPerBit * w}});
+}
+
+VariantCurve ioCurve(const LibraryConfig& cfg) {
+  // Protocol read/write: fixed handshake delay, port logic not counted in
+  // datapath area (it exists in both flows identically).
+  return VariantCurve({{cfg.ioDelay, 0.0}});
+}
+
+}  // namespace
+
+VariantCurve characterizeCurve(ResourceClass cls, int width,
+                               const LibraryConfig& cfg) {
+  THLS_REQUIRE(width > 0, strCat("cannot characterize width ", width));
+  switch (cls) {
+    case ResourceClass::kAddSub:
+      return adderCurve(width);
+    case ResourceClass::kMul:
+      return mulCurve(width);
+    case ResourceClass::kDiv:
+      return divCurve(width);
+    case ResourceClass::kCmp:
+      return cmpCurve(width);
+    case ResourceClass::kLogic:
+      return logicCurve(width);
+    case ResourceClass::kShift:
+      return shiftCurve(width);
+    case ResourceClass::kMux:
+      return muxOpCurve(width, cfg);
+    case ResourceClass::kIo:
+      return ioCurve(cfg);
+    case ResourceClass::kNone:
+      break;
+  }
+  throw HlsError("no curve for ResourceClass::kNone");
+}
+
+}  // namespace thls

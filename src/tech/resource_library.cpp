@@ -1,0 +1,115 @@
+#include "tech/resource_library.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace thls {
+
+VariantCurve::VariantCurve(std::vector<TradeoffPoint> points)
+    : points_(std::move(points)) {
+  THLS_REQUIRE(!points_.empty(), "variant curve needs at least one point");
+  std::sort(points_.begin(), points_.end(),
+            [](const TradeoffPoint& a, const TradeoffPoint& b) {
+              return a.delay < b.delay;
+            });
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    THLS_REQUIRE(points_[i].delay > points_[i - 1].delay,
+                 "variant curve has duplicate delays");
+    THLS_REQUIRE(points_[i].area <= points_[i - 1].area,
+                 strCat("variant curve is not monotone: slower variant at ",
+                        points_[i].delay, "ps has larger area"));
+  }
+}
+
+double VariantCurve::areaAt(double delay) const {
+  if (delay <= points_.front().delay) return points_.front().area;
+  if (delay >= points_.back().delay) return points_.back().area;
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    if (delay <= points_[i].delay) {
+      const TradeoffPoint& lo = points_[i - 1];
+      const TradeoffPoint& hi = points_[i];
+      double t = (delay - lo.delay) / (hi.delay - lo.delay);
+      return lo.area + t * (hi.area - lo.area);
+    }
+  }
+  return points_.back().area;
+}
+
+double VariantCurve::snapDelay(double budget) const {
+  if (budget <= points_.front().delay) return points_.front().delay;
+  if (budget >= points_.back().delay) return points_.back().delay;
+  return budget;  // continuous sizing: any delay inside the range
+}
+
+ResourceLibrary::ResourceLibrary(LibraryConfig cfg) : cfg_(cfg) {}
+
+ResourceLibrary ResourceLibrary::tsmc90(LibraryConfig cfg) {
+  return ResourceLibrary(cfg);
+}
+
+void ResourceLibrary::setCurve(ResourceClass cls, int width,
+                               VariantCurve curve) {
+  curves_[{cls, width}] = std::move(curve);
+}
+
+const VariantCurve& ResourceLibrary::curve(ResourceClass cls, int width) const {
+  THLS_REQUIRE(cls != ResourceClass::kNone,
+               "free operations have no resource curve");
+  auto key = std::make_pair(cls, width);
+  auto it = curves_.find(key);
+  if (it == curves_.end()) {
+    it = curves_.emplace(key, characterizeCurve(cls, width, cfg_)).first;
+  }
+  return it->second;
+}
+
+double ResourceLibrary::minDelay(OpKind kind, int width) const {
+  if (kind == OpKind::kOutput) return 0.0;
+  return curve(resourceClassOf(kind), width).minDelay();
+}
+
+double ResourceLibrary::maxDelay(OpKind kind, int width) const {
+  if (kind == OpKind::kOutput) return 0.0;
+  return curve(resourceClassOf(kind), width).maxDelay();
+}
+
+double ResourceLibrary::areaFor(OpKind kind, int width, double delay) const {
+  if (kind == OpKind::kOutput) return 0.0;
+  return curve(resourceClassOf(kind), width).areaAt(delay);
+}
+
+double ResourceLibrary::snapDelay(OpKind kind, int width, double budget) const {
+  if (kind == OpKind::kOutput) return 0.0;
+  const VariantCurve& c = curve(resourceClassOf(kind), width);
+  if (cfg_.continuousSizing) return c.snapDelay(budget);
+  // Discrete mode: the largest exact library point <= budget (or the
+  // fastest point when even that does not fit).
+  double best = c.minDelay();
+  for (const TradeoffPoint& p : c.points()) {
+    if (p.delay <= budget) best = p.delay;
+  }
+  return best;
+}
+
+double ResourceLibrary::muxDelay(int ways) const {
+  if (ways <= 1) return 0.0;
+  int levels = static_cast<int>(std::ceil(std::log2(static_cast<double>(ways))));
+  return cfg_.mux2Delay * levels;
+}
+
+double ResourceLibrary::muxArea(int width, int ways) const {
+  if (ways <= 1) return 0.0;
+  return cfg_.mux2AreaPerBit * width * (ways - 1);
+}
+
+double ResourceLibrary::registerArea(int width) const {
+  return cfg_.regAreaPerBit * width;
+}
+
+double ResourceLibrary::fsmArea(std::size_t numStates) const {
+  if (numStates <= 1) return 0.0;
+  double bits = std::ceil(std::log2(static_cast<double>(numStates)));
+  return cfg_.fsmAreaPerStateBit * bits;
+}
+
+}  // namespace thls

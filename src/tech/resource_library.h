@@ -1,0 +1,109 @@
+// Resource library with area/delay tradeoff curves (paper §II.A, Table 1).
+//
+// Every resource class x bitwidth has a *variant curve*: a set of
+// implementations ordered from fastest/largest (e.g. carry-lookahead adder,
+// Wallace-tree multiplier) to slowest/smallest (ripple-carry adder, array
+// multiplier).  The curve is anchored to the paper's exact TSMC-90nm
+// Table 1 numbers for the 8x8 multiplier and the 16-bit adder and is
+// extended to other widths with textbook architecture scaling models (see
+// characterize.cpp).
+//
+// Curves support continuous sizing: logic synthesis can realize any delay
+// between two variants by resizing gates, so area is interpolated piecewise
+// linearly (the paper's "Opt" solution uses a 550 ps multiplier, between the
+// 540 ps and 570 ps table rows).
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "ir/op_kind.h"
+#include "support/diagnostics.h"
+
+namespace thls {
+
+struct TradeoffPoint {
+  double delay = 0;  ///< pin-to-pin delay, ps
+  double area = 0;   ///< cell area, library units
+};
+
+/// Monotone delay/area curve: delays ascending, areas strictly descending.
+class VariantCurve {
+ public:
+  VariantCurve() = default;
+  explicit VariantCurve(std::vector<TradeoffPoint> points);
+
+  const std::vector<TradeoffPoint>& points() const { return points_; }
+  double minDelay() const { return points_.front().delay; }
+  double maxDelay() const { return points_.back().delay; }
+  double minArea() const { return points_.back().area; }
+  double maxArea() const { return points_.front().area; }
+
+  /// Area of the smallest implementation meeting `delay` (piecewise-linear
+  /// interpolation, clamped to the curve's delay range).
+  double areaAt(double delay) const;
+
+  /// Largest implementable delay <= budget, clamped to [minDelay, maxDelay].
+  /// This is the delay the budgeter actually assigns for a slack budget.
+  double snapDelay(double budget) const;
+
+ private:
+  std::vector<TradeoffPoint> points_;
+};
+
+struct LibraryConfig {
+  /// Delay of protocol read/write operations ("d" in the paper's Table 3).
+  double ioDelay = 50.0;
+  /// Register clk->q plus setup charged once per state-local chain.  The
+  /// paper's illustrative examples ignore it; the real tool estimates it.
+  double seqMargin = 0.0;
+  double regAreaPerBit = 6.0;
+  double mux2Delay = 36.0;
+  double mux2AreaPerBit = 2.2;
+  /// FSM cost per state-encoding flip-flop (FF + decode share).
+  double fsmAreaPerStateBit = 40.0;
+  /// When false, snapDelay only returns exact library points (no resize).
+  bool continuousSizing = true;
+};
+
+/// Characterized technology library.  Thread-compatible: characterization
+/// results are cached per (class, width) on first use.
+class ResourceLibrary {
+ public:
+  explicit ResourceLibrary(LibraryConfig cfg = {});
+
+  /// The default library anchored to the paper's Table 1 (TSMC 90nm).
+  static ResourceLibrary tsmc90(LibraryConfig cfg = {});
+
+  const LibraryConfig& config() const { return cfg_; }
+
+  /// Registers/overrides a custom curve (used to model user libraries).
+  void setCurve(ResourceClass cls, int width, VariantCurve curve);
+
+  /// Tradeoff curve for a resource class at a bitwidth; characterizes and
+  /// caches on first use.  Throws HlsError for ResourceClass::kNone.
+  const VariantCurve& curve(ResourceClass cls, int width) const;
+
+  /// Convenience accessors by op kind.
+  double minDelay(OpKind kind, int width) const;
+  double maxDelay(OpKind kind, int width) const;
+  double areaFor(OpKind kind, int width, double delay) const;
+  double snapDelay(OpKind kind, int width, double budget) const;
+
+  /// Steering-logic and storage models.
+  double muxDelay(int ways) const;
+  double muxArea(int width, int ways) const;
+  double registerArea(int width) const;
+  double fsmArea(std::size_t numStates) const;
+
+ private:
+  LibraryConfig cfg_;
+  mutable std::map<std::pair<ResourceClass, int>, VariantCurve> curves_;
+};
+
+/// Builds the analytic curve for (cls, width) under `cfg`; exact Table 1
+/// points at the paper's anchor widths.  Defined in characterize.cpp.
+VariantCurve characterizeCurve(ResourceClass cls, int width,
+                               const LibraryConfig& cfg);
+
+}  // namespace thls

@@ -1,0 +1,109 @@
+#include "timing/bellman_ford.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace thls {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+TimingResult bellmanFordSlack(const TimedDfg& graph,
+                              const std::vector<double>& delays,
+                              const TimingOptions& opts) {
+  const double T = opts.clockPeriod;
+  THLS_REQUIRE(T > 0, "clock period must be positive");
+  const std::size_t n = graph.numNodes();
+  std::vector<double> del(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const TimedNode& tn = graph.node(TimedNodeId(static_cast<std::int32_t>(i)));
+    del[i] = tn.isSink ? 0.0 : delays[tn.op.index()];
+  }
+
+  auto alignArr = [&](std::size_t i, double a) {
+    if (!opts.aligned || graph.node(TimedNodeId(static_cast<std::int32_t>(i))).isSink)
+      return a;
+    return alignStartUp(std::max(a, 0.0), del[i], T, opts.epsilon);
+  };
+  auto alignReq = [&](std::size_t i, double r) {
+    if (!opts.aligned || graph.node(TimedNodeId(static_cast<std::int32_t>(i))).isSink)
+      return r;
+    return alignStartDown(r, del[i], T, opts.epsilon);
+  };
+
+  // Arrival: longest-path fixpoint by repeated relaxation over the raw edge
+  // list (no topological ordering -- that is the point of the comparison).
+  std::vector<double> arr(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    TimedNodeId id(static_cast<std::int32_t>(i));
+    // Aligned arrivals are clamped at 0 everywhere, so 0 is the correct
+    // relaxation floor; unaligned non-sources start at -inf.
+    arr[i] = (opts.aligned || graph.inEdges(id).empty()) ? alignArr(i, 0.0)
+                                                         : -kInf;
+  }
+  for (std::size_t pass = 0; pass < n; ++pass) {
+    bool changed = false;
+    for (const TimedEdge& e : graph.edges()) {
+      if (!std::isfinite(arr[e.from.index()])) continue;
+      double cand = alignArr(
+          e.to.index(),
+          arr[e.from.index()] + del[e.from.index()] - T * e.weight);
+      if (cand > arr[e.to.index()] + opts.epsilon) {
+        arr[e.to.index()] = cand;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+
+  // Required: shortest-path fixpoint, sinks seeded with T.
+  std::vector<double> req(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    TimedNodeId id(static_cast<std::int32_t>(i));
+    req[i] = graph.outEdges(id).empty() ? alignReq(i, T) : kInf;
+  }
+  for (std::size_t pass = 0; pass < n; ++pass) {
+    bool changed = false;
+    for (const TimedEdge& e : graph.edges()) {
+      const std::size_t i = e.from.index();
+      if (req[e.to.index()] == kInf) continue;
+      double cand = alignReq(i, req[e.to.index()] - del[i] + T * e.weight);
+      if (cand < req[i] - opts.epsilon) {
+        req[i] = cand;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+
+  TimingResult result;
+  result.perOp.assign(graph.dfg().numOps(), OpTiming{});
+  result.minSlack = kInf;
+  for (std::size_t i = 0; i < n; ++i) {
+    const TimedNode& tn = graph.node(TimedNodeId(static_cast<std::int32_t>(i)));
+    if (tn.isSink) continue;
+    OpTiming& t = result.perOp[tn.op.index()];
+    t.arrival = arr[i];
+    t.required = req[i];
+    t.slack = req[i] - arr[i];
+    result.minSlack = std::min(result.minSlack, t.slack);
+  }
+  if (result.minSlack == kInf) result.minSlack = 0.0;
+  result.feasible = result.minSlack >= -opts.epsilon;
+  return result;
+}
+
+TimingResult analyzeTiming(TimingEngine engine, const TimedDfg& graph,
+                           const std::vector<double>& delays,
+                           const TimingOptions& opts) {
+  switch (engine) {
+    case TimingEngine::kSequential:
+      return sequentialSlack(graph, delays, opts);
+    case TimingEngine::kBellmanFord:
+      return bellmanFordSlack(graph, delays, opts);
+  }
+  throw HlsError("unknown timing engine");
+}
+
+}  // namespace thls

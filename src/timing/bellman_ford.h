@@ -1,0 +1,34 @@
+// Bellman-Ford timing analysis over the constraint graph.
+//
+// Reference comparator reproducing the prior-work formulation of
+// Chandrachoodan et al. [10] that the paper benchmarks against in Table 5:
+// the same arrival/required fixpoint is reached by repeated relaxation
+// passes over an *unordered* edge list instead of a single topological
+// sweep.  On a DAG this needs O(diameter) passes of O(E) relaxations,
+// i.e. O(V*E) worst case, which is exactly why the paper calls the approach
+// impractical inside a scheduling inner loop.
+//
+// Results are bit-identical to sequentialSlack() -- asserted by the
+// property tests -- only slower.
+#pragma once
+
+#include "timing/slack.h"
+
+namespace thls {
+
+/// Same contract as sequentialSlack(); Bellman-Ford relaxation engine.
+TimingResult bellmanFordSlack(const TimedDfg& graph,
+                              const std::vector<double>& delays,
+                              const TimingOptions& opts);
+
+/// Engine selector used by the scheduler so Table 5 can swap analyses.
+enum class TimingEngine {
+  kSequential,   ///< topological sweep (the paper's contribution)
+  kBellmanFord,  ///< prior-work relaxation (comparator)
+};
+
+TimingResult analyzeTiming(TimingEngine engine, const TimedDfg& graph,
+                           const std::vector<double>& delays,
+                           const TimingOptions& opts);
+
+}  // namespace thls

@@ -1,0 +1,112 @@
+#include "timing/slack.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace thls {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+double alignStartUp(double start, double delay, double period, double eps) {
+  if (delay > period + eps) return kInf;
+  double cycle = std::floor(start / period);
+  double phase = start - cycle * period;
+  if (phase + delay > period + eps) {
+    return (cycle + 1) * period;
+  }
+  return start;
+}
+
+double alignStartDown(double start, double delay, double period, double eps) {
+  if (delay > period + eps) return -kInf;
+  double cycle = std::floor(start / period);
+  double phase = start - cycle * period;
+  if (phase + delay > period + eps) {
+    // Latest fitting start inside cycle `cycle`.
+    return cycle * period + (period - delay);
+  }
+  return start;
+}
+
+TimingResult sequentialSlack(const TimedDfg& graph,
+                             const std::vector<double>& delays,
+                             const TimingOptions& opts) {
+  const double T = opts.clockPeriod;
+  THLS_REQUIRE(T > 0, "clock period must be positive");
+  const std::size_t n = graph.numNodes();
+  std::vector<double> arr(n, 0.0), req(n, 0.0), del(n, 0.0);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const TimedNode& tn = graph.node(TimedNodeId(static_cast<std::int32_t>(i)));
+    del[i] = tn.isSink ? 0.0 : delays[tn.op.index()];
+  }
+
+  // Forward sweep: arrival = max over predecessors; 0 at sources only
+  // (non-source arrivals may legitimately be negative, Def. 3).
+  for (TimedNodeId id : graph.topoOrder()) {
+    const std::size_t i = id.index();
+    double a = graph.inEdges(id).empty() ? 0.0 : -kInf;
+    for (std::size_t ei : graph.inEdges(id)) {
+      const TimedEdge& e = graph.edges()[ei];
+      a = std::max(a, arr[e.from.index()] + del[e.from.index()] -
+                          T * e.weight);
+    }
+    if (opts.aligned && !graph.node(id).isSink && std::isfinite(a)) {
+      // Aligned (physical) arrivals cannot precede the op's earliest cycle:
+      // negative "borrowed" time is a pure-analysis artifact (Def. 3 keeps
+      // it; the clock-respecting generalization must not).
+      a = alignStartUp(std::max(a, 0.0), del[i], T, opts.epsilon);
+    }
+    arr[i] = a;
+  }
+
+  // Backward sweep: required = min over successors; sinks get T.
+  const auto& topo = graph.topoOrder();
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    TimedNodeId id = *it;
+    const std::size_t i = id.index();
+    double r = kInf;
+    for (std::size_t ei : graph.outEdges(id)) {
+      const TimedEdge& e = graph.edges()[ei];
+      r = std::min(r, req[e.to.index()] - del[i] + T * e.weight);
+    }
+    if (graph.outEdges(id).empty()) r = T;  // sink nodes
+    if (opts.aligned && !graph.node(id).isSink) {
+      r = alignStartDown(r, del[i], T, opts.epsilon);
+    }
+    req[i] = r;
+  }
+
+  TimingResult result;
+  result.perOp.assign(graph.dfg().numOps(), OpTiming{});
+  result.minSlack = kInf;
+  for (std::size_t i = 0; i < n; ++i) {
+    const TimedNode& tn = graph.node(TimedNodeId(static_cast<std::int32_t>(i)));
+    if (tn.isSink) continue;
+    OpTiming& t = result.perOp[tn.op.index()];
+    t.arrival = arr[i];
+    t.required = req[i];
+    t.slack = req[i] - arr[i];
+    result.minSlack = std::min(result.minSlack, t.slack);
+  }
+  if (result.minSlack == kInf) result.minSlack = 0.0;  // no hardware ops
+  result.feasible = result.minSlack >= -opts.epsilon;
+  return result;
+}
+
+std::vector<OpId> criticalOps(const TimedDfg& graph, const TimingResult& result,
+                              double tolerance) {
+  std::vector<OpId> crit;
+  for (std::size_t i = 0; i < graph.numNodes(); ++i) {
+    const TimedNode& tn = graph.node(TimedNodeId(static_cast<std::int32_t>(i)));
+    if (tn.isSink) continue;
+    if (result.perOp[tn.op.index()].slack <= result.minSlack + tolerance) {
+      crit.push_back(tn.op);
+    }
+  }
+  return crit;
+}
+
+}  // namespace thls

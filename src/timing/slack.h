@@ -1,0 +1,69 @@
+// Sequential-slack timing analysis (paper §V, Definitions 3-4, Fig. 6).
+//
+//   Arr(o) = max over preds p of  Arr(p) + del(p) - T * latency(p, o)
+//   Req(o) = min over succs s of  Req(s) - del(o) + T * latency(o, s)
+//   slack(o) = Req(o) - Arr(o)
+//
+// with Arr = 0 at sources and Req = T at sink nodes.  Computed in one
+// forward and one backward sweep over the topological order -- worst-case
+// linear in the number of timed-DFG edges (the paper's key complexity claim
+// versus the Bellman-Ford formulation of [10], see bellman_ford.h).
+//
+// *Aligned* slack additionally forbids an operation from straddling a clock
+// boundary: a start time a with delay d must satisfy
+// (a - floor(a/T)*T) + d <= T.  Aligned arrivals round up to the next clock
+// edge; aligned required times round down to the last fitting start.
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "timing/timed_dfg.h"
+
+namespace thls {
+
+struct OpTiming {
+  double arrival = 0;
+  double required = 0;
+  double slack = 0;
+};
+
+struct TimingResult {
+  /// Indexed by OpId; entries for free ops are value-initialized.
+  std::vector<OpTiming> perOp;
+  double minSlack = std::numeric_limits<double>::infinity();
+  /// True when every operation has non-negative slack (within epsilon).
+  bool feasible = false;
+
+  double slack(OpId op) const { return perOp[op.index()].slack; }
+};
+
+struct TimingOptions {
+  double clockPeriod = 0;
+  /// Respect clock boundaries (aligned slack).
+  bool aligned = false;
+  /// Slack comparison tolerance.
+  double epsilon = 1e-6;
+};
+
+/// One forward + one backward topological sweep.  `delays` is indexed by
+/// OpId (entries for free ops ignored).
+TimingResult sequentialSlack(const TimedDfg& graph,
+                             const std::vector<double>& delays,
+                             const TimingOptions& opts);
+
+/// Ops whose slack is within `tolerance` of the minimum (the critical set;
+/// on a critical path all ops share the minimal slack, §V Table 3).
+std::vector<OpId> criticalOps(const TimedDfg& graph, const TimingResult& result,
+                              double tolerance);
+
+/// Rounds `start` up to the next clock edge when [start, start+delay] would
+/// straddle one.  Returns +infinity when delay > T (the op can never fit).
+double alignStartUp(double start, double delay, double period, double eps);
+
+/// Rounds `start` down to the latest time <= start at which [start',
+/// start'+delay] fits inside one clock cycle.  Returns -infinity when
+/// delay > T.
+double alignStartDown(double start, double delay, double period, double eps);
+
+}  // namespace thls

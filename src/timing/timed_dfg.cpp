@@ -1,0 +1,75 @@
+#include "timing/timed_dfg.h"
+
+#include <set>
+
+#include "support/topo.h"
+
+namespace thls {
+
+TimedNodeId TimedDfg::addNode(OpId op, bool isSink) {
+  TimedNodeId id(static_cast<std::int32_t>(nodes_.size()));
+  nodes_.push_back({op, isSink});
+  in_.emplace_back();
+  out_.emplace_back();
+  return id;
+}
+
+void TimedDfg::addEdge(TimedNodeId from, TimedNodeId to, int weight) {
+  THLS_ASSERT(weight >= 0, "timed-DFG edge weights are non-negative");
+  std::size_t idx = edges_.size();
+  edges_.push_back({from, to, weight});
+  out_[from.index()].push_back(idx);
+  in_[to.index()].push_back(idx);
+}
+
+TimedDfg::TimedDfg(const Cfg& cfg, const Dfg& dfg, const LatencyTable& lat,
+                   const OpSpanAnalysis& spans)
+    : dfg_(&dfg) {
+  (void)cfg;
+  opToNode_.assign(dfg.numOps(), TimedNodeId::invalid());
+
+  // Step 2-3: one node per hardware op, plus its sink.
+  for (std::size_t i = 0; i < dfg.numOps(); ++i) {
+    OpId op(static_cast<std::int32_t>(i));
+    if (isFreeKind(dfg.op(op).kind)) continue;
+    opToNode_[i] = addNode(op, /*isSink=*/false);
+  }
+  for (std::size_t i = 0; i < dfg.numOps(); ++i) {
+    OpId op(static_cast<std::int32_t>(i));
+    if (!opToNode_[i].valid()) continue;
+    TimedNodeId sink = addNode(op, /*isSink=*/true);
+    int w = lat.latency(spans.early(op), spans.late(op));
+    THLS_ASSERT(w != LatencyTable::kUndefined,
+                strCat("late edge of '", dfg.op(op).name,
+                       "' not reachable from its early edge"));
+    addEdge(opToNode_[i], sink, w);
+  }
+
+  // Step 1 + 4: forward dependences weighted by early-edge latency.
+  std::set<std::pair<std::int32_t, std::int32_t>> seen;
+  for (const DataDependence& d : dfg.dependences()) {
+    if (d.loopCarried) continue;
+    TimedNodeId a = opToNode_[d.from.index()];
+    TimedNodeId b = opToNode_[d.to.index()];
+    if (!a.valid() || !b.valid()) continue;  // endpoint is a free op
+    if (!seen.insert({a.value(), b.value()}).second) continue;
+    int w = lat.latency(spans.early(d.from), spans.early(d.to));
+    THLS_ASSERT(w != LatencyTable::kUndefined,
+                strCat("early edge of '", dfg.op(d.to).name,
+                       "' not reachable from early edge of '",
+                       dfg.op(d.from).name, "'"));
+    addEdge(a, b, w);
+  }
+
+  auto forEachSucc = [&](std::size_t u, const std::function<void(std::size_t)>& cb) {
+    for (std::size_t ei : out_[u]) cb(edges_[ei].to.index());
+  };
+  auto order = topologicalOrder(nodes_.size(), forEachSucc);
+  THLS_ASSERT(order.has_value(), "timed DFG must be acyclic");
+  topo_.reserve(order->size());
+  for (std::size_t idx : *order) {
+    topo_.push_back(TimedNodeId(static_cast<std::int32_t>(idx)));
+  }
+}
+
+}  // namespace thls

@@ -1,0 +1,68 @@
+// Timed DFG (paper §V, Definition 2).
+//
+// Derived from the DFG by: (1) dropping loop-carried (backward) dependences,
+// (2) dropping free operations (constants, copies, register-fed inputs),
+// (3) adding one sink node s(o) per operation with early(s(o)) = late(o),
+// and (4) weighting every edge with the latency between the early edges of
+// its endpoints.  The result is an acyclic netlist-like graph on which
+// sequential arrival/required times are well defined.
+#pragma once
+
+#include <vector>
+
+#include "ir/dfg.h"
+#include "ir/latency.h"
+#include "ir/opspan.h"
+
+namespace thls {
+
+struct TimedNode {
+  OpId op;             ///< originating operation (also set for its sink)
+  bool isSink = false;
+};
+
+struct TimedEdge {
+  TimedNodeId from;
+  TimedNodeId to;
+  int weight = 0;  ///< latency in clock cycles (>= 0)
+};
+
+class TimedDfg {
+ public:
+  TimedDfg(const Cfg& cfg, const Dfg& dfg, const LatencyTable& lat,
+           const OpSpanAnalysis& spans);
+
+  std::size_t numNodes() const { return nodes_.size(); }
+  const TimedNode& node(TimedNodeId id) const { return nodes_[id.index()]; }
+  const std::vector<TimedEdge>& edges() const { return edges_; }
+
+  /// Timed node of a (non-free) operation; invalid for free ops.
+  TimedNodeId nodeOf(OpId op) const { return opToNode_[op.index()]; }
+  bool hasNode(OpId op) const { return opToNode_[op.index()].valid(); }
+
+  const std::vector<std::size_t>& inEdges(TimedNodeId id) const {
+    return in_[id.index()];
+  }
+  const std::vector<std::size_t>& outEdges(TimedNodeId id) const {
+    return out_[id.index()];
+  }
+
+  /// Nodes in topological order (sources first).
+  const std::vector<TimedNodeId>& topoOrder() const { return topo_; }
+
+  const Dfg& dfg() const { return *dfg_; }
+
+ private:
+  TimedNodeId addNode(OpId op, bool isSink);
+  void addEdge(TimedNodeId from, TimedNodeId to, int weight);
+
+  std::vector<TimedNode> nodes_;
+  std::vector<TimedEdge> edges_;
+  std::vector<std::vector<std::size_t>> in_;
+  std::vector<std::vector<std::size_t>> out_;
+  std::vector<TimedNodeId> opToNode_;
+  std::vector<TimedNodeId> topo_;
+  const Dfg* dfg_;
+};
+
+}  // namespace thls

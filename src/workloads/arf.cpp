@@ -1,0 +1,66 @@
+// Auto-regressive lattice filter -- the classic 28-operation HLS benchmark
+// (16 multiplications, 12 additions), two parallel lattice chains.
+#include "workloads/workloads.h"
+
+namespace thls::workloads {
+
+Behavior makeArf(int latencyStates, int width) {
+  THLS_REQUIRE(latencyStates >= 1, "need at least one state");
+  BehaviorBuilder b("arf");
+
+  Value x0 = b.input("x0", width);
+  Value x1 = b.input("x1", width);
+  Value x2 = b.input("x2", width);
+  Value x3 = b.input("x3", width);
+
+  auto cst = [&](long long v) { return b.constant(v, width); };
+  auto add = [&](Value a, Value c, const std::string& n) {
+    return b.binary(OpKind::kAdd, a, c, width, n);
+  };
+  auto mul = [&](Value a, Value c, const std::string& n) {
+    return b.binary(OpKind::kMul, a, c, width, n);
+  };
+
+  // Stage 1: 8 coefficient multiplies.
+  Value m1 = mul(x0, cst(3), "m1");
+  Value m2 = mul(x0, cst(5), "m2");
+  Value m3 = mul(x1, cst(7), "m3");
+  Value m4 = mul(x1, cst(11), "m4");
+  Value m5 = mul(x2, cst(13), "m5");
+  Value m6 = mul(x2, cst(17), "m6");
+  Value m7 = mul(x3, cst(19), "m7");
+  Value m8 = mul(x3, cst(23), "m8");
+
+  // Stage 2: pairwise adds.
+  Value a1 = add(m1, m3, "a1");
+  Value a2 = add(m2, m4, "a2");
+  Value a3 = add(m5, m7, "a3");
+  Value a4 = add(m6, m8, "a4");
+
+  // Stage 3: cross multiplies.
+  Value m9 = mul(a1, cst(29), "m9");
+  Value m10 = mul(a1, cst(31), "m10");
+  Value m11 = mul(a2, cst(37), "m11");
+  Value m12 = mul(a2, cst(41), "m12");
+  Value m13 = mul(a3, cst(43), "m13");
+  Value m14 = mul(a3, cst(47), "m14");
+  Value m15 = mul(a4, cst(53), "m15");
+  Value m16 = mul(a4, cst(59), "m16");
+
+  // Stage 4: reduction.
+  Value a5 = add(m9, m13, "a5");
+  Value a6 = add(m10, m14, "a6");
+  Value a7 = add(m11, m15, "a7");
+  Value a8 = add(m12, m16, "a8");
+  Value a9 = add(a5, a7, "a9");
+  Value a10 = add(a6, a8, "a10");
+  Value a11 = add(a9, a10, "a11");
+  Value a12 = add(a11, x0, "a12");
+
+  for (int s = 0; s < latencyStates - 1; ++s) b.wait();
+  b.output("y", a12);
+  b.wait();
+  return b.finish();
+}
+
+}  // namespace thls::workloads

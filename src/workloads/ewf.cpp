@@ -1,0 +1,81 @@
+// Fifth-order elliptic wave filter -- the classic 34-operation HLS
+// scheduling benchmark (26 additions, 8 multiplications).  State variables
+// (the filter's delay elements) enter as register-fed inputs and exit as
+// outputs; the loop-carried feedback is outside the scheduled iteration,
+// matching how the benchmark is used throughout the HLS literature.
+#include "workloads/workloads.h"
+
+namespace thls::workloads {
+
+Behavior makeEwf(int latencyStates, int width) {
+  THLS_REQUIRE(latencyStates >= 1, "need at least one state");
+  BehaviorBuilder b("ewf");
+
+  Value in = b.input("in", width);
+  // Seven delay-line state variables sv2, sv13, sv18, sv26, sv33, sv38, sv39.
+  Value sv2 = b.input("sv2", width);
+  Value sv13 = b.input("sv13", width);
+  Value sv18 = b.input("sv18", width);
+  Value sv26 = b.input("sv26", width);
+  Value sv33 = b.input("sv33", width);
+  Value sv38 = b.input("sv38", width);
+  Value sv39 = b.input("sv39", width);
+
+  auto cst = [&](long long v) { return b.constant(v, width); };
+  auto add = [&](Value x, Value y, const char* n) {
+    return b.binary(OpKind::kAdd, x, y, width, n);
+  };
+  auto mul = [&](Value x, Value y, const char* n) {
+    return b.binary(OpKind::kMul, x, y, width, n);
+  };
+
+  // Standard EWF dataflow (Kung/Whitehouse formulation).
+  Value t1 = add(in, sv2, "a1");
+  Value t2 = add(t1, sv33, "a2");
+  Value t3 = add(t2, sv39, "a3");
+  Value m1 = mul(t3, cst(3), "m1");
+  Value t4 = add(m1, sv13, "a4");
+  Value m2 = mul(t4, cst(5), "m2");
+  Value t5 = add(m2, t3, "a5");
+  Value t6 = add(t5, sv18, "a6");
+  Value m3 = mul(t6, cst(7), "m3");
+  Value t7 = add(m3, t5, "a7");
+  Value t8 = add(t7, sv26, "a8");
+  Value t9 = add(t8, t6, "a9");
+  Value m4 = mul(t9, cst(11), "m4");
+  Value t10 = add(m4, t8, "a10");
+  Value t11 = add(t10, sv38, "a11");
+  Value m5 = mul(t11, cst(13), "m5");
+  Value t12 = add(m5, t10, "a12");
+  Value t13 = add(t12, t11, "a13");
+  Value m6 = mul(t13, cst(17), "m6");
+  Value t14 = add(m6, t12, "a14");
+  Value t15 = add(t14, t13, "a15");
+  Value m7 = mul(t15, cst(19), "m7");
+  Value t16 = add(m7, t14, "a16");
+  Value t17 = add(t16, t15, "a17");
+  Value m8 = mul(t17, cst(23), "m8");
+  Value t18 = add(m8, t16, "a18");
+  Value t19 = add(t18, t17, "a19");
+  Value t20 = add(t19, t2, "a20");
+  Value t21 = add(t20, t1, "a21");
+  Value t22 = add(t21, t4, "a22");
+  Value t23 = add(t22, t7, "a23");
+  Value t24 = add(t23, t10, "a24");
+  Value t25 = add(t24, t12, "a25");
+  Value t26 = add(t25, t16, "a26");
+
+  for (int s = 0; s < latencyStates - 1; ++s) b.wait();
+  b.output("out", t26);
+  b.output("nsv2", t21);
+  b.output("nsv13", t22);
+  b.output("nsv18", t23);
+  b.output("nsv26", t24);
+  b.output("nsv33", t20);
+  b.output("nsv38", t25);
+  b.output("nsv39", t19);
+  b.wait();
+  return b.finish();
+}
+
+}  // namespace thls::workloads

@@ -1,0 +1,77 @@
+// Radix-2 decimation-in-time FFT over `points` complex samples with
+// fixed-point twiddle constants.  Each butterfly costs a complex multiply
+// (4 mul + 2 add/sub) plus a complex add and subtract (4 add/sub).
+#include <cmath>
+
+#include "workloads/workloads.h"
+
+namespace thls::workloads {
+
+namespace {
+
+struct Cplx {
+  Value re, im;
+};
+
+Cplx cmulConst(BehaviorBuilder& b, Cplx a, long long wr, long long wi,
+               int width, const std::string& tag) {
+  Value cr = b.constant(wr, width);
+  Value ci = b.constant(wi, width);
+  Value rr = b.binary(OpKind::kMul, a.re, cr, width, tag + "_rr");
+  Value ii = b.binary(OpKind::kMul, a.im, ci, width, tag + "_ii");
+  Value ri = b.binary(OpKind::kMul, a.re, ci, width, tag + "_ri");
+  Value ir = b.binary(OpKind::kMul, a.im, cr, width, tag + "_ir");
+  Cplx out;
+  out.re = b.binary(OpKind::kSub, rr, ii, width, tag + "_re");
+  out.im = b.binary(OpKind::kAdd, ri, ir, width, tag + "_im");
+  return out;
+}
+
+}  // namespace
+
+Behavior makeFft(int points, int latencyStates, int width) {
+  THLS_REQUIRE(points >= 2 && (points & (points - 1)) == 0,
+               "FFT size must be a power of two");
+  THLS_REQUIRE(latencyStates >= 1, "need at least one state");
+  BehaviorBuilder b("fft");
+
+  std::vector<Cplx> v(points);
+  for (int i = 0; i < points; ++i) {
+    v[i].re = b.input(strCat("re", i), width);
+    v[i].im = b.input(strCat("im", i), width);
+  }
+
+  const double kScale = 4096.0;
+  int stage = 0;
+  for (int half = 1; half < points; half *= 2, ++stage) {
+    std::vector<Cplx> next(points);
+    for (int g = 0; g < points; g += 2 * half) {
+      for (int k = 0; k < half; ++k) {
+        double angle = -M_PI * k / half;
+        long long wr = static_cast<long long>(std::cos(angle) * kScale);
+        long long wi = static_cast<long long>(std::sin(angle) * kScale);
+        std::string tag = strCat("s", stage, "_b", g + k);
+        Cplx t = cmulConst(b, v[g + k + half], wr, wi, width, tag);
+        next[g + k].re =
+            b.binary(OpKind::kAdd, v[g + k].re, t.re, width, tag + "_pr");
+        next[g + k].im =
+            b.binary(OpKind::kAdd, v[g + k].im, t.im, width, tag + "_pi");
+        next[g + k + half].re =
+            b.binary(OpKind::kSub, v[g + k].re, t.re, width, tag + "_mr");
+        next[g + k + half].im =
+            b.binary(OpKind::kSub, v[g + k].im, t.im, width, tag + "_mi");
+      }
+    }
+    v = std::move(next);
+  }
+
+  for (int s = 0; s < latencyStates - 1; ++s) b.wait();
+  for (int i = 0; i < points; ++i) {
+    b.output(strCat("outre", i), v[i].re);
+    b.output(strCat("outim", i), v[i].im);
+  }
+  b.wait();
+  return b.finish();
+}
+
+}  // namespace thls::workloads

@@ -1,0 +1,38 @@
+// Direct-form FIR filter: `taps` coefficient multiplies + a balanced adder
+// tree.  Tap delay-line values arrive as register-fed inputs.
+#include "workloads/workloads.h"
+
+namespace thls::workloads {
+
+Behavior makeFir(int taps, int latencyStates, int width) {
+  THLS_REQUIRE(taps >= 2, "need at least two taps");
+  THLS_REQUIRE(latencyStates >= 1, "need at least one state");
+  BehaviorBuilder b("fir");
+
+  std::vector<Value> products;
+  for (int i = 0; i < taps; ++i) {
+    Value x = b.input(strCat("x", i), width);
+    Value c = b.constant(2 * i + 1, width);
+    products.push_back(
+        b.binary(OpKind::kMul, x, c, width, strCat("p", i)));
+  }
+  // Balanced reduction tree.
+  int level = 0;
+  while (products.size() > 1) {
+    std::vector<Value> next;
+    for (std::size_t i = 0; i + 1 < products.size(); i += 2) {
+      next.push_back(b.binary(OpKind::kAdd, products[i], products[i + 1],
+                              width, strCat("s", level, "_", i / 2)));
+    }
+    if (products.size() % 2 == 1) next.push_back(products.back());
+    products = std::move(next);
+    ++level;
+  }
+
+  for (int s = 0; s < latencyStates - 1; ++s) b.wait();
+  b.output("y", products.front());
+  b.wait();
+  return b.finish();
+}
+
+}  // namespace thls::workloads

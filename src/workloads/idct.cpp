@@ -1,0 +1,132 @@
+// Chen-style 8-point IDCT kernel and the 8x8 row-column transform --
+// the paper's §VII workload ("an IDCT algorithm used in video decoding").
+//
+// The kernel follows the classic butterfly decomposition: a 4-point even
+// part plus an odd part built from rotators (a,b) -> (a*c - b*s, a*s + b*c).
+// Constant coefficients are DFG kConst nodes (stripped from timing per §V);
+// each rotator contributes 4 multiplications and 2 additions, for a total
+// of 14 mul / 24 add/sub per 8-point kernel (Chen-flavored counts).
+#include "workloads/workloads.h"
+
+namespace thls::workloads {
+
+namespace {
+
+// Fixed-point cosine coefficients (x4096), values only matter for realism.
+constexpr long long kC1 = 4017, kS1 = 799;   // cos(pi/16), sin(pi/16)
+constexpr long long kC3 = 3406, kS3 = 2276;  // cos(3pi/16), sin(3pi/16)
+constexpr long long kC6 = 1567, kS6 = 3784;  // cos(6pi/16), sin(6pi/16)
+constexpr long long kSqrt2 = 2896;           // sqrt(2)/2 * 4096
+
+struct RotOut {
+  Value lo, hi;
+};
+
+/// Rotator: (a, b) -> (a*c - b*s, a*s + b*c).  4 mul + 2 add/sub.
+RotOut rotate(BehaviorBuilder& b, Value a, Value v, long long c, long long s,
+              int width, const std::string& tag) {
+  Value cc = b.constant(c, width);
+  Value cs = b.constant(s, width);
+  Value ac = b.binary(OpKind::kMul, a, cc, width, tag + "_ac");
+  Value bs = b.binary(OpKind::kMul, v, cs, width, tag + "_bs");
+  Value as = b.binary(OpKind::kMul, a, cs, width, tag + "_as");
+  Value bc = b.binary(OpKind::kMul, v, cc, width, tag + "_bc");
+  RotOut out;
+  out.lo = b.binary(OpKind::kSub, ac, bs, width, tag + "_lo");
+  out.hi = b.binary(OpKind::kAdd, as, bc, width, tag + "_hi");
+  return out;
+}
+
+/// One 8-point IDCT kernel over SSA values; returns the 8 spatial outputs.
+std::array<Value, 8> idctKernel(BehaviorBuilder& b,
+                                const std::array<Value, 8>& s, int width,
+                                const std::string& tag) {
+  // Even part: s0, s4 butterfly; s2, s6 rotator.
+  Value e0 = b.binary(OpKind::kAdd, s[0], s[4], width, tag + "_e0");
+  Value e1 = b.binary(OpKind::kSub, s[0], s[4], width, tag + "_e1");
+  RotOut r26 = rotate(b, s[2], s[6], kC6, kS6, width, tag + "_r26");
+  Value even0 = b.binary(OpKind::kAdd, e0, r26.hi, width, tag + "_f0");
+  Value even3 = b.binary(OpKind::kSub, e0, r26.hi, width, tag + "_f3");
+  Value even1 = b.binary(OpKind::kAdd, e1, r26.lo, width, tag + "_f1");
+  Value even2 = b.binary(OpKind::kSub, e1, r26.lo, width, tag + "_f2");
+
+  // Odd part: two rotators + sqrt2 stage.
+  RotOut r17 = rotate(b, s[1], s[7], kC1, kS1, width, tag + "_r17");
+  RotOut r53 = rotate(b, s[5], s[3], kC3, kS3, width, tag + "_r53");
+  Value o0 = b.binary(OpKind::kAdd, r17.hi, r53.hi, width, tag + "_o0");
+  Value o3 = b.binary(OpKind::kSub, r17.hi, r53.hi, width, tag + "_o3");
+  Value o1 = b.binary(OpKind::kAdd, r17.lo, r53.lo, width, tag + "_o1");
+  Value o2 = b.binary(OpKind::kSub, r17.lo, r53.lo, width, tag + "_o2");
+  Value k = b.constant(kSqrt2, width);
+  Value o1s = b.binary(OpKind::kMul, o1, k, width, tag + "_o1s");
+  Value o2s = b.binary(OpKind::kMul, o2, k, width, tag + "_o2s");
+
+  // Output butterflies.
+  std::array<Value, 8> y;
+  y[0] = b.binary(OpKind::kAdd, even0, o0, width, tag + "_y0");
+  y[7] = b.binary(OpKind::kSub, even0, o0, width, tag + "_y7");
+  y[1] = b.binary(OpKind::kAdd, even1, o1s, width, tag + "_y1");
+  y[6] = b.binary(OpKind::kSub, even1, o1s, width, tag + "_y6");
+  y[2] = b.binary(OpKind::kAdd, even2, o2s, width, tag + "_y2");
+  y[5] = b.binary(OpKind::kSub, even2, o2s, width, tag + "_y5");
+  y[3] = b.binary(OpKind::kAdd, even3, o3, width, tag + "_y3");
+  y[4] = b.binary(OpKind::kSub, even3, o3, width, tag + "_y4");
+  return y;
+}
+
+void closeWithOutputs(BehaviorBuilder& b, int latencyStates,
+                      const std::vector<std::pair<std::string, Value>>& outs) {
+  for (int s = 0; s < latencyStates - 1; ++s) b.wait();
+  for (const auto& [name, v] : outs) b.output(name, v);
+  b.wait();
+}
+
+}  // namespace
+
+Behavior makeIdct1d(const IdctParams& p) {
+  THLS_REQUIRE(p.latencyStates >= 1, "need at least one state");
+  BehaviorBuilder b("idct1d");
+  std::array<Value, 8> s;
+  for (int i = 0; i < 8; ++i) {
+    s[i] = b.input(strCat("s", i), p.width);
+  }
+  std::array<Value, 8> y = idctKernel(b, s, p.width, "k");
+  std::vector<std::pair<std::string, Value>> outs;
+  for (int i = 0; i < 8; ++i) outs.emplace_back(strCat("y", i), y[i]);
+  closeWithOutputs(b, p.latencyStates, outs);
+  return b.finish();
+}
+
+Behavior makeIdct8x8(const IdctParams& p) {
+  THLS_REQUIRE(p.latencyStates >= 1, "need at least one state");
+  BehaviorBuilder b("idct8x8");
+  std::array<std::array<Value, 8>, 8> block;
+  for (int r = 0; r < 8; ++r) {
+    for (int c = 0; c < 8; ++c) {
+      block[r][c] = b.input(strCat("x", r, "_", c), p.width);
+    }
+  }
+  // Row transforms.
+  std::array<std::array<Value, 8>, 8> mid;
+  for (int r = 0; r < 8; ++r) {
+    mid[r] = idctKernel(b, block[r], p.width, strCat("row", r));
+  }
+  // Column transforms.
+  std::array<std::array<Value, 8>, 8> out;
+  for (int c = 0; c < 8; ++c) {
+    std::array<Value, 8> col;
+    for (int r = 0; r < 8; ++r) col[r] = mid[r][c];
+    std::array<Value, 8> y = idctKernel(b, col, p.width, strCat("col", c));
+    for (int r = 0; r < 8; ++r) out[r][c] = y[r];
+  }
+  std::vector<std::pair<std::string, Value>> outs;
+  for (int r = 0; r < 8; ++r) {
+    for (int c = 0; c < 8; ++c) {
+      outs.emplace_back(strCat("y", r, "_", c), out[r][c]);
+    }
+  }
+  closeWithOutputs(b, p.latencyStates, outs);
+  return b.finish();
+}
+
+}  // namespace thls::workloads

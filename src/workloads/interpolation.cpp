@@ -1,0 +1,33 @@
+// Interpolation kernel of paper Fig. 1/2: the unrolled loop body
+//   for 4 iterations:  x *= deltaX;  deltaX *= scale;  sum += x;
+// with the dead final deltaX update removed, yielding exactly 7
+// multiplications and 4 additions (Fig. 2a).
+#include "workloads/workloads.h"
+
+namespace thls::workloads {
+
+Behavior makeInterpolation(const InterpolationParams& p) {
+  THLS_REQUIRE(p.iterations >= 1, "need at least one iteration");
+  THLS_REQUIRE(p.latencyStates >= 1, "need at least one state");
+  BehaviorBuilder b("interpolation");
+
+  Value x = b.input("x0", p.mulWidth);
+  Value dx = b.input("deltaX0", p.mulWidth);
+  Value scale = b.input("scale", p.mulWidth);
+  Value sum = b.input("sum0", p.addWidth);
+
+  for (int i = 0; i < p.iterations; ++i) {
+    x = b.mul(x, dx, strCat("x", i + 1));
+    if (i + 1 < p.iterations) {
+      dx = b.mul(dx, scale, strCat("dX", i + 1));
+    }
+    sum = b.binary(OpKind::kAdd, sum, x, p.addWidth, strCat("sum", i + 1));
+  }
+
+  for (int s = 0; s < p.latencyStates - 1; ++s) b.wait();
+  b.output("fx", sum);
+  b.wait();
+  return b.finish();
+}
+
+}  // namespace thls::workloads

@@ -1,0 +1,41 @@
+// Dense n x n integer matrix multiply: n^2 dot products of length n.
+#include "workloads/workloads.h"
+
+namespace thls::workloads {
+
+Behavior makeMatmul(int n, int latencyStates, int width) {
+  THLS_REQUIRE(n >= 2, "matrix must be at least 2x2");
+  THLS_REQUIRE(latencyStates >= 1, "need at least one state");
+  BehaviorBuilder b("matmul");
+
+  std::vector<std::vector<Value>> a(n, std::vector<Value>(n));
+  std::vector<std::vector<Value>> c(n, std::vector<Value>(n));
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      a[i][j] = b.input(strCat("a", i, "_", j), width);
+      c[i][j] = b.input(strCat("b", i, "_", j), width);
+    }
+  }
+
+  std::vector<std::pair<std::string, Value>> outs;
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      Value acc;
+      for (int k = 0; k < n; ++k) {
+        Value p = b.binary(OpKind::kMul, a[i][k], c[k][j], width,
+                           strCat("p", i, j, k));
+        acc = (k == 0) ? p
+                       : b.binary(OpKind::kAdd, acc, p, width,
+                                  strCat("s", i, j, k));
+      }
+      outs.emplace_back(strCat("c", i, "_", j), acc);
+    }
+  }
+
+  for (int s = 0; s < latencyStates - 1; ++s) b.wait();
+  for (const auto& [name, v] : outs) b.output(name, v);
+  b.wait();
+  return b.finish();
+}
+
+}  // namespace thls::workloads

@@ -1,0 +1,70 @@
+// Seeded random layered DAG generator for property-based testing: every
+// graph is a plausible straight-line computation with mixed op kinds and a
+// reproducible structure.
+#include <random>
+
+#include "workloads/workloads.h"
+
+namespace thls::workloads {
+
+Behavior makeRandomDfg(const RandomDfgParams& p) {
+  THLS_REQUIRE(p.numOps >= 1, "need at least one op");
+  THLS_REQUIRE(p.latencyStates >= 1, "need at least one state");
+  BehaviorBuilder b(strCat("random", p.seed));
+  std::mt19937 rng(p.seed);
+
+  // A pool of live values to draw operands from.
+  std::vector<Value> pool;
+  int nInputs = std::max(2, p.numOps / 8);
+  for (int i = 0; i < nInputs; ++i) {
+    pool.push_back(b.input(strCat("in", i), p.width));
+  }
+
+  auto pick = [&](int window) -> Value {
+    std::size_t lo =
+        pool.size() > static_cast<std::size_t>(window) ? pool.size() - window : 0;
+    std::uniform_int_distribution<std::size_t> d(lo, pool.size() - 1);
+    return pool[d(rng)];
+  };
+
+  std::uniform_int_distribution<int> pct(0, 99);
+  std::vector<Value> sinksNeeded;
+  for (int i = 0; i < p.numOps; ++i) {
+    Value a = pick(p.fanWindow);
+    Value v = pick(p.fanWindow);
+    OpKind kind;
+    int roll = pct(rng);
+    if (roll < p.mulPercent) {
+      kind = OpKind::kMul;
+    } else if (roll < p.mulPercent + 35) {
+      kind = OpKind::kAdd;
+    } else if (roll < p.mulPercent + 55) {
+      kind = OpKind::kSub;
+    } else if (roll < p.mulPercent + 65) {
+      kind = OpKind::kCmpGt;
+    } else {
+      kind = OpKind::kXor;
+    }
+    int width = kind == OpKind::kCmpGt ? 1 : p.width;
+    Value r = b.binary(kind, a, v, width, strCat("op", i));
+    if (kind == OpKind::kCmpGt) {
+      // Keep comparators out of the operand pool (width mismatch).
+      sinksNeeded.push_back(r);
+    } else {
+      pool.push_back(r);
+    }
+  }
+
+  for (int s = 0; s < p.latencyStates - 1; ++s) b.wait();
+  // Everything unconsumed becomes an output so no op is dead.
+  int outIdx = 0;
+  for (Value v : sinksNeeded) b.output(strCat("flag", outIdx++), v);
+  b.output("tail", pool.back());
+  for (std::size_t i = nInputs; i + 1 < pool.size(); ++i) {
+    b.output(strCat("o", outIdx++), pool[i]);
+  }
+  b.wait();
+  return b.finish();
+}
+
+}  // namespace thls::workloads

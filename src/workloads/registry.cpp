@@ -1,0 +1,18 @@
+#include "workloads/workloads.h"
+
+namespace thls::workloads {
+
+std::vector<NamedWorkload> standardWorkloads() {
+  std::vector<NamedWorkload> w;
+  w.push_back({"interpolation", [] { return makeInterpolation(); }, 1100.0});
+  w.push_back({"resizer", [] { return makeResizer(); }, 1600.0});
+  w.push_back({"idct1d", [] { return makeIdct1d({.latencyStates = 6}); }, 1250.0});
+  w.push_back({"ewf", [] { return makeEwf(14); }, 1250.0});
+  w.push_back({"arf", [] { return makeArf(8); }, 1250.0});
+  w.push_back({"fir16", [] { return makeFir(16, 6); }, 1250.0});
+  w.push_back({"fft8", [] { return makeFft(8, 6); }, 1250.0});
+  w.push_back({"matmul3", [] { return makeMatmul(3, 4); }, 1250.0});
+  return w;
+}
+
+}  // namespace thls::workloads

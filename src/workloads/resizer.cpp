@@ -1,0 +1,43 @@
+// Resizer thread of paper Fig. 3/4: the Table 3 timing-analysis subject.
+//
+//   int x = a.read() + offset;
+//   if (x > th) { wait();  y = x / scale - offset; }
+//   else        { wait();  y = x * b.read();       }
+//   wait();  out.write(y);
+#include "workloads/workloads.h"
+
+namespace thls::workloads {
+
+Behavior makeResizer() {
+  BehaviorBuilder b("resizer");
+  const int w = 16;
+
+  Value offset = b.input("offset", w);
+  Value scale = b.input("scale", w);
+  Value th = b.input("th", w);
+
+  Value a = b.read("a", w);
+  Value x = b.binary(OpKind::kAdd, a, offset, w, "add");
+  Value cond = b.gt(x, th, "cmp");
+
+  std::vector<Value> merged = b.ifElse(
+      cond,
+      [&]() -> std::vector<Value> {
+        b.wait();  // s0
+        Value q = b.binary(OpKind::kDiv, x, scale, w, "div");
+        Value y = b.binary(OpKind::kSub, q, offset, w, "sub");
+        return {y};
+      },
+      [&]() -> std::vector<Value> {
+        b.wait();  // s1
+        Value rb = b.read("b", w);
+        Value y = b.binary(OpKind::kMul, x, rb, w, "mul");
+        return {y};
+      });
+
+  b.wait();  // s2
+  b.write("out", merged[0]);
+  return b.finish();  // back edge: Loop_bottom -> Loop_top (paper e8)
+}
+
+}  // namespace thls::workloads

@@ -1,0 +1,82 @@
+// Benchmark behavior generators.
+//
+// Every generator returns a Behavior whose computation is born on the first
+// CFG edge and whose outputs are pinned on the last state's edge, giving the
+// scheduler the full latency window (the opSpan analysis derives mobility).
+// `latencyStates` is the number of clock cycles available per iteration.
+//
+//   interpolation  paper Fig. 1/2 (7 multiplications, 4 additions)
+//   resizer        paper Fig. 3/4 (branchy, I/O-bound, Table 3 subject)
+//   idct1d/idct8x8 Chen-style 8-point IDCT, the §VII workload
+//   ewf, arf, fir, fft, matmul   classic HLS benchmark DFGs standing in for
+//                  the paper's confidential customer designs
+//   randomDfg      seeded layered DAGs for property-based testing
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ir/builder.h"
+
+namespace thls::workloads {
+
+struct InterpolationParams {
+  int iterations = 4;      ///< unrolled loop iterations (paper: 4 -> 7 muls)
+  int latencyStates = 3;   ///< paper: 3 clock cycles
+  int mulWidth = 8;
+  int addWidth = 16;
+};
+Behavior makeInterpolation(const InterpolationParams& p = {});
+
+/// The resizer thread of Fig. 3: add + compare, two waited branches (div-sub
+/// vs mul), merge, write.  Used verbatim by the Table 3 bench.
+Behavior makeResizer();
+
+struct IdctParams {
+  int latencyStates = 8;
+  int width = 16;
+};
+/// One 8-point Chen-style IDCT (14 mul / 24 add/sub).
+Behavior makeIdct1d(const IdctParams& p = {});
+/// Full 8x8 row-column IDCT (16 kernel instances).
+Behavior makeIdct8x8(const IdctParams& p = {});
+
+/// Elliptic wave filter (classic 34-op HLS benchmark: 26 add, 8 mul).
+Behavior makeEwf(int latencyStates = 14, int width = 16);
+
+/// Auto-regressive lattice filter (16 mul, 12 add).
+Behavior makeArf(int latencyStates = 8, int width = 16);
+
+/// Direct-form FIR filter: taps muls + adder tree.
+Behavior makeFir(int taps = 16, int latencyStates = 6, int width = 16);
+
+/// Radix-2 DIT FFT over `points` complex samples (integer model).
+Behavior makeFft(int points = 8, int latencyStates = 6, int width = 16);
+
+/// Dense n x n integer matrix multiply.
+Behavior makeMatmul(int n = 3, int latencyStates = 4, int width = 16);
+
+struct RandomDfgParams {
+  std::uint32_t seed = 1;
+  int numOps = 40;
+  int latencyStates = 4;
+  int width = 16;
+  /// Percentage of multiply nodes (rest are adds/subs/cmp mix).
+  int mulPercent = 30;
+  /// Average fanin source window (larger = deeper chains).
+  int fanWindow = 6;
+};
+Behavior makeRandomDfg(const RandomDfgParams& p);
+
+/// Named generators at canonical sizes for parameterized suites.
+struct NamedWorkload {
+  std::string name;
+  std::function<Behavior()> make;
+  double clockPeriod;  ///< a period at which the workload is schedulable
+};
+std::vector<NamedWorkload> standardWorkloads();
+
+}  // namespace thls::workloads

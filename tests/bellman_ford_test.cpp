@@ -1,0 +1,94 @@
+// The Bellman-Ford engine must agree with the topological sequential-slack
+// engine on every graph -- it is the same fixpoint, computed the slow way.
+#include "timing/bellman_ford.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace thls {
+namespace {
+
+void expectEngineAgreement(const Behavior& bhv, double T, bool aligned,
+                           const std::vector<double>& delays) {
+  LatencyTable lat(bhv.cfg);
+  OpSpanAnalysis spans(bhv.cfg, bhv.dfg, lat);
+  TimedDfg timed(bhv.cfg, bhv.dfg, lat, spans);
+  TimingOptions opts{T, aligned};
+  TimingResult seq = sequentialSlack(timed, delays, opts);
+  TimingResult bf = bellmanFordSlack(timed, delays, opts);
+  for (OpId op : bhv.dfg.schedulableOps()) {
+    const OpTiming& a = seq.perOp[op.index()];
+    const OpTiming& b = bf.perOp[op.index()];
+    EXPECT_NEAR(a.arrival, b.arrival, 1e-6) << bhv.dfg.op(op).name;
+    EXPECT_NEAR(a.required, b.required, 1e-6) << bhv.dfg.op(op).name;
+  }
+  EXPECT_NEAR(seq.minSlack, bf.minSlack, 1e-6);
+  EXPECT_EQ(seq.feasible, bf.feasible);
+}
+
+std::vector<double> libraryDelays(const Behavior& bhv,
+                                  const ResourceLibrary& lib, bool fastest) {
+  std::vector<double> delays(bhv.dfg.numOps(), 0.0);
+  for (OpId op : bhv.dfg.schedulableOps()) {
+    const Operation& o = bhv.dfg.op(op);
+    delays[op.index()] =
+        fastest ? lib.minDelay(o.kind, o.width) : lib.maxDelay(o.kind, o.width);
+  }
+  return delays;
+}
+
+TEST(BellmanFordTest, AgreesOnResizerUnaligned) {
+  Behavior bhv = workloads::makeResizer();
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+  expectEngineAgreement(bhv, 1600.0, false, libraryDelays(bhv, lib, true));
+}
+
+TEST(BellmanFordTest, AgreesOnResizerAligned) {
+  Behavior bhv = workloads::makeResizer();
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+  expectEngineAgreement(bhv, 1600.0, true, libraryDelays(bhv, lib, true));
+}
+
+TEST(BellmanFordTest, AgreesOnChainsAtBothDelayExtremes) {
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+  for (int depth : {2, 5, 9}) {
+    Behavior bhv = testutil::chainBehavior(depth, 4);
+    expectEngineAgreement(bhv, 1250.0, true, libraryDelays(bhv, lib, true));
+    Behavior bhv2 = testutil::chainBehavior(depth, 4);
+    expectEngineAgreement(bhv2, 1250.0, true, libraryDelays(bhv2, lib, false));
+  }
+}
+
+class BellmanFordRandomTest : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(BellmanFordRandomTest, AgreesOnRandomDfgs) {
+  workloads::RandomDfgParams p;
+  p.seed = GetParam();
+  p.numOps = 50;
+  p.latencyStates = 5;
+  Behavior bhv = workloads::makeRandomDfg(p);
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+  expectEngineAgreement(bhv, 1250.0, true, libraryDelays(bhv, lib, true));
+  Behavior bhv2 = workloads::makeRandomDfg(p);
+  expectEngineAgreement(bhv2, 900.0, false, libraryDelays(bhv2, lib, false));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BellmanFordRandomTest,
+                         ::testing::Range<std::uint32_t>(1, 13));
+
+TEST(BellmanFordTest, EngineSelectorDispatches) {
+  Behavior bhv = testutil::chainBehavior(3, 3);
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+  LatencyTable lat(bhv.cfg);
+  OpSpanAnalysis spans(bhv.cfg, bhv.dfg, lat);
+  TimedDfg timed(bhv.cfg, bhv.dfg, lat, spans);
+  std::vector<double> delays = libraryDelays(bhv, lib, true);
+  TimingOptions opts{1250.0, true};
+  TimingResult a = analyzeTiming(TimingEngine::kSequential, timed, delays, opts);
+  TimingResult b = analyzeTiming(TimingEngine::kBellmanFord, timed, delays, opts);
+  EXPECT_NEAR(a.minSlack, b.minSlack, 1e-6);
+}
+
+}  // namespace
+}  // namespace thls

@@ -1,0 +1,145 @@
+#include "bind/binding.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace thls {
+namespace {
+
+ScheduleOutcome scheduleWorkload(Behavior& bhv, double clock) {
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+  SchedulerOptions opts;
+  opts.clockPeriod = clock;
+  return scheduleBehavior(bhv, lib, opts);
+}
+
+TEST(BindingTest, PortSourcesCoverEveryBoundOp) {
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+  Behavior bhv = workloads::makeArf(6);
+  ScheduleOutcome o = scheduleWorkload(bhv, 1250.0);
+  ASSERT_TRUE(o.success);
+  BindingResult b = bindPorts(bhv, o.schedule, lib);
+  for (const FuBinding& fb : b.fuBindings) {
+    const FuInstance& fu = o.schedule.fus[fb.fu.index()];
+    ASSERT_FALSE(fu.ops.empty());
+    // Each op's operands appear among the port sources.
+    for (OpId op : fu.ops) {
+      const Operation& oo = bhv.dfg.op(op);
+      for (std::size_t p = 0; p < oo.inputs.size(); ++p) {
+        bool found = false;
+        for (const PortBinding& pb : fb.ports) {
+          for (OpId s : pb.sources) found |= s == oo.inputs[p];
+        }
+        EXPECT_TRUE(found) << oo.name << " port " << p;
+      }
+    }
+  }
+}
+
+TEST(BindingTest, UnsharedFuNeedsNoMux) {
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+  BehaviorBuilder bb("solo");
+  Value x = bb.input("x", 8);
+  Value m = bb.mul(x, x, "m");
+  bb.output("o", m);
+  bb.wait();
+  Behavior bhv = bb.finish();
+  ScheduleOutcome o = scheduleWorkload(bhv, 1250.0);
+  ASSERT_TRUE(o.success);
+  BindingResult b = bindPorts(bhv, o.schedule, lib);
+  EXPECT_NEAR(b.totalMuxArea, 0.0, 1e-9);
+}
+
+TEST(BindingTest, SharingGrowsMuxArea) {
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+  Behavior bhv = workloads::makeFir(8, 8);  // 8 muls over 8 states: 1 FU
+  ScheduleOutcome o = scheduleWorkload(bhv, 1250.0);
+  ASSERT_TRUE(o.success);
+  BindingResult b = bindPorts(bhv, o.schedule, lib);
+  bool sharedExists = false;
+  for (const FuBinding& fb : b.fuBindings) {
+    if (o.schedule.fus[fb.fu.index()].ops.size() > 1) {
+      sharedExists = true;
+      double area = 0;
+      for (const PortBinding& pb : fb.ports) {
+        area += lib.muxArea(pb.width, static_cast<int>(pb.sources.size()));
+      }
+      EXPECT_NEAR(area, fb.muxArea, 1e-9);
+      EXPECT_GT(fb.muxArea, 0.0);
+    }
+  }
+  EXPECT_TRUE(sharedExists);
+}
+
+TEST(BindingTest, CommutativeSwapNeverIncreasesSources) {
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+  Behavior bhv = workloads::makeEwf(10);
+  ScheduleOutcome o = scheduleWorkload(bhv, 1250.0);
+  ASSERT_TRUE(o.success);
+  BindingOptions with, without;
+  with.commutativeSwap = true;
+  without.commutativeSwap = false;
+  double a = bindPorts(bhv, o.schedule, lib, with).totalMuxArea;
+  double b = bindPorts(bhv, o.schedule, lib, without).totalMuxArea;
+  EXPECT_LE(a, b + 1e-9);
+}
+
+TEST(CompactBindingTest, MergesArtificiallySplitInstances) {
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+  Behavior bhv = workloads::makeFir(8, 8);
+  ScheduleOutcome o = scheduleWorkload(bhv, 1250.0);
+  ASSERT_TRUE(o.success);
+  LatencyTable lat(bhv.cfg);
+
+  // Split every shared mul FU into singleton instances.  (Index, never
+  // hold references: push_back reallocates the FU vector.)
+  Schedule split = o.schedule;
+  for (std::size_t f = 0, end = split.fus.size(); f < end; ++f) {
+    if (split.fus[f].cls != ResourceClass::kMul ||
+        split.fus[f].ops.size() < 2) {
+      continue;
+    }
+    while (split.fus[f].ops.size() > 1) {
+      OpId moved = split.fus[f].ops.back();
+      split.fus[f].ops.pop_back();
+      FuInstance solo;
+      solo.cls = split.fus[f].cls;
+      solo.width = split.fus[f].width;
+      solo.delay = split.fus[f].delay;
+      solo.name = strCat("split", split.fus.size());
+      solo.ops.push_back(moved);
+      split.opFu[moved.index()] =
+          FuId(static_cast<std::int32_t>(split.fus.size()));
+      split.opDelay[moved.index()] = solo.delay;
+      split.fus.push_back(std::move(solo));
+    }
+    split.opDelay[split.fus[f].ops[0].index()] = split.fus[f].delay;
+  }
+  ASSERT_TRUE(recomputeChainStarts(bhv, lat, lib, split));
+  ASSERT_TRUE(validateSchedule(bhv, lat, lib, split).empty());
+
+  double areaBefore = split.fuArea(lib);
+  int merges = compactBinding(bhv, lat, lib, split);
+  EXPECT_GT(merges, 0);
+  EXPECT_LT(split.fuArea(lib), areaBefore);
+  EXPECT_TRUE(validateSchedule(bhv, lat, lib, split).empty());
+}
+
+TEST(CompactBindingTest, PreservesLegalityOnAllWorkloads) {
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+  for (const auto& w : workloads::standardWorkloads()) {
+    Behavior bhv = w.make();
+    SchedulerOptions opts;
+    opts.clockPeriod = w.clockPeriod;
+    ScheduleOutcome o = scheduleBehavior(bhv, lib, opts);
+    ASSERT_TRUE(o.success) << w.name << ": " << o.failureReason;
+    LatencyTable lat(bhv.cfg);
+    Schedule s = o.schedule;
+    compactBinding(bhv, lat, lib, s);
+    EXPECT_TRUE(validateSchedule(bhv, lat, lib, s).empty()) << w.name;
+  }
+}
+
+}  // namespace
+}  // namespace thls

@@ -1,0 +1,175 @@
+#include "budget/budgeter.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace thls {
+namespace {
+
+struct BudgetFixture {
+  Behavior bhv;
+  LatencyTable lat;
+  OpSpanAnalysis spans;
+  TimedDfg timed;
+
+  explicit BudgetFixture(Behavior b)
+      : bhv(std::move(b)),
+        lat(bhv.cfg),
+        spans(bhv.cfg, bhv.dfg, lat),
+        timed(bhv.cfg, bhv.dfg, lat, spans) {}
+};
+
+TEST(BudgetTest, BoundsComeFromLibrary) {
+  BudgetFixture f(testutil::chainBehavior(4, 3));
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+  DelayBounds b = delayBoundsFor(f.bhv.dfg, lib);
+  for (OpId op : f.bhv.dfg.schedulableOps()) {
+    const Operation& o = f.bhv.dfg.op(op);
+    if (o.kind == OpKind::kOutput) continue;
+    EXPECT_NEAR(b.minDelay[op.index()], lib.minDelay(o.kind, o.width), 1e-9);
+    EXPECT_NEAR(b.maxDelay[op.index()], lib.maxDelay(o.kind, o.width), 1e-9);
+    EXPECT_LE(b.minDelay[op.index()], b.maxDelay[op.index()]);
+  }
+}
+
+TEST(BudgetTest, FeasibleBudgetHasNoNegativeSlack) {
+  BudgetFixture f(testutil::chainBehavior(4, 4));
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+  BudgetOptions opts;
+  opts.clockPeriod = 1250.0;
+  BudgetResult r = budgetSlack(f.timed, f.bhv.dfg, lib, opts);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_GE(r.timing.minSlack, -1e-6);
+}
+
+TEST(BudgetTest, DelaysStayInsideLibraryRange) {
+  BudgetFixture f(testutil::chainBehavior(6, 4));
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+  BudgetOptions opts;
+  opts.clockPeriod = 1250.0;
+  BudgetResult r = budgetSlack(f.timed, f.bhv.dfg, lib, opts);
+  ASSERT_TRUE(r.feasible);
+  DelayBounds b = delayBoundsFor(f.bhv.dfg, lib);
+  for (OpId op : f.bhv.dfg.schedulableOps()) {
+    if (resourceClassOf(f.bhv.dfg.op(op).kind) == ResourceClass::kIo) continue;
+    EXPECT_GE(r.delays[op.index()], b.minDelay[op.index()] - 1e-9);
+    EXPECT_LE(r.delays[op.index()], b.maxDelay[op.index()] + 1e-9);
+  }
+}
+
+TEST(BudgetTest, LooserLatencyBuysSlowerCheaperOps) {
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+  auto budgetArea = [&](int states) {
+    BudgetFixture f(testutil::chainBehavior(4, states));
+    BudgetOptions opts;
+    opts.clockPeriod = 1250.0;
+    BudgetResult r = budgetSlack(f.timed, f.bhv.dfg, lib, opts);
+    EXPECT_TRUE(r.feasible);
+    double area = 0;
+    for (OpId op : f.bhv.dfg.schedulableOps()) {
+      const Operation& o = f.bhv.dfg.op(op);
+      if (resourceClassOf(o.kind) == ResourceClass::kIo) continue;
+      area += lib.areaFor(o.kind, o.width, r.delays[op.index()]);
+    }
+    return area;
+  };
+  EXPECT_GT(budgetArea(2), budgetArea(6));
+}
+
+TEST(BudgetTest, InfeasibleWhenChainExceedsLatency) {
+  // 10 chained ops in one state at ~1 period each cannot fit.
+  BudgetFixture f(testutil::chainBehavior(10, 1));
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+  BudgetOptions opts;
+  opts.clockPeriod = 700.0;  // mul16 fastest is 573: two can't chain
+  BudgetResult r = budgetSlack(f.timed, f.bhv.dfg, lib, opts);
+  EXPECT_FALSE(r.feasible);
+}
+
+TEST(BudgetTest, NegativeFixOnlyEverSpeedsUp) {
+  BudgetFixture f(testutil::chainBehavior(5, 3));
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+  BudgetOptions opts;
+  opts.clockPeriod = 1250.0;
+  DelayBounds b = delayBoundsFor(f.bhv.dfg, lib);
+  std::vector<double> start = b.maxDelay;
+  BudgetResult r =
+      fixNegativeSlack(f.timed, f.bhv.dfg, lib, start, opts);
+  for (std::size_t i = 0; i < start.size(); ++i) {
+    EXPECT_LE(r.delays[i], start[i] + 1e-9);
+  }
+}
+
+TEST(BudgetTest, SensitivityPrefersCheapSpeedups) {
+  // A mul + add chain that must shrink: the add should absorb the
+  // violation (its area curve is nearly flat at the slow end), leaving the
+  // expensive multiplier slow.
+  BehaviorBuilder bb("mix");
+  Value x = bb.input("x", 16);
+  Value m = bb.mul(x, x, "m");
+  Value a = bb.add(m, x, "a");
+  bb.output("o", a);
+  bb.wait();
+  BudgetFixture f(bb.finish());
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+  BudgetOptions opts;
+  opts.clockPeriod = 1600.0;  // mul max 1220 + add max 1220 >> 1600
+  BudgetResult r = budgetSlack(f.timed, f.bhv.dfg, lib, opts);
+  ASSERT_TRUE(r.feasible);
+  OpId mul = testutil::opByName(f.bhv.dfg, "m");
+  OpId add = testutil::opByName(f.bhv.dfg, "a");
+  // The multiplier keeps most of its delay; the adder gives way.
+  EXPECT_GT(r.delays[mul.index()], 900.0);
+  EXPECT_LT(r.delays[add.index()], 600.0);
+}
+
+TEST(BudgetTest, BudgetsRespectPerCycleCap) {
+  BudgetFixture f(testutil::chainBehavior(2, 8));
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+  BudgetOptions opts;
+  opts.clockPeriod = 900.0;  // below the adders' slowest variant
+  BudgetResult r = budgetSlack(f.timed, f.bhv.dfg, lib, opts);
+  ASSERT_TRUE(r.feasible);
+  for (OpId op : f.bhv.dfg.schedulableOps()) {
+    const Operation& o = f.bhv.dfg.op(op);
+    if (resourceClassOf(o.kind) == ResourceClass::kIo) continue;
+    EXPECT_LE(r.delays[op.index()], 900.0 + 1e-9) << o.name;
+  }
+}
+
+TEST(BudgetTest, BinningMarginTradesEffortForQuality) {
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+  auto effort = [&](double margin) {
+    BudgetFixture f(testutil::chainBehavior(8, 6));
+    BudgetOptions opts;
+    opts.clockPeriod = 1250.0;
+    opts.marginFraction = margin;
+    BudgetResult r = budgetSlack(f.timed, f.bhv.dfg, lib, opts);
+    EXPECT_TRUE(r.feasible);
+    return r.positiveGrants + r.negativeIterations;
+  };
+  // Coarser binning must not need more grants than fine binning.
+  EXPECT_LE(effort(0.10), effort(0.005));
+}
+
+TEST(BudgetTest, BellmanFordEngineGivesSameBudgets) {
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+  BudgetOptions seqOpts;
+  seqOpts.clockPeriod = 1250.0;
+  BudgetOptions bfOpts = seqOpts;
+  bfOpts.engine = TimingEngine::kBellmanFord;
+
+  BudgetFixture f1(testutil::chainBehavior(5, 4));
+  BudgetResult a = budgetSlack(f1.timed, f1.bhv.dfg, lib, seqOpts);
+  BudgetFixture f2(testutil::chainBehavior(5, 4));
+  BudgetResult b = budgetSlack(f2.timed, f2.bhv.dfg, lib, bfOpts);
+  ASSERT_EQ(a.feasible, b.feasible);
+  ASSERT_EQ(a.delays.size(), b.delays.size());
+  for (std::size_t i = 0; i < a.delays.size(); ++i) {
+    EXPECT_NEAR(a.delays[i], b.delays[i], 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace thls

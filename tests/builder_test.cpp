@@ -1,0 +1,154 @@
+#include "ir/builder.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace thls {
+namespace {
+
+TEST(BuilderTest, StraightLineShape) {
+  BehaviorBuilder b("line");
+  Value x = b.input("x", 8);
+  Value y = b.mul(x, x, "m");
+  b.wait();
+  b.output("y", y);
+  b.wait();
+  Behavior bhv = b.finish();
+  EXPECT_EQ(bhv.cfg.numStates(), 2u);
+  // start -> n -> s1 -> n -> s2 (+ back edge)
+  EXPECT_EQ(bhv.dfg.numOps(), 3u);
+  const Operation& out = bhv.dfg.op(testutil::opByName(bhv.dfg, "y"));
+  EXPECT_EQ(out.kind, OpKind::kOutput);
+}
+
+TEST(BuilderTest, WaitSeparatesBirthEdges) {
+  BehaviorBuilder b("w");
+  Value x = b.input("x", 8);
+  Value m1 = b.mul(x, x, "m1");
+  CfgEdgeId firstEdge = b.currentEdge();
+  b.wait();
+  Value m2 = b.mul(m1, x, "m2");
+  CfgEdgeId secondEdge = b.currentEdge();
+  b.output("o", m2);
+  b.wait();
+  Behavior bhv = b.finish();
+  EXPECT_NE(firstEdge, secondEdge);
+  EXPECT_EQ(bhv.dfg.op(testutil::opByName(bhv.dfg, "m1")).birth, firstEdge);
+  EXPECT_EQ(bhv.dfg.op(testutil::opByName(bhv.dfg, "m2")).birth, secondEdge);
+  LatencyTable lat(bhv.cfg);
+  EXPECT_EQ(lat.latency(firstEdge, secondEdge), 1);
+}
+
+TEST(BuilderTest, IfElseCreatesForkJoinAndPhi) {
+  BehaviorBuilder b("br");
+  Value x = b.input("x", 16);
+  Value c = b.gt(x, b.constant(3, 16), "cmp");
+  std::vector<Value> m = b.ifElse(
+      c, [&]() -> std::vector<Value> { return {b.add(x, x, "t")}; },
+      [&]() -> std::vector<Value> { return {b.sub(x, x, "f")}; });
+  b.output("o", m[0]);
+  b.wait();
+  Behavior bhv = b.finish();
+
+  int forks = 0, joins = 0;
+  for (std::size_t i = 0; i < bhv.cfg.numNodes(); ++i) {
+    CfgNodeKind k = bhv.cfg.node(CfgNodeId(static_cast<std::int32_t>(i))).kind;
+    forks += k == CfgNodeKind::kFork;
+    joins += k == CfgNodeKind::kJoin;
+  }
+  EXPECT_EQ(forks, 1);
+  EXPECT_EQ(joins, 1);
+
+  const Operation& phi = bhv.dfg.op(testutil::opByName(bhv.dfg, "phi0"));
+  EXPECT_EQ(phi.kind, OpKind::kMux);
+  EXPECT_TRUE(phi.joinPhi);
+  EXPECT_EQ(phi.inputs.size(), 3u);  // cond, then, else
+}
+
+TEST(BuilderTest, IfElseMismatchedMergesRejected) {
+  BehaviorBuilder b("bad");
+  Value x = b.input("x", 16);
+  Value c = b.gt(x, b.constant(0, 16));
+  EXPECT_THROW(
+      b.ifElse(
+          c, [&]() -> std::vector<Value> { return {x, x}; },
+          [&]() -> std::vector<Value> { return {x}; }),
+      HlsError);
+}
+
+TEST(BuilderTest, BranchConditionPinnedAtFork) {
+  Behavior bhv = workloads::makeResizer();
+  // The builder materializes a zero-delay "br" sink consuming the compare.
+  bool found = false;
+  for (std::size_t i = 0; i < bhv.dfg.numOps(); ++i) {
+    const Operation& o = bhv.dfg.op(OpId(static_cast<std::int32_t>(i)));
+    if (o.name.rfind("br", 0) == 0 && o.kind == OpKind::kOutput) {
+      found = true;
+      EXPECT_TRUE(o.fixed);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(BuilderTest, ThreadLoopBackEdge) {
+  BehaviorBuilder b("loop");
+  Value x = b.input("x", 8);
+  b.output("o", b.add(x, x));
+  b.wait();
+  Behavior bhv = b.finish(/*threadLoop=*/true);
+  bool haveBack = false;
+  for (std::size_t i = 0; i < bhv.cfg.numEdges(); ++i) {
+    haveBack |= bhv.cfg.edge(CfgEdgeId(static_cast<std::int32_t>(i))).backward;
+  }
+  EXPECT_TRUE(haveBack);
+}
+
+TEST(BuilderTest, NoThreadLoopMeansNoBackEdge) {
+  BehaviorBuilder b("noloop");
+  Value x = b.input("x", 8);
+  b.output("o", b.add(x, x));
+  b.wait();
+  Behavior bhv = b.finish(/*threadLoop=*/false);
+  for (std::size_t i = 0; i < bhv.cfg.numEdges(); ++i) {
+    EXPECT_FALSE(bhv.cfg.edge(CfgEdgeId(static_cast<std::int32_t>(i))).backward);
+  }
+}
+
+TEST(BuilderTest, FinishTwiceRejected) {
+  BehaviorBuilder b("twice");
+  Value x = b.input("x", 8);
+  b.output("o", b.add(x, x));
+  b.wait();
+  b.finish();
+  EXPECT_THROW(b.finish(), HlsError);
+}
+
+TEST(BuilderTest, BinaryWidthDefaultsToMaxOperand) {
+  BehaviorBuilder b("wid");
+  Value a = b.input("a", 6);
+  Value c = b.input("c", 11);
+  Value s = b.add(a, c);
+  EXPECT_EQ(s.width, 11);
+  b.output("o", s);
+  b.wait();
+  b.finish();
+}
+
+TEST(BuilderTest, UnrolledLoopRunsBodyNTimes) {
+  BehaviorBuilder b("unroll");
+  Value x = b.input("x", 8);
+  int calls = 0;
+  b.unrolledLoop(5, [&](int i) {
+    ++calls;
+    x = b.mul(x, x, strCat("m", i));
+  });
+  b.output("o", x);
+  b.wait();
+  Behavior bhv = b.finish();
+  EXPECT_EQ(calls, 5);
+  EXPECT_EQ(bhv.dfg.schedulableOps().size(), 6u);  // 5 muls + output
+}
+
+}  // namespace
+}  // namespace thls

@@ -1,0 +1,133 @@
+#include "ir/cfg.h"
+
+#include <gtest/gtest.h>
+
+namespace thls {
+namespace {
+
+// Builds the paper's Fig. 4(a) CFG:
+//   start -e0-> loop_top -e1-> if_top
+//   if_top -e2-> s0 -e3-> if_bot          (then branch)
+//   if_top -e4-> s1 -e5-> if_bot          (else branch)
+//   if_bot -e6-> s2 -e7-> loop_bot -e8-> loop_top   (e8 backward)
+struct Fig4Cfg {
+  Cfg cfg;
+  CfgNodeId loopTop, ifTop, s0, s1, ifBot, s2, loopBot;
+  CfgEdgeId e0, e1, e2, e3, e4, e5, e6, e7, e8;
+
+  Fig4Cfg() {
+    loopTop = cfg.addNode(CfgNodeKind::kBasic, "loop_top");
+    ifTop = cfg.addNode(CfgNodeKind::kFork, "if_top");
+    s0 = cfg.addNode(CfgNodeKind::kState, "s0");
+    s1 = cfg.addNode(CfgNodeKind::kState, "s1");
+    ifBot = cfg.addNode(CfgNodeKind::kJoin, "if_bot");
+    s2 = cfg.addNode(CfgNodeKind::kState, "s2");
+    loopBot = cfg.addNode(CfgNodeKind::kBasic, "loop_bot");
+    e0 = cfg.addEdge(cfg.startNode(), loopTop, "e0");
+    e1 = cfg.addEdge(loopTop, ifTop, "e1");
+    e2 = cfg.addEdge(ifTop, s0, "e2");
+    e3 = cfg.addEdge(s0, ifBot, "e3");
+    e4 = cfg.addEdge(ifTop, s1, "e4");
+    e5 = cfg.addEdge(s1, ifBot, "e5");
+    e6 = cfg.addEdge(ifBot, s2, "e6");
+    e7 = cfg.addEdge(s2, loopBot, "e7");
+    e8 = cfg.addEdge(loopBot, loopTop, "e8");
+    cfg.finalize();
+  }
+};
+
+TEST(CfgTest, ClassifiesLoopBackEdge) {
+  Fig4Cfg f;
+  EXPECT_TRUE(f.cfg.edge(f.e8).backward);
+  for (CfgEdgeId e : {f.e0, f.e1, f.e2, f.e3, f.e4, f.e5, f.e6, f.e7}) {
+    EXPECT_FALSE(f.cfg.edge(e).backward) << f.cfg.edge(e).name;
+  }
+}
+
+TEST(CfgTest, CountsStates) {
+  Fig4Cfg f;
+  EXPECT_EQ(f.cfg.numStates(), 3u);
+}
+
+TEST(CfgTest, TopologicalNodeOrderRespectsEdges) {
+  Fig4Cfg f;
+  for (std::size_t i = 0; i < f.cfg.numEdges(); ++i) {
+    const CfgEdge& e = f.cfg.edge(CfgEdgeId(static_cast<std::int32_t>(i)));
+    if (e.backward) continue;
+    EXPECT_LT(f.cfg.topoIndexOfNode(e.from), f.cfg.topoIndexOfNode(e.to));
+  }
+}
+
+TEST(CfgTest, EdgeTopoOrderPutsBackEdgesLast) {
+  Fig4Cfg f;
+  EXPECT_EQ(f.cfg.topoEdges().back(), f.e8);
+  EXPECT_EQ(f.cfg.topoIndexOfEdge(f.e0), 0u);
+}
+
+TEST(CfgTest, EdgeReachability) {
+  Fig4Cfg f;
+  EXPECT_TRUE(f.cfg.edgeReaches(f.e1, f.e7));
+  EXPECT_TRUE(f.cfg.edgeReaches(f.e2, f.e3));
+  EXPECT_TRUE(f.cfg.edgeReaches(f.e1, f.e1));  // self
+  EXPECT_FALSE(f.cfg.edgeReaches(f.e3, f.e4)); // across exclusive branches
+  EXPECT_FALSE(f.cfg.edgeReaches(f.e7, f.e1)); // only via back edge
+  EXPECT_FALSE(f.cfg.edgeReaches(f.e8, f.e1)); // back edges reach nothing
+}
+
+TEST(CfgTest, ForwardInOutFilterBackEdges) {
+  Fig4Cfg f;
+  EXPECT_EQ(f.cfg.forwardIn(f.loopTop).size(), 1u);   // e0 only, not e8
+  EXPECT_EQ(f.cfg.forwardOut(f.loopBot).size(), 0u);  // e8 filtered
+  EXPECT_EQ(f.cfg.forwardOut(f.ifTop).size(), 2u);
+}
+
+TEST(CfgTest, UnreachableNodeRejected) {
+  Cfg cfg;
+  CfgNodeId a = cfg.addNode(CfgNodeKind::kBasic, "a");
+  cfg.addEdge(cfg.startNode(), a);
+  CfgNodeId orphan = cfg.addNode(CfgNodeKind::kBasic, "orphan");
+  CfgNodeId b = cfg.addNode(CfgNodeKind::kBasic, "b");
+  cfg.addEdge(orphan, b);
+  EXPECT_THROW(cfg.finalize(), HlsError);
+}
+
+TEST(CfgTest, ForwardCycleRejected) {
+  Cfg cfg;
+  CfgNodeId a = cfg.addNode(CfgNodeKind::kBasic, "a");
+  CfgNodeId b = cfg.addNode(CfgNodeKind::kBasic, "b");
+  cfg.addEdge(cfg.startNode(), a);
+  cfg.addEdge(a, b);
+  cfg.addEdge(b, a);  // classified backward by DFS, so this is FINE
+  EXPECT_NO_THROW(cfg.finalize());
+  EXPECT_TRUE(cfg.edge(CfgEdgeId(2)).backward);
+}
+
+TEST(CfgTest, EmptyCfgRejected) {
+  Cfg cfg;
+  EXPECT_THROW(cfg.finalize(), HlsError);
+}
+
+TEST(CfgTest, InsertStateOnEdgeAddsOneState) {
+  Fig4Cfg f;
+  std::size_t statesBefore = f.cfg.numStates();
+  CfgEdgeId tail = f.cfg.insertStateOnEdge(f.e6);
+  f.cfg.finalize();
+  EXPECT_EQ(f.cfg.numStates(), statesBefore + 1);
+  EXPECT_EQ(f.cfg.edge(f.e6).to, f.cfg.edge(tail).from);
+  EXPECT_TRUE(f.cfg.edgeReaches(f.e6, tail));
+}
+
+TEST(CfgTest, InsertStateOnBackEdgeRejected) {
+  Fig4Cfg f;
+  EXPECT_THROW(f.cfg.insertStateOnEdge(f.e8), HlsError);
+}
+
+TEST(CfgTest, PromoteRejectsNonBasicNodes) {
+  Fig4Cfg f;
+  EXPECT_THROW(f.cfg.promote(f.s0, CfgNodeKind::kFork), HlsError);
+  EXPECT_THROW(f.cfg.promote(f.loopTop, CfgNodeKind::kStart), HlsError);
+  EXPECT_NO_THROW(f.cfg.promote(f.loopTop, CfgNodeKind::kState));
+}
+
+}  // namespace
+}  // namespace thls

@@ -1,0 +1,119 @@
+#include "ir/dfg.h"
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.h"
+
+namespace thls {
+namespace {
+
+struct SmallDfg : ::testing::Test {
+  Cfg cfg;
+  CfgEdgeId e1;
+  Dfg dfg;
+
+  SmallDfg() {
+    CfgNodeId n = cfg.addNode(CfgNodeKind::kBasic, "n");
+    e1 = cfg.addEdge(cfg.startNode(), n, "e1");
+    cfg.finalize();
+  }
+};
+
+TEST_F(SmallDfg, AddOpWiresPortsAndUsers) {
+  OpId a = dfg.addOp(OpKind::kInput, 8, e1, "a");
+  OpId b = dfg.addOp(OpKind::kInput, 8, e1, "b");
+  OpId m = dfg.addOp(OpKind::kMul, 8, e1, "m");
+  dfg.addDependence(a, m, 0);
+  dfg.addDependence(b, m, 1);
+  EXPECT_EQ(dfg.op(m).inputs.size(), 2u);
+  EXPECT_EQ(dfg.op(m).inputs[0], a);
+  EXPECT_EQ(dfg.op(m).inputs[1], b);
+  EXPECT_EQ(dfg.op(m).operandWidths[0], 8);
+  EXPECT_EQ(dfg.op(a).users.size(), 1u);
+  EXPECT_EQ(dfg.op(a).users[0], m);
+}
+
+TEST_F(SmallDfg, TimingPredsSkipFreeOps) {
+  OpId c = dfg.addConst(5, 8, e1);
+  OpId in = dfg.addOp(OpKind::kInput, 8, e1, "in");
+  OpId r = dfg.addOp(OpKind::kRead, 8, e1, "r");
+  OpId m = dfg.addOp(OpKind::kMul, 8, e1, "m");
+  dfg.addDependence(c, m, 0);
+  dfg.addDependence(r, m, 1);
+  OpId m2 = dfg.addOp(OpKind::kMul, 8, e1, "m2");
+  dfg.addDependence(in, m2, 0);
+  dfg.addDependence(m, m2, 1);
+
+  EXPECT_EQ(dfg.timingPreds(m), std::vector<OpId>{r});   // const skipped
+  EXPECT_EQ(dfg.timingPreds(m2), std::vector<OpId>{m});  // input skipped
+  EXPECT_EQ(dfg.timingSuccs(m), std::vector<OpId>{m2});
+}
+
+TEST_F(SmallDfg, LoopCarriedDepsExcludedFromTopo) {
+  OpId a = dfg.addOp(OpKind::kAdd, 8, e1, "a");
+  OpId b = dfg.addOp(OpKind::kAdd, 8, e1, "b");
+  dfg.addDependence(a, b, 0);
+  dfg.addDependence(b, a, 0, /*loopCarried=*/true);  // legal cycle
+  EXPECT_NO_THROW(dfg.topoOrder());
+  EXPECT_TRUE(dfg.timingPreds(a).empty());
+  EXPECT_EQ(dfg.timingPreds(b), std::vector<OpId>{a});
+}
+
+TEST_F(SmallDfg, ForwardCycleRejected) {
+  OpId a = dfg.addOp(OpKind::kAdd, 8, e1, "a");
+  OpId b = dfg.addOp(OpKind::kAdd, 8, e1, "b");
+  dfg.addDependence(a, b, 0);
+  dfg.addDependence(b, a, 0);  // combinational cycle
+  EXPECT_THROW(dfg.topoOrder(), HlsError);
+}
+
+TEST_F(SmallDfg, TopoOrderRespectsDependences) {
+  OpId a = dfg.addOp(OpKind::kAdd, 8, e1, "a");
+  OpId b = dfg.addOp(OpKind::kAdd, 8, e1, "b");
+  OpId c = dfg.addOp(OpKind::kAdd, 8, e1, "c");
+  dfg.addDependence(a, b, 0);
+  dfg.addDependence(b, c, 0);
+  dfg.addDependence(a, c, 1);
+  std::vector<OpId> order = dfg.topoOrder();
+  auto pos = [&](OpId x) {
+    return std::find(order.begin(), order.end(), x) - order.begin();
+  };
+  EXPECT_LT(pos(a), pos(b));
+  EXPECT_LT(pos(b), pos(c));
+}
+
+TEST_F(SmallDfg, SchedulableOpsExcludeFreeKinds) {
+  dfg.addConst(1, 8, e1);
+  dfg.addOp(OpKind::kInput, 8, e1, "in");
+  OpId m = dfg.addOp(OpKind::kMul, 8, e1, "m");
+  OpId w = dfg.addOp(OpKind::kWrite, 8, e1, "w");
+  std::vector<OpId> s = dfg.schedulableOps();
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_EQ(s[0], m);
+  EXPECT_EQ(s[1], w);
+}
+
+TEST_F(SmallDfg, FixedFlagsFollowKind) {
+  OpId r = dfg.addOp(OpKind::kRead, 8, e1, "r");
+  OpId w = dfg.addOp(OpKind::kWrite, 8, e1, "w");
+  OpId o = dfg.addOp(OpKind::kOutput, 8, e1, "o");
+  OpId m = dfg.addOp(OpKind::kMul, 8, e1, "m");
+  EXPECT_TRUE(dfg.op(r).fixed);
+  EXPECT_TRUE(dfg.op(w).fixed);
+  EXPECT_TRUE(dfg.op(o).fixed);
+  EXPECT_FALSE(dfg.op(m).fixed);
+}
+
+TEST_F(SmallDfg, ValidateCatchesUnconnectedPort) {
+  OpId a = dfg.addOp(OpKind::kInput, 8, e1, "a");
+  OpId m = dfg.addOp(OpKind::kMul, 8, e1, "m");
+  dfg.addDependence(a, m, 1);  // port 0 left dangling
+  EXPECT_THROW(dfg.validate(cfg), HlsError);
+}
+
+TEST_F(SmallDfg, ZeroWidthRejected) {
+  EXPECT_THROW(dfg.addOp(OpKind::kAdd, 0, e1, "z"), HlsError);
+}
+
+}  // namespace
+}  // namespace thls

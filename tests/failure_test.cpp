@@ -1,0 +1,107 @@
+// Failure injection: malformed inputs and over-constrained problems must
+// produce clean diagnostics, never crashes or silent nonsense.
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace thls {
+namespace {
+
+TEST(FailureTest, InfeasibleClockReportsBudgetInfeasible) {
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+  Behavior bhv = testutil::chainBehavior(3, 3);
+  SchedulerOptions opts;
+  opts.clockPeriod = 100.0;  // below every variant's minimum delay
+  ScheduleOutcome o = scheduleBehavior(bhv, lib, opts);
+  EXPECT_FALSE(o.success);
+  EXPECT_NE(o.failureReason.find("budget infeasible"), std::string::npos)
+      << o.failureReason;
+}
+
+TEST(FailureTest, UnreachableDesignDoesNotLoopForever) {
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+  Behavior bhv = testutil::chainBehavior(/*depth=*/12, /*states=*/1);
+  SchedulerOptions opts;
+  opts.clockPeriod = 1250.0;
+  opts.maxRelaxations = 10;
+  ScheduleOutcome o = scheduleBehavior(bhv, lib, opts);
+  EXPECT_FALSE(o.success);
+  EXPECT_LE(o.stats.relaxations, 10);
+}
+
+TEST(FailureTest, NegativeClockRejected) {
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+  Behavior bhv = testutil::chainBehavior(2, 2);
+  SchedulerOptions opts;
+  opts.clockPeriod = -5.0;
+  EXPECT_THROW(scheduleBehavior(bhv, lib, opts), HlsError);
+}
+
+TEST(FailureTest, CyclicDfgMisuseDiagnosed) {
+  Cfg cfg;
+  CfgNodeId n = cfg.addNode(CfgNodeKind::kBasic, "n");
+  CfgEdgeId e = cfg.addEdge(cfg.startNode(), n);
+  cfg.finalize();
+  Dfg dfg;
+  OpId a = dfg.addOp(OpKind::kAdd, 8, e, "a");
+  OpId b = dfg.addOp(OpKind::kAdd, 8, e, "b");
+  dfg.addDependence(a, b, 0);
+  dfg.addDependence(b, a, 0);  // forward cycle, not marked loop-carried
+  try {
+    dfg.validate(cfg);
+    FAIL() << "expected HlsError";
+  } catch (const HlsError& err) {
+    EXPECT_NE(std::string(err.what()).find("loopCarried"), std::string::npos);
+  }
+}
+
+TEST(FailureTest, InternalAssertionsThrowNotAbort) {
+  // Id misuse trips THLS_ASSERT, surfacing as InternalError.
+  Cfg cfg;
+  EXPECT_THROW(cfg.addEdge(CfgNodeId(), cfg.startNode()), InternalError);
+}
+
+TEST(FailureTest, OverconstrainedBranchDesignExplainsItself) {
+  // Resizer at a clock below the divider's minimum delay.
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+  FlowOptions opts;
+  opts.sched.clockPeriod = 900.0;
+  FlowResult r = slackBasedFlow(workloads::makeResizer(), lib, opts);
+  EXPECT_FALSE(r.success);
+  // The diagnostic names an op on the infeasible critical path and the
+  // failure class.
+  EXPECT_NE(r.failureReason.find("unschedulable"), std::string::npos)
+      << r.failureReason;
+  EXPECT_NE(r.failureReason.find("infeasible"), std::string::npos)
+      << r.failureReason;
+}
+
+TEST(FailureTest, AddStateRescuesOverconstrainedLatency) {
+  // Same impossible design, but the designer allows extra states.  (Two
+  // initial states so inserted states can separate the output edge.)
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+  Behavior bhv = testutil::chainBehavior(/*depth=*/12, /*states=*/2);
+  SchedulerOptions opts;
+  opts.clockPeriod = 1250.0;
+  opts.allowAddState = true;
+  opts.maxRelaxations = 100;
+  ScheduleOutcome o = scheduleBehavior(bhv, lib, opts);
+  EXPECT_TRUE(o.success) << o.failureReason;
+  EXPECT_GT(o.stats.statesAdded, 0);
+}
+
+TEST(FailureTest, EmptyBehaviorSchedulesTrivially) {
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+  BehaviorBuilder b("empty");
+  Value x = b.input("x", 8);
+  b.output("o", x);
+  b.wait();
+  Behavior bhv = b.finish();
+  SchedulerOptions opts;
+  opts.clockPeriod = 1000.0;
+  ScheduleOutcome o = scheduleBehavior(bhv, lib, opts);
+  EXPECT_TRUE(o.success) << o.failureReason;
+}
+
+}  // namespace
+}  // namespace thls

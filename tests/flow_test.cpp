@@ -1,0 +1,117 @@
+#include "flow/hls_flow.h"
+
+#include <gtest/gtest.h>
+
+#include "flow/dse.h"
+#include "test_util.h"
+
+namespace thls {
+namespace {
+
+TEST(FlowTest, EndToEndProducesReports) {
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+  FlowOptions opts;
+  opts.sched.clockPeriod = 1250.0;
+  FlowResult r = slackBasedFlow(workloads::makeArf(8), lib, opts);
+  ASSERT_TRUE(r.success) << r.failureReason;
+  EXPECT_GT(r.area.fuArea, 0.0);
+  EXPECT_GT(r.area.total(), r.area.fuArea);
+  EXPECT_GT(r.power.dynamic, 0.0);
+  EXPECT_GT(r.power.throughput, 0.0);
+  EXPECT_GT(r.states, 0u);
+  EXPECT_GE(r.schedulingSeconds, 0.0);
+}
+
+TEST(FlowTest, FailureIsReportedNotThrown) {
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+  FlowOptions opts;
+  opts.sched.clockPeriod = 700.0;  // divider cannot fit anywhere
+  FlowResult r = slackBasedFlow(workloads::makeResizer(), lib, opts);
+  EXPECT_FALSE(r.success);
+  EXPECT_FALSE(r.failureReason.empty());
+}
+
+TEST(FlowTest, CompareFlowsComputesSaving) {
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+  FlowOptions opts;
+  opts.sched.clockPeriod = 1250.0;
+  FlowComparison cmp = compareFlows(workloads::makeIdct1d({.latencyStates = 8}),
+                                    lib, opts);
+  ASSERT_TRUE(cmp.conv.success);
+  ASSERT_TRUE(cmp.slack.success);
+  double expect = (cmp.conv.area.total() - cmp.slack.area.total()) /
+                  cmp.conv.area.total() * 100.0;
+  EXPECT_NEAR(cmp.savingPercent, expect, 1e-9);
+}
+
+TEST(FlowTest, RecoveryToggleMatters) {
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+  FlowOptions on, off;
+  on.sched.clockPeriod = off.sched.clockPeriod = 1250.0;
+  off.areaRecovery = false;
+  FlowResult a = conventionalFlow(workloads::makeArf(8), lib, on);
+  FlowResult b = conventionalFlow(workloads::makeArf(8), lib, off);
+  ASSERT_TRUE(a.success && b.success);
+  EXPECT_LE(a.area.fuArea, b.area.fuArea + 1e-6);
+}
+
+TEST(FlowTest, PowerScalesWithClockFrequency) {
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+  FlowOptions fast, slow;
+  fast.sched.clockPeriod = 1250.0;
+  slow.sched.clockPeriod = 2500.0;
+  FlowResult a = slackBasedFlow(workloads::makeFir(8, 4), lib, fast);
+  FlowResult b = slackBasedFlow(workloads::makeFir(8, 4), lib, slow);
+  ASSERT_TRUE(a.success && b.success);
+  EXPECT_GT(a.power.throughput, b.power.throughput);
+}
+
+TEST(DseTest, GridHasFifteenNamedPoints) {
+  std::vector<DesignPoint> grid = idctDesignGrid();
+  ASSERT_EQ(grid.size(), 15u);
+  EXPECT_EQ(grid.front().name, "D1");
+  EXPECT_EQ(grid.back().name, "D15");
+  for (const DesignPoint& p : grid) {
+    EXPECT_GT(p.latencyStates, 0);
+    EXPECT_GT(p.clockPeriod, 0.0);
+  }
+}
+
+TEST(DseTest, ExploreComputesRangesAndAverages) {
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+  FlowOptions base;
+  std::vector<DesignPoint> grid = {
+      {"P1", 8, 1250.0, false},
+      {"P2", 4, 1250.0, false},
+      {"P3", 8, 1600.0, false},
+  };
+  auto gen = [](int latency) {
+    return workloads::makeIdct1d({.latencyStates = latency});
+  };
+  DseSummary s = exploreDesignSpace(gen, grid, lib, base);
+  ASSERT_EQ(s.points.size(), 3u);
+  int ok = 0;
+  for (const DsePointResult& r : s.points) ok += r.conv.success && r.slack.success;
+  ASSERT_GT(ok, 0);
+  EXPECT_GE(s.powerRange, 1.0);
+  EXPECT_GE(s.throughputRange, 1.0);
+  EXPECT_GE(s.areaRange, 1.0);
+}
+
+TEST(DseTest, ThroughputFollowsLatencyTimesClock) {
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+  FlowOptions base;
+  std::vector<DesignPoint> grid = {{"A", 8, 1250.0, false},
+                                   {"B", 4, 1250.0, false}};
+  auto gen = [](int latency) {
+    return workloads::makeIdct1d({.latencyStates = latency});
+  };
+  DseSummary s = exploreDesignSpace(gen, grid, lib, base);
+  ASSERT_TRUE(s.points[0].slack.success && s.points[1].slack.success);
+  EXPECT_NEAR(s.points[1].slack.power.throughput /
+                  s.points[0].slack.power.throughput,
+              2.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace thls

@@ -1,0 +1,115 @@
+#include "ir/latency.h"
+
+#include <gtest/gtest.h>
+
+#include "workloads/workloads.h"
+
+namespace thls {
+namespace {
+
+// Same Fig. 4(a) shape as cfg_test.
+struct Fig4 {
+  Cfg cfg;
+  CfgEdgeId e0, e1, e2, e3, e4, e5, e6, e7, e8;
+  Fig4() {
+    CfgNodeId loopTop = cfg.addNode(CfgNodeKind::kBasic, "loop_top");
+    CfgNodeId ifTop = cfg.addNode(CfgNodeKind::kFork, "if_top");
+    CfgNodeId s0 = cfg.addNode(CfgNodeKind::kState, "s0");
+    CfgNodeId s1 = cfg.addNode(CfgNodeKind::kState, "s1");
+    CfgNodeId ifBot = cfg.addNode(CfgNodeKind::kJoin, "if_bot");
+    CfgNodeId s2 = cfg.addNode(CfgNodeKind::kState, "s2");
+    CfgNodeId loopBot = cfg.addNode(CfgNodeKind::kBasic, "loop_bot");
+    e0 = cfg.addEdge(cfg.startNode(), loopTop, "e0");
+    e1 = cfg.addEdge(loopTop, ifTop, "e1");
+    e2 = cfg.addEdge(ifTop, s0, "e2");
+    e3 = cfg.addEdge(s0, ifBot, "e3");
+    e4 = cfg.addEdge(ifTop, s1, "e4");
+    e5 = cfg.addEdge(s1, ifBot, "e5");
+    e6 = cfg.addEdge(ifBot, s2, "e6");
+    e7 = cfg.addEdge(s2, loopBot, "e7");
+    e8 = cfg.addEdge(loopBot, loopTop, "e8");
+    cfg.finalize();
+  }
+};
+
+// The paper's worked examples (§V after Def. 1).
+TEST(LatencyTest, PaperExamples) {
+  Fig4 f;
+  LatencyTable lat(f.cfg);
+  // "latency(e4,e6) = 0" -- post-state branch edge to the join edge.
+  EXPECT_EQ(lat.latency(f.e5, f.e6), 0);
+  // "latency(e1,e7) = 2" -- crosses s0-or-s1 and s2.
+  EXPECT_EQ(lat.latency(f.e1, f.e7), 2);
+  // "latency(e3,e4) is undefined" -- exclusive branches.
+  EXPECT_EQ(lat.latency(f.e3, f.e4), LatencyTable::kUndefined);
+}
+
+TEST(LatencyTest, SameEdgeIsZero) {
+  Fig4 f;
+  LatencyTable lat(f.cfg);
+  for (CfgEdgeId e : {f.e0, f.e1, f.e2, f.e3, f.e7}) {
+    EXPECT_EQ(lat.latency(e, e), 0);
+  }
+}
+
+TEST(LatencyTest, CrossingOneStateCostsOne) {
+  Fig4 f;
+  LatencyTable lat(f.cfg);
+  EXPECT_EQ(lat.latency(f.e2, f.e3), 1);  // across s0
+  EXPECT_EQ(lat.latency(f.e4, f.e5), 1);  // across s1
+  EXPECT_EQ(lat.latency(f.e6, f.e7), 1);  // across s2
+  EXPECT_EQ(lat.latency(f.e1, f.e2), 0);  // through the fork, no state
+  EXPECT_EQ(lat.latency(f.e0, f.e1), 0);
+}
+
+TEST(LatencyTest, TakesMinimumOverPaths) {
+  // Diamond with 2 states on one branch and 1 on the other.
+  Cfg cfg;
+  CfgNodeId fork = cfg.addNode(CfgNodeKind::kFork, "fork");
+  CfgNodeId sa1 = cfg.addNode(CfgNodeKind::kState, "sa1");
+  CfgNodeId sa2 = cfg.addNode(CfgNodeKind::kState, "sa2");
+  CfgNodeId sb = cfg.addNode(CfgNodeKind::kState, "sb");
+  CfgNodeId join = cfg.addNode(CfgNodeKind::kJoin, "join");
+  CfgNodeId tail = cfg.addNode(CfgNodeKind::kBasic, "tail");
+  CfgEdgeId in = cfg.addEdge(cfg.startNode(), fork, "in");
+  cfg.addEdge(fork, sa1, "a1");
+  CfgEdgeId a12 = cfg.addEdge(sa1, sa2, "a12");
+  cfg.addEdge(sa2, join, "a2");
+  cfg.addEdge(fork, sb, "b1");
+  cfg.addEdge(sb, join, "b2");
+  CfgEdgeId out = cfg.addEdge(join, tail, "out");
+  cfg.finalize();
+  LatencyTable lat(cfg);
+  EXPECT_EQ(lat.latency(in, out), 1);   // min(2 via a, 1 via b)
+  EXPECT_EQ(lat.latency(a12, out), 1);  // committed to branch a: sa2 only
+}
+
+TEST(LatencyTest, BackEdgesUndefined) {
+  Fig4 f;
+  LatencyTable lat(f.cfg);
+  EXPECT_EQ(lat.latency(f.e8, f.e1), LatencyTable::kUndefined);
+  EXPECT_EQ(lat.latency(f.e7, f.e8), LatencyTable::kUndefined);
+  EXPECT_EQ(lat.latency(f.e7, f.e1), LatencyTable::kUndefined);
+}
+
+TEST(LatencyTest, StraightLineAccumulates) {
+  BehaviorBuilder b("line");
+  Value x = b.input("x", 8);
+  Value y = b.mul(x, x, "m");
+  b.wait();
+  b.wait();
+  b.wait();
+  b.output("y", y);
+  b.wait();
+  Behavior bhv = b.finish();
+  LatencyTable lat(bhv.cfg);
+  const auto& edges = bhv.cfg.topoEdges();
+  // First edge to the edge after k states has latency k.
+  for (std::size_t k = 0; k + 1 < edges.size(); ++k) {
+    if (bhv.cfg.edge(edges[k]).backward) continue;
+    EXPECT_EQ(lat.latency(edges.front(), edges[k]), static_cast<int>(k));
+  }
+}
+
+}  // namespace
+}  // namespace thls

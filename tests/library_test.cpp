@@ -1,0 +1,148 @@
+#include "tech/resource_library.h"
+
+#include <gtest/gtest.h>
+
+namespace thls {
+namespace {
+
+TEST(VariantCurveTest, Table1MultiplierAnchorExact) {
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+  const VariantCurve& c = lib.curve(ResourceClass::kMul, 8);
+  const double delays[] = {430, 470, 510, 540, 570, 610};
+  const double areas[] = {878, 662, 618, 575, 545, 510};
+  ASSERT_EQ(c.points().size(), 6u);
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_NEAR(c.points()[i].delay, delays[i], 1e-9);
+    EXPECT_NEAR(c.points()[i].area, areas[i], 1e-9);
+  }
+}
+
+TEST(VariantCurveTest, Table1AdderAnchorExact) {
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+  const VariantCurve& c = lib.curve(ResourceClass::kAddSub, 16);
+  const double delays[] = {220, 400, 580, 760, 940, 1220};
+  const double areas[] = {556, 254, 225, 216, 210, 206};
+  ASSERT_EQ(c.points().size(), 6u);
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_NEAR(c.points()[i].delay, delays[i], 1e-9);
+    EXPECT_NEAR(c.points()[i].area, areas[i], 1e-9);
+  }
+}
+
+TEST(VariantCurveTest, InterpolationBetweenPoints) {
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+  const VariantCurve& c = lib.curve(ResourceClass::kMul, 8);
+  // The paper's "Opt" solution uses a 550ps multiplier at area 572; linear
+  // interpolation between (540, 575) and (570, 545) gives 565.
+  double a = c.areaAt(550.0);
+  EXPECT_GT(a, 545.0);
+  EXPECT_LT(a, 575.0);
+  // Clamping outside the range.
+  EXPECT_NEAR(c.areaAt(100.0), 878.0, 1e-9);
+  EXPECT_NEAR(c.areaAt(9999.0), 510.0, 1e-9);
+}
+
+TEST(VariantCurveTest, SnapDelayClampsToRange) {
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+  const VariantCurve& c = lib.curve(ResourceClass::kMul, 8);
+  EXPECT_NEAR(c.snapDelay(100.0), 430.0, 1e-9);
+  EXPECT_NEAR(c.snapDelay(500.0), 500.0, 1e-9);  // continuous sizing
+  EXPECT_NEAR(c.snapDelay(9999.0), 610.0, 1e-9);
+}
+
+TEST(VariantCurveTest, DiscreteModeSnapsToLibraryPoints) {
+  LibraryConfig cfg;
+  cfg.continuousSizing = false;
+  ResourceLibrary lib(cfg);
+  EXPECT_NEAR(lib.snapDelay(OpKind::kMul, 8, 500.0), 470.0, 1e-9);
+  EXPECT_NEAR(lib.snapDelay(OpKind::kMul, 8, 430.0), 430.0, 1e-9);
+  EXPECT_NEAR(lib.snapDelay(OpKind::kMul, 8, 100.0), 430.0, 1e-9);
+}
+
+TEST(VariantCurveTest, NonMonotoneCurveRejected) {
+  EXPECT_THROW(VariantCurve({{100, 50}, {200, 60}}), HlsError);
+  EXPECT_THROW(VariantCurve({{100, 50}, {100, 40}}), HlsError);
+  EXPECT_THROW(VariantCurve(std::vector<TradeoffPoint>{}), HlsError);
+}
+
+struct WidthCase {
+  ResourceClass cls;
+  int width;
+};
+
+class CurveScalingTest : public ::testing::TestWithParam<WidthCase> {};
+
+TEST_P(CurveScalingTest, MonotoneAndOrdered) {
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+  const VariantCurve& c = lib.curve(GetParam().cls, GetParam().width);
+  EXPECT_GT(c.minDelay(), 0.0);
+  EXPECT_LE(c.minDelay(), c.maxDelay());
+  EXPECT_LE(c.minArea(), c.maxArea());
+  for (std::size_t i = 1; i < c.points().size(); ++i) {
+    EXPECT_GT(c.points()[i].delay, c.points()[i - 1].delay);
+    EXPECT_LE(c.points()[i].area, c.points()[i - 1].area);
+  }
+}
+
+TEST_P(CurveScalingTest, WiderIsBiggerAndSlower) {
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+  const int w = GetParam().width;
+  const VariantCurve& narrow = lib.curve(GetParam().cls, w);
+  const VariantCurve& wide = lib.curve(GetParam().cls, 2 * w);
+  EXPECT_GE(wide.minDelay(), narrow.minDelay());
+  EXPECT_GE(wide.maxArea(), narrow.maxArea());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllClasses, CurveScalingTest,
+    ::testing::Values(WidthCase{ResourceClass::kAddSub, 8},
+                      WidthCase{ResourceClass::kAddSub, 16},
+                      WidthCase{ResourceClass::kAddSub, 32},
+                      WidthCase{ResourceClass::kMul, 8},
+                      WidthCase{ResourceClass::kMul, 16},
+                      WidthCase{ResourceClass::kMul, 24},
+                      WidthCase{ResourceClass::kDiv, 16},
+                      WidthCase{ResourceClass::kCmp, 16},
+                      WidthCase{ResourceClass::kShift, 16},
+                      WidthCase{ResourceClass::kLogic, 16}));
+
+TEST(LibraryTest, TinyWidthCurvesStayMonotone) {
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+  for (int w : {1, 2, 3}) {
+    EXPECT_NO_THROW(lib.curve(ResourceClass::kAddSub, w));
+    EXPECT_NO_THROW(lib.curve(ResourceClass::kCmp, w));
+  }
+}
+
+TEST(LibraryTest, SteeringAndStorageModels) {
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+  EXPECT_EQ(lib.muxDelay(1), 0.0);
+  EXPECT_EQ(lib.muxArea(16, 1), 0.0);
+  EXPECT_GT(lib.muxDelay(2), 0.0);
+  EXPECT_GT(lib.muxDelay(5), lib.muxDelay(2));
+  EXPECT_NEAR(lib.muxArea(16, 3), 2 * lib.muxArea(16, 2), 1e-9);
+  EXPECT_GT(lib.registerArea(16), lib.registerArea(8));
+  EXPECT_EQ(lib.fsmArea(1), 0.0);
+  EXPECT_GT(lib.fsmArea(9), lib.fsmArea(4));
+}
+
+TEST(LibraryTest, OutputsAreFree) {
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+  EXPECT_EQ(lib.minDelay(OpKind::kOutput, 16), 0.0);
+  EXPECT_EQ(lib.areaFor(OpKind::kOutput, 16, 0.0), 0.0);
+}
+
+TEST(LibraryTest, CustomCurveOverride) {
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+  lib.setCurve(ResourceClass::kMul, 8, VariantCurve({{300, 1000}}));
+  EXPECT_NEAR(lib.minDelay(OpKind::kMul, 8), 300.0, 1e-9);
+  EXPECT_NEAR(lib.areaFor(OpKind::kMul, 8, 300.0), 1000.0, 1e-9);
+}
+
+TEST(LibraryTest, NoneClassRejected) {
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+  EXPECT_THROW(lib.curve(ResourceClass::kNone, 8), HlsError);
+}
+
+}  // namespace
+}  // namespace thls

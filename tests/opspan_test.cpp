@@ -1,0 +1,120 @@
+// Validates the opSpan analysis against the paper's worked example: the
+// resizer DFG of Fig. 4/5, whose spans are given explicitly in §IV-V.
+#include "ir/opspan.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace thls {
+namespace {
+
+struct ResizerSpans : ::testing::Test {
+  Behavior bhv = workloads::makeResizer();
+  LatencyTable lat{bhv.cfg};
+  OpSpanAnalysis spans{bhv.cfg, bhv.dfg, lat};
+
+  OpId op(const std::string& name) { return testutil::opByName(bhv.dfg, name); }
+
+  std::vector<std::string> spanNames(const std::string& name) {
+    std::vector<std::string> out;
+    for (CfgEdgeId e : spans.span(op(name)).edges) {
+      out.push_back(bhv.cfg.edge(e).name);
+    }
+    return out;
+  }
+};
+
+// Builder edge naming for the resizer:
+//   e1: start->n (rd_a, add, cmp)    e2: fork->thenCursor (pre-s0)
+//   e3: s0->... then branch (div, sub)   e4: then->join closing edge
+//   e5: fork->elseCursor (pre-s1)    e6: s1->... else (rd_b, mul)
+//   e7: else->join closing           e8: join->n (mux)
+//   e9: s2->n (wr)
+// Exact names depend on creation order; the tests use structural facts.
+
+TEST_F(ResizerSpans, FixedOpsHaveSingletonSpans) {
+  for (const char* name : {"rd_a", "rd_b", "wr_out"}) {
+    EXPECT_EQ(spans.mobility(op(name)), 1u) << name;
+    EXPECT_EQ(spans.early(op(name)), spans.late(op(name))) << name;
+    EXPECT_EQ(spans.early(op(name)), bhv.dfg.op(op(name)).birth) << name;
+  }
+}
+
+TEST_F(ResizerSpans, AddIsPinnedByItsConsumersToTheFirstEdge) {
+  // Paper: span(add) = {e1} -- both branches consume x, so add cannot move
+  // into either branch, and rd_a pins it from above.
+  EXPECT_EQ(spans.mobility(op("add")), 1u);
+  EXPECT_EQ(spans.early(op("add")), bhv.dfg.op(op("rd_a")).birth);
+}
+
+TEST_F(ResizerSpans, DivSpeculatesUpToTheFirstEdge) {
+  // Paper: span(div) = {e1, e2, e4}: its own branch plus upward speculation
+  // to before the fork (but never the sibling branch or past the join).
+  OpId div = op("div");
+  EXPECT_EQ(spans.early(div), bhv.dfg.op(op("add")).birth);
+  EXPECT_EQ(spans.mobility(div), 3u);
+  // late(div) stays in the then branch: the same edge where div was born.
+  EXPECT_EQ(spans.late(div), bhv.dfg.op(div).birth);
+}
+
+TEST_F(ResizerSpans, SubMatchesDivSpan) {
+  OpId sub = op("sub");
+  OpId div = op("div");
+  EXPECT_EQ(spans.early(sub), spans.early(div));
+  EXPECT_EQ(spans.late(sub), spans.late(div));
+  EXPECT_EQ(spans.mobility(sub), 3u);
+}
+
+TEST_F(ResizerSpans, MulConfinedToElseBranch) {
+  // Paper: span(mul) = {e5}: rd_b pins it from above, the join blocks
+  // downward motion.
+  OpId mul = op("mul");
+  EXPECT_EQ(spans.mobility(mul), 1u);
+  EXPECT_EQ(spans.early(mul), bhv.dfg.op(op("rd_b")).birth);
+}
+
+TEST_F(ResizerSpans, JoinPhiPinnedAfterJoin) {
+  // Paper: span(mux) = {e6}: a join phi cannot move above its join, and the
+  // registered-write rule stops it one state short of the write.
+  OpId phi = op("phi0");
+  EXPECT_EQ(spans.mobility(phi), 1u);
+  EXPECT_EQ(spans.early(phi), bhv.dfg.op(phi).birth);
+  int l = lat.latency(spans.late(phi), spans.early(op("wr_out")));
+  EXPECT_GE(l, 1);  // registered input of the write
+}
+
+TEST_F(ResizerSpans, PinsCollapseSpans) {
+  std::vector<std::optional<CfgEdgeId>> pins(bhv.dfg.numOps());
+  OpId div = op("div");
+  pins[div.index()] = bhv.dfg.op(div).birth;
+  OpSpanAnalysis pinned(bhv.cfg, bhv.dfg, lat, &pins);
+  EXPECT_EQ(pinned.mobility(div), 1u);
+  EXPECT_EQ(pinned.early(div), bhv.dfg.op(div).birth);
+}
+
+TEST_F(ResizerSpans, EarliestBoundTightensEarly) {
+  OpId div = op("div");
+  std::vector<std::size_t> earliest(bhv.dfg.numOps(), 0);
+  // Forbid everything before div's birth edge.
+  earliest[div.index()] = bhv.cfg.topoIndexOfEdge(bhv.dfg.op(div).birth);
+  OpSpanAnalysis bounded(bhv.cfg, bhv.dfg, lat, nullptr, &earliest);
+  EXPECT_EQ(bounded.early(div), bhv.dfg.op(div).birth);
+  EXPECT_EQ(bounded.mobility(div), 1u);
+}
+
+TEST(OpSpanStraightLine, SpansWidenWithStates) {
+  Behavior bhv = testutil::chainBehavior(/*depth=*/2, /*states=*/4);
+  LatencyTable lat(bhv.cfg);
+  OpSpanAnalysis spans(bhv.cfg, bhv.dfg, lat);
+  OpId m0 = testutil::opByName(bhv.dfg, "m0");
+  OpId a1 = testutil::opByName(bhv.dfg, "a1");
+  // Output is pinned on the 4th state's edge; both ops can use any of the
+  // first four edges.
+  EXPECT_EQ(spans.mobility(m0), 4u);
+  EXPECT_EQ(spans.mobility(a1), 4u);
+  EXPECT_TRUE(bhv.cfg.edgeReaches(spans.early(m0), spans.early(a1)));
+}
+
+}  // namespace
+}  // namespace thls

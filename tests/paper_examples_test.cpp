@@ -1,0 +1,126 @@
+// End-to-end regression of the paper's quantitative claims, at the fidelity
+// the reproduction supports (see EXPERIMENTS.md for the deviations).
+#include <gtest/gtest.h>
+
+#include "flow/hls_flow.h"
+#include "test_util.h"
+
+namespace thls {
+namespace {
+
+/// Table 2 environment: 1100ps clock, mux/register delays ignored.
+ResourceLibrary table2Library() {
+  LibraryConfig cfg;
+  cfg.mux2Delay = 0.0;
+  cfg.seqMargin = 0.0;
+  return ResourceLibrary::tsmc90(cfg);
+}
+
+TEST(PaperTable2, SlackBudgetedBeatsFastestFirstByALot) {
+  ResourceLibrary lib = table2Library();
+  FlowOptions opts;
+  opts.sched.clockPeriod = 1100.0;
+
+  FlowResult conv = conventionalFlow(workloads::makeInterpolation({}), lib, opts);
+  FlowResult opt = slackBasedFlow(workloads::makeInterpolation({}), lib, opts);
+  ASSERT_TRUE(conv.success) << conv.failureReason;
+  ASSERT_TRUE(opt.success) << opt.failureReason;
+
+  double aConv = conv.schedule.fuArea(lib);
+  double aOpt = opt.schedule.fuArea(lib);
+  // Paper: 3408 vs 2180.  Our scheduler is not bit-identical; assert the
+  // magnitudes and the ordering.
+  EXPECT_GT(aConv, 3300.0);
+  EXPECT_LT(aConv, 3900.0);
+  EXPECT_LT(aOpt, 3100.0);
+  EXPECT_LT(aOpt, aConv * 0.85);  // >= 15% saving (paper: ~36%)
+}
+
+TEST(PaperTable2, MinimalResourceCounts) {
+  // 7 muls + 4 adds in 3 states need >= 3 multipliers and >= 2 adders.
+  ResourceLibrary lib = table2Library();
+  FlowOptions opts;
+  opts.sched.clockPeriod = 1100.0;
+  FlowResult r = slackBasedFlow(workloads::makeInterpolation({}), lib, opts);
+  ASSERT_TRUE(r.success);
+  int muls = 0, adds = 0;
+  for (const FuInstance& fu : r.schedule.fus) {
+    if (fu.ops.empty()) continue;
+    muls += fu.cls == ResourceClass::kMul;
+    adds += fu.cls == ResourceClass::kAddSub;
+  }
+  EXPECT_GE(muls, 3);
+  EXPECT_GE(adds, 2);
+  EXPECT_LE(muls, 4);  // near-minimal
+}
+
+TEST(PaperProposition1, PositiveSlackBudgetImpliesSchedulable) {
+  // Prop. 1: if budgeting succeeds (non-negative aligned slack with
+  // dedicated resources), a legal schedule exists; our scheduler must
+  // realize one.
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+  for (std::uint32_t seed = 1; seed <= 8; ++seed) {
+    workloads::RandomDfgParams p;
+    p.seed = seed;
+    p.numOps = 30;
+    p.latencyStates = 6;
+    Behavior probe = workloads::makeRandomDfg(p);
+    LatencyTable lat(probe.cfg);
+    OpSpanAnalysis spans(probe.cfg, probe.dfg, lat);
+    TimedDfg timed(probe.cfg, probe.dfg, lat, spans);
+    BudgetOptions bopts;
+    bopts.clockPeriod = 1250.0;
+    BudgetResult budget = budgetSlack(timed, probe.dfg, lib, bopts);
+    if (!budget.feasible) continue;
+
+    Behavior bhv = workloads::makeRandomDfg(p);
+    SchedulerOptions sopts;
+    sopts.clockPeriod = 1250.0;
+    ScheduleOutcome o = scheduleBehavior(bhv, lib, sopts);
+    EXPECT_TRUE(o.success) << "seed " << seed << ": " << o.failureReason;
+    if (o.success) testutil::expectLegal(bhv, lib, o.schedule);
+  }
+}
+
+TEST(PaperSection7, SlackBasedWinsOnAverageAcrossWorkloads) {
+  // Table 4's qualitative content: positive average saving, with occasional
+  // regressions allowed (paper saw 3 of 15).
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+  double sum = 0;
+  int n = 0, regressions = 0;
+  for (const auto& w : workloads::standardWorkloads()) {
+    FlowOptions opts;
+    opts.sched.clockPeriod = w.clockPeriod;
+    FlowComparison cmp = compareFlows(w.make(), lib, opts);
+    if (!cmp.conv.success || !cmp.slack.success) continue;
+    sum += cmp.savingPercent;
+    ++n;
+    regressions += cmp.savingPercent < 0;
+  }
+  ASSERT_GT(n, 4);
+  EXPECT_GT(sum / n, 5.0);         // paper: 8.9% on IDCT, ~5% on customers
+  EXPECT_LE(regressions, n / 2);   // wins must dominate
+}
+
+TEST(PaperSection7, BothFlowsMeetTimingAfterSynthesisProxy) {
+  // "In all runs, we made sure that timing was met for the specified clock
+  // period": every op's chain fits its cycle after recovery.
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+  for (const auto& w : workloads::standardWorkloads()) {
+    FlowOptions opts;
+    opts.sched.clockPeriod = w.clockPeriod;
+    for (bool slackFlow : {false, true}) {
+      Behavior bhv = w.make();
+      FlowResult r = slackFlow ? slackBasedFlow(std::move(bhv), lib, opts)
+                               : conventionalFlow(std::move(bhv), lib, opts);
+      if (!r.success) continue;
+      Behavior check = w.make();
+      LatencyTable lat(check.cfg);
+      EXPECT_TRUE(validateSchedule(check, lat, lib, r.schedule).empty())
+          << w.name << (slackFlow ? " slack" : " conv");
+    }
+  }
+}
+
+}  // namespace
+}  // namespace thls

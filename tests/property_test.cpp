@@ -1,0 +1,119 @@
+// Property-based sweeps over random DFGs x clock periods: the invariants
+// the paper's machinery must uphold regardless of input shape.
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace thls {
+namespace {
+
+struct SweepCase {
+  std::uint32_t seed;
+  double clock;
+};
+
+class RandomSweep : public ::testing::TestWithParam<SweepCase> {
+ protected:
+  workloads::RandomDfgParams params() const {
+    workloads::RandomDfgParams p;
+    p.seed = GetParam().seed;
+    p.numOps = 35 + static_cast<int>(GetParam().seed % 3) * 10;
+    p.latencyStates = 3 + static_cast<int>(GetParam().seed % 4);
+    return p;
+  }
+};
+
+TEST_P(RandomSweep, SpansAreConsistent) {
+  Behavior bhv = workloads::makeRandomDfg(params());
+  LatencyTable lat(bhv.cfg);
+  OpSpanAnalysis spans(bhv.cfg, bhv.dfg, lat);
+  for (OpId op : bhv.dfg.schedulableOps()) {
+    const OpSpan& s = spans.span(op);
+    // early reaches late; every span edge lies between them.
+    EXPECT_TRUE(bhv.cfg.edgeReaches(s.early, s.late));
+    for (CfgEdgeId e : s.edges) {
+      EXPECT_TRUE(bhv.cfg.edgeReaches(s.early, e));
+      EXPECT_TRUE(bhv.cfg.edgeReaches(e, s.late));
+    }
+    // Producer early edges reach consumer early edges.
+    for (OpId p : bhv.dfg.timingPreds(op)) {
+      EXPECT_TRUE(bhv.cfg.edgeReaches(spans.early(p), s.early));
+    }
+  }
+}
+
+TEST_P(RandomSweep, CriticalOpsShareMinSlack) {
+  Behavior bhv = workloads::makeRandomDfg(params());
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+  LatencyTable lat(bhv.cfg);
+  OpSpanAnalysis spans(bhv.cfg, bhv.dfg, lat);
+  TimedDfg timed(bhv.cfg, bhv.dfg, lat, spans);
+  std::vector<double> delays(bhv.dfg.numOps(), 0.0);
+  for (OpId op : bhv.dfg.schedulableOps()) {
+    const Operation& o = bhv.dfg.op(op);
+    delays[op.index()] = lib.minDelay(o.kind, o.width);
+  }
+  TimingResult r =
+      sequentialSlack(timed, delays, {GetParam().clock, /*aligned=*/false});
+  std::vector<OpId> crit = criticalOps(timed, r, 1e-6);
+  ASSERT_FALSE(crit.empty());
+  for (OpId op : crit) {
+    EXPECT_NEAR(r.slack(op), r.minSlack, 1e-6);
+  }
+}
+
+TEST_P(RandomSweep, FeasibleBudgetsAreNonNegativeEverywhere) {
+  Behavior bhv = workloads::makeRandomDfg(params());
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+  LatencyTable lat(bhv.cfg);
+  OpSpanAnalysis spans(bhv.cfg, bhv.dfg, lat);
+  TimedDfg timed(bhv.cfg, bhv.dfg, lat, spans);
+  BudgetOptions opts;
+  opts.clockPeriod = GetParam().clock;
+  BudgetResult r = budgetSlack(timed, bhv.dfg, lib, opts);
+  if (!r.feasible) return;  // infeasible points are allowed to exist
+  for (OpId op : bhv.dfg.schedulableOps()) {
+    EXPECT_GE(r.timing.slack(op), -1e-6) << bhv.dfg.op(op).name;
+  }
+}
+
+TEST_P(RandomSweep, SchedulesAreLegalWheneverProduced) {
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+  for (StartPolicy policy : {StartPolicy::kFastest, StartPolicy::kBudgeted}) {
+    Behavior bhv = workloads::makeRandomDfg(params());
+    SchedulerOptions opts;
+    opts.clockPeriod = GetParam().clock;
+    opts.startPolicy = policy;
+    opts.rebudgetPerEdge = policy == StartPolicy::kBudgeted;
+    ScheduleOutcome o = scheduleBehavior(bhv, lib, opts);
+    if (!o.success) continue;
+    testutil::expectLegal(bhv, lib, o.schedule);
+  }
+}
+
+TEST_P(RandomSweep, BudgetedNeverLosesToConventionalByMuchOnAverage) {
+  // Not a per-sample guarantee (the paper itself regresses on D5-D7); the
+  // aggregated check lives in paper_examples_test.  Here: both flows either
+  // fail together or produce valid areas.
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+  FlowOptions opts;
+  opts.sched.clockPeriod = GetParam().clock;
+  Behavior a = workloads::makeRandomDfg(params());
+  FlowComparison cmp = compareFlows(a, lib, opts);
+  if (cmp.conv.success && cmp.slack.success) {
+    EXPECT_GT(cmp.conv.area.total(), 0.0);
+    EXPECT_GT(cmp.slack.area.total(), 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, RandomSweep,
+    ::testing::Values(SweepCase{1, 1250}, SweepCase{2, 1250},
+                      SweepCase{3, 1600}, SweepCase{4, 1600},
+                      SweepCase{5, 1000}, SweepCase{6, 1250},
+                      SweepCase{7, 2000}, SweepCase{8, 1600},
+                      SweepCase{9, 1250}, SweepCase{10, 1000},
+                      SweepCase{11, 1600}, SweepCase{12, 2000}));
+
+}  // namespace
+}  // namespace thls

@@ -1,0 +1,121 @@
+#include "netlist/recovery.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace thls {
+namespace {
+
+TEST(RecoveryTest, NeverIncreasesFuAreaAndStaysLegal) {
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+  for (const auto& w : workloads::standardWorkloads()) {
+    Behavior bhv = w.make();
+    SchedulerOptions opts;
+    opts.clockPeriod = w.clockPeriod;
+    opts.startPolicy = StartPolicy::kFastest;
+    ScheduleOutcome o = scheduleBehavior(bhv, lib, opts);
+    ASSERT_TRUE(o.success) << w.name;
+    LatencyTable lat(bhv.cfg);
+    double before = o.schedule.fuArea(lib);
+    RecoveryResult r = stateLocalAreaRecovery(bhv, lat, o.schedule, lib);
+    EXPECT_LE(r.schedule.fuArea(lib), before + 1e-6) << w.name;
+    EXPECT_NEAR(before - r.schedule.fuArea(lib), r.areaSaved, 1e-6) << w.name;
+    EXPECT_TRUE(validateSchedule(bhv, lat, lib, r.schedule).empty()) << w.name;
+  }
+}
+
+TEST(RecoveryTest, DownsizesIdleFunctionalUnits) {
+  // A single multiplier alone in a wide cycle must relax to the slowest
+  // variant.
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+  BehaviorBuilder b("idle");
+  Value x = b.input("x", 8);
+  Value m = b.mul(x, x, "m");
+  b.wait();
+  b.output("o", m);
+  b.wait();
+  Behavior bhv = b.finish();
+  SchedulerOptions opts;
+  opts.clockPeriod = 1100.0;
+  opts.startPolicy = StartPolicy::kFastest;
+  ScheduleOutcome o = scheduleBehavior(bhv, lib, opts);
+  ASSERT_TRUE(o.success);
+  LatencyTable lat(bhv.cfg);
+  RecoveryResult r = stateLocalAreaRecovery(bhv, lat, o.schedule, lib);
+  for (const FuInstance& fu : r.schedule.fus) {
+    if (!fu.ops.empty() && fu.cls == ResourceClass::kMul) {
+      EXPECT_NEAR(fu.delay, lib.curve(ResourceClass::kMul, 8).maxDelay(), 1e-6);
+    }
+  }
+  EXPECT_GT(r.fusResized, 0);
+}
+
+TEST(RecoveryTest, RespectsChainedConsumersInsideTheState) {
+  // Two chained ops filling the cycle leave no recovery slack.
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+  BehaviorBuilder b("tight");
+  Value x = b.input("x", 8);
+  Value m1 = b.mul(x, x, "m1");
+  Value m2 = b.mul(m1, x, "m2");
+  b.output("o", m2);
+  b.wait();
+  Behavior bhv = b.finish();
+  SchedulerOptions opts;
+  opts.clockPeriod = 880.0;  // 2 x 430 = 860: nearly full
+  opts.startPolicy = StartPolicy::kFastest;
+  ScheduleOutcome o = scheduleBehavior(bhv, lib, opts);
+  ASSERT_TRUE(o.success) << o.failureReason;
+  LatencyTable lat(bhv.cfg);
+  RecoveryResult r = stateLocalAreaRecovery(bhv, lat, o.schedule, lib);
+  // Both muls must still fit the chain: start + delay <= T for all ops.
+  EXPECT_TRUE(recomputeChainStarts(bhv, lat, lib, r.schedule));
+  // Only ~20ps of chain slack existed; the recovered area is the steep
+  // fast-end slope of the 8-bit multiplier curve times that.
+  EXPECT_LT(r.areaSaved, 150.0);
+  EXPECT_TRUE(validateSchedule(bhv, lat, lib, r.schedule).empty());
+}
+
+TEST(RecoveryTest, StateLocalOnlyCannotUseCrossCycleSlack) {
+  // The paper's central observation: a fastest-variant chain filling cycle 1
+  // followed by an empty cycle cannot recover across the state boundary,
+  // while the slack-based flow budgets it up front.
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+  // A mul feeding an add (different classes, so the conventional ASAP
+  // schedule chains them in cycle 1 and leaves cycle 2 empty).
+  auto makeBhv = [] {
+    BehaviorBuilder b("twostate");
+    Value x = b.input("x", 8);
+    Value y = b.input("y", 16);
+    Value m1 = b.mul(x, x, "m1");
+    Value m2 = b.binary(OpKind::kAdd, m1, y, 16, "m2");
+    b.wait();
+    b.wait();
+    b.output("o", m2);
+    b.wait();
+    return b.finish();
+  };
+  // Conventional: both muls chained in cycle 1 at 430 + recovery.
+  Behavior conv = makeBhv();
+  SchedulerOptions copts;
+  copts.clockPeriod = 900.0;
+  copts.startPolicy = StartPolicy::kFastest;
+  ScheduleOutcome co = scheduleBehavior(conv, lib, copts);
+  ASSERT_TRUE(co.success);
+  LatencyTable clat(conv.cfg);
+  Schedule cs = stateLocalAreaRecovery(conv, clat, co.schedule, lib).schedule;
+
+  // Budgeted: each mul gets its own cycle at ~the slowest variant.
+  Behavior slak = makeBhv();
+  SchedulerOptions sopts;
+  sopts.clockPeriod = 900.0;
+  ScheduleOutcome so = scheduleBehavior(slak, lib, sopts);
+  ASSERT_TRUE(so.success);
+  LatencyTable slat(slak.cfg);
+  Schedule ss = stateLocalAreaRecovery(slak, slat, so.schedule, lib).schedule;
+
+  EXPECT_LT(ss.fuArea(lib), cs.fuArea(lib));
+}
+
+}  // namespace
+}  // namespace thls

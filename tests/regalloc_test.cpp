@@ -1,0 +1,125 @@
+#include "bind/regalloc.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace thls {
+namespace {
+
+RegisterAllocation allocFor(Behavior& bhv, double clock) {
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+  SchedulerOptions opts;
+  opts.clockPeriod = clock;
+  ScheduleOutcome o = scheduleBehavior(bhv, lib, opts);
+  EXPECT_TRUE(o.success) << o.failureReason;
+  LatencyTable lat(bhv.cfg);
+  return allocateRegisters(bhv, lat, o.schedule);
+}
+
+TEST(RegallocTest, CombinationalValuesStayInWires) {
+  // Everything chained in one cycle: no registers except the output path.
+  BehaviorBuilder b("comb");
+  Value x = b.input("x", 8);
+  Value m = b.mul(x, x, "m");
+  Value a = b.add(m, x, "a");
+  b.output("o", a);
+  b.wait();
+  Behavior bhv = b.finish();
+  RegisterAllocation r = allocFor(bhv, 1600.0);
+  EXPECT_TRUE(r.lifetimes.empty());
+  EXPECT_EQ(r.registerCount(), 0u);
+}
+
+TEST(RegallocTest, StateCrossingValuesGetRegisters) {
+  Behavior bhv = testutil::chainBehavior(/*depth=*/4, /*states=*/4);
+  RegisterAllocation r = allocFor(bhv, 700.0);
+  EXPECT_GT(r.registerCount(), 0u);
+  // Every registered lifetime spans at least one state boundary.
+  for (const ValueLifetime& lt : r.lifetimes) {
+    EXPECT_LE(lt.begin, lt.end);
+  }
+}
+
+TEST(RegallocTest, LeftEdgeCountEqualsMaxOverlap) {
+  Behavior bhv = workloads::makeEwf(14);
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+  SchedulerOptions opts;
+  opts.clockPeriod = 1250.0;
+  ScheduleOutcome o = scheduleBehavior(bhv, lib, opts);
+  ASSERT_TRUE(o.success);
+  LatencyTable lat(bhv.cfg);
+  RegisterAllocation r = allocateRegisters(bhv, lat, o.schedule);
+
+  // Optimality of left-edge on an interval graph: register count equals the
+  // maximum number of simultaneously live same-width values.
+  std::map<int, std::size_t> regsPerWidth;
+  for (const RegisterInfo& reg : r.registers) regsPerWidth[reg.width]++;
+  for (const auto& [width, count] : regsPerWidth) {
+    std::size_t maxOverlap = 0;
+    for (const ValueLifetime& a : r.lifetimes) {
+      if (a.width != width) continue;
+      std::size_t overlap = 0;
+      for (const ValueLifetime& b : r.lifetimes) {
+        if (b.width != width) continue;
+        if (b.begin <= a.begin && a.begin <= b.end) ++overlap;
+      }
+      maxOverlap = std::max(maxOverlap, overlap);
+    }
+    EXPECT_EQ(count, maxOverlap) << "width " << width;
+  }
+}
+
+TEST(RegallocTest, RegistersNeverDoubleBookInstant) {
+  Behavior bhv = workloads::makeIdct1d({.latencyStates = 8});
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+  SchedulerOptions opts;
+  opts.clockPeriod = 1250.0;
+  ScheduleOutcome o = scheduleBehavior(bhv, lib, opts);
+  ASSERT_TRUE(o.success);
+  LatencyTable lat(bhv.cfg);
+  RegisterAllocation r = allocateRegisters(bhv, lat, o.schedule);
+
+  auto lifetimeOf = [&](OpId producer) -> const ValueLifetime* {
+    for (const ValueLifetime& lt : r.lifetimes) {
+      if (lt.producer == producer) return &lt;
+    }
+    return nullptr;
+  };
+  for (const RegisterInfo& reg : r.registers) {
+    for (std::size_t i = 0; i < reg.values.size(); ++i) {
+      for (std::size_t j = i + 1; j < reg.values.size(); ++j) {
+        const ValueLifetime* a = lifetimeOf(reg.values[i]);
+        const ValueLifetime* b = lifetimeOf(reg.values[j]);
+        ASSERT_NE(a, nullptr);
+        ASSERT_NE(b, nullptr);
+        EXPECT_TRUE(a->end < b->begin || b->end < a->begin)
+            << "overlapping lifetimes share a register";
+      }
+    }
+  }
+}
+
+TEST(RegallocTest, TotalAreaMatchesLibrary) {
+  Behavior bhv = testutil::chainBehavior(4, 4);
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+  RegisterAllocation r = allocFor(bhv, 700.0);
+  double expect = 0;
+  for (const RegisterInfo& reg : r.registers) {
+    expect += lib.registerArea(reg.width);
+  }
+  EXPECT_NEAR(r.totalArea(lib), expect, 1e-9);
+}
+
+TEST(RegallocTest, TighterLatencySharesMoreRegisters) {
+  // With more states the same values stretch over more cycles, but the
+  // left-edge allocator still only needs max-overlap many registers.
+  Behavior a = workloads::makeFir(8, 3);
+  Behavior b = workloads::makeFir(8, 8);
+  RegisterAllocation ra = allocFor(a, 1250.0);
+  RegisterAllocation rb = allocFor(b, 1250.0);
+  EXPECT_GT(ra.registerCount() + rb.registerCount(), 0u);
+}
+
+}  // namespace
+}  // namespace thls

@@ -1,0 +1,145 @@
+#include "sched/schedule.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace thls {
+namespace {
+
+struct ConcurrencyFixture : ::testing::Test {
+  Behavior bhv = workloads::makeResizer();
+  LatencyTable lat{bhv.cfg};
+
+  CfgEdgeId edgeOfOp(const std::string& name) {
+    return bhv.dfg.op(testutil::opByName(bhv.dfg, name)).birth;
+  }
+};
+
+TEST_F(ConcurrencyFixture, SameEdgeIsConcurrent) {
+  CfgEdgeId e = edgeOfOp("add");
+  EXPECT_TRUE(edgesConcurrent(bhv.cfg, lat, e, e));
+}
+
+TEST_F(ConcurrencyFixture, StateSeparatedEdgesAreNot) {
+  // add (before the branch states) vs wr (after s2).
+  EXPECT_FALSE(
+      edgesConcurrent(bhv.cfg, lat, edgeOfOp("add"), edgeOfOp("wr_out")));
+}
+
+TEST_F(ConcurrencyFixture, ExclusiveBranchesAreNotConcurrent) {
+  // div (then branch) and mul (else branch) can share one FU.
+  EXPECT_FALSE(
+      edgesConcurrent(bhv.cfg, lat, edgeOfOp("div"), edgeOfOp("mul")));
+}
+
+TEST_F(ConcurrencyFixture, ZeroLatencyForwardEdgesAreConcurrent) {
+  // The phi's edge and the write sit across a state: not concurrent; but
+  // add and the pre-state branch edges are.
+  EXPECT_FALSE(
+      edgesConcurrent(bhv.cfg, lat, edgeOfOp("phi0"), edgeOfOp("wr_out")));
+  CfgEdgeId addEdge = edgeOfOp("add");
+  for (CfgEdgeId e : bhv.cfg.forwardOut(bhv.cfg.edge(addEdge).to)) {
+    EXPECT_TRUE(edgesConcurrent(bhv.cfg, lat, addEdge, e));
+  }
+}
+
+TEST(ValidatorTest, AcceptsLegalScheduleAndCatchesTampering) {
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+  Behavior bhv = testutil::chainBehavior(4, 3);
+  SchedulerOptions opts;
+  opts.clockPeriod = 1250.0;
+  ScheduleOutcome o = scheduleBehavior(bhv, lib, opts);
+  ASSERT_TRUE(o.success);
+  LatencyTable lat(bhv.cfg);
+  EXPECT_TRUE(validateSchedule(bhv, lat, lib, o.schedule).empty());
+
+  // Tamper 1: move the producer after its consumers' cycles.
+  {
+    Schedule bad = o.schedule;
+    OpId m0 = testutil::opByName(bhv.dfg, "m0");
+    for (auto it = bhv.cfg.topoEdges().rbegin();
+         it != bhv.cfg.topoEdges().rend(); ++it) {
+      if (!bhv.cfg.edge(*it).backward) {
+        bad.opEdge[m0.index()] = *it;
+        break;
+      }
+    }
+    EXPECT_FALSE(validateSchedule(bhv, lat, lib, bad).empty());
+  }
+  // Tamper 2: break the clock period.
+  {
+    Schedule bad = o.schedule;
+    OpId m0 = testutil::opByName(bhv.dfg, "m0");
+    bad.opStart[m0.index()] = 1200.0;
+    EXPECT_FALSE(validateSchedule(bhv, lat, lib, bad).empty());
+  }
+  // Tamper 3: FU delay outside the library range.
+  {
+    Schedule bad = o.schedule;
+    for (FuInstance& fu : bad.fus) {
+      if (!fu.ops.empty() && fu.cls == ResourceClass::kMul) fu.delay = 50.0;
+    }
+    EXPECT_FALSE(validateSchedule(bhv, lat, lib, bad).empty());
+  }
+}
+
+TEST(ValidatorTest, CatchesConcurrentSharing) {
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+  Behavior bhv = testutil::chainBehavior(4, 4);
+  SchedulerOptions opts;
+  opts.clockPeriod = 1250.0;
+  ScheduleOutcome o = scheduleBehavior(bhv, lib, opts);
+  ASSERT_TRUE(o.success);
+  LatencyTable lat(bhv.cfg);
+
+  // Force two ops bound to one FU onto the same edge.
+  Schedule bad = o.schedule;
+  FuId victim;
+  for (std::size_t f = 0; f < bad.fus.size(); ++f) {
+    if (bad.fus[f].ops.size() >= 2) {
+      victim = FuId(static_cast<std::int32_t>(f));
+      break;
+    }
+  }
+  if (victim.valid()) {
+    OpId first = bad.fus[victim.index()].ops[0];
+    OpId second = bad.fus[victim.index()].ops[1];
+    bad.opEdge[second.index()] = bad.opEdge[first.index()];
+    EXPECT_FALSE(validateSchedule(bhv, lat, lib, bad).empty());
+  }
+}
+
+TEST(ScheduleQueriesTest, FuAreaCountsOccupiedInstancesOnly) {
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+  Schedule s;
+  s.clockPeriod = 1000;
+  FuInstance used;
+  used.cls = ResourceClass::kMul;
+  used.width = 8;
+  used.delay = 610;
+  used.ops.push_back(OpId(0));
+  FuInstance empty = used;
+  empty.ops.clear();
+  s.fus = {used, empty};
+  EXPECT_NEAR(s.fuArea(lib), 510.0, 1e-6);
+}
+
+TEST(ScheduleQueriesTest, RecomputeChainStartsDetectsOverflow) {
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+  Behavior bhv = testutil::chainBehavior(4, 2);
+  SchedulerOptions opts;
+  opts.clockPeriod = 1600.0;
+  ScheduleOutcome o = scheduleBehavior(bhv, lib, opts);
+  ASSERT_TRUE(o.success);
+  LatencyTable lat(bhv.cfg);
+  Schedule s = o.schedule;
+  EXPECT_TRUE(recomputeChainStarts(bhv, lat, lib, s));
+  // Blow up one op's delay: some chain must now overflow.
+  OpId m0 = testutil::opByName(bhv.dfg, "m0");
+  s.opDelay[m0.index()] = 1590.0;
+  EXPECT_FALSE(recomputeChainStarts(bhv, lat, lib, s));
+}
+
+}  // namespace
+}  // namespace thls

@@ -1,0 +1,200 @@
+#include "sched/list_scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace thls {
+namespace {
+
+ResourceLibrary defaultLib() { return ResourceLibrary::tsmc90(); }
+
+TEST(SchedulerTest, SchedulesEveryHardwareOp) {
+  ResourceLibrary lib = defaultLib();
+  Behavior bhv = workloads::makeArf(8);
+  SchedulerOptions opts;
+  opts.clockPeriod = 1250.0;
+  ScheduleOutcome o = scheduleBehavior(bhv, lib, opts);
+  ASSERT_TRUE(o.success) << o.failureReason;
+  for (OpId op : bhv.dfg.schedulableOps()) {
+    EXPECT_TRUE(o.schedule.scheduled(op)) << bhv.dfg.op(op).name;
+  }
+  testutil::expectLegal(bhv, lib, o.schedule);
+}
+
+TEST(SchedulerTest, AllPoliciesProduceLegalSchedules) {
+  ResourceLibrary lib = defaultLib();
+  for (StartPolicy p : {StartPolicy::kFastest, StartPolicy::kSlowest,
+                        StartPolicy::kBudgeted}) {
+    Behavior bhv = workloads::makeInterpolation({});
+    SchedulerOptions opts;
+    opts.clockPeriod = 1100.0;
+    opts.startPolicy = p;
+    opts.rebudgetPerEdge = p == StartPolicy::kBudgeted;
+    ScheduleOutcome o = scheduleBehavior(bhv, lib, opts);
+    ASSERT_TRUE(o.success) << static_cast<int>(p) << ": " << o.failureReason;
+    testutil::expectLegal(bhv, lib, o.schedule);
+  }
+}
+
+TEST(SchedulerTest, FixedOpsLandOnBirthEdges) {
+  ResourceLibrary lib = defaultLib();
+  Behavior bhv = workloads::makeResizer();
+  SchedulerOptions opts;
+  opts.clockPeriod = 1600.0;
+  ScheduleOutcome o = scheduleBehavior(bhv, lib, opts);
+  ASSERT_TRUE(o.success) << o.failureReason;
+  for (OpId op : bhv.dfg.schedulableOps()) {
+    const Operation& oo = bhv.dfg.op(op);
+    if (oo.fixed) {
+      EXPECT_EQ(o.schedule.opEdge[op.index()], oo.birth) << oo.name;
+    }
+  }
+}
+
+TEST(SchedulerTest, ResourceCountRespectsLatencyPressure) {
+  // Fewer states force more parallel FUs.
+  ResourceLibrary lib = defaultLib();
+  auto mulsUsed = [&](int states) {
+    Behavior bhv = workloads::makeArf(states);
+    SchedulerOptions opts;
+    opts.clockPeriod = 1250.0;
+    ScheduleOutcome o = scheduleBehavior(bhv, lib, opts);
+    EXPECT_TRUE(o.success);
+    int n = 0;
+    for (const FuInstance& fu : o.schedule.fus) {
+      n += !fu.ops.empty() && fu.cls == ResourceClass::kMul;
+    }
+    return n;
+  };
+  EXPECT_GT(mulsUsed(4), mulsUsed(10));
+}
+
+TEST(SchedulerTest, BudgetedUsesSlowerVariantsThanConventional) {
+  ResourceLibrary lib = defaultLib();
+  auto avgMulDelay = [&](StartPolicy p) {
+    Behavior bhv = workloads::makeIdct1d({.latencyStates = 8});
+    SchedulerOptions opts;
+    opts.clockPeriod = 1250.0;
+    opts.startPolicy = p;
+    opts.rebudgetPerEdge = p == StartPolicy::kBudgeted;
+    ScheduleOutcome o = scheduleBehavior(bhv, lib, opts);
+    EXPECT_TRUE(o.success);
+    double sum = 0;
+    int n = 0;
+    for (const FuInstance& fu : o.schedule.fus) {
+      if (!fu.ops.empty() && fu.cls == ResourceClass::kMul) {
+        sum += fu.delay;
+        ++n;
+      }
+    }
+    return n > 0 ? sum / n : 0.0;
+  };
+  EXPECT_GT(avgMulDelay(StartPolicy::kBudgeted),
+            avgMulDelay(StartPolicy::kFastest));
+}
+
+TEST(SchedulerTest, MergeWidthsGroupsOntoWidestUnits) {
+  ResourceLibrary lib = defaultLib();
+  BehaviorBuilder b("widths");
+  Value a = b.input("a", 6);
+  Value c = b.input("c", 12);
+  Value m1 = b.binary(OpKind::kMul, a, a, 6, "m6");
+  Value m2 = b.binary(OpKind::kMul, c, c, 12, "m12");
+  b.wait();
+  b.output("o1", m1);
+  b.output("o2", m2);
+  b.wait();
+  Behavior bhv = b.finish();
+
+  SchedulerOptions opts;
+  opts.clockPeriod = 1250.0;
+  opts.mergeWidths = true;
+  ScheduleOutcome o = scheduleBehavior(bhv, lib, opts);
+  ASSERT_TRUE(o.success) << o.failureReason;
+  for (const FuInstance& fu : o.schedule.fus) {
+    if (!fu.ops.empty() && fu.cls == ResourceClass::kMul) {
+      EXPECT_EQ(fu.width, 12);
+    }
+  }
+}
+
+TEST(SchedulerTest, RelaxationAddsStatesWhenAllowed) {
+  ResourceLibrary lib = defaultLib();
+  // Two states, deep chain: impossible without adding states.  (With a
+  // single state, even extra states cannot help: the output is pinned on
+  // the one edge everything shares.)
+  Behavior bhv = testutil::chainBehavior(/*depth=*/8, /*states=*/2);
+  SchedulerOptions opts;
+  opts.clockPeriod = 1250.0;
+  opts.allowAddState = true;
+  ScheduleOutcome o = scheduleBehavior(bhv, lib, opts);
+  ASSERT_TRUE(o.success) << o.failureReason;
+  EXPECT_GT(o.stats.statesAdded, 0);
+  EXPECT_GT(bhv.cfg.numStates(), 2u);
+  testutil::expectLegal(bhv, lib, o.schedule);
+}
+
+TEST(SchedulerTest, FailsCleanlyWhenOverconstrained) {
+  ResourceLibrary lib = defaultLib();
+  Behavior bhv = testutil::chainBehavior(/*depth=*/6, /*states=*/1);
+  SchedulerOptions opts;
+  opts.clockPeriod = 1250.0;
+  opts.allowAddState = false;
+  ScheduleOutcome o = scheduleBehavior(bhv, lib, opts);
+  EXPECT_FALSE(o.success);
+  EXPECT_FALSE(o.failureReason.empty());
+}
+
+TEST(SchedulerTest, ZeroClockRejected) {
+  ResourceLibrary lib = defaultLib();
+  Behavior bhv = testutil::chainBehavior(2, 2);
+  SchedulerOptions opts;
+  opts.clockPeriod = 0;
+  EXPECT_THROW(scheduleBehavior(bhv, lib, opts), HlsError);
+}
+
+TEST(SchedulerTest, StatsAccountForWork) {
+  ResourceLibrary lib = defaultLib();
+  Behavior bhv = workloads::makeEwf(14);
+  SchedulerOptions opts;
+  opts.clockPeriod = 1250.0;
+  ScheduleOutcome o = scheduleBehavior(bhv, lib, opts);
+  ASSERT_TRUE(o.success);
+  EXPECT_GE(o.stats.schedulePasses, 1);
+  EXPECT_GT(o.stats.timingAnalyses, 0);
+}
+
+TEST(SchedulerTest, BellmanFordEngineSchedulesToo) {
+  ResourceLibrary lib = defaultLib();
+  Behavior bhv = workloads::makeArf(8);
+  SchedulerOptions opts;
+  opts.clockPeriod = 1250.0;
+  opts.engine = TimingEngine::kBellmanFord;
+  ScheduleOutcome o = scheduleBehavior(bhv, lib, opts);
+  ASSERT_TRUE(o.success) << o.failureReason;
+  testutil::expectLegal(bhv, lib, o.schedule);
+}
+
+TEST(SchedulerTest, SpeculatedProducerNeverFeedsSiblingBranch) {
+  ResourceLibrary lib = defaultLib();
+  Behavior bhv = workloads::makeResizer();
+  SchedulerOptions opts;
+  opts.clockPeriod = 1600.0;
+  ScheduleOutcome o = scheduleBehavior(bhv, lib, opts);
+  ASSERT_TRUE(o.success);
+  LatencyTable lat(bhv.cfg);
+  for (const DataDependence& d : bhv.dfg.dependences()) {
+    if (d.loopCarried) continue;
+    if (isFreeKind(bhv.dfg.op(d.from).kind) ||
+        isFreeKind(bhv.dfg.op(d.to).kind)) {
+      continue;
+    }
+    CfgEdgeId pe = o.schedule.opEdge[d.from.index()];
+    CfgEdgeId ce = o.schedule.opEdge[d.to.index()];
+    EXPECT_TRUE(bhv.cfg.edgeReaches(pe, ce));
+  }
+}
+
+}  // namespace
+}  // namespace thls

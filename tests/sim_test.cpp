@@ -1,0 +1,140 @@
+#include "sim/evaluate.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace thls {
+namespace {
+
+TEST(SimTest, ApplyOpBasics) {
+  EXPECT_EQ(applyOp(OpKind::kAdd, 16, {3, 4}), 7);
+  EXPECT_EQ(applyOp(OpKind::kSub, 16, {3, 4}), -1);
+  EXPECT_EQ(applyOp(OpKind::kMul, 16, {7, 6}), 42);
+  EXPECT_EQ(applyOp(OpKind::kDiv, 16, {42, 6}), 7);
+  EXPECT_EQ(applyOp(OpKind::kDiv, 16, {42, 0}), 0);  // defined-safe
+  EXPECT_EQ(applyOp(OpKind::kMux, 16, {1, 11, 22}), 11);
+  EXPECT_EQ(applyOp(OpKind::kMux, 16, {0, 11, 22}), 22);
+  EXPECT_EQ(applyOp(OpKind::kCmpGt, 1, {5, 3}), 1);
+  EXPECT_EQ(applyOp(OpKind::kXor, 8, {0xF0, 0x0F}), -1);  // 0xFF signed
+}
+
+TEST(SimTest, WidthWrapsTwosComplement) {
+  EXPECT_EQ(applyOp(OpKind::kAdd, 8, {127, 1}), -128);
+  EXPECT_EQ(applyOp(OpKind::kMul, 8, {16, 16}), 0);
+  EXPECT_EQ(applyOp(OpKind::kSub, 4, {0, 1}), -1);
+}
+
+TEST(SimTest, GoldenEvaluatesChain) {
+  // y = ((x*k)+k)*k + k with x=2, k=3 at width 16.
+  Behavior bhv = testutil::chainBehavior(4, 2);
+  SimResult r = evaluateDfg(bhv, {{"x", 2}, {"k", 3}});
+  // m0=6, a1=9, m2=27, a3=30
+  EXPECT_EQ(r.outputs.at("y"), 30);
+}
+
+TEST(SimTest, GoldenEvaluatesBranchesViaPhis) {
+  // resizer: x = a + offset; x > th ? x/scale - offset : x*b.
+  Behavior bhv = workloads::makeResizer();
+  ValueMap in{{"rd_a", 90}, {"offset", 10}, {"th", 50},
+              {"scale", 4}, {"rd_b", 3}};
+  SimResult r = evaluateDfg(bhv, in);
+  // x = 100 > 50: y = 100/4 - 10 = 15.
+  EXPECT_EQ(r.outputs.at("wr_out"), 15);
+
+  in["th"] = 200;  // else branch: y = 100 * 3
+  SimResult r2 = evaluateDfg(bhv, in);
+  EXPECT_EQ(r2.outputs.at("wr_out"), 300);
+}
+
+TEST(SimTest, FirComputesDotProduct) {
+  Behavior bhv = workloads::makeFir(4, 3);
+  // coefficients are 1,3,5,7; inputs 1,1,1,1 -> 16.
+  SimResult r = evaluateDfg(
+      bhv, {{"x0", 1}, {"x1", 1}, {"x2", 1}, {"x3", 1}});
+  EXPECT_EQ(r.outputs.at("y"), 16);
+}
+
+TEST(SimTest, ScheduleMatchesGoldenOnAllWorkloads) {
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+  for (const auto& w : workloads::standardWorkloads()) {
+    Behavior bhv = w.make();
+    SchedulerOptions opts;
+    opts.clockPeriod = w.clockPeriod;
+    ScheduleOutcome o = scheduleBehavior(bhv, lib, opts);
+    ASSERT_TRUE(o.success) << w.name;
+    LatencyTable lat(bhv.cfg);
+
+    ValueMap inputs;
+    long long seedVal = 1;
+    for (std::size_t i = 0; i < bhv.dfg.numOps(); ++i) {
+      const Operation& op = bhv.dfg.op(OpId(static_cast<std::int32_t>(i)));
+      if (op.kind == OpKind::kInput || op.kind == OpKind::kRead) {
+        inputs[op.name] = (seedVal = (seedVal * 7 + 3) % 97);
+      }
+    }
+    SimResult golden = evaluateDfg(bhv, inputs);
+    SimResult scheduled = evaluateSchedule(bhv, lat, o.schedule, inputs);
+    ASSERT_EQ(golden.outputs.size(), scheduled.outputs.size()) << w.name;
+    for (const auto& [name, v] : golden.outputs) {
+      EXPECT_EQ(scheduled.outputs.at(name), v) << w.name << "::" << name;
+    }
+  }
+}
+
+class SimRandomSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(SimRandomSweep, ScheduleMatchesGoldenOnRandomDfgs) {
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+  workloads::RandomDfgParams p;
+  p.seed = GetParam();
+  p.numOps = 45;
+  p.latencyStates = 5;
+  Behavior bhv = workloads::makeRandomDfg(p);
+  SchedulerOptions opts;
+  opts.clockPeriod = 1600.0;
+  ScheduleOutcome o = scheduleBehavior(bhv, lib, opts);
+  if (!o.success) GTEST_SKIP() << o.failureReason;
+  LatencyTable lat(bhv.cfg);
+
+  ValueMap inputs;
+  for (std::size_t i = 0; i < bhv.dfg.numOps(); ++i) {
+    const Operation& op = bhv.dfg.op(OpId(static_cast<std::int32_t>(i)));
+    if (op.kind == OpKind::kInput) {
+      inputs[op.name] = static_cast<long long>((i * 31 + GetParam()) % 211);
+    }
+  }
+  SimResult golden = evaluateDfg(bhv, inputs);
+  SimResult scheduled = evaluateSchedule(bhv, lat, o.schedule, inputs);
+  for (const auto& [name, v] : golden.outputs) {
+    EXPECT_EQ(scheduled.outputs.at(name), v) << name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimRandomSweep,
+                         ::testing::Range<std::uint32_t>(1, 11));
+
+TEST(SimTest, ScheduleOrderViolationDetected) {
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+  Behavior bhv = testutil::chainBehavior(4, 3);
+  SchedulerOptions opts;
+  opts.clockPeriod = 1250.0;
+  ScheduleOutcome o = scheduleBehavior(bhv, lib, opts);
+  ASSERT_TRUE(o.success);
+  LatencyTable lat(bhv.cfg);
+  // Move the head of the chain to the last edge: consumers now run first.
+  Schedule bad = o.schedule;
+  OpId m0 = testutil::opByName(bhv.dfg, "m0");
+  for (auto it = bhv.cfg.topoEdges().rbegin(); it != bhv.cfg.topoEdges().rend();
+       ++it) {
+    if (!bhv.cfg.edge(*it).backward) {
+      bad.opEdge[m0.index()] = *it;
+      break;
+    }
+  }
+  EXPECT_THROW(evaluateSchedule(bhv, lat, bad, {{"x", 2}, {"k", 3}}),
+               HlsError);
+}
+
+}  // namespace
+}  // namespace thls

@@ -1,0 +1,144 @@
+#include "timing/slack.h"
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace thls {
+namespace {
+
+/// Uniform-delay resizer setup matching the paper's Table 3 symbols.
+struct Table3 : ::testing::Test {
+  static constexpr double d = 50, D = 400, T = 700;  // D + d < T < 2D
+  Behavior bhv = workloads::makeResizer();
+  LatencyTable lat{bhv.cfg};
+  OpSpanAnalysis spans{bhv.cfg, bhv.dfg, lat};
+  TimedDfg timed{bhv.cfg, bhv.dfg, lat, spans};
+  std::vector<double> delays;
+
+  Table3() {
+    delays.assign(bhv.dfg.numOps(), 0.0);
+    for (OpId op : bhv.dfg.schedulableOps()) {
+      const Operation& o = bhv.dfg.op(op);
+      if (o.kind == OpKind::kOutput) {
+        delays[op.index()] = 0;
+      } else if (resourceClassOf(o.kind) == ResourceClass::kIo) {
+        delays[op.index()] = d;
+      } else {
+        delays[op.index()] = D;
+      }
+    }
+  }
+
+  OpTiming timing(const std::string& name, const TimingResult& r) {
+    return r.perOp[testutil::opByName(bhv.dfg, name).index()];
+  }
+};
+
+TEST_F(Table3, AllEightRowsMatchThePaper) {
+  TimingResult r = sequentialSlack(timed, delays, {T, /*aligned=*/false});
+  struct Row {
+    const char* op;
+    double arr, req;
+  };
+  const Row rows[] = {
+      {"rd_a", 0, 2 * T - 4 * D - d},  {"add", d, 2 * T - 4 * D},
+      {"div", d + D, 2 * T - 3 * D},   {"sub", d + 2 * D, 2 * T - 2 * D},
+      {"rd_b", 0, T - 2 * D - d},      {"mul", d, T - 2 * D},
+      {"phi0", d + 3 * D - T, T - D},  {"wr_out", d + 4 * D - 2 * T, T - d},
+  };
+  for (const Row& row : rows) {
+    OpTiming t = timing(row.op, r);
+    EXPECT_NEAR(t.arrival, row.arr, 1e-9) << row.op;
+    EXPECT_NEAR(t.required, row.req, 1e-9) << row.op;
+    EXPECT_NEAR(t.slack, row.req - row.arr, 1e-9) << row.op;
+  }
+}
+
+TEST_F(Table3, CriticalPathSharesMinimalSlack) {
+  TimingResult r = sequentialSlack(timed, delays, {T, false});
+  // Paper: rd_a -> add -> div -> sub -> mux all sit at 2T - 4D - d.
+  double expect = 2 * T - 4 * D - d;
+  EXPECT_NEAR(r.minSlack, expect, 1e-9);
+  for (const char* name : {"rd_a", "add", "div", "sub", "phi0"}) {
+    EXPECT_NEAR(timing(name, r).slack, expect, 1e-9) << name;
+  }
+  // And the off-path ops do not.
+  EXPECT_GT(timing("wr_out", r).slack, expect + 1);
+  std::vector<OpId> crit = criticalOps(timed, r, 1e-6);
+  EXPECT_GE(crit.size(), 5u);
+}
+
+TEST_F(Table3, AlignedClampsNonPhysicalArrivals) {
+  TimingResult r = sequentialSlack(timed, delays, {T, /*aligned=*/true});
+  for (OpId op : bhv.dfg.schedulableOps()) {
+    double a = r.perOp[op.index()].arrival;
+    if (std::isfinite(a)) EXPECT_GE(a, -1e-9) << bhv.dfg.op(op).name;
+  }
+}
+
+TEST(AlignHelpersTest, AlignStartUp) {
+  const double T = 1000, eps = 1e-6;
+  EXPECT_EQ(alignStartUp(0, 400, T, eps), 0);
+  EXPECT_EQ(alignStartUp(650, 300, T, eps), 650);     // 650+300 <= 1000
+  EXPECT_EQ(alignStartUp(750, 300, T, eps), 1000);    // straddles -> next
+  EXPECT_EQ(alignStartUp(1900, 200, T, eps), 2000);   // 900+200 > 1000
+  EXPECT_EQ(alignStartUp(-300, 500, T, eps), 0);      // negative phase 700
+  EXPECT_TRUE(std::isinf(alignStartUp(0, 1200, T, eps)));  // never fits
+}
+
+TEST(AlignHelpersTest, AlignStartDown) {
+  const double T = 1000, eps = 1e-6;
+  EXPECT_EQ(alignStartDown(650, 300, T, eps), 650);
+  EXPECT_EQ(alignStartDown(750, 300, T, eps), 700);   // latest fit in cycle 0
+  EXPECT_EQ(alignStartDown(1950, 200, T, eps), 1800); // cycle 1 latest
+  EXPECT_TRUE(std::isinf(alignStartDown(0, 1200, T, eps)));
+}
+
+TEST(AlignHelpersTest, ExactBoundaryFits) {
+  const double T = 1000, eps = 1e-6;
+  EXPECT_EQ(alignStartUp(0, 1000, T, eps), 0);      // exactly one period
+  EXPECT_EQ(alignStartDown(500, 1000, T, eps), 0);  // only cycle-start fits
+}
+
+TEST(SlackChainTest, ChainSlackDropsWithDepth) {
+  // Deeper chains in the same latency budget leave the head op less slack.
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+  auto headSlackFor = [&](int depth) {
+    Behavior bhv = testutil::chainBehavior(depth, /*states=*/4);
+    LatencyTable lat(bhv.cfg);
+    OpSpanAnalysis spans(bhv.cfg, bhv.dfg, lat);
+    TimedDfg timed(bhv.cfg, bhv.dfg, lat, spans);
+    std::vector<double> delays(bhv.dfg.numOps(), 0.0);
+    for (OpId op : bhv.dfg.schedulableOps()) {
+      const Operation& o = bhv.dfg.op(op);
+      delays[op.index()] = lib.minDelay(o.kind, o.width);
+    }
+    TimingResult r = sequentialSlack(timed, delays, {1000.0, false});
+    return r.slack(testutil::opByName(bhv.dfg, "m0"));
+  };
+  EXPECT_GT(headSlackFor(2), headSlackFor(6));
+}
+
+TEST(SlackChainTest, InfeasibleDelayGivesNegativeInfinitySlack) {
+  Behavior bhv = testutil::chainBehavior(1, 2);
+  LatencyTable lat(bhv.cfg);
+  OpSpanAnalysis spans(bhv.cfg, bhv.dfg, lat);
+  TimedDfg timed(bhv.cfg, bhv.dfg, lat, spans);
+  std::vector<double> delays(bhv.dfg.numOps(), 2000.0);  // > T
+  TimingResult r = sequentialSlack(timed, delays, {1000.0, true});
+  EXPECT_FALSE(r.feasible);
+}
+
+TEST(SlackChainTest, ZeroPeriodRejected) {
+  Behavior bhv = testutil::chainBehavior(1, 2);
+  LatencyTable lat(bhv.cfg);
+  OpSpanAnalysis spans(bhv.cfg, bhv.dfg, lat);
+  TimedDfg timed(bhv.cfg, bhv.dfg, lat, spans);
+  std::vector<double> delays(bhv.dfg.numOps(), 100.0);
+  EXPECT_THROW(sequentialSlack(timed, delays, {0.0, false}), HlsError);
+}
+
+}  // namespace
+}  // namespace thls

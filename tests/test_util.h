@@ -1,0 +1,55 @@
+// Shared helpers for the TradeHLS test suites.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "flow/hls_flow.h"
+#include "ir/builder.h"
+#include "workloads/workloads.h"
+
+namespace thls::testutil {
+
+/// Straight-line behavior: `states` states, ops born on the first edge,
+/// a mul->add chain of the given depth, output pinned on the last state.
+inline Behavior chainBehavior(int depth, int states, int width = 16) {
+  BehaviorBuilder b("chain");
+  Value v = b.input("x", width);
+  Value c = b.input("k", width);
+  for (int i = 0; i < depth; ++i) {
+    v = (i % 2 == 0) ? b.mul(v, c, strCat("m", i)) : b.add(v, c, strCat("a", i));
+  }
+  for (int s = 0; s < states - 1; ++s) b.wait();
+  b.output("y", v);
+  b.wait();
+  return b.finish();
+}
+
+/// Finds an op id by name; fails the test when missing.
+inline OpId opByName(const Dfg& dfg, const std::string& name) {
+  for (std::size_t i = 0; i < dfg.numOps(); ++i) {
+    OpId id(static_cast<std::int32_t>(i));
+    if (dfg.op(id).name == name) return id;
+  }
+  ADD_FAILURE() << "no op named '" << name << "'";
+  return OpId::invalid();
+}
+
+/// Finds a CFG edge by name; fails the test when missing.
+inline CfgEdgeId edgeByName(const Cfg& cfg, const std::string& name) {
+  for (std::size_t i = 0; i < cfg.numEdges(); ++i) {
+    CfgEdgeId id(static_cast<std::int32_t>(i));
+    if (cfg.edge(id).name == name) return id;
+  }
+  ADD_FAILURE() << "no edge named '" << name << "'";
+  return CfgEdgeId::invalid();
+}
+
+/// Asserts a schedule is legal and returns the violation list for messages.
+inline void expectLegal(const Behavior& bhv, const ResourceLibrary& lib,
+                        const Schedule& sched) {
+  LatencyTable lat(bhv.cfg);
+  std::vector<std::string> errors = validateSchedule(bhv, lat, lib, sched);
+  for (const std::string& e : errors) ADD_FAILURE() << e;
+}
+
+}  // namespace thls::testutil

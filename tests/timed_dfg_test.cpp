@@ -1,0 +1,113 @@
+#include "timing/timed_dfg.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace thls {
+namespace {
+
+struct ResizerTimed : ::testing::Test {
+  Behavior bhv = workloads::makeResizer();
+  LatencyTable lat{bhv.cfg};
+  OpSpanAnalysis spans{bhv.cfg, bhv.dfg, lat};
+  TimedDfg timed{bhv.cfg, bhv.dfg, lat, spans};
+
+  TimedNodeId node(const std::string& name) {
+    return timed.nodeOf(testutil::opByName(bhv.dfg, name));
+  }
+
+  int edgeWeight(const std::string& from, const std::string& to) {
+    TimedNodeId a = node(from), b = node(to);
+    for (const TimedEdge& e : timed.edges()) {
+      if (e.from == a && e.to == b) return e.weight;
+    }
+    ADD_FAILURE() << "no timed edge " << from << " -> " << to;
+    return -1;
+  }
+
+  int sinkWeight(const std::string& name) {
+    TimedNodeId a = node(name);
+    for (std::size_t ei : timed.outEdges(a)) {
+      const TimedEdge& e = timed.edges()[ei];
+      if (timed.node(e.to).isSink) return e.weight;
+    }
+    ADD_FAILURE() << "no sink edge for " << name;
+    return -1;
+  }
+};
+
+TEST_F(ResizerTimed, OneNodePlusSinkPerHardwareOp) {
+  std::size_t hw = bhv.dfg.schedulableOps().size();
+  EXPECT_EQ(timed.numNodes(), 2 * hw);
+  std::size_t sinks = 0;
+  for (std::size_t i = 0; i < timed.numNodes(); ++i) {
+    sinks += timed.node(TimedNodeId(static_cast<std::int32_t>(i))).isSink;
+  }
+  EXPECT_EQ(sinks, hw);
+}
+
+TEST_F(ResizerTimed, FreeOpsExcluded) {
+  for (std::size_t i = 0; i < bhv.dfg.numOps(); ++i) {
+    OpId op(static_cast<std::int32_t>(i));
+    if (isFreeKind(bhv.dfg.op(op).kind)) {
+      EXPECT_FALSE(timed.hasNode(op)) << bhv.dfg.op(op).name;
+    } else {
+      EXPECT_TRUE(timed.hasNode(op)) << bhv.dfg.op(op).name;
+    }
+  }
+}
+
+// Edge weights from the paper's Fig. 5(b): latency between early edges.
+TEST_F(ResizerTimed, PaperEdgeWeights) {
+  EXPECT_EQ(edgeWeight("rd_a", "add"), 0);
+  EXPECT_EQ(edgeWeight("add", "div"), 0);   // same early edge e1
+  EXPECT_EQ(edgeWeight("div", "sub"), 0);
+  EXPECT_EQ(edgeWeight("add", "mul"), 1);   // mul waits for the else state
+  EXPECT_EQ(edgeWeight("rd_b", "mul"), 0);
+  EXPECT_EQ(edgeWeight("sub", "phi0"), 1);  // sub early e1, mux early post-join
+  EXPECT_EQ(edgeWeight("mul", "phi0"), 0);
+  EXPECT_EQ(edgeWeight("phi0", "wr_out"), 1);  // registered write input
+}
+
+// Sink-edge weights = latency(early, late): mobility inside the span.
+TEST_F(ResizerTimed, PaperSinkWeights) {
+  EXPECT_EQ(sinkWeight("rd_a"), 0);   // fixed
+  EXPECT_EQ(sinkWeight("add"), 0);    // span {e1}
+  EXPECT_EQ(sinkWeight("div"), 1);    // may slip into the then state
+  EXPECT_EQ(sinkWeight("sub"), 1);
+  EXPECT_EQ(sinkWeight("mul"), 0);    // span is a single edge
+  EXPECT_EQ(sinkWeight("phi0"), 0);
+  EXPECT_EQ(sinkWeight("wr_out"), 0);
+}
+
+TEST_F(ResizerTimed, TopoOrderValid) {
+  std::vector<int> pos(timed.numNodes(), -1);
+  const auto& topo = timed.topoOrder();
+  for (std::size_t i = 0; i < topo.size(); ++i) pos[topo[i].index()] = static_cast<int>(i);
+  for (const TimedEdge& e : timed.edges()) {
+    EXPECT_LT(pos[e.from.index()], pos[e.to.index()]);
+  }
+}
+
+TEST(TimedDfgChain, WeightsFollowStateCrossings) {
+  Behavior bhv = testutil::chainBehavior(/*depth=*/3, /*states=*/3);
+  LatencyTable lat(bhv.cfg);
+  OpSpanAnalysis spans(bhv.cfg, bhv.dfg, lat);
+  TimedDfg timed(bhv.cfg, bhv.dfg, lat, spans);
+  // All chain ops share early edge e1 (inputs are free), so dependence
+  // weights between movable ops are 0; the edge into the output (pinned on
+  // the last state) carries the full remaining latency.
+  for (const TimedEdge& e : timed.edges()) {
+    if (timed.node(e.to).isSink) {
+      EXPECT_GE(e.weight, 0);
+    } else if (bhv.dfg.op(timed.node(e.to).op).kind == OpKind::kOutput) {
+      EXPECT_EQ(e.weight, 2);  // early e1 to the 3rd state's edge
+    } else {
+      EXPECT_EQ(e.weight, 0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace thls

@@ -1,0 +1,105 @@
+#include "netlist/verilog.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace thls {
+namespace {
+
+std::string emitFor(Behavior& bhv, double clock) {
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+  SchedulerOptions opts;
+  opts.clockPeriod = clock;
+  ScheduleOutcome o = scheduleBehavior(bhv, lib, opts);
+  EXPECT_TRUE(o.success) << o.failureReason;
+  LatencyTable lat(bhv.cfg);
+  return emitVerilog(bhv, lat, o.schedule);
+}
+
+TEST(VerilogTest, ModuleSkeleton) {
+  Behavior bhv = testutil::chainBehavior(4, 3);
+  std::string v = emitFor(bhv, 1250.0);
+  EXPECT_NE(v.find("module thls_design"), std::string::npos);
+  EXPECT_NE(v.find("input wire clk"), std::string::npos);
+  EXPECT_NE(v.find("input wire rst"), std::string::npos);
+  EXPECT_NE(v.find("output reg done"), std::string::npos);
+  EXPECT_NE(v.find("endmodule"), std::string::npos);
+  // Ports for the DSL inputs and output.
+  EXPECT_NE(v.find("input wire signed [15:0] x"), std::string::npos);
+  EXPECT_NE(v.find("output reg signed [15:0] y"), std::string::npos);
+}
+
+TEST(VerilogTest, FsmCountsStates) {
+  Behavior bhv = testutil::chainBehavior(2, 4);
+  std::string v = emitFor(bhv, 1250.0);
+  // 4 states: wraps at state == 3.
+  EXPECT_NE(v.find("(state == 3) ? 0 : state + 1"), std::string::npos);
+}
+
+TEST(VerilogTest, OperatorsAppear) {
+  BehaviorBuilder b("ops");
+  Value x = b.input("x", 16);
+  Value y = b.input("y", 16);
+  Value s = b.add(x, y, "s");
+  Value d = b.sub(x, y, "d");
+  Value m = b.mul(s, d, "m");
+  Value g = b.gt(m, x, "g");
+  Value sel = b.select(g, s, d, "sel");
+  b.wait();
+  b.output("o", sel);
+  b.wait();
+  Behavior bhv = b.finish();
+  std::string v = emitFor(bhv, 1600.0);
+  for (const char* needle : {" + ", " - ", " * ", " > ", " ? "}) {
+    EXPECT_NE(v.find(needle), std::string::npos) << needle;
+  }
+}
+
+TEST(VerilogTest, StateCrossingValuesBecomeRegisters) {
+  Behavior bhv = testutil::chainBehavior(4, 4);
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+  SchedulerOptions opts;
+  opts.clockPeriod = 700.0;  // forces the chain to spread over states
+  ScheduleOutcome o = scheduleBehavior(bhv, lib, opts);
+  ASSERT_TRUE(o.success);
+  LatencyTable lat(bhv.cfg);
+  std::string v = emitVerilog(bhv, lat, o.schedule);
+  EXPECT_NE(v.find("reg signed [15:0] m0_"), std::string::npos);
+  EXPECT_NE(v.find("if (state == "), std::string::npos);
+}
+
+TEST(VerilogTest, CustomModuleName) {
+  Behavior bhv = testutil::chainBehavior(2, 2);
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+  SchedulerOptions opts;
+  opts.clockPeriod = 1600.0;
+  ScheduleOutcome o = scheduleBehavior(bhv, lib, opts);
+  ASSERT_TRUE(o.success);
+  LatencyTable lat(bhv.cfg);
+  VerilogOptions vopts;
+  vopts.moduleName = "my_accel";
+  vopts.includeHeaderComment = false;
+  std::string v = emitVerilog(bhv, lat, o.schedule, vopts);
+  EXPECT_EQ(v.rfind("module my_accel", 0), 0u);
+}
+
+TEST(VerilogTest, BalancedBeginEnd) {
+  Behavior bhv = workloads::makeArf(6);
+  std::string v = emitFor(bhv, 1250.0);
+  std::size_t begins = 0, ends = 0, pos = 0;
+  while ((pos = v.find("begin", pos)) != std::string::npos) {
+    ++begins;
+    pos += 5;
+  }
+  pos = 0;
+  while ((pos = v.find("end", pos)) != std::string::npos) {
+    ++ends;
+    pos += 3;
+  }
+  // "end" also matches "endmodule"; begins + 1 (endmodule) == ends.
+  EXPECT_EQ(begins + 1, ends);
+}
+
+}  // namespace
+}  // namespace thls

@@ -1,0 +1,140 @@
+#include "workloads/workloads.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace thls {
+namespace {
+
+using workloads::NamedWorkload;
+
+std::map<OpKind, int> opCounts(const Behavior& bhv) {
+  std::map<OpKind, int> counts;
+  for (std::size_t i = 0; i < bhv.dfg.numOps(); ++i) {
+    counts[bhv.dfg.op(OpId(static_cast<std::int32_t>(i))).kind]++;
+  }
+  return counts;
+}
+
+TEST(WorkloadsTest, InterpolationMatchesFig2a) {
+  Behavior bhv = workloads::makeInterpolation({});
+  auto counts = opCounts(bhv);
+  EXPECT_EQ(counts[OpKind::kMul], 7);  // paper: 7 multiplications
+  EXPECT_EQ(counts[OpKind::kAdd], 4);  // paper: 4 additions
+  EXPECT_EQ(bhv.cfg.numStates(), 3u);  // 3-cycle throughput target
+}
+
+TEST(WorkloadsTest, InterpolationScalesWithUnrolling) {
+  Behavior bhv =
+      workloads::makeInterpolation({.iterations = 6, .latencyStates = 4});
+  auto counts = opCounts(bhv);
+  EXPECT_EQ(counts[OpKind::kMul], 11);  // 6 + 5 (dead last update removed)
+  EXPECT_EQ(counts[OpKind::kAdd], 6);
+  EXPECT_EQ(bhv.cfg.numStates(), 4u);
+}
+
+TEST(WorkloadsTest, ResizerMatchesFig4) {
+  Behavior bhv = workloads::makeResizer();
+  auto counts = opCounts(bhv);
+  EXPECT_EQ(counts[OpKind::kRead], 2);   // rd_a, rd_b
+  EXPECT_EQ(counts[OpKind::kWrite], 1);  // out.write
+  EXPECT_EQ(counts[OpKind::kDiv], 1);
+  EXPECT_EQ(counts[OpKind::kMul], 1);
+  EXPECT_EQ(bhv.cfg.numStates(), 3u);    // s0, s1, s2
+  int forks = 0;
+  for (std::size_t i = 0; i < bhv.cfg.numNodes(); ++i) {
+    forks += bhv.cfg.node(CfgNodeId(static_cast<std::int32_t>(i))).kind ==
+             CfgNodeKind::kFork;
+  }
+  EXPECT_EQ(forks, 1);
+}
+
+TEST(WorkloadsTest, Idct1dOperationCounts) {
+  Behavior bhv = workloads::makeIdct1d({});
+  auto counts = opCounts(bhv);
+  EXPECT_EQ(counts[OpKind::kMul], 14);  // 3 rotators x 4 + 2 sqrt2 scales
+  EXPECT_EQ(counts[OpKind::kAdd] + counts[OpKind::kSub], 24);
+  EXPECT_EQ(counts[OpKind::kInput], 8);
+  EXPECT_EQ(counts[OpKind::kOutput], 8);
+}
+
+TEST(WorkloadsTest, Idct8x8IsSixteenKernels) {
+  Behavior bhv = workloads::makeIdct8x8({.latencyStates = 16});
+  auto counts = opCounts(bhv);
+  EXPECT_EQ(counts[OpKind::kMul], 16 * 14);
+  EXPECT_EQ(counts[OpKind::kAdd] + counts[OpKind::kSub], 16 * 24);
+  EXPECT_EQ(counts[OpKind::kInput], 64);
+  EXPECT_EQ(counts[OpKind::kOutput], 64);
+  EXPECT_EQ(bhv.cfg.numStates(), 16u);
+}
+
+TEST(WorkloadsTest, EwfClassicCounts) {
+  Behavior bhv = workloads::makeEwf(14);
+  auto counts = opCounts(bhv);
+  EXPECT_EQ(counts[OpKind::kMul], 8);
+  EXPECT_EQ(counts[OpKind::kAdd], 26);
+}
+
+TEST(WorkloadsTest, ArfClassicCounts) {
+  Behavior bhv = workloads::makeArf(8);
+  auto counts = opCounts(bhv);
+  EXPECT_EQ(counts[OpKind::kMul], 16);
+  EXPECT_EQ(counts[OpKind::kAdd], 12);
+}
+
+TEST(WorkloadsTest, FirCounts) {
+  Behavior bhv = workloads::makeFir(16, 6);
+  auto counts = opCounts(bhv);
+  EXPECT_EQ(counts[OpKind::kMul], 16);
+  EXPECT_EQ(counts[OpKind::kAdd], 15);  // reduction tree
+}
+
+TEST(WorkloadsTest, FftButterflyCounts) {
+  Behavior bhv = workloads::makeFft(8, 6);
+  auto counts = opCounts(bhv);
+  // 12 butterflies x 4 muls (complex multiply).
+  EXPECT_EQ(counts[OpKind::kMul], 48);
+  EXPECT_EQ(counts[OpKind::kInput], 16);
+  EXPECT_EQ(counts[OpKind::kOutput], 16);
+}
+
+TEST(WorkloadsTest, MatmulCounts) {
+  Behavior bhv = workloads::makeMatmul(3, 4);
+  auto counts = opCounts(bhv);
+  EXPECT_EQ(counts[OpKind::kMul], 27);
+  EXPECT_EQ(counts[OpKind::kAdd], 18);
+}
+
+TEST(WorkloadsTest, RandomDfgIsReproducible) {
+  workloads::RandomDfgParams p;
+  p.seed = 42;
+  Behavior a = workloads::makeRandomDfg(p);
+  Behavior b = workloads::makeRandomDfg(p);
+  ASSERT_EQ(a.dfg.numOps(), b.dfg.numOps());
+  for (std::size_t i = 0; i < a.dfg.numOps(); ++i) {
+    OpId id(static_cast<std::int32_t>(i));
+    EXPECT_EQ(a.dfg.op(id).kind, b.dfg.op(id).kind);
+  }
+  workloads::RandomDfgParams q = p;
+  q.seed = 43;
+  Behavior c = workloads::makeRandomDfg(q);
+  // Different seed, different structure (op mix differs with high odds).
+  bool differs = a.dfg.numOps() != c.dfg.numOps();
+  for (std::size_t i = 0; !differs && i < a.dfg.numOps(); ++i) {
+    OpId id(static_cast<std::int32_t>(i));
+    differs = a.dfg.op(id).kind != c.dfg.op(id).kind;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(WorkloadsTest, EveryStandardWorkloadValidates) {
+  for (const NamedWorkload& w : workloads::standardWorkloads()) {
+    Behavior bhv = w.make();
+    EXPECT_NO_THROW(bhv.dfg.validate(bhv.cfg)) << w.name;
+    EXPECT_GT(bhv.cfg.numStates(), 0u) << w.name;
+  }
+}
+
+}  // namespace
+}  // namespace thls
