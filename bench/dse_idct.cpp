@@ -1,28 +1,107 @@
 // §VII design-space exploration claim: across the 15 IDCT runs the paper
 // explored a 20x power range, a 7x throughput range and a 1.5x area range.
 // This bench prints the full Pareto data (throughput, power, area per
-// point) and the observed ranges.
+// point), the observed ranges, and benchmarks the parallel explore engine
+// against the serial reference loop -- cold cache and warm cache -- writing
+// the measurements to BENCH_dse_idct.json.
+//
+//   --small       1-D IDCT kernel instead of the full 8x8 (fast)
+//   --threads N   worker threads for the parallel runs (default 4)
+//   --json PATH   output JSON path (default BENCH_dse_idct.json)
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 
+#include "explore/campaign.h"
 #include "flow/dse.h"
 #include "netlist/report.h"
 #include "workloads/workloads.h"
 
 using namespace thls;
 
+namespace {
+
+double seconds(const std::function<void()>& fn) {
+  auto t0 = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+bool sameSummary(const DseSummary& a, const DseSummary& b) {
+  if (a.points.size() != b.points.size()) return false;
+  if (a.averageSavingPercent != b.averageSavingPercent ||
+      a.powerRange != b.powerRange ||
+      a.throughputRange != b.throughputRange || a.areaRange != b.areaRange) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.points.size(); ++i) {
+    const DsePointResult& x = a.points[i];
+    const DsePointResult& y = b.points[i];
+    if (x.conv.success != y.conv.success ||
+        x.slack.success != y.slack.success ||
+        x.savingPercent != y.savingPercent ||
+        x.slack.area.total() != y.slack.area.total() ||
+        x.slack.power.dynamic != y.slack.power.dynamic ||
+        x.slack.power.throughput != y.slack.power.throughput) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  bool small = argc > 1 && std::string(argv[1]) == "--small";
+  bool small = false;
+  int threads = 4;
+  std::string jsonPath = "BENCH_dse_idct.json";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--small") small = true;
+    if (arg == "--threads" && i + 1 < argc) threads = std::atoi(argv[++i]);
+    if (arg == "--json" && i + 1 < argc) jsonPath = argv[++i];
+  }
+
   ResourceLibrary lib = ResourceLibrary::tsmc90();
   FlowOptions base;
+  const std::string workload = small ? "idct1d" : "idct8x8";
 
   auto generator = [&](int latencyStates) {
     workloads::IdctParams p;
     p.latencyStates = latencyStates;
     return small ? workloads::makeIdct1d(p) : workloads::makeIdct8x8(p);
   };
+  std::vector<DesignPoint> grid = idctDesignGrid();
 
-  DseSummary s = exploreDesignSpace(generator, idctDesignGrid(), lib, base);
+  DseSummary serial;
+  double serialS = seconds(
+      [&] { serial = exploreDesignSpaceSerial(generator, grid, lib, base); });
 
+  explore::EngineOptions eopts;
+  eopts.threads = threads;
+  explore::ExploreEngine engine(lib, base, eopts);
+  explore::GridExplorer strategy(grid);
+  explore::ParetoArchive archive;
+
+  DseSummary cold;
+  double coldS = seconds([&] {
+    cold = explore::exploreToSummary(strategy, engine, workload, generator,
+                                     archive);
+  });
+  explore::FlowCacheStats coldStats = engine.cacheStats();
+
+  explore::ParetoArchive warmArchive;
+  DseSummary warm;
+  double warmS = seconds([&] {
+    warm = explore::exploreToSummary(strategy, engine, workload, generator,
+                                     warmArchive);
+  });
+  explore::FlowCacheStats warmStats = engine.cacheStats();
+
+  const DseSummary& s = cold;
   std::printf("== IDCT design-space exploration (slack-based flow) ==\n\n");
   TableWriter t({"Des", "lat", "T(ps)", "throughput(/ns)", "power", "area",
                  "energy/sample"});
@@ -42,5 +121,52 @@ int main(int argc, char** argv) {
   std::printf("  power      %.1fx   (paper: ~20x)\n", s.powerRange);
   std::printf("  throughput %.1fx   (paper: ~7x)\n", s.throughputRange);
   std::printf("  area       %.2fx   (paper: ~1.5x)\n", s.areaRange);
-  return 0;
+
+  bool coldMatches = sameSummary(serial, cold);
+  bool warmMatches = sameSummary(serial, warm);
+  threads = static_cast<int>(engine.threads());  // as resolved by the pool
+  std::printf("\n== engine vs serial reference (%d threads) ==\n", threads);
+  std::printf("  serial            %8.3f s\n", serialS);
+  std::printf("  parallel (cold)   %8.3f s   %.2fx   summary %s\n", coldS,
+              serialS / coldS, coldMatches ? "identical" : "MISMATCH");
+  std::printf("  parallel (warm)   %8.3f s   %.2fx   summary %s\n", warmS,
+              serialS / warmS, warmMatches ? "identical" : "MISMATCH");
+  std::printf("  cache cold: %zu hits / %zu misses; warm: %zu hits / %zu "
+              "misses\n",
+              coldStats.hits, coldStats.misses, warmStats.hits - coldStats.hits,
+              warmStats.misses - coldStats.misses);
+
+  std::string json = "{\n";
+  json += "  \"bench\": \"dse_idct\",\n";
+  json += "  \"workload\": \"" + workload + "\",\n";
+  json += "  \"grid_points\": " + strCat(grid.size()) + ",\n";
+  json += "  \"threads\": " + strCat(threads) + ",\n";
+  json += "  \"serial_seconds\": " + fmt(serialS, 4) + ",\n";
+  json += "  \"parallel_cold_seconds\": " + fmt(coldS, 4) + ",\n";
+  json += "  \"parallel_warm_seconds\": " + fmt(warmS, 4) + ",\n";
+  json += "  \"speedup_cold\": " + fmt(serialS / coldS, 2) + ",\n";
+  json += "  \"speedup_warm\": " + fmt(serialS / warmS, 2) + ",\n";
+  json += "  \"speedup_best\": " +
+          fmt(serialS / std::min(coldS, warmS), 2) + ",\n";
+  json += "  \"summary_identical_cold\": " +
+          std::string(coldMatches ? "true" : "false") + ",\n";
+  json += "  \"summary_identical_warm\": " +
+          std::string(warmMatches ? "true" : "false") + ",\n";
+  json += "  \"cache\": {\"hits\": " + strCat(warmStats.hits) +
+          ", \"misses\": " + strCat(warmStats.misses) + "},\n";
+  json += "  \"power_range\": " + fmt(s.powerRange, 2) + ",\n";
+  json += "  \"throughput_range\": " + fmt(s.throughputRange, 2) + ",\n";
+  json += "  \"area_range\": " + fmt(s.areaRange, 2) + ",\n";
+  json += "  \"pareto_front\": " + explore::frontJson(archive.front(), 2) +
+          "\n}\n";
+  std::ofstream out(jsonPath);
+  out << json;
+  out.flush();
+  if (out) {
+    std::printf("\nwrote %s\n", jsonPath.c_str());
+  } else {
+    std::fprintf(stderr, "\nerror: could not write %s\n", jsonPath.c_str());
+    return 1;
+  }
+  return (coldMatches && warmMatches) ? 0 : 1;
 }

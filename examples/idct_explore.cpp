@@ -1,12 +1,13 @@
-// Mini design-space exploration on the 1-D IDCT kernel: sweeps latency and
-// clock period through both flows and prints the Pareto table -- a fast
-// version of the paper's §VII experiment (the full 8x8 sweep lives in
-// bench/table4_idct_area and bench/dse_idct).
+// Mini design-space exploration on the 1-D IDCT kernel, now driven through
+// the parallel explore engine: an exhaustive grid sweep (the classic §VII
+// experiment), then an adaptive refinement pass around the resulting Pareto
+// front.  The full 8x8 sweep lives in bench/table4_idct_area and
+// bench/dse_idct.
 //
 //   $ ./build/examples/idct_explore
 #include <cstdio>
 
-#include "flow/dse.h"
+#include "explore/campaign.h"
 #include "netlist/report.h"
 #include "workloads/workloads.h"
 
@@ -27,7 +28,15 @@ int main() {
   auto gen = [](int latency) {
     return workloads::makeIdct1d({.latencyStates = latency});
   };
-  DseSummary s = exploreDesignSpace(gen, grid, lib, base);
+
+  explore::EngineOptions eopts;
+  eopts.threads = 4;
+  explore::ExploreEngine engine(lib, base, eopts);
+  explore::ParetoArchive archive;
+
+  explore::GridExplorer strategy(grid);
+  DseSummary s =
+      explore::exploreToSummary(strategy, engine, "idct1d", gen, archive);
 
   std::printf("== 1-D IDCT exploration: conventional vs slack-based ==\n\n");
   TableWriter t({"point", "lat", "T(ps)", "A_conv", "A_slack", "save%",
@@ -46,5 +55,45 @@ int main() {
               "%.1fx, area range %.2fx\n",
               s.averageSavingPercent, s.powerRange, s.throughputRange,
               s.areaRange);
+
+  // Adaptive refinement: probe (latency, clock) neighbors of the current
+  // front, spending evaluations only where the trade-off curve lives.  The
+  // grid is passed as the seed (its re-evaluation is free: every point is
+  // already in the flow cache, and archive re-inserts are idempotent).
+  explore::AdaptiveOptions aopts;
+  aopts.seed = grid;
+  aopts.rounds = 1;
+  aopts.maxPointsPerRound = 6;
+  explore::AdaptiveExplorer adaptive(aopts);
+  std::vector<explore::EvaluatedPoint> all =
+      adaptive.explore(engine, "idct1d", gen, archive);
+  std::vector<explore::EvaluatedPoint> refined(
+      all.begin() + static_cast<std::ptrdiff_t>(grid.size()), all.end());
+
+  std::printf("\n== adaptive refinement (+%zu probes) ==\n\n", refined.size());
+  TableWriter rt({"point", "lat", "T(ps)", "A_slack", "throughput(/ns)",
+                  "power", "on front?"});
+  std::vector<explore::ParetoEntry> front = archive.front();
+  auto onFront = [&](const std::string& name) {
+    for (const explore::ParetoEntry& e : front) {
+      if (e.point.name == name) return true;
+    }
+    return false;
+  };
+  for (const explore::EvaluatedPoint& ev : refined) {
+    const DsePointResult& r = ev.result;
+    rt.addRow({r.point.name, strCat(r.point.latencyStates),
+               fmt(r.point.clockPeriod, 0),
+               r.slack.success ? fmt(r.slack.area.total(), 0) : "FAIL",
+               r.slack.success ? fmt(r.slack.power.throughput, 4) : "-",
+               r.slack.success ? fmt(r.slack.power.dynamic, 0) : "-",
+               onFront(r.point.name) ? "yes" : "no"});
+  }
+  std::printf("%s\n", rt.str().c_str());
+
+  explore::FlowCacheStats cs = engine.cacheStats();
+  std::printf("Pareto front: %zu points; flow cache %zu hits / %zu misses\n",
+              front.size(), cs.hits, cs.misses);
+  std::printf("\nfront CSV:\n%s", explore::frontCsv(front).c_str());
   return 0;
 }

@@ -1,0 +1,156 @@
+#include "explore/campaign.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace thls::explore {
+
+namespace {
+
+std::string num(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+void appendEntryFields(std::string& out, const ParetoEntry& e) {
+  out += "\"workload\":\"" + e.workload + "\",";
+  out += "\"design\":\"" + e.point.name + "\",";
+  out += "\"latency_states\":" + strCat(e.point.latencyStates) + ",";
+  out += "\"clock_ps\":" + num(e.point.clockPeriod) + ",";
+  out += std::string("\"pipelined\":") + (e.point.pipelined ? "true" : "false") + ",";
+  out += "\"area\":" + num(e.obj.area) + ",";
+  out += "\"power\":" + num(e.obj.power) + ",";
+  out += "\"throughput_per_ns\":" + num(e.obj.throughput) + ",";
+  out += "\"saving_percent\":" + num(e.savingPercent);
+}
+
+}  // namespace
+
+std::vector<DesignPoint> campaignGrid(const workloads::NamedWorkload& w,
+                                      const CampaignOptions& opts) {
+  std::vector<int> latencies;
+  if (w.makeAtLatency) {
+    for (double s : opts.latencyScales) {
+      int lat = std::max(1, static_cast<int>(std::lround(w.baseLatency * s)));
+      if (std::find(latencies.begin(), latencies.end(), lat) ==
+          latencies.end()) {
+        latencies.push_back(lat);
+      }
+    }
+  } else {
+    latencies.push_back(w.baseLatency);
+  }
+
+  std::vector<DesignPoint> grid;
+  int idx = 1;
+  for (double cs : opts.clockScales) {
+    for (int lat : latencies) {
+      DesignPoint pt;
+      pt.name = strCat("G", idx++);
+      pt.latencyStates = lat;
+      pt.clockPeriod = w.clockPeriod * cs;
+      grid.push_back(std::move(pt));
+    }
+  }
+  return grid;
+}
+
+CampaignResult runCampaign(const ResourceLibrary& lib, const FlowOptions& base,
+                           const CampaignOptions& opts,
+                           const std::vector<workloads::NamedWorkload>& named) {
+  CampaignResult result;
+  ExploreEngine engine(lib, base, opts.engine);
+
+  for (const workloads::NamedWorkload& w : named) {
+    GeneratorFn gen;
+    if (w.makeAtLatency) {
+      gen = w.makeAtLatency;
+    } else {
+      gen = [&w](int) { return w.make(); };
+    }
+
+    ParetoArchive local;
+    std::vector<DesignPoint> grid = campaignGrid(w, opts);
+    std::vector<EvaluatedPoint> points;
+    if (opts.adaptiveRounds > 0) {
+      AdaptiveOptions aopts;
+      aopts.seed = std::move(grid);
+      aopts.rounds = opts.adaptiveRounds;
+      aopts.maxPointsPerRound = opts.adaptivePointsPerRound;
+      AdaptiveExplorer adaptive(std::move(aopts));
+      points = adaptive.explore(engine, w.name, gen, local);
+    } else {
+      GridExplorer strategy(std::move(grid));
+      points = strategy.explore(engine, w.name, gen, local);
+    }
+
+    CampaignWorkloadResult wr;
+    wr.workload = w.name;
+    wr.front = local.front();
+    wr.pointsEvaluated = points.size();
+    wr.summary = summarizeDsePoints(toDsePoints(std::move(points)));
+    wr.cache = engine.cacheStats();
+    result.workloads.push_back(std::move(wr));
+  }
+  // Objectives are not comparable across workloads (different computations),
+  // so the campaign front is the union of per-workload fronts -- dominance
+  // is scoped inside each workload, never across.
+  for (const CampaignWorkloadResult& wr : result.workloads) {
+    result.globalFront.insert(result.globalFront.end(), wr.front.begin(),
+                              wr.front.end());
+  }
+  sortFrontOrder(result.globalFront);
+  return result;
+}
+
+std::string frontCsv(const std::vector<ParetoEntry>& front) {
+  std::string out =
+      "workload,design,latency_states,clock_ps,pipelined,area,power,"
+      "throughput_per_ns,saving_percent\n";
+  for (const ParetoEntry& e : front) {
+    out += e.workload + "," + e.point.name + "," +
+           strCat(e.point.latencyStates) + "," + num(e.point.clockPeriod) +
+           "," + (e.point.pipelined ? "1" : "0") + "," + num(e.obj.area) +
+           "," + num(e.obj.power) + "," + num(e.obj.throughput) + "," +
+           num(e.savingPercent) + "\n";
+  }
+  return out;
+}
+
+std::string frontJson(const std::vector<ParetoEntry>& front, int indent) {
+  std::string pad(indent, ' ');
+  std::string out = "[";
+  for (std::size_t i = 0; i < front.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    out += pad + "  {";
+    appendEntryFields(out, front[i]);
+    out += "}";
+  }
+  out += front.empty() ? "]" : "\n" + pad + "]";
+  return out;
+}
+
+std::string campaignJson(const CampaignResult& result) {
+  std::string out = "{\n  \"workloads\": [";
+  for (std::size_t i = 0; i < result.workloads.size(); ++i) {
+    const CampaignWorkloadResult& wr = result.workloads[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"workload\":\"" + wr.workload + "\",";
+    out += "\"points_evaluated\":" + strCat(wr.pointsEvaluated) + ",";
+    out += "\"average_saving_percent\":" + num(wr.summary.averageSavingPercent) + ",";
+    out += "\"power_range\":" + num(wr.summary.powerRange) + ",";
+    out += "\"throughput_range\":" + num(wr.summary.throughputRange) + ",";
+    out += "\"area_range\":" + num(wr.summary.areaRange) + ",";
+    out += "\"cache_hits\":" + strCat(wr.cache.hits) + ",";
+    out += "\"cache_misses\":" + strCat(wr.cache.misses) + ",";
+    out += "\n     \"front\": " + frontJson(wr.front, 5) + "}";
+  }
+  out += result.workloads.empty() ? "]" : "\n  ]";
+  out += ",\n  \"global_front\": " + frontJson(result.globalFront, 2);
+  out += "\n}\n";
+  return out;
+}
+
+}  // namespace thls::explore

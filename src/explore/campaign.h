@@ -1,0 +1,64 @@
+// Multi-workload exploration campaigns: fan one strategy out across every
+// generator in workloads/registry.cpp, collect per-workload summaries and
+// Pareto fronts plus a campaign-global front, and export fronts as CSV /
+// JSON for the bench harness.
+#pragma once
+
+#include "explore/explorer.h"
+#include "workloads/workloads.h"
+
+namespace thls::explore {
+
+struct CampaignOptions {
+  EngineOptions engine;
+  /// Latency axis: multiples of each workload's canonical latency
+  /// (deduplicated, floored at 1 state).
+  std::vector<double> latencyScales = {4.0, 3.0, 2.0, 1.5, 1.0};
+  /// Clock axis: multiples of each workload's registered schedulable period.
+  std::vector<double> clockScales = {1.28, 1.0, 0.8};
+  /// Refine each workload's grid with AdaptiveExplorer rounds (0 = grid only).
+  int adaptiveRounds = 0;
+  int adaptivePointsPerRound = 6;
+};
+
+/// Per-workload design grid: latencyScales x clockScales around the
+/// registry's canonical (baseLatency, clockPeriod).  Fixed-structure
+/// workloads (no makeAtLatency) sweep the clock axis only.
+std::vector<DesignPoint> campaignGrid(const workloads::NamedWorkload& w,
+                                      const CampaignOptions& opts);
+
+struct CampaignWorkloadResult {
+  std::string workload;
+  DseSummary summary;
+  std::vector<ParetoEntry> front;  ///< per-workload Pareto front
+  FlowCacheStats cache;            ///< engine cache stats after this workload
+  std::size_t pointsEvaluated = 0;
+};
+
+struct CampaignResult {
+  std::vector<CampaignWorkloadResult> workloads;
+  /// Union of the per-workload fronts in deterministic order.  Dominance is
+  /// scoped per workload: objectives of different computations are not
+  /// comparable, so no workload can evict another from this list.
+  std::vector<ParetoEntry> globalFront;
+};
+
+/// Runs one campaign.  Workloads without a latency-parameterized generator
+/// are swept on the clock axis at their natural latency.
+CampaignResult runCampaign(
+    const ResourceLibrary& lib, const FlowOptions& base,
+    const CampaignOptions& opts,
+    const std::vector<workloads::NamedWorkload>& named =
+        workloads::standardWorkloads());
+
+/// "workload,design,latency_states,clock_ps,pipelined,area,power,
+///  throughput_per_ns,saving_percent" rows.
+std::string frontCsv(const std::vector<ParetoEntry>& front);
+
+/// JSON array of front entries (same fields as the CSV).
+std::string frontJson(const std::vector<ParetoEntry>& front, int indent = 0);
+
+/// Full campaign report: per-workload summaries + fronts + global front.
+std::string campaignJson(const CampaignResult& result);
+
+}  // namespace thls::explore

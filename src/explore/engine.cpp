@@ -1,0 +1,152 @@
+#include "explore/engine.h"
+
+namespace thls::explore {
+
+ThreadPool::ThreadPool(std::size_t numThreads) {
+  if (numThreads <= 1) return;  // inline mode
+  workers_.reserve(numThreads);
+  for (std::size_t i = 0; i < numThreads; ++i) {
+    workers_.emplace_back([this] { workerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  workCv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::workerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    workCv_.wait(lock, [&] { return stop_ || (task_ && next_ < count_); });
+    if (stop_) return;
+    while (task_ && next_ < count_) {
+      std::size_t i = next_++;
+      const std::function<void(std::size_t)>* task = task_;
+      lock.unlock();
+      std::exception_ptr error;
+      try {
+        (*task)(i);
+      } catch (...) {
+        error = std::current_exception();
+      }
+      lock.lock();
+      if (error && !firstError_) firstError_ = error;
+      if (--pending_ == 0) doneCv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallelFor(std::size_t count,
+                             const std::function<void(std::size_t)>& task) {
+  if (count == 0) return;
+  if (workers_.empty() || count == 1) {
+    for (std::size_t i = 0; i < count; ++i) task(i);
+    return;
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  task_ = &task;
+  count_ = count;
+  next_ = 0;
+  pending_ = count;
+  firstError_ = nullptr;
+  workCv_.notify_all();
+  doneCv_.wait(lock, [&] { return pending_ == 0; });
+  task_ = nullptr;
+  if (firstError_) std::rethrow_exception(firstError_);
+}
+
+namespace {
+
+std::size_t resolveThreads(int requested) {
+  if (requested > 0) return static_cast<std::size_t>(requested);
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+}  // namespace
+
+ExploreEngine::ExploreEngine(const ResourceLibrary& lib, FlowOptions base,
+                             EngineOptions opts)
+    : lib_(lib),
+      base_(std::move(base)),
+      opts_(opts),
+      optionsHash_(hashFlowOptions(base_)),
+      pool_(resolveThreads(opts.threads)) {}
+
+EvaluatedPoint ExploreEngine::evaluateOne(const std::string& workloadName,
+                                          const GeneratorFn& generator,
+                                          const DesignPoint& pt) {
+  EvaluatedPoint ev;
+  ev.result.point = pt;
+
+  FlowOptions opts = base_;
+  opts.sched.clockPeriod = pt.clockPeriod;
+  opts.iterationCycles = pt.latencyStates;
+
+  auto runFlavor = [&](FlowFlavor flavor, bool& cacheHit) -> FlowResult {
+    FlowCacheKey key{workloadName, pt.latencyStates, pt.clockPeriod, flavor,
+                     optionsHash_};
+    if (opts_.useCache) {
+      if (std::shared_ptr<const FlowResult> hit = cache_.lookup(key)) {
+        cacheHit = true;
+        return *hit;
+      }
+    }
+    Behavior bhv;
+    {
+      std::lock_guard<std::mutex> lock(genMu_);
+      bhv = generator(pt.latencyStates);
+    }
+    FlowResult res = flavor == FlowFlavor::kConventional
+                         ? conventionalFlow(std::move(bhv), lib_, opts)
+                         : slackBasedFlow(std::move(bhv), lib_, opts);
+    if (opts_.useCache) return *cache_.insert(key, std::move(res));
+    return res;
+  };
+
+  ev.result.conv = runFlavor(FlowFlavor::kConventional, ev.convCacheHit);
+  ev.result.slack = runFlavor(FlowFlavor::kSlackBased, ev.slackCacheHit);
+  if (ev.result.conv.success && ev.result.slack.success &&
+      ev.result.conv.area.total() > 0) {
+    ev.result.savingPercent =
+        (ev.result.conv.area.total() - ev.result.slack.area.total()) /
+        ev.result.conv.area.total() * 100.0;
+  }
+  return ev;
+}
+
+std::vector<EvaluatedPoint> ExploreEngine::evaluate(
+    const std::string& workloadName, const GeneratorFn& generator,
+    const std::vector<DesignPoint>& points, ParetoArchive* archive) {
+  std::vector<EvaluatedPoint> out(points.size());
+  pool_.parallelFor(points.size(), [&](std::size_t i) {
+    out[i] = evaluateOne(workloadName, generator, points[i]);
+    if (archive && out[i].result.slack.success) {
+      ParetoEntry entry;
+      entry.workload = workloadName;
+      entry.point = points[i];
+      entry.obj = objectivesOf(out[i].result.slack);
+      entry.savingPercent = out[i].result.savingPercent;
+      archive->insert(std::move(entry));
+    }
+  });
+  return out;
+}
+
+std::vector<DsePointResult> toDsePoints(std::vector<EvaluatedPoint> pts) {
+  std::vector<DsePointResult> out;
+  out.reserve(pts.size());
+  for (EvaluatedPoint& ev : pts) out.push_back(std::move(ev.result));
+  return out;
+}
+
+Objectives objectivesOf(const FlowResult& slack) {
+  return {slack.area.total(), slack.power.dynamic, slack.power.throughput};
+}
+
+}  // namespace thls::explore

@@ -1,0 +1,114 @@
+// Parallel design-point evaluation engine.
+//
+// Every (latency, clock) design point runs both §VII flows independently, so
+// the engine fans points out over a persistent worker pool, memoizes each
+// flow through a FlowCache, and streams survivors into a ParetoArchive.
+// Results are returned in input-point order and aggregated in that order,
+// so a run is bit-for-bit identical regardless of thread count (including
+// the serial reference loop in flow/dse.cpp).
+//
+// Behavior generators are invoked under a mutex (builders are cheap next to
+// flows and caller lambdas need not be thread-safe); the built Behavior is
+// then owned by the worker, satisfying runFlow's copy-per-task contract.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "explore/flow_cache.h"
+#include "explore/pareto.h"
+
+namespace thls::explore {
+
+/// Minimal persistent thread pool: parallelFor() dispatches index tasks to
+/// the workers and blocks until all complete.  A pool of size <= 1 runs
+/// inline on the caller thread.
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t numThreads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.empty() ? 1 : workers_.size(); }
+
+  /// Runs task(i) for every i in [0, count); rethrows the first task
+  /// exception after the batch drains.
+  void parallelFor(std::size_t count,
+                   const std::function<void(std::size_t)>& task);
+
+ private:
+  void workerLoop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable workCv_;
+  std::condition_variable doneCv_;
+  const std::function<void(std::size_t)>* task_ = nullptr;
+  std::size_t count_ = 0;
+  std::size_t next_ = 0;
+  std::size_t pending_ = 0;
+  std::exception_ptr firstError_;
+  bool stop_ = false;
+};
+
+struct EngineOptions {
+  /// Worker threads; 0 means std::thread::hardware_concurrency().
+  int threads = 0;
+  bool useCache = true;
+};
+
+/// One evaluated design point: the DsePointResult the classic driver
+/// produced plus per-flavor cache provenance.
+struct EvaluatedPoint {
+  DsePointResult result;
+  bool convCacheHit = false;
+  bool slackCacheHit = false;
+};
+
+using GeneratorFn = std::function<Behavior(int latencyStates)>;
+
+class ExploreEngine {
+ public:
+  /// The library is copied (like the options) so the engine can outlive the
+  /// caller's instance; curve characterization is re-cached per engine.
+  ExploreEngine(const ResourceLibrary& lib, FlowOptions base,
+                EngineOptions opts = {});
+
+  /// Evaluates every point (conventional + slack flow) in parallel.
+  /// `workloadName` scopes the cache; results come back in input order.
+  /// Successful slack points are offered to `archive` when non-null.
+  std::vector<EvaluatedPoint> evaluate(const std::string& workloadName,
+                                       const GeneratorFn& generator,
+                                       const std::vector<DesignPoint>& points,
+                                       ParetoArchive* archive = nullptr);
+
+  FlowCacheStats cacheStats() const { return cache_.stats(); }
+  void clearCache() { cache_.clear(); }
+  std::size_t threads() const { return pool_.size(); }
+  const FlowOptions& baseOptions() const { return base_; }
+
+ private:
+  EvaluatedPoint evaluateOne(const std::string& workloadName,
+                             const GeneratorFn& generator,
+                             const DesignPoint& pt);
+
+  ResourceLibrary lib_;
+  FlowOptions base_;
+  EngineOptions opts_;
+  std::uint64_t optionsHash_;
+  ThreadPool pool_;
+  FlowCache cache_;
+  std::mutex genMu_;
+};
+
+/// Strips EvaluatedPoint provenance back to the classic DSE result rows.
+std::vector<DsePointResult> toDsePoints(std::vector<EvaluatedPoint> pts);
+
+/// Objective projection used for archive inserts (slack-flow axes).
+Objectives objectivesOf(const FlowResult& slack);
+
+}  // namespace thls::explore

@@ -1,0 +1,84 @@
+#include "explore/explorer.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace thls::explore {
+
+GridExplorer::GridExplorer(std::vector<DesignPoint> grid)
+    : grid_(std::move(grid)) {}
+
+std::vector<EvaluatedPoint> GridExplorer::explore(
+    ExploreEngine& engine, const std::string& workloadName,
+    const GeneratorFn& generator, ParetoArchive& archive) {
+  return engine.evaluate(workloadName, generator, grid_, &archive);
+}
+
+AdaptiveExplorer::AdaptiveExplorer(AdaptiveOptions opts)
+    : opts_(std::move(opts)) {}
+
+std::vector<EvaluatedPoint> AdaptiveExplorer::explore(
+    ExploreEngine& engine, const std::string& workloadName,
+    const GeneratorFn& generator, ParetoArchive& archive) {
+  std::vector<EvaluatedPoint> all =
+      engine.evaluate(workloadName, generator, opts_.seed, &archive);
+
+  // (latency, clock) coordinates already spent, seeds included.
+  std::set<std::pair<int, long long>> visited;
+  auto coord = [](int lat, double clock) {
+    return std::make_pair(lat, std::llround(clock * 1024.0));
+  };
+  for (const DesignPoint& pt : opts_.seed) {
+    visited.insert(coord(pt.latencyStates, pt.clockPeriod));
+  }
+
+  for (int round = 1; round <= opts_.rounds; ++round) {
+    // front() is sorted, so probe generation (and the per-round cap) is
+    // deterministic no matter how worker threads raced last round.
+    std::vector<ParetoEntry> front;
+    for (ParetoEntry& entry : archive.front()) {
+      if (entry.workload != workloadName) continue;
+      // The archive may hold points from outside our seed (a grid run that
+      // shares the archive); never probe a coordinate already on the front.
+      visited.insert(coord(entry.point.latencyStates, entry.point.clockPeriod));
+      front.push_back(std::move(entry));
+    }
+
+    std::vector<DesignPoint> probes;
+    int idx = 1;
+    for (const ParetoEntry& entry : front) {
+      for (double ls : opts_.latencySteps) {
+        for (double cs : opts_.clockSteps) {
+          int lat = std::max(
+              1, static_cast<int>(std::lround(entry.point.latencyStates * ls)));
+          double clock = entry.point.clockPeriod * cs;
+          if (!visited.insert(coord(lat, clock)).second) continue;
+          DesignPoint pt;
+          pt.name = strCat("A", round, "_", idx++);
+          pt.latencyStates = lat;
+          pt.clockPeriod = clock;
+          pt.pipelined = entry.point.pipelined;
+          probes.push_back(std::move(pt));
+          if (static_cast<int>(probes.size()) >= opts_.maxPointsPerRound) break;
+        }
+        if (static_cast<int>(probes.size()) >= opts_.maxPointsPerRound) break;
+      }
+      if (static_cast<int>(probes.size()) >= opts_.maxPointsPerRound) break;
+    }
+    if (probes.empty()) break;
+    std::vector<EvaluatedPoint> batch =
+        engine.evaluate(workloadName, generator, probes, &archive);
+    for (EvaluatedPoint& ev : batch) all.push_back(std::move(ev));
+  }
+  return all;
+}
+
+DseSummary exploreToSummary(Explorer& strategy, ExploreEngine& engine,
+                            const std::string& workloadName,
+                            const GeneratorFn& generator,
+                            ParetoArchive& archive) {
+  return summarizeDsePoints(
+      toDsePoints(strategy.explore(engine, workloadName, generator, archive)));
+}
+
+}  // namespace thls::explore

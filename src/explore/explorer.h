@@ -1,0 +1,83 @@
+// Pluggable exploration strategies over the parallel engine (modeled on the
+// scheduler-class hierarchy in the pasched exemplar: one tiny virtual base,
+// concrete strategies behind it).
+//
+//   GridExplorer      exhaustive sweep of a fixed design-point grid; on
+//                     idctDesignGrid() it reproduces the classic
+//                     exploreDesignSpace results exactly.
+//   AdaptiveExplorer  coarse seed grid, then rounds that probe neighboring
+//                     (latency, clock) coordinates of the current Pareto
+//                     front -- spending evaluations where trade-offs live.
+//
+// Both strategies are deterministic for any engine thread count: batches
+// are fixed up front or derived from the (set-deterministic) archive front.
+#pragma once
+
+#include <memory>
+#include <set>
+
+#include "explore/engine.h"
+
+namespace thls::explore {
+
+class Explorer {
+ public:
+  virtual ~Explorer() = default;
+  virtual std::string name() const = 0;
+
+  /// Runs the strategy to completion.  Evaluated points come back in a
+  /// deterministic order; successful slack points land in `archive`.
+  virtual std::vector<EvaluatedPoint> explore(ExploreEngine& engine,
+                                              const std::string& workloadName,
+                                              const GeneratorFn& generator,
+                                              ParetoArchive& archive) = 0;
+};
+
+class GridExplorer : public Explorer {
+ public:
+  explicit GridExplorer(std::vector<DesignPoint> grid);
+  std::string name() const override { return "grid"; }
+  std::vector<EvaluatedPoint> explore(ExploreEngine& engine,
+                                      const std::string& workloadName,
+                                      const GeneratorFn& generator,
+                                      ParetoArchive& archive) override;
+
+ private:
+  std::vector<DesignPoint> grid_;
+};
+
+struct AdaptiveOptions {
+  /// Coarse starting grid (required, evaluated as round 0).
+  std::vector<DesignPoint> seed;
+  int rounds = 2;
+  /// Cap on new probes per round (taken in front order).
+  int maxPointsPerRound = 8;
+  /// Multiplicative neighborhood around each front point.
+  std::vector<double> latencySteps = {0.75, 1.25};
+  std::vector<double> clockSteps = {0.8, 1.25};
+  // Probes inherit the parent front point's `pipelined` flag: the flag is
+  // modeling metadata (latency == II substitution, see dse.h) that does not
+  // affect evaluation, and a probe keeps its parent's modeling convention.
+};
+
+class AdaptiveExplorer : public Explorer {
+ public:
+  explicit AdaptiveExplorer(AdaptiveOptions opts);
+  std::string name() const override { return "adaptive"; }
+  std::vector<EvaluatedPoint> explore(ExploreEngine& engine,
+                                      const std::string& workloadName,
+                                      const GeneratorFn& generator,
+                                      ParetoArchive& archive) override;
+
+ private:
+  AdaptiveOptions opts_;
+};
+
+/// Convenience: run a strategy and fold its points into the classic
+/// DseSummary (same range math as flow/dse.cpp, guarded).
+DseSummary exploreToSummary(Explorer& strategy, ExploreEngine& engine,
+                            const std::string& workloadName,
+                            const GeneratorFn& generator,
+                            ParetoArchive& archive);
+
+}  // namespace thls::explore

@@ -1,0 +1,94 @@
+#include "explore/flow_cache.h"
+
+#include <bit>
+
+namespace thls::explore {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+void mix(std::uint64_t& h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (i * 8)) & 0xff;
+    h *= kFnvPrime;
+  }
+}
+
+void mixDouble(std::uint64_t& h, double d) {
+  // Normalize -0.0 so equal-comparing keys hash equally.
+  if (d == 0.0) d = 0.0;
+  mix(h, std::bit_cast<std::uint64_t>(d));
+}
+
+}  // namespace
+
+std::uint64_t hashFlowOptions(const FlowOptions& opts) {
+  std::uint64_t h = kFnvOffset;
+  // Normalized out: sched.clockPeriod, iterationCycles (per-point key
+  // coordinates) and sched.startPolicy / sched.rebudgetPerEdge (the flavor).
+  mix(h, static_cast<std::uint64_t>(opts.sched.engine));
+  mix(h, opts.sched.allowAddState ? 1 : 0);
+  mix(h, static_cast<std::uint64_t>(opts.sched.maxRelaxations));
+  mixDouble(h, opts.sched.marginFraction);
+  mix(h, opts.sched.mergeWidths ? 1 : 0);
+  mix(h, static_cast<std::uint64_t>(opts.sched.maxShare));
+  mix(h, opts.areaRecovery ? 1 : 0);
+  mix(h, opts.compactBinding ? 1 : 0);
+  mix(h, opts.binding.commutativeSwap ? 1 : 0);
+  return h;
+}
+
+bool FlowCacheKey::operator==(const FlowCacheKey& o) const {
+  return latencyStates == o.latencyStates && clockPeriod == o.clockPeriod &&
+         flavor == o.flavor && optionsHash == o.optionsHash &&
+         workload == o.workload;
+}
+
+std::size_t FlowCacheKeyHash::operator()(const FlowCacheKey& k) const {
+  std::uint64_t h = kFnvOffset;
+  for (char c : k.workload) {
+    h ^= static_cast<unsigned char>(c);
+    h *= kFnvPrime;
+  }
+  mix(h, static_cast<std::uint64_t>(k.latencyStates));
+  double clock = k.clockPeriod == 0.0 ? 0.0 : k.clockPeriod;
+  mix(h, std::bit_cast<std::uint64_t>(clock));
+  mix(h, static_cast<std::uint64_t>(k.flavor));
+  mix(h, k.optionsHash);
+  return static_cast<std::size_t>(h);
+}
+
+std::shared_ptr<const FlowResult> FlowCache::lookup(const FlowCacheKey& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  return it->second;
+}
+
+std::shared_ptr<const FlowResult> FlowCache::insert(const FlowCacheKey& key,
+                                                    FlowResult result) {
+  auto value = std::make_shared<const FlowResult>(std::move(result));
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = map_.emplace(key, value);
+  return inserted ? value : it->second;
+}
+
+FlowCacheStats FlowCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {hits_, misses_, map_.size()};
+}
+
+void FlowCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  map_.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+}  // namespace thls::explore

@@ -1,0 +1,71 @@
+// Flow-result memoization for design-space exploration.
+//
+// Re-running a campaign (or overlapping grids across strategies / rounds)
+// hits the same (workload, latency, clock, flavor, options) coordinates
+// repeatedly; a flow evaluation costs seconds while a lookup costs a hash.
+// Results are stored behind shared_ptr<const FlowResult> so concurrent
+// readers share one immutable copy.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "flow/hls_flow.h"
+
+namespace thls::explore {
+
+/// The two §VII competitors (hls_flow.h conventionalFlow / slackBasedFlow).
+enum class FlowFlavor { kConventional, kSlackBased };
+
+/// Stable 64-bit FNV-1a hash of every FlowOptions field that survives the
+/// per-point overrides (clockPeriod, iterationCycles and the flavor-owned
+/// startPolicy / rebudgetPerEdge are normalized out -- they are separate
+/// key coordinates already).
+std::uint64_t hashFlowOptions(const FlowOptions& opts);
+
+struct FlowCacheKey {
+  std::string workload;
+  int latencyStates = 0;
+  double clockPeriod = 0;
+  FlowFlavor flavor = FlowFlavor::kConventional;
+  std::uint64_t optionsHash = 0;
+
+  bool operator==(const FlowCacheKey& o) const;
+};
+
+struct FlowCacheKeyHash {
+  std::size_t operator()(const FlowCacheKey& k) const;
+};
+
+struct FlowCacheStats {
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+  std::size_t entries = 0;
+};
+
+class FlowCache {
+ public:
+  /// Returns the cached result or nullptr; counts a hit / miss.
+  std::shared_ptr<const FlowResult> lookup(const FlowCacheKey& key);
+
+  /// Stores `result` for `key`.  First writer wins on a concurrent double
+  /// compute so later readers all observe one canonical object.
+  std::shared_ptr<const FlowResult> insert(const FlowCacheKey& key,
+                                           FlowResult result);
+
+  FlowCacheStats stats() const;
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<FlowCacheKey, std::shared_ptr<const FlowResult>,
+                     FlowCacheKeyHash>
+      map_;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+};
+
+}  // namespace thls::explore

@@ -1,0 +1,81 @@
+#include "explore/pareto.h"
+
+#include <algorithm>
+#include <tuple>
+
+namespace thls::explore {
+
+bool dominates(const Objectives& a, const Objectives& b) {
+  if (a.area > b.area || a.power > b.power || a.throughput < b.throughput) {
+    return false;
+  }
+  return a.area < b.area || a.power < b.power || a.throughput > b.throughput;
+}
+
+bool ParetoArchive::insert(ParetoEntry e) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++attempts_;
+  for (const ParetoEntry& have : entries_) {
+    if (dominates(have.obj, e.obj)) {
+      ++rejected_;
+      return false;
+    }
+    if (have.workload == e.workload && have.point.name == e.point.name &&
+        have.obj.area == e.obj.area && have.obj.power == e.obj.power &&
+        have.obj.throughput == e.obj.throughput) {
+      ++rejected_;  // idempotent re-insert of an already-archived point
+      return false;
+    }
+  }
+  entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
+                                [&](const ParetoEntry& have) {
+                                  return dominates(e.obj, have.obj);
+                                }),
+                 entries_.end());
+  entries_.push_back(std::move(e));
+  return true;
+}
+
+void sortFrontOrder(std::vector<ParetoEntry>& entries) {
+  std::sort(entries.begin(), entries.end(),
+            [](const ParetoEntry& a, const ParetoEntry& b) {
+              return std::make_tuple(a.workload, a.obj.area, a.obj.power,
+                                     -a.obj.throughput, a.point.name) <
+                     std::make_tuple(b.workload, b.obj.area, b.obj.power,
+                                     -b.obj.throughput, b.point.name);
+            });
+}
+
+std::vector<ParetoEntry> ParetoArchive::front() const {
+  std::vector<ParetoEntry> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out = entries_;
+  }
+  sortFrontOrder(out);
+  return out;
+}
+
+std::size_t ParetoArchive::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+void ParetoArchive::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  attempts_ = 0;
+  rejected_ = 0;
+}
+
+std::size_t ParetoArchive::attempts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return attempts_;
+}
+
+std::size_t ParetoArchive::rejected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rejected_;
+}
+
+}  // namespace thls::explore

@@ -1,0 +1,69 @@
+// Thread-safe Pareto-front archive over the paper's three §VII axes:
+// total area (minimize), dynamic power (minimize), throughput (maximize).
+//
+// The archive is set-deterministic: because insert() removes every entry a
+// newcomer dominates and rejects newcomers any entry dominates, the final
+// front is the unique maximal set of the inserted points, independent of
+// insertion order -- and therefore of worker-thread interleaving.  front()
+// returns it under a total order so callers can compare fronts exactly.
+#pragma once
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "flow/dse.h"
+
+namespace thls::explore {
+
+/// One point in objective space.  Area and power are minimized, throughput
+/// is maximized (samples per ns, the DSE plot axis).
+struct Objectives {
+  double area = 0;
+  double power = 0;
+  double throughput = 0;
+};
+
+/// True when `a` is at least as good as `b` on every axis and strictly
+/// better on at least one.
+bool dominates(const Objectives& a, const Objectives& b);
+
+struct ParetoEntry {
+  std::string workload;  ///< campaign tag; empty for single-workload runs
+  DesignPoint point;
+  Objectives obj;
+  double savingPercent = 0;  ///< conv-vs-slack area saving at this point
+};
+
+/// Sorts entries under the deterministic total order front() returns
+/// (workload, area, power, -throughput, point name); exposed so campaign
+/// code can merge per-workload fronts into one deterministic list.
+void sortFrontOrder(std::vector<ParetoEntry>& entries);
+
+class ParetoArchive {
+ public:
+  /// Inserts `e` if no archived entry dominates it; evicts entries it
+  /// dominates.  Re-inserting an exact duplicate (same workload, point name
+  /// and objectives -- e.g. a cached re-evaluation) is an idempotent no-op.
+  /// Returns true when the entry joined the front.
+  bool insert(ParetoEntry e);
+
+  /// Current front under a deterministic total order (workload, area,
+  /// power, -throughput, point name).
+  std::vector<ParetoEntry> front() const;
+
+  std::size_t size() const;
+  void clear();
+
+  /// Total insert() calls and how many were rejected as dominated.
+  std::size_t attempts() const;
+  std::size_t rejected() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<ParetoEntry> entries_;
+  std::size_t attempts_ = 0;
+  std::size_t rejected_ = 0;
+};
+
+}  // namespace thls::explore

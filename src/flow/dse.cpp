@@ -3,17 +3,63 @@
 #include <algorithm>
 #include <cmath>
 
+#include "explore/engine.h"
+
 namespace thls {
 
-DseSummary exploreDesignSpace(
-    const std::function<Behavior(int latencyStates)>& generator,
-    const std::vector<DesignPoint>& points, const ResourceLibrary& lib,
-    const FlowOptions& base) {
+DseSummary summarizeDsePoints(std::vector<DsePointResult> points) {
   DseSummary summary;
   double savingSum = 0;
   int savingCount = 0;
   double pMin = 1e30, pMax = 0, tMin = 1e30, tMax = 0, aMin = 1e30, aMax = 0;
 
+  for (const DsePointResult& r : points) {
+    if (r.conv.success && r.slack.success && r.conv.area.total() > 0) {
+      savingSum += r.savingPercent;
+      ++savingCount;
+      pMin = std::min(pMin, r.slack.power.dynamic);
+      pMax = std::max(pMax, r.slack.power.dynamic);
+      tMin = std::min(tMin, r.slack.power.throughput);
+      tMax = std::max(tMax, r.slack.power.throughput);
+      aMin = std::min(aMin, r.slack.area.total());
+      aMax = std::max(aMax, r.slack.area.total());
+    }
+  }
+  summary.points = std::move(points);
+  if (savingCount > 0) {
+    summary.averageSavingPercent = savingSum / savingCount;
+    // A min of 0 would turn a ratio into inf; report 0 ("no range") instead.
+    summary.powerRange = pMin > 0 ? pMax / pMin : 0;
+    summary.throughputRange = tMin > 0 ? tMax / tMin : 0;
+    summary.areaRange = aMin > 0 ? aMax / aMin : 0;
+  }
+  return summary;
+}
+
+DseSummary exploreDesignSpace(
+    const std::function<Behavior(int latencyStates)>& generator,
+    const std::vector<DesignPoint>& points, const ResourceLibrary& lib,
+    const FlowOptions& base) {
+  return exploreDesignSpace(generator, points, lib, base, /*threads=*/0);
+}
+
+DseSummary exploreDesignSpace(
+    const std::function<Behavior(int latencyStates)>& generator,
+    const std::vector<DesignPoint>& points, const ResourceLibrary& lib,
+    const FlowOptions& base, int threads, bool useCache) {
+  explore::EngineOptions eopts;
+  eopts.threads = threads;
+  eopts.useCache = useCache;
+  explore::ExploreEngine engine(lib, base, eopts);
+  return summarizeDsePoints(
+      explore::toDsePoints(engine.evaluate("dse", generator, points)));
+}
+
+DseSummary exploreDesignSpaceSerial(
+    const std::function<Behavior(int latencyStates)>& generator,
+    const std::vector<DesignPoint>& points, const ResourceLibrary& lib,
+    const FlowOptions& base) {
+  std::vector<DsePointResult> rows;
   for (const DesignPoint& pt : points) {
     DsePointResult r;
     r.point = pt;
@@ -28,24 +74,10 @@ DseSummary exploreDesignSpace(
     if (r.conv.success && r.slack.success && r.conv.area.total() > 0) {
       r.savingPercent = (r.conv.area.total() - r.slack.area.total()) /
                         r.conv.area.total() * 100.0;
-      savingSum += r.savingPercent;
-      ++savingCount;
-      pMin = std::min(pMin, r.slack.power.dynamic);
-      pMax = std::max(pMax, r.slack.power.dynamic);
-      tMin = std::min(tMin, r.slack.power.throughput);
-      tMax = std::max(tMax, r.slack.power.throughput);
-      aMin = std::min(aMin, r.slack.area.total());
-      aMax = std::max(aMax, r.slack.area.total());
     }
-    summary.points.push_back(std::move(r));
+    rows.push_back(std::move(r));
   }
-  if (savingCount > 0) {
-    summary.averageSavingPercent = savingSum / savingCount;
-    summary.powerRange = pMax / pMin;
-    summary.throughputRange = tMax / tMin;
-    summary.areaRange = aMax / aMin;
-  }
-  return summary;
+  return summarizeDsePoints(std::move(rows));
 }
 
 std::vector<DesignPoint> idctDesignGrid() {

@@ -30,15 +30,35 @@ struct DsePointResult {
 struct DseSummary {
   std::vector<DsePointResult> points;
   double averageSavingPercent = 0;
-  /// min/max over successful slack-flow points.
+  /// min/max over successful slack-flow points; 0 when no point succeeded
+  /// or a min is 0 (never inf or a 1e30 sentinel).
   double powerRange = 0;       ///< max/min dynamic power
   double throughputRange = 0;  ///< max/min throughput
   double areaRange = 0;        ///< max/min total area
 };
 
+/// Folds evaluated rows into the summary (average saving + guarded ranges).
+/// Shared by the serial reference loop and the parallel explore engine.
+DseSummary summarizeDsePoints(std::vector<DsePointResult> points);
+
 /// `generator(latencyStates)` must build the workload targeting the given
-/// number of states.
+/// number of states.  Evaluates points on the explore-engine worker pool
+/// (flow-cache enabled); results and summary are bit-for-bit identical to
+/// exploreDesignSpaceSerial for any thread count.
 DseSummary exploreDesignSpace(
+    const std::function<Behavior(int latencyStates)>& generator,
+    const std::vector<DesignPoint>& points, const ResourceLibrary& lib,
+    const FlowOptions& base);
+
+/// As above with explicit worker count (0 = hardware concurrency).
+DseSummary exploreDesignSpace(
+    const std::function<Behavior(int latencyStates)>& generator,
+    const std::vector<DesignPoint>& points, const ResourceLibrary& lib,
+    const FlowOptions& base, int threads, bool useCache = true);
+
+/// The original single-threaded loop, kept as the reference/baseline the
+/// parallel engine is benchmarked and differentially tested against.
+DseSummary exploreDesignSpaceSerial(
     const std::function<Behavior(int latencyStates)>& generator,
     const std::vector<DesignPoint>& points, const ResourceLibrary& lib,
     const FlowOptions& base);

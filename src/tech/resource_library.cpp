@@ -43,12 +43,27 @@ double VariantCurve::snapDelay(double budget) const {
 
 ResourceLibrary::ResourceLibrary(LibraryConfig cfg) : cfg_(cfg) {}
 
+ResourceLibrary::ResourceLibrary(const ResourceLibrary& other) {
+  std::lock_guard<std::mutex> lock(other.mu_);
+  cfg_ = other.cfg_;
+  curves_ = other.curves_;
+}
+
+ResourceLibrary& ResourceLibrary::operator=(const ResourceLibrary& other) {
+  if (this == &other) return *this;
+  std::scoped_lock lock(mu_, other.mu_);
+  cfg_ = other.cfg_;
+  curves_ = other.curves_;
+  return *this;
+}
+
 ResourceLibrary ResourceLibrary::tsmc90(LibraryConfig cfg) {
   return ResourceLibrary(cfg);
 }
 
 void ResourceLibrary::setCurve(ResourceClass cls, int width,
                                VariantCurve curve) {
+  std::lock_guard<std::mutex> lock(mu_);
   curves_[{cls, width}] = std::move(curve);
 }
 
@@ -56,6 +71,7 @@ const VariantCurve& ResourceLibrary::curve(ResourceClass cls, int width) const {
   THLS_REQUIRE(cls != ResourceClass::kNone,
                "free operations have no resource curve");
   auto key = std::make_pair(cls, width);
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = curves_.find(key);
   if (it == curves_.end()) {
     it = curves_.emplace(key, characterizeCurve(cls, width, cfg_)).first;

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <map>
+#include <mutex>
 #include <vector>
 
 #include "ir/op_kind.h"
@@ -66,11 +67,15 @@ struct LibraryConfig {
   bool continuousSizing = true;
 };
 
-/// Characterized technology library.  Thread-compatible: characterization
-/// results are cached per (class, width) on first use.
+/// Characterized technology library.  Thread-safe for concurrent readers:
+/// characterization results are cached per (class, width) on first use
+/// under an internal lock (std::map never invalidates element references,
+/// so returned curves stay valid as the cache grows).
 class ResourceLibrary {
  public:
   explicit ResourceLibrary(LibraryConfig cfg = {});
+  ResourceLibrary(const ResourceLibrary& other);
+  ResourceLibrary& operator=(const ResourceLibrary& other);
 
   /// The default library anchored to the paper's Table 1 (TSMC 90nm).
   static ResourceLibrary tsmc90(LibraryConfig cfg = {});
@@ -98,6 +103,7 @@ class ResourceLibrary {
 
  private:
   LibraryConfig cfg_;
+  mutable std::mutex mu_;
   mutable std::map<std::pair<ResourceClass, int>, VariantCurve> curves_;
 };
 

@@ -67,4 +67,9 @@ Behavior makeRandomDfg(const RandomDfgParams& p) {
   return b.finish();
 }
 
+Behavior makeRandomDfg(std::uint32_t seed, RandomDfgParams p) {
+  p.seed = seed;
+  return makeRandomDfg(p);
+}
+
 }  // namespace thls::workloads

@@ -2,16 +2,46 @@
 
 namespace thls::workloads {
 
+namespace {
+
+/// Seed for the registry's random workload: fixed and explicit so every
+/// campaign / test over "random40" sees the same graph.
+constexpr std::uint32_t kRandom40Seed = 2012;
+
+Behavior makeRandom40(int latencyStates) {
+  RandomDfgParams p;
+  p.numOps = 40;
+  p.latencyStates = latencyStates;
+  return makeRandomDfg(kRandom40Seed, p);
+}
+
+}  // namespace
+
 std::vector<NamedWorkload> standardWorkloads() {
   std::vector<NamedWorkload> w;
-  w.push_back({"interpolation", [] { return makeInterpolation(); }, 1100.0});
-  w.push_back({"resizer", [] { return makeResizer(); }, 1600.0});
-  w.push_back({"idct1d", [] { return makeIdct1d({.latencyStates = 6}); }, 1250.0});
-  w.push_back({"ewf", [] { return makeEwf(14); }, 1250.0});
-  w.push_back({"arf", [] { return makeArf(8); }, 1250.0});
-  w.push_back({"fir16", [] { return makeFir(16, 6); }, 1250.0});
-  w.push_back({"fft8", [] { return makeFft(8, 6); }, 1250.0});
-  w.push_back({"matmul3", [] { return makeMatmul(3, 4); }, 1250.0});
+  w.push_back({"interpolation", [] { return makeInterpolation(); }, 1100.0,
+               [](int l) {
+                 InterpolationParams p;
+                 p.latencyStates = l;
+                 return makeInterpolation(p);
+               },
+               3});
+  w.push_back({"resizer", [] { return makeResizer(); }, 1600.0, nullptr, 3});
+  w.push_back({"idct1d", [] { return makeIdct1d({.latencyStates = 6}); },
+               1250.0, [](int l) { return makeIdct1d({.latencyStates = l}); },
+               6});
+  w.push_back({"ewf", [] { return makeEwf(14); }, 1250.0,
+               [](int l) { return makeEwf(l); }, 14});
+  w.push_back({"arf", [] { return makeArf(8); }, 1250.0,
+               [](int l) { return makeArf(l); }, 8});
+  w.push_back({"fir16", [] { return makeFir(16, 6); }, 1250.0,
+               [](int l) { return makeFir(16, l); }, 6});
+  w.push_back({"fft8", [] { return makeFft(8, 6); }, 1250.0,
+               [](int l) { return makeFft(8, l); }, 6});
+  w.push_back({"matmul3", [] { return makeMatmul(3, 4); }, 1250.0,
+               [](int l) { return makeMatmul(3, l); }, 4});
+  w.push_back({"random40", [] { return makeRandom40(6); }, 1250.0,
+               [](int l) { return makeRandom40(l); }, 6});
   return w;
 }
 

@@ -71,11 +71,20 @@ struct RandomDfgParams {
 };
 Behavior makeRandomDfg(const RandomDfgParams& p);
 
+/// Explicit-seed convenience: exploration campaigns and tests must name the
+/// seed they run so results are reproducible across sessions.
+Behavior makeRandomDfg(std::uint32_t seed, RandomDfgParams p = {});
+
 /// Named generators at canonical sizes for parameterized suites.
 struct NamedWorkload {
   std::string name;
   std::function<Behavior()> make;
   double clockPeriod;  ///< a period at which the workload is schedulable
+  /// Latency-parameterized variant for design-space exploration; null for
+  /// fixed-structure workloads (resizer).
+  std::function<Behavior(int latencyStates)> makeAtLatency;
+  /// Canonical latency `make()` builds at (exploration sweeps around it).
+  int baseLatency = 0;
 };
 std::vector<NamedWorkload> standardWorkloads();
 

@@ -1,0 +1,352 @@
+// Explore-subsystem tests: Pareto-archive dominance, flow-cache accounting,
+// and parallel-vs-serial determinism of the exploration engine on the
+// 15-point IDCT grid (ISSUE acceptance: identical DseSummary and Pareto
+// front regardless of thread count).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <set>
+#include <utility>
+
+#include "explore/campaign.h"
+#include "test_util.h"
+
+namespace thls {
+namespace {
+
+using explore::Objectives;
+using explore::ParetoArchive;
+using explore::ParetoEntry;
+
+ParetoEntry entry(const std::string& name, double area, double power,
+                  double throughput) {
+  ParetoEntry e;
+  e.point.name = name;
+  e.obj = {area, power, throughput};
+  return e;
+}
+
+TEST(ParetoTest, DominanceIsStrict) {
+  Objectives a{10, 5, 2};
+  EXPECT_FALSE(explore::dominates(a, a));  // equal: no strict improvement
+  EXPECT_TRUE(explore::dominates({9, 5, 2}, a));
+  EXPECT_TRUE(explore::dominates({10, 5, 3}, a));
+  EXPECT_FALSE(explore::dominates({9, 6, 2}, a));  // trade-off: incomparable
+  EXPECT_FALSE(explore::dominates({11, 4, 2}, a));
+}
+
+TEST(ParetoTest, ArchiveKeepsMaximalSet) {
+  ParetoArchive archive;
+  EXPECT_TRUE(archive.insert(entry("a", 10, 10, 1)));
+  EXPECT_TRUE(archive.insert(entry("b", 5, 20, 1)));   // trade-off, kept
+  EXPECT_FALSE(archive.insert(entry("c", 11, 11, 1))); // dominated by a
+  EXPECT_TRUE(archive.insert(entry("d", 4, 9, 2)));    // dominates a and b
+  std::vector<ParetoEntry> front = archive.front();
+  ASSERT_EQ(front.size(), 1u);
+  EXPECT_EQ(front[0].point.name, "d");
+  EXPECT_EQ(archive.attempts(), 4u);
+  EXPECT_EQ(archive.rejected(), 1u);
+}
+
+TEST(ParetoTest, EqualObjectivesBothSurvive) {
+  ParetoArchive archive;
+  EXPECT_TRUE(archive.insert(entry("a", 10, 10, 1)));
+  EXPECT_TRUE(archive.insert(entry("b", 10, 10, 1)));
+  EXPECT_EQ(archive.front().size(), 2u);
+}
+
+TEST(ParetoTest, FrontIsInsertionOrderIndependent) {
+  std::vector<ParetoEntry> entries = {
+      entry("a", 10, 10, 1), entry("b", 5, 20, 1),  entry("c", 11, 11, 1),
+      entry("d", 4, 25, 1),  entry("e", 20, 2, 3),  entry("f", 4, 25, 0.5),
+      entry("g", 6, 18, 1),  entry("h", 30, 30, 4),
+  };
+  auto frontNames = [&](const std::vector<int>& order) {
+    ParetoArchive archive;
+    for (int i : order) archive.insert(entries[i]);
+    std::vector<std::string> names;
+    for (const ParetoEntry& e : archive.front()) names.push_back(e.point.name);
+    return names;
+  };
+  std::vector<int> order = {0, 1, 2, 3, 4, 5, 6, 7};
+  std::vector<std::string> ref = frontNames(order);
+  ASSERT_FALSE(ref.empty());
+  do {
+    EXPECT_EQ(frontNames(order), ref);
+  } while (std::next_permutation(order.begin() + 1, order.end() - 1));
+}
+
+TEST(FlowCacheTest, OptionsHashSeparatesConfigs) {
+  FlowOptions a, b;
+  EXPECT_EQ(explore::hashFlowOptions(a), explore::hashFlowOptions(b));
+  b.sched.mergeWidths = true;
+  EXPECT_NE(explore::hashFlowOptions(a), explore::hashFlowOptions(b));
+  // Per-point coordinates are normalized out of the hash: they live in the
+  // cache key itself.
+  FlowOptions c;
+  c.sched.clockPeriod = 1250.0;
+  c.iterationCycles = 8;
+  EXPECT_EQ(explore::hashFlowOptions(a), explore::hashFlowOptions(c));
+}
+
+TEST(FlowCacheTest, HitAndMissAccounting) {
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+  FlowOptions base;
+  explore::EngineOptions eopts;
+  eopts.threads = 1;
+  explore::ExploreEngine engine(lib, base, eopts);
+
+  std::vector<DesignPoint> grid = {{"P1", 4, 1250.0, false},
+                                   {"P2", 3, 1250.0, false},
+                                   {"P2b", 3, 1250.0, false}};  // dup coords
+  auto gen = [](int latency) {
+    return workloads::makeIdct1d({.latencyStates = latency});
+  };
+
+  std::vector<explore::EvaluatedPoint> first =
+      engine.evaluate("idct1d", gen, grid);
+  explore::FlowCacheStats s1 = engine.cacheStats();
+  // P1 and P2 miss both flavors; P2b hits both (same coordinates as P2).
+  EXPECT_EQ(s1.misses, 4u);
+  EXPECT_EQ(s1.hits, 2u);
+  EXPECT_EQ(s1.entries, 4u);
+  EXPECT_FALSE(first[0].convCacheHit);
+  EXPECT_TRUE(first[2].convCacheHit);
+  EXPECT_TRUE(first[2].slackCacheHit);
+
+  std::vector<explore::EvaluatedPoint> second =
+      engine.evaluate("idct1d", gen, grid);
+  explore::FlowCacheStats s2 = engine.cacheStats();
+  EXPECT_EQ(s2.misses, 4u);  // everything warm now
+  EXPECT_EQ(s2.hits, 8u);
+  for (const explore::EvaluatedPoint& ev : second) {
+    EXPECT_TRUE(ev.convCacheHit);
+    EXPECT_TRUE(ev.slackCacheHit);
+  }
+  // Cached replay is bit-identical.
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].result.slack.area.total(),
+              second[i].result.slack.area.total());
+    EXPECT_EQ(first[i].result.savingPercent, second[i].result.savingPercent);
+  }
+
+  // A different workload name is a different key even at equal coordinates.
+  std::vector<explore::EvaluatedPoint> other =
+      engine.evaluate("idct1d-alt", gen, {grid[0]});
+  EXPECT_EQ(engine.cacheStats().misses, 6u);
+}
+
+void expectSummariesIdentical(const DseSummary& a, const DseSummary& b) {
+  ASSERT_EQ(a.points.size(), b.points.size());
+  EXPECT_EQ(a.averageSavingPercent, b.averageSavingPercent);
+  EXPECT_EQ(a.powerRange, b.powerRange);
+  EXPECT_EQ(a.throughputRange, b.throughputRange);
+  EXPECT_EQ(a.areaRange, b.areaRange);
+  for (std::size_t i = 0; i < a.points.size(); ++i) {
+    const DsePointResult& x = a.points[i];
+    const DsePointResult& y = b.points[i];
+    EXPECT_EQ(x.point.name, y.point.name);
+    EXPECT_EQ(x.conv.success, y.conv.success);
+    EXPECT_EQ(x.slack.success, y.slack.success);
+    EXPECT_EQ(x.savingPercent, y.savingPercent);
+    EXPECT_EQ(x.conv.area.total(), y.conv.area.total());
+    EXPECT_EQ(x.slack.area.total(), y.slack.area.total());
+    EXPECT_EQ(x.slack.power.dynamic, y.slack.power.dynamic);
+    EXPECT_EQ(x.slack.power.throughput, y.slack.power.throughput);
+  }
+}
+
+TEST(ExploreEngineTest, ParallelMatchesSerialOnIdctGrid) {
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+  FlowOptions base;
+  std::vector<DesignPoint> grid = idctDesignGrid();
+  ASSERT_EQ(grid.size(), 15u);
+  auto gen = [](int latency) {
+    return workloads::makeIdct1d({.latencyStates = latency});
+  };
+
+  DseSummary serial = exploreDesignSpaceSerial(gen, grid, lib, base);
+
+  auto runParallel = [&](int threads) {
+    explore::EngineOptions eopts;
+    eopts.threads = threads;
+    explore::ExploreEngine engine(lib, base, eopts);
+    explore::GridExplorer strategy(grid);
+    explore::ParetoArchive archive;
+    DseSummary s =
+        explore::exploreToSummary(strategy, engine, "idct1d", gen, archive);
+    return std::make_pair(std::move(s), archive.front());
+  };
+
+  auto [s1, front1] = runParallel(1);
+  auto [s4, front4] = runParallel(4);
+  auto [s8, front8] = runParallel(8);
+
+  expectSummariesIdentical(serial, s1);
+  expectSummariesIdentical(serial, s4);
+  expectSummariesIdentical(serial, s8);
+
+  ASSERT_FALSE(front4.empty());
+  ASSERT_EQ(front1.size(), front4.size());
+  ASSERT_EQ(front1.size(), front8.size());
+  for (std::size_t i = 0; i < front1.size(); ++i) {
+    EXPECT_EQ(front1[i].point.name, front4[i].point.name);
+    EXPECT_EQ(front1[i].obj.area, front4[i].obj.area);
+    EXPECT_EQ(front1[i].obj.power, front4[i].obj.power);
+    EXPECT_EQ(front1[i].obj.throughput, front4[i].obj.throughput);
+    EXPECT_EQ(front4[i].point.name, front8[i].point.name);
+  }
+
+  // The public entry point rides the same engine.
+  DseSummary viaApi = exploreDesignSpace(gen, grid, lib, base, 4);
+  expectSummariesIdentical(serial, viaApi);
+}
+
+TEST(ExploreEngineTest, RangesGuardedWhenAllPointsFail) {
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+  FlowOptions base;
+  // 1 ps clock: nothing schedules, every flow fails.
+  std::vector<DesignPoint> grid = {{"X1", 4, 1.0, false},
+                                   {"X2", 3, 1.0, false}};
+  auto gen = [](int latency) {
+    return workloads::makeIdct1d({.latencyStates = latency});
+  };
+  DseSummary s = exploreDesignSpace(gen, grid, lib, base, 2);
+  ASSERT_EQ(s.points.size(), 2u);
+  for (const DsePointResult& r : s.points) EXPECT_FALSE(r.slack.success);
+  EXPECT_EQ(s.averageSavingPercent, 0.0);
+  EXPECT_EQ(s.powerRange, 0.0);       // was inf / 1e30 garbage before
+  EXPECT_EQ(s.throughputRange, 0.0);
+  EXPECT_EQ(s.areaRange, 0.0);
+}
+
+TEST(ExploreEngineTest, AdaptiveRefinesAroundFront) {
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+  FlowOptions base;
+  explore::EngineOptions eopts;
+  eopts.threads = 2;
+  explore::ExploreEngine engine(lib, base, eopts);
+
+  explore::AdaptiveOptions aopts;
+  aopts.seed = {{"S1", 8, 1600.0, false}, {"S2", 4, 1250.0, false}};
+  aopts.rounds = 2;
+  aopts.maxPointsPerRound = 4;
+  auto gen = [](int latency) {
+    return workloads::makeIdct1d({.latencyStates = latency});
+  };
+
+  auto run = [&](explore::ExploreEngine& eng) {
+    explore::ParetoArchive archive;
+    explore::AdaptiveExplorer adaptive(aopts);
+    std::vector<explore::EvaluatedPoint> pts =
+        adaptive.explore(eng, "idct1d", gen, archive);
+    return std::make_pair(std::move(pts), archive.front());
+  };
+  auto [pts, front] = run(engine);
+
+  EXPECT_GT(pts.size(), aopts.seed.size());  // probes actually happened
+  EXPECT_FALSE(front.empty());
+  // No coordinate evaluated twice (visited-set dedup).
+  std::set<std::pair<int, long long>> seen;
+  for (const explore::EvaluatedPoint& ev : pts) {
+    auto key = std::make_pair(ev.result.point.latencyStates,
+                              std::llround(ev.result.point.clockPeriod * 1024));
+    EXPECT_TRUE(seen.insert(key).second) << ev.result.point.name;
+  }
+
+  // Thread-count independence of the adaptive trajectory.
+  explore::EngineOptions serialOpts;
+  serialOpts.threads = 1;
+  explore::ExploreEngine serialEngine(lib, base, serialOpts);
+  auto [ptsSerial, frontSerial] = run(serialEngine);
+  ASSERT_EQ(pts.size(), ptsSerial.size());
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    EXPECT_EQ(pts[i].result.point.name, ptsSerial[i].result.point.name);
+    EXPECT_EQ(pts[i].result.slack.area.total(),
+              ptsSerial[i].result.slack.area.total());
+  }
+  ASSERT_EQ(front.size(), frontSerial.size());
+  for (std::size_t i = 0; i < front.size(); ++i) {
+    EXPECT_EQ(front[i].point.name, frontSerial[i].point.name);
+  }
+}
+
+TEST(CampaignTest, GridRespectsRegistryShape) {
+  explore::CampaignOptions opts;
+  for (const workloads::NamedWorkload& w : workloads::standardWorkloads()) {
+    std::vector<DesignPoint> grid = explore::campaignGrid(w, opts);
+    if (w.makeAtLatency) {
+      EXPECT_GT(grid.size(), opts.clockScales.size()) << w.name;
+    } else {
+      EXPECT_EQ(grid.size(), opts.clockScales.size()) << w.name;
+    }
+    for (const DesignPoint& pt : grid) {
+      EXPECT_GE(pt.latencyStates, 1) << w.name;
+      EXPECT_GT(pt.clockPeriod, 0.0) << w.name;
+    }
+  }
+}
+
+TEST(CampaignTest, SmallCampaignProducesFrontsAndExports) {
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+  FlowOptions base;
+  explore::CampaignOptions opts;
+  opts.engine.threads = 2;
+  opts.latencyScales = {2.0, 1.0};
+  opts.clockScales = {1.0};
+
+  // Two cheap registry workloads, one latency-parameterized, one fixed.
+  std::vector<workloads::NamedWorkload> named;
+  for (const workloads::NamedWorkload& w : workloads::standardWorkloads()) {
+    if (w.name == "interpolation" || w.name == "resizer") named.push_back(w);
+  }
+  ASSERT_EQ(named.size(), 2u);
+
+  explore::CampaignResult result = explore::runCampaign(lib, base, opts, named);
+  ASSERT_EQ(result.workloads.size(), 2u);
+  for (const explore::CampaignWorkloadResult& wr : result.workloads) {
+    EXPECT_GT(wr.pointsEvaluated, 0u) << wr.workload;
+    EXPECT_FALSE(wr.front.empty()) << wr.workload;
+    for (const ParetoEntry& e : wr.front) EXPECT_EQ(e.workload, wr.workload);
+  }
+  EXPECT_FALSE(result.globalFront.empty());
+
+  std::string csv = explore::frontCsv(result.globalFront);
+  EXPECT_NE(csv.find("workload,design"), std::string::npos);
+  EXPECT_NE(csv.find("interpolation"), std::string::npos);
+  std::string json = explore::campaignJson(result);
+  EXPECT_NE(json.find("\"global_front\""), std::string::npos);
+  EXPECT_NE(json.find("\"workload\":\"resizer\""), std::string::npos);
+}
+
+TEST(CampaignTest, RandomWorkloadIsSeededAndReproducible) {
+  std::vector<workloads::NamedWorkload> all = workloads::standardWorkloads();
+  auto it = std::find_if(all.begin(), all.end(), [](const auto& w) {
+    return w.name == "random40";
+  });
+  ASSERT_NE(it, all.end());
+  Behavior a = it->make();
+  Behavior b = it->make();
+  ASSERT_EQ(a.dfg.numOps(), b.dfg.numOps());
+  for (std::size_t i = 0; i < a.dfg.numOps(); ++i) {
+    OpId id(static_cast<std::int32_t>(i));
+    EXPECT_EQ(a.dfg.op(id).kind, b.dfg.op(id).kind);
+    EXPECT_EQ(a.dfg.op(id).name, b.dfg.op(id).name);
+  }
+  // Explicit-seed overload: seed is the only thing that changes the graph.
+  Behavior c = workloads::makeRandomDfg(7);
+  Behavior d = workloads::makeRandomDfg(7);
+  Behavior e = workloads::makeRandomDfg(8);
+  EXPECT_EQ(c.dfg.numOps(), d.dfg.numOps());
+  bool differs = c.dfg.numOps() != e.dfg.numOps();
+  for (std::size_t i = 0; !differs && i < c.dfg.numOps(); ++i) {
+    OpId id(static_cast<std::int32_t>(i));
+    differs = c.dfg.op(id).kind != e.dfg.op(id).kind;
+  }
+  EXPECT_TRUE(differs);
+}
+
+}  // namespace
+}  // namespace thls
