@@ -1,0 +1,152 @@
+// Scheduler-scaling bench: incremental span/timing maintenance vs the
+// from-scratch (pre-PR) inner loop, over the seeded random-DFG scaling
+// workloads (N = 100 / 200 / 400 ops; registry: scalingWorkloads()).
+//
+// For every workload both modes run the full slack-based scheduleBehavior at
+// the registry clock; the bench asserts the schedules (edges, FUs, starts,
+// delays) and the classic stats are bit-for-bit identical, prints the wall
+// clocks, and writes the measurements to BENCH_sched_scaling.json.  The
+// acceptance bar is a >= 2x speedup on the N = 400 workload.
+//
+//   --reps N          repetitions per mode, best-of is reported (default 5)
+//   --json PATH       output JSON path (default BENCH_sched_scaling.json)
+//   --min-speedup X   exit nonzero below this N=400 speedup (default 2.0;
+//                     CI smoke passes 0 so only the identity check gates --
+//                     wall-clock ratios flake on shared runners)
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "netlist/report.h"
+#include "sched/list_scheduler.h"
+#include "workloads/workloads.h"
+
+using namespace thls;
+
+namespace {
+
+bool sameSchedule(const ScheduleOutcome& a, const ScheduleOutcome& b) {
+  if (a.success != b.success) return false;
+  if (!a.success) return true;
+  const Schedule& x = a.schedule;
+  const Schedule& y = b.schedule;
+  if (x.opEdge != y.opEdge || x.opStart != y.opStart || x.opDelay != y.opDelay)
+    return false;
+  if (x.fus.size() != y.fus.size()) return false;
+  for (std::size_t i = 0; i < x.fus.size(); ++i) {
+    if (x.fus[i].ops != y.fus[i].ops || x.fus[i].delay != y.fus[i].delay ||
+        x.fus[i].cls != y.fus[i].cls || x.fus[i].width != y.fus[i].width) {
+      return false;
+    }
+  }
+  for (std::size_t i = 0; i < x.opFu.size(); ++i) {
+    if (x.opFu[i] != y.opFu[i]) return false;
+  }
+  // The shared scheduling stats must agree; span/ready counters differ by
+  // construction (that difference is the point of the bench).
+  return a.stats.schedulePasses == b.stats.schedulePasses &&
+         a.stats.relaxations == b.stats.relaxations &&
+         a.stats.timingAnalyses == b.stats.timingAnalyses &&
+         a.stats.resourcesAdded == b.stats.resourcesAdded &&
+         a.stats.statesAdded == b.stats.statesAdded &&
+         a.stats.fastestOverrides == b.stats.fastestOverrides;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int reps = 5;
+  double minSpeedup = 2.0;
+  std::string jsonPath = "BENCH_sched_scaling.json";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--reps" && i + 1 < argc) reps = std::atoi(argv[++i]);
+    if (arg == "--json" && i + 1 < argc) jsonPath = argv[++i];
+    if (arg == "--min-speedup" && i + 1 < argc) minSpeedup = std::atof(argv[++i]);
+  }
+  if (reps < 1) reps = 1;
+
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+
+  std::printf("== scheduler scaling: incremental vs from-scratch spans ==\n\n");
+  TableWriter t({"workload", "ops", "lat", "scratch(s)", "incremental(s)",
+                 "speedup", "identical"});
+
+  std::string rows;
+  bool allIdentical = true;
+  double speedup400 = 0;
+  for (const workloads::NamedWorkload& w : workloads::scalingWorkloads()) {
+    SchedulerOptions base;
+    base.clockPeriod = w.clockPeriod;
+
+    double secs[2] = {1e300, 1e300};  // [scratch, incremental]
+    ScheduleOutcome outcomes[2];
+    bool identical = true;
+    for (int r = 0; r < reps; ++r) {
+      for (int mode = 0; mode < 2; ++mode) {
+        Behavior bhv = w.make();
+        SchedulerOptions opts = base;
+        opts.incrementalSpans = mode == 1;
+        auto t0 = std::chrono::steady_clock::now();
+        ScheduleOutcome out = scheduleBehavior(bhv, lib, opts);
+        double s = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count();
+        secs[mode] = std::min(secs[mode], s);
+        if (r == 0) {
+          outcomes[mode] = std::move(out);
+        } else if (!sameSchedule(outcomes[mode], out)) {
+          identical = false;  // a mode must also agree with itself
+        }
+      }
+    }
+    identical = identical && sameSchedule(outcomes[0], outcomes[1]);
+    allIdentical = allIdentical && identical;
+
+    Behavior probe = w.make();
+    std::size_t nOps = probe.dfg.schedulableOps().size();
+    double speedup = secs[1] > 0 ? secs[0] / secs[1] : 0;
+    if (w.name == "random400") speedup400 = speedup;
+    t.addRow({w.name, strCat(nOps), strCat(w.baseLatency), fmt(secs[0], 4),
+              fmt(secs[1], 4), fmt(speedup, 2), identical ? "yes" : "NO"});
+
+    const SchedulerStats& si = outcomes[1].stats;
+    const SchedulerStats& ss = outcomes[0].stats;
+    if (!rows.empty()) rows += ",\n";
+    rows += "    {\"workload\": \"" + w.name + "\", \"ops\": " + strCat(nOps) +
+            ", \"latency_states\": " + strCat(w.baseLatency) +
+            ", \"scratch_seconds\": " + fmt(secs[0], 5) +
+            ", \"incremental_seconds\": " + fmt(secs[1], 5) +
+            ", \"speedup\": " + fmt(speedup, 2) +
+            ", \"schedules_identical\": " + (identical ? "true" : "false") +
+            ", \"scratch_span_rebuilds\": " + strCat(ss.spanRebuilds) +
+            ", \"incremental_span_rebuilds\": " + strCat(si.spanRebuilds) +
+            ", \"incremental_span_updates\": " + strCat(si.spanUpdates) +
+            ", \"incremental_ops_recomputed\": " + strCat(si.spanOpsRecomputed) +
+            "}";
+  }
+  std::printf("%s\n", t.str().c_str());
+  std::printf("N=400 speedup: %.2fx (target >= 2x), schedules %s\n", speedup400,
+              allIdentical ? "identical" : "MISMATCH");
+
+  std::string json = "{\n";
+  json += "  \"bench\": \"sched_scaling\",\n";
+  json += "  \"reps\": " + strCat(reps) + ",\n";
+  json += "  \"workloads\": [\n" + rows + "\n  ],\n";
+  json += "  \"speedup_n400\": " + fmt(speedup400, 2) + ",\n";
+  json += "  \"schedules_identical\": " +
+          std::string(allIdentical ? "true" : "false") + "\n}\n";
+  std::ofstream out(jsonPath);
+  out << json;
+  out.flush();
+  if (out) {
+    std::printf("wrote %s\n", jsonPath.c_str());
+  } else {
+    std::fprintf(stderr, "error: could not write %s\n", jsonPath.c_str());
+    return 1;
+  }
+  return (allIdentical && speedup400 >= minSpeedup) ? 0 : 1;
+}

@@ -34,18 +34,18 @@ int main(int argc, char** argv) {
   TableWriter t({"Des", "lat", "T(ps)", "pipe", "A_conv", "A_slack", "Save %"});
   int regressions = 0;
   for (const DsePointResult& r : summary.points) {
-    if (!r.conv.success || !r.slack.success) {
+    if (!r.savingPercent.has_value()) {
       t.addRow({r.point.name, strCat(r.point.latencyStates),
                 fmt(r.point.clockPeriod, 0), r.point.pipelined ? "y" : "n",
                 r.conv.success ? fmt(r.conv.area.total(), 0) : "FAIL",
                 r.slack.success ? fmt(r.slack.area.total(), 0) : "FAIL", "-"});
       continue;
     }
-    if (r.savingPercent < 0) ++regressions;
+    if (*r.savingPercent < 0) ++regressions;
     t.addRow({r.point.name, strCat(r.point.latencyStates),
               fmt(r.point.clockPeriod, 0), r.point.pipelined ? "y" : "n",
               fmt(r.conv.area.total(), 0), fmt(r.slack.area.total(), 0),
-              fmt(r.savingPercent, 1)});
+              fmt(*r.savingPercent, 1)});
   }
   std::printf("%s\n", t.str().c_str());
   std::printf("Average saving: %.1f%%   (paper: 8.9%%)\n",

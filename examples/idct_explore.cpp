@@ -46,7 +46,7 @@ int main() {
               fmt(r.point.clockPeriod, 0),
               r.conv.success ? fmt(r.conv.area.total(), 0) : "FAIL",
               r.slack.success ? fmt(r.slack.area.total(), 0) : "FAIL",
-              r.conv.success && r.slack.success ? fmt(r.savingPercent, 1) : "-",
+              r.savingPercent.has_value() ? fmt(*r.savingPercent, 1) : "-",
               r.slack.success ? fmt(r.slack.power.throughput, 4) : "-",
               r.slack.success ? fmt(r.slack.power.dynamic, 0) : "-"});
   }

@@ -48,7 +48,11 @@ int main() {
               cmp.slack.schedule.describe(bhv).c_str());
   std::printf("area: %s\n\n", describe(cmp.slack.area).c_str());
 
-  std::printf("slack-based area saving: %.1f%%\n\n", cmp.savingPercent);
+  if (cmp.savingPercent.has_value()) {
+    std::printf("slack-based area saving: %.1f%%\n\n", *cmp.savingPercent);
+  } else {
+    std::printf("slack-based area saving: n/a (flows not comparable)\n\n");
+  }
 
   // Functional check: the scheduled design computes the golden values.
   ValueMap stimulus{{"a", 3}, {"x", 4}, {"c", 5}, {"y", 6}, {"acc", 100}};

@@ -14,6 +14,16 @@ std::string num(double v) {
   return buf;
 }
 
+/// Absent savings export as JSON null / an empty CSV field, never as a fake
+/// 0 % -- consumers must be able to tell "no comparison" from "no saving".
+std::string numOrNull(const std::optional<double>& v) {
+  return v.has_value() ? num(*v) : "null";
+}
+
+std::string numOrEmpty(const std::optional<double>& v) {
+  return v.has_value() ? num(*v) : "";
+}
+
 void appendEntryFields(std::string& out, const ParetoEntry& e) {
   out += "\"workload\":\"" + e.workload + "\",";
   out += "\"design\":\"" + e.point.name + "\",";
@@ -23,7 +33,7 @@ void appendEntryFields(std::string& out, const ParetoEntry& e) {
   out += "\"area\":" + num(e.obj.area) + ",";
   out += "\"power\":" + num(e.obj.power) + ",";
   out += "\"throughput_per_ns\":" + num(e.obj.throughput) + ",";
-  out += "\"saving_percent\":" + num(e.savingPercent);
+  out += "\"saving_percent\":" + numOrNull(e.savingPercent);
 }
 
 }  // namespace
@@ -114,7 +124,7 @@ std::string frontCsv(const std::vector<ParetoEntry>& front) {
            strCat(e.point.latencyStates) + "," + num(e.point.clockPeriod) +
            "," + (e.point.pipelined ? "1" : "0") + "," + num(e.obj.area) +
            "," + num(e.obj.power) + "," + num(e.obj.throughput) + "," +
-           num(e.savingPercent) + "\n";
+           numOrEmpty(e.savingPercent) + "\n";
   }
   return out;
 }

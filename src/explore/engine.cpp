@@ -89,8 +89,8 @@ EvaluatedPoint ExploreEngine::evaluateOne(const std::string& workloadName,
   opts.iterationCycles = pt.latencyStates;
 
   auto runFlavor = [&](FlowFlavor flavor, bool& cacheHit) -> FlowResult {
-    FlowCacheKey key{workloadName, pt.latencyStates, pt.clockPeriod, flavor,
-                     optionsHash_};
+    FlowCacheKey key{workloadName, pt.latencyStates, pt.clockPeriod,
+                     opts.iterationCycles, flavor, optionsHash_};
     if (opts_.useCache) {
       if (std::shared_ptr<const FlowResult> hit = cache_.lookup(key)) {
         cacheHit = true;
@@ -111,12 +111,7 @@ EvaluatedPoint ExploreEngine::evaluateOne(const std::string& workloadName,
 
   ev.result.conv = runFlavor(FlowFlavor::kConventional, ev.convCacheHit);
   ev.result.slack = runFlavor(FlowFlavor::kSlackBased, ev.slackCacheHit);
-  if (ev.result.conv.success && ev.result.slack.success &&
-      ev.result.conv.area.total() > 0) {
-    ev.result.savingPercent =
-        (ev.result.conv.area.total() - ev.result.slack.area.total()) /
-        ev.result.conv.area.total() * 100.0;
-  }
+  ev.result.savingPercent = areaSavingPercent(ev.result.conv, ev.result.slack);
   return ev;
 }
 

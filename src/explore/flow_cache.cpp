@@ -34,6 +34,7 @@ std::uint64_t hashFlowOptions(const FlowOptions& opts) {
   mixDouble(h, opts.sched.marginFraction);
   mix(h, opts.sched.mergeWidths ? 1 : 0);
   mix(h, static_cast<std::uint64_t>(opts.sched.maxShare));
+  mix(h, opts.sched.incrementalSpans ? 1 : 0);
   mix(h, opts.areaRecovery ? 1 : 0);
   mix(h, opts.compactBinding ? 1 : 0);
   mix(h, opts.binding.commutativeSwap ? 1 : 0);
@@ -42,8 +43,8 @@ std::uint64_t hashFlowOptions(const FlowOptions& opts) {
 
 bool FlowCacheKey::operator==(const FlowCacheKey& o) const {
   return latencyStates == o.latencyStates && clockPeriod == o.clockPeriod &&
-         flavor == o.flavor && optionsHash == o.optionsHash &&
-         workload == o.workload;
+         iterationCycles == o.iterationCycles && flavor == o.flavor &&
+         optionsHash == o.optionsHash && workload == o.workload;
 }
 
 std::size_t FlowCacheKeyHash::operator()(const FlowCacheKey& k) const {
@@ -53,8 +54,8 @@ std::size_t FlowCacheKeyHash::operator()(const FlowCacheKey& k) const {
     h *= kFnvPrime;
   }
   mix(h, static_cast<std::uint64_t>(k.latencyStates));
-  double clock = k.clockPeriod == 0.0 ? 0.0 : k.clockPeriod;
-  mix(h, std::bit_cast<std::uint64_t>(clock));
+  mixDouble(h, k.clockPeriod);
+  mixDouble(h, k.iterationCycles);
   mix(h, static_cast<std::uint64_t>(k.flavor));
   mix(h, k.optionsHash);
   return static_cast<std::size_t>(h);

@@ -30,6 +30,10 @@ struct FlowCacheKey {
   std::string workload;
   int latencyStates = 0;
   double clockPeriod = 0;
+  /// Effective FlowOptions::iterationCycles of the evaluation.  Power and
+  /// energy-per-sample scale with it, so two evaluations differing only
+  /// here must not share a cached result.
+  double iterationCycles = 0;
   FlowFlavor flavor = FlowFlavor::kConventional;
   std::uint64_t optionsHash = 0;
 

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -32,7 +33,9 @@ struct ParetoEntry {
   std::string workload;  ///< campaign tag; empty for single-workload runs
   DesignPoint point;
   Objectives obj;
-  double savingPercent = 0;  ///< conv-vs-slack area saving at this point
+  /// Conv-vs-slack area saving at this point; absent when the conventional
+  /// flow failed (the slack flow succeeded, or the entry would not exist).
+  std::optional<double> savingPercent;
 };
 
 /// Sorts entries under the deterministic total order front() returns

@@ -14,8 +14,10 @@ DseSummary summarizeDsePoints(std::vector<DsePointResult> points) {
   double pMin = 1e30, pMax = 0, tMin = 1e30, tMax = 0, aMin = 1e30, aMax = 0;
 
   for (const DsePointResult& r : points) {
-    if (r.conv.success && r.slack.success && r.conv.area.total() > 0) {
-      savingSum += r.savingPercent;
+    // A point without a saving (flow failure / zero conv area) contributes
+    // neither to the average nor to the slack-flow ranges.
+    if (r.savingPercent.has_value()) {
+      savingSum += *r.savingPercent;
       ++savingCount;
       pMin = std::min(pMin, r.slack.power.dynamic);
       pMax = std::max(pMax, r.slack.power.dynamic);
@@ -71,10 +73,7 @@ DseSummary exploreDesignSpaceSerial(
     Behavior slack = generator(pt.latencyStates);
     r.conv = conventionalFlow(std::move(conv), lib, opts);
     r.slack = slackBasedFlow(std::move(slack), lib, opts);
-    if (r.conv.success && r.slack.success && r.conv.area.total() > 0) {
-      r.savingPercent = (r.conv.area.total() - r.slack.area.total()) /
-                        r.conv.area.total() * 100.0;
-    }
+    r.savingPercent = areaSavingPercent(r.conv, r.slack);
     rows.push_back(std::move(r));
   }
   return summarizeDsePoints(std::move(rows));

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -24,7 +25,8 @@ struct DsePointResult {
   DesignPoint point;
   FlowResult conv;
   FlowResult slack;
-  double savingPercent = 0;
+  /// Absent when the flows cannot be compared (a failure or zero conv area).
+  std::optional<double> savingPercent;
 };
 
 struct DseSummary {

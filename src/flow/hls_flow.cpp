@@ -56,15 +56,20 @@ FlowResult slackBasedFlow(Behavior bhv, const ResourceLibrary& lib,
   return runFlow(std::move(bhv), lib, opts);
 }
 
+std::optional<double> areaSavingPercent(const FlowResult& conv,
+                                        const FlowResult& slack) {
+  if (!conv.success || !slack.success || conv.area.total() <= 0) {
+    return std::nullopt;
+  }
+  return (conv.area.total() - slack.area.total()) / conv.area.total() * 100.0;
+}
+
 FlowComparison compareFlows(const Behavior& bhv, const ResourceLibrary& lib,
                             const FlowOptions& opts) {
   FlowComparison cmp;
   cmp.conv = conventionalFlow(bhv, lib, opts);
   cmp.slack = slackBasedFlow(bhv, lib, opts);
-  if (cmp.conv.success && cmp.slack.success && cmp.conv.area.total() > 0) {
-    cmp.savingPercent = (cmp.conv.area.total() - cmp.slack.area.total()) /
-                        cmp.conv.area.total() * 100.0;
-  }
+  cmp.savingPercent = areaSavingPercent(cmp.conv, cmp.slack);
   return cmp;
 }
 

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <functional>
+#include <optional>
 
 #include "netlist/power_model.h"
 #include "netlist/recovery.h"
@@ -48,11 +49,18 @@ FlowResult slackBasedFlow(Behavior bhv, const ResourceLibrary& lib,
 struct FlowComparison {
   FlowResult conv;
   FlowResult slack;
-  /// (A_conv - A_slack) / A_conv * 100, the paper's "Save %".
-  double savingPercent = 0;
+  /// (A_conv - A_slack) / A_conv * 100, the paper's "Save %".  Absent when
+  /// either flow failed or the conventional area is 0 -- "no comparison"
+  /// must stay distinguishable from a genuine 0 % saving.
+  std::optional<double> savingPercent;
 };
 
 FlowComparison compareFlows(const Behavior& bhv, const ResourceLibrary& lib,
                             const FlowOptions& opts);
+
+/// The paper's "Save %" of `slack` over `conv`; nullopt when the flows are
+/// not comparable (either failed, or the conventional area is zero).
+std::optional<double> areaSavingPercent(const FlowResult& conv,
+                                        const FlowResult& slack);
 
 }  // namespace thls

@@ -31,6 +31,7 @@ CfgNodeId Cfg::addNode(CfgNodeKind kind, std::string name) {
   n.name = name.empty() ? strCat(toString(kind), id.value()) : std::move(name);
   nodes_.push_back(std::move(n));
   finalized_ = false;
+  ++version_;
   return id;
 }
 
@@ -45,6 +46,7 @@ CfgEdgeId Cfg::addEdge(CfgNodeId from, CfgNodeId to, std::string name) {
   nodes_[from.index()].out.push_back(id);
   nodes_[to.index()].in.push_back(id);
   finalized_ = false;
+  ++version_;
   return id;
 }
 
@@ -220,6 +222,7 @@ void Cfg::retargetEdge(CfgEdgeId eid, CfgNodeId newTo) {
   e.to = newTo;
   nodes_[newTo.index()].in.push_back(eid);
   finalized_ = false;
+  ++version_;
 }
 
 void Cfg::promote(CfgNodeId id, CfgNodeKind kind) {
@@ -230,6 +233,7 @@ void Cfg::promote(CfgNodeId id, CfgNodeKind kind) {
                       "' is a ", toString(n.kind)));
   n.kind = kind;
   finalized_ = false;
+  ++version_;
 }
 
 void Cfg::promoteToState(CfgNodeId id) {
@@ -239,6 +243,7 @@ void Cfg::promoteToState(CfgNodeId id) {
                       "' is a ", toString(n.kind)));
   n.kind = CfgNodeKind::kState;
   finalized_ = false;
+  ++version_;
 }
 
 CfgEdgeId Cfg::insertStateOnEdge(CfgEdgeId eid) {
@@ -255,6 +260,7 @@ CfgEdgeId Cfg::insertStateOnEdge(CfgEdgeId eid) {
   nodes_[mid.index()].in.push_back(eid);
   CfgEdgeId tail = addEdge(mid, oldTo, strCat(edges_[eid.index()].name, "'"));
   finalized_ = false;
+  ++version_;
   return tail;
 }
 

@@ -16,6 +16,7 @@
 //    this edge order.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -63,6 +64,11 @@ class Cfg {
   /// unreachable from the start node.
   void finalize();
   bool finalized() const { return finalized_; }
+
+  /// Monotonic counter bumped by every structural mutation (addNode/addEdge,
+  /// promote*, retargetEdge, insertStateOnEdge).  Analyses that cache derived
+  /// CFG structure (e.g. the span-candidate cache) key their validity on it.
+  std::uint64_t structureVersion() const { return version_; }
 
   CfgNodeId startNode() const { return start_; }
 
@@ -121,6 +127,7 @@ class Cfg {
   std::vector<CfgEdge> edges_;
   CfgNodeId start_;
   bool finalized_ = false;
+  std::uint64_t version_ = 0;
 
   std::vector<std::size_t> nodeTopoIndex_;
   std::vector<std::size_t> edgeTopoIndex_;

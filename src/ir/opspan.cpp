@@ -13,12 +13,15 @@ std::vector<std::vector<bool>> edgeDominators(const Cfg& cfg) {
   const std::size_t nv = cfg.numNodes();
   const std::size_t ne = cfg.numEdges();
   std::vector<std::vector<bool>> edom(nv, std::vector<bool>(ne, false));
-  std::vector<bool> seen(nv, false);
   for (CfgNodeId nid : cfg.topoNodes()) {
     const std::size_t n = nid.index();
     bool first = true;
     for (CfgEdgeId eid : cfg.forwardIn(nid)) {
       const CfgEdge& e = cfg.edge(eid);
+      THLS_ASSERT(cfg.topoIndexOfNode(e.from) < cfg.topoIndexOfNode(nid),
+                  strCat("dominator intersection at '", cfg.node(nid).name,
+                         "' reads predecessor '", cfg.node(e.from).name,
+                         "' before its topo visit"));
       std::vector<bool> viaThis = edom[e.from.index()];
       viaThis[eid.index()] = true;
       if (first) {
@@ -30,36 +33,35 @@ std::vector<std::vector<bool>> edgeDominators(const Cfg& cfg) {
         }
       }
     }
-    seen[n] = true;
   }
   return edom;
 }
 
-}  // namespace
-
-std::vector<bool> OpSpanAnalysis::candidateEdges(const Operation& op) const {
-  const std::size_t ne = cfg_.numEdges();
+/// Candidate edges for op placement before data-dependence constraints.
+std::vector<bool> candidateEdgesFor(const Cfg& cfg, const Operation& op,
+                                    const std::vector<std::vector<bool>>& edom) {
+  const std::size_t ne = cfg.numEdges();
   std::vector<bool> cand(ne, false);
   cand[op.birth.index()] = true;
 
   // Downward motion: BFS from dst(birth) through non-join nodes only; an op
   // never migrates past the join that merges its branch.
   {
-    std::vector<bool> visited(cfg_.numNodes(), false);
+    std::vector<bool> visited(cfg.numNodes(), false);
     std::vector<CfgNodeId> work;
-    CfgNodeId d0 = cfg_.edge(op.birth).to;
-    if (cfg_.node(d0).kind != CfgNodeKind::kJoin) {
+    CfgNodeId d0 = cfg.edge(op.birth).to;
+    if (cfg.node(d0).kind != CfgNodeKind::kJoin) {
       visited[d0.index()] = true;
       work.push_back(d0);
     }
     while (!work.empty()) {
       CfgNodeId n = work.back();
       work.pop_back();
-      for (CfgEdgeId eid : cfg_.forwardOut(n)) {
+      for (CfgEdgeId eid : cfg.forwardOut(n)) {
         cand[eid.index()] = true;
-        CfgNodeId m = cfg_.edge(eid).to;
+        CfgNodeId m = cfg.edge(eid).to;
         if (!visited[m.index()] &&
-            cfg_.node(m).kind != CfgNodeKind::kJoin) {
+            cfg.node(m).kind != CfgNodeKind::kJoin) {
           visited[m.index()] = true;
           work.push_back(m);
         }
@@ -71,7 +73,7 @@ std::vector<bool> OpSpanAnalysis::candidateEdges(const Operation& op) const {
   // edge, so the op still executes on every path reaching its original
   // location.  Join phis may not speculate at all.
   if (!op.joinPhi) {
-    const std::vector<bool>& dom = edom_[cfg_.edge(op.birth).from.index()];
+    const std::vector<bool>& dom = edom[cfg.edge(op.birth).from.index()];
     for (std::size_t k = 0; k < ne; ++k) {
       if (dom[k]) cand[k] = true;
     }
@@ -79,126 +81,238 @@ std::vector<bool> OpSpanAnalysis::candidateEdges(const Operation& op) const {
   return cand;
 }
 
-OpSpanAnalysis::OpSpanAnalysis(const Cfg& cfg, const Dfg& dfg,
-                               const LatencyTable& lat,
-                               const std::vector<std::optional<CfgEdgeId>>* pins,
-                               const std::vector<std::size_t>* minEdgeTopoIdx)
-    : cfg_(cfg), dfg_(dfg), lat_(lat) {
-  THLS_ASSERT(cfg.finalized(), "OpSpanAnalysis needs a finalized CFG");
-  edom_ = edgeDominators(cfg);
-  spans_.resize(dfg.numOps());
+}  // namespace
 
-  const std::vector<OpId> order = dfg.topoOrder();
-
-  auto pinOf = [&](OpId id) -> std::optional<CfgEdgeId> {
-    if (pins != nullptr && id.index() < pins->size()) return (*pins)[id.index()];
-    return std::nullopt;
-  };
-
-  // Forward pass: early edges.
-  for (OpId id : order) {
+void SpanCandidateCache::refresh(const Cfg& cfg, const Dfg& dfg) {
+  if (validFor(cfg, dfg)) return;
+  THLS_ASSERT(cfg.finalized(), "span candidates need a finalized CFG");
+  cfg_ = &cfg;
+  cfgVersion_ = cfg.structureVersion();
+  numOps_ = dfg.numOps();
+  const std::vector<std::vector<bool>> edom = edgeDominators(cfg);
+  cand_.assign(dfg.numOps(), {});
+  for (std::size_t i = 0; i < dfg.numOps(); ++i) {
+    OpId id(static_cast<std::int32_t>(i));
     const Operation& op = dfg.op(id);
-    OpSpan& s = spans_[id.index()];
-    if (isFreeKind(op.kind)) {
-      s.early = s.late = op.birth;
-      s.edges = {op.birth};
-      continue;
-    }
-    std::optional<CfgEdgeId> pin = pinOf(id);
-    if (op.fixed || pin.has_value()) {
-      s.early = pin.value_or(op.birth);
-      continue;
-    }
-    std::vector<bool> cand = candidateEdges(op);
-    const std::vector<OpId> preds = dfg.timingPreds(id);
-    const std::size_t minIdx =
-        (minEdgeTopoIdx != nullptr && id.index() < minEdgeTopoIdx->size())
-            ? (*minEdgeTopoIdx)[id.index()]
-            : 0;
-    CfgEdgeId best;
-    for (CfgEdgeId e : cfg.topoEdges()) {  // smallest topo index first
-      if (!cand[e.index()]) continue;
-      if (cfg.topoIndexOfEdge(e) < minIdx) continue;
-      bool ok = true;
-      for (OpId p : preds) {
-        if (!cfg.edgeReaches(spans_[p.index()].early, e)) {
-          ok = false;
-          break;
-        }
-      }
-      if (ok) {
-        best = e;
-        break;
-      }
-    }
-    THLS_REQUIRE(best.valid(),
-                 strCat("op '", op.name,
-                        "' has no legal early edge (conflicting dependences)"));
-    s.early = best;
-  }
-
-  // Backward pass: late edges, then materialized spans.
-  for (auto it = order.rbegin(); it != order.rend(); ++it) {
-    OpId id = *it;
-    const Operation& op = dfg.op(id);
-    OpSpan& s = spans_[id.index()];
-    if (isFreeKind(op.kind)) continue;
-    std::optional<CfgEdgeId> pin = pinOf(id);
-    if (op.fixed || pin.has_value()) {
-      s.late = pin.value_or(op.birth);
-      s.edges = {s.late};
-      continue;
-    }
-    std::vector<bool> cand = candidateEdges(op);
-    const std::vector<OpId> succs = dfg.timingSuccs(id);
-    CfgEdgeId best;
-    const auto& topoEdges = cfg.topoEdges();
-    for (auto eit = topoEdges.rbegin(); eit != topoEdges.rend(); ++eit) {
-      CfgEdgeId e = *eit;  // largest topo index first
-      if (!cand[e.index()]) continue;
-      if (!cfg.edgeReaches(s.early, e)) continue;
-      bool ok = true;
-      for (OpId succ : succs) {
-        const Operation& so = dfg.op(succ);
-        const CfgEdgeId succLate = spans_[succ.index()].late;
-        if (!cfg.edgeReaches(e, succLate)) {
-          ok = false;
-          break;
-        }
-        // Inputs of fixed writes must be registered: at least one state
-        // between the producer and the write.
-        if (so.fixed && so.kind == OpKind::kWrite) {
-          int latcy = lat.latency(e, spans_[succ.index()].early);
-          if (latcy == LatencyTable::kUndefined || latcy < 1) {
-            ok = false;
-            break;
-          }
-        }
-      }
-      if (ok) {
-        best = e;
-        break;
-      }
-    }
-    THLS_REQUIRE(best.valid(),
-                 strCat("op '", op.name,
-                        "' has no legal late edge (conflicting dependences)"));
-    s.late = best;
-
-    s.edges.clear();
-    for (CfgEdgeId e : cfg.topoEdges()) {
-      if (!cand[e.index()]) continue;
-      if (cfg.edgeReaches(s.early, e) && cfg.edgeReaches(e, s.late)) {
-        s.edges.push_back(e);
-      }
-    }
-    THLS_ASSERT(!s.edges.empty(), strCat("empty span for op '", op.name, "'"));
+    // Free-kind spans are always {birth}; fixed ops never consult candidates.
+    if (isFreeKind(op.kind) || op.fixed) continue;
+    cand_[i] = candidateEdgesFor(cfg, op, edom);
   }
 }
 
-bool OpSpanAnalysis::contains(OpId op, CfgEdgeId e) const {
-  const OpSpan& s = spans_[op.index()];
-  return std::find(s.edges.begin(), s.edges.end(), e) != s.edges.end();
+OpSpanAnalysis::OpSpanAnalysis(const Cfg& cfg, const Dfg& dfg,
+                               const LatencyTable& lat,
+                               const std::vector<std::optional<CfgEdgeId>>* pins,
+                               const std::vector<std::size_t>* minEdgeTopoIdx,
+                               SpanCandidateCache* cache)
+    : cfg_(cfg),
+      dfg_(dfg),
+      lat_(lat),
+      pins_(pins),
+      minEdgeTopoIdx_(minEdgeTopoIdx),
+      cache_(cache != nullptr ? cache : &ownedCache_) {
+  THLS_ASSERT(cfg.finalized(), "OpSpanAnalysis needs a finalized CFG");
+  cache_->refresh(cfg, dfg);
+  spans_.assign(dfg.numOps(), {});
+  inSpan_.assign(dfg.numOps(), std::vector<bool>(cfg.numEdges(), false));
+  topo_ = dfg.topoOrder();
+  topoPos_.assign(dfg.numOps(), 0);
+  preds_.resize(dfg.numOps());
+  succs_.resize(dfg.numOps());
+  for (std::size_t i = 0; i < topo_.size(); ++i) {
+    OpId id = topo_[i];
+    topoPos_[id.index()] = i;
+    if (isFreeKind(dfg.op(id).kind)) continue;
+    preds_[id.index()] = dfg.timingPreds(id);
+    succs_[id.index()] = dfg.timingSuccs(id);
+  }
+  rebuildAll();
+}
+
+std::optional<CfgEdgeId> OpSpanAnalysis::pinOf(OpId id) const {
+  if (pins_ != nullptr && id.index() < pins_->size()) {
+    return (*pins_)[id.index()];
+  }
+  return std::nullopt;
+}
+
+bool OpSpanAnalysis::recomputeEarly(OpId id) {
+  const Operation& op = dfg_.op(id);
+  OpSpan& s = spans_[id.index()];
+  const CfgEdgeId old = s.early;
+  std::optional<CfgEdgeId> pin = pinOf(id);
+  if (op.fixed || pin.has_value()) {
+    s.early = pin.value_or(op.birth);
+    return s.early != old;
+  }
+  const std::vector<bool>& cand = cache_->candidates(id);
+  const std::vector<OpId>& preds = preds_[id.index()];
+  const std::size_t minIdx =
+      (minEdgeTopoIdx_ != nullptr && id.index() < minEdgeTopoIdx_->size())
+          ? (*minEdgeTopoIdx_)[id.index()]
+          : 0;
+  CfgEdgeId best;
+  const auto& topoEdges = cfg_.topoEdges();
+  // topoEdges is indexed by edge topological position, so the lower bound is
+  // a starting offset, not a per-edge filter.
+  for (std::size_t i = minIdx; i < topoEdges.size(); ++i) {
+    CfgEdgeId e = topoEdges[i];  // smallest topo index first
+    if (!cand[e.index()]) continue;
+    bool ok = true;
+    for (OpId p : preds) {
+      if (!cfg_.edgeReaches(spans_[p.index()].early, e)) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) {
+      best = e;
+      break;
+    }
+  }
+  THLS_REQUIRE(best.valid(),
+               strCat("op '", op.name,
+                      "' has no legal early edge (conflicting dependences)"));
+  s.early = best;
+  return s.early != old;
+}
+
+bool OpSpanAnalysis::recomputeLate(OpId id) {
+  const Operation& op = dfg_.op(id);
+  OpSpan& s = spans_[id.index()];
+  const CfgEdgeId old = s.late;
+  std::optional<CfgEdgeId> pin = pinOf(id);
+  if (op.fixed || pin.has_value()) {
+    s.late = pin.value_or(op.birth);
+    return s.late != old;
+  }
+  const std::vector<bool>& cand = cache_->candidates(id);
+  const std::vector<OpId>& succs = succs_[id.index()];
+  CfgEdgeId best;
+  const auto& topoEdges = cfg_.topoEdges();
+  for (auto eit = topoEdges.rbegin(); eit != topoEdges.rend(); ++eit) {
+    CfgEdgeId e = *eit;  // largest topo index first
+    if (!cand[e.index()]) continue;
+    if (!cfg_.edgeReaches(s.early, e)) continue;
+    bool ok = true;
+    for (OpId succ : succs) {
+      const Operation& so = dfg_.op(succ);
+      const CfgEdgeId succLate = spans_[succ.index()].late;
+      if (!cfg_.edgeReaches(e, succLate)) {
+        ok = false;
+        break;
+      }
+      // Inputs of fixed writes must be registered: at least one state
+      // between the producer and the write.
+      if (so.fixed && so.kind == OpKind::kWrite) {
+        int latcy = lat_.latency(e, spans_[succ.index()].early);
+        if (latcy == LatencyTable::kUndefined || latcy < 1) {
+          ok = false;
+          break;
+        }
+      }
+    }
+    if (ok) {
+      best = e;
+      break;
+    }
+  }
+  THLS_REQUIRE(best.valid(),
+               strCat("op '", op.name,
+                      "' has no legal late edge (conflicting dependences)"));
+  s.late = best;
+  return s.late != old;
+}
+
+void OpSpanAnalysis::rebuildEdges(OpId id) {
+  const Operation& op = dfg_.op(id);
+  OpSpan& s = spans_[id.index()];
+  std::vector<bool>& bits = inSpan_[id.index()];
+  bits.assign(cfg_.numEdges(), false);
+  std::optional<CfgEdgeId> pin = pinOf(id);
+  if (op.fixed || pin.has_value()) {
+    s.edges = {s.late};
+    bits[s.late.index()] = true;
+    return;
+  }
+  const std::vector<bool>& cand = cache_->candidates(id);
+  s.edges.clear();
+  for (CfgEdgeId e : cfg_.topoEdges()) {
+    if (!cand[e.index()]) continue;
+    if (cfg_.edgeReaches(s.early, e) && cfg_.edgeReaches(e, s.late)) {
+      s.edges.push_back(e);
+      bits[e.index()] = true;
+    }
+  }
+  THLS_ASSERT(!s.edges.empty(), strCat("empty span for op '", op.name, "'"));
+}
+
+void OpSpanAnalysis::rebuildAll() {
+  // Forward pass: early edges.
+  for (OpId id : topo_) {
+    const Operation& op = dfg_.op(id);
+    if (isFreeKind(op.kind)) {
+      OpSpan& s = spans_[id.index()];
+      s.early = s.late = op.birth;
+      s.edges = {op.birth};
+      inSpan_[id.index()][op.birth.index()] = true;
+      continue;
+    }
+    recomputeEarly(id);
+  }
+  // Backward pass: late edges, then materialized spans.
+  for (auto it = topo_.rbegin(); it != topo_.rend(); ++it) {
+    OpId id = *it;
+    if (isFreeKind(dfg_.op(id).kind)) continue;
+    recomputeLate(id);
+    rebuildEdges(id);
+  }
+}
+
+std::size_t OpSpanAnalysis::update(const std::vector<OpId>& dirtyOps) {
+  if (dirtyOps.empty()) return 0;
+  const std::size_t n = dfg_.numOps();
+  // seed: pin/bound changed; fwd: the span head may have moved; bwd: the
+  // tail may have; headMoved: the head did.
+  std::vector<char> seed(n, 0), fwd(n, 0), bwd(n, 0), headMoved(n, 0);
+  std::size_t firstPos = topo_.size();
+  for (OpId id : dirtyOps) {
+    if (isFreeKind(dfg_.op(id).kind)) continue;  // spans never move
+    seed[id.index()] = 1;
+    fwd[id.index()] = 1;
+    bwd[id.index()] = 1;  // a new pin moves the tail even when the head stays
+    firstPos = std::min(firstPos, topoPos_[id.index()]);
+  }
+  std::size_t recomputed = 0;
+
+  // Forward sweep: early(o) depends only on the earlys of o's timing preds,
+  // so a head that did not move stops the propagation.
+  for (std::size_t i = firstPos; i < topo_.size(); ++i) {
+    OpId id = topo_[i];
+    if (!fwd[id.index()]) continue;
+    ++recomputed;
+    if (!recomputeEarly(id)) continue;
+    headMoved[id.index()] = 1;
+    bwd[id.index()] = 1;
+    for (OpId succ : succs_[id.index()]) fwd[succ.index()] = 1;
+  }
+
+  // Backward sweep: late(o) depends on the lates of o's timing succs (plus
+  // o's own early, already final), so an unmoved tail stops the propagation.
+  // The edge set rematerializes only when something about the op changed.
+  for (std::size_t i = topo_.size(); i-- > 0;) {
+    OpId id = topo_[i];
+    if (!bwd[id.index()]) continue;
+    ++recomputed;
+    bool tailMoved = recomputeLate(id);
+    if (tailMoved) {
+      for (OpId p : preds_[id.index()]) bwd[p.index()] = 1;
+    }
+    if (tailMoved || seed[id.index()] || headMoved[id.index()]) {
+      rebuildEdges(id);
+    }
+  }
+  return recomputed;
 }
 
 }  // namespace thls

@@ -23,8 +23,16 @@
 //
 // The analysis also honors scheduling pins: once sched(o) is set, the span
 // collapses to that single edge and downstream spans tighten accordingly.
+//
+// Spans are a pure two-pass dataflow over the DFG topological order --
+// early(o) depends only on the earlys of o's predecessors, late(o) only on
+// the lates of o's successors and on early(o) -- so pinning or bounding an
+// op invalidates only its transitive neighborhood.  update() exploits that:
+// the scheduler pins a handful of ops per round and pays for the affected
+// ops only, instead of reconstructing the whole analysis.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <vector>
 
@@ -41,6 +49,36 @@ struct OpSpan {
   std::vector<CfgEdgeId> edges;
 };
 
+/// Pin/bound-independent span ingredients: edge-dominator sets and each op's
+/// candidate edges (birth + legal downward motion + legal speculation).
+/// Both depend only on the CFG structure and the ops' birth edges, so the
+/// scheduler keeps one cache alive across all span (re)builds of a pass; it
+/// self-invalidates via Cfg::structureVersion() when the relaxation engine
+/// inserts a state.
+class SpanCandidateCache {
+ public:
+  /// (Re)computes the sets when `cfg` mutated or `dfg` grew since the last
+  /// refresh; a cheap version check otherwise.  Requires a finalized CFG.
+  void refresh(const Cfg& cfg, const Dfg& dfg);
+
+  bool validFor(const Cfg& cfg, const Dfg& dfg) const {
+    return cfg_ == &cfg && cfgVersion_ == cfg.structureVersion() &&
+           numOps_ == dfg.numOps();
+  }
+
+  /// Candidate edges (by edge index) for placing `op`, before data-dependence
+  /// constraints.  Empty for free-kind and fixed ops (never consulted).
+  const std::vector<bool>& candidates(OpId op) const {
+    return cand_[op.index()];
+  }
+
+ private:
+  const Cfg* cfg_ = nullptr;
+  std::uint64_t cfgVersion_ = 0;
+  std::size_t numOps_ = 0;
+  std::vector<std::vector<bool>> cand_;
+};
+
 class OpSpanAnalysis {
  public:
   /// `pins` optionally fixes a subset of ops to specific edges (used by the
@@ -48,30 +86,59 @@ class OpSpanAnalysis {
   /// `minEdgeTopoIdx` optionally bounds each op's earliest legal edge from
   /// below (by CFG edge topological index); the scheduler uses it to record
   /// that a deferred op can no longer take edges it has already passed.
+  /// `cache` optionally shares candidate sets across analyses of one CFG;
+  /// when null a private cache is built.
   OpSpanAnalysis(const Cfg& cfg, const Dfg& dfg, const LatencyTable& lat,
                  const std::vector<std::optional<CfgEdgeId>>* pins = nullptr,
-                 const std::vector<std::size_t>* minEdgeTopoIdx = nullptr);
+                 const std::vector<std::size_t>* minEdgeTopoIdx = nullptr,
+                 SpanCandidateCache* cache = nullptr);
 
   const OpSpan& span(OpId op) const { return spans_[op.index()]; }
   CfgEdgeId early(OpId op) const { return spans_[op.index()].early; }
   CfgEdgeId late(OpId op) const { return spans_[op.index()].late; }
 
   /// True iff edge `e` is a legal schedule location for `op`.
-  bool contains(OpId op, CfgEdgeId e) const;
+  bool contains(OpId op, CfgEdgeId e) const {
+    return inSpan_[op.index()][e.index()];
+  }
 
   /// Number of legal edges (mobility) of `op`.
   std::size_t mobility(OpId op) const { return spans_[op.index()].edges.size(); }
 
+  /// Incrementally re-establishes the analysis after the pin or earliest
+  /// bound of `dirtyOps` changed (through the vectors given at construction).
+  /// Pins and bound bumps only ever tighten spans, so exactly the dirty ops'
+  /// transitive dependents (forward) and dependees (backward) are revisited;
+  /// the result is bit-for-bit identical to a from-scratch construction with
+  /// the same pins/bounds.  Returns the number of ops recomputed.
+  std::size_t update(const std::vector<OpId>& dirtyOps);
+
  private:
-  /// Candidate edges for op placement before data-dependence constraints.
-  std::vector<bool> candidateEdges(const Operation& op) const;
+  void rebuildAll();
+  /// Recomputes the span head of `id`; true when it changed.
+  bool recomputeEarly(OpId id);
+  /// Recomputes the span tail of `id`; true when it changed.
+  bool recomputeLate(OpId id);
+  /// Materializes spans_[id].edges and the inSpan_ bitset row.
+  void rebuildEdges(OpId id);
+  std::optional<CfgEdgeId> pinOf(OpId id) const;
 
   const Cfg& cfg_;
   const Dfg& dfg_;
   const LatencyTable& lat_;
+  const std::vector<std::optional<CfgEdgeId>>* pins_;
+  const std::vector<std::size_t>* minEdgeTopoIdx_;
+  SpanCandidateCache ownedCache_;  ///< used when no shared cache is given
+  SpanCandidateCache* cache_;
   std::vector<OpSpan> spans_;
-  /// edom_[n][e]: edge e lies on every forward path from start to node n.
-  std::vector<std::vector<bool>> edom_;
+  /// inSpan_[op][e]: bitset mirror of spans_[op].edges for O(1) contains().
+  std::vector<std::vector<bool>> inSpan_;
+  /// DFG topological order and each op's position in it (update() sweeps).
+  std::vector<OpId> topo_;
+  std::vector<std::size_t> topoPos_;
+  /// Timing adjacency, materialized once (timingPreds/Succs allocate).
+  std::vector<std::vector<OpId>> preds_;
+  std::vector<std::vector<OpId>> succs_;
 };
 
 }  // namespace thls

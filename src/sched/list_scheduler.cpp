@@ -105,20 +105,32 @@ class SchedulerImpl {
   std::vector<double> initialBudgets_;
   /// Kept alive across pass internals (rebuilt each pass; CFG may change).
   std::unique_ptr<LatencyTable> lat_;
+  /// Dominator/candidate sets shared by every span (re)build of a pass;
+  /// self-invalidates when relaxation inserts a state (CFG version bump).
+  SpanCandidateCache spanCache_;
+  /// DFG-derived lookups cached for the whole run (the DFG never mutates;
+  /// timingPreds/Succs/schedulableOps/topoOrder allocate on every call).
+  std::vector<OpId> schedulable_;
+  std::vector<OpId> topoOrder_;
+  std::vector<std::vector<OpId>> predsOf_;
+  std::vector<std::vector<OpId>> succsOf_;
+  /// Timed-graph skeleton of the current pass: its topology depends only on
+  /// the DFG, so per-round rebudgets reweight it instead of rebuilding.
+  std::unique_ptr<TimedDfg> timed_;
   PassState best_;
 };
 
 void SchedulerImpl::computeInitialAllocation() {
   maxWidth_.clear();
   std::map<AllocKey, int> counts;
-  for (OpId op : bhv_.dfg.schedulableOps()) {
+  for (OpId op : schedulable_) {
     const Operation& o = bhv_.dfg.op(op);
     ResourceClass cls = resourceClassOf(o.kind);
     if (cls == ResourceClass::kIo || isDedicatedClass(cls)) continue;
     auto [it, inserted] = maxWidth_.emplace(cls, o.width);
     if (!inserted) it->second = std::max(it->second, o.width);
   }
-  for (OpId op : bhv_.dfg.schedulableOps()) {
+  for (OpId op : schedulable_) {
     const Operation& o = bhv_.dfg.op(op);
     ResourceClass cls = resourceClassOf(o.kind);
     if (cls == ResourceClass::kIo || isDedicatedClass(cls)) continue;
@@ -147,7 +159,7 @@ bool SchedulerImpl::tryPlace(PassState& ps, OpId op, CfgEdgeId e,
 
   // A scheduled producer must actually reach this edge (a speculated
   // producer pinned to a sibling branch cannot feed us here).
-  for (OpId p : bhv_.dfg.timingPreds(op)) {
+  for (OpId p : predsOf_[op.index()]) {
     CfgEdgeId pe = sched.opEdge[p.index()];
     THLS_ASSERT(pe.valid(), "tryPlace called with unscheduled predecessor");
     if (!cfg.edgeReaches(pe, e) ||
@@ -159,7 +171,7 @@ bool SchedulerImpl::tryPlace(PassState& ps, OpId op, CfgEdgeId e,
 
   // Chain start: after every same-cycle producer finishes.
   double chainStart = seqMargin;
-  for (OpId p : bhv_.dfg.timingPreds(op)) {
+  for (OpId p : predsOf_[op.index()]) {
     CfgEdgeId pe = sched.opEdge[p.index()];
     if (lat.latency(pe, e) == 0) {
       chainStart = std::max(
@@ -245,7 +257,7 @@ bool SchedulerImpl::tryPlace(PassState& ps, OpId op, CfgEdgeId e,
       double qEff = muxD + newDelay;
       double qFinish = sched.opStart[q.index()] + qEff;
       if (qFinish > T + kEps) return;
-      for (OpId c : bhv_.dfg.timingSuccs(q)) {
+      for (OpId c : succsOf_[q.index()]) {
         if (!sched.scheduled(c)) continue;
         if (lat.latency(sched.opEdge[q.index()], sched.opEdge[c.index()]) == 0 &&
             sched.opStart[c.index()] + kEps < qFinish) {
@@ -310,9 +322,18 @@ bool SchedulerImpl::tryPlace(PassState& ps, OpId op, CfgEdgeId e,
 
 void SchedulerImpl::rebudget(PassState& ps, const LatencyTable& lat,
                              const OpSpanAnalysis& spans) {
-  TimedDfg timed(bhv_.cfg, bhv_.dfg, lat, spans);
+  // Incremental mode refreshes the weights of the pass's timed-graph
+  // skeleton; legacy mode reconstructs the graph like the pre-PR flow did
+  // (it is the bench baseline).  Both see identical weights.
+  std::unique_ptr<TimedDfg> fresh;
+  if (opts_.incrementalSpans) {
+    timed_->reweight(lat, spans);
+  } else {
+    fresh = std::make_unique<TimedDfg>(bhv_.cfg, bhv_.dfg, lat, spans);
+  }
+  const TimedDfg& timed = opts_.incrementalSpans ? *timed_ : *fresh;
   std::vector<double> delays(bhv_.dfg.numOps(), 0.0);
-  for (OpId op : bhv_.dfg.schedulableOps()) {
+  for (OpId op : schedulable_) {
     delays[op.index()] = ps.sched.scheduled(op) ? ps.sched.opDelay[op.index()]
                                                 : ps.budgets[op.index()];
   }
@@ -325,7 +346,7 @@ void SchedulerImpl::rebudget(PassState& ps, const LatencyTable& lat,
   ps.lastTiming = r.timing;
 
   // Scheduled ops: speed their FU up when the budget demands it.
-  for (OpId op : bhv_.dfg.schedulableOps()) {
+  for (OpId op : schedulable_) {
     double d = r.delays[op.index()];
     if (!ps.sched.scheduled(op)) {
       ps.budgets[op.index()] = std::min(ps.budgets[op.index()], d);
@@ -354,8 +375,13 @@ bool SchedulerImpl::schedulePass(PassFailure* failure) {
   stats_.schedulePasses++;
 
   lat_ = std::make_unique<LatencyTable>(cfg);
-  OpSpanAnalysis freeSpans(cfg, dfg, *lat_);
-  TimedDfg timed(cfg, dfg, *lat_, freeSpans);
+  // Legacy (from-scratch) mode skips the shared candidate cache so that its
+  // per-round reconstruction cost stays a faithful baseline for the bench.
+  SpanCandidateCache* cache = opts_.incrementalSpans ? &spanCache_ : nullptr;
+  stats_.spanRebuilds++;
+  OpSpanAnalysis freeSpans(cfg, dfg, *lat_, nullptr, nullptr, cache);
+  timed_ = std::make_unique<TimedDfg>(cfg, dfg, *lat_, freeSpans);
+  TimedDfg& timed = *timed_;
   const DelayBounds bounds = delayBoundsFor(dfg, lib_);
 
   PassState ps;
@@ -381,7 +407,7 @@ bool SchedulerImpl::schedulePass(PassFailure* failure) {
       failure->reason = FailReason::kBudgetInfeasible;
       // Most negative op guides the relaxation engine.
       double worst = 0;
-      for (OpId op : dfg.schedulableOps()) {
+      for (OpId op : schedulable_) {
         double s = b.timing.slack(op);
         if (s < worst) {
           worst = s;
@@ -397,7 +423,7 @@ bool SchedulerImpl::schedulePass(PassFailure* failure) {
     // Case 2: slowest variants that still fit a cycle; upgraded on the fly
     // by the in-scheduling rebudget/speedup machinery.
     ps.budgets = bounds.maxDelay;
-    for (OpId op : dfg.schedulableOps()) {
+    for (OpId op : schedulable_) {
       const Operation& o = dfg.op(op);
       if (ps.budgets[op.index()] > opts_.clockPeriod) {
         ps.budgets[op.index()] = lib_.snapDelay(
@@ -440,9 +466,20 @@ bool SchedulerImpl::schedulePass(PassFailure* failure) {
     }
   }
 
-  std::size_t remaining = dfg.schedulableOps().size();
+  std::size_t remaining = schedulable_.size();
+  stats_.spanRebuilds++;
   std::unique_ptr<OpSpanAnalysis> spans = std::make_unique<OpSpanAnalysis>(
-      cfg, dfg, *lat_, &ps.pins, &ps.earliest);
+      cfg, dfg, *lat_, &ps.pins, &ps.earliest, cache);
+
+  // Ready worklist: an op enters the pool when its last timing predecessor
+  // is placed, so each round filters candidates instead of rescanning every
+  // op against every producer.
+  std::vector<int> unsatisfied(dfg.numOps(), 0);
+  std::vector<OpId> readyPool;
+  for (OpId op : schedulable_) {
+    unsatisfied[op.index()] = static_cast<int>(predsOf_[op.index()].size());
+    if (unsatisfied[op.index()] == 0) readyPool.push_back(op);
+  }
 
   Behavior& bhvRef = bhv_;
   for (CfgEdgeId e : cfg.topoEdges()) {
@@ -454,33 +491,26 @@ bool SchedulerImpl::schedulePass(PassFailure* failure) {
       while (placedAny && remaining > 0) {
         placedAny = false;
         // Ready set: unscheduled, legal here, all producers placed.
+        stats_.readyScans++;
         std::vector<OpId> ready;
-        for (OpId op : dfg.schedulableOps()) {
+        for (OpId op : readyPool) {
           if (ps.sched.scheduled(op)) continue;
           if (!spans->contains(op, e)) continue;
-          bool preds = true;
-          for (OpId p : dfg.timingPreds(op)) {
-            if (!ps.sched.scheduled(p)) {
-              preds = false;
-              break;
-            }
-          }
-          if (preds) {
-            ready.push_back(op);
-            readyHere.insert(op);
-          }
+          ready.push_back(op);
+          readyHere.insert(op);
         }
         std::sort(ready.begin(), ready.end(), [&](OpId a, OpId b) {
           double sa = ps.lastTiming.slack(a), sb = ps.lastTiming.slack(b);
           if (std::abs(sa - sb) > kEps) return sa < sb;
           std::size_t ma = spans->mobility(a), mb = spans->mobility(b);
           if (ma != mb) return ma < mb;
-          std::size_t fa = dfg.timingSuccs(a).size(),
-                      fb = dfg.timingSuccs(b).size();
+          std::size_t fa = succsOf_[a.index()].size(),
+                      fb = succsOf_[b.index()].size();
           if (fa != fb) return fa > fb;
           return a < b;
         });
         const double critMargin = opts_.marginFraction * opts_.clockPeriod;
+        std::vector<OpId> placedNow;
         for (OpId op : ready) {
           bool mustPlace = cfg.topoIndexOfEdge(spans->late(op)) <=
                            cfg.topoIndexOfEdge(e);
@@ -504,25 +534,41 @@ bool SchedulerImpl::schedulePass(PassFailure* failure) {
                        cyclesIn == LatencyTable::kUndefined ? -1 : cyclesIn)) {
             placedAny = true;
             --remaining;
+            placedNow.push_back(op);
+            for (OpId succ : succsOf_[op.index()]) {
+              if (--unsatisfied[succ.index()] == 0) readyPool.push_back(succ);
+            }
           }
         }
         if (placedAny) {
+          readyPool.erase(
+              std::remove_if(readyPool.begin(), readyPool.end(),
+                             [&](OpId op) { return ps.sched.scheduled(op); }),
+              readyPool.end());
           // Placements shift spans of dependents; refresh before rescanning,
           // and redo slack budgeting so deferral decisions in the next round
           // see chain realities (sharing only worsens timing, §VI).
-          spans = std::make_unique<OpSpanAnalysis>(cfg, dfg, *lat_, &ps.pins,
-                                                   &ps.earliest);
+          if (opts_.incrementalSpans) {
+            stats_.spanUpdates++;
+            stats_.spanOpsRecomputed +=
+                static_cast<int>(spans->update(placedNow));
+          } else {
+            stats_.spanRebuilds++;
+            spans = std::make_unique<OpSpanAnalysis>(cfg, dfg, *lat_, &ps.pins,
+                                                     &ps.earliest);
+          }
           if (opts_.rebudgetPerEdge && opts_.startPolicy != StartPolicy::kFastest &&
               remaining > 0) {
             rebudget(ps, *lat_, *spans);
-            recomputeChainStarts(bhvRef, *lat_, lib_, ps.sched);
+            recomputeChainStarts(bhvRef, *lat_, lib_, ps.sched, topoOrder_,
+                                 predsOf_);
           }
         }
       }
 
       // Any op stranded past its last span edge?
       bool stranded = false;
-      for (OpId op : dfg.schedulableOps()) {
+      for (OpId op : schedulable_) {
         if (!ps.sched.scheduled(op) &&
             cfg.topoIndexOfEdge(spans->late(op)) <= cfg.topoIndexOfEdge(e)) {
           stranded = true;
@@ -535,11 +581,12 @@ bool SchedulerImpl::schedulePass(PassFailure* failure) {
         // speeds ops up), re-layout the chains, then retry placement.
         repaired = true;
         rebudget(ps, *lat_, *spans);
-        recomputeChainStarts(bhvRef, *lat_, lib_, ps.sched);
+        recomputeChainStarts(bhvRef, *lat_, lib_, ps.sched, topoOrder_,
+                             predsOf_);
         continue;
       }
       // "if e is the last edge in span(o) and o is not scheduled: failure"
-      for (OpId op : dfg.schedulableOps()) {
+      for (OpId op : schedulable_) {
         if (ps.sched.scheduled(op) ||
             cfg.topoIndexOfEdge(spans->late(op)) > cfg.topoIndexOfEdge(e)) {
           continue;
@@ -552,7 +599,7 @@ bool SchedulerImpl::schedulePass(PassFailure* failure) {
         const Operation& o = dfg.op(op);
         failure->cls = resourceClassOf(o.kind);
         failure->width = keyFor(o).width;
-        for (OpId q : dfg.schedulableOps()) {
+        for (OpId q : schedulable_) {
           if (!ps.sched.scheduled(q) && keyFor(dfg.op(q)) == keyFor(o)) {
             failure->unscheduledOfClass++;
           }
@@ -566,18 +613,24 @@ bool SchedulerImpl::schedulePass(PassFailure* failure) {
 
     // Ops that were ready here but deferred can no longer take this edge;
     // recompute their spans so the next rebudget sees the slipped schedule.
-    bool bumped = false;
+    std::vector<OpId> bumped;
     for (OpId op : readyHere) {
       if (ps.sched.scheduled(op)) continue;
       std::size_t bound = cfg.topoIndexOfEdge(e) + 1;
       if (ps.earliest[op.index()] < bound) {
         ps.earliest[op.index()] = bound;
-        bumped = true;
+        bumped.push_back(op);
       }
     }
-    if (bumped) {
-      spans = std::make_unique<OpSpanAnalysis>(cfg, dfg, *lat_, &ps.pins,
-                                               &ps.earliest);
+    if (!bumped.empty()) {
+      if (opts_.incrementalSpans) {
+        stats_.spanUpdates++;
+        stats_.spanOpsRecomputed += static_cast<int>(spans->update(bumped));
+      } else {
+        stats_.spanRebuilds++;
+        spans = std::make_unique<OpSpanAnalysis>(cfg, dfg, *lat_, &ps.pins,
+                                                 &ps.earliest);
+      }
     }
     if (opts_.rebudgetPerEdge && opts_.startPolicy != StartPolicy::kFastest && remaining > 0) {
       rebudget(ps, *lat_, *spans);
@@ -586,7 +639,7 @@ bool SchedulerImpl::schedulePass(PassFailure* failure) {
 
   if (remaining != 0) {
     // Should be caught by the late-edge check; belt and braces.
-    for (OpId op : dfg.schedulableOps()) {
+    for (OpId op : schedulable_) {
       if (!ps.sched.scheduled(op)) {
         failure->op = op;
         failure->edge = spans->late(op);
@@ -606,7 +659,7 @@ bool SchedulerImpl::relax(const PassFailure& failure) {
   stats_.relaxations++;
   auto groupSize = [&](const AllocKey& key) {
     int n = 0;
-    for (OpId op : bhv_.dfg.schedulableOps()) {
+    for (OpId op : schedulable_) {
       if (keyFor(bhv_.dfg.op(op)) == key) ++n;
     }
     return n;
@@ -692,6 +745,14 @@ bool SchedulerImpl::relax(const PassFailure& failure) {
 
 ScheduleOutcome SchedulerImpl::run() {
   THLS_REQUIRE(opts_.clockPeriod > 0, "clock period must be positive");
+  schedulable_ = bhv_.dfg.schedulableOps();
+  topoOrder_ = bhv_.dfg.topoOrder();
+  predsOf_.resize(bhv_.dfg.numOps());
+  succsOf_.resize(bhv_.dfg.numOps());
+  for (OpId op : schedulable_) {
+    predsOf_[op.index()] = bhv_.dfg.timingPreds(op);
+    succsOf_[op.index()] = bhv_.dfg.timingSuccs(op);
+  }
   computeInitialAllocation();
 
   ScheduleOutcome outcome;

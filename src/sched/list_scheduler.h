@@ -46,6 +46,11 @@ struct SchedulerOptions {
   bool mergeWidths = false;
   /// Maximum ops shared per FU instance before another instance is forced.
   int maxShare = 64;
+  /// Maintain opSpans incrementally across placement rounds (pins and
+  /// deferral bounds only tighten spans, so only affected ops recompute).
+  /// Off = reconstruct the analysis from scratch after every round; schedules
+  /// are bit-for-bit identical either way (the regression suite checks).
+  bool incrementalSpans = true;
 };
 
 struct SchedulerStats {
@@ -56,6 +61,15 @@ struct SchedulerStats {
   int resourcesAdded = 0;
   int statesAdded = 0;
   int fastestOverrides = 0;
+  /// Full OpSpanAnalysis constructions (pass setup, and every placement
+  /// round when incrementalSpans is off).
+  int spanRebuilds = 0;
+  /// Incremental span update() calls, and how many op spans they revisited
+  /// (the from-scratch equivalent revisits every op every round).
+  int spanUpdates = 0;
+  int spanOpsRecomputed = 0;
+  /// Ready-pool scans by the placement loop (one per placement round).
+  int readyScans = 0;
 };
 
 struct ScheduleOutcome {

@@ -50,15 +50,28 @@ std::string Schedule::describe(const Behavior& bhv) const {
 bool recomputeChainStarts(const Behavior& bhv, const LatencyTable& lat,
                           const ResourceLibrary& lib, Schedule& sched) {
   const Dfg& dfg = bhv.dfg;
+  std::vector<std::vector<OpId>> preds(dfg.numOps());
+  for (std::size_t i = 0; i < dfg.numOps(); ++i) {
+    OpId op(static_cast<std::int32_t>(i));
+    if (!isFreeKind(dfg.op(op).kind)) preds[i] = dfg.timingPreds(op);
+  }
+  return recomputeChainStarts(bhv, lat, lib, sched, dfg.topoOrder(), preds);
+}
+
+bool recomputeChainStarts(const Behavior& bhv, const LatencyTable& lat,
+                          const ResourceLibrary& lib, Schedule& sched,
+                          const std::vector<OpId>& topo,
+                          const std::vector<std::vector<OpId>>& timingPreds) {
+  const Dfg& dfg = bhv.dfg;
   const double T = sched.clockPeriod;
   const double seqMargin = lib.config().seqMargin;
   bool fits = true;
-  for (OpId op : dfg.topoOrder()) {
+  for (OpId op : topo) {
     const Operation& o = dfg.op(op);
     if (isFreeKind(o.kind) || !sched.scheduled(op)) continue;
     CfgEdgeId e = sched.opEdge[op.index()];
     double start = seqMargin;
-    for (OpId p : dfg.timingPreds(op)) {
+    for (OpId p : timingPreds[op.index()]) {
       if (!sched.scheduled(p)) continue;
       CfgEdgeId pe = sched.opEdge[p.index()];
       if (lat.latency(pe, e) == 0) {

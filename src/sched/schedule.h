@@ -84,4 +84,12 @@ std::vector<std::string> validateSchedule(const Behavior& bhv,
 bool recomputeChainStarts(const Behavior& bhv, const LatencyTable& lat,
                           const ResourceLibrary& lib, Schedule& sched);
 
+/// As above with the DFG topological order and per-op timing predecessors
+/// precomputed by the caller; the scheduler invokes this every placement
+/// round, and re-deriving both per call dominates the layout cost.
+bool recomputeChainStarts(const Behavior& bhv, const LatencyTable& lat,
+                          const ResourceLibrary& lib, Schedule& sched,
+                          const std::vector<OpId>& topo,
+                          const std::vector<std::vector<OpId>>& timingPreds);
+
 }  // namespace thls

@@ -72,4 +72,17 @@ TimedDfg::TimedDfg(const Cfg& cfg, const Dfg& dfg, const LatencyTable& lat,
   }
 }
 
+void TimedDfg::reweight(const LatencyTable& lat, const OpSpanAnalysis& spans) {
+  for (TimedEdge& e : edges_) {
+    const OpId a = nodes_[e.from.index()].op;
+    const TimedNode& to = nodes_[e.to.index()];
+    int w = to.isSink ? lat.latency(spans.early(a), spans.late(a))
+                      : lat.latency(spans.early(a), spans.early(to.op));
+    THLS_ASSERT(w != LatencyTable::kUndefined,
+                strCat("span edges of '", dfg_->op(a).name,
+                       "' lost reachability during reweight"));
+    e.weight = w;
+  }
+}
+
 }  // namespace thls

@@ -32,6 +32,13 @@ class TimedDfg {
   TimedDfg(const Cfg& cfg, const Dfg& dfg, const LatencyTable& lat,
            const OpSpanAnalysis& spans);
 
+  /// Refreshes every edge weight from `spans` in place.  The node set, edge
+  /// topology and topological order depend only on the DFG, so a scheduler
+  /// that tightens spans round after round reweights one graph instead of
+  /// reconstructing it; the result is identical to a fresh construction
+  /// against the same spans.
+  void reweight(const LatencyTable& lat, const OpSpanAnalysis& spans);
+
   std::size_t numNodes() const { return nodes_.size(); }
   const TimedNode& node(TimedNodeId id) const { return nodes_[id.index()]; }
   const std::vector<TimedEdge>& edges() const { return edges_; }

@@ -15,6 +15,18 @@ Behavior makeRandom40(int latencyStates) {
   return makeRandomDfg(kRandom40Seed, p);
 }
 
+/// Scaling family: the fan window grows with N so graphs stay wide (deep
+/// chains at small windows make low latencies infeasible) and the seed is
+/// distinct and fixed per size.
+Behavior makeRandomScaling(std::uint32_t seed, int numOps, int fanWindow,
+                           int latencyStates) {
+  RandomDfgParams p;
+  p.numOps = numOps;
+  p.fanWindow = fanWindow;
+  p.latencyStates = latencyStates;
+  return makeRandomDfg(seed, p);
+}
+
 }  // namespace
 
 std::vector<NamedWorkload> standardWorkloads() {
@@ -42,6 +54,20 @@ std::vector<NamedWorkload> standardWorkloads() {
                [](int l) { return makeMatmul(3, l); }, 4});
   w.push_back({"random40", [] { return makeRandom40(6); }, 1250.0,
                [](int l) { return makeRandom40(l); }, 6});
+  return w;
+}
+
+std::vector<NamedWorkload> scalingWorkloads() {
+  std::vector<NamedWorkload> w;
+  w.push_back({"random100", [] { return makeRandomScaling(2100, 100, 25, 16); },
+               1250.0,
+               [](int l) { return makeRandomScaling(2100, 100, 25, l); }, 16});
+  w.push_back({"random200", [] { return makeRandomScaling(2200, 200, 50, 24); },
+               1250.0,
+               [](int l) { return makeRandomScaling(2200, 200, 50, l); }, 24});
+  w.push_back({"random400",
+               [] { return makeRandomScaling(2400, 400, 100, 32); }, 1250.0,
+               [](int l) { return makeRandomScaling(2400, 400, 100, l); }, 32});
   return w;
 }
 

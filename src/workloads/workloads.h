@@ -88,4 +88,9 @@ struct NamedWorkload {
 };
 std::vector<NamedWorkload> standardWorkloads();
 
+/// Large seeded random DFGs (N = 100 / 200 / 400 ops) for scheduler-scaling
+/// benchmarks and heavy campaigns.  Registered separately so the paper
+/// suites over standardWorkloads() stay fast.
+std::vector<NamedWorkload> scalingWorkloads();
+
 }  // namespace thls::workloads

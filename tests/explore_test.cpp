@@ -91,6 +91,33 @@ TEST(FlowCacheTest, OptionsHashSeparatesConfigs) {
   EXPECT_EQ(explore::hashFlowOptions(a), explore::hashFlowOptions(c));
 }
 
+TEST(FlowCacheTest, IterationCyclesIsACacheCoordinate) {
+  // Regression: iterationCycles was neither a key field nor hashed, so two
+  // evaluations differing only in cycles-per-sample shared one cached result
+  // -- and power/energy numbers scale with iterationCycles, so one of the
+  // two read wrong numbers.
+  explore::FlowCacheKey a{"w", 8, 1250.0, /*iterationCycles=*/8.0,
+                          explore::FlowFlavor::kSlackBased, 42};
+  explore::FlowCacheKey b = a;
+  b.iterationCycles = 16.0;
+  EXPECT_FALSE(a == b);
+  EXPECT_NE(explore::FlowCacheKeyHash{}(a), explore::FlowCacheKeyHash{}(b));
+
+  explore::FlowCache cache;
+  FlowResult ra;
+  ra.success = true;
+  ra.power.dynamic = 100.0;
+  cache.insert(a, std::move(ra));
+  EXPECT_EQ(cache.lookup(b), nullptr);  // distinct coordinate must miss
+  std::shared_ptr<const FlowResult> hit = cache.lookup(a);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->power.dynamic, 100.0);
+  explore::FlowCacheStats s = cache.stats();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.entries, 1u);
+}
+
 TEST(FlowCacheTest, HitAndMissAccounting) {
   ResourceLibrary lib = ResourceLibrary::tsmc90();
   FlowOptions base;
@@ -319,6 +346,25 @@ TEST(CampaignTest, SmallCampaignProducesFrontsAndExports) {
   std::string json = explore::campaignJson(result);
   EXPECT_NE(json.find("\"global_front\""), std::string::npos);
   EXPECT_NE(json.find("\"workload\":\"resizer\""), std::string::npos);
+}
+
+TEST(CampaignTest, AbsentSavingExportsAsNullNotZero) {
+  // "No comparison" (e.g. the conventional flow failed) must not be exported
+  // as a fake 0 % saving.
+  ParetoEntry none = entry("P1", 10, 5, 2);
+  none.workload = "w";
+  ParetoEntry some = entry("P2", 11, 6, 2);
+  some.workload = "w";
+  some.savingPercent = 12.5;
+
+  std::string csv = explore::frontCsv({none, some});
+  EXPECT_NE(csv.find(",\n"), std::string::npos);    // empty trailing field
+  EXPECT_NE(csv.find(",12.5\n"), std::string::npos);
+  EXPECT_EQ(csv.find(",0\n"), std::string::npos);   // no fabricated zero
+
+  std::string json = explore::frontJson({none, some});
+  EXPECT_NE(json.find("\"saving_percent\":null"), std::string::npos);
+  EXPECT_NE(json.find("\"saving_percent\":12.5"), std::string::npos);
 }
 
 TEST(CampaignTest, RandomWorkloadIsSeededAndReproducible) {

@@ -41,7 +41,8 @@ TEST(FlowTest, CompareFlowsComputesSaving) {
   ASSERT_TRUE(cmp.slack.success);
   double expect = (cmp.conv.area.total() - cmp.slack.area.total()) /
                   cmp.conv.area.total() * 100.0;
-  EXPECT_NEAR(cmp.savingPercent, expect, 1e-9);
+  ASSERT_TRUE(cmp.savingPercent.has_value());
+  EXPECT_NEAR(*cmp.savingPercent, expect, 1e-9);
 }
 
 TEST(FlowTest, RecoveryToggleMatters) {

@@ -1,0 +1,257 @@
+// Determinism regression suite for incremental span/timing maintenance:
+// the scheduler's incremental mode (span update(), timed-graph reweight,
+// ready worklist) must produce schedules bit-for-bit identical to the
+// from-scratch reconstruction it replaced, across workloads and policies.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "ir/opspan.h"
+#include "sched/list_scheduler.h"
+#include "test_util.h"
+
+namespace thls {
+namespace {
+
+struct Case {
+  std::string name;
+  std::function<Behavior()> make;
+  double clockPeriod;
+};
+
+std::vector<Case> determinismCases() {
+  std::vector<Case> cases = {
+      {"idct1d", [] { return workloads::makeIdct1d({.latencyStates = 6}); },
+       1250.0},
+      // 1600 ps: at 1250 the initial budgeting loop needs ~1.7M timing
+      // iterations (identical in both modes, but minutes of test time).
+      {"ewf", [] { return workloads::makeEwf(14); }, 1600.0},
+      {"arf", [] { return workloads::makeArf(8); }, 1250.0},
+  };
+  // Seeded random workloads, including the scaling family the bench uses.
+  for (const workloads::NamedWorkload& w : workloads::scalingWorkloads()) {
+    cases.push_back({w.name, w.make, w.clockPeriod});
+  }
+  workloads::RandomDfgParams p;
+  p.numOps = 40;
+  p.latencyStates = 6;
+  cases.push_back(
+      {"random40", [p] { return workloads::makeRandomDfg(2012, p); }, 1250.0});
+  return cases;
+}
+
+void expectIdentical(const ScheduleOutcome& inc, const ScheduleOutcome& ref,
+                     const std::string& label) {
+  ASSERT_EQ(inc.success, ref.success) << label;
+  if (!inc.success) {
+    EXPECT_EQ(inc.failureReason, ref.failureReason) << label;
+    return;
+  }
+  const Schedule& x = inc.schedule;
+  const Schedule& y = ref.schedule;
+  EXPECT_EQ(x.opEdge, y.opEdge) << label;
+  EXPECT_EQ(x.opStart, y.opStart) << label;
+  EXPECT_EQ(x.opDelay, y.opDelay) << label;
+  ASSERT_EQ(x.opFu.size(), y.opFu.size()) << label;
+  for (std::size_t i = 0; i < x.opFu.size(); ++i) {
+    EXPECT_EQ(x.opFu[i], y.opFu[i]) << label << " op " << i;
+  }
+  ASSERT_EQ(x.fus.size(), y.fus.size()) << label;
+  for (std::size_t i = 0; i < x.fus.size(); ++i) {
+    EXPECT_EQ(x.fus[i].ops, y.fus[i].ops) << label << " fu " << i;
+    EXPECT_EQ(x.fus[i].delay, y.fus[i].delay) << label << " fu " << i;
+    EXPECT_EQ(x.fus[i].cls, y.fus[i].cls) << label << " fu " << i;
+    EXPECT_EQ(x.fus[i].width, y.fus[i].width) << label << " fu " << i;
+  }
+  // The pass-level stats must agree too: the incremental machinery may not
+  // change how many passes, relaxations, or timing analyses the run needs.
+  // (The span/ready counters differ by construction.)
+  EXPECT_EQ(inc.stats.schedulePasses, ref.stats.schedulePasses) << label;
+  EXPECT_EQ(inc.stats.relaxations, ref.stats.relaxations) << label;
+  EXPECT_EQ(inc.stats.timingAnalyses, ref.stats.timingAnalyses) << label;
+  EXPECT_EQ(inc.stats.resourcesAdded, ref.stats.resourcesAdded) << label;
+  EXPECT_EQ(inc.stats.statesAdded, ref.stats.statesAdded) << label;
+  EXPECT_EQ(inc.stats.fastestOverrides, ref.stats.fastestOverrides) << label;
+  EXPECT_EQ(inc.initialBudgets, ref.initialBudgets) << label;
+}
+
+TEST(SchedIncrementalTest, MatchesFromScratchAcrossWorkloadsAndPolicies) {
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+  for (const Case& c : determinismCases()) {
+    for (StartPolicy p : {StartPolicy::kFastest, StartPolicy::kSlowest,
+                          StartPolicy::kBudgeted}) {
+      SchedulerOptions opts;
+      opts.clockPeriod = c.clockPeriod;
+      opts.startPolicy = p;
+      opts.rebudgetPerEdge = p == StartPolicy::kBudgeted;
+
+      SchedulerOptions incOpts = opts;
+      incOpts.incrementalSpans = true;
+      SchedulerOptions refOpts = opts;
+      refOpts.incrementalSpans = false;
+
+      Behavior b1 = c.make();
+      Behavior b2 = c.make();
+      ScheduleOutcome inc = scheduleBehavior(b1, lib, incOpts);
+      ScheduleOutcome ref = scheduleBehavior(b2, lib, refOpts);
+      expectIdentical(inc, ref,
+                      strCat(c.name, " policy=", static_cast<int>(p)));
+    }
+  }
+}
+
+TEST(SchedIncrementalTest, MatchesFromScratchWithStateInsertion) {
+  // Relaxation-driven insertStateOnEdge invalidates the span-candidate cache
+  // (CFG version bump); the rebuilt analysis must stay equivalent.
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+  for (bool incremental : {true, false}) {
+    Behavior bhv = testutil::chainBehavior(/*depth=*/8, /*states=*/2);
+    SchedulerOptions opts;
+    opts.clockPeriod = 1250.0;
+    opts.allowAddState = true;
+    opts.incrementalSpans = incremental;
+    ScheduleOutcome o = scheduleBehavior(bhv, lib, opts);
+    ASSERT_TRUE(o.success) << o.failureReason;
+    EXPECT_GT(o.stats.statesAdded, 0);
+    testutil::expectLegal(bhv, lib, o.schedule);
+  }
+  Behavior b1 = testutil::chainBehavior(8, 2);
+  Behavior b2 = testutil::chainBehavior(8, 2);
+  SchedulerOptions opts;
+  opts.clockPeriod = 1250.0;
+  opts.allowAddState = true;
+  SchedulerOptions incOpts = opts;
+  incOpts.incrementalSpans = true;
+  SchedulerOptions refOpts = opts;
+  refOpts.incrementalSpans = false;
+  expectIdentical(scheduleBehavior(b1, lib, incOpts),
+                  scheduleBehavior(b2, lib, refOpts), "chain+addState");
+}
+
+TEST(SchedIncrementalTest, IncrementalModeDoesFarFewerFullRebuilds) {
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+  SchedulerOptions opts;
+  opts.clockPeriod = 1600.0;
+
+  Behavior b1 = workloads::makeEwf(14);
+  SchedulerOptions incOpts = opts;
+  incOpts.incrementalSpans = true;
+  ScheduleOutcome inc = scheduleBehavior(b1, lib, incOpts);
+  ASSERT_TRUE(inc.success);
+
+  Behavior b2 = workloads::makeEwf(14);
+  SchedulerOptions refOpts = opts;
+  refOpts.incrementalSpans = false;
+  ScheduleOutcome ref = scheduleBehavior(b2, lib, refOpts);
+  ASSERT_TRUE(ref.success);
+
+  // From-scratch mode reconstructs per round; incremental mode only at pass
+  // starts, shifting the work to update() calls.
+  EXPECT_GT(inc.stats.spanUpdates, 0);
+  EXPECT_LT(inc.stats.spanRebuilds, ref.stats.spanRebuilds / 4);
+  EXPECT_EQ(ref.stats.spanUpdates, 0);
+  EXPECT_GT(inc.stats.readyScans, 0);
+  EXPECT_EQ(inc.stats.readyScans, ref.stats.readyScans);
+}
+
+// --- OpSpanAnalysis::update() unit-level equivalence ------------------------
+
+// Pins ops one at a time (in schedule order of a real run this happens in
+// batches; here each op separately) and checks update() against a fresh
+// from-scratch construction with identical pins/bounds.
+TEST(SchedIncrementalTest, SpanUpdateMatchesFreshConstruction) {
+  Behavior bhv = workloads::makeIdct1d({.latencyStates = 6});
+  LatencyTable lat(bhv.cfg);
+  std::vector<std::optional<CfgEdgeId>> pins(bhv.dfg.numOps());
+  std::vector<std::size_t> earliest(bhv.dfg.numOps(), 0);
+  SpanCandidateCache cache;
+  OpSpanAnalysis incremental(bhv.cfg, bhv.dfg, lat, &pins, &earliest, &cache);
+
+  for (OpId op : bhv.dfg.topoOrder()) {
+    if (isFreeKind(bhv.dfg.op(op).kind)) continue;
+    // Pin the op to its current early edge, like a placement does.
+    pins[op.index()] = incremental.early(op);
+    incremental.update({op});
+    OpSpanAnalysis fresh(bhv.cfg, bhv.dfg, lat, &pins, &earliest, &cache);
+    for (OpId q : bhv.dfg.schedulableOps()) {
+      EXPECT_EQ(incremental.early(q), fresh.early(q))
+          << bhv.dfg.op(q).name << " after pinning " << bhv.dfg.op(op).name;
+      EXPECT_EQ(incremental.late(q), fresh.late(q)) << bhv.dfg.op(q).name;
+      EXPECT_EQ(incremental.span(q).edges, fresh.span(q).edges)
+          << bhv.dfg.op(q).name;
+      for (CfgEdgeId e : bhv.cfg.topoEdges()) {
+        EXPECT_EQ(incremental.contains(q, e), fresh.contains(q, e))
+            << bhv.dfg.op(q).name << " @ " << bhv.cfg.edge(e).name;
+      }
+    }
+  }
+}
+
+TEST(SchedIncrementalTest, SpanUpdateMatchesFreshAfterEarliestBumps) {
+  Behavior bhv = workloads::makeArf(8);
+  LatencyTable lat(bhv.cfg);
+  std::vector<std::optional<CfgEdgeId>> pins(bhv.dfg.numOps());
+  std::vector<std::size_t> earliest(bhv.dfg.numOps(), 0);
+  SpanCandidateCache cache;
+  OpSpanAnalysis incremental(bhv.cfg, bhv.dfg, lat, &pins, &earliest, &cache);
+
+  // Defer every third op past its early edge, in batches of two.
+  std::vector<OpId> batch;
+  int k = 0;
+  for (OpId op : bhv.dfg.schedulableOps()) {
+    if (bhv.dfg.op(op).fixed || ++k % 3 != 0) continue;
+    std::size_t bound = bhv.cfg.topoIndexOfEdge(incremental.early(op)) + 1;
+    if (bound >= bhv.cfg.topoEdges().size()) continue;
+    earliest[op.index()] = bound;
+    batch.push_back(op);
+    if (batch.size() < 2) continue;
+    incremental.update(batch);
+    batch.clear();
+    OpSpanAnalysis fresh(bhv.cfg, bhv.dfg, lat, &pins, &earliest, &cache);
+    for (OpId q : bhv.dfg.schedulableOps()) {
+      EXPECT_EQ(incremental.early(q), fresh.early(q)) << bhv.dfg.op(q).name;
+      EXPECT_EQ(incremental.late(q), fresh.late(q)) << bhv.dfg.op(q).name;
+      EXPECT_EQ(incremental.span(q).edges, fresh.span(q).edges)
+          << bhv.dfg.op(q).name;
+    }
+  }
+}
+
+TEST(SchedIncrementalTest, CandidateCacheInvalidatesOnStateInsertion) {
+  Behavior bhv = workloads::makeEwf(14);
+  SpanCandidateCache cache;
+  {
+    LatencyTable lat(bhv.cfg);
+    OpSpanAnalysis spans(bhv.cfg, bhv.dfg, lat, nullptr, nullptr, &cache);
+    EXPECT_TRUE(cache.validFor(bhv.cfg, bhv.dfg));
+  }
+  CfgEdgeId first = bhv.cfg.topoEdges().front();
+  bhv.cfg.insertStateOnEdge(first);
+  EXPECT_FALSE(cache.validFor(bhv.cfg, bhv.dfg));
+  bhv.cfg.finalize();
+  EXPECT_FALSE(cache.validFor(bhv.cfg, bhv.dfg));  // finalize is not a rebuild
+  LatencyTable lat(bhv.cfg);
+  OpSpanAnalysis spans(bhv.cfg, bhv.dfg, lat, nullptr, nullptr, &cache);
+  EXPECT_TRUE(cache.validFor(bhv.cfg, bhv.dfg));
+  for (OpId op : bhv.dfg.schedulableOps()) {
+    EXPECT_TRUE(spans.contains(op, spans.early(op))) << bhv.dfg.op(op).name;
+    EXPECT_TRUE(spans.contains(op, spans.late(op))) << bhv.dfg.op(op).name;
+  }
+}
+
+TEST(SchedIncrementalTest, BitsetContainsMatchesSpanEdges) {
+  Behavior bhv = workloads::makeResizer();
+  LatencyTable lat(bhv.cfg);
+  OpSpanAnalysis spans(bhv.cfg, bhv.dfg, lat);
+  for (OpId op : bhv.dfg.schedulableOps()) {
+    const OpSpan& s = spans.span(op);
+    for (CfgEdgeId e : bhv.cfg.topoEdges()) {
+      bool inList = std::find(s.edges.begin(), s.edges.end(), e) != s.edges.end();
+      EXPECT_EQ(spans.contains(op, e), inList)
+          << bhv.dfg.op(op).name << " @ " << bhv.cfg.edge(e).name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace thls
