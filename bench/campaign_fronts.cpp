@@ -43,7 +43,9 @@ int main(int argc, char** argv) {
   for (const explore::CampaignWorkloadResult& wr : result.workloads) {
     t.addRow({wr.workload, strCat(wr.pointsEvaluated),
               strCat(wr.front.size()),
-              fmt(wr.summary.averageSavingPercent, 1),
+              wr.summary.averageSavingPercent
+                  ? fmt(*wr.summary.averageSavingPercent, 1)
+                  : "-",
               fmt(wr.summary.powerRange, 1),
               fmt(wr.summary.throughputRange, 1),
               fmt(wr.summary.areaRange, 2)});

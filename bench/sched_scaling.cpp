@@ -1,18 +1,28 @@
-// Scheduler-scaling bench: incremental span/timing maintenance vs the
-// from-scratch (pre-PR) inner loop, over the seeded random-DFG scaling
-// workloads (N = 100 / 200 / 400 ops; registry: scalingWorkloads()).
+// Scheduler-scaling bench: incremental analysis maintenance vs the
+// from-scratch inner loops, over the seeded random-DFG scaling workloads
+// (N = 100 / 200 / 400 ops; registry: scalingWorkloads()).
 //
-// For every workload both modes run the full slack-based scheduleBehavior at
-// the registry clock; the bench asserts the schedules (edges, FUs, starts,
-// delays) and the classic stats are bit-for-bit identical, prints the wall
-// clocks, and writes the measurements to BENCH_sched_scaling.json.  The
-// acceptance bar is a >= 2x speedup on the N = 400 workload.
+// Three configurations of the same slack-based scheduleBehavior run at the
+// registry clock:
+//   scratch  -- every incremental flag off (the pre-incremental inner loop);
+//   spans    -- incremental opSpans/ready-set only (the PR 2 state);
+//   full     -- spans + incremental LatencyTable + seeded-worklist slack.
+// The bench asserts the schedules (edges, FUs, starts, delays) and the
+// decision-level stats are bit-for-bit identical across all three, prints
+// total wall clocks plus the timing-phase split (LatencyTable builds +
+// slack budgeting seconds, from SchedulerStats), and writes the
+// measurements to BENCH_sched_scaling.json.  Acceptance bars: >= 2x total
+// speedup scratch -> full and >= 1.5x timing-phase speedup spans -> full,
+// both on the N = 400 workload.
 //
-//   --reps N          repetitions per mode, best-of is reported (default 5)
-//   --json PATH       output JSON path (default BENCH_sched_scaling.json)
-//   --min-speedup X   exit nonzero below this N=400 speedup (default 2.0;
-//                     CI smoke passes 0 so only the identity check gates --
-//                     wall-clock ratios flake on shared runners)
+//   --reps N                repetitions per mode, best-of reported (default 5)
+//   --json PATH             output JSON path (default BENCH_sched_scaling.json)
+//   --min-speedup X         exit nonzero below this N=400 total speedup
+//                           (default 2.0)
+//   --min-timing-speedup X  exit nonzero below this N=400 timing-phase
+//                           speedup (default 1.5; CI smoke passes 0 for both
+//                           so only the schedule-identity check gates --
+//                           wall-clock ratios flake on shared runners)
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -27,6 +37,15 @@
 using namespace thls;
 
 namespace {
+
+constexpr int kModes = 3;  // [scratch, spans, full]
+
+SchedulerOptions optionsForMode(SchedulerOptions base, int mode) {
+  base.incrementalSpans = mode >= 1;
+  base.incrementalLatency = mode >= 2;
+  base.incrementalSlack = mode >= 2;
+  return base;
+}
 
 bool sameSchedule(const ScheduleOutcome& a, const ScheduleOutcome& b) {
   if (a.success != b.success) return false;
@@ -45,7 +64,7 @@ bool sameSchedule(const ScheduleOutcome& a, const ScheduleOutcome& b) {
   for (std::size_t i = 0; i < x.opFu.size(); ++i) {
     if (x.opFu[i] != y.opFu[i]) return false;
   }
-  // The shared scheduling stats must agree; span/ready counters differ by
+  // The decision-level stats must agree; the incremental counters differ by
   // construction (that difference is the point of the bench).
   return a.stats.schedulePasses == b.stats.schedulePasses &&
          a.stats.relaxations == b.stats.relaxations &&
@@ -60,42 +79,50 @@ bool sameSchedule(const ScheduleOutcome& a, const ScheduleOutcome& b) {
 int main(int argc, char** argv) {
   int reps = 5;
   double minSpeedup = 2.0;
+  double minTimingSpeedup = 1.5;
   std::string jsonPath = "BENCH_sched_scaling.json";
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--reps" && i + 1 < argc) reps = std::atoi(argv[++i]);
     if (arg == "--json" && i + 1 < argc) jsonPath = argv[++i];
     if (arg == "--min-speedup" && i + 1 < argc) minSpeedup = std::atof(argv[++i]);
+    if (arg == "--min-timing-speedup" && i + 1 < argc)
+      minTimingSpeedup = std::atof(argv[++i]);
   }
   if (reps < 1) reps = 1;
 
   ResourceLibrary lib = ResourceLibrary::tsmc90();
 
-  std::printf("== scheduler scaling: incremental vs from-scratch spans ==\n\n");
-  TableWriter t({"workload", "ops", "lat", "scratch(s)", "incremental(s)",
-                 "speedup", "identical"});
+  std::printf("== scheduler scaling: scratch vs spans vs fully incremental ==\n\n");
+  TableWriter t({"workload", "ops", "lat", "scratch(s)", "spans(s)", "full(s)",
+                 "speedup", "timing spans(s)", "timing full(s)", "timingX",
+                 "identical"});
 
   std::string rows;
   bool allIdentical = true;
   double speedup400 = 0;
+  double timingSpeedup400 = 0;
   for (const workloads::NamedWorkload& w : workloads::scalingWorkloads()) {
     SchedulerOptions base;
     base.clockPeriod = w.clockPeriod;
 
-    double secs[2] = {1e300, 1e300};  // [scratch, incremental]
-    ScheduleOutcome outcomes[2];
+    double secs[kModes] = {1e300, 1e300, 1e300};
+    double timingSecs[kModes] = {1e300, 1e300, 1e300};
+    ScheduleOutcome outcomes[kModes];
     bool identical = true;
     for (int r = 0; r < reps; ++r) {
-      for (int mode = 0; mode < 2; ++mode) {
+      for (int mode = 0; mode < kModes; ++mode) {
         Behavior bhv = w.make();
-        SchedulerOptions opts = base;
-        opts.incrementalSpans = mode == 1;
+        SchedulerOptions opts = optionsForMode(base, mode);
         auto t0 = std::chrono::steady_clock::now();
         ScheduleOutcome out = scheduleBehavior(bhv, lib, opts);
         double s = std::chrono::duration<double>(
                        std::chrono::steady_clock::now() - t0)
                        .count();
         secs[mode] = std::min(secs[mode], s);
+        timingSecs[mode] =
+            std::min(timingSecs[mode],
+                     out.stats.timingSeconds + out.stats.latencySeconds);
         if (r == 0) {
           outcomes[mode] = std::move(out);
         } else if (!sameSchedule(outcomes[mode], out)) {
@@ -103,40 +130,60 @@ int main(int argc, char** argv) {
         }
       }
     }
-    identical = identical && sameSchedule(outcomes[0], outcomes[1]);
+    for (int mode = 1; mode < kModes; ++mode) {
+      identical = identical && sameSchedule(outcomes[0], outcomes[mode]);
+    }
     allIdentical = allIdentical && identical;
 
     Behavior probe = w.make();
     std::size_t nOps = probe.dfg.schedulableOps().size();
-    double speedup = secs[1] > 0 ? secs[0] / secs[1] : 0;
-    if (w.name == "random400") speedup400 = speedup;
+    double speedup = secs[2] > 0 ? secs[0] / secs[2] : 0;
+    double timingSpeedup =
+        timingSecs[2] > 0 ? timingSecs[1] / timingSecs[2] : 0;
+    if (w.name == "random400") {
+      speedup400 = speedup;
+      timingSpeedup400 = timingSpeedup;
+    }
     t.addRow({w.name, strCat(nOps), strCat(w.baseLatency), fmt(secs[0], 4),
-              fmt(secs[1], 4), fmt(speedup, 2), identical ? "yes" : "NO"});
+              fmt(secs[1], 4), fmt(secs[2], 4), fmt(speedup, 2),
+              fmt(timingSecs[1], 4), fmt(timingSecs[2], 4),
+              fmt(timingSpeedup, 2), identical ? "yes" : "NO"});
 
-    const SchedulerStats& si = outcomes[1].stats;
+    const SchedulerStats& sf = outcomes[2].stats;
     const SchedulerStats& ss = outcomes[0].stats;
     if (!rows.empty()) rows += ",\n";
     rows += "    {\"workload\": \"" + w.name + "\", \"ops\": " + strCat(nOps) +
             ", \"latency_states\": " + strCat(w.baseLatency) +
             ", \"scratch_seconds\": " + fmt(secs[0], 5) +
-            ", \"incremental_seconds\": " + fmt(secs[1], 5) +
+            ", \"spans_seconds\": " + fmt(secs[1], 5) +
+            ", \"incremental_seconds\": " + fmt(secs[2], 5) +
             ", \"speedup\": " + fmt(speedup, 2) +
+            ", \"timing_phase_spans_seconds\": " + fmt(timingSecs[1], 5) +
+            ", \"timing_phase_full_seconds\": " + fmt(timingSecs[2], 5) +
+            ", \"timing_phase_speedup\": " + fmt(timingSpeedup, 2) +
             ", \"schedules_identical\": " + (identical ? "true" : "false") +
             ", \"scratch_span_rebuilds\": " + strCat(ss.spanRebuilds) +
-            ", \"incremental_span_rebuilds\": " + strCat(si.spanRebuilds) +
-            ", \"incremental_span_updates\": " + strCat(si.spanUpdates) +
-            ", \"incremental_ops_recomputed\": " + strCat(si.spanOpsRecomputed) +
-            "}";
+            ", \"incremental_span_rebuilds\": " + strCat(sf.spanRebuilds) +
+            ", \"incremental_span_updates\": " + strCat(sf.spanUpdates) +
+            ", \"incremental_ops_recomputed\": " + strCat(sf.spanOpsRecomputed) +
+            ", \"scratch_lat_rebuilds\": " + strCat(ss.latRebuilds) +
+            ", \"incremental_lat_rebuilds\": " + strCat(sf.latRebuilds) +
+            ", \"incremental_lat_updates\": " + strCat(sf.latUpdates) +
+            ", \"incremental_slack_ops_recomputed\": " +
+            strCat(sf.slackOpsRecomputed) + "}";
   }
   std::printf("%s\n", t.str().c_str());
-  std::printf("N=400 speedup: %.2fx (target >= 2x), schedules %s\n", speedup400,
-              allIdentical ? "identical" : "MISMATCH");
+  std::printf(
+      "N=400 total speedup: %.2fx (target >= 2x), timing-phase speedup: "
+      "%.2fx (target >= 1.5x), schedules %s\n",
+      speedup400, timingSpeedup400, allIdentical ? "identical" : "MISMATCH");
 
   std::string json = "{\n";
   json += "  \"bench\": \"sched_scaling\",\n";
   json += "  \"reps\": " + strCat(reps) + ",\n";
   json += "  \"workloads\": [\n" + rows + "\n  ],\n";
   json += "  \"speedup_n400\": " + fmt(speedup400, 2) + ",\n";
+  json += "  \"timing_phase_speedup_n400\": " + fmt(timingSpeedup400, 2) + ",\n";
   json += "  \"schedules_identical\": " +
           std::string(allIdentical ? "true" : "false") + "\n}\n";
   std::ofstream out(jsonPath);
@@ -148,5 +195,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: could not write %s\n", jsonPath.c_str());
     return 1;
   }
-  return (allIdentical && speedup400 >= minSpeedup) ? 0 : 1;
+  return (allIdentical && speedup400 >= minSpeedup &&
+          timingSpeedup400 >= minTimingSpeedup)
+             ? 0
+             : 1;
 }

@@ -48,8 +48,12 @@ int main(int argc, char** argv) {
               fmt(*r.savingPercent, 1)});
   }
   std::printf("%s\n", t.str().c_str());
-  std::printf("Average saving: %.1f%%   (paper: 8.9%%)\n",
-              summary.averageSavingPercent);
+  if (summary.averageSavingPercent) {
+    std::printf("Average saving: %.1f%%   (paper: 8.9%%)\n",
+                *summary.averageSavingPercent);
+  } else {
+    std::printf("Average saving: n/a (no comparable point)\n");
+  }
   std::printf("Regressing points: %d    (paper: 3 of 15, D5-D7)\n",
               regressions);
   return 0;

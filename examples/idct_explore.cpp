@@ -51,10 +51,11 @@ int main() {
               r.slack.success ? fmt(r.slack.power.dynamic, 0) : "-"});
   }
   std::printf("%s\n", t.str().c_str());
-  std::printf("average saving %.1f%%, power range %.1fx, throughput range "
+  std::printf("average saving %s%%, power range %.1fx, throughput range "
               "%.1fx, area range %.2fx\n",
-              s.averageSavingPercent, s.powerRange, s.throughputRange,
-              s.areaRange);
+              s.averageSavingPercent ? fmt(*s.averageSavingPercent, 1).c_str()
+                                     : "n/a",
+              s.powerRange, s.throughputRange, s.areaRange);
 
   // Adaptive refinement: probe (latency, clock) neighbors of the current
   // front, spending evaluations only where the trade-off curve lives.  The

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
+
+#include "support/scoped_timer.h"
 
 namespace thls {
 
@@ -38,7 +41,8 @@ DelayBounds delayBoundsFor(const Dfg& dfg, const ResourceLibrary& lib) {
 BudgetResult fixNegativeSlack(const TimedDfg& graph, const Dfg& dfg,
                               const ResourceLibrary& lib,
                               std::vector<double> delays,
-                              const BudgetOptions& opts) {
+                              const BudgetOptions& opts,
+                              SeededSlackState* seeded) {
   const double T = opts.clockPeriod;
   const double margin = opts.marginFraction * T;
   const DelayBounds bounds = delayBoundsFor(dfg, lib);
@@ -58,14 +62,55 @@ BudgetResult fixNegativeSlack(const TimedDfg& graph, const Dfg& dfg,
     }
   }
 
-  TimingResult timing = analyzeTiming(opts.engine, graph, delays, topts);
+  // Every round moves exactly one delay, so the seeded engine repropagates
+  // the affected cone instead of resweeping the whole graph.  Bellman-Ford
+  // (and the escape hatch) keep the full-analysis path.  A caller-provided
+  // persistent engine additionally carries arrival/required state across
+  // calls, so even the first analysis of this call is seeded (from the
+  // reweighted edges and whichever delays moved since the caller's last
+  // call) rather than a full sync.
+  const bool useSeeded =
+      opts.incrementalSlack && opts.engine == TimingEngine::kSequential;
+  std::optional<IncrementalSlack> ownEngine;
+  IncrementalSlack* inc = nullptr;
+  if (useSeeded) {
+    if (seeded && seeded->engine) {
+      inc = seeded->engine;
+    } else {
+      ownEngine.emplace(graph, topts);
+      inc = &*ownEngine;
+    }
+  }
+  const long long recomputedBefore = inc ? inc->opsRecomputed() : 0;
+  // `timing` aliases the engine's live result in seeded mode (no per-round
+  // copies); localTiming backs it on the full-analysis path.
+  TimingResult localTiming;
+  const TimingResult* timing;
+  {
+    ScopedSecondsTimer timer(result.analysisSeconds);
+    if (inc) {
+      if (seeded && seeded->engine && seeded->synced) {
+        static const std::vector<std::size_t> kNoEdges;
+        timing = &inc->updateAfterReweight(
+            delays, seeded->changedEdges ? *seeded->changedEdges : kNoEdges);
+        ++result.slackSeededSweeps;
+      } else {
+        timing = &inc->full(delays);
+        if (seeded && seeded->engine) seeded->synced = true;
+      }
+    } else {
+      localTiming = analyzeTiming(opts.engine, graph, delays, topts);
+      timing = &localTiming;
+    }
+  }
   int iter = 0;
   // Greedy sensitivity-driven repair (the paper's "uneven distribution
   // taking into account sensitivities of the area to delay increase"): each
   // round the violating op whose speed-up costs the least area per ps
   // absorbs its whole violation, then timing is refreshed.  One op moves per
   // round, so chains never overshoot.
-  while (timing.minSlack < -topts.epsilon && iter < opts.maxNegativeIterations) {
+  while (timing->minSlack < -topts.epsilon &&
+         iter < opts.maxNegativeIterations) {
     ++iter;
     std::size_t best = dfg.numOps();
     double bestRatio = 0, bestTarget = 0;
@@ -73,7 +118,7 @@ BudgetResult fixNegativeSlack(const TimedDfg& graph, const Dfg& dfg,
     for (std::size_t i = 0; i < dfg.numOps(); ++i) {
       const Operation& o = dfg.op(OpId(static_cast<std::int32_t>(i)));
       if (isFreeKind(o.kind)) continue;
-      double slack = timing.perOp[i].slack;
+      double slack = timing->perOp[i].slack;
       if (slack >= -topts.epsilon) continue;
       if (delays[i] <= bounds.minDelay[i] + topts.epsilon) continue;
       double need = std::isfinite(slack) ? -slack
@@ -96,13 +141,21 @@ BudgetResult fixNegativeSlack(const TimedDfg& graph, const Dfg& dfg,
     }
     if (best == dfg.numOps()) break;  // every violator is at minimum delay
     delays[best] = bestTarget;
-    timing = analyzeTiming(opts.engine, graph, delays, topts);
+    ScopedSecondsTimer timer(result.analysisSeconds);
+    if (inc) {
+      timing = &inc->update(delays, {OpId(static_cast<std::int32_t>(best))});
+      ++result.slackSeededSweeps;
+    } else {
+      localTiming = analyzeTiming(opts.engine, graph, delays, topts);
+      timing = &localTiming;
+    }
   }
 
   result.delays = std::move(delays);
-  result.timing = std::move(timing);
+  result.timing = *timing;
   result.feasible = result.timing.feasible;
   result.negativeIterations = iter;
+  if (inc) result.slackOpsRecomputed = inc->opsRecomputed() - recomputedBefore;
   return result;
 }
 
@@ -115,18 +168,34 @@ BudgetResult budgetSlack(const TimedDfg& graph, const Dfg& dfg,
   const DelayBounds bounds = delayBoundsFor(dfg, lib);
   TimingOptions topts{T, opts.aligned};
 
+  // One seeded engine serves the whole budgeting run: the negative fix-up
+  // syncs it, the positive loop updates it one grant at a time, and any
+  // inner repair re-enters fixNegativeSlack with the same state.
+  const bool useSeeded =
+      opts.incrementalSlack && opts.engine == TimingEngine::kSequential;
+  std::optional<IncrementalSlack> inc;
+  SeededSlackState seedState;
+  SeededSlackState* seedPtr = nullptr;
+  if (useSeeded) {
+    inc.emplace(graph, topts);
+    seedState.engine = &*inc;
+    seedPtr = &seedState;
+  }
+
   // Step 2: slowest variants everywhere (fixNegativeSlack clamps anything
   // beyond the realizable per-cycle cap up front).
   std::vector<double> delays = bounds.maxDelay;
 
   // Step 3: budget away negative aligned slack.
-  BudgetResult result = fixNegativeSlack(graph, dfg, lib, std::move(delays), opts);
+  BudgetResult result =
+      fixNegativeSlack(graph, dfg, lib, std::move(delays), opts, seedPtr);
   if (!result.feasible) return result;
 
   // Step 4: spend positive slack, most area-sensitive op first, one grant
   // per timing refresh.
   delays = std::move(result.delays);
-  TimingResult timing = std::move(result.timing);
+  TimingResult localTiming = std::move(result.timing);
+  const TimingResult* timing = &localTiming;
   int grants = 0;
   while (grants < opts.maxPositiveGrants) {
     // Pick the op with the largest area recovery achievable within its
@@ -136,7 +205,7 @@ BudgetResult budgetSlack(const TimedDfg& graph, const Dfg& dfg,
     for (std::size_t i = 0; i < dfg.numOps(); ++i) {
       const Operation& o = dfg.op(OpId(static_cast<std::int32_t>(i)));
       if (isFreeKind(o.kind)) continue;
-      double slack = timing.perOp[i].slack;
+      double slack = timing->perOp[i].slack;
       if (!std::isfinite(slack) || slack < margin) continue;
       if (delays[i] >= bounds.maxDelay[i] - topts.epsilon) continue;
       // Keep one binning margin of headroom per grant: binding-time mux
@@ -157,21 +226,36 @@ BudgetResult budgetSlack(const TimedDfg& graph, const Dfg& dfg,
     if (best == dfg.numOps()) break;
     delays[best] = bestTarget;
     ++grants;
-    timing = analyzeTiming(opts.engine, graph, delays, topts);
+    {
+      ScopedSecondsTimer timer(result.analysisSeconds);
+      if (inc) {
+        timing = &inc->update(delays, {OpId(static_cast<std::int32_t>(best))});
+        ++result.slackSeededSweeps;
+      } else {
+        localTiming = analyzeTiming(opts.engine, graph, delays, topts);
+        timing = &localTiming;
+      }
+    }
     // A grant may not make timing infeasible: it consumed only its own
     // slack.  Numerical edge cases are repaired conservatively.
-    if (timing.minSlack < -topts.epsilon) {
+    if (timing->minSlack < -topts.epsilon) {
       BudgetResult fix =
-          fixNegativeSlack(graph, dfg, lib, std::move(delays), opts);
+          fixNegativeSlack(graph, dfg, lib, std::move(delays), opts, seedPtr);
       delays = std::move(fix.delays);
-      timing = std::move(fix.timing);
+      localTiming = std::move(fix.timing);
+      timing = &localTiming;
+      result.slackSeededSweeps += fix.slackSeededSweeps;
+      result.analysisSeconds += fix.analysisSeconds;
     }
   }
 
   result.delays = std::move(delays);
-  result.timing = std::move(timing);
+  result.timing = *timing;
   result.feasible = result.timing.feasible;
   result.positiveGrants = grants;
+  // The shared engine counted every seeded recomputation of this budgeting
+  // run (including the fixNegativeSlack calls it was threaded through).
+  if (inc) result.slackOpsRecomputed = inc->opsRecomputed();
   return result;
 }
 

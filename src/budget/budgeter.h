@@ -36,6 +36,11 @@ struct BudgetOptions {
   int maxNegativeIterations = 1000;
   /// Safety valve for positive grants.
   int maxPositiveGrants = 100000;
+  /// Repropagate arrival/required seeded from the one op each round moved
+  /// (IncrementalSlack) instead of resweeping the whole timed graph.  Only
+  /// effective with the sequential engine; results are bit-for-bit identical
+  /// either way (escape hatch for the differential suites and benches).
+  bool incrementalSlack = true;
 };
 
 struct BudgetResult {
@@ -48,6 +53,14 @@ struct BudgetResult {
   bool feasible = false;
   int negativeIterations = 0;
   int positiveGrants = 0;
+  /// Seeded (worklist) repropagations that replaced full sweeps, and how
+  /// many timed-node values they recomputed in total (a full sweep costs
+  /// 2 * numNodes of them).
+  int slackSeededSweeps = 0;
+  long long slackOpsRecomputed = 0;
+  /// Wall-clock seconds spent inside timing analyses (full sweeps or seeded
+  /// repropagations) -- the budgeting scan loops around them excluded.
+  double analysisSeconds = 0;
 };
 
 /// Per-op delay bounds from the library ([min, max] variant range).
@@ -62,13 +75,32 @@ DelayBounds delayBoundsFor(const Dfg& dfg, const ResourceLibrary& lib);
 BudgetResult budgetSlack(const TimedDfg& graph, const Dfg& dfg,
                          const ResourceLibrary& lib, const BudgetOptions& opts);
 
+/// Persistent seeded-slack state the scheduler threads through consecutive
+/// fixNegativeSlack calls against one (reweighted-in-place) timed graph.
+/// With it, a per-round rebudget seeds its first analysis from the edges
+/// reweight() actually changed plus whichever delays moved since the
+/// previous round, instead of paying a full two-sweep sync per call.
+struct SeededSlackState {
+  /// Engine bound to the same graph fixNegativeSlack is given; the caller
+  /// owns it and must replace it when the graph is rebuilt.
+  IncrementalSlack* engine = nullptr;
+  /// Edge indices (into TimedDfg::edges()) whose weight changed since the
+  /// engine last saw the graph; null means "no weights changed".
+  const std::vector<std::size_t>* changedEdges = nullptr;
+  /// False until the engine ran its first full sweep; fixNegativeSlack sets
+  /// it, and the caller must reset it when the graph is rebuilt.
+  bool synced = false;
+};
+
 /// In-scheduling re-budget (paper §VI): sharing only worsens timing, so only
 /// the negative fix-up runs -- delays may decrease, never increase.
-/// `lowerBound` optionally overrides library minimum delays (e.g. an op tied
-/// to a shared FU cannot go below what its FU mates tolerate).
+/// `seeded` optionally carries the scheduler's persistent IncrementalSlack
+/// engine (sequential-engine runs with incrementalSlack on); results are
+/// bit-for-bit identical with or without it.
 BudgetResult fixNegativeSlack(const TimedDfg& graph, const Dfg& dfg,
                               const ResourceLibrary& lib,
                               std::vector<double> delays,
-                              const BudgetOptions& opts);
+                              const BudgetOptions& opts,
+                              SeededSlackState* seeded = nullptr);
 
 }  // namespace thls

@@ -149,7 +149,8 @@ std::string campaignJson(const CampaignResult& result) {
     out += i == 0 ? "\n" : ",\n";
     out += "    {\"workload\":\"" + wr.workload + "\",";
     out += "\"points_evaluated\":" + strCat(wr.pointsEvaluated) + ",";
-    out += "\"average_saving_percent\":" + num(wr.summary.averageSavingPercent) + ",";
+    out += "\"average_saving_percent\":" +
+           numOrNull(wr.summary.averageSavingPercent) + ",";
     out += "\"power_range\":" + num(wr.summary.powerRange) + ",";
     out += "\"throughput_range\":" + num(wr.summary.throughputRange) + ",";
     out += "\"area_range\":" + num(wr.summary.areaRange) + ",";

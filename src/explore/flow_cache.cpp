@@ -35,6 +35,8 @@ std::uint64_t hashFlowOptions(const FlowOptions& opts) {
   mix(h, opts.sched.mergeWidths ? 1 : 0);
   mix(h, static_cast<std::uint64_t>(opts.sched.maxShare));
   mix(h, opts.sched.incrementalSpans ? 1 : 0);
+  mix(h, opts.sched.incrementalLatency ? 1 : 0);
+  mix(h, opts.sched.incrementalSlack ? 1 : 0);
   mix(h, opts.areaRecovery ? 1 : 0);
   mix(h, opts.compactBinding ? 1 : 0);
   mix(h, opts.binding.commutativeSwap ? 1 : 0);

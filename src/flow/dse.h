@@ -31,7 +31,10 @@ struct DsePointResult {
 
 struct DseSummary {
   std::vector<DsePointResult> points;
-  double averageSavingPercent = 0;
+  /// Mean of the comparable points' savings; absent when no point was
+  /// comparable (exports as JSON null / an empty CSV field, mirroring the
+  /// per-point optional -- "no comparison" is not a 0 % saving).
+  std::optional<double> averageSavingPercent;
   /// min/max over successful slack-flow points; 0 when no point succeeded
   /// or a min is 0 (never inf or a 1e30 sentinel).
   double powerRange = 0;       ///< max/min dynamic power

@@ -4,7 +4,8 @@
 
 namespace thls {
 
-LatencyTable::LatencyTable(const Cfg& cfg) : cfg_(&cfg) {
+LatencyTable::LatencyTable(const Cfg& cfg)
+    : cfg_(&cfg), cfgVersion_(cfg.structureVersion()) {
   THLS_ASSERT(cfg.finalized(), "LatencyTable needs a finalized CFG");
   const std::size_t nv = cfg.numNodes();
   minStates_.assign(nv, std::vector<int>(nv, kUndefined));
@@ -27,6 +28,96 @@ LatencyTable::LatencyTable(const Cfg& cfg) : cfg_(&cfg) {
       }
     }
   }
+}
+
+void LatencyTable::applyStateInsertion(CfgEdgeId oldEdge, CfgEdgeId newEdge) {
+  const Cfg& cfg = *cfg_;
+  THLS_ASSERT(cfg.finalized(),
+              "applyStateInsertion needs the CFG re-finalized first");
+  const CfgEdge& head = cfg.edge(oldEdge);
+  const CfgEdge& tail = cfg.edge(newEdge);
+  const CfgNodeId mid = head.to;
+  THLS_ASSERT(mid == tail.from && cfg.isState(mid),
+              "applyStateInsertion expects the edge pair of insertStateOnEdge");
+  THLS_ASSERT(!head.backward && !tail.backward,
+              "a split forward edge must stay forward");
+  const std::size_t nvOld = minStates_.size();
+  THLS_ASSERT(mid.index() == nvOld && cfg.numNodes() == nvOld + 1,
+              "applyStateInsertion must run once per insertion, in order");
+  const std::size_t m = mid.index();
+  const std::size_t a = head.from.index();
+  const std::size_t b = tail.to.index();
+
+  for (std::vector<int>& row : minStates_) row.push_back(kUndefined);
+  minStates_.emplace_back(nvOld + 1, kUndefined);
+
+  // Row of the new state node: its only forward successor is b, and b's own
+  // row cannot have crossed the split edge (b never reaches a in the forward
+  // DAG), so it is still valid.
+  minStates_[m][m] = 1;
+  for (std::size_t u = 0; u < nvOld; ++u) {
+    if (minStates_[b][u] != kUndefined) minStates_[m][u] = 1 + minStates_[b][u];
+  }
+  // Column of the new node: any path v..mid is a path v..a plus the
+  // retargeted head edge, picking up mid's own state count.
+  for (std::size_t v = 0; v < nvOld; ++v) {
+    if (minStates_[v][a] != kUndefined) minStates_[v][m] = minStates_[v][a] + 1;
+  }
+
+  // A pre-existing pair (v, u) can only have changed when some v..u path
+  // crossed the split edge, i.e. v reaches a and u is reachable from b.
+  // Re-relax exactly those pairs over the reverse topological order; all
+  // other entries (read during relaxation) are still valid.
+  std::vector<bool> reachesA(nvOld + 1, false);
+  std::vector<std::size_t> stack{a};
+  reachesA[a] = true;
+  while (!stack.empty()) {
+    std::size_t v = stack.back();
+    stack.pop_back();
+    for (CfgEdgeId eid : cfg.node(CfgNodeId(static_cast<std::int32_t>(v))).in) {
+      const CfgEdge& e = cfg.edge(eid);
+      if (e.backward || reachesA[e.from.index()]) continue;
+      reachesA[e.from.index()] = true;
+      stack.push_back(e.from.index());
+    }
+  }
+  std::vector<std::size_t> targets;
+  std::vector<bool> fromB(nvOld + 1, false);
+  stack.assign(1, b);
+  fromB[b] = true;
+  targets.push_back(b);
+  while (!stack.empty()) {
+    std::size_t u = stack.back();
+    stack.pop_back();
+    for (CfgEdgeId eid : cfg.node(CfgNodeId(static_cast<std::int32_t>(u))).out) {
+      const CfgEdge& e = cfg.edge(eid);
+      if (e.backward || fromB[e.to.index()]) continue;
+      fromB[e.to.index()] = true;
+      targets.push_back(e.to.index());
+      stack.push_back(e.to.index());
+    }
+  }
+
+  const auto& topo = cfg.topoNodes();
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    const std::size_t v = it->index();
+    if (v >= nvOld || !reachesA[v]) continue;
+    const CfgNodeId vid(static_cast<std::int32_t>(v));
+    const int selfCount = cfg.isState(vid) ? 1 : 0;
+    for (std::size_t u : targets) {
+      int best = v == u ? selfCount : kUndefined;
+      for (CfgEdgeId eid : cfg.node(vid).out) {
+        const CfgEdge& e = cfg.edge(eid);
+        if (e.backward) continue;
+        const int tailMin = minStates_[e.to.index()][u];
+        if (tailMin == kUndefined) continue;
+        best = std::min(best, selfCount + tailMin);
+      }
+      minStates_[v][u] = best;
+    }
+  }
+
+  cfgVersion_ = cfg.structureVersion();
 }
 
 int LatencyTable::latency(CfgEdgeId from, CfgEdgeId to) const {

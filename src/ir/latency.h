@@ -11,6 +11,7 @@
 //   latency(e1, e7) = 2      (path crosses s0-or-s1 and s2)
 #pragma once
 
+#include <cstdint>
 #include <limits>
 #include <vector>
 
@@ -33,11 +34,31 @@ class LatencyTable {
     return latency(from, to) != kUndefined;
   }
 
+  /// True while the table still describes `cfg`: same object, same
+  /// structure version as when the table was built or last updated.  The
+  /// scheduler keys table reuse across passes on this, like the span
+  /// candidate cache.
+  bool validFor(const Cfg& cfg) const {
+    return cfg_ == &cfg && cfgVersion_ == cfg.structureVersion();
+  }
+
+  /// In-place update after `Cfg::insertStateOnEdge(oldEdge)` returned
+  /// `newEdge` and the CFG was re-finalized: appends the row/column of the
+  /// new state node and re-relaxes exactly the pairs whose min-state path
+  /// may have crossed the split edge (sources reaching the split point x
+  /// targets reachable from it).  The result is identical to a fresh
+  /// construction; `tests/timing_incremental_test.cpp` checks every entry
+  /// after every single mutation.  Must be called once per insertion, in
+  /// insertion order.
+  void applyStateInsertion(CfgEdgeId oldEdge, CfgEdgeId newEdge);
+
  private:
   /// minStates_[v][u]: min #state nodes on node paths v..u inclusive,
   /// kUndefined when unreachable.
   std::vector<std::vector<int>> minStates_;
   const Cfg* cfg_;
+  /// Cfg::structureVersion() the table was built/updated against.
+  std::uint64_t cfgVersion_ = 0;
 };
 
 }  // namespace thls

@@ -8,6 +8,7 @@
 #include <tuple>
 
 #include "ir/opspan.h"
+#include "support/scoped_timer.h"
 #include "timing/timed_dfg.h"
 
 namespace thls {
@@ -117,6 +118,13 @@ class SchedulerImpl {
   /// Timed-graph skeleton of the current pass: its topology depends only on
   /// the DFG, so per-round rebudgets reweight it instead of rebuilding.
   std::unique_ptr<TimedDfg> timed_;
+  /// Persistent seeded-slack engine over timed_ (incrementalSlack mode):
+  /// carries arrival/required values across per-round rebudgets, seeded by
+  /// the edges reweight() changed and the delays that moved since the
+  /// previous round.  Reset whenever timed_ is rebuilt.
+  std::unique_ptr<IncrementalSlack> slackEngine_;
+  bool slackSynced_ = false;
+  std::vector<std::size_t> reweightDirty_;
   PassState best_;
 };
 
@@ -327,7 +335,7 @@ void SchedulerImpl::rebudget(PassState& ps, const LatencyTable& lat,
   // (it is the bench baseline).  Both see identical weights.
   std::unique_ptr<TimedDfg> fresh;
   if (opts_.incrementalSpans) {
-    timed_->reweight(lat, spans);
+    timed_->reweight(lat, spans, slackEngine_ ? &reweightDirty_ : nullptr);
   } else {
     fresh = std::make_unique<TimedDfg>(bhv_.cfg, bhv_.dfg, lat, spans);
   }
@@ -341,8 +349,22 @@ void SchedulerImpl::rebudget(PassState& ps, const LatencyTable& lat,
   bopts.clockPeriod = opts_.clockPeriod;
   bopts.marginFraction = opts_.marginFraction;
   bopts.engine = opts_.engine;
-  BudgetResult r = fixNegativeSlack(timed, bhv_.dfg, lib_, std::move(delays), bopts);
+  bopts.incrementalSlack = opts_.incrementalSlack;
+  SeededSlackState seededState;
+  SeededSlackState* seededPtr = nullptr;
+  if (opts_.incrementalSpans && slackEngine_) {
+    seededState.engine = slackEngine_.get();
+    seededState.changedEdges = &reweightDirty_;
+    seededState.synced = slackSynced_;
+    seededPtr = &seededState;
+  }
+  BudgetResult r =
+      fixNegativeSlack(timed, bhv_.dfg, lib_, std::move(delays), bopts,
+                       seededPtr);
+  if (seededPtr) slackSynced_ = seededState.synced;
+  stats_.timingSeconds += r.analysisSeconds;
   stats_.timingAnalyses += 1 + r.negativeIterations;
+  stats_.slackOpsRecomputed += r.slackOpsRecomputed;
   ps.lastTiming = r.timing;
 
   // Scheduled ops: speed their FU up when the budget demands it.
@@ -374,13 +396,30 @@ bool SchedulerImpl::schedulePass(PassFailure* failure) {
   const Dfg& dfg = bhv_.dfg;
   stats_.schedulePasses++;
 
-  lat_ = std::make_unique<LatencyTable>(cfg);
+  {
+    // Incremental mode keeps the table across passes: relaxation either left
+    // the CFG untouched (resource/variant steps) or patched the table when it
+    // split an edge, so the version check usually short-circuits the rebuild.
+    ScopedSecondsTimer timer(stats_.latencySeconds);
+    if (!opts_.incrementalLatency || !lat_ || !lat_->validFor(cfg)) {
+      lat_ = std::make_unique<LatencyTable>(cfg);
+      stats_.latRebuilds++;
+    }
+  }
   // Legacy (from-scratch) mode skips the shared candidate cache so that its
   // per-round reconstruction cost stays a faithful baseline for the bench.
   SpanCandidateCache* cache = opts_.incrementalSpans ? &spanCache_ : nullptr;
   stats_.spanRebuilds++;
   OpSpanAnalysis freeSpans(cfg, dfg, *lat_, nullptr, nullptr, cache);
   timed_ = std::make_unique<TimedDfg>(cfg, dfg, *lat_, freeSpans);
+  // Fresh graph, fresh seeded-slack state (rebudget syncs it lazily).
+  slackEngine_.reset();
+  slackSynced_ = false;
+  if (opts_.incrementalSpans && opts_.incrementalSlack &&
+      opts_.engine == TimingEngine::kSequential) {
+    slackEngine_ = std::make_unique<IncrementalSlack>(
+        *timed_, TimingOptions{opts_.clockPeriod, /*aligned=*/true});
+  }
   TimedDfg& timed = *timed_;
   const DelayBounds bounds = delayBoundsFor(dfg, lib_);
 
@@ -398,11 +437,14 @@ bool SchedulerImpl::schedulePass(PassFailure* failure) {
   bopts.clockPeriod = opts_.clockPeriod;
   bopts.marginFraction = opts_.marginFraction;
   bopts.engine = opts_.engine;
+  bopts.incrementalSlack = opts_.incrementalSlack;
 
   TimingResult priorityTiming;
   if (opts_.startPolicy == StartPolicy::kBudgeted) {
     BudgetResult b = budgetSlack(timed, dfg, lib_, bopts);
+    stats_.timingSeconds += b.analysisSeconds;
     stats_.timingAnalyses += 1 + b.negativeIterations + b.positiveGrants;
+    stats_.slackOpsRecomputed += b.slackOpsRecomputed;
     if (!b.feasible) {
       failure->reason = FailReason::kBudgetInfeasible;
       // Most negative op guides the relaxation engine.
@@ -432,12 +474,18 @@ bool SchedulerImpl::schedulePass(PassFailure* failure) {
       }
     }
     TimingOptions topts{opts_.clockPeriod, /*aligned=*/true};
-    priorityTiming = analyzeTiming(opts_.engine, timed, ps.budgets, topts);
+    {
+      ScopedSecondsTimer timer(stats_.timingSeconds);
+      priorityTiming = analyzeTiming(opts_.engine, timed, ps.budgets, topts);
+    }
     stats_.timingAnalyses += 1;
   } else {
     ps.budgets = bounds.minDelay;
     TimingOptions topts{opts_.clockPeriod, /*aligned=*/true};
-    priorityTiming = analyzeTiming(opts_.engine, timed, ps.budgets, topts);
+    {
+      ScopedSecondsTimer timer(stats_.timingSeconds);
+      priorityTiming = analyzeTiming(opts_.engine, timed, ps.budgets, topts);
+    }
     stats_.timingAnalyses += 1;
     if (!priorityTiming.feasible) {
       failure->reason = FailReason::kBudgetInfeasible;
@@ -729,8 +777,13 @@ bool SchedulerImpl::relax(const PassFailure& failure) {
     }
     case FailReason::kBudgetInfeasible: {
       if (opts_.allowAddState && failure.edge.valid()) {
-        bhv_.cfg.insertStateOnEdge(failure.edge);
+        CfgEdgeId tail = bhv_.cfg.insertStateOnEdge(failure.edge);
         bhv_.cfg.finalize();
+        if (opts_.incrementalLatency && lat_) {
+          ScopedSecondsTimer timer(stats_.latencySeconds);
+          lat_->applyStateInsertion(failure.edge, tail);
+          stats_.latUpdates++;
+        }
         stats_.statesAdded++;
         logLine(2, "relax: inserted a state");
         return true;

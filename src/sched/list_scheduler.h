@@ -51,6 +51,16 @@ struct SchedulerOptions {
   /// Off = reconstruct the analysis from scratch after every round; schedules
   /// are bit-for-bit identical either way (the regression suite checks).
   bool incrementalSpans = true;
+  /// Keep the all-pairs LatencyTable alive across passes, patching it in
+  /// place when relaxation splits an edge (LatencyTable::applyStateInsertion)
+  /// instead of rebuilding O(V*(V+E)) per pass.  Off = rebuild every pass;
+  /// tables and schedules are bit-for-bit identical either way.
+  bool incrementalLatency = true;
+  /// Seed arrival/required repropagation from the ops each budgeting round
+  /// actually moved (timing/slack.h IncrementalSlack) instead of full
+  /// two-sweep analyses.  Off = full sweep per budgeting iteration; timing
+  /// and schedules are bit-for-bit identical either way.
+  bool incrementalSlack = true;
 };
 
 struct SchedulerStats {
@@ -70,6 +80,18 @@ struct SchedulerStats {
   int spanOpsRecomputed = 0;
   /// Ready-pool scans by the placement loop (one per placement round).
   int readyScans = 0;
+  /// Full LatencyTable constructions, and in-place applyStateInsertion
+  /// updates that replaced one (incrementalLatency mode).
+  int latRebuilds = 0;
+  int latUpdates = 0;
+  /// Timed-node arrival/required values recomputed by seeded slack
+  /// repropagation (a full sweep costs 2 * timed nodes per analysis).
+  long long slackOpsRecomputed = 0;
+  /// Wall-clock split of the timing phase: LatencyTable builds/updates vs
+  /// timing analyses (full sweeps or seeded repropagations, the budgeting
+  /// scans around them excluded).  bench/sched_scaling reports both.
+  double latencySeconds = 0;
+  double timingSeconds = 0;
 };
 
 struct ScheduleOutcome {

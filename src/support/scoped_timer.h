@@ -1,0 +1,27 @@
+// Scoped wall-clock accumulator: adds the enclosing scope's duration (in
+// seconds) to a caller-owned sink on destruction.  Used to attribute the
+// scheduler's time to the latency vs slack timing phases.
+#pragma once
+
+#include <chrono>
+
+namespace thls {
+
+class ScopedSecondsTimer {
+ public:
+  explicit ScopedSecondsTimer(double& sink)
+      : sink_(sink), start_(std::chrono::steady_clock::now()) {}
+  ~ScopedSecondsTimer() {
+    sink_ += std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                           start_)
+                 .count();
+  }
+  ScopedSecondsTimer(const ScopedSecondsTimer&) = delete;
+  ScopedSecondsTimer& operator=(const ScopedSecondsTimer&) = delete;
+
+ private:
+  double& sink_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace thls

@@ -33,67 +33,216 @@ double alignStartDown(double start, double delay, double period, double eps) {
 TimingResult sequentialSlack(const TimedDfg& graph,
                              const std::vector<double>& delays,
                              const TimingOptions& opts) {
-  const double T = opts.clockPeriod;
-  THLS_REQUIRE(T > 0, "clock period must be positive");
+  // The seeded engine's full() IS the two-sweep algorithm; routing the plain
+  // entry point through it keeps exactly one implementation to diverge from.
+  IncrementalSlack engine(graph, opts);
+  return engine.full(delays);
+}
+
+IncrementalSlack::IncrementalSlack(const TimedDfg& graph,
+                                   const TimingOptions& opts)
+    : graph_(&graph), opts_(opts) {
+  THLS_REQUIRE(opts.clockPeriod > 0, "clock period must be positive");
   const std::size_t n = graph.numNodes();
-  std::vector<double> arr(n, 0.0), req(n, 0.0), del(n, 0.0);
-
-  for (std::size_t i = 0; i < n; ++i) {
-    const TimedNode& tn = graph.node(TimedNodeId(static_cast<std::int32_t>(i)));
-    del[i] = tn.isSink ? 0.0 : delays[tn.op.index()];
-  }
-
-  // Forward sweep: arrival = max over predecessors; 0 at sources only
-  // (non-source arrivals may legitimately be negative, Def. 3).
-  for (TimedNodeId id : graph.topoOrder()) {
-    const std::size_t i = id.index();
-    double a = graph.inEdges(id).empty() ? 0.0 : -kInf;
-    for (std::size_t ei : graph.inEdges(id)) {
-      const TimedEdge& e = graph.edges()[ei];
-      a = std::max(a, arr[e.from.index()] + del[e.from.index()] -
-                          T * e.weight);
-    }
-    if (opts.aligned && !graph.node(id).isSink && std::isfinite(a)) {
-      // Aligned (physical) arrivals cannot precede the op's earliest cycle:
-      // negative "borrowed" time is a pure-analysis artifact (Def. 3 keeps
-      // it; the clock-respecting generalization must not).
-      a = alignStartUp(std::max(a, 0.0), del[i], T, opts.epsilon);
-    }
-    arr[i] = a;
-  }
-
-  // Backward sweep: required = min over successors; sinks get T.
+  arr_.assign(n, 0.0);
+  req_.assign(n, 0.0);
+  del_.assign(n, 0.0);
+  delChanged_.assign(n, 0);
+  dirty_.assign(n, 0);
+  topoPos_.assign(n, 0);
   const auto& topo = graph.topoOrder();
-  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
-    TimedNodeId id = *it;
-    const std::size_t i = id.index();
-    double r = kInf;
-    for (std::size_t ei : graph.outEdges(id)) {
-      const TimedEdge& e = graph.edges()[ei];
-      r = std::min(r, req[e.to.index()] - del[i] + T * e.weight);
-    }
-    if (graph.outEdges(id).empty()) r = T;  // sink nodes
-    if (opts.aligned && !graph.node(id).isSink) {
-      r = alignStartDown(r, del[i], T, opts.epsilon);
-    }
-    req[i] = r;
+  for (std::size_t pos = 0; pos < topo.size(); ++pos) {
+    topoPos_[topo[pos].index()] = pos;
   }
-
-  TimingResult result;
-  result.perOp.assign(graph.dfg().numOps(), OpTiming{});
-  result.minSlack = kInf;
+  opOfNode_.assign(n, -1);
   for (std::size_t i = 0; i < n; ++i) {
     const TimedNode& tn = graph.node(TimedNodeId(static_cast<std::int32_t>(i)));
     if (tn.isSink) continue;
-    OpTiming& t = result.perOp[tn.op.index()];
-    t.arrival = arr[i];
-    t.required = req[i];
-    t.slack = req[i] - arr[i];
-    result.minSlack = std::min(result.minSlack, t.slack);
+    opOfNode_[i] = tn.op.value();
+    hwNodes_.emplace_back(i, tn.op.index());
   }
-  if (result.minSlack == kInf) result.minSlack = 0.0;  // no hardware ops
-  result.feasible = result.minSlack >= -opts.epsilon;
-  return result;
+  result_.perOp.assign(graph.dfg().numOps(), OpTiming{});
+}
+
+double IncrementalSlack::computeArrival(std::size_t i) const {
+  const TimedNodeId id(static_cast<std::int32_t>(i));
+  const double T = opts_.clockPeriod;
+  // Arrival = max over predecessors; 0 at sources only (non-source arrivals
+  // may legitimately be negative, Def. 3).
+  double a = graph_->inEdges(id).empty() ? 0.0 : -kInf;
+  for (std::size_t ei : graph_->inEdges(id)) {
+    const TimedEdge& e = graph_->edges()[ei];
+    a = std::max(a, arr_[e.from.index()] + del_[e.from.index()] - T * e.weight);
+  }
+  if (opts_.aligned && !graph_->node(id).isSink && std::isfinite(a)) {
+    // Aligned (physical) arrivals cannot precede the op's earliest cycle:
+    // negative "borrowed" time is a pure-analysis artifact (Def. 3 keeps
+    // it; the clock-respecting generalization must not).
+    a = alignStartUp(std::max(a, 0.0), del_[i], T, opts_.epsilon);
+  }
+  return a;
+}
+
+double IncrementalSlack::computeRequired(std::size_t i) const {
+  const TimedNodeId id(static_cast<std::int32_t>(i));
+  const double T = opts_.clockPeriod;
+  // Required = min over successors; sinks get T.
+  double r = kInf;
+  for (std::size_t ei : graph_->outEdges(id)) {
+    const TimedEdge& e = graph_->edges()[ei];
+    r = std::min(r, req_[e.to.index()] - del_[i] + T * e.weight);
+  }
+  if (graph_->outEdges(id).empty()) r = opts_.clockPeriod;  // sink nodes
+  if (opts_.aligned && !graph_->node(id).isSink) {
+    r = alignStartDown(r, del_[i], opts_.clockPeriod, opts_.epsilon);
+  }
+  return r;
+}
+
+void IncrementalSlack::finalizeResult() {
+  for (const auto& [node, op] : hwNodes_) {
+    OpTiming& t = result_.perOp[op];
+    t.arrival = arr_[node];
+    t.required = req_[node];
+    t.slack = req_[node] - arr_[node];
+  }
+  refreshMinSlack();
+}
+
+void IncrementalSlack::refreshMinSlack() {
+  // Same hardware-node order as the full sweep's epilogue, so the min is
+  // bit-identical regardless of which entries an update refreshed.
+  result_.minSlack = kInf;
+  for (const auto& [node, op] : hwNodes_) {
+    result_.minSlack = std::min(result_.minSlack, result_.perOp[op].slack);
+  }
+  if (result_.minSlack == kInf) result_.minSlack = 0.0;  // no hardware ops
+  result_.feasible = result_.minSlack >= -opts_.epsilon;
+}
+
+const TimingResult& IncrementalSlack::full(const std::vector<double>& delays) {
+  for (const auto& [i, op] : hwNodes_) del_[i] = delays[op];  // sinks stay 0
+  const auto& topo = graph_->topoOrder();
+  for (TimedNodeId id : topo) arr_[id.index()] = computeArrival(id.index());
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    req_[it->index()] = computeRequired(it->index());
+  }
+  finalizeResult();
+  return result_;
+}
+
+const TimingResult& IncrementalSlack::update(
+    const std::vector<double>& delays, const std::vector<OpId>& changedOps) {
+  std::vector<std::size_t> seeds;
+  for (OpId op : changedOps) {
+    if (!graph_->hasNode(op)) continue;
+    const std::size_t i = graph_->nodeOf(op).index();
+    const double d = delays[op.index()];
+    if (d == del_[i]) continue;
+    del_[i] = d;
+    delChanged_[i] = 1;
+    seeds.push_back(i);
+  }
+  return propagate(seeds, seeds);
+}
+
+const TimingResult& IncrementalSlack::updateAfterReweight(
+    const std::vector<double>& delays,
+    const std::vector<std::size_t>& changedEdges) {
+  std::vector<std::size_t> fwdSeeds, bwdSeeds;
+  for (const auto& [i, op] : hwNodes_) {  // sink delays are pinned at 0
+    const double d = delays[op];
+    if (d == del_[i]) continue;
+    del_[i] = d;
+    delChanged_[i] = 1;
+    fwdSeeds.push_back(i);
+    bwdSeeds.push_back(i);
+  }
+  // A reweighted edge moves its target's arrival and its source's required.
+  for (std::size_t ei : changedEdges) {
+    const TimedEdge& e = graph_->edges()[ei];
+    fwdSeeds.push_back(e.to.index());
+    bwdSeeds.push_back(e.from.index());
+  }
+  return propagate(fwdSeeds, bwdSeeds);
+}
+
+const TimingResult& IncrementalSlack::propagate(
+    const std::vector<std::size_t>& fwdSeeds,
+    const std::vector<std::size_t>& bwdSeeds) {
+  if (fwdSeeds.empty() && bwdSeeds.empty()) return result_;  // nothing moved
+  const auto& topo = graph_->topoOrder();
+  touched_.clear();
+
+  // Dirty-flag sweep over the topological array from the first dirty
+  // position: every dirty node is recomputed after all of its predecessors
+  // settled, exactly once, like the full sweep -- but skipping clean nodes
+  // costs a flag probe, not an edge relaxation (and no heap allocations).
+  std::size_t minPos = topo.size();
+  for (std::size_t i : fwdSeeds) {
+    if (!dirty_[i]) {
+      dirty_[i] = 1;
+      minPos = std::min(minPos, topoPos_[i]);
+    }
+  }
+  for (std::size_t pos = minPos; pos < topo.size(); ++pos) {
+    const std::size_t i = topo[pos].index();
+    if (!dirty_[i]) continue;
+    dirty_[i] = 0;
+    const double a = computeArrival(i);
+    ++opsRecomputed_;
+    // Successors see this node through arr + del: repropagate when either
+    // moved.  Exact comparison is deliberate -- unchanged inputs recompute
+    // to the identical double, which is what makes seeded == full bit-wise.
+    const bool arrChanged = a != arr_[i];
+    if (arrChanged) touched_.push_back(i);
+    arr_[i] = a;
+    if (!arrChanged && !delChanged_[i]) continue;
+    for (std::size_t ei :
+         graph_->outEdges(TimedNodeId(static_cast<std::int32_t>(i)))) {
+      dirty_[graph_->edges()[ei].to.index()] = 1;  // topo pos always > pos
+    }
+  }
+
+  std::size_t maxPos = 0;
+  bool anyBwd = false;
+  for (std::size_t i : bwdSeeds) {
+    if (!dirty_[i]) {
+      dirty_[i] = 1;
+      maxPos = std::max(maxPos, topoPos_[i]);
+      anyBwd = true;
+    }
+  }
+  if (anyBwd) {
+    for (std::size_t pos = maxPos + 1; pos-- > 0;) {
+      const std::size_t i = topo[pos].index();
+      if (!dirty_[i]) continue;
+      dirty_[i] = 0;
+      const double r = computeRequired(i);
+      ++opsRecomputed_;
+      const bool reqChanged = r != req_[i];
+      if (reqChanged) touched_.push_back(i);
+      req_[i] = r;
+      if (!reqChanged && !delChanged_[i]) continue;
+      for (std::size_t ei :
+           graph_->inEdges(TimedNodeId(static_cast<std::int32_t>(i)))) {
+        dirty_[graph_->edges()[ei].from.index()] = 1;  // topo pos always < pos
+      }
+    }
+  }
+
+  for (std::size_t i : fwdSeeds) delChanged_[i] = 0;
+  for (std::size_t i : bwdSeeds) delChanged_[i] = 0;
+  for (std::size_t i : touched_) {
+    const std::int32_t op = opOfNode_[i];
+    if (op < 0) continue;  // sink values never surface in the result
+    OpTiming& t = result_.perOp[op];
+    t.arrival = arr_[i];
+    t.required = req_[i];
+    t.slack = req_[i] - arr_[i];
+  }
+  refreshMinSlack();
+  return result_;
 }
 
 std::vector<OpId> criticalOps(const TimedDfg& graph, const TimingResult& result,

@@ -52,6 +52,80 @@ TimingResult sequentialSlack(const TimedDfg& graph,
                              const std::vector<double>& delays,
                              const TimingOptions& opts);
 
+/// Seeded-worklist variant of sequentialSlack over one timed graph.
+///
+/// full() runs the plain two-sweep analysis and keeps the per-node arrival /
+/// required values alive; update() then repropagates after a (small) set of
+/// operations changed delay, visiting only the affected cone: forward from
+/// the changed nodes while arrivals keep changing, backward from their fanin
+/// frontier while required times keep changing.  Because an untouched node
+/// recomputes to exactly the same double from unchanged inputs, the values
+/// -- and the TimingResult built from them -- are bit-for-bit identical to a
+/// fresh sequentialSlack at the same delays (the differential and property
+/// suites assert this).
+///
+/// The caller owns the contract that `changedOps` lists every op whose delay
+/// differs from the previous full()/update() call, and that the graph's
+/// topology and edge weights did not change in between (reweight() or a CFG
+/// mutation requires a new full()).
+class IncrementalSlack {
+ public:
+  IncrementalSlack(const TimedDfg& graph, const TimingOptions& opts);
+
+  /// Full two-sweep analysis at `delays`; resets the seeded state.
+  const TimingResult& full(const std::vector<double>& delays);
+
+  /// Seeded repropagation after the delays of `changedOps` changed.
+  const TimingResult& update(const std::vector<double>& delays,
+                             const std::vector<OpId>& changedOps);
+
+  /// Seeded repropagation after the graph was reweighted in place
+  /// (TimedDfg::reweight reporting `changedEdges`, indices into edges())
+  /// and/or any subset of delays moved -- the delay diff against the last
+  /// seen values is detected internally, so the caller need not know which
+  /// ops a budgeting round touched.  This is what lets the scheduler keep
+  /// one engine alive across per-round rebudgets instead of paying a full
+  /// sweep per round.
+  const TimingResult& updateAfterReweight(
+      const std::vector<double>& delays,
+      const std::vector<std::size_t>& changedEdges);
+
+  const TimingResult& result() const { return result_; }
+
+  /// Timed nodes whose arrival or required value update() recomputed (a full
+  /// sweep recomputes 2 * numNodes of them; the whole point is that updates
+  /// touch far fewer).
+  long long opsRecomputed() const { return opsRecomputed_; }
+
+ private:
+  double computeArrival(std::size_t i) const;
+  double computeRequired(std::size_t i) const;
+  /// Drains the forward then backward worklists seeded with the given node
+  /// indices; delChanged_ must flag the nodes whose delay moved.
+  const TimingResult& propagate(const std::vector<std::size_t>& fwdSeeds,
+                                const std::vector<std::size_t>& bwdSeeds);
+  /// Rebuilds every per-op entry of result_ from arr_/req_, then the
+  /// minSlack/feasible summary (full-sweep epilogue).
+  void finalizeResult();
+  /// Rescans minSlack/feasible over the hardware ops (per-op entries are
+  /// maintained entry-wise by propagate()).
+  void refreshMinSlack();
+
+  const TimedDfg* graph_;
+  TimingOptions opts_;
+  std::vector<double> arr_, req_, del_;
+  std::vector<std::size_t> topoPos_;  ///< node index -> topo position
+  std::vector<char> delChanged_, dirty_;
+  /// Node index -> op index for non-sink nodes, -1 for sinks; and the
+  /// (node, op) list of hardware nodes in node order.  Flat mirrors of
+  /// TimedDfg::node() so the per-update hot loops stay inside arrays.
+  std::vector<std::int32_t> opOfNode_;
+  std::vector<std::pair<std::size_t, std::size_t>> hwNodes_;
+  std::vector<std::size_t> touched_;  ///< scratch: nodes propagate() moved
+  TimingResult result_;
+  long long opsRecomputed_ = 0;
+};
+
 /// Ops whose slack is within `tolerance` of the minimum (the critical set;
 /// on a critical path all ops share the minimal slack, §V Table 3).
 std::vector<OpId> criticalOps(const TimedDfg& graph, const TimingResult& result,

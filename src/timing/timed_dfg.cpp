@@ -72,8 +72,11 @@ TimedDfg::TimedDfg(const Cfg& cfg, const Dfg& dfg, const LatencyTable& lat,
   }
 }
 
-void TimedDfg::reweight(const LatencyTable& lat, const OpSpanAnalysis& spans) {
-  for (TimedEdge& e : edges_) {
+void TimedDfg::reweight(const LatencyTable& lat, const OpSpanAnalysis& spans,
+                        std::vector<std::size_t>* changedEdges) {
+  if (changedEdges) changedEdges->clear();
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    TimedEdge& e = edges_[i];
     const OpId a = nodes_[e.from.index()].op;
     const TimedNode& to = nodes_[e.to.index()];
     int w = to.isSink ? lat.latency(spans.early(a), spans.late(a))
@@ -81,6 +84,7 @@ void TimedDfg::reweight(const LatencyTable& lat, const OpSpanAnalysis& spans) {
     THLS_ASSERT(w != LatencyTable::kUndefined,
                 strCat("span edges of '", dfg_->op(a).name,
                        "' lost reachability during reweight"));
+    if (changedEdges && w != e.weight) changedEdges->push_back(i);
     e.weight = w;
   }
 }

@@ -36,8 +36,11 @@ class TimedDfg {
   /// topology and topological order depend only on the DFG, so a scheduler
   /// that tightens spans round after round reweights one graph instead of
   /// reconstructing it; the result is identical to a fresh construction
-  /// against the same spans.
-  void reweight(const LatencyTable& lat, const OpSpanAnalysis& spans);
+  /// against the same spans.  When `changedEdges` is given it receives the
+  /// indices (into edges()) whose weight actually moved -- the seed set for
+  /// incremental timing repropagation.
+  void reweight(const LatencyTable& lat, const OpSpanAnalysis& spans,
+                std::vector<std::size_t>* changedEdges = nullptr);
 
   std::size_t numNodes() const { return nodes_.size(); }
   const TimedNode& node(TimedNodeId id) const { return nodes_[id.index()]; }

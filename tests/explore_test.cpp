@@ -243,10 +243,37 @@ TEST(ExploreEngineTest, RangesGuardedWhenAllPointsFail) {
   DseSummary s = exploreDesignSpace(gen, grid, lib, base, 2);
   ASSERT_EQ(s.points.size(), 2u);
   for (const DsePointResult& r : s.points) EXPECT_FALSE(r.slack.success);
-  EXPECT_EQ(s.averageSavingPercent, 0.0);
+  // No comparable point: the average is absent, not a fabricated 0 %.
+  EXPECT_FALSE(s.averageSavingPercent.has_value());
   EXPECT_EQ(s.powerRange, 0.0);       // was inf / 1e30 garbage before
   EXPECT_EQ(s.throughputRange, 0.0);
   EXPECT_EQ(s.areaRange, 0.0);
+}
+
+TEST(ExploreEngineTest, AverageSavingAbsentWithoutComparablePoints) {
+  // summarizeDsePoints unit level: a failed flow contributes nothing, and an
+  // all-failed set yields nullopt (which campaignJson exports as null).
+  DsePointResult bad;
+  bad.point.name = "bad";
+  DseSummary none = summarizeDsePoints({bad});
+  EXPECT_FALSE(none.averageSavingPercent.has_value());
+
+  DsePointResult good;
+  good.point.name = "good";
+  good.conv.success = true;
+  good.slack.success = true;
+  good.savingPercent = 10.0;
+  DseSummary some = summarizeDsePoints({bad, good});
+  ASSERT_TRUE(some.averageSavingPercent.has_value());
+  EXPECT_EQ(*some.averageSavingPercent, 10.0);
+
+  explore::CampaignResult fake;
+  explore::CampaignWorkloadResult wr;
+  wr.workload = "w";
+  wr.summary = summarizeDsePoints({bad});
+  fake.workloads.push_back(std::move(wr));
+  std::string json = explore::campaignJson(fake);
+  EXPECT_NE(json.find("\"average_saving_percent\":null"), std::string::npos);
 }
 
 TEST(ExploreEngineTest, AdaptiveRefinesAroundFront) {

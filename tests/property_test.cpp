@@ -2,10 +2,68 @@
 // the paper's machinery must uphold regardless of input shape.
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "test_util.h"
+#include "timing/timed_dfg.h"
 
 namespace thls {
 namespace {
+
+/// Slack invariants any TimingResult over `graph` must satisfy (full-sweep
+/// or seeded-worklist produced alike):
+///  * along every timed edge u -> v:
+///      Arr(u) + slack(u) + del(u) <= Req(v) + T * latency(u, v)
+///    (follows from Req(u) <= Req(v) - del(u) + T*w and slack = Req - Arr);
+///  * every critical op's slack is within tolerance of minSlack, and no op
+///    is below minSlack;
+///  * aligned arrivals never straddle a clock boundary.
+void expectSlackInvariants(const TimedDfg& graph, const TimingResult& result,
+                           const std::vector<double>& delays,
+                           const TimingOptions& topts) {
+  const double T = topts.clockPeriod;
+  const double eps = 1e-6;
+
+  for (const TimedEdge& e : graph.edges()) {
+    const TimedNode& from = graph.node(e.from);  // sinks have no out edges
+    const TimedNode& to = graph.node(e.to);
+    const OpTiming& ft = result.perOp[from.op.index()];
+    const double del = delays[from.op.index()];
+    const double reqTo = to.isSink ? T : result.perOp[to.op.index()].required;
+    if (!std::isfinite(ft.arrival) || !std::isfinite(ft.slack) ||
+        !std::isfinite(reqTo)) {
+      continue;  // an unsatisfiable endpoint makes the inequality vacuous
+    }
+    EXPECT_LE(ft.arrival + ft.slack + del, reqTo + T * e.weight + eps)
+        << graph.dfg().op(from.op).name << " -> "
+        << graph.dfg().op(to.op).name << " (w=" << e.weight << ")";
+  }
+
+  std::vector<OpId> crit = criticalOps(graph, result, eps);
+  ASSERT_FALSE(crit.empty());
+  for (OpId op : crit) {
+    if (std::isfinite(result.minSlack)) {
+      EXPECT_NEAR(result.slack(op), result.minSlack, eps)
+          << graph.dfg().op(op).name;
+    } else {
+      // Unsatisfiable point (delay > T in aligned mode): the critical set is
+      // exactly the ops pinned at the same infinite slack.
+      EXPECT_EQ(result.slack(op), result.minSlack) << graph.dfg().op(op).name;
+    }
+  }
+  for (std::size_t i = 0; i < graph.numNodes(); ++i) {
+    const TimedNode& tn = graph.node(TimedNodeId(static_cast<std::int32_t>(i)));
+    if (tn.isSink) continue;
+    const OpTiming& t = result.perOp[tn.op.index()];
+    EXPECT_GE(t.slack, result.minSlack - eps) << graph.dfg().op(tn.op).name;
+    if (topts.aligned && std::isfinite(t.arrival) &&
+        delays[tn.op.index()] <= T + eps) {
+      const double phase = t.arrival - std::floor(t.arrival / T) * T;
+      EXPECT_LE(phase + delays[tn.op.index()], T + eps)
+          << graph.dfg().op(tn.op).name << " straddles a clock edge";
+    }
+  }
+}
 
 struct SweepCase {
   std::uint32_t seed;
@@ -59,6 +117,44 @@ TEST_P(RandomSweep, CriticalOpsShareMinSlack) {
   ASSERT_FALSE(crit.empty());
   for (OpId op : crit) {
     EXPECT_NEAR(r.slack(op), r.minSlack, 1e-6);
+  }
+}
+
+TEST_P(RandomSweep, SlackInvariantsHoldInFullAndSeededModes) {
+  Behavior bhv = workloads::makeRandomDfg(params());
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+  LatencyTable lat(bhv.cfg);
+  OpSpanAnalysis spans(bhv.cfg, bhv.dfg, lat);
+  TimedDfg timed(bhv.cfg, bhv.dfg, lat, spans);
+  DelayBounds bounds = delayBoundsFor(bhv.dfg, lib);
+
+  for (bool aligned : {false, true}) {
+    TimingOptions topts{GetParam().clock, aligned};
+    std::vector<double> delays = bounds.maxDelay;
+
+    // Full-sweep mode.
+    IncrementalSlack engine(timed, topts);
+    TimingResult full = engine.full(delays);
+    expectSlackInvariants(timed, full, delays, topts);
+
+    // Seeded-worklist mode: speed every third op up one at a time; after
+    // each repropagation the invariants must still hold and the values must
+    // equal a fresh full sweep exactly.
+    int k = 0;
+    for (OpId op : bhv.dfg.schedulableOps()) {
+      if (++k % 3 != 0) continue;
+      delays[op.index()] = bounds.minDelay[op.index()];
+      const TimingResult& seeded = engine.update(delays, {op});
+      expectSlackInvariants(timed, seeded, delays, topts);
+      TimingResult ref = sequentialSlack(timed, delays, topts);
+      EXPECT_EQ(seeded.minSlack, ref.minSlack);
+      EXPECT_EQ(seeded.feasible, ref.feasible);
+      for (std::size_t i = 0; i < ref.perOp.size(); ++i) {
+        EXPECT_EQ(seeded.perOp[i].arrival, ref.perOp[i].arrival);
+        EXPECT_EQ(seeded.perOp[i].required, ref.perOp[i].required);
+        EXPECT_EQ(seeded.perOp[i].slack, ref.perOp[i].slack);
+      }
+    }
   }
 }
 

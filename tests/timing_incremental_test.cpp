@@ -1,0 +1,299 @@
+// Differential net for the incremental timing analyses: the in-place
+// LatencyTable surgery (applyStateInsertion) and the seeded-worklist slack
+// repropagation (IncrementalSlack) must be indistinguishable -- schedules,
+// table entries, per-op timing values -- from the from-scratch analyses they
+// replace, across the workload registry, every start policy, and directed
+// mutation sequences.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "ir/latency.h"
+#include "sched/list_scheduler.h"
+#include "test_util.h"
+#include "timing/timed_dfg.h"
+
+namespace thls {
+namespace {
+
+struct Case {
+  std::string name;
+  std::function<Behavior()> make;
+  double clockPeriod;
+};
+
+std::vector<Case> registryCases() {
+  std::vector<Case> cases;
+  for (const workloads::NamedWorkload& w : workloads::standardWorkloads()) {
+    if (w.name == "interpolation" || w.name == "idct1d" || w.name == "arf") {
+      cases.push_back({w.name, w.make, w.clockPeriod});
+    }
+    if (w.name == "ewf") {
+      // 1600 ps: at 1250 the initial budgeting needs ~1.7M timing iterations
+      // (identical in both modes, but minutes of test time).
+      cases.push_back({w.name, w.make, 1600.0});
+    }
+  }
+  for (const workloads::NamedWorkload& w : workloads::scalingWorkloads()) {
+    cases.push_back({w.name, w.make, w.clockPeriod});
+  }
+  return cases;
+}
+
+void expectIdentical(const ScheduleOutcome& inc, const ScheduleOutcome& ref,
+                     const std::string& label) {
+  ASSERT_EQ(inc.success, ref.success) << label;
+  if (!inc.success) {
+    EXPECT_EQ(inc.failureReason, ref.failureReason) << label;
+    return;
+  }
+  const Schedule& x = inc.schedule;
+  const Schedule& y = ref.schedule;
+  EXPECT_EQ(x.opEdge, y.opEdge) << label;
+  EXPECT_EQ(x.opStart, y.opStart) << label;
+  EXPECT_EQ(x.opDelay, y.opDelay) << label;
+  ASSERT_EQ(x.opFu.size(), y.opFu.size()) << label;
+  for (std::size_t i = 0; i < x.opFu.size(); ++i) {
+    EXPECT_EQ(x.opFu[i], y.opFu[i]) << label << " op " << i;
+  }
+  ASSERT_EQ(x.fus.size(), y.fus.size()) << label;
+  for (std::size_t i = 0; i < x.fus.size(); ++i) {
+    EXPECT_EQ(x.fus[i].ops, y.fus[i].ops) << label << " fu " << i;
+    EXPECT_EQ(x.fus[i].delay, y.fus[i].delay) << label << " fu " << i;
+  }
+  // Decision-level stats must agree: the incremental analyses may not change
+  // how many passes, relaxations, or budgeting iterations the run takes.
+  EXPECT_EQ(inc.stats.schedulePasses, ref.stats.schedulePasses) << label;
+  EXPECT_EQ(inc.stats.relaxations, ref.stats.relaxations) << label;
+  EXPECT_EQ(inc.stats.timingAnalyses, ref.stats.timingAnalyses) << label;
+  EXPECT_EQ(inc.stats.resourcesAdded, ref.stats.resourcesAdded) << label;
+  EXPECT_EQ(inc.stats.statesAdded, ref.stats.statesAdded) << label;
+  EXPECT_EQ(inc.stats.fastestOverrides, ref.stats.fastestOverrides) << label;
+  EXPECT_EQ(inc.initialBudgets, ref.initialBudgets) << label;
+}
+
+TEST(TimingIncrementalTest, FlowMatchesAcrossWorkloadsAndPolicies) {
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+  for (const Case& c : registryCases()) {
+    for (StartPolicy p : {StartPolicy::kFastest, StartPolicy::kSlowest,
+                          StartPolicy::kBudgeted}) {
+      SchedulerOptions opts;
+      opts.clockPeriod = c.clockPeriod;
+      opts.startPolicy = p;
+      opts.rebudgetPerEdge = p == StartPolicy::kBudgeted;
+
+      SchedulerOptions incOpts = opts;
+      incOpts.incrementalLatency = true;
+      incOpts.incrementalSlack = true;
+      SchedulerOptions refOpts = opts;
+      refOpts.incrementalLatency = false;
+      refOpts.incrementalSlack = false;
+
+      Behavior b1 = c.make();
+      Behavior b2 = c.make();
+      ScheduleOutcome inc = scheduleBehavior(b1, lib, incOpts);
+      ScheduleOutcome ref = scheduleBehavior(b2, lib, refOpts);
+      const std::string label = strCat(c.name, " policy=", static_cast<int>(p));
+      expectIdentical(inc, ref, label);
+
+      // The incremental run must actually take the incremental paths: one
+      // table build for the whole run (no states were added), and seeded
+      // slack sweeps whenever budgeting iterated at all.
+      EXPECT_EQ(inc.stats.latRebuilds, 1) << label;
+      EXPECT_GE(ref.stats.latRebuilds, ref.stats.schedulePasses) << label;
+      EXPECT_EQ(ref.stats.slackOpsRecomputed, 0) << label;
+    }
+  }
+}
+
+TEST(TimingIncrementalTest, FlowWithStateInsertionMatches) {
+  // Relaxation-driven insertStateOnEdge exercises applyStateInsertion inside
+  // a real run (incremental mode patches the live table instead of
+  // rebuilding it next pass).
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+  SchedulerOptions opts;
+  opts.clockPeriod = 1250.0;
+  opts.allowAddState = true;
+  SchedulerOptions incOpts = opts;
+  incOpts.incrementalLatency = true;
+  incOpts.incrementalSlack = true;
+  SchedulerOptions refOpts = opts;
+  refOpts.incrementalLatency = false;
+  refOpts.incrementalSlack = false;
+
+  Behavior b1 = testutil::chainBehavior(/*depth=*/8, /*states=*/2);
+  Behavior b2 = testutil::chainBehavior(8, 2);
+  ScheduleOutcome inc = scheduleBehavior(b1, lib, incOpts);
+  ScheduleOutcome ref = scheduleBehavior(b2, lib, refOpts);
+  expectIdentical(inc, ref, "chain+addState");
+  ASSERT_TRUE(inc.success) << inc.failureReason;
+  EXPECT_GT(inc.stats.statesAdded, 0);
+  EXPECT_EQ(inc.stats.latUpdates, inc.stats.statesAdded);
+  EXPECT_LT(inc.stats.latRebuilds, ref.stats.latRebuilds);
+  EXPECT_EQ(ref.stats.latUpdates, 0);
+}
+
+// --- LatencyTable::applyStateInsertion, one mutation at a time --------------
+
+void expectTableMatchesFresh(const Cfg& cfg, const LatencyTable& inc,
+                             const std::string& label) {
+  LatencyTable fresh(cfg);
+  for (std::size_t i = 0; i < cfg.numEdges(); ++i) {
+    for (std::size_t j = 0; j < cfg.numEdges(); ++j) {
+      CfgEdgeId a(static_cast<std::int32_t>(i));
+      CfgEdgeId b(static_cast<std::int32_t>(j));
+      ASSERT_EQ(inc.latency(a, b), fresh.latency(a, b))
+          << label << ": " << cfg.edge(a).name << " -> " << cfg.edge(b).name;
+    }
+  }
+}
+
+TEST(TimingIncrementalTest, LatencyTableMatchesFreshAfterEveryInsertion) {
+  // Branchy CFG with states inside and after the branches; then a directed
+  // sequence of splits that hits straight-line edges, branch edges, and
+  // edges created by earlier insertions.
+  Cfg cfg;
+  CfgNodeId fork = cfg.addNode(CfgNodeKind::kFork, "if");
+  CfgNodeId thenB = cfg.addNode(CfgNodeKind::kBasic, "then");
+  CfgNodeId thenS = cfg.addNode(CfgNodeKind::kState, "s_then");
+  CfgNodeId elseB = cfg.addNode(CfgNodeKind::kBasic, "else");
+  CfgNodeId join = cfg.addNode(CfgNodeKind::kJoin, "join");
+  CfgNodeId s1 = cfg.addNode(CfgNodeKind::kState, "s1");
+  CfgNodeId mid = cfg.addNode(CfgNodeKind::kBasic, "mid");
+  CfgNodeId s2 = cfg.addNode(CfgNodeKind::kState, "s2");
+  CfgNodeId exit = cfg.addNode(CfgNodeKind::kBasic, "exit");
+  cfg.addEdge(cfg.startNode(), fork);
+  cfg.addEdge(fork, thenB);
+  cfg.addEdge(thenB, thenS);
+  cfg.addEdge(thenS, join);
+  cfg.addEdge(fork, elseB);
+  cfg.addEdge(elseB, join);
+  cfg.addEdge(join, s1);
+  cfg.addEdge(s1, mid);
+  cfg.addEdge(mid, s2);
+  cfg.addEdge(s2, exit);
+  cfg.addEdge(exit, s1, "loopback");  // back edge: excluded from the table
+  cfg.finalize();
+
+  LatencyTable inc(cfg);
+  expectTableMatchesFresh(cfg, inc, "initial");
+
+  // Split every 3rd forward edge of the running CFG, ten times; the modulus
+  // walks the growing edge list so later rounds split relax-created edges.
+  for (int round = 0; round < 10; ++round) {
+    CfgEdgeId victim = CfgEdgeId::invalid();
+    std::size_t k = (3 * round + 1) % cfg.numEdges();
+    for (std::size_t probe = 0; probe < cfg.numEdges(); ++probe) {
+      CfgEdgeId e(static_cast<std::int32_t>((k + probe) % cfg.numEdges()));
+      if (!cfg.edge(e).backward) {
+        victim = e;
+        break;
+      }
+    }
+    ASSERT_TRUE(victim.valid());
+    CfgEdgeId tail = cfg.insertStateOnEdge(victim);
+    cfg.finalize();
+    EXPECT_FALSE(inc.validFor(cfg));
+    inc.applyStateInsertion(victim, tail);
+    EXPECT_TRUE(inc.validFor(cfg));
+    expectTableMatchesFresh(
+        cfg, inc, strCat("round ", round, " split ", cfg.edge(victim).name));
+  }
+}
+
+// --- IncrementalSlack vs sequentialSlack, per-op values ---------------------
+
+void expectTimingIdentical(const TimingResult& seeded, const TimingResult& ref,
+                           const Dfg& dfg, const std::string& label) {
+  ASSERT_EQ(seeded.perOp.size(), ref.perOp.size()) << label;
+  for (std::size_t i = 0; i < ref.perOp.size(); ++i) {
+    EXPECT_EQ(seeded.perOp[i].arrival, ref.perOp[i].arrival)
+        << label << " " << dfg.op(OpId(static_cast<std::int32_t>(i))).name;
+    EXPECT_EQ(seeded.perOp[i].required, ref.perOp[i].required)
+        << label << " " << dfg.op(OpId(static_cast<std::int32_t>(i))).name;
+    EXPECT_EQ(seeded.perOp[i].slack, ref.perOp[i].slack)
+        << label << " " << dfg.op(OpId(static_cast<std::int32_t>(i))).name;
+  }
+  EXPECT_EQ(seeded.minSlack, ref.minSlack) << label;
+  EXPECT_EQ(seeded.feasible, ref.feasible) << label;
+}
+
+TEST(TimingIncrementalTest, SeededSlackMatchesFullSweepUnderDelayChanges) {
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+  for (const workloads::NamedWorkload& w : workloads::standardWorkloads()) {
+    Behavior bhv = w.make();
+    LatencyTable lat(bhv.cfg);
+    OpSpanAnalysis spans(bhv.cfg, bhv.dfg, lat);
+    TimedDfg timed(bhv.cfg, bhv.dfg, lat, spans);
+    DelayBounds bounds = delayBoundsFor(bhv.dfg, lib);
+
+    for (bool aligned : {false, true}) {
+      TimingOptions topts{w.clockPeriod, aligned};
+      std::vector<double> delays = bounds.maxDelay;
+      IncrementalSlack engine(timed, topts);
+      expectTimingIdentical(engine.full(delays),
+                            sequentialSlack(timed, delays, topts), bhv.dfg,
+                            strCat(w.name, " full a=", aligned));
+
+      // Walk every schedulable op toward its fastest variant, one (and
+      // sometimes a batch of two) at a time, checking the seeded result
+      // against a fresh sweep after every update.
+      std::vector<OpId> batch;
+      int k = 0;
+      for (OpId op : bhv.dfg.schedulableOps()) {
+        const Operation& o = bhv.dfg.op(op);
+        double target = ++k % 2 == 0
+                            ? bounds.minDelay[op.index()]
+                            : lib.snapDelay(o.kind, o.width,
+                                            (bounds.minDelay[op.index()] +
+                                             bounds.maxDelay[op.index()]) /
+                                                2);
+        delays[op.index()] = target;
+        batch.push_back(op);
+        if (k % 3 != 0) {
+          engine.update(delays, batch);
+          batch.clear();
+          expectTimingIdentical(
+              engine.result(), sequentialSlack(timed, delays, topts), bhv.dfg,
+              strCat(w.name, " step ", k, " a=", aligned));
+        }
+        // else: leave the op in `batch` so the next update carries two
+        // changed ops at once (the multi-seed contract).
+      }
+      if (!batch.empty()) {
+        engine.update(delays, batch);
+        expectTimingIdentical(engine.result(),
+                              sequentialSlack(timed, delays, topts), bhv.dfg,
+                              strCat(w.name, " tail a=", aligned));
+      }
+      EXPECT_GT(engine.opsRecomputed(), 0) << w.name;
+      // The cone must be a real saving: strictly fewer value recomputations
+      // than the equivalent number of full sweeps would have paid.
+      EXPECT_LT(engine.opsRecomputed(),
+                2ll * static_cast<long long>(timed.numNodes()) *
+                    static_cast<long long>(k))
+          << w.name;
+    }
+  }
+}
+
+TEST(TimingIncrementalTest, SeededSlackNoopUpdateChangesNothing) {
+  Behavior bhv = workloads::makeIdct1d({.latencyStates = 6});
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+  LatencyTable lat(bhv.cfg);
+  OpSpanAnalysis spans(bhv.cfg, bhv.dfg, lat);
+  TimedDfg timed(bhv.cfg, bhv.dfg, lat, spans);
+  std::vector<double> delays = delayBoundsFor(bhv.dfg, lib).maxDelay;
+  TimingOptions topts{1250.0, /*aligned=*/true};
+  IncrementalSlack engine(timed, topts);
+  engine.full(delays);
+  long long before = engine.opsRecomputed();
+  // Same delays: nothing is dirty, nothing is recomputed.
+  engine.update(delays, bhv.dfg.schedulableOps());
+  EXPECT_EQ(engine.opsRecomputed(), before);
+  expectTimingIdentical(engine.result(), sequentialSlack(timed, delays, topts),
+                        bhv.dfg, "noop");
+}
+
+}  // namespace
+}  // namespace thls
