@@ -1,0 +1,212 @@
+// Flow-phase scaling bench: the legacy whole-schedule-trial binding/recovery
+// engines vs the delta engines (EdgeConcurrency conflict masks, in-place
+// merge log, gain-queue recovery with cone-local repair), on the paper's
+// IDCT workload.
+//
+// For each design point both §VII flavors run the full flow twice -- once
+// with FlowOptions::incrementalBinding off (legacy) and once on -- and the
+// bench asserts the results are bit-for-bit identical: schedule (edges,
+// FUs, starts, delays), area report, power report.  A small idct1d
+// design-space exploration additionally compares the Pareto fronts of both
+// engines.  The gate metric is the binding + recovery phase wall clock
+// (FlowResult::bindingSeconds + recoverySeconds) summed over all runs.
+//
+//   --small                   idct1d instead of the full 8x8 (CI smoke)
+//   --reps N                  repetitions per engine, best-of (default 3)
+//   --json PATH               output path (default BENCH_flow_scaling.json)
+//   --min-binding-speedup X   exit nonzero below this phase speedup
+//                             (default 3.0; CI smoke passes 0 so only the
+//                             identity gates fail the build -- wall-clock
+//                             ratios flake on shared runners)
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "explore/explorer.h"
+#include "flow/dse.h"
+#include "netlist/report.h"
+#include "workloads/workloads.h"
+
+using namespace thls;
+
+namespace {
+
+bool sameResult(const FlowResult& a, const FlowResult& b) {
+  // The bench points are chosen to schedule; a failing flow means the
+  // binding/recovery phase never ran, so count it as a gate failure rather
+  // than a vacuous "identical".
+  if (!a.success || !b.success) return false;
+  return identicalSchedules(a.schedule, b.schedule) &&
+         a.area.fuArea == b.area.fuArea && a.area.muxArea == b.area.muxArea &&
+         a.area.regArea == b.area.regArea && a.area.fsmArea == b.area.fsmArea &&
+         a.power.dynamic == b.power.dynamic &&
+         a.power.throughput == b.power.throughput &&
+         a.power.energyPerSample == b.power.energyPerSample;
+}
+
+bool sameFront(const std::vector<explore::ParetoEntry>& a,
+               const std::vector<explore::ParetoEntry>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].point.name != b[i].point.name || a[i].obj.area != b[i].obj.area ||
+        a[i].obj.power != b[i].obj.power ||
+        a[i].obj.throughput != b[i].obj.throughput ||
+        a[i].savingPercent != b[i].savingPercent) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool small = false;
+  int reps = 3;
+  double minBindingSpeedup = 3.0;
+  std::string jsonPath = "BENCH_flow_scaling.json";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--small") small = true;
+    if (arg == "--reps" && i + 1 < argc) reps = std::atoi(argv[++i]);
+    if (arg == "--json" && i + 1 < argc) jsonPath = argv[++i];
+    if (arg == "--min-binding-speedup" && i + 1 < argc)
+      minBindingSpeedup = std::atof(argv[++i]);
+  }
+  if (reps < 1) reps = 1;
+
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+  const std::string workload = small ? "idct1d" : "idct8x8";
+  auto generator = [&](int latencyStates) {
+    workloads::IdctParams p;
+    p.latencyStates = latencyStates;
+    return small ? workloads::makeIdct1d(p) : workloads::makeIdct8x8(p);
+  };
+
+  // Merge-heavy, fast-scheduling points (the slow-scheduling (8, 1600ps)
+  // corner would time the scheduler, not the phase under test).
+  struct Point {
+    int latency;
+    double clock;
+  };
+  std::vector<Point> points = small
+                                  ? std::vector<Point>{{6, 1250}, {4, 1250},
+                                                       {6, 1000}, {4, 1000}}
+                                  : std::vector<Point>{{12, 1600}, {8, 1250},
+                                                       {12, 1000}, {8, 1000}};
+
+  std::printf("== flow scaling: legacy vs delta binding/recovery (%s) ==\n\n",
+              workload.c_str());
+  TableWriter t({"point", "flavor", "legacy bind+rec(s)", "delta bind+rec(s)",
+                 "speedup", "merge phase identical"});
+
+  double legacyTotal = 0, deltaTotal = 0;
+  bool allIdentical = true;
+  std::string rows;
+  for (const Point& pt : points) {
+    for (int flavor = 0; flavor < 2; ++flavor) {
+      FlowOptions base;
+      base.sched.clockPeriod = pt.clock;
+      base.iterationCycles = pt.latency;
+      double phase[2] = {1e300, 1e300};  // [legacy, delta]
+      FlowResult results[2];
+      for (int r = 0; r < reps; ++r) {
+        for (int mode = 0; mode < 2; ++mode) {
+          FlowOptions opts = base;
+          opts.incrementalBinding = mode == 1;
+          FlowResult res = flavor == 0
+                               ? conventionalFlow(generator(pt.latency), lib,
+                                                  opts)
+                               : slackBasedFlow(generator(pt.latency), lib,
+                                                opts);
+          double s = res.bindingSeconds + res.recoverySeconds;
+          phase[mode] = std::min(phase[mode], s);
+          if (r == 0) results[mode] = std::move(res);
+        }
+      }
+      bool identical = sameResult(results[0], results[1]);
+      allIdentical = allIdentical && identical;
+      legacyTotal += phase[0];
+      deltaTotal += phase[1];
+      std::string name = strCat("lat", pt.latency, "_T", fmt(pt.clock, 0));
+      const char* flavorName = flavor == 0 ? "conv" : "slack";
+      t.addRow({name, flavorName, fmt(phase[0], 4), fmt(phase[1], 4),
+                fmt(phase[1] > 0 ? phase[0] / phase[1] : 0, 2),
+                identical ? "yes" : "NO"});
+      if (!rows.empty()) rows += ",\n";
+      rows += strCat("    {\"point\": \"", name, "\", \"flavor\": \"",
+                     flavorName, "\", \"legacy_seconds\": ", fmt(phase[0], 6),
+                     ", \"delta_seconds\": ", fmt(phase[1], 6),
+                     ", \"identical\": ", identical ? "true" : "false",
+                     ", \"latency_reused\": ",
+                     results[1].latencyReused ? "true" : "false", "}");
+    }
+  }
+  std::printf("%s\n", t.str().c_str());
+
+  // Pareto-front identity over a small idct1d exploration, both engines.
+  auto smallGenerator = [](int latencyStates) {
+    workloads::IdctParams p;
+    p.latencyStates = latencyStates;
+    return workloads::makeIdct1d(p);
+  };
+  std::vector<DesignPoint> grid;
+  int idx = 1;
+  for (int lat : {8, 6, 4}) {
+    for (double clock : {1250.0, 1000.0}) {
+      DesignPoint dp;
+      dp.name = strCat("P", idx++);
+      dp.latencyStates = lat;
+      dp.clockPeriod = clock;
+      grid.push_back(dp);
+    }
+  }
+  auto frontOf = [&](bool incremental) {
+    FlowOptions base;
+    base.incrementalBinding = incremental;
+    explore::EngineOptions eopts;
+    eopts.threads = 2;
+    explore::ExploreEngine engine(lib, base, eopts);
+    explore::GridExplorer strategy(grid);
+    explore::ParetoArchive archive;
+    strategy.explore(engine, "idct1d", smallGenerator, archive);
+    return archive.front();
+  };
+  bool paretoIdentical = sameFront(frontOf(false), frontOf(true));
+
+  double speedup = deltaTotal > 0 ? legacyTotal / deltaTotal : 0;
+  std::printf(
+      "binding+recovery phase: legacy %.4fs, delta %.4fs -> %.2fx "
+      "(target >= %.1fx)\nresults %s, pareto front %s\n",
+      legacyTotal, deltaTotal, speedup, minBindingSpeedup,
+      allIdentical ? "identical" : "MISMATCH",
+      paretoIdentical ? "identical" : "MISMATCH");
+
+  std::string json = "{\n";
+  json += "  \"bench\": \"flow_scaling\",\n";
+  json += "  \"workload\": \"" + workload + "\",\n";
+  json += "  \"reps\": " + strCat(reps) + ",\n";
+  json += "  \"points\": [\n" + rows + "\n  ],\n";
+  json += "  \"legacy_binding_recovery_seconds\": " + fmt(legacyTotal, 6) + ",\n";
+  json += "  \"delta_binding_recovery_seconds\": " + fmt(deltaTotal, 6) + ",\n";
+  json += "  \"binding_recovery_speedup\": " + fmt(speedup, 2) + ",\n";
+  json += "  \"results_identical\": " +
+          std::string(allIdentical ? "true" : "false") + ",\n";
+  json += "  \"pareto_front_identical\": " +
+          std::string(paretoIdentical ? "true" : "false") + "\n}\n";
+  std::ofstream out(jsonPath);
+  out << json;
+  out.flush();
+  if (out) {
+    std::printf("wrote %s\n", jsonPath.c_str());
+  } else {
+    std::fprintf(stderr, "error: could not write %s\n", jsonPath.c_str());
+    return 1;
+  }
+  return (allIdentical && paretoIdentical && speedup >= minBindingSpeedup)
+             ? 0
+             : 1;
+}

@@ -50,20 +50,7 @@ SchedulerOptions optionsForMode(SchedulerOptions base, int mode) {
 bool sameSchedule(const ScheduleOutcome& a, const ScheduleOutcome& b) {
   if (a.success != b.success) return false;
   if (!a.success) return true;
-  const Schedule& x = a.schedule;
-  const Schedule& y = b.schedule;
-  if (x.opEdge != y.opEdge || x.opStart != y.opStart || x.opDelay != y.opDelay)
-    return false;
-  if (x.fus.size() != y.fus.size()) return false;
-  for (std::size_t i = 0; i < x.fus.size(); ++i) {
-    if (x.fus[i].ops != y.fus[i].ops || x.fus[i].delay != y.fus[i].delay ||
-        x.fus[i].cls != y.fus[i].cls || x.fus[i].width != y.fus[i].width) {
-      return false;
-    }
-  }
-  for (std::size_t i = 0; i < x.opFu.size(); ++i) {
-    if (x.opFu[i] != y.opFu[i]) return false;
-  }
+  if (!identicalSchedules(a.schedule, b.schedule)) return false;
   // The decision-level stats must agree; the incremental counters differ by
   // construction (that difference is the point of the bench).
   return a.stats.schedulePasses == b.stats.schedulePasses &&

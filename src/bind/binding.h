@@ -29,7 +29,16 @@ struct BindingResult {
   std::vector<FuBinding> fuBindings;
   double totalMuxArea = 0;
 
+  /// O(1) lookup through the fu -> position index bindPorts builds; falls
+  /// back to a linear scan for hand-assembled results without an index.
   const FuBinding* forFu(FuId fu) const;
+
+  /// Rebuilds the index forFu uses.  bindPorts calls this; call it again
+  /// after mutating fuBindings directly.
+  void rebuildIndex();
+
+ private:
+  std::vector<std::int32_t> fuIndex_;
 };
 
 struct BindingOptions {
@@ -47,8 +56,20 @@ BindingResult bindPorts(const Behavior& bhv, const Schedule& sched,
 /// the two variant delays and is kept only when every state-local chain
 /// still meets the clock and total area (FU + steering estimate) improves.
 /// Returns the number of instances emptied.
+///
+/// Chain start offsets are re-derived to their fixpoint on entry (both
+/// modes), so the result's opStart values are exact for its delays even
+/// when no merge lands.
+///
+/// `incremental` selects the delta engine: candidate merges are applied in
+/// place against an EdgeConcurrency bit matrix and rolled back from a merge
+/// log, re-deriving chain starts only for the two affected instances' cone
+/// (IncrementalChainStarts) instead of copying the whole schedule and
+/// resweeping the graph per candidate.  Results are bit-for-bit identical
+/// to the legacy whole-schedule-trial path (incremental = false), which is
+/// kept as the differential baseline for tests and bench/flow_scaling.
 int compactBinding(const Behavior& bhv, const LatencyTable& lat,
                    const ResourceLibrary& lib, Schedule& sched,
-                   int maxShare = 64);
+                   int maxShare = 64, bool incremental = true);
 
 }  // namespace thls

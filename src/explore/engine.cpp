@@ -63,9 +63,13 @@ void ThreadPool::parallelFor(std::size_t count,
 namespace {
 
 std::size_t resolveThreads(int requested) {
-  if (requested > 0) return static_cast<std::size_t>(requested);
   unsigned hw = std::thread::hardware_concurrency();
-  return hw > 0 ? hw : 1;
+  if (hw == 0) hw = 1;
+  if (requested <= 0) return hw;
+  // Cap at the core count: flow evaluation is CPU-bound, so workers beyond
+  // the hardware only add context switching and cache thrash (measured as
+  // a cold run *slower than serial* on small machines).
+  return std::min<std::size_t>(static_cast<std::size_t>(requested), hw);
 }
 
 }  // namespace
@@ -88,29 +92,48 @@ EvaluatedPoint ExploreEngine::evaluateOne(const std::string& workloadName,
   opts.sched.clockPeriod = pt.clockPeriod;
   opts.iterationCycles = pt.latencyStates;
 
-  auto runFlavor = [&](FlowFlavor flavor, bool& cacheHit) -> FlowResult {
-    FlowCacheKey key{workloadName, pt.latencyStates, pt.clockPeriod,
-                     opts.iterationCycles, flavor, optionsHash_};
-    if (opts_.useCache) {
-      if (std::shared_ptr<const FlowResult> hit = cache_.lookup(key)) {
-        cacheHit = true;
-        return *hit;
-      }
-    }
-    Behavior bhv;
-    {
-      std::lock_guard<std::mutex> lock(genMu_);
-      bhv = generator(pt.latencyStates);
-    }
-    FlowResult res = flavor == FlowFlavor::kConventional
-                         ? conventionalFlow(std::move(bhv), lib_, opts)
-                         : slackBasedFlow(std::move(bhv), lib_, opts);
-    if (opts_.useCache) return *cache_.insert(key, std::move(res));
+  auto keyFor = [&](FlowFlavor flavor) {
+    return FlowCacheKey{workloadName, pt.latencyStates, pt.clockPeriod,
+                        opts.iterationCycles, flavor, optionsHash_};
+  };
+  std::shared_ptr<const FlowResult> convHit, slackHit;
+  if (opts_.useCache) {
+    convHit = cache_.lookup(keyFor(FlowFlavor::kConventional));
+    slackHit = cache_.lookup(keyFor(FlowFlavor::kSlackBased));
+    ev.convCacheHit = convHit != nullptr;
+    ev.slackCacheHit = slackHit != nullptr;
+  }
+
+  // One generator call covers both flavors (the builders are deterministic
+  // per latency -- caching already requires that): the first cold flavor
+  // schedules a copy, the last consumes the behavior itself.  The old
+  // per-flavor generation doubled the time every worker spent serialized
+  // on the generator mutex during a cold run.
+  Behavior base;
+  const bool needConv = !convHit;
+  const bool needSlack = !slackHit;
+  if (needConv || needSlack) {
+    std::lock_guard<std::mutex> lock(genMu_);
+    base = generator(pt.latencyStates);
+  }
+  auto finish = [&](FlowFlavor flavor, FlowResult res) -> FlowResult {
+    if (opts_.useCache) return *cache_.insert(keyFor(flavor), std::move(res));
     return res;
   };
-
-  ev.result.conv = runFlavor(FlowFlavor::kConventional, ev.convCacheHit);
-  ev.result.slack = runFlavor(FlowFlavor::kSlackBased, ev.slackCacheHit);
+  if (needConv) {
+    Behavior bhv = needSlack ? base : std::move(base);
+    ev.result.conv =
+        finish(FlowFlavor::kConventional,
+               conventionalFlow(std::move(bhv), lib_, opts));
+  } else {
+    ev.result.conv = *convHit;
+  }
+  if (needSlack) {
+    ev.result.slack = finish(FlowFlavor::kSlackBased,
+                             slackBasedFlow(std::move(base), lib_, opts));
+  } else {
+    ev.result.slack = *slackHit;
+  }
   ev.result.savingPercent = areaSavingPercent(ev.result.conv, ev.result.slack);
   return ev;
 }

@@ -8,8 +8,11 @@
 // the serial reference loop in flow/dse.cpp).
 //
 // Behavior generators are invoked under a mutex (builders are cheap next to
-// flows and caller lambdas need not be thread-safe); the built Behavior is
-// then owned by the worker, satisfying runFlow's copy-per-task contract.
+// flows and caller lambdas need not be thread-safe) and at most once per
+// point: both flavors share one generated Behavior, which must therefore be
+// deterministic per latency -- the flow cache already assumes as much.  The
+// built Behavior is owned by the worker, satisfying runFlow's
+// copy-per-task contract.
 #pragma once
 
 #include <atomic>
@@ -56,7 +59,10 @@ class ThreadPool {
 };
 
 struct EngineOptions {
-  /// Worker threads; 0 means std::thread::hardware_concurrency().
+  /// Worker threads; 0 means std::thread::hardware_concurrency().  Either
+  /// way the pool is capped at the hardware concurrency: the flows are
+  /// CPU-bound, so oversubscription only adds context switching (cold runs
+  /// measurably slower than the serial loop on small machines).
   int threads = 0;
   bool useCache = true;
 };

@@ -39,6 +39,7 @@ std::uint64_t hashFlowOptions(const FlowOptions& opts) {
   mix(h, opts.sched.incrementalSlack ? 1 : 0);
   mix(h, opts.areaRecovery ? 1 : 0);
   mix(h, opts.compactBinding ? 1 : 0);
+  mix(h, opts.incrementalBinding ? 1 : 0);
   mix(h, opts.binding.commutativeSwap ? 1 : 0);
   return h;
 }
@@ -63,35 +64,52 @@ std::size_t FlowCacheKeyHash::operator()(const FlowCacheKey& k) const {
   return static_cast<std::size_t>(h);
 }
 
+FlowCache::Shard& FlowCache::shardFor(const FlowCacheKey& key) {
+  // High bits pick the shard so the choice decorrelates from the map's own
+  // modulo-bucketing of the same hash.
+  return shards_[(FlowCacheKeyHash{}(key) >> 48) % kShards];
+}
+
 std::shared_ptr<const FlowResult> FlowCache::lookup(const FlowCacheKey& key) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = map_.find(key);
-  if (it == map_.end()) {
-    ++misses_;
+  Shard& shard = shardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it == shard.map.end()) {
+    ++shard.misses;
     return nullptr;
   }
-  ++hits_;
+  ++shard.hits;
   return it->second;
 }
 
 std::shared_ptr<const FlowResult> FlowCache::insert(const FlowCacheKey& key,
                                                     FlowResult result) {
+  // The (large) result is wrapped outside the critical section.
   auto value = std::make_shared<const FlowResult>(std::move(result));
-  std::lock_guard<std::mutex> lock(mu_);
-  auto [it, inserted] = map_.emplace(key, value);
+  Shard& shard = shardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto [it, inserted] = shard.map.emplace(key, value);
   return inserted ? value : it->second;
 }
 
 FlowCacheStats FlowCache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return {hits_, misses_, map_.size()};
+  FlowCacheStats s;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    s.hits += shard.hits;
+    s.misses += shard.misses;
+    s.entries += shard.map.size();
+  }
+  return s;
 }
 
 void FlowCache::clear() {
-  std::lock_guard<std::mutex> lock(mu_);
-  map_.clear();
-  hits_ = 0;
-  misses_ = 0;
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.map.clear();
+    shard.hits = 0;
+    shard.misses = 0;
+  }
 }
 
 }  // namespace thls::explore

@@ -7,6 +7,7 @@
 // readers share one immutable copy.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -50,6 +51,8 @@ struct FlowCacheStats {
   std::size_t entries = 0;
 };
 
+/// Sharded by key hash so concurrent workers rarely contend on one mutex
+/// (a single lock serialized every lookup+insert of a cold parallel run).
 class FlowCache {
  public:
   /// Returns the cached result or nullptr; counts a hit / miss.
@@ -60,16 +63,26 @@ class FlowCache {
   std::shared_ptr<const FlowResult> insert(const FlowCacheKey& key,
                                            FlowResult result);
 
+  /// Aggregated over all shards (each shard locked in turn, so a snapshot
+  /// taken during concurrent inserts is per-shard consistent).
   FlowCacheStats stats() const;
   void clear();
 
  private:
-  mutable std::mutex mu_;
-  std::unordered_map<FlowCacheKey, std::shared_ptr<const FlowResult>,
-                     FlowCacheKeyHash>
-      map_;
-  std::size_t hits_ = 0;
-  std::size_t misses_ = 0;
+  static constexpr std::size_t kShards = 16;
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<FlowCacheKey, std::shared_ptr<const FlowResult>,
+                       FlowCacheKeyHash>
+        map;
+    std::size_t hits = 0;
+    std::size_t misses = 0;
+  };
+
+  Shard& shardFor(const FlowCacheKey& key);
+
+  std::array<Shard, kShards> shards_;
 };
 
 }  // namespace thls::explore

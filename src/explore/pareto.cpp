@@ -13,17 +13,18 @@ bool dominates(const Objectives& a, const Objectives& b) {
 }
 
 bool ParetoArchive::insert(ParetoEntry e) {
+  attempts_.fetch_add(1, std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(mu_);
-  ++attempts_;
   for (const ParetoEntry& have : entries_) {
     if (dominates(have.obj, e.obj)) {
-      ++rejected_;
+      rejected_.fetch_add(1, std::memory_order_relaxed);
       return false;
     }
     if (have.workload == e.workload && have.point.name == e.point.name &&
         have.obj.area == e.obj.area && have.obj.power == e.obj.power &&
         have.obj.throughput == e.obj.throughput) {
-      ++rejected_;  // idempotent re-insert of an already-archived point
+      // Idempotent re-insert of an already-archived point.
+      rejected_.fetch_add(1, std::memory_order_relaxed);
       return false;
     }
   }
@@ -64,18 +65,16 @@ std::size_t ParetoArchive::size() const {
 void ParetoArchive::clear() {
   std::lock_guard<std::mutex> lock(mu_);
   entries_.clear();
-  attempts_ = 0;
-  rejected_ = 0;
+  attempts_.store(0, std::memory_order_relaxed);
+  rejected_.store(0, std::memory_order_relaxed);
 }
 
 std::size_t ParetoArchive::attempts() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return attempts_;
+  return attempts_.load(std::memory_order_relaxed);
 }
 
 std::size_t ParetoArchive::rejected() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return rejected_;
+  return rejected_.load(std::memory_order_relaxed);
 }
 
 }  // namespace thls::explore

@@ -8,6 +8,7 @@
 // returns it under a total order so callers can compare fronts exactly.
 #pragma once
 
+#include <atomic>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -65,8 +66,10 @@ class ParetoArchive {
  private:
   mutable std::mutex mu_;
   std::vector<ParetoEntry> entries_;
-  std::size_t attempts_ = 0;
-  std::size_t rejected_ = 0;
+  /// Counters are atomics so stats reads never contend with the dominance
+  /// scan (the mutex guards only the entry set itself).
+  std::atomic<std::size_t> attempts_{0};
+  std::atomic<std::size_t> rejected_{0};
 };
 
 }  // namespace thls::explore

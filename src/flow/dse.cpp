@@ -79,6 +79,14 @@ DseSummary exploreDesignSpaceSerial(
   return summarizeDsePoints(std::move(rows));
 }
 
+std::vector<DesignPoint> idctDesignGridSmall() {
+  std::vector<DesignPoint> grid;
+  for (const DesignPoint& pt : idctDesignGrid()) {
+    if (pt.clockPeriod < 1600.0 && pt.latencyStates <= 24) grid.push_back(pt);
+  }
+  return grid;
+}
+
 std::vector<DesignPoint> idctDesignGrid() {
   // Clock choices keep sharing physically realizable for 16-bit datapaths
   // (the fastest 16-bit multiplier is ~573 ps; the paper "made sure that

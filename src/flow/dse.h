@@ -73,4 +73,12 @@ DseSummary exploreDesignSpaceSerial(
 /// third marked pipelined-equivalent.
 std::vector<DesignPoint> idctDesignGrid();
 
+/// Balanced 8-point sub-grid for engine benchmarking: latencies
+/// {24, 16, 12, 8} x clocks {1250, 1000} ps, point names matching the full
+/// grid.  The dropped 1600 ps column contains one pathologically slow
+/// scheduling point (32x the rest), which makes parallel-speedup
+/// measurements over the full grid a single-straggler benchmark rather
+/// than an engine benchmark.
+std::vector<DesignPoint> idctDesignGridSmall();
+
 }  // namespace thls

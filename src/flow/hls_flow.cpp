@@ -2,6 +2,8 @@
 
 #include <chrono>
 
+#include "support/scoped_timer.h"
+
 namespace thls {
 
 FlowResult runFlow(Behavior bhv, const ResourceLibrary& lib,
@@ -21,23 +23,38 @@ FlowResult runFlow(Behavior bhv, const ResourceLibrary& lib,
   }
   result.success = true;
 
-  LatencyTable lat(bhv.cfg);
+  // The scheduler already built the all-pairs table for the final CFG;
+  // rebuild only when it is absent or stale (defensive -- a successful
+  // outcome's table always matches its behavior's CFG).
+  std::shared_ptr<const LatencyTable> lat = std::move(outcome.latency);
+  result.latencyReused = lat && lat->validFor(bhv.cfg);
+  if (!result.latencyReused) lat = std::make_shared<LatencyTable>(bhv.cfg);
+
   Schedule sched = std::move(outcome.schedule);
   if (opts.compactBinding) {
-    compactBinding(bhv, lat, lib, sched, opts.sched.maxShare);
+    ScopedSecondsTimer timer(result.bindingSeconds);
+    compactBinding(bhv, *lat, lib, sched, opts.sched.maxShare,
+                   opts.incrementalBinding);
   }
   if (opts.areaRecovery) {
-    RecoveryResult rec = stateLocalAreaRecovery(bhv, lat, std::move(sched), lib);
+    ScopedSecondsTimer timer(result.recoverySeconds);
+    RecoveryOptions ropts;
+    ropts.incremental = opts.incrementalBinding;
+    RecoveryResult rec =
+        stateLocalAreaRecovery(bhv, *lat, std::move(sched), lib, ropts);
     sched = std::move(rec.schedule);
   }
 
-  result.area = areaReport(bhv, lat, sched, lib, opts.binding);
-  PowerOptions popts;
-  popts.iterationCycles = opts.iterationCycles > 0
-                              ? opts.iterationCycles
-                              : static_cast<double>(bhv.cfg.numStates());
-  if (popts.iterationCycles < 1) popts.iterationCycles = 1;
-  result.power = powerReport(bhv, lat, sched, lib, popts);
+  {
+    ScopedSecondsTimer timer(result.reportSeconds);
+    result.area = areaReport(bhv, *lat, sched, lib, opts.binding);
+    PowerOptions popts;
+    popts.iterationCycles = opts.iterationCycles > 0
+                                ? opts.iterationCycles
+                                : static_cast<double>(bhv.cfg.numStates());
+    if (popts.iterationCycles < 1) popts.iterationCycles = 1;
+    result.power = powerReport(bhv, *lat, sched, lib, popts);
+  }
   result.schedule = std::move(sched);
   return result;
 }

@@ -18,6 +18,13 @@ struct FlowOptions {
   bool areaRecovery = true;
   /// Post-scheduling FU merge pass (see bind/binding.h compactBinding).
   bool compactBinding = true;
+  /// Delta engines for the binding/recovery phase: in-place merges against
+  /// the EdgeConcurrency matrix with rollback logs, and gain-queue area
+  /// recovery with cone-local repair.  Off = the legacy whole-schedule-trial
+  /// paths; results are bit-for-bit identical either way (differentially
+  /// tested in tests/binding_incremental_test.cpp, timed by
+  /// bench/flow_scaling).
+  bool incrementalBinding = true;
   BindingOptions binding;
   /// Cycles per processed sample for power (defaults to the CFG state count).
   double iterationCycles = 0;
@@ -32,6 +39,15 @@ struct FlowResult {
   PowerReport power;
   /// Wall-clock seconds spent inside scheduleBehavior (Table 5 metric).
   double schedulingSeconds = 0;
+  /// Wall-clock split of the post-scheduling phases: compactBinding, the
+  /// state-local area recovery, and the area/power reports
+  /// (bench/flow_scaling gates on binding + recovery).
+  double bindingSeconds = 0;
+  double recoverySeconds = 0;
+  double reportSeconds = 0;
+  /// True when the scheduler's latency table was reused instead of
+  /// rebuilding the all-pairs matrix for binding/recovery/reporting.
+  bool latencyReused = false;
   std::size_t states = 0;
 };
 

@@ -2,89 +2,117 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 
 namespace thls {
 
 namespace {
 constexpr double kEps = 1e-6;
-}  // namespace
+/// Selection threshold: the legacy scan seeded bestGain with 1e-9, so a
+/// candidate must beat that to be resized.  Both engines share it.
+constexpr double kMinGain = 1e-9;
 
-RecoveryResult stateLocalAreaRecovery(const Behavior& bhv,
-                                      const LatencyTable& lat,
-                                      Schedule sched,
-                                      const ResourceLibrary& lib) {
+struct Candidate {
+  double delta = 0;
+  double gain = 0;
+};
+
+/// FinReq(op): latest admissible finish of op inside its cycle, from a
+/// backward pass over same-cycle (combinational) consumer chains.  Pure
+/// function of the schedule's delays (starts never enter the formula).
+void finishRequiredFull(const Behavior& bhv, const LatencyTable& lat,
+                        const Schedule& sched, std::vector<double>& finReq) {
   const Dfg& dfg = bhv.dfg;
   const double T = sched.clockPeriod;
-  RecoveryResult result;
-
-  // FinReq(op): latest admissible finish of op inside its cycle, from a
-  // backward pass over same-cycle (combinational) consumer chains.
-  auto finishRequired = [&](std::vector<double>& finReq) {
-    finReq.assign(dfg.numOps(), T);
-    const std::vector<OpId> order = dfg.topoOrder();
-    for (auto it = order.rbegin(); it != order.rend(); ++it) {
-      OpId op = *it;
-      const Operation& o = dfg.op(op);
-      if (isFreeKind(o.kind) || !sched.scheduled(op)) continue;
-      for (OpId c : dfg.timingSuccs(op)) {
-        if (!sched.scheduled(c)) continue;
-        if (lat.latency(sched.opEdge[op.index()], sched.opEdge[c.index()]) ==
-            0) {
-          finReq[op.index()] =
-              std::min(finReq[op.index()],
-                       finReq[c.index()] - sched.opDelay[c.index()]);
-        }
+  finReq.assign(dfg.numOps(), T);
+  const std::vector<OpId> order = dfg.topoOrder();
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    OpId op = *it;
+    const Operation& o = dfg.op(op);
+    if (isFreeKind(o.kind) || !sched.scheduled(op)) continue;
+    for (OpId c : dfg.timingSuccs(op)) {
+      if (!sched.scheduled(c)) continue;
+      if (lat.latency(sched.opEdge[op.index()], sched.opEdge[c.index()]) ==
+          0) {
+        finReq[op.index()] =
+            std::min(finReq[op.index()],
+                     finReq[c.index()] - sched.opDelay[c.index()]);
       }
     }
-  };
+  }
+}
 
+/// Absorbable slack and area gain of one instance; nullopt when ineligible.
+std::optional<Candidate> evalFu(const Schedule& sched,
+                                const ResourceLibrary& lib,
+                                const std::vector<double>& finReq,
+                                std::size_t f) {
+  const FuInstance& fu = sched.fus[f];
+  if (fu.ops.empty() || fu.cls == ResourceClass::kIo) return std::nullopt;
+  const VariantCurve& curve = lib.curve(fu.cls, fu.width);
+  if (fu.delay >= curve.maxDelay() - kEps) return std::nullopt;
+  Candidate cand;
+  cand.delta = curve.maxDelay() - fu.delay;
+  for (OpId q : fu.ops) {
+    double fin = sched.opStart[q.index()] + sched.opDelay[q.index()];
+    cand.delta = std::min(cand.delta, finReq[q.index()] - fin);
+  }
+  if (cand.delta <= kEps) return std::nullopt;
+  cand.gain =
+      curve.areaAt(fu.delay) - curve.areaAt(fu.delay + cand.delta);
+  return cand;
+}
+
+/// Slows instance `f` down by `delta` and refreshes its ops' effective
+/// delays; returns the recovered instance area.  Shared by both engines so
+/// the floating-point sequence (and thus areaSaved) is identical.
+double applyResize(Schedule& sched, const ResourceLibrary& lib, std::size_t f,
+                   double delta) {
+  FuInstance& fu = sched.fus[f];
+  const VariantCurve& curve = lib.curve(fu.cls, fu.width);
+  double before = curve.areaAt(fu.delay);
+  fu.delay += delta;
+  double muxD = 0;
+  if (!fu.dedicated) {
+    // A shared instance pays its input mux regardless of op count (a
+    // one-op else-branch used to duplicate this same formula).
+    muxD = lib.muxDelay(static_cast<int>(fu.ops.size()));
+  }
+  for (OpId q : fu.ops) {
+    sched.opDelay[q.index()] = muxD + fu.delay;
+  }
+  return before - curve.areaAt(fu.delay);
+}
+
+/// Legacy engine: full chain-start resweep + full finReq pass + all-FU
+/// rescan per resize.  Kept as the differential baseline.
+RecoveryResult recoverLegacy(const Behavior& bhv, const LatencyTable& lat,
+                             Schedule sched, const ResourceLibrary& lib,
+                             const RecoveryOptions& opts) {
+  RecoveryResult result;
   double savedTotal = 0;
   bool changed = true;
   int guard = 0;
-  while (changed && guard++ < 1000) {
+  while (changed && guard++ < opts.maxResizes) {
     changed = false;
     recomputeChainStarts(bhv, lat, lib, sched);
     std::vector<double> finReq;
-    finishRequired(finReq);
+    finishRequiredFull(bhv, lat, sched, finReq);
 
     // Pick the FU with the largest area gain from absorbing its slack.
     std::size_t bestFu = sched.fus.size();
-    double bestGain = 1e-9, bestDelta = 0;
+    double bestGain = kMinGain, bestDelta = 0;
     for (std::size_t f = 0; f < sched.fus.size(); ++f) {
-      const FuInstance& fu = sched.fus[f];
-      if (fu.ops.empty() || fu.cls == ResourceClass::kIo) continue;
-      const VariantCurve& curve = lib.curve(fu.cls, fu.width);
-      if (fu.delay >= curve.maxDelay() - kEps) continue;
-      double delta = curve.maxDelay() - fu.delay;
-      for (OpId q : fu.ops) {
-        double fin = sched.opStart[q.index()] + sched.opDelay[q.index()];
-        delta = std::min(delta, finReq[q.index()] - fin);
-      }
-      if (delta <= kEps) continue;
-      double gain =
-          curve.areaAt(fu.delay) - curve.areaAt(fu.delay + delta);
-      if (gain > bestGain) {
-        bestGain = gain;
+      std::optional<Candidate> cand = evalFu(sched, lib, finReq, f);
+      if (cand && cand->gain > bestGain) {
+        bestGain = cand->gain;
         bestFu = f;
-        bestDelta = delta;
+        bestDelta = cand->delta;
       }
     }
     if (bestFu == sched.fus.size()) break;
 
-    FuInstance& fu = sched.fus[bestFu];
-    const VariantCurve& curve = lib.curve(fu.cls, fu.width);
-    double before = curve.areaAt(fu.delay);
-    fu.delay += bestDelta;
-    double muxD = 0;
-    if (!fu.dedicated && fu.ops.size() > 1) {
-      muxD = lib.muxDelay(static_cast<int>(fu.ops.size()));
-    } else if (!fu.dedicated && fu.ops.size() == 1) {
-      muxD = lib.muxDelay(1);
-    }
-    for (OpId q : fu.ops) {
-      sched.opDelay[q.index()] = muxD + fu.delay;
-    }
-    savedTotal += before - curve.areaAt(fu.delay);
+    savedTotal += applyResize(sched, lib, bestFu, bestDelta);
     result.fusResized++;
     changed = true;
   }
@@ -92,7 +120,156 @@ RecoveryResult stateLocalAreaRecovery(const Behavior& bhv,
   recomputeChainStarts(bhv, lat, lib, sched);
   result.schedule = std::move(sched);
   result.areaSaved = savedTotal;
+  result.guardExhausted = result.fusResized >= opts.maxResizes;
   return result;
+}
+
+/// Delta engine: one full chain-start/finReq pass up front, then each
+/// resize repairs only the resized instance's same-cycle cone (starts
+/// forward, finish-required backward) and re-evaluates only the instances
+/// that cone touched.  Candidates wait in a gain-ordered priority queue
+/// with stamp-invalidated entries.
+RecoveryResult recoverIncremental(const Behavior& bhv, const LatencyTable& lat,
+                                  Schedule sched, const ResourceLibrary& lib,
+                                  const RecoveryOptions& opts) {
+  const Dfg& dfg = bhv.dfg;
+  const double T = sched.clockPeriod;
+  RecoveryResult result;
+
+  IncrementalChainStarts chains(bhv, lib);
+  chains.full(lat, sched);
+  std::vector<double> finReq;
+  finishRequiredFull(bhv, lat, sched, finReq);
+
+  const std::vector<std::vector<OpId>>& preds = chains.timingPreds();
+  const std::vector<std::vector<OpId>>& succs = chains.timingSuccs();
+
+  // Gain queue.  Entries are exact at push time; a stamp mismatch marks an
+  // entry whose instance has been re-evaluated since (lazily discarded on
+  // pop).  Ordered by gain, ties to the smaller instance index -- the same
+  // winner the legacy first-strictly-greater scan picks.
+  struct QEntry {
+    double gain;
+    double delta;
+    std::uint32_t fu;
+    std::uint32_t stamp;
+  };
+  auto worse = [](const QEntry& a, const QEntry& b) {
+    if (a.gain != b.gain) return a.gain < b.gain;
+    return a.fu > b.fu;
+  };
+  std::vector<QEntry> queue;
+  std::vector<std::uint32_t> stamp(sched.fus.size(), 0);
+  auto pushFu = [&](std::size_t f) {
+    std::optional<Candidate> cand = evalFu(sched, lib, finReq, f);
+    if (!cand || cand->gain <= kMinGain) return;
+    queue.push_back({cand->gain, cand->delta, static_cast<std::uint32_t>(f),
+                     stamp[f]});
+    std::push_heap(queue.begin(), queue.end(), worse);
+  };
+  for (std::size_t f = 0; f < sched.fus.size(); ++f) pushFu(f);
+
+  // Scratch for the backward finish-required repair and FU dirtying.
+  std::vector<char> queued(dfg.numOps(), 0);
+  std::vector<std::pair<std::size_t, std::int32_t>> reqHeap;
+  std::vector<char> fuDirty(sched.fus.size(), 0);
+  std::vector<std::size_t> dirtyList;
+  std::vector<IncrementalChainStarts::StartChange> startChanges;
+
+  auto markDirty = [&](OpId op) {
+    FuId f = sched.opFu[op.index()];
+    if (!f.valid() || fuDirty[f.index()]) return;
+    fuDirty[f.index()] = 1;
+    dirtyList.push_back(f.index());
+  };
+  auto seedReq = [&](OpId q) {
+    // q's delay moved: every same-cycle producer folds (finReq[q] -
+    // delay[q]) into its own finish-required value.
+    for (OpId p : preds[q.index()]) {
+      if (!sched.scheduled(p) || isFreeKind(dfg.op(p).kind)) continue;
+      if (lat.latency(sched.opEdge[p.index()], sched.opEdge[q.index()]) != 0) {
+        continue;
+      }
+      if (queued[p.index()]) continue;
+      queued[p.index()] = 1;
+      reqHeap.emplace_back(chains.topoPos(p), p.value());
+      std::push_heap(reqHeap.begin(), reqHeap.end());
+    }
+  };
+
+  double savedTotal = 0;
+  while (result.fusResized < opts.maxResizes) {
+    while (!queue.empty() && queue.front().stamp != stamp[queue.front().fu]) {
+      std::pop_heap(queue.begin(), queue.end(), worse);
+      queue.pop_back();
+    }
+    if (queue.empty()) break;
+    const std::size_t bestFu = queue.front().fu;
+    const double bestDelta = queue.front().delta;
+    std::pop_heap(queue.begin(), queue.end(), worse);
+    queue.pop_back();
+
+    savedTotal += applyResize(sched, lib, bestFu, bestDelta);
+    result.fusResized++;
+
+    // Forward repair: starts of the resized ops' same-cycle cone.
+    const FuInstance& fu = sched.fus[bestFu];
+    startChanges.clear();
+    chains.update(lat, sched, fu.ops, &startChanges);
+
+    // Backward repair: finish-required through same-cycle producers.
+    reqHeap.clear();
+    for (OpId q : fu.ops) seedReq(q);
+    while (!reqHeap.empty()) {
+      std::pop_heap(reqHeap.begin(), reqHeap.end());
+      OpId p(reqHeap.back().second);
+      reqHeap.pop_back();
+      queued[p.index()] = 0;
+      double v = T;
+      CfgEdgeId pe = sched.opEdge[p.index()];
+      for (OpId c : succs[p.index()]) {
+        if (!sched.scheduled(c)) continue;
+        if (lat.latency(pe, sched.opEdge[c.index()]) == 0) {
+          v = std::min(v, finReq[c.index()] - sched.opDelay[c.index()]);
+        }
+      }
+      if (v == finReq[p.index()]) continue;
+      finReq[p.index()] = v;
+      markDirty(p);
+      seedReq(p);
+    }
+
+    // Re-evaluate exactly the instances the cone touched.
+    if (!fuDirty[bestFu]) {
+      fuDirty[bestFu] = 1;
+      dirtyList.push_back(bestFu);
+    }
+    for (const auto& ch : startChanges) markDirty(ch.op);
+    for (std::size_t f : dirtyList) {
+      fuDirty[f] = 0;
+      ++stamp[f];
+      pushFu(f);
+    }
+    dirtyList.clear();
+  }
+
+  result.schedule = std::move(sched);
+  result.areaSaved = savedTotal;
+  result.guardExhausted = result.fusResized >= opts.maxResizes;
+  return result;
+}
+
+}  // namespace
+
+RecoveryResult stateLocalAreaRecovery(const Behavior& bhv,
+                                      const LatencyTable& lat,
+                                      Schedule sched,
+                                      const ResourceLibrary& lib,
+                                      const RecoveryOptions& opts) {
+  if (opts.incremental) {
+    return recoverIncremental(bhv, lat, std::move(sched), lib, opts);
+  }
+  return recoverLegacy(bhv, lat, std::move(sched), lib, opts);
 }
 
 }  // namespace thls

@@ -14,15 +14,32 @@
 
 namespace thls {
 
+struct RecoveryOptions {
+  /// Delta engine: chain starts and finish-required values are maintained
+  /// incrementally around each resize (only the resized FU's cone is
+  /// touched) and candidates sit in a gain-ordered priority queue, instead
+  /// of a whole-graph resweep plus all-FU rescan per resize.  Results are
+  /// bit-for-bit identical to the legacy full-sweep path (false), which is
+  /// kept as the differential baseline.
+  bool incremental = true;
+  /// Resize budget per invocation (the legacy loop guard).  Exceeding it
+  /// sets RecoveryResult::guardExhausted instead of failing.
+  int maxResizes = 1000;
+};
+
 struct RecoveryResult {
   Schedule schedule;
   int fusResized = 0;
   double areaSaved = 0;
+  /// True when the pass stopped at RecoveryOptions::maxResizes rather than
+  /// at a fixpoint; more recoverable slack may remain.
+  bool guardExhausted = false;
 };
 
 RecoveryResult stateLocalAreaRecovery(const Behavior& bhv,
                                       const LatencyTable& lat,
                                       Schedule sched,
-                                      const ResourceLibrary& lib);
+                                      const ResourceLibrary& lib,
+                                      const RecoveryOptions& opts = {});
 
 }  // namespace thls

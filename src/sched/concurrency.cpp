@@ -1,0 +1,24 @@
+#include "sched/concurrency.h"
+
+namespace thls {
+
+EdgeConcurrency::EdgeConcurrency(const Cfg& cfg, const LatencyTable& lat)
+    : numEdges_(cfg.numEdges()),
+      words_((cfg.numEdges() + 63) / 64),
+      cfg_(&cfg),
+      cfgVersion_(cfg.structureVersion()) {
+  bits_.assign(numEdges_ * words_, 0);
+  for (std::size_t a = 0; a < numEdges_; ++a) {
+    CfgEdgeId ea(static_cast<std::int32_t>(a));
+    std::uint64_t* r = bits_.data() + a * words_;
+    // The relation is symmetric; fill both triangles from one evaluation.
+    for (std::size_t b = 0; b <= a; ++b) {
+      CfgEdgeId eb(static_cast<std::int32_t>(b));
+      if (!edgesConcurrent(cfg, lat, ea, eb)) continue;
+      r[b / 64] |= 1ull << (b % 64);
+      bits_[b * words_ + a / 64] |= 1ull << (a % 64);
+    }
+  }
+}
+
+}  // namespace thls

@@ -1,0 +1,52 @@
+// Precomputed edge-concurrency bit matrix (binding-time conflict oracle).
+//
+// edgesConcurrent(cfg, lat, a, b) is pure CFG/latency structure, yet binding
+// compaction asks it O(|a.ops| * |b.ops|) times per candidate merge.  This
+// matrix evaluates every edge pair once; a single probe answers one pair and,
+// because rows are bitsets, a whole-FU conflict check collapses to a
+// word-wise AND between one FU's "edges concurrent with any of my ops'
+// edges" mask and the other FU's occupied-edges mask.  Validity is keyed on
+// Cfg::structureVersion() like SpanCandidateCache: any structural CFG
+// mutation invalidates the matrix (validFor()).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sched/schedule.h"
+
+namespace thls {
+
+class EdgeConcurrency {
+ public:
+  EdgeConcurrency(const Cfg& cfg, const LatencyTable& lat);
+
+  /// True while the matrix still describes `cfg` (same object, same
+  /// structure version as at construction).
+  bool validFor(const Cfg& cfg) const {
+    return cfg_ == &cfg && cfgVersion_ == cfg.structureVersion();
+  }
+
+  /// Bit probe equivalent of edgesConcurrent(cfg, lat, a, b).
+  bool concurrent(CfgEdgeId a, CfgEdgeId b) const {
+    const std::uint64_t* r = row(a);
+    return (r[b.index() / 64] >> (b.index() % 64)) & 1u;
+  }
+
+  std::size_t numEdges() const { return numEdges_; }
+  /// Words per bitset row (numEdges bits rounded up to uint64 granularity).
+  std::size_t words() const { return words_; }
+  /// Row `e`: bit f set iff edges e and f are concurrent.
+  const std::uint64_t* row(CfgEdgeId e) const {
+    return bits_.data() + static_cast<std::size_t>(e.index()) * words_;
+  }
+
+ private:
+  std::size_t numEdges_ = 0;
+  std::size_t words_ = 0;
+  std::vector<std::uint64_t> bits_;
+  const Cfg* cfg_;
+  std::uint64_t cfgVersion_ = 0;
+};
+
+}  // namespace thls

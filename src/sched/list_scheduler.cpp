@@ -816,6 +816,9 @@ ScheduleOutcome SchedulerImpl::run() {
       outcome.schedule = std::move(best_.sched);
       outcome.stats = stats_;
       outcome.initialBudgets = initialBudgets_;
+      // Hand the pass's table to the flow; it describes the final CFG (the
+      // incremental mode patched it through every relaxation edge split).
+      outcome.latency = std::shared_ptr<const LatencyTable>(std::move(lat_));
       return outcome;
     }
     if (attempt == opts_.maxRelaxations || !relax(failure)) {

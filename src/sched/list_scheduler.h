@@ -18,6 +18,8 @@
 // fastest delay and only post-schedule state-local recovery downsizes.
 #pragma once
 
+#include <memory>
+
 #include "budget/budgeter.h"
 #include "sched/schedule.h"
 
@@ -101,6 +103,13 @@ struct ScheduleOutcome {
   SchedulerStats stats;
   /// Delay budgets the initial Fig. 7 budgeting produced (slack-based mode).
   std::vector<double> initialBudgets;
+  /// The all-pairs latency table of the successful pass, valid for the
+  /// behavior's final CFG.  runFlow reuses it for binding / recovery /
+  /// reporting instead of rebuilding the O(V*(V+E)) matrix.  NOTE: the
+  /// table borrows the scheduled Behavior's Cfg (validFor() compares
+  /// against it); despite the shared_ptr, only use it while that Behavior
+  /// is alive and unmoved.
+  std::shared_ptr<const LatencyTable> latency;
 };
 
 /// Schedules and binds `bhv`.  The behavior is non-const because the

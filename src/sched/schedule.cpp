@@ -85,6 +85,102 @@ bool recomputeChainStarts(const Behavior& bhv, const LatencyTable& lat,
   return fits;
 }
 
+bool identicalSchedules(const Schedule& a, const Schedule& b) {
+  if (a.opEdge != b.opEdge || a.opFu != b.opFu || a.opStart != b.opStart ||
+      a.opDelay != b.opDelay || a.fus.size() != b.fus.size()) {
+    return false;
+  }
+  for (std::size_t f = 0; f < a.fus.size(); ++f) {
+    if (a.fus[f].ops != b.fus[f].ops || a.fus[f].delay != b.fus[f].delay ||
+        a.fus[f].cls != b.fus[f].cls || a.fus[f].width != b.fus[f].width) {
+      return false;
+    }
+  }
+  return true;
+}
+
+IncrementalChainStarts::IncrementalChainStarts(const Behavior& bhv,
+                                               const ResourceLibrary& lib)
+    : bhv_(bhv), lib_(lib) {
+  const Dfg& dfg = bhv.dfg;
+  topo_ = dfg.topoOrder();
+  preds_.resize(dfg.numOps());
+  succs_.resize(dfg.numOps());
+  topoPos_.assign(dfg.numOps(), 0);
+  for (std::size_t i = 0; i < topo_.size(); ++i) {
+    topoPos_[topo_[i].index()] = i;
+  }
+  for (std::size_t i = 0; i < dfg.numOps(); ++i) {
+    OpId op(static_cast<std::int32_t>(i));
+    if (isFreeKind(dfg.op(op).kind)) continue;
+    preds_[i] = dfg.timingPreds(op);
+    succs_[i] = dfg.timingSuccs(op);
+  }
+  queued_.assign(dfg.numOps(), 0);
+  seeded_.assign(dfg.numOps(), 0);
+}
+
+bool IncrementalChainStarts::full(const LatencyTable& lat, Schedule& sched) {
+  return recomputeChainStarts(bhv_, lat, lib_, sched, topo_, preds_);
+}
+
+bool IncrementalChainStarts::update(const LatencyTable& lat, Schedule& sched,
+                                    const std::vector<OpId>& seeds,
+                                    std::vector<StartChange>* changes) {
+  const Dfg& dfg = bhv_.dfg;
+  const double T = sched.clockPeriod;
+  const double seqMargin = lib_.config().seqMargin;
+
+  heap_.clear();
+  auto push = [&](OpId op) {
+    if (queued_[op.index()]) return;
+    queued_[op.index()] = 1;
+    heap_.emplace_back(topoPos_[op.index()], op.value());
+    std::push_heap(heap_.begin(), heap_.end(),
+                   std::greater<std::pair<std::size_t, std::int32_t>>{});
+  };
+  for (OpId op : seeds) {
+    if (isFreeKind(dfg.op(op).kind) || !sched.scheduled(op)) continue;
+    seeded_[op.index()] = 1;
+    push(op);
+  }
+
+  bool fits = true;
+  while (!heap_.empty()) {
+    std::pop_heap(heap_.begin(), heap_.end(),
+                  std::greater<std::pair<std::size_t, std::int32_t>>{});
+    OpId op(heap_.back().second);
+    heap_.pop_back();
+    queued_[op.index()] = 0;
+
+    CfgEdgeId e = sched.opEdge[op.index()];
+    double start = seqMargin;
+    for (OpId p : preds_[op.index()]) {
+      if (!sched.scheduled(p)) continue;
+      if (lat.latency(sched.opEdge[p.index()], e) == 0) {
+        start = std::max(start,
+                         sched.opStart[p.index()] + sched.opDelay[p.index()]);
+      }
+    }
+    const double oldStart = sched.opStart[op.index()];
+    const bool startMoved = start != oldStart;
+    if (startMoved) {
+      sched.opStart[op.index()] = start;
+      if (changes) changes->push_back({op, oldStart});
+    }
+    if (start + sched.opDelay[op.index()] > T + 1e-6) fits = false;
+    // Seeds changed delay, so their finish moved even at an unchanged start.
+    if (startMoved || seeded_[op.index()]) {
+      for (OpId c : succs_[op.index()]) {
+        if (!sched.scheduled(c) || isFreeKind(dfg.op(c).kind)) continue;
+        if (lat.latency(e, sched.opEdge[c.index()]) == 0) push(c);
+      }
+    }
+  }
+  for (OpId op : seeds) seeded_[op.index()] = 0;
+  return fits;
+}
+
 bool edgesConcurrent(const Cfg& cfg, const LatencyTable& lat, CfgEdgeId a,
                      CfgEdgeId b) {
   if (a == b) return true;

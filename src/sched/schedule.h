@@ -64,6 +64,13 @@ struct Schedule {
 bool edgesConcurrent(const Cfg& cfg, const LatencyTable& lat, CfgEdgeId a,
                      CfgEdgeId b);
 
+/// Exact (bit-for-bit) equality of the decision-level schedule state:
+/// per-op edges, bindings, starts and delays, plus each instance's op
+/// list, delay, class and width.  The differential benches gate on this;
+/// the gtest suites keep field-by-field EXPECTs for diagnostics but must
+/// cover the same fields.
+bool identicalSchedules(const Schedule& a, const Schedule& b);
+
 /// Structural + timing legality check.  Returns human-readable violation
 /// descriptions (empty = legal):
 ///  * every hardware op scheduled inside its (pin-free) span,
@@ -91,5 +98,56 @@ bool recomputeChainStarts(const Behavior& bhv, const LatencyTable& lat,
                           const ResourceLibrary& lib, Schedule& sched,
                           const std::vector<OpId>& topo,
                           const std::vector<std::vector<OpId>>& timingPreds);
+
+/// Incremental maintenance of chain start offsets around FU delay changes.
+///
+/// Construction caches the DFG topological order and per-op timing
+/// adjacency once.  full() establishes the same fixpoint recomputeChainStarts
+/// derives; update() then re-derives starts only for the same-cycle cone
+/// downstream of `seeds` (the ops whose effective delay just changed),
+/// recording every overwritten start so a rejected trial can be rolled back.
+/// Values are bit-for-bit identical to a full recomputation at every step;
+/// binding compaction and area recovery run one update per candidate move
+/// instead of an all-ops sweep.
+class IncrementalChainStarts {
+ public:
+  struct StartChange {
+    OpId op;
+    double oldStart;
+  };
+
+  IncrementalChainStarts(const Behavior& bhv, const ResourceLibrary& lib);
+
+  /// Full sweep over the cached order; returns false when a chain exceeds
+  /// the clock period.  Call once to establish the baseline fixpoint.
+  bool full(const LatencyTable& lat, Schedule& sched);
+
+  /// Re-derives starts for `seeds` and every op transitively reachable from
+  /// them through same-cycle timing edges whose producer finish moved.
+  /// Appends one entry per op whose stored start was modified to `changes`
+  /// (when non-null) so callers can roll back or dirty dependent state.
+  /// Returns false when a recomputed chain exceeds the clock period (ops
+  /// outside the cone are unaffected and keep fitting by construction).
+  bool update(const LatencyTable& lat, Schedule& sched,
+              const std::vector<OpId>& seeds,
+              std::vector<StartChange>* changes = nullptr);
+
+  const std::vector<OpId>& topoOrder() const { return topo_; }
+  const std::vector<std::vector<OpId>>& timingPreds() const { return preds_; }
+  const std::vector<std::vector<OpId>>& timingSuccs() const { return succs_; }
+  std::size_t topoPos(OpId op) const { return topoPos_[op.index()]; }
+
+ private:
+  const Behavior& bhv_;
+  const ResourceLibrary& lib_;
+  std::vector<OpId> topo_;
+  std::vector<std::vector<OpId>> preds_;
+  std::vector<std::vector<OpId>> succs_;
+  std::vector<std::size_t> topoPos_;
+  /// Scratch: worklist membership + min-heap of (topo position, op).
+  std::vector<char> queued_;
+  std::vector<char> seeded_;
+  std::vector<std::pair<std::size_t, std::int32_t>> heap_;
+};
 
 }  // namespace thls

@@ -1,0 +1,283 @@
+// Differential net for the delta-based binding/recovery engines: the
+// incremental paths (EdgeConcurrency conflict masks, in-place merge log,
+// gain-queue recovery with cone-local repair) must be bit-for-bit identical
+// to the legacy whole-schedule-trial paths across workloads and start
+// policies -- schedules, FU assignment, area, and power alike.
+#include <gtest/gtest.h>
+
+#include "bind/binding.h"
+#include "explore/explorer.h"
+#include "netlist/area_model.h"
+#include "netlist/power_model.h"
+#include "netlist/recovery.h"
+#include "sched/concurrency.h"
+#include "test_util.h"
+
+namespace thls {
+namespace {
+
+const std::vector<StartPolicy> kPolicies = {
+    StartPolicy::kFastest, StartPolicy::kSlowest, StartPolicy::kBudgeted};
+
+const char* policyName(StartPolicy p) {
+  switch (p) {
+    case StartPolicy::kFastest:
+      return "fastest";
+    case StartPolicy::kSlowest:
+      return "slowest";
+    case StartPolicy::kBudgeted:
+      return "budgeted";
+  }
+  return "?";
+}
+
+/// The ISSUE-named differential workloads: the paper suites plus the big
+/// random DFG (idct/ewf/arf/interpolation/random200).
+std::vector<workloads::NamedWorkload> differentialWorkloads() {
+  std::vector<workloads::NamedWorkload> out;
+  for (const workloads::NamedWorkload& w : workloads::standardWorkloads()) {
+    if (w.name == "idct1d" || w.name == "ewf" || w.name == "arf" ||
+        w.name == "interpolation") {
+      out.push_back(w);
+    }
+  }
+  for (const workloads::NamedWorkload& w : workloads::scalingWorkloads()) {
+    if (w.name == "random200") out.push_back(w);
+  }
+  return out;
+}
+
+void expectSameSchedule(const Schedule& a, const Schedule& b,
+                        const std::string& what) {
+  EXPECT_EQ(a.opEdge, b.opEdge) << what;
+  EXPECT_EQ(a.opFu, b.opFu) << what;
+  EXPECT_EQ(a.opStart, b.opStart) << what;
+  EXPECT_EQ(a.opDelay, b.opDelay) << what;
+  ASSERT_EQ(a.fus.size(), b.fus.size()) << what;
+  for (std::size_t f = 0; f < a.fus.size(); ++f) {
+    EXPECT_EQ(a.fus[f].ops, b.fus[f].ops) << what << " fu " << f;
+    EXPECT_EQ(a.fus[f].delay, b.fus[f].delay) << what << " fu " << f;
+    EXPECT_EQ(a.fus[f].cls, b.fus[f].cls) << what << " fu " << f;
+    EXPECT_EQ(a.fus[f].width, b.fus[f].width) << what << " fu " << f;
+  }
+}
+
+TEST(BindingIncrementalTest, CompactBindingMatchesLegacy) {
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+  for (const auto& w : differentialWorkloads()) {
+    for (StartPolicy policy : kPolicies) {
+      Behavior bhv = w.make();
+      SchedulerOptions opts;
+      opts.clockPeriod = w.clockPeriod;
+      opts.startPolicy = policy;
+      ScheduleOutcome o = scheduleBehavior(bhv, lib, opts);
+      // Not every workload is feasible under every start policy at its
+      // registry clock (interpolation/kSlowest is not); the differential
+      // claim covers the combinations that schedule.
+      if (!o.success) continue;
+      LatencyTable lat(bhv.cfg);
+      const std::string what = strCat(w.name, "/", policyName(policy));
+
+      Schedule legacy = o.schedule;
+      Schedule incr = o.schedule;
+      int mergesLegacy =
+          compactBinding(bhv, lat, lib, legacy, 64, /*incremental=*/false);
+      int mergesIncr =
+          compactBinding(bhv, lat, lib, incr, 64, /*incremental=*/true);
+      EXPECT_EQ(mergesLegacy, mergesIncr) << what;
+      expectSameSchedule(legacy, incr, what + " compactBinding");
+      EXPECT_TRUE(validateSchedule(bhv, lat, lib, incr).empty()) << what;
+    }
+  }
+}
+
+TEST(BindingIncrementalTest, RecoveryMatchesLegacy) {
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+  for (const auto& w : differentialWorkloads()) {
+    for (StartPolicy policy : kPolicies) {
+      Behavior bhv = w.make();
+      SchedulerOptions opts;
+      opts.clockPeriod = w.clockPeriod;
+      opts.startPolicy = policy;
+      ScheduleOutcome o = scheduleBehavior(bhv, lib, opts);
+      if (!o.success) continue;  // see CompactBindingMatchesLegacy
+      LatencyTable lat(bhv.cfg);
+      Schedule compacted = std::move(o.schedule);
+      compactBinding(bhv, lat, lib, compacted, 64);
+      const std::string what = strCat(w.name, "/", policyName(policy));
+
+      RecoveryOptions legacyOpts;
+      legacyOpts.incremental = false;
+      RecoveryResult legacy =
+          stateLocalAreaRecovery(bhv, lat, compacted, lib, legacyOpts);
+      RecoveryResult incr = stateLocalAreaRecovery(bhv, lat, compacted, lib);
+      EXPECT_EQ(legacy.fusResized, incr.fusResized) << what;
+      EXPECT_EQ(legacy.areaSaved, incr.areaSaved) << what;
+      EXPECT_EQ(legacy.guardExhausted, incr.guardExhausted) << what;
+      EXPECT_FALSE(incr.guardExhausted) << what;
+      expectSameSchedule(legacy.schedule, incr.schedule, what + " recovery");
+      EXPECT_TRUE(validateSchedule(bhv, lat, lib, incr.schedule).empty())
+          << what;
+    }
+  }
+}
+
+TEST(BindingIncrementalTest, FlowsIdenticalAcrossEngines) {
+  // Flow-level identity: the whole conventional + slack pipeline (binding,
+  // recovery, area, power) must not care which engine ran.
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+  for (const auto& w : differentialWorkloads()) {
+    if (w.name == "random200") continue;  // flow-level twice is slow enough
+    FlowOptions on, off;
+    on.sched.clockPeriod = off.sched.clockPeriod = w.clockPeriod;
+    on.incrementalBinding = true;
+    off.incrementalBinding = false;
+    FlowComparison a = compareFlows(w.make(), lib, on);
+    FlowComparison b = compareFlows(w.make(), lib, off);
+    ASSERT_EQ(a.conv.success, b.conv.success) << w.name;
+    ASSERT_EQ(a.slack.success, b.slack.success) << w.name;
+    EXPECT_EQ(a.conv.area.total(), b.conv.area.total()) << w.name;
+    EXPECT_EQ(a.slack.area.total(), b.slack.area.total()) << w.name;
+    EXPECT_EQ(a.conv.power.dynamic, b.conv.power.dynamic) << w.name;
+    EXPECT_EQ(a.slack.power.dynamic, b.slack.power.dynamic) << w.name;
+    EXPECT_EQ(a.savingPercent, b.savingPercent) << w.name;
+    if (a.slack.success && b.slack.success) {
+      expectSameSchedule(a.slack.schedule, b.slack.schedule, w.name);
+    }
+  }
+}
+
+TEST(BindingIncrementalTest, ParetoFrontIdenticalAcrossEngines) {
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+  auto generator = [](int latencyStates) {
+    workloads::IdctParams p;
+    p.latencyStates = latencyStates;
+    return workloads::makeIdct1d(p);
+  };
+  std::vector<DesignPoint> grid;
+  int idx = 1;
+  for (int lat : {8, 6, 4}) {
+    for (double clock : {1250.0, 1000.0}) {
+      DesignPoint pt;
+      pt.name = strCat("P", idx++);
+      pt.latencyStates = lat;
+      pt.clockPeriod = clock;
+      grid.push_back(pt);
+    }
+  }
+  auto frontOf = [&](bool incremental) {
+    FlowOptions base;
+    base.incrementalBinding = incremental;
+    explore::EngineOptions eopts;
+    eopts.threads = 2;
+    explore::ExploreEngine engine(lib, base, eopts);
+    explore::GridExplorer strategy(grid);
+    explore::ParetoArchive archive;
+    strategy.explore(engine, "idct1d", generator, archive);
+    return archive.front();
+  };
+  std::vector<explore::ParetoEntry> on = frontOf(true);
+  std::vector<explore::ParetoEntry> off = frontOf(false);
+  ASSERT_EQ(on.size(), off.size());
+  for (std::size_t i = 0; i < on.size(); ++i) {
+    EXPECT_EQ(on[i].point.name, off[i].point.name);
+    EXPECT_EQ(on[i].obj.area, off[i].obj.area);
+    EXPECT_EQ(on[i].obj.power, off[i].obj.power);
+    EXPECT_EQ(on[i].obj.throughput, off[i].obj.throughput);
+    EXPECT_EQ(on[i].savingPercent, off[i].savingPercent);
+  }
+}
+
+TEST(BindingIncrementalTest, ConcurrencyMatrixMatchesPairwise) {
+  // Property: every matrix probe equals the pairwise oracle, on a branchy
+  // CFG (resizer), a wide one (idct1d), and a seeded random DFG -- and the
+  // matrix self-reports staleness after a structural CFG mutation.
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+  for (const auto& w : workloads::standardWorkloads()) {
+    if (w.name != "resizer" && w.name != "idct1d" && w.name != "random40") {
+      continue;
+    }
+    Behavior bhv = w.make();
+    LatencyTable lat(bhv.cfg);
+    EdgeConcurrency conc(bhv.cfg, lat);
+    ASSERT_TRUE(conc.validFor(bhv.cfg));
+    for (std::size_t a = 0; a < bhv.cfg.numEdges(); ++a) {
+      for (std::size_t b = 0; b < bhv.cfg.numEdges(); ++b) {
+        CfgEdgeId ea(static_cast<std::int32_t>(a));
+        CfgEdgeId eb(static_cast<std::int32_t>(b));
+        EXPECT_EQ(conc.concurrent(ea, eb), edgesConcurrent(bhv.cfg, lat, ea, eb))
+            << w.name << " edges " << a << "," << b;
+      }
+    }
+    // A structural mutation must invalidate the matrix.
+    CfgEdgeId split = bhv.cfg.topoEdges().front();
+    bhv.cfg.insertStateOnEdge(split);
+    bhv.cfg.finalize();
+    EXPECT_FALSE(conc.validFor(bhv.cfg)) << w.name;
+    LatencyTable lat2(bhv.cfg);
+    EdgeConcurrency conc2(bhv.cfg, lat2);
+    for (std::size_t a = 0; a < bhv.cfg.numEdges(); ++a) {
+      for (std::size_t b = 0; b < bhv.cfg.numEdges(); ++b) {
+        CfgEdgeId ea(static_cast<std::int32_t>(a));
+        CfgEdgeId eb(static_cast<std::int32_t>(b));
+        EXPECT_EQ(conc2.concurrent(ea, eb),
+                  edgesConcurrent(bhv.cfg, lat2, ea, eb))
+            << w.name << " post-split edges " << a << "," << b;
+      }
+    }
+  }
+}
+
+TEST(BindingIncrementalTest, GuardExhaustionIsReportedNotSilent) {
+  // A one-resize budget on a workload with plenty of recoverable slack must
+  // stop at the budget, flag it, and do so identically in both engines.
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+  Behavior bhv = workloads::makeEwf(14);
+  SchedulerOptions opts;
+  opts.clockPeriod = 1250.0;
+  opts.startPolicy = StartPolicy::kFastest;
+  ScheduleOutcome o = scheduleBehavior(bhv, lib, opts);
+  ASSERT_TRUE(o.success);
+  LatencyTable lat(bhv.cfg);
+
+  RecoveryResult unlimited = stateLocalAreaRecovery(bhv, lat, o.schedule, lib);
+  ASSERT_GT(unlimited.fusResized, 1);
+  EXPECT_FALSE(unlimited.guardExhausted);
+
+  for (bool incremental : {false, true}) {
+    RecoveryOptions ropts;
+    ropts.incremental = incremental;
+    ropts.maxResizes = 1;
+    RecoveryResult r = stateLocalAreaRecovery(bhv, lat, o.schedule, lib, ropts);
+    EXPECT_EQ(r.fusResized, 1) << incremental;
+    EXPECT_TRUE(r.guardExhausted) << incremental;
+  }
+}
+
+TEST(BindingIncrementalTest, ForFuIndexAgreesWithLinearScan) {
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+  Behavior bhv = workloads::makeArf(6);
+  SchedulerOptions opts;
+  opts.clockPeriod = 1250.0;
+  ScheduleOutcome o = scheduleBehavior(bhv, lib, opts);
+  ASSERT_TRUE(o.success);
+  BindingResult b = bindPorts(bhv, o.schedule, lib);
+  std::size_t bound = 0;
+  for (std::size_t f = 0; f < o.schedule.fus.size(); ++f) {
+    FuId fu(static_cast<std::int32_t>(f));
+    const FuBinding* viaIndex = b.forFu(fu);
+    const FuBinding* viaScan = nullptr;
+    for (const FuBinding& fb : b.fuBindings) {
+      if (fb.fu == fu) viaScan = &fb;
+    }
+    EXPECT_EQ(viaIndex, viaScan) << "fu " << f;
+    if (viaIndex) ++bound;
+  }
+  EXPECT_EQ(bound, b.fuBindings.size());
+  // Off-range ids resolve to null, not out-of-bounds.
+  EXPECT_EQ(b.forFu(FuId(static_cast<std::int32_t>(o.schedule.fus.size() + 7))),
+            nullptr);
+}
+
+}  // namespace
+}  // namespace thls
