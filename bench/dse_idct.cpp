@@ -6,10 +6,12 @@
 // the measurements to BENCH_dse_idct.json.
 //
 //   --small       1-D IDCT kernel instead of the full 8x8 (fast)
-//   --grid small  balanced 8-point sub-grid (idctDesignGridSmall) instead of
-//                 the full 15 points; the full grid's (8, 1600ps) corner
-//                 schedules ~30x slower than every other point, so parallel
-//                 timings over it measure one straggler, not the engine
+//   --grid small  balanced 8-point sub-grid (idctDesignGridSmall); the full
+//                 15-point grid is the default again now that the
+//                 warm-started relaxation ladder schedules the (8, 1600 ps)
+//                 corner in seconds instead of ~44 s (it used to re-run a
+//                 100k-grant slack budgeting from scratch on all ~10
+//                 relaxation passes; see docs/incremental.md)
 //   --threads N   worker threads for the parallel runs (default 4; the
 //                 engine caps the pool at the hardware concurrency)
 //   --reps N      repetitions per mode, best-of reported (default 1)

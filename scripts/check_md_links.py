@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Link-checks the repo's Markdown: README.md, docs/*.md and the other
+top-level .md files.
+
+Validates that every relative link/image target resolves to a file or
+directory in the repo (fragment-only and in-page anchors are accepted as
+long as the file exists; anchor contents are not resolved).  External
+http(s)/mailto links are counted but not fetched -- CI must not flake on
+the network.  Exits nonzero listing every broken link.
+
+Usage: scripts/check_md_links.py [repo-root]
+"""
+import re
+import sys
+from pathlib import Path
+
+# Inline links/images: [text](target) / ![alt](target).  Reference-style
+# definitions: "[label]: target".
+INLINE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+REFDEF = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+
+
+def strip_code(text: str) -> str:
+    """Drops fenced and inline code spans so example snippets like
+    `json.load(open(...))` never parse as links."""
+    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    return re.sub(r"`[^`]*`", "", text)
+
+
+def targets_in(text: str):
+    text = strip_code(text)
+    for m in INLINE.finditer(text):
+        yield m.group(1)
+    for m in REFDEF.finditer(text):
+        yield m.group(1)
+
+
+def main() -> int:
+    root = Path(sys.argv[1] if len(sys.argv) > 1 else ".").resolve()
+    files = sorted(
+        set(root.glob("*.md")) | set((root / "docs").glob("*.md"))
+    )
+    if not files:
+        print(f"error: no markdown files under {root}", file=sys.stderr)
+        return 2
+
+    broken = []
+    checked = external = 0
+    for md in files:
+        for target in targets_in(md.read_text(encoding="utf-8")):
+            if target.startswith(("http://", "https://", "mailto:")):
+                external += 1
+                continue
+            path = target.split("#", 1)[0]
+            checked += 1
+            if not path:  # pure in-page anchor
+                continue
+            resolved = (md.parent / path).resolve()
+            if not resolved.exists():
+                broken.append(f"{md.relative_to(root)}: broken link -> {target}")
+            elif root not in resolved.parents and resolved != root:
+                broken.append(f"{md.relative_to(root)}: escapes repo -> {target}")
+
+    for line in broken:
+        print(line, file=sys.stderr)
+    print(
+        f"checked {len(files)} files: {checked} relative links "
+        f"({len(broken)} broken), {external} external links skipped"
+    )
+    return 1 if broken else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

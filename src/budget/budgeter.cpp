@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <optional>
 
 #include "support/scoped_timer.h"
@@ -38,14 +39,33 @@ DelayBounds delayBoundsFor(const Dfg& dfg, const ResourceLibrary& lib) {
   return b;
 }
 
+BudgetBounds budgetBoundsFor(const Dfg& dfg, const ResourceLibrary& lib,
+                             double clockPeriod) {
+  BudgetBounds b;
+  b.bounds = delayBoundsFor(dfg, lib);
+  b.caps.assign(dfg.numOps(), 0.0);
+  for (std::size_t i = 0; i < dfg.numOps(); ++i) {
+    const Operation& o = dfg.op(OpId(static_cast<std::int32_t>(i)));
+    if (isFreeKind(o.kind)) continue;
+    b.caps[i] = delayCap(o, lib, clockPeriod);
+  }
+  return b;
+}
+
 BudgetResult fixNegativeSlack(const TimedDfg& graph, const Dfg& dfg,
                               const ResourceLibrary& lib,
                               std::vector<double> delays,
                               const BudgetOptions& opts,
-                              SeededSlackState* seeded) {
+                              SeededSlackState* seeded,
+                              const BudgetBounds* pre) {
   const double T = opts.clockPeriod;
   const double margin = opts.marginFraction * T;
-  const DelayBounds bounds = delayBoundsFor(dfg, lib);
+  BudgetBounds local;
+  if (!pre) {
+    local = budgetBoundsFor(dfg, lib, T);
+    pre = &local;
+  }
+  const DelayBounds& bounds = pre->bounds;
   TimingOptions topts{T, opts.aligned};
 
   BudgetResult result;
@@ -55,7 +75,7 @@ BudgetResult fixNegativeSlack(const TimedDfg& graph, const Dfg& dfg,
   for (std::size_t i = 0; i < dfg.numOps(); ++i) {
     const Operation& o = dfg.op(OpId(static_cast<std::int32_t>(i)));
     if (isFreeKind(o.kind)) continue;
-    double cap = delayCap(o, lib, T);
+    double cap = pre->caps[i];
     if (delays[i] > cap + topts.epsilon) {
       delays[i] = lib.snapDelay(o.kind, o.width,
                                 std::max(bounds.minDelay[i], cap));
@@ -165,7 +185,10 @@ BudgetResult budgetSlack(const TimedDfg& graph, const Dfg& dfg,
   const double T = opts.clockPeriod;
   THLS_REQUIRE(T > 0, "clock period must be positive");
   const double margin = opts.marginFraction * T;
-  const DelayBounds bounds = delayBoundsFor(dfg, lib);
+  // One bounds/caps table serves the whole budgeting run -- including every
+  // fixNegativeSlack re-entry the positive loop triggers.
+  const BudgetBounds pre = budgetBoundsFor(dfg, lib, T);
+  const DelayBounds& bounds = pre.bounds;
   TimingOptions topts{T, opts.aligned};
 
   // One seeded engine serves the whole budgeting run: the negative fix-up
@@ -188,7 +211,7 @@ BudgetResult budgetSlack(const TimedDfg& graph, const Dfg& dfg,
 
   // Step 3: budget away negative aligned slack.
   BudgetResult result =
-      fixNegativeSlack(graph, dfg, lib, std::move(delays), opts, seedPtr);
+      fixNegativeSlack(graph, dfg, lib, std::move(delays), opts, seedPtr, &pre);
   if (!result.feasible) return result;
 
   // Step 4: spend positive slack, most area-sensitive op first, one grant
@@ -197,6 +220,17 @@ BudgetResult budgetSlack(const TimedDfg& graph, const Dfg& dfg,
   TimingResult localTiming = std::move(result.timing);
   const TimingResult* timing = &localTiming;
   int grants = 0;
+  // Per-op memo of the grant candidate: (target, gain) is a pure function
+  // of (delays[i], slack(i)) given the fixed bounds/caps, and a grant moves
+  // only one delay plus the slack of its repropagation cone, so most
+  // entries survive from scan to scan.  The scan order and comparisons are
+  // unchanged, so the grant sequence is bit-for-bit the same as the
+  // recompute-everything loop.
+  const double kNan = std::numeric_limits<double>::quiet_NaN();
+  std::vector<double> memoDelay(dfg.numOps(), kNan);
+  std::vector<double> memoSlack(dfg.numOps(), kNan);
+  std::vector<double> memoTarget(dfg.numOps(), 0.0);
+  std::vector<double> memoGain(dfg.numOps(), -1.0);
   while (grants < opts.maxPositiveGrants) {
     // Pick the op with the largest area recovery achievable within its
     // binned slack.
@@ -206,21 +240,30 @@ BudgetResult budgetSlack(const TimedDfg& graph, const Dfg& dfg,
       const Operation& o = dfg.op(OpId(static_cast<std::int32_t>(i)));
       if (isFreeKind(o.kind)) continue;
       double slack = timing->perOp[i].slack;
-      if (!std::isfinite(slack) || slack < margin) continue;
-      if (delays[i] >= bounds.maxDelay[i] - topts.epsilon) continue;
-      // Keep one binning margin of headroom per grant: binding-time mux
-      // growth and packing noise must not immediately re-violate the plan.
-      double target = lib.snapDelay(
-          o.kind, o.width,
-          std::min(bounds.maxDelay[i],
-                   std::min(delays[i] + slack - margin, delayCap(o, lib, T))));
-      if (target <= delays[i] + topts.epsilon) continue;
-      double gain = lib.areaFor(o.kind, o.width, delays[i]) -
-                    lib.areaFor(o.kind, o.width, target);
-      if (gain > bestGain + 1e-9) {
-        bestGain = gain;
+      if (memoDelay[i] != delays[i] || memoSlack[i] != slack) {
+        memoDelay[i] = delays[i];
+        memoSlack[i] = slack;
+        memoGain[i] = -1.0;
+        if (std::isfinite(slack) && slack >= margin &&
+            delays[i] < bounds.maxDelay[i] - topts.epsilon) {
+          // Keep one binning margin of headroom per grant: binding-time mux
+          // growth and packing noise must not immediately re-violate the
+          // plan.
+          double target = lib.snapDelay(
+              o.kind, o.width,
+              std::min(bounds.maxDelay[i],
+                       std::min(delays[i] + slack - margin, pre.caps[i])));
+          if (target > delays[i] + topts.epsilon) {
+            memoTarget[i] = target;
+            memoGain[i] = lib.areaFor(o.kind, o.width, delays[i]) -
+                          lib.areaFor(o.kind, o.width, target);
+          }
+        }
+      }
+      if (memoGain[i] > bestGain + 1e-9) {
+        bestGain = memoGain[i];
         best = i;
-        bestTarget = target;
+        bestTarget = memoTarget[i];
       }
     }
     if (best == dfg.numOps()) break;
@@ -239,8 +282,8 @@ BudgetResult budgetSlack(const TimedDfg& graph, const Dfg& dfg,
     // A grant may not make timing infeasible: it consumed only its own
     // slack.  Numerical edge cases are repaired conservatively.
     if (timing->minSlack < -topts.epsilon) {
-      BudgetResult fix =
-          fixNegativeSlack(graph, dfg, lib, std::move(delays), opts, seedPtr);
+      BudgetResult fix = fixNegativeSlack(graph, dfg, lib, std::move(delays),
+                                          opts, seedPtr, &pre);
       delays = std::move(fix.delays);
       localTiming = std::move(fix.timing);
       timing = &localTiming;

@@ -71,6 +71,23 @@ struct DelayBounds {
 
 DelayBounds delayBoundsFor(const Dfg& dfg, const ResourceLibrary& lib);
 
+/// DelayBounds plus each op's largest realizable budget (a clock period
+/// minus the sequential margin and, for shareable classes, one FU input mux
+/// level).  Both depend only on (dfg, lib, clockPeriod), yet fixNegativeSlack
+/// used to rescan the library for them on every call -- and budgetSlack
+/// re-enters fixNegativeSlack once per re-violating positive grant, so a
+/// pathological budgeting run paid the O(ops) library scans hundreds of
+/// thousands of times.  Callers that loop (budgetSlack, the scheduler's
+/// per-round rebudget) precompute one and pass it through.
+struct BudgetBounds {
+  DelayBounds bounds;
+  /// Indexed by OpId; free ops get 0.
+  std::vector<double> caps;
+};
+
+BudgetBounds budgetBoundsFor(const Dfg& dfg, const ResourceLibrary& lib,
+                             double clockPeriod);
+
 /// Full Fig. 7 budgeting: slowest start, negative fix-up, positive spend.
 BudgetResult budgetSlack(const TimedDfg& graph, const Dfg& dfg,
                          const ResourceLibrary& lib, const BudgetOptions& opts);
@@ -96,11 +113,14 @@ struct SeededSlackState {
 /// the negative fix-up runs -- delays may decrease, never increase.
 /// `seeded` optionally carries the scheduler's persistent IncrementalSlack
 /// engine (sequential-engine runs with incrementalSlack on); results are
-/// bit-for-bit identical with or without it.
+/// bit-for-bit identical with or without it.  `pre` optionally supplies
+/// precomputed bounds/caps (budgetBoundsFor at the same clock period);
+/// absent, they are derived per call.  Results are identical either way.
 BudgetResult fixNegativeSlack(const TimedDfg& graph, const Dfg& dfg,
                               const ResourceLibrary& lib,
                               std::vector<double> delays,
                               const BudgetOptions& opts,
-                              SeededSlackState* seeded = nullptr);
+                              SeededSlackState* seeded = nullptr,
+                              const BudgetBounds* pre = nullptr);
 
 }  // namespace thls

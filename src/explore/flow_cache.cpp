@@ -37,6 +37,7 @@ std::uint64_t hashFlowOptions(const FlowOptions& opts) {
   mix(h, opts.sched.incrementalSpans ? 1 : 0);
   mix(h, opts.sched.incrementalLatency ? 1 : 0);
   mix(h, opts.sched.incrementalSlack ? 1 : 0);
+  mix(h, opts.sched.incrementalRelaxation ? 1 : 0);
   mix(h, opts.areaRecovery ? 1 : 0);
   mix(h, opts.compactBinding ? 1 : 0);
   mix(h, opts.incrementalBinding ? 1 : 0);

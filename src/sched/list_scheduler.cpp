@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <limits>
 #include <map>
 #include <memory>
 #include <set>
@@ -68,6 +70,34 @@ class SchedulerImpl {
     std::vector<std::size_t> earliest;
   };
 
+  /// Pass state at the start of one placement round, everything needed to
+  /// re-enter the placement loop there: the analyses (spans, timed graph,
+  /// seeded slack) are *not* stored -- they are pure functions of
+  /// (pins, earliest, budgets) and are reconstructed bit-for-bit on resume
+  /// (the PR 2/3 differential guarantees).  `seq` is the round's ordinal in
+  /// the canonical pass execution; because a grants-only relaxation leaves
+  /// the replayed prefix identical, ordinals stay comparable across passes.
+  struct RoundCheckpoint {
+    PassState ps;
+    std::vector<OpId> readyPool;
+    std::vector<int> unsatisfied;
+    std::size_t remaining = 0;
+    std::size_t edgeTopoIdx = 0;
+    std::set<OpId> readyHere;
+    bool repaired = false;
+    std::uint64_t seq = 0;
+    /// Allocation under which ps.sched.fus was laid out; a resume remaps the
+    /// FU table from this layout to the by-then-enlarged allocation's.
+    std::map<AllocKey, int> allocAtSnap;
+  };
+
+  /// What one relax() invocation actually did -- drives resume eligibility.
+  struct RelaxOutcome {
+    std::vector<AllocKey> granted;
+    bool forcedFastest = false;
+    bool insertedState = false;
+  };
+
   AllocKey keyFor(const Operation& o) const {
     ResourceClass cls = resourceClassOf(o.kind);
     int width = o.width;
@@ -79,7 +109,17 @@ class SchedulerImpl {
   }
 
   void computeInitialAllocation();
-  bool schedulePass(PassFailure* failure);
+  bool schedulePass(PassFailure* failure, RoundCheckpoint* resume);
+  /// Pass-start work a resume skips: budgets (cross-pass cache), initial
+  /// timing, shared FU blocks, pinned spans.  False = budget infeasible.
+  bool setupFreshPass(PassFailure* failure, PassState* psOut,
+                      std::unique_ptr<OpSpanAnalysis>* spansOut,
+                      SpanCandidateCache* cache, const BudgetOptions& bopts);
+  /// Rebuilds the pass's timed graph from `spans` and resets the seeded
+  /// slack engine (rebudget syncs it lazily).  Fresh and resumed passes
+  /// must construct these identically or the bit-for-bit resume guarantee
+  /// breaks -- keep this the only place that does it.
+  void rebuildTimedGraph(const OpSpanAnalysis& spans);
   /// Attempts to place `op` on edge `e`.  With `allowSpeedup` the op may be
   /// implemented faster than its budget to fit the chain (used on the last
   /// edge of a span); otherwise an op that cannot run at its budgeted delay
@@ -90,7 +130,28 @@ class SchedulerImpl {
   void rebudget(PassState& ps, const LatencyTable& lat,
                 const OpSpanAnalysis& spans);
   /// ...updates ps.lastTiming as a side effect.
-  bool relax(const PassFailure& failure);
+  bool relax(const PassFailure& failure, RelaxOutcome* out);
+  /// Adaptive escalation: base step, doubled while the same (cls, width)
+  /// keeps falling short on consecutive relaxations.
+  int sizeWant(const AllocKey& key, int base);
+  int groupSizeOf(const AllocKey& key) const {
+    auto it = groupSize_.find(key);
+    return it == groupSize_.end() ? 0 : it->second;
+  }
+  /// Rolls the per-round checkpoint forward (incrementalRelaxation mode);
+  /// no-op once every shared class has exhausted its empty instances.
+  void noteRoundStart(const PassState& ps, const std::vector<OpId>& readyPool,
+                      const std::vector<int>& unsatisfied,
+                      std::size_t remaining, std::size_t edgeTopoIdx,
+                      const std::set<OpId>& readyHere, bool repaired);
+  /// Decides where (and whether) the next pass may resume after `relax`:
+  /// grants-only relaxations resume from the latest checkpoint at or before
+  /// the earliest granted class's exhaustion frontier; anything else
+  /// restarts placement and drops the now-divergent checkpoints.
+  std::unique_ptr<RoundCheckpoint> planResume(const RelaxOutcome& relaxed);
+  /// Rewrites a checkpoint's FU table from its snapshot-time allocation
+  /// layout to the current one (grants shift every later instance id).
+  void remapCheckpoint(RoundCheckpoint& cp) const;
 
   Behavior& bhv_;
   const ResourceLibrary& lib_;
@@ -126,11 +187,43 @@ class SchedulerImpl {
   bool slackSynced_ = false;
   std::vector<std::size_t> reweightDirty_;
   PassState best_;
+
+  /// Per-AllocKey schedulable-op counts, precomputed once in run(); relax()
+  /// used to rescan schedulable_ on every groupSize query.
+  std::map<AllocKey, int> groupSize_;
+  /// Library delay bounds and per-op budget caps, fixed for the whole run;
+  /// threaded into every budgeting call instead of rederived per call.
+  BudgetBounds budgetBounds_;
+
+  // --- incrementalRelaxation state (see SchedulerOptions) ---
+  /// Cross-pass cache of the initial Fig. 7 budgeting: its inputs (CFG,
+  /// free spans, library, options) do not depend on the allocation or the
+  /// fastest-variant overrides, so it only invalidates on a state insertion.
+  std::unique_ptr<BudgetResult> budgetCache_;
+  std::uint64_t budgetCacheVersion_ = 0;
+  /// Rolling checkpoint of the current round's start, frozen into
+  /// keySnaps_[k] the moment class k's last empty instance fills.
+  std::unique_ptr<RoundCheckpoint> rolling_;
+  std::map<AllocKey, RoundCheckpoint> keySnaps_;
+  /// Empty shared instances per class in the running pass (monotonically
+  /// decreasing; grants between passes refill it).
+  std::map<AllocKey, int> emptyCount_;
+  /// Canonical round ordinal of the running pass (resumes continue it).
+  std::uint64_t roundSeq_ = 0;
+  /// True while executing a resumed pass (passOpsReplaced accounting).
+  bool passResumed_ = false;
+  /// Grant history for adaptive escalation.
+  struct GrantRecord {
+    int lastWant = 0;
+    int lastAttempt = -1;
+  };
+  std::map<AllocKey, GrantRecord> grantHistory_;
+  int relaxAttempt_ = 0;
 };
 
 void SchedulerImpl::computeInitialAllocation() {
   maxWidth_.clear();
-  std::map<AllocKey, int> counts;
+  groupSize_.clear();
   for (OpId op : schedulable_) {
     const Operation& o = bhv_.dfg.op(op);
     ResourceClass cls = resourceClassOf(o.kind);
@@ -142,10 +235,10 @@ void SchedulerImpl::computeInitialAllocation() {
     const Operation& o = bhv_.dfg.op(op);
     ResourceClass cls = resourceClassOf(o.kind);
     if (cls == ResourceClass::kIo || isDedicatedClass(cls)) continue;
-    counts[keyFor(o)]++;
+    groupSize_[keyFor(o)]++;
   }
   const int states = std::max<int>(1, static_cast<int>(bhv_.cfg.numStates()));
-  for (auto& [key, n] : counts) {
+  for (auto& [key, n] : groupSize_) {
     int lower = (n + states - 1) / states;
     auto it = allocation_.find(key);
     if (it == allocation_.end()) {
@@ -316,6 +409,16 @@ bool SchedulerImpl::tryPlace(PassState& ps, OpId op, CfgEdgeId e,
   FuInstance& fu = sched.fus[bestCand->fu.index()];
   fu.delay = bestCand->newDelay;
   fu.ops.push_back(op);
+  if (opts_.incrementalRelaxation && !fu.dedicated && fu.ops.size() == 1) {
+    // An empty instance just filled.  Once a class has no empty instance
+    // left, extra instances granted by a relaxation could start winning
+    // placements, so the class's pre-divergence resume point is the start
+    // of this round: freeze the rolling checkpoint for it.
+    auto it = emptyCount_.find({fu.cls, fu.width});
+    if (it != emptyCount_.end() && --it->second == 0 && rolling_) {
+      keySnaps_[{fu.cls, fu.width}] = *rolling_;
+    }
+  }
   logLine(3, strCat("place ", o.name, " on ", cfg.edge(e).name, " fu=",
                     fu.name, " delay=", fu.delay, " start=", chainStart));
   // Refresh the effective delay of every mate (mux growth / FU upgrade).
@@ -360,7 +463,7 @@ void SchedulerImpl::rebudget(PassState& ps, const LatencyTable& lat,
   }
   BudgetResult r =
       fixNegativeSlack(timed, bhv_.dfg, lib_, std::move(delays), bopts,
-                       seededPtr);
+                       seededPtr, &budgetBounds_);
   if (seededPtr) slackSynced_ = seededState.synced;
   stats_.timingSeconds += r.analysisSeconds;
   stats_.timingAnalyses += 1 + r.negativeIterations;
@@ -391,10 +494,12 @@ void SchedulerImpl::rebudget(PassState& ps, const LatencyTable& lat,
   }
 }
 
-bool SchedulerImpl::schedulePass(PassFailure* failure) {
+bool SchedulerImpl::schedulePass(PassFailure* failure,
+                                 RoundCheckpoint* resume) {
   const Cfg& cfg = bhv_.cfg;
   const Dfg& dfg = bhv_.dfg;
   stats_.schedulePasses++;
+  passResumed_ = resume != nullptr;
 
   {
     // Incremental mode keeps the table across passes: relaxation either left
@@ -409,29 +514,29 @@ bool SchedulerImpl::schedulePass(PassFailure* failure) {
   // Legacy (from-scratch) mode skips the shared candidate cache so that its
   // per-round reconstruction cost stays a faithful baseline for the bench.
   SpanCandidateCache* cache = opts_.incrementalSpans ? &spanCache_ : nullptr;
-  stats_.spanRebuilds++;
-  OpSpanAnalysis freeSpans(cfg, dfg, *lat_, nullptr, nullptr, cache);
-  timed_ = std::make_unique<TimedDfg>(cfg, dfg, *lat_, freeSpans);
-  // Fresh graph, fresh seeded-slack state (rebudget syncs it lazily).
-  slackEngine_.reset();
-  slackSynced_ = false;
-  if (opts_.incrementalSpans && opts_.incrementalSlack &&
-      opts_.engine == TimingEngine::kSequential) {
-    slackEngine_ = std::make_unique<IncrementalSlack>(
-        *timed_, TimingOptions{opts_.clockPeriod, /*aligned=*/true});
-  }
-  TimedDfg& timed = *timed_;
-  const DelayBounds bounds = delayBoundsFor(dfg, lib_);
 
   PassState ps;
-  ps.sched.clockPeriod = opts_.clockPeriod;
-  ps.sched.opEdge.assign(dfg.numOps(), CfgEdgeId::invalid());
-  ps.sched.opFu.assign(dfg.numOps(), FuId::invalid());
-  ps.sched.opStart.assign(dfg.numOps(), 0.0);
-  ps.sched.opDelay.assign(dfg.numOps(), 0.0);
-  ps.pins.assign(dfg.numOps(), std::nullopt);
-  ps.lastFail.assign(dfg.numOps(), FailReason::kNone);
-  ps.earliest.assign(dfg.numOps(), 0);
+  if (resume) {
+    // Warm start: graft the pre-divergence checkpoint (already remapped to
+    // the enlarged allocation by planResume) and rebuild the analyses it
+    // implies.  Spans are a pure function of (pins, earliest), the timed
+    // graph's weights are refreshed from the live spans by every rebudget,
+    // and a fresh seeded-slack engine syncs with a full sweep -- all
+    // bit-for-bit equal to the state a from-scratch pass carries into the
+    // same round (the PR 2/3 differential guarantees).
+    ps = std::move(resume->ps);
+    roundSeq_ = resume->seq;
+  } else {
+    roundSeq_ = 0;
+    ps.sched.clockPeriod = opts_.clockPeriod;
+    ps.sched.opEdge.assign(dfg.numOps(), CfgEdgeId::invalid());
+    ps.sched.opFu.assign(dfg.numOps(), FuId::invalid());
+    ps.sched.opStart.assign(dfg.numOps(), 0.0);
+    ps.sched.opDelay.assign(dfg.numOps(), 0.0);
+    ps.pins.assign(dfg.numOps(), std::nullopt);
+    ps.lastFail.assign(dfg.numOps(), FailReason::kNone);
+    ps.earliest.assign(dfg.numOps(), 0);
+  }
 
   BudgetOptions bopts;
   bopts.clockPeriod = opts_.clockPeriod;
@@ -439,105 +544,67 @@ bool SchedulerImpl::schedulePass(PassFailure* failure) {
   bopts.engine = opts_.engine;
   bopts.incrementalSlack = opts_.incrementalSlack;
 
-  TimingResult priorityTiming;
-  if (opts_.startPolicy == StartPolicy::kBudgeted) {
-    BudgetResult b = budgetSlack(timed, dfg, lib_, bopts);
-    stats_.timingSeconds += b.analysisSeconds;
-    stats_.timingAnalyses += 1 + b.negativeIterations + b.positiveGrants;
-    stats_.slackOpsRecomputed += b.slackOpsRecomputed;
-    if (!b.feasible) {
-      failure->reason = FailReason::kBudgetInfeasible;
-      // Most negative op guides the relaxation engine.
-      double worst = 0;
-      for (OpId op : schedulable_) {
-        double s = b.timing.slack(op);
-        if (s < worst) {
-          worst = s;
-          failure->op = op;
-          failure->edge = freeSpans.early(op);
-        }
-      }
-      return false;
-    }
-    ps.budgets = b.delays;
-    priorityTiming = b.timing;
-  } else if (opts_.startPolicy == StartPolicy::kSlowest) {
-    // Case 2: slowest variants that still fit a cycle; upgraded on the fly
-    // by the in-scheduling rebudget/speedup machinery.
-    ps.budgets = bounds.maxDelay;
-    for (OpId op : schedulable_) {
-      const Operation& o = dfg.op(op);
-      if (ps.budgets[op.index()] > opts_.clockPeriod) {
-        ps.budgets[op.index()] = lib_.snapDelay(
-            o.kind, o.width,
-            std::max(bounds.minDelay[op.index()], opts_.clockPeriod));
-      }
-    }
-    TimingOptions topts{opts_.clockPeriod, /*aligned=*/true};
-    {
-      ScopedSecondsTimer timer(stats_.timingSeconds);
-      priorityTiming = analyzeTiming(opts_.engine, timed, ps.budgets, topts);
-    }
-    stats_.timingAnalyses += 1;
-  } else {
-    ps.budgets = bounds.minDelay;
-    TimingOptions topts{opts_.clockPeriod, /*aligned=*/true};
-    {
-      ScopedSecondsTimer timer(stats_.timingSeconds);
-      priorityTiming = analyzeTiming(opts_.engine, timed, ps.budgets, topts);
-    }
-    stats_.timingAnalyses += 1;
-    if (!priorityTiming.feasible) {
-      failure->reason = FailReason::kBudgetInfeasible;
-      std::vector<OpId> crit = criticalOps(timed, priorityTiming, kEps);
-      if (!crit.empty()) {
-        failure->op = crit.front();
-        failure->edge = freeSpans.early(failure->op);
-      }
-      return false;
-    }
-  }
-  for (OpId op : fastestOverride_) {
-    ps.budgets[op.index()] = bounds.minDelay[op.index()];
-  }
-  ps.lastTiming = priorityTiming;
-  if (initialBudgets_.empty()) initialBudgets_ = ps.budgets;
-
-  // Allocate the shared FU instances.
-  for (const auto& [key, count] : allocation_) {
-    for (int i = 0; i < count; ++i) {
-      FuInstance fu;
-      fu.cls = key.cls;
-      fu.width = key.width;
-      fu.name = strCat(toString(key.cls), key.width, "_", i);
-      ps.sched.fus.push_back(std::move(fu));
-    }
+  std::unique_ptr<OpSpanAnalysis> spans;
+  if (resume) {
+    stats_.spanRebuilds++;
+    spans = std::make_unique<OpSpanAnalysis>(cfg, dfg, *lat_, &ps.pins,
+                                             &ps.earliest, cache);
+    rebuildTimedGraph(*spans);
+  } else if (!setupFreshPass(failure, &ps, &spans, cache, bopts)) {
+    return false;
   }
 
-  std::size_t remaining = schedulable_.size();
-  stats_.spanRebuilds++;
-  std::unique_ptr<OpSpanAnalysis> spans = std::make_unique<OpSpanAnalysis>(
-      cfg, dfg, *lat_, &ps.pins, &ps.earliest, cache);
+  // Shared-instance vacancy tracking feeds the exhaustion frontiers; a
+  // resumed pass recounts from its grafted FU table (grants refilled some
+  // classes).
+  if (opts_.incrementalRelaxation) {
+    emptyCount_.clear();
+    for (const FuInstance& fu : ps.sched.fus) {
+      if (fu.dedicated) continue;
+      emptyCount_[{fu.cls, fu.width}] += fu.ops.empty() ? 1 : 0;
+    }
+    rolling_.reset();
+  }
 
-  // Ready worklist: an op enters the pool when its last timing predecessor
-  // is placed, so each round filters candidates instead of rescanning every
-  // op against every producer.
-  std::vector<int> unsatisfied(dfg.numOps(), 0);
+  std::size_t remaining;
+  std::vector<int> unsatisfied;
   std::vector<OpId> readyPool;
-  for (OpId op : schedulable_) {
-    unsatisfied[op.index()] = static_cast<int>(predsOf_[op.index()].size());
-    if (unsatisfied[op.index()] == 0) readyPool.push_back(op);
+  if (resume) {
+    remaining = resume->remaining;
+    unsatisfied = std::move(resume->unsatisfied);
+    readyPool = std::move(resume->readyPool);
+  } else {
+    remaining = schedulable_.size();
+    // Ready worklist: an op enters the pool when its last timing predecessor
+    // is placed, so each round filters candidates instead of rescanning
+    // every op against every producer.
+    unsatisfied.assign(dfg.numOps(), 0);
+    for (OpId op : schedulable_) {
+      unsatisfied[op.index()] = static_cast<int>(predsOf_[op.index()].size());
+      if (unsatisfied[op.index()] == 0) readyPool.push_back(op);
+    }
   }
 
   Behavior& bhvRef = bhv_;
+  const std::size_t resumeEdgeIdx = resume ? resume->edgeTopoIdx : 0;
   for (CfgEdgeId e : cfg.topoEdges()) {
     if (cfg.edge(e).backward) continue;
+    const std::size_t eIdx = cfg.topoIndexOfEdge(e);
+    if (resume && eIdx < resumeEdgeIdx) continue;
     bool repaired = false;
     std::set<OpId> readyHere;
+    if (resume && eIdx == resumeEdgeIdx) {
+      repaired = resume->repaired;
+      readyHere = std::move(resume->readyHere);
+    }
     while (true) {
       bool placedAny = true;
       while (placedAny && remaining > 0) {
         placedAny = false;
+        if (opts_.incrementalRelaxation) {
+          noteRoundStart(ps, readyPool, unsatisfied, remaining, eIdx,
+                         readyHere, repaired);
+        }
         // Ready set: unscheduled, legal here, all producers placed.
         stats_.readyScans++;
         std::vector<OpId> ready;
@@ -583,6 +650,7 @@ bool SchedulerImpl::schedulePass(PassFailure* failure) {
             placedAny = true;
             --remaining;
             placedNow.push_back(op);
+            if (passResumed_) stats_.passOpsReplaced++;
             for (OpId succ : succsOf_[op.index()]) {
               if (--unsatisfied[succ.index()] == 0) readyPool.push_back(succ);
             }
@@ -703,30 +771,167 @@ bool SchedulerImpl::schedulePass(PassFailure* failure) {
   return true;
 }
 
-bool SchedulerImpl::relax(const PassFailure& failure) {
-  stats_.relaxations++;
-  auto groupSize = [&](const AllocKey& key) {
-    int n = 0;
-    for (OpId op : schedulable_) {
-      if (keyFor(bhv_.dfg.op(op)) == key) ++n;
+/// Pass-start setup of a non-resumed pass: budgets (cached across passes in
+/// incrementalRelaxation mode), initial timing, and the shared FU blocks.
+bool SchedulerImpl::setupFreshPass(PassFailure* failure, PassState* psOut,
+                                   std::unique_ptr<OpSpanAnalysis>* spansOut,
+                                   SpanCandidateCache* cache,
+                                   const BudgetOptions& bopts) {
+  const Cfg& cfg = bhv_.cfg;
+  const Dfg& dfg = bhv_.dfg;
+  PassState& ps = *psOut;
+  const DelayBounds& bounds = budgetBounds_.bounds;
+
+  stats_.spanRebuilds++;
+  OpSpanAnalysis freeSpans(cfg, dfg, *lat_, nullptr, nullptr, cache);
+  rebuildTimedGraph(freeSpans);
+  TimedDfg& timed = *timed_;
+
+  TimingResult priorityTiming;
+  if (opts_.startPolicy == StartPolicy::kBudgeted) {
+    // The Fig. 7 budgeting sees only the free-span timed graph -- never the
+    // allocation or the fastest-variant overrides (applied below) -- so
+    // across a CFG-preserving relaxation its result is bit-for-bit the one
+    // the previous pass computed.  Warm-started mode replays it from the
+    // cache; a state insertion bumps Cfg::structureVersion and invalidates.
+    const BudgetResult* b = nullptr;
+    BudgetResult fresh;
+    if (opts_.incrementalRelaxation && budgetCache_ &&
+        budgetCacheVersion_ == cfg.structureVersion()) {
+      b = budgetCache_.get();
+      stats_.budgetReuses++;
+    } else {
+      fresh = budgetSlack(timed, dfg, lib_, bopts);
+      stats_.timingSeconds += fresh.analysisSeconds;
+      stats_.timingAnalyses +=
+          1 + fresh.negativeIterations + fresh.positiveGrants;
+      stats_.slackOpsRecomputed += fresh.slackOpsRecomputed;
+      if (opts_.incrementalRelaxation) {
+        budgetCache_ = std::make_unique<BudgetResult>(std::move(fresh));
+        budgetCacheVersion_ = cfg.structureVersion();
+        b = budgetCache_.get();
+      } else {
+        b = &fresh;
+      }
     }
-    return n;
-  };
+    if (!b->feasible) {
+      failure->reason = FailReason::kBudgetInfeasible;
+      // Most negative op guides the relaxation engine.
+      double worst = 0;
+      for (OpId op : schedulable_) {
+        double s = b->timing.slack(op);
+        if (s < worst) {
+          worst = s;
+          failure->op = op;
+          failure->edge = freeSpans.early(op);
+        }
+      }
+      return false;
+    }
+    ps.budgets = b->delays;
+    priorityTiming = b->timing;
+  } else if (opts_.startPolicy == StartPolicy::kSlowest) {
+    // Case 2: slowest variants that still fit a cycle; upgraded on the fly
+    // by the in-scheduling rebudget/speedup machinery.
+    ps.budgets = bounds.maxDelay;
+    for (OpId op : schedulable_) {
+      const Operation& o = dfg.op(op);
+      if (ps.budgets[op.index()] > opts_.clockPeriod) {
+        ps.budgets[op.index()] = lib_.snapDelay(
+            o.kind, o.width,
+            std::max(bounds.minDelay[op.index()], opts_.clockPeriod));
+      }
+    }
+    TimingOptions topts{opts_.clockPeriod, /*aligned=*/true};
+    {
+      ScopedSecondsTimer timer(stats_.timingSeconds);
+      priorityTiming = analyzeTiming(opts_.engine, timed, ps.budgets, topts);
+    }
+    stats_.timingAnalyses += 1;
+  } else {
+    ps.budgets = bounds.minDelay;
+    TimingOptions topts{opts_.clockPeriod, /*aligned=*/true};
+    {
+      ScopedSecondsTimer timer(stats_.timingSeconds);
+      priorityTiming = analyzeTiming(opts_.engine, timed, ps.budgets, topts);
+    }
+    stats_.timingAnalyses += 1;
+    if (!priorityTiming.feasible) {
+      failure->reason = FailReason::kBudgetInfeasible;
+      std::vector<OpId> crit = criticalOps(timed, priorityTiming, kEps);
+      if (!crit.empty()) {
+        failure->op = crit.front();
+        failure->edge = freeSpans.early(failure->op);
+      }
+      return false;
+    }
+  }
+  for (OpId op : fastestOverride_) {
+    ps.budgets[op.index()] = bounds.minDelay[op.index()];
+  }
+  ps.lastTiming = priorityTiming;
+  if (initialBudgets_.empty()) initialBudgets_ = ps.budgets;
+
+  // Allocate the shared FU instances.
+  for (const auto& [key, count] : allocation_) {
+    for (int i = 0; i < count; ++i) {
+      FuInstance fu;
+      fu.cls = key.cls;
+      fu.width = key.width;
+      fu.name = strCat(toString(key.cls), key.width, "_", i);
+      ps.sched.fus.push_back(std::move(fu));
+    }
+  }
+
+  stats_.spanRebuilds++;
+  *spansOut = std::make_unique<OpSpanAnalysis>(cfg, dfg, *lat_, &ps.pins,
+                                               &ps.earliest, cache);
+  return true;
+}
+
+int SchedulerImpl::sizeWant(const AllocKey& key, int base) {
+  GrantRecord& g = grantHistory_[key];
+  int want = std::max(1, base);
+  if (g.lastAttempt == relaxAttempt_) {
+    // Second consult within one relax() (kResource falling through to
+    // kTiming): keep the attempt's established step.
+    want = std::max(want, g.lastWant);
+  } else if (g.lastAttempt == relaxAttempt_ - 1 && g.lastWant > 0) {
+    // The same (cls, width) shortfall on consecutive relaxations: the
+    // linear step is not converging, so escalate geometrically -- the
+    // ladder reaches any allocation in O(log need) passes instead of
+    // O(need).  (Replaces the old one-shot "grow everything by /8".)
+    int doubled = g.lastWant > (1 << 24) ? (1 << 25) : g.lastWant * 2;
+    if (doubled > want) {
+      want = doubled;
+      stats_.grantEscalations++;
+    }
+  }
+  g.lastWant = want;
+  g.lastAttempt = relaxAttempt_;
+  return want;
+}
+
+bool SchedulerImpl::relax(const PassFailure& failure, RelaxOutcome* out) {
+  stats_.relaxations++;
+  ++relaxAttempt_;
   auto addInstances = [&](const AllocKey& key, int want) {
     if (isDedicatedClass(key.cls) || key.cls == ResourceClass::kNone) {
       return false;
     }
     auto it = allocation_.find(key);
     if (it == allocation_.end()) return false;
-    int cap = groupSize(key);
+    int cap = groupSizeOf(key);
     int added = std::min(want, cap - it->second);
     if (added <= 0) return false;
     it->second += added;
     stats_.resourcesAdded += added;
+    out->granted.push_back(key);
     logLine(2, strCat("relax: +", added, " ", toString(key.cls), key.width,
                       " (now ", it->second, ")"));
     return true;
   };
+  const int states = std::max<int>(1, static_cast<int>(bhv_.cfg.numStates()));
 
   switch (failure.reason) {
     case FailReason::kResource: {
@@ -734,32 +939,20 @@ bool SchedulerImpl::relax(const PassFailure& failure) {
       // Budgeted mode sizes the step to the observed shortfall (unused
       // instances stay empty and free).  The ASAP policies grow one
       // instance at a time, classic style: any spare instance they get,
-      // they greedily fill, losing sharing.
-      const int states =
-          std::max<int>(1, static_cast<int>(bhv_.cfg.numStates()));
+      // they greedily fill, losing sharing.  Repeated shortfalls of the
+      // same class double the step (sizeWant).
       int want =
-          std::max(1, (failure.unscheduledOfClass + states - 1) / states);
+          sizeWant(key, (failure.unscheduledOfClass + states - 1) / states);
       if (addInstances(key, want)) return true;
       // Fully dedicated already; treat as a timing problem.
       [[fallthrough]];
     }
     case FailReason::kTiming: {
       bool did = false;
-      // The same op stranding twice means the blamed class is not the real
-      // bottleneck (often an upstream class serializes the whole design):
-      // grow every shareable class.  Budgeted mode only -- its deferral
-      // discipline keeps spare instances unused unless needed, whereas the
-      // ASAP policies would greedily fill them and destroy sharing.
-      if (opts_.startPolicy == StartPolicy::kBudgeted && failure.op.valid() &&
-          failure.op == lastFailOp_) {
-        for (auto& [key, cnt] : allocation_) {
-          if (addInstances(key, std::max(1, groupSize(key) / 8))) did = true;
-        }
-      }
-      lastFailOp_ = failure.op;
       if (failure.op.valid() && !fastestOverride_.count(failure.op)) {
         fastestOverride_.insert(failure.op);
         stats_.fastestOverrides++;
+        out->forcedFastest = true;
         logLine(2, strCat("relax: fastest variant for '",
                           bhv_.dfg.op(failure.op).name, "'"));
         did = true;
@@ -767,11 +960,29 @@ bool SchedulerImpl::relax(const PassFailure& failure) {
       // Extra instances also relieve timing (shallower input muxes, more
       // same-cycle slots); a stranded op usually means its whole class was
       // starved of slots upstream, so size the step like a shortage.
-      const int states =
-          std::max<int>(1, static_cast<int>(bhv_.cfg.numStates()));
-      int want =
-          std::max(1, (failure.unscheduledOfClass + states - 1) / states);
+      int want = sizeWant({failure.cls, failure.width},
+                          (failure.unscheduledOfClass + states - 1) / states);
       if (addInstances({failure.cls, failure.width}, want)) did = true;
+      // Same op stranded twice with its variant already fastest and its own
+      // class saturated: the blamed class is not the real bottleneck (often
+      // an upstream class serializes the whole design), so spread geometric
+      // growth over every shareable class.  Budgeted mode only -- its
+      // deferral discipline keeps spare instances unused unless needed,
+      // whereas the ASAP policies would greedily fill them and destroy
+      // sharing.
+      // Deliberately NOT routed through sizeWant: the blanket grant is a
+      // one-shot probe, and recording a groupSize/8 want for every class
+      // would seed the next attempt's geometric doubling from it, handing
+      // a 1-instance shortfall a doubled blanket step.
+      if (!did && opts_.startPolicy == StartPolicy::kBudgeted &&
+          failure.op.valid() && failure.op == lastFailOp_) {
+        for (auto& [key, cnt] : allocation_) {
+          if (addInstances(key, std::max(1, groupSizeOf(key) / 8))) {
+            did = true;
+          }
+        }
+      }
+      lastFailOp_ = failure.op;
       if (did) return true;
       [[fallthrough]];
     }
@@ -780,11 +991,20 @@ bool SchedulerImpl::relax(const PassFailure& failure) {
         CfgEdgeId tail = bhv_.cfg.insertStateOnEdge(failure.edge);
         bhv_.cfg.finalize();
         if (opts_.incrementalLatency && lat_) {
-          ScopedSecondsTimer timer(stats_.latencySeconds);
-          lat_->applyStateInsertion(failure.edge, tail);
+          // Table maintenance belongs to the latencySeconds bucket; run()
+          // wraps this whole call in the relaxSeconds timer, so subtract
+          // the patch to keep the per-phase splits disjoint.
+          double patchSeconds = 0;
+          {
+            ScopedSecondsTimer timer(patchSeconds);
+            lat_->applyStateInsertion(failure.edge, tail);
+          }
+          stats_.latencySeconds += patchSeconds;
+          stats_.relaxSeconds -= patchSeconds;
           stats_.latUpdates++;
         }
         stats_.statesAdded++;
+        out->insertedState = true;
         logLine(2, "relax: inserted a state");
         return true;
       }
@@ -794,6 +1014,146 @@ bool SchedulerImpl::relax(const PassFailure& failure) {
       return false;
   }
   return false;
+}
+
+void SchedulerImpl::rebuildTimedGraph(const OpSpanAnalysis& spans) {
+  timed_ = std::make_unique<TimedDfg>(bhv_.cfg, bhv_.dfg, *lat_, spans);
+  slackEngine_.reset();
+  slackSynced_ = false;
+  if (opts_.incrementalSpans && opts_.incrementalSlack &&
+      opts_.engine == TimingEngine::kSequential) {
+    slackEngine_ = std::make_unique<IncrementalSlack>(
+        *timed_, TimingOptions{opts_.clockPeriod, /*aligned=*/true});
+  }
+}
+
+void SchedulerImpl::noteRoundStart(const PassState& ps,
+                                   const std::vector<OpId>& readyPool,
+                                   const std::vector<int>& unsatisfied,
+                                   std::size_t remaining,
+                                   std::size_t edgeTopoIdx,
+                                   const std::set<OpId>& readyHere,
+                                   bool repaired) {
+  const std::uint64_t seq = roundSeq_++;
+  bool anyEmpty = false;
+  for (const auto& [key, n] : emptyCount_) {
+    if (n > 0) {
+      anyEmpty = true;
+      break;
+    }
+  }
+  if (!anyEmpty) {
+    // Vacancies only shrink within a pass: no exhaustion event can fire
+    // any more, so stop paying for the rolling copy.
+    rolling_.reset();
+    return;
+  }
+  if (!rolling_) rolling_ = std::make_unique<RoundCheckpoint>();
+  // One O(ops + FUs) copy per round, into the same buffers (vector
+  // assignment reuses capacity).  The round it precedes sorts the ready
+  // set and scans the FU table per candidate (plus, in budgeted mode, an
+  // O(nodes + edges) rebudget), so the copy is same-order-or-lower work;
+  // passes whose classes never exhaust pay it without ever resuming --
+  // bench/sched_scaling's relax-vs-full columns keep that overhead honest.
+  RoundCheckpoint& cp = *rolling_;
+  cp.ps = ps;
+  cp.readyPool = readyPool;
+  cp.unsatisfied = unsatisfied;
+  cp.remaining = remaining;
+  cp.edgeTopoIdx = edgeTopoIdx;
+  cp.readyHere = readyHere;
+  cp.repaired = repaired;
+  cp.seq = seq;
+  cp.allocAtSnap = allocation_;
+}
+
+void SchedulerImpl::remapCheckpoint(RoundCheckpoint& cp) const {
+  // A fresh pass lays the shared block out per-key contiguously in
+  // allocation_ (map) order, then appends dedicated instances in creation
+  // order.  The checkpoint's table obeys the same invariant for its own
+  // allocAtSnap, so old shared instance j of a key maps to slot j of the
+  // key's (possibly wider) new block, and dedicated ids shift by the total
+  // growth.  New slots are filled exactly as the fresh pass start would.
+  std::int32_t oldShared = 0, newShared = 0;
+  for (const auto& [key, n] : cp.allocAtSnap) oldShared += n;
+  for (const auto& [key, n] : allocation_) newShared += n;
+  const std::size_t oldCount = cp.ps.sched.fus.size();
+  const std::size_t newCount = oldCount + (newShared - oldShared);
+  std::vector<std::int32_t> oldToNew(oldCount);
+  std::int32_t oldOff = 0, newOff = 0;
+  for (const auto& [key, n] : allocation_) {
+    auto it = cp.allocAtSnap.find(key);
+    const std::int32_t was = it == cp.allocAtSnap.end() ? 0 : it->second;
+    THLS_ASSERT(was <= n, "allocation only grows between passes");
+    for (std::int32_t j = 0; j < was; ++j) oldToNew[oldOff + j] = newOff + j;
+    oldOff += was;
+    newOff += n;
+  }
+  THLS_ASSERT(oldOff == oldShared, "checkpoint FU layout mismatch");
+  for (std::size_t f = oldShared; f < oldCount; ++f) {
+    oldToNew[f] =
+        static_cast<std::int32_t>(f) + (newShared - oldShared);
+  }
+  remapScheduleFus(cp.ps.sched, oldToNew, newCount);
+  newOff = 0;
+  for (const auto& [key, n] : allocation_) {
+    auto it = cp.allocAtSnap.find(key);
+    const std::int32_t was = it == cp.allocAtSnap.end() ? 0 : it->second;
+    for (std::int32_t j = was; j < n; ++j) {
+      FuInstance& fu = cp.ps.sched.fus[newOff + j];
+      fu.cls = key.cls;
+      fu.width = key.width;
+      fu.delay = 0;
+      fu.dedicated = false;
+      fu.ops.clear();
+      fu.name = strCat(toString(key.cls), key.width, "_", j);
+    }
+    newOff += n;
+  }
+  // Dedicated names embed the (shifted) global instance id.
+  for (std::size_t f = newShared; f < newCount; ++f) {
+    FuInstance& fu = cp.ps.sched.fus[f];
+    fu.name = strCat(toString(fu.cls), fu.width, "_", f);
+  }
+  cp.allocAtSnap = allocation_;
+}
+
+std::unique_ptr<SchedulerImpl::RoundCheckpoint> SchedulerImpl::planResume(
+    const RelaxOutcome& relaxed) {
+  if (!opts_.incrementalRelaxation) return nullptr;
+  if (relaxed.insertedState || relaxed.forcedFastest) {
+    // A state insertion rewrites spans and budgets from scratch; a fastest
+    // override changes an unscheduled budget that feeds the very first
+    // placement round's rebudget.  Either way the next pass diverges from
+    // its start, so every checkpoint is now off-trajectory.
+    keySnaps_.clear();
+    return nullptr;
+  }
+  if (relaxed.granted.empty()) return nullptr;
+  // The next pass replays the failed one bit-for-bit until the earliest
+  // granted class's exhaustion frontier D (before it, a granted class still
+  // had an empty instance, and an extra empty instance never beats it in a
+  // placement tie).  Checkpoints past D belong to the abandoned trajectory.
+  std::uint64_t divergence = std::numeric_limits<std::uint64_t>::max();
+  for (const AllocKey& key : relaxed.granted) {
+    auto it = keySnaps_.find(key);
+    if (it != keySnaps_.end()) {
+      divergence = std::min(divergence, it->second.seq);
+    }
+  }
+  for (auto it = keySnaps_.begin(); it != keySnaps_.end();) {
+    it = it->second.seq > divergence ? keySnaps_.erase(it) : std::next(it);
+  }
+  // Resume from the latest surviving checkpoint (<= D by construction).
+  const RoundCheckpoint* best = nullptr;
+  for (const auto& [key, cp] : keySnaps_) {
+    if (!best || cp.seq > best->seq) best = &cp;
+  }
+  if (!best) return nullptr;
+  auto cp = std::make_unique<RoundCheckpoint>(*best);
+  remapCheckpoint(*cp);
+  stats_.relaxResumes++;
+  return cp;
 }
 
 ScheduleOutcome SchedulerImpl::run() {
@@ -807,11 +1167,13 @@ ScheduleOutcome SchedulerImpl::run() {
     succsOf_[op.index()] = bhv_.dfg.timingSuccs(op);
   }
   computeInitialAllocation();
+  budgetBounds_ = budgetBoundsFor(bhv_.dfg, lib_, opts_.clockPeriod);
 
   ScheduleOutcome outcome;
+  std::unique_ptr<RoundCheckpoint> resume;
   for (int attempt = 0; attempt <= opts_.maxRelaxations; ++attempt) {
     PassFailure failure;
-    if (schedulePass(&failure)) {
+    if (schedulePass(&failure, resume.get())) {
       outcome.success = true;
       outcome.schedule = std::move(best_.sched);
       outcome.stats = stats_;
@@ -821,7 +1183,15 @@ ScheduleOutcome SchedulerImpl::run() {
       outcome.latency = std::shared_ptr<const LatencyTable>(std::move(lat_));
       return outcome;
     }
-    if (attempt == opts_.maxRelaxations || !relax(failure)) {
+    resume.reset();
+    bool relaxed = false;
+    if (attempt < opts_.maxRelaxations) {
+      ScopedSecondsTimer timer(stats_.relaxSeconds);
+      RelaxOutcome ro;
+      relaxed = relax(failure, &ro);
+      if (relaxed) resume = planResume(ro);
+    }
+    if (!relaxed) {
       outcome.success = false;
       outcome.stats = stats_;
       outcome.failureReason = strCat(

@@ -63,6 +63,28 @@ struct SchedulerOptions {
   /// two-sweep analyses.  Off = full sweep per budgeting iteration; timing
   /// and schedules are bit-for-bit identical either way.
   bool incrementalSlack = true;
+  /// Warm-start the relaxation ladder instead of restarting every pass from
+  /// nothing:
+  ///  * the initial Fig. 7 slack budgeting depends only on the CFG (not on
+  ///    the allocation or fastest-variant overrides), so its result is
+  ///    cached across passes and reused until a relaxation inserts a state
+  ///    (`Cfg::structureVersion()` key);
+  ///  * while a pass runs, the scheduler checkpoints the pass state at each
+  ///    resource class's *exhaustion frontier* (the placement round in which
+  ///    the class's last empty instance filled).  A pass re-run after a
+  ///    grants-only relaxation provably replays the failed pass bit-for-bit
+  ///    up to the earliest granted class's frontier -- extra empty instances
+  ///    cannot win a placement tie before then -- so the pass resumes from
+  ///    that checkpoint (FU ids remapped to the enlarged allocation's
+  ///    layout) instead of re-placing every op.
+  /// Forcing a fastest variant or inserting a state perturbs budgets or the
+  /// CFG from the start of a pass, so those relaxations restart placement
+  /// (the budget cache still short-circuits everything up to the state
+  /// insertion).  Off = the legacy ladder: every pass re-budgets and
+  /// re-places from scratch.  Schedules and the relaxation decision sequence
+  /// are bit-for-bit identical either way (differentially tested in
+  /// tests/relaxation_incremental_test.cpp).
+  bool incrementalRelaxation = true;
 };
 
 struct SchedulerStats {
@@ -89,11 +111,30 @@ struct SchedulerStats {
   /// Timed-node arrival/required values recomputed by seeded slack
   /// repropagation (a full sweep costs 2 * timed nodes per analysis).
   long long slackOpsRecomputed = 0;
+  /// Passes resumed from an exhaustion-frontier checkpoint instead of
+  /// restarting placement (incrementalRelaxation mode).
+  int relaxResumes = 0;
+  /// Operations placed by resumed passes -- the replay cost of the ladder.
+  /// A from-scratch ladder re-places every op on every pass, so its
+  /// equivalent figure is schedulePasses * schedulable ops.
+  int passOpsReplaced = 0;
+  /// Initial-budgeting results reused from the cross-pass cache instead of
+  /// re-running budgetSlack (incrementalRelaxation mode).
+  int budgetReuses = 0;
+  /// Relaxation steps whose grant was sized geometrically (consecutive
+  /// shortfalls of the same (class, width) double the step) instead of the
+  /// linear shortfall/states base.
+  int grantEscalations = 0;
   /// Wall-clock split of the timing phase: LatencyTable builds/updates vs
   /// timing analyses (full sweeps or seeded repropagations, the budgeting
   /// scans around them excluded).  bench/sched_scaling reports both.
   double latencySeconds = 0;
   double timingSeconds = 0;
+  /// Wall clock spent inside the relaxation expert system itself: the
+  /// relax() decisions plus checkpoint remapping/resume planning.  The
+  /// splits are disjoint -- a state insertion's in-place LatencyTable patch
+  /// runs inside relax() but is booked under latencySeconds only.
+  double relaxSeconds = 0;
 };
 
 struct ScheduleOutcome {

@@ -85,6 +85,24 @@ bool recomputeChainStarts(const Behavior& bhv, const LatencyTable& lat,
   return fits;
 }
 
+void remapScheduleFus(Schedule& sched,
+                      const std::vector<std::int32_t>& oldToNew,
+                      std::size_t newCount) {
+  THLS_ASSERT(oldToNew.size() == sched.fus.size(),
+              "remapScheduleFus: one map entry per existing instance");
+  std::vector<FuInstance> fus(newCount);
+  for (std::size_t f = 0; f < oldToNew.size(); ++f) {
+    const std::int32_t to = oldToNew[f];
+    THLS_ASSERT(to >= 0 && static_cast<std::size_t>(to) < newCount,
+                "remapScheduleFus: target out of range");
+    fus[to] = std::move(sched.fus[f]);
+  }
+  sched.fus = std::move(fus);
+  for (FuId& fu : sched.opFu) {
+    if (fu.valid()) fu = FuId(oldToNew[fu.index()]);
+  }
+}
+
 bool identicalSchedules(const Schedule& a, const Schedule& b) {
   if (a.opEdge != b.opEdge || a.opFu != b.opFu || a.opStart != b.opStart ||
       a.opDelay != b.opDelay || a.fus.size() != b.fus.size()) {

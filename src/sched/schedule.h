@@ -64,6 +64,21 @@ struct Schedule {
 bool edgesConcurrent(const Cfg& cfg, const LatencyTable& lat, CfgEdgeId a,
                      CfgEdgeId b);
 
+/// Re-layouts `sched.fus` into a table of `newCount` instances according to
+/// `oldToNew` (old instance index -> new index, injective; one entry per
+/// current instance), rewriting every `opFu` reference.  Slots not covered
+/// by the map are value-initialized; the caller fills them in.
+///
+/// This is the schedule half of the scheduler's pass snapshot/rollback: a
+/// mid-pass checkpoint stores bindings in the FU layout of the allocation it
+/// was taken under, and a fresh pass lays shared instances out per-key
+/// contiguously -- so when the relaxation engine grants extra instances,
+/// resuming from the checkpoint must shift every instance id the grants
+/// displaced before placement can continue (see
+/// SchedulerOptions::incrementalRelaxation).
+void remapScheduleFus(Schedule& sched, const std::vector<std::int32_t>& oldToNew,
+                      std::size_t newCount);
+
 /// Exact (bit-for-bit) equality of the decision-level schedule state:
 /// per-op edges, bindings, starts and delays, plus each instance's op
 /// list, delay, class and width.  The differential benches gate on this;

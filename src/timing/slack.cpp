@@ -35,14 +35,27 @@ TimingResult sequentialSlack(const TimedDfg& graph,
                              const TimingOptions& opts) {
   // The seeded engine's full() IS the two-sweep algorithm; routing the plain
   // entry point through it keeps exactly one implementation to diverge from.
-  IncrementalSlack engine(graph, opts);
-  return engine.full(delays);
+  // One scratch engine per thread: rebind() rebuilds every derived table and
+  // full() overwrites every value, so reuse recycles only the allocations,
+  // never state -- results are bit-for-bit those of a fresh engine.  (The
+  // from-scratch budgeting baselines call this once per iteration; a fresh
+  // engine per call was their dominant allocation cost.)
+  thread_local IncrementalSlack scratch;
+  scratch.rebind(graph, opts);
+  return scratch.full(delays);
 }
 
 IncrementalSlack::IncrementalSlack(const TimedDfg& graph,
-                                   const TimingOptions& opts)
-    : graph_(&graph), opts_(opts) {
+                                   const TimingOptions& opts) {
+  rebind(graph, opts);
+}
+
+void IncrementalSlack::rebind(const TimedDfg& graph,
+                              const TimingOptions& opts) {
   THLS_REQUIRE(opts.clockPeriod > 0, "clock period must be positive");
+  graph_ = &graph;
+  opts_ = opts;
+  opsRecomputed_ = 0;
   const std::size_t n = graph.numNodes();
   arr_.assign(n, 0.0);
   req_.assign(n, 0.0);
@@ -55,13 +68,19 @@ IncrementalSlack::IncrementalSlack(const TimedDfg& graph,
     topoPos_[topo[pos].index()] = pos;
   }
   opOfNode_.assign(n, -1);
+  hwNodes_.clear();
   for (std::size_t i = 0; i < n; ++i) {
     const TimedNode& tn = graph.node(TimedNodeId(static_cast<std::int32_t>(i)));
     if (tn.isSink) continue;
     opOfNode_[i] = tn.op.value();
     hwNodes_.emplace_back(i, tn.op.index());
   }
+  // Reset field-wise: `result_ = TimingResult{}` would free perOp's buffer
+  // and re-pay the allocation this scratch engine exists to avoid.
   result_.perOp.assign(graph.dfg().numOps(), OpTiming{});
+  result_.minSlack = kInf;
+  result_.feasible = false;
+  touched_.clear();
 }
 
 double IncrementalSlack::computeArrival(std::size_t i) const {

@@ -72,6 +72,18 @@ class IncrementalSlack {
  public:
   IncrementalSlack(const TimedDfg& graph, const TimingOptions& opts);
 
+  /// An unbound engine; call rebind() before anything else.  Exists so
+  /// sequentialSlack can keep one scratch engine per thread instead of
+  /// paying the ~10 vector allocations of a fresh engine per call (the
+  /// from-scratch budgeting baselines call it once per iteration).
+  IncrementalSlack() = default;
+
+  /// (Re)binds the engine to a graph/options, reusing vector capacity.
+  /// Equivalent to constructing a fresh engine: every derived table is
+  /// rebuilt and the seeded state is reset, so a following full() produces
+  /// values bit-for-bit equal to a newly constructed engine's.
+  void rebind(const TimedDfg& graph, const TimingOptions& opts);
+
   /// Full two-sweep analysis at `delays`; resets the seeded state.
   const TimingResult& full(const std::vector<double>& delays);
 
@@ -111,7 +123,7 @@ class IncrementalSlack {
   /// maintained entry-wise by propagate()).
   void refreshMinSlack();
 
-  const TimedDfg* graph_;
+  const TimedDfg* graph_ = nullptr;
   TimingOptions opts_;
   std::vector<double> arr_, req_, del_;
   std::vector<std::size_t> topoPos_;  ///< node index -> topo position

@@ -187,6 +187,46 @@ TEST_P(RandomSweep, SchedulesAreLegalWheneverProduced) {
   }
 }
 
+TEST_P(RandomSweep, PostRelaxationSchedulesStayLegalAndLadderModesAgree) {
+  // Schedules that needed the relaxation expert system (resource grants,
+  // fastest-variant overrides, state insertions) must satisfy the same
+  // legality invariants as first-pass schedules, and the warm-started
+  // ladder must reproduce the legacy ladder's result exactly -- including
+  // the relaxation decision sequence.
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+  for (StartPolicy policy : {StartPolicy::kSlowest, StartPolicy::kBudgeted}) {
+    Behavior b1 = workloads::makeRandomDfg(params());
+    Behavior b2 = workloads::makeRandomDfg(params());
+    SchedulerOptions opts;
+    opts.clockPeriod = GetParam().clock;
+    opts.startPolicy = policy;
+    opts.rebudgetPerEdge = policy == StartPolicy::kBudgeted;
+    opts.allowAddState = true;  // exercise every relaxation flavor
+    // Some seeds need dozens of state insertions at tight clocks; a capped
+    // ladder keeps the sweep fast and both modes truncate identically.
+    opts.maxRelaxations = 8;
+    SchedulerOptions incOpts = opts;
+    incOpts.incrementalRelaxation = true;
+    SchedulerOptions refOpts = opts;
+    refOpts.incrementalRelaxation = false;
+    ScheduleOutcome inc = scheduleBehavior(b1, lib, incOpts);
+    ScheduleOutcome ref = scheduleBehavior(b2, lib, refOpts);
+    ASSERT_EQ(inc.success, ref.success);
+    EXPECT_EQ(inc.stats.relaxations, ref.stats.relaxations);
+    EXPECT_EQ(inc.stats.resourcesAdded, ref.stats.resourcesAdded);
+    EXPECT_EQ(inc.stats.statesAdded, ref.stats.statesAdded);
+    EXPECT_EQ(inc.stats.fastestOverrides, ref.stats.fastestOverrides);
+    if (!inc.success) continue;
+    EXPECT_TRUE(identicalSchedules(inc.schedule, ref.schedule));
+    // b1/b2 carry any states the relaxation inserted; validate against the
+    // mutated CFGs.
+    testutil::expectLegal(b1, lib, inc.schedule);
+    if (ref.stats.relaxations > 0) {
+      testutil::expectLegal(b2, lib, ref.schedule);
+    }
+  }
+}
+
 TEST_P(RandomSweep, BudgetedNeverLosesToConventionalByMuchOnAverage) {
   // Not a per-sample guarantee (the paper itself regresses on D5-D7); the
   // aggregated check lives in paper_examples_test.  Here: both flows either

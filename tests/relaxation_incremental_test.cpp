@@ -1,0 +1,200 @@
+// Determinism regression suite for the warm-started relaxation ladder
+// (SchedulerOptions::incrementalRelaxation): the cross-pass budget cache,
+// the exhaustion-frontier pass resume and the FU-id remap must produce
+// schedules -- and the relaxation decision sequence itself -- bit-for-bit
+// identical to the legacy restart-every-pass ladder, across workloads and
+// start policies.
+#include <gtest/gtest.h>
+
+#include "sched/list_scheduler.h"
+#include "test_util.h"
+
+namespace thls {
+namespace {
+
+struct Case {
+  std::string name;
+  std::function<Behavior()> make;
+  double clockPeriod;
+};
+
+// Cases chosen so the ladder actually relaxes (2-12 relaxations each,
+// spanning resource grants, fastest-variant overrides and, with
+// allowAddState, state insertions) -- a no-relaxation run never exercises
+// the resume machinery.
+std::vector<Case> ladderCases() {
+  std::vector<Case> cases = {
+      {"idct1d6", [] { return workloads::makeIdct1d({.latencyStates = 6}); },
+       1250.0},
+      {"idct1d4", [] { return workloads::makeIdct1d({.latencyStates = 4}); },
+       1000.0},
+      {"ewf14", [] { return workloads::makeEwf(14); }, 1600.0},
+      // ewf10@1250 fails under kSlowest in both modes: the failure paths
+      // must agree too.
+      {"ewf10", [] { return workloads::makeEwf(10); }, 1250.0},
+      {"arf8", [] { return workloads::makeArf(8); }, 1250.0},
+      {"arf6", [] { return workloads::makeArf(6); }, 1000.0},
+  };
+  workloads::RandomDfgParams p;
+  p.numOps = 60;
+  p.latencyStates = 4;
+  cases.push_back(
+      {"random60", [p] { return workloads::makeRandomDfg(77, p); }, 1000.0});
+  return cases;
+}
+
+/// Identity check across the two ladder modes.  Unlike the span/slack
+/// differential suites, timingAnalyses is NOT compared: replaying a cached
+/// budgeting result or resuming a pass legitimately skips analyses.  The
+/// relaxation decision sequence (passes, relaxations, grants, overrides,
+/// state insertions) must match exactly.
+void expectSameLadder(const ScheduleOutcome& inc, const ScheduleOutcome& ref,
+                      const std::string& label) {
+  ASSERT_EQ(inc.success, ref.success) << label;
+  EXPECT_EQ(inc.stats.schedulePasses, ref.stats.schedulePasses) << label;
+  EXPECT_EQ(inc.stats.relaxations, ref.stats.relaxations) << label;
+  EXPECT_EQ(inc.stats.resourcesAdded, ref.stats.resourcesAdded) << label;
+  EXPECT_EQ(inc.stats.statesAdded, ref.stats.statesAdded) << label;
+  EXPECT_EQ(inc.stats.fastestOverrides, ref.stats.fastestOverrides) << label;
+  EXPECT_EQ(inc.stats.grantEscalations, ref.stats.grantEscalations) << label;
+  // The legacy ladder never warm-starts.
+  EXPECT_EQ(ref.stats.relaxResumes, 0) << label;
+  EXPECT_EQ(ref.stats.budgetReuses, 0) << label;
+  EXPECT_EQ(ref.stats.passOpsReplaced, 0) << label;
+  if (!inc.success) {
+    EXPECT_EQ(inc.failureReason, ref.failureReason) << label;
+    return;
+  }
+  EXPECT_TRUE(identicalSchedules(inc.schedule, ref.schedule)) << label;
+  // identicalSchedules skips names; the resume remap renumbers instances,
+  // so check they match the fresh pass's naming too.
+  ASSERT_EQ(inc.schedule.fus.size(), ref.schedule.fus.size()) << label;
+  for (std::size_t f = 0; f < inc.schedule.fus.size(); ++f) {
+    EXPECT_EQ(inc.schedule.fus[f].name, ref.schedule.fus[f].name)
+        << label << " fu " << f;
+    EXPECT_EQ(inc.schedule.fus[f].dedicated, ref.schedule.fus[f].dedicated)
+        << label << " fu " << f;
+  }
+  EXPECT_EQ(inc.initialBudgets, ref.initialBudgets) << label;
+}
+
+TEST(RelaxationIncrementalTest, MatchesLegacyLadderAcrossWorkloadsAndPolicies) {
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+  int resumes = 0, reuses = 0;
+  for (const Case& c : ladderCases()) {
+    for (StartPolicy p : {StartPolicy::kFastest, StartPolicy::kSlowest,
+                          StartPolicy::kBudgeted}) {
+      SchedulerOptions opts;
+      opts.clockPeriod = c.clockPeriod;
+      opts.startPolicy = p;
+      opts.rebudgetPerEdge = p == StartPolicy::kBudgeted;
+
+      SchedulerOptions incOpts = opts;
+      incOpts.incrementalRelaxation = true;
+      SchedulerOptions refOpts = opts;
+      refOpts.incrementalRelaxation = false;
+
+      Behavior b1 = c.make();
+      Behavior b2 = c.make();
+      ScheduleOutcome inc = scheduleBehavior(b1, lib, incOpts);
+      ScheduleOutcome ref = scheduleBehavior(b2, lib, refOpts);
+      expectSameLadder(inc, ref,
+                       strCat(c.name, " policy=", static_cast<int>(p)));
+      resumes += inc.stats.relaxResumes;
+      reuses += inc.stats.budgetReuses;
+    }
+  }
+  // The sweep must actually exercise the warm-start machinery.
+  EXPECT_GT(resumes, 0);
+  EXPECT_GT(reuses, 0);
+}
+
+TEST(RelaxationIncrementalTest, MatchesLegacyLadderWithStateInsertion) {
+  // State insertions invalidate the budget cache (Cfg::structureVersion) and
+  // every checkpoint; the ladder must restart cleanly and still agree.
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+  Behavior b1 = testutil::chainBehavior(8, 2);
+  Behavior b2 = testutil::chainBehavior(8, 2);
+  SchedulerOptions opts;
+  opts.clockPeriod = 1250.0;
+  opts.allowAddState = true;
+  SchedulerOptions incOpts = opts;
+  incOpts.incrementalRelaxation = true;
+  SchedulerOptions refOpts = opts;
+  refOpts.incrementalRelaxation = false;
+  ScheduleOutcome inc = scheduleBehavior(b1, lib, incOpts);
+  ScheduleOutcome ref = scheduleBehavior(b2, lib, refOpts);
+  ASSERT_TRUE(ref.success) << ref.failureReason;
+  EXPECT_GT(ref.stats.statesAdded, 0);
+  expectSameLadder(inc, ref, "chain+addState");
+  testutil::expectLegal(b1, lib, inc.schedule);
+}
+
+TEST(RelaxationIncrementalTest, ComposesWithLegacySpanAndSlackModes) {
+  // incrementalRelaxation must not depend on the other incremental caches:
+  // resume with from-scratch spans/slack is a supported combination.
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+  SchedulerOptions opts;
+  opts.clockPeriod = 1250.0;
+  opts.incrementalSpans = false;
+  opts.incrementalLatency = false;
+  opts.incrementalSlack = false;
+  SchedulerOptions incOpts = opts;
+  incOpts.incrementalRelaxation = true;
+  SchedulerOptions refOpts = opts;
+  refOpts.incrementalRelaxation = false;
+  Behavior b1 = workloads::makeArf(8);
+  Behavior b2 = workloads::makeArf(8);
+  ScheduleOutcome inc = scheduleBehavior(b1, lib, incOpts);
+  ScheduleOutcome ref = scheduleBehavior(b2, lib, refOpts);
+  ASSERT_TRUE(ref.success) << ref.failureReason;
+  EXPECT_GT(ref.stats.relaxations, 0);
+  expectSameLadder(inc, ref, "arf8 legacy-spans");
+}
+
+// The ROADMAP straggler: slack-based scheduling of the IDCT 8x8
+// (8 states, 1600 ps) design point used to take ~44 s because every one of
+// ~10 relaxation passes re-ran a positive-grant slack budgeting that hits
+// its 100k-grant safety valve, then re-placed all 848 ops.  The warm-started
+// ladder must pin this down: few relaxations (geometric escalation), one
+// budgeting run (cross-pass cache), bounded replay -- and a schedule
+// bit-for-bit identical to the legacy ladder's.
+TEST(RelaxationIncrementalTest, Idct8StatesAt1600Regression) {
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+  workloads::IdctParams p;
+  p.latencyStates = 8;
+  SchedulerOptions opts;
+  opts.clockPeriod = 1600.0;
+  opts.startPolicy = StartPolicy::kBudgeted;
+  opts.rebudgetPerEdge = true;
+
+  Behavior b1 = workloads::makeIdct8x8(p);
+  SchedulerOptions incOpts = opts;
+  incOpts.incrementalRelaxation = true;
+  ScheduleOutcome inc = scheduleBehavior(b1, lib, incOpts);
+  ASSERT_TRUE(inc.success) << inc.failureReason;
+
+  const int nOps = static_cast<int>(b1.dfg.schedulableOps().size());
+  EXPECT_LE(inc.stats.relaxations, 20);
+  EXPECT_GT(inc.stats.grantEscalations, 0);
+  EXPECT_GT(inc.stats.budgetReuses, 0);
+  EXPECT_GT(inc.stats.relaxResumes, 0);
+  // Replay stays bounded: the from-scratch equivalent re-places every op on
+  // every pass (schedulePasses * nOps placements).
+  EXPECT_LT(inc.stats.passOpsReplaced,
+            (inc.stats.schedulePasses - 1) * nOps / 2);
+  // Work proxy that does not flake on wall clocks: the legacy ladder needs
+  // ~800k timing analyses here (one ~100k-grant budgeting per pass); the
+  // warm-started one runs budgeting once.
+  EXPECT_LT(inc.stats.timingAnalyses, 250000);
+
+  Behavior b2 = workloads::makeIdct8x8(p);
+  SchedulerOptions refOpts = opts;
+  refOpts.incrementalRelaxation = false;
+  ScheduleOutcome ref = scheduleBehavior(b2, lib, refOpts);
+  expectSameLadder(inc, ref, "idct8x8 (8, 1600ps)");
+  testutil::expectLegal(b2, lib, ref.schedule);
+}
+
+}  // namespace
+}  // namespace thls
