@@ -16,6 +16,11 @@
 //                 engine caps the pool at the hardware concurrency)
 //   --reps N      repetitions per mode, best-of reported (default 1)
 //   --json PATH   output JSON path (default BENCH_dse_idct.json)
+//   --trace PATH  record Chrome-trace spans for the whole run (see
+//                 docs/observability.md); timing rows then include the
+//                 (small) recording overhead, so don't mix traced and
+//                 untraced numbers in one comparison
+//   --metrics PATH  write the metrics-registry snapshot JSON at exit
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -25,6 +30,8 @@
 #include "explore/campaign.h"
 #include "flow/dse.h"
 #include "netlist/report.h"
+#include "support/metrics.h"
+#include "support/trace.h"
 #include "workloads/workloads.h"
 
 using namespace thls;
@@ -68,6 +75,7 @@ int main(int argc, char** argv) {
   int threads = 4;
   int reps = 1;
   std::string jsonPath = "BENCH_dse_idct.json";
+  std::string tracePath, metricsPath;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--small") small = true;
@@ -75,8 +83,11 @@ int main(int argc, char** argv) {
     if (arg == "--threads" && i + 1 < argc) threads = std::atoi(argv[++i]);
     if (arg == "--reps" && i + 1 < argc) reps = std::atoi(argv[++i]);
     if (arg == "--json" && i + 1 < argc) jsonPath = argv[++i];
+    if (arg == "--trace" && i + 1 < argc) tracePath = argv[++i];
+    if (arg == "--metrics" && i + 1 < argc) metricsPath = argv[++i];
   }
   if (reps < 1) reps = 1;
+  if (!tracePath.empty()) trace::setEnabled(true);
 
   ResourceLibrary lib = ResourceLibrary::tsmc90();
   FlowOptions base;
@@ -205,6 +216,20 @@ int main(int argc, char** argv) {
   } else {
     std::fprintf(stderr, "\nerror: could not write %s\n", jsonPath.c_str());
     return 1;
+  }
+  if (!tracePath.empty()) {
+    if (!trace::writeChromeTraceFile(tracePath)) {
+      std::fprintf(stderr, "error: could not write %s\n", tracePath.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", tracePath.c_str());
+  }
+  if (!metricsPath.empty()) {
+    if (!metrics::writeSnapshotFile(metricsPath)) {
+      std::fprintf(stderr, "error: could not write %s\n", metricsPath.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", metricsPath.c_str());
   }
   return (coldMatches && warmMatches) ? 0 : 1;
 }

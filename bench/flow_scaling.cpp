@@ -18,6 +18,10 @@
 //                             (default 3.0; CI smoke passes 0 so only the
 //                             identity gates fail the build -- wall-clock
 //                             ratios flake on shared runners)
+//   --trace PATH              record Chrome-trace spans for the whole run
+//                             (observation only -- the identity gates are
+//                             unaffected); see docs/observability.md
+//   --metrics PATH            write the metrics-registry snapshot JSON
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -28,6 +32,8 @@
 #include "explore/explorer.h"
 #include "flow/dse.h"
 #include "netlist/report.h"
+#include "support/metrics.h"
+#include "support/trace.h"
 #include "workloads/workloads.h"
 
 using namespace thls;
@@ -68,6 +74,7 @@ int main(int argc, char** argv) {
   int reps = 3;
   double minBindingSpeedup = 3.0;
   std::string jsonPath = "BENCH_flow_scaling.json";
+  std::string tracePath, metricsPath;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--small") small = true;
@@ -75,8 +82,11 @@ int main(int argc, char** argv) {
     if (arg == "--json" && i + 1 < argc) jsonPath = argv[++i];
     if (arg == "--min-binding-speedup" && i + 1 < argc)
       minBindingSpeedup = std::atof(argv[++i]);
+    if (arg == "--trace" && i + 1 < argc) tracePath = argv[++i];
+    if (arg == "--metrics" && i + 1 < argc) metricsPath = argv[++i];
   }
   if (reps < 1) reps = 1;
+  if (!tracePath.empty()) trace::setEnabled(true);
 
   ResourceLibrary lib = ResourceLibrary::tsmc90();
   const std::string workload = small ? "idct1d" : "idct8x8";
@@ -205,6 +215,12 @@ int main(int argc, char** argv) {
   } else {
     std::fprintf(stderr, "error: could not write %s\n", jsonPath.c_str());
     return 1;
+  }
+  if (!tracePath.empty() && trace::writeChromeTraceFile(tracePath)) {
+    std::printf("wrote %s\n", tracePath.c_str());
+  }
+  if (!metricsPath.empty() && metrics::writeSnapshotFile(metricsPath)) {
+    std::printf("wrote %s\n", metricsPath.c_str());
   }
   return (allIdentical && paretoIdentical && speedup >= minBindingSpeedup)
              ? 0

@@ -26,6 +26,11 @@
 //                           speedup (default 1.5; CI smoke passes 0 for both
 //                           so only the schedule-identity check gates --
 //                           wall-clock ratios flake on shared runners)
+//   --trace PATH            record Chrome-trace spans (adds a little
+//                           overhead to every mode equally; the identity
+//                           check is unaffected -- tracing is observation
+//                           only).  See docs/observability.md.
+//   --metrics PATH          write the metrics-registry snapshot JSON
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -36,6 +41,8 @@
 
 #include "netlist/report.h"
 #include "sched/list_scheduler.h"
+#include "support/metrics.h"
+#include "support/trace.h"
 #include "workloads/workloads.h"
 
 using namespace thls;
@@ -77,6 +84,7 @@ int main(int argc, char** argv) {
   double minSpeedup = 2.0;
   double minTimingSpeedup = 1.5;
   std::string jsonPath = "BENCH_sched_scaling.json";
+  std::string tracePath, metricsPath;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--reps" && i + 1 < argc) reps = std::atoi(argv[++i]);
@@ -84,8 +92,11 @@ int main(int argc, char** argv) {
     if (arg == "--min-speedup" && i + 1 < argc) minSpeedup = std::atof(argv[++i]);
     if (arg == "--min-timing-speedup" && i + 1 < argc)
       minTimingSpeedup = std::atof(argv[++i]);
+    if (arg == "--trace" && i + 1 < argc) tracePath = argv[++i];
+    if (arg == "--metrics" && i + 1 < argc) metricsPath = argv[++i];
   }
   if (reps < 1) reps = 1;
+  if (!tracePath.empty()) trace::setEnabled(true);
 
   ResourceLibrary lib = ResourceLibrary::tsmc90();
 
@@ -201,6 +212,12 @@ int main(int argc, char** argv) {
   } else {
     std::fprintf(stderr, "error: could not write %s\n", jsonPath.c_str());
     return 1;
+  }
+  if (!tracePath.empty() && trace::writeChromeTraceFile(tracePath)) {
+    std::printf("wrote %s\n", tracePath.c_str());
+  }
+  if (!metricsPath.empty() && metrics::writeSnapshotFile(metricsPath)) {
+    std::printf("wrote %s\n", metricsPath.c_str());
   }
   return (allIdentical && speedup400 >= minSpeedup &&
           timingSpeedup400 >= minTimingSpeedup)

@@ -5,15 +5,33 @@
 // bench/dse_idct.
 //
 //   $ ./build/examples/idct_explore
+//   $ ./build/examples/idct_explore --progress          # live per-point lines
+//   $ ./build/examples/idct_explore --trace t.json --metrics m.json
+//
+// --trace writes a Chrome/Perfetto trace of the whole run and --metrics a
+// metrics-registry snapshot; see docs/observability.md for both formats.
 #include <cstdio>
+#include <string>
 
 #include "explore/campaign.h"
 #include "netlist/report.h"
+#include "support/metrics.h"
+#include "support/trace.h"
 #include "workloads/workloads.h"
 
 using namespace thls;
 
-int main() {
+int main(int argc, char** argv) {
+  bool progress = false;
+  std::string tracePath, metricsPath;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--progress") progress = true;
+    if (arg == "--trace" && i + 1 < argc) tracePath = argv[++i];
+    if (arg == "--metrics" && i + 1 < argc) metricsPath = argv[++i];
+  }
+  if (!tracePath.empty()) trace::setEnabled(true);
+
   ResourceLibrary lib = ResourceLibrary::tsmc90();
   FlowOptions base;
 
@@ -31,6 +49,17 @@ int main() {
 
   explore::EngineOptions eopts;
   eopts.threads = 4;
+  // Live progress via the engine's per-point callback: invoked serialized
+  // (the lambda needn't be thread-safe), in completion order.
+  if (progress) {
+    eopts.onPoint = [](const explore::EvaluatedPoint& ev) {
+      const DsePointResult& r = ev.result;
+      std::printf("  done %-4s lat=%-3d T=%.0fps  %s%s\n",
+                  r.point.name.c_str(), r.point.latencyStates,
+                  r.point.clockPeriod, r.slack.success ? "ok" : "FAIL",
+                  ev.slackCacheHit ? " (cached)" : "");
+    };
+  }
   explore::ExploreEngine engine(lib, base, eopts);
   explore::ParetoArchive archive;
 
@@ -96,5 +125,15 @@ int main() {
   std::printf("Pareto front: %zu points; flow cache %zu hits / %zu misses\n",
               front.size(), cs.hits, cs.misses);
   std::printf("\nfront CSV:\n%s", explore::frontCsv(front).c_str());
+  if (progress) {
+    std::printf("points evaluated (engine lifetime): %zu\n",
+                engine.pointsEvaluated());
+  }
+  if (!tracePath.empty() && trace::writeChromeTraceFile(tracePath)) {
+    std::printf("wrote %s\n", tracePath.c_str());
+  }
+  if (!metricsPath.empty() && metrics::writeSnapshotFile(metricsPath)) {
+    std::printf("wrote %s\n", metricsPath.c_str());
+  }
   return 0;
 }

@@ -1,0 +1,157 @@
+#!/usr/bin/env python3
+"""Validates the observability artifacts a TradeHLS run emits: the Chrome
+trace-event JSON written by --trace / THLS_TRACE and the metrics-registry
+snapshot written by --metrics / THLS_METRICS (formats documented in
+docs/observability.md).
+
+Trace checks: top-level object with a non-empty "traceEvents" list; every
+event carries name/ph/ts/pid/tid; ph is one of X/i/M; 'X' events carry a
+non-negative dur; the raw-nanosecond "ts_ns" companions are non-decreasing
+in file order (the exporter sorts).  Metrics checks: counters/gauges/
+histograms sections of the right shapes; every histogram has count/sum/
+min/max with count >= 1 and min <= max.
+
+--require-span NAME / --require-metric KEY (repeatable) additionally assert
+that a span name appears in the trace / a counter-gauge-histogram key
+appears in the snapshot -- CI uses these to catch silently-dropped
+instrumentation.
+
+Usage:
+  scripts/check_trace.py [--trace FILE] [--require-span NAME]...
+                         [--metrics FILE] [--require-metric KEY]...
+
+Exits nonzero listing every violation.
+"""
+import argparse
+import json
+import sys
+
+VALID_PHASES = {"X", "i", "M"}
+# 'M' metadata rows (thread names) carry no timestamp.
+EVENT_REQUIRED = ("name", "ph", "pid", "tid")
+HISTOGRAM_REQUIRED = ("count", "sum", "min", "max")
+
+
+def check_trace(path: str, required_spans) -> list:
+    errors = []
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return [f"{path}: cannot parse: {e}"]
+
+    if not isinstance(data, dict) or "traceEvents" not in data:
+        return [f"{path}: missing top-level 'traceEvents'"]
+    events = data["traceEvents"]
+    if not isinstance(events, list) or not events:
+        return [f"{path}: 'traceEvents' must be a non-empty list"]
+
+    names = set()
+    prev_ns = None
+    for i, ev in enumerate(events):
+        where = f"{path}: event {i}"
+        if not isinstance(ev, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        missing = [k for k in EVENT_REQUIRED if k not in ev]
+        if missing:
+            errors.append(f"{where}: missing {missing}")
+            continue
+        if ev["ph"] not in VALID_PHASES:
+            errors.append(f"{where}: bad phase {ev['ph']!r}")
+        if ev["ph"] == "X":
+            if "dur" not in ev:
+                errors.append(f"{where}: 'X' event without dur")
+            elif float(ev["dur"]) < 0:
+                errors.append(f"{where}: negative dur {ev['dur']}")
+        if ev["ph"] == "M":
+            continue  # metadata rows carry no timestamp
+        if "ts" not in ev:
+            errors.append(f"{where}: missing ['ts']")
+            continue
+        names.add(ev["name"])
+        if "ts_ns" in ev:
+            ts = int(ev["ts_ns"])
+            if prev_ns is not None and ts < prev_ns:
+                errors.append(
+                    f"{where}: ts_ns {ts} decreases (prev {prev_ns})")
+            prev_ns = ts
+    for span in required_spans:
+        if span not in names:
+            errors.append(f"{path}: required span '{span}' not recorded "
+                          f"(have: {', '.join(sorted(names)[:12])} ...)")
+    return errors
+
+
+def check_metrics(path: str, required_keys) -> list:
+    errors = []
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return [f"{path}: cannot parse: {e}"]
+
+    if not isinstance(data, dict):
+        return [f"{path}: top level must be an object"]
+    for section in ("counters", "gauges", "histograms"):
+        if section not in data or not isinstance(data[section], dict):
+            errors.append(f"{path}: missing '{section}' object")
+    if errors:
+        return errors
+
+    for name, v in data["counters"].items():
+        if not isinstance(v, int):
+            errors.append(f"{path}: counter '{name}' not an integer: {v!r}")
+    for name, v in data["gauges"].items():
+        if not isinstance(v, (int, float)):
+            errors.append(f"{path}: gauge '{name}' not a number: {v!r}")
+    for name, h in data["histograms"].items():
+        where = f"{path}: histogram '{name}'"
+        if not isinstance(h, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        missing = [k for k in HISTOGRAM_REQUIRED if k not in h]
+        if missing:
+            errors.append(f"{where}: missing {missing}")
+            continue
+        if h["count"] < 1:
+            errors.append(f"{where}: count {h['count']} < 1")
+        if h["min"] > h["max"]:
+            errors.append(f"{where}: min {h['min']} > max {h['max']}")
+
+    present = set(data["counters"]) | set(data["gauges"]) | \
+        set(data["histograms"])
+    for key in required_keys:
+        if key not in present:
+            errors.append(f"{path}: required metric '{key}' absent")
+    return errors
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--trace", help="Chrome trace-event JSON to validate")
+    ap.add_argument("--require-span", action="append", default=[],
+                    metavar="NAME", help="span name that must be present")
+    ap.add_argument("--metrics", help="metrics snapshot JSON to validate")
+    ap.add_argument("--require-metric", action="append", default=[],
+                    metavar="KEY", help="metric key that must be present")
+    args = ap.parse_args()
+    if not args.trace and not args.metrics:
+        ap.error("nothing to check: pass --trace and/or --metrics")
+
+    errors = []
+    if args.trace:
+        errors += check_trace(args.trace, args.require_span)
+    if args.metrics:
+        errors += check_metrics(args.metrics, args.require_metric)
+
+    for e in errors:
+        print(f"error: {e}", file=sys.stderr)
+    if not errors:
+        checked = [p for p in (args.trace, args.metrics) if p]
+        print(f"ok: {', '.join(checked)} valid")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

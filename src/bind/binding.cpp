@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sched/concurrency.h"
+#include "support/trace.h"
 
 namespace thls {
 
@@ -323,6 +324,8 @@ int compactBindingIncremental(const Behavior& bhv, const LatencyTable& lat,
 int compactBinding(const Behavior& bhv, const LatencyTable& lat,
                    const ResourceLibrary& lib, Schedule& sched, int maxShare,
                    bool incremental) {
+  THLS_TRACE_SPAN_V(bindSpan, "bind.compact");
+  bindSpan.arg("incremental", incremental).arg("max_share", maxShare);
   // Both engines start from the chain-start fixpoint: the scheduler's last
   // rebudget can speed FUs up without re-deriving starts, and the delta
   // engine assumes every op outside a merge cone already sits at its exact

@@ -6,6 +6,7 @@
 #include <optional>
 
 #include "support/scoped_timer.h"
+#include "support/trace.h"
 
 namespace thls {
 
@@ -182,6 +183,7 @@ BudgetResult fixNegativeSlack(const TimedDfg& graph, const Dfg& dfg,
 BudgetResult budgetSlack(const TimedDfg& graph, const Dfg& dfg,
                          const ResourceLibrary& lib,
                          const BudgetOptions& opts) {
+  THLS_TRACE_SPAN_V(budgetSpan, "budget.slack");
   const double T = opts.clockPeriod;
   THLS_REQUIRE(T > 0, "clock period must be positive");
   const double margin = opts.marginFraction * T;
@@ -212,7 +214,10 @@ BudgetResult budgetSlack(const TimedDfg& graph, const Dfg& dfg,
   // Step 3: budget away negative aligned slack.
   BudgetResult result =
       fixNegativeSlack(graph, dfg, lib, std::move(delays), opts, seedPtr, &pre);
-  if (!result.feasible) return result;
+  if (!result.feasible) {
+    budgetSpan.arg("feasible", false);
+    return result;
+  }
 
   // Step 4: spend positive slack, most area-sensitive op first, one grant
   // per timing refresh.
@@ -299,6 +304,9 @@ BudgetResult budgetSlack(const TimedDfg& graph, const Dfg& dfg,
   // The shared engine counted every seeded recomputation of this budgeting
   // run (including the fixNegativeSlack calls it was threaded through).
   if (inc) result.slackOpsRecomputed = inc->opsRecomputed();
+  budgetSpan.arg("feasible", result.feasible)
+      .arg("grants", result.positiveGrants)
+      .arg("seeded_sweeps", result.slackSeededSweeps);
   return result;
 }
 

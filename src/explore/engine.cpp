@@ -1,5 +1,8 @@
 #include "explore/engine.h"
 
+#include "support/metrics.h"
+#include "support/trace.h"
+
 namespace thls::explore {
 
 ThreadPool::ThreadPool(std::size_t numThreads) {
@@ -85,6 +88,14 @@ ExploreEngine::ExploreEngine(const ResourceLibrary& lib, FlowOptions base,
 EvaluatedPoint ExploreEngine::evaluateOne(const std::string& workloadName,
                                           const GeneratorFn& generator,
                                           const DesignPoint& pt) {
+  // One span per design point, recorded in the worker's own thread lane:
+  // a parallel run renders as a per-worker timeline in Perfetto, making
+  // stragglers and pool idle gaps directly visible.
+  THLS_TRACE_SPAN_V(pointSpan, "dse.point");
+  pointSpan.arg("point", pt.name)
+      .arg("workload", workloadName)
+      .arg("latency", pt.latencyStates)
+      .arg("clock", pt.clockPeriod);
   EvaluatedPoint ev;
   ev.result.point = pt;
 
@@ -135,7 +146,25 @@ EvaluatedPoint ExploreEngine::evaluateOne(const std::string& workloadName,
     ev.result.slack = *slackHit;
   }
   ev.result.savingPercent = areaSavingPercent(ev.result.conv, ev.result.slack);
+  pointSpan.arg("conv_cache_hit", ev.convCacheHit)
+      .arg("slack_cache_hit", ev.slackCacheHit)
+      .arg("slack_success", ev.result.slack.success);
   return ev;
+}
+
+void ExploreEngine::notePoint(const EvaluatedPoint& ev) {
+  evaluated_.fetch_add(1, std::memory_order_relaxed);
+  if (metrics::enabled()) {
+    metrics::add("dse.points_evaluated");
+    metrics::add(ev.convCacheHit ? "dse.cache.conv_hits"
+                                 : "dse.cache.conv_misses");
+    metrics::add(ev.slackCacheHit ? "dse.cache.slack_hits"
+                                  : "dse.cache.slack_misses");
+  }
+  if (opts_.onPoint) {
+    std::lock_guard<std::mutex> lock(progressMu_);
+    opts_.onPoint(ev);
+  }
 }
 
 std::vector<EvaluatedPoint> ExploreEngine::evaluate(
@@ -150,9 +179,22 @@ std::vector<EvaluatedPoint> ExploreEngine::evaluate(
       entry.point = points[i];
       entry.obj = objectivesOf(out[i].result.slack);
       entry.savingPercent = out[i].result.savingPercent;
-      archive->insert(std::move(entry));
+      bool joined = archive->insert(std::move(entry));
+      if (metrics::enabled()) {
+        metrics::add("dse.pareto.attempts");
+        if (!joined) metrics::add("dse.pareto.rejected");
+      }
     }
+    notePoint(out[i]);
   });
+  // Shard-aggregated cache totals as gauges: cumulative over the engine's
+  // lifetime, overwritten (not summed) on every batch.
+  if (metrics::enabled()) {
+    FlowCacheStats cs = cache_.stats();
+    metrics::setGauge("dse.cache.hits", static_cast<double>(cs.hits));
+    metrics::setGauge("dse.cache.misses", static_cast<double>(cs.misses));
+    metrics::setGauge("dse.cache.entries", static_cast<double>(cs.entries));
+  }
   return out;
 }
 

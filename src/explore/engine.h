@@ -58,6 +58,14 @@ class ThreadPool {
   bool stop_ = false;
 };
 
+/// One evaluated design point: the DsePointResult the classic driver
+/// produced plus per-flavor cache provenance.
+struct EvaluatedPoint {
+  DsePointResult result;
+  bool convCacheHit = false;
+  bool slackCacheHit = false;
+};
+
 struct EngineOptions {
   /// Worker threads; 0 means std::thread::hardware_concurrency().  Either
   /// way the pool is capped at the hardware concurrency: the flows are
@@ -65,14 +73,15 @@ struct EngineOptions {
   /// measurably slower than the serial loop on small machines).
   int threads = 0;
   bool useCache = true;
-};
-
-/// One evaluated design point: the DsePointResult the classic driver
-/// produced plus per-flavor cache provenance.
-struct EvaluatedPoint {
-  DsePointResult result;
-  bool convCacheHit = false;
-  bool slackCacheHit = false;
+  /// Live-progress hook: invoked after every evaluated point, serialized
+  /// under an engine mutex (the callback need not be thread-safe, and may
+  /// be slow -- it blocks only the worker that finished the point, not the
+  /// pool).  Invocation order follows completion, not input, order.  This
+  /// is the polling surface a long-running DSE job service needs; the
+  /// evaluated-point count is also readable at any time via
+  /// ExploreEngine::pointsEvaluated() and the `dse.points_evaluated`
+  /// metrics counter.
+  std::function<void(const EvaluatedPoint&)> onPoint;
 };
 
 using GeneratorFn = std::function<Behavior(int latencyStates)>;
@@ -97,10 +106,21 @@ class ExploreEngine {
   std::size_t threads() const { return pool_.size(); }
   const FlowOptions& baseOptions() const { return base_; }
 
+  /// Points evaluated over the engine's lifetime (cache hits included).
+  /// Safe to poll from any thread while evaluate() runs -- the live
+  /// progress counter for job-service style callers.
+  std::size_t pointsEvaluated() const {
+    return evaluated_.load(std::memory_order_relaxed);
+  }
+
  private:
   EvaluatedPoint evaluateOne(const std::string& workloadName,
                              const GeneratorFn& generator,
                              const DesignPoint& pt);
+  /// Progress/metrics bookkeeping after one point: bumps the atomic
+  /// counter, mirrors cache provenance into the metrics registry, and runs
+  /// the serialized onPoint callback.
+  void notePoint(const EvaluatedPoint& ev);
 
   ResourceLibrary lib_;
   FlowOptions base_;
@@ -109,6 +129,8 @@ class ExploreEngine {
   ThreadPool pool_;
   FlowCache cache_;
   std::mutex genMu_;
+  std::atomic<std::size_t> evaluated_{0};
+  std::mutex progressMu_;
 };
 
 /// Strips EvaluatedPoint provenance back to the classic DSE result rows.

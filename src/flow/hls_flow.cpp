@@ -2,23 +2,82 @@
 
 #include <chrono>
 
+#include "support/metrics.h"
 #include "support/scoped_timer.h"
+#include "support/trace.h"
 
 namespace thls {
+
+namespace {
+
+/// Folds one finished flow run into the metrics registry (the unified view
+/// of SchedulerStats + the per-phase seconds sinks; names documented in
+/// docs/observability.md).  Runs once per flow -- far from any hot loop.
+void recordFlowMetrics(const FlowResult& r) {
+  if (!metrics::enabled()) return;
+  metrics::add("flow.runs");
+  if (!r.success) {
+    metrics::add("flow.failures");
+    return;
+  }
+  if (r.latencyReused) metrics::add("flow.latency_reused");
+  metrics::observe("flow.scheduling_seconds", r.schedulingSeconds);
+  metrics::observe("flow.binding_seconds", r.bindingSeconds);
+  metrics::observe("flow.recovery_seconds", r.recoverySeconds);
+  metrics::observe("flow.report_seconds", r.reportSeconds);
+
+  const SchedulerStats& s = r.stats;
+  metrics::add("sched.passes", s.schedulePasses);
+  metrics::add("sched.relaxations", s.relaxations);
+  metrics::add("sched.timing_analyses", s.timingAnalyses);
+  metrics::add("sched.resources_added", s.resourcesAdded);
+  metrics::add("sched.states_added", s.statesAdded);
+  metrics::add("sched.fastest_overrides", s.fastestOverrides);
+  metrics::add("sched.span_rebuilds", s.spanRebuilds);
+  metrics::add("sched.span_updates", s.spanUpdates);
+  metrics::add("sched.span_ops_recomputed", s.spanOpsRecomputed);
+  metrics::add("sched.ready_scans", s.readyScans);
+  metrics::add("sched.lat_rebuilds", s.latRebuilds);
+  metrics::add("sched.lat_updates", s.latUpdates);
+  metrics::add("sched.slack_ops_recomputed", s.slackOpsRecomputed);
+  metrics::add("sched.relax_resumes", s.relaxResumes);
+  metrics::add("sched.pass_ops_replaced", s.passOpsReplaced);
+  metrics::add("sched.budget_reuses", s.budgetReuses);
+  metrics::add("sched.grant_escalations", s.grantEscalations);
+  metrics::observe("sched.latency_seconds", s.latencySeconds);
+  metrics::observe("sched.timing_seconds", s.timingSeconds);
+  metrics::observe("sched.relax_seconds", s.relaxSeconds);
+}
+
+}  // namespace
 
 FlowResult runFlow(Behavior bhv, const ResourceLibrary& lib,
                    const FlowOptions& opts) {
   FlowResult result;
+  THLS_TRACE_SPAN_V(flowSpan, "flow.run");
+  flowSpan.arg("clock", opts.sched.clockPeriod)
+      .arg("policy", opts.sched.startPolicy == StartPolicy::kFastest
+                         ? "fastest"
+                         : opts.sched.startPolicy == StartPolicy::kSlowest
+                               ? "slowest"
+                               : "budgeted");
 
   auto t0 = std::chrono::steady_clock::now();
-  ScheduleOutcome outcome = scheduleBehavior(bhv, lib, opts.sched);
+  ScheduleOutcome outcome;
+  {
+    THLS_TRACE_SPAN("flow.schedule");
+    outcome = scheduleBehavior(bhv, lib, opts.sched);
+  }
   auto t1 = std::chrono::steady_clock::now();
   result.schedulingSeconds = std::chrono::duration<double>(t1 - t0).count();
   result.stats = outcome.stats;
   result.states = bhv.cfg.numStates();
+  flowSpan.arg("states", result.states);
 
   if (!outcome.success) {
     result.failureReason = outcome.failureReason;
+    flowSpan.arg("success", false);
+    recordFlowMetrics(result);
     return result;
   }
   result.success = true;
@@ -33,11 +92,13 @@ FlowResult runFlow(Behavior bhv, const ResourceLibrary& lib,
   Schedule sched = std::move(outcome.schedule);
   if (opts.compactBinding) {
     ScopedSecondsTimer timer(result.bindingSeconds);
+    THLS_TRACE_SPAN("flow.bind");
     compactBinding(bhv, *lat, lib, sched, opts.sched.maxShare,
                    opts.incrementalBinding);
   }
   if (opts.areaRecovery) {
     ScopedSecondsTimer timer(result.recoverySeconds);
+    THLS_TRACE_SPAN("flow.recover");
     RecoveryOptions ropts;
     ropts.incremental = opts.incrementalBinding;
     RecoveryResult rec =
@@ -47,6 +108,7 @@ FlowResult runFlow(Behavior bhv, const ResourceLibrary& lib,
 
   {
     ScopedSecondsTimer timer(result.reportSeconds);
+    THLS_TRACE_SPAN("flow.report");
     result.area = areaReport(bhv, *lat, sched, lib, opts.binding);
     PowerOptions popts;
     popts.iterationCycles = opts.iterationCycles > 0
@@ -56,6 +118,8 @@ FlowResult runFlow(Behavior bhv, const ResourceLibrary& lib,
     result.power = powerReport(bhv, *lat, sched, lib, popts);
   }
   result.schedule = std::move(sched);
+  flowSpan.arg("success", true).arg("area", result.area.total());
+  recordFlowMetrics(result);
   return result;
 }
 

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <optional>
 
+#include "support/trace.h"
+
 namespace thls {
 
 namespace {
@@ -266,10 +268,14 @@ RecoveryResult stateLocalAreaRecovery(const Behavior& bhv,
                                       Schedule sched,
                                       const ResourceLibrary& lib,
                                       const RecoveryOptions& opts) {
-  if (opts.incremental) {
-    return recoverIncremental(bhv, lat, std::move(sched), lib, opts);
-  }
-  return recoverLegacy(bhv, lat, std::move(sched), lib, opts);
+  THLS_TRACE_SPAN_V(recoverSpan, "recover.state_local");
+  recoverSpan.arg("incremental", opts.incremental);
+  RecoveryResult result =
+      opts.incremental
+          ? recoverIncremental(bhv, lat, std::move(sched), lib, opts)
+          : recoverLegacy(bhv, lat, std::move(sched), lib, opts);
+  recoverSpan.arg("fus_resized", result.fusResized);
+  return result;
 }
 
 }  // namespace thls

@@ -11,6 +11,7 @@
 
 #include "ir/opspan.h"
 #include "support/scoped_timer.h"
+#include "support/trace.h"
 #include "timing/timed_dfg.h"
 
 namespace thls {
@@ -419,8 +420,8 @@ bool SchedulerImpl::tryPlace(PassState& ps, OpId op, CfgEdgeId e,
       keySnaps_[{fu.cls, fu.width}] = *rolling_;
     }
   }
-  logLine(3, strCat("place ", o.name, " on ", cfg.edge(e).name, " fu=",
-                    fu.name, " delay=", fu.delay, " start=", chainStart));
+  THLS_LOG(3, "place ", o.name, " on ", cfg.edge(e).name, " fu=", fu.name,
+           " delay=", fu.delay, " start=", chainStart);
   // Refresh the effective delay of every mate (mux growth / FU upgrade).
   int ways = static_cast<int>(fu.ops.size());
   double muxD = fu.dedicated ? 0.0 : lib_.muxDelay(ways);
@@ -433,6 +434,7 @@ bool SchedulerImpl::tryPlace(PassState& ps, OpId op, CfgEdgeId e,
 
 void SchedulerImpl::rebudget(PassState& ps, const LatencyTable& lat,
                              const OpSpanAnalysis& spans) {
+  THLS_TRACE_SPAN("sched.rebudget");
   // Incremental mode refreshes the weights of the pass's timed-graph
   // skeleton; legacy mode reconstructs the graph like the pre-PR flow did
   // (it is the bench baseline).  Both see identical weights.
@@ -500,6 +502,8 @@ bool SchedulerImpl::schedulePass(PassFailure* failure,
   const Dfg& dfg = bhv_.dfg;
   stats_.schedulePasses++;
   passResumed_ = resume != nullptr;
+  THLS_TRACE_SPAN_V(passSpan, "sched.pass");
+  passSpan.arg("pass", stats_.schedulePasses).arg("resumed", passResumed_);
 
   {
     // Incremental mode keeps the table across passes: relaxation either left
@@ -601,6 +605,7 @@ bool SchedulerImpl::schedulePass(PassFailure* failure,
       bool placedAny = true;
       while (placedAny && remaining > 0) {
         placedAny = false;
+        THLS_TRACE_SPAN("sched.round");
         if (opts_.incrementalRelaxation) {
           noteRoundStart(ps, readyPool, unsatisfied, remaining, eIdx,
                          readyHere, repaired);
@@ -720,9 +725,14 @@ bool SchedulerImpl::schedulePass(PassFailure* failure,
             failure->unscheduledOfClass++;
           }
         }
-        logLine(2, strCat("pass failure: ", o.name, " at ", cfg.edge(e).name,
-                          " late=", cfg.edge(spans->late(op)).name,
-                          " budget=", ps.budgets[op.index()]));
+        THLS_LOG(2, "pass failure: ", o.name, " at ", cfg.edge(e).name,
+                 " late=", cfg.edge(spans->late(op)).name,
+                 " budget=", ps.budgets[op.index()]);
+        if (trace::enabled()) {
+          trace::instant("sched.pass_failure",
+                         {{"op", trace::detail::jsonQuote(o.name)},
+                          {"edge", trace::detail::jsonQuote(cfg.edge(e).name)}});
+        }
         return false;
       }
     }
@@ -794,13 +804,16 @@ bool SchedulerImpl::setupFreshPass(PassFailure* failure, PassState* psOut,
     // across a CFG-preserving relaxation its result is bit-for-bit the one
     // the previous pass computed.  Warm-started mode replays it from the
     // cache; a state insertion bumps Cfg::structureVersion and invalidates.
+    THLS_TRACE_SPAN_V(budgetSpan, "sched.budget_initial");
     const BudgetResult* b = nullptr;
     BudgetResult fresh;
     if (opts_.incrementalRelaxation && budgetCache_ &&
         budgetCacheVersion_ == cfg.structureVersion()) {
       b = budgetCache_.get();
       stats_.budgetReuses++;
+      budgetSpan.arg("cached", true);
     } else {
+      budgetSpan.arg("cached", false);
       fresh = budgetSlack(timed, dfg, lib_, bopts);
       stats_.timingSeconds += fresh.analysisSeconds;
       stats_.timingAnalyses +=
@@ -927,8 +940,8 @@ bool SchedulerImpl::relax(const PassFailure& failure, RelaxOutcome* out) {
     it->second += added;
     stats_.resourcesAdded += added;
     out->granted.push_back(key);
-    logLine(2, strCat("relax: +", added, " ", toString(key.cls), key.width,
-                      " (now ", it->second, ")"));
+    THLS_LOG(2, "relax: +", added, " ", toString(key.cls), key.width, " (now ",
+             it->second, ")");
     return true;
   };
   const int states = std::max<int>(1, static_cast<int>(bhv_.cfg.numStates()));
@@ -953,8 +966,8 @@ bool SchedulerImpl::relax(const PassFailure& failure, RelaxOutcome* out) {
         fastestOverride_.insert(failure.op);
         stats_.fastestOverrides++;
         out->forcedFastest = true;
-        logLine(2, strCat("relax: fastest variant for '",
-                          bhv_.dfg.op(failure.op).name, "'"));
+        THLS_LOG(2, "relax: fastest variant for '",
+                 bhv_.dfg.op(failure.op).name, "'");
         did = true;
       }
       // Extra instances also relieve timing (shallower input muxes, more
@@ -1005,7 +1018,7 @@ bool SchedulerImpl::relax(const PassFailure& failure, RelaxOutcome* out) {
         }
         stats_.statesAdded++;
         out->insertedState = true;
-        logLine(2, "relax: inserted a state");
+        THLS_LOG(2, "relax: inserted a state");
         return true;
       }
       return false;
@@ -1158,7 +1171,9 @@ std::unique_ptr<SchedulerImpl::RoundCheckpoint> SchedulerImpl::planResume(
 
 ScheduleOutcome SchedulerImpl::run() {
   THLS_REQUIRE(opts_.clockPeriod > 0, "clock period must be positive");
+  THLS_TRACE_SPAN_V(runSpan, "sched.run");
   schedulable_ = bhv_.dfg.schedulableOps();
+  runSpan.arg("ops", schedulable_.size()).arg("clock", opts_.clockPeriod);
   topoOrder_ = bhv_.dfg.topoOrder();
   predsOf_.resize(bhv_.dfg.numOps());
   succsOf_.resize(bhv_.dfg.numOps());
@@ -1187,9 +1202,22 @@ ScheduleOutcome SchedulerImpl::run() {
     bool relaxed = false;
     if (attempt < opts_.maxRelaxations) {
       ScopedSecondsTimer timer(stats_.relaxSeconds);
+      THLS_TRACE_SPAN_V(relaxSpan, "sched.relax");
       RelaxOutcome ro;
       relaxed = relax(failure, &ro);
       if (relaxed) resume = planResume(ro);
+      if (relaxSpan.active()) {
+        std::string granted;
+        for (const AllocKey& key : ro.granted) {
+          if (!granted.empty()) granted += ',';
+          granted += strCat(toString(key.cls), key.width);
+        }
+        relaxSpan.arg("step", attempt + 1)
+            .arg("granted", granted)
+            .arg("forced_fastest", ro.forcedFastest)
+            .arg("inserted_state", ro.insertedState)
+            .arg("resume", resume != nullptr);
+      }
     }
     if (!relaxed) {
       outcome.success = false;

@@ -87,54 +87,32 @@ struct SchedulerOptions {
   bool incrementalRelaxation = true;
 };
 
+/// Per-run scheduler instrumentation.  Every field is documented in
+/// docs/observability.md (metric names table: each maps 1:1 onto a
+/// `sched.*` counter or histogram in the metrics registry; runFlow folds
+/// them in).  Decision-level counters come first, then the incremental
+/// maintenance counters, then the disjoint wall-clock splits.
 struct SchedulerStats {
   int schedulePasses = 0;
   int relaxations = 0;
-  /// Number of timing-analysis invocations (budget + per-edge rebudgets).
-  int timingAnalyses = 0;
+  int timingAnalyses = 0;  ///< budget + per-edge rebudget analyses
   int resourcesAdded = 0;
   int statesAdded = 0;
   int fastestOverrides = 0;
-  /// Full OpSpanAnalysis constructions (pass setup, and every placement
-  /// round when incrementalSpans is off).
-  int spanRebuilds = 0;
-  /// Incremental span update() calls, and how many op spans they revisited
-  /// (the from-scratch equivalent revisits every op every round).
-  int spanUpdates = 0;
-  int spanOpsRecomputed = 0;
-  /// Ready-pool scans by the placement loop (one per placement round).
-  int readyScans = 0;
-  /// Full LatencyTable constructions, and in-place applyStateInsertion
-  /// updates that replaced one (incrementalLatency mode).
-  int latRebuilds = 0;
-  int latUpdates = 0;
-  /// Timed-node arrival/required values recomputed by seeded slack
-  /// repropagation (a full sweep costs 2 * timed nodes per analysis).
-  long long slackOpsRecomputed = 0;
-  /// Passes resumed from an exhaustion-frontier checkpoint instead of
-  /// restarting placement (incrementalRelaxation mode).
-  int relaxResumes = 0;
-  /// Operations placed by resumed passes -- the replay cost of the ladder.
-  /// A from-scratch ladder re-places every op on every pass, so its
-  /// equivalent figure is schedulePasses * schedulable ops.
-  int passOpsReplaced = 0;
-  /// Initial-budgeting results reused from the cross-pass cache instead of
-  /// re-running budgetSlack (incrementalRelaxation mode).
-  int budgetReuses = 0;
-  /// Relaxation steps whose grant was sized geometrically (consecutive
-  /// shortfalls of the same (class, width) double the step) instead of the
-  /// linear shortfall/states base.
-  int grantEscalations = 0;
-  /// Wall-clock split of the timing phase: LatencyTable builds/updates vs
-  /// timing analyses (full sweeps or seeded repropagations, the budgeting
-  /// scans around them excluded).  bench/sched_scaling reports both.
-  double latencySeconds = 0;
-  double timingSeconds = 0;
-  /// Wall clock spent inside the relaxation expert system itself: the
-  /// relax() decisions plus checkpoint remapping/resume planning.  The
-  /// splits are disjoint -- a state insertion's in-place LatencyTable patch
-  /// runs inside relax() but is booked under latencySeconds only.
-  double relaxSeconds = 0;
+  int spanRebuilds = 0;  ///< full OpSpanAnalysis builds
+  int spanUpdates = 0;   ///< incremental span update() calls...
+  int spanOpsRecomputed = 0;  ///< ...and the op spans they revisited
+  int readyScans = 0;    ///< ready-pool scans (one per placement round)
+  int latRebuilds = 0;   ///< full LatencyTable builds
+  int latUpdates = 0;    ///< in-place applyStateInsertion patches
+  long long slackOpsRecomputed = 0;  ///< seeded-repropagation node visits
+  int relaxResumes = 0;      ///< passes resumed from a checkpoint
+  int passOpsReplaced = 0;   ///< ops re-placed by resumed passes
+  int budgetReuses = 0;      ///< cross-pass budget-cache hits
+  int grantEscalations = 0;  ///< geometrically-sized relaxation grants
+  double latencySeconds = 0;  ///< LatencyTable build/update wall clock
+  double timingSeconds = 0;   ///< timing-analysis wall clock
+  double relaxSeconds = 0;    ///< relaxation expert system wall clock
 };
 
 struct ScheduleOutcome {

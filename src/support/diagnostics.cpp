@@ -1,10 +1,18 @@
 #include "support/diagnostics.h"
 
+#include <cstdlib>
 #include <iostream>
 
 namespace thls {
 namespace {
-int g_logLevel = 0;
+
+int initialLogLevel() {
+  const char* env = std::getenv("THLS_LOG_LEVEL");
+  return env && *env ? std::atoi(env) : 0;
+}
+
+int g_logLevel = initialLogLevel();
+
 }  // namespace
 
 void throwInternal(const char* file, int line, const char* cond,

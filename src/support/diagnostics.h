@@ -31,7 +31,13 @@ class InternalError : public std::logic_error {
                                 const std::string& msg);
 
 /// Verbosity-gated logging to stderr.  Level 0 = silent, 1 = flow progress,
-/// 2 = per-edge scheduling detail, 3 = timing-analysis traces.
+/// 2 = per-edge scheduling detail, 3 = timing-analysis traces.  The initial
+/// level comes from the THLS_LOG_LEVEL environment variable (default 0),
+/// so verbosity can be flipped in CI and benches without recompiling;
+/// setLogLevel overrides it.  Prefer the THLS_LOG macro over calling
+/// logLine directly: the macro checks the level *before* evaluating its
+/// message arguments, so suppressed lines cost one integer compare instead
+/// of a strCat in the placement inner loop.
 int logLevel();
 void setLogLevel(int level);
 void logLine(int level, const std::string& msg);
@@ -58,4 +64,15 @@ std::string strCat(Args&&... args) {
     if (!(cond)) {                       \
       throw ::thls::HlsError((msg));     \
     }                                    \
+  } while (false)
+
+/// Lazy logging: the variadic message parts are strCat'd only when the
+/// current log level admits the line.  THLS_LOG(3, "x=", x) is free when
+/// logLevel() < 3 -- unlike logLine(3, strCat(...)), which built (and
+/// heap-allocated) the string on every call.
+#define THLS_LOG(level, ...)                                       \
+  do {                                                             \
+    if (::thls::logLevel() >= (level)) {                           \
+      ::thls::logLine((level), ::thls::strCat(__VA_ARGS__));       \
+    }                                                              \
   } while (false)

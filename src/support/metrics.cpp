@@ -1,0 +1,311 @@
+#include "support/metrics.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <mutex>
+
+#include "support/diagnostics.h"
+
+namespace thls::metrics {
+
+namespace detail {
+std::atomic<bool> g_enabled{true};
+}  // namespace detail
+
+namespace {
+
+struct Registry {
+  std::mutex mu;
+  MetricsSnapshot data;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // leaked: worker threads may outlive main
+  return *r;
+}
+
+std::string g_exitPath;
+
+void writeAtExit() {
+  if (!g_exitPath.empty()) writeSnapshotFile(g_exitPath);
+}
+
+void appendDouble(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+  // Bare integers round-trip fine but keep the JSON type visibly numeric.
+  if (!std::strpbrk(buf, ".eEn")) out += ".0";
+}
+
+std::string quote(const std::string& s) {
+  // Metric names are plain identifiers; escape defensively anyway.
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+void setEnabled(bool on) {
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+void add(const std::string& name, long long delta) {
+  if (!enabled()) return;
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.data.counters[name] += delta;
+}
+
+void setGauge(const std::string& name, double value) {
+  if (!enabled()) return;
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.data.gauges[name] = value;
+}
+
+void observe(const std::string& name, double sample) {
+  if (!enabled()) return;
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  HistogramStats& h = r.data.histograms[name];
+  if (h.count == 0 || sample < h.min) h.min = sample;
+  if (h.count == 0 || sample > h.max) h.max = sample;
+  h.count++;
+  h.sum += sample;
+}
+
+MetricsSnapshot snapshot() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  return r.data;
+}
+
+void reset() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.data = MetricsSnapshot{};
+}
+
+std::string MetricsSnapshot::toJson() const {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, v] : counters) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    " + quote(name) + ": " + std::to_string(v);
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, v] : gauges) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    " + quote(name) + ": ";
+    appendDouble(out, v);
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    " + quote(name) + ": {\"count\": " + std::to_string(h.count) +
+           ", \"sum\": ";
+    appendDouble(out, h.sum);
+    out += ", \"min\": ";
+    appendDouble(out, h.min);
+    out += ", \"max\": ";
+    appendDouble(out, h.max);
+    out += "}";
+  }
+  out += first ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+namespace {
+
+/// Minimal recursive-descent parser for the snapshot's own JSON shape.
+class SnapshotParser {
+ public:
+  explicit SnapshotParser(const std::string& s) : s_(s) {}
+
+  MetricsSnapshot parse() {
+    MetricsSnapshot out;
+    expect('{');
+    bool firstSection = true;
+    while (!peekIs('}')) {
+      if (!firstSection) expect(',');
+      firstSection = false;
+      std::string section = parseString();
+      expect(':');
+      if (section == "counters") {
+        parseFlat([&](const std::string& k) { out.counters[k] = parseLong(); });
+      } else if (section == "gauges") {
+        parseFlat([&](const std::string& k) { out.gauges[k] = parseDouble(); });
+      } else if (section == "histograms") {
+        parseFlat([&](const std::string& k) {
+          out.histograms[k] = parseHistogram();
+        });
+      } else {
+        fail("unknown section '" + section + "'");
+      }
+    }
+    expect('}');
+    return out;
+  }
+
+ private:
+  template <typename Fn>
+  void parseFlat(const Fn& onKey) {
+    expect('{');
+    bool first = true;
+    while (!peekIs('}')) {
+      if (!first) expect(',');
+      first = false;
+      std::string key = parseString();
+      expect(':');
+      onKey(key);
+    }
+    expect('}');
+  }
+
+  HistogramStats parseHistogram() {
+    HistogramStats h;
+    parseFlat([&](const std::string& field) {
+      if (field == "count") {
+        h.count = parseLong();
+      } else if (field == "sum") {
+        h.sum = parseDouble();
+      } else if (field == "min") {
+        h.min = parseDouble();
+      } else if (field == "max") {
+        h.max = parseDouble();
+      } else {
+        fail("unknown histogram field '" + field + "'");
+      }
+    });
+    return h;
+  }
+
+  void skipWs() {
+    while (i_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[i_]))) {
+      ++i_;
+    }
+  }
+
+  bool peekIs(char c) {
+    skipWs();
+    return i_ < s_.size() && s_[i_] == c;
+  }
+
+  void expect(char c) {
+    skipWs();
+    if (i_ >= s_.size() || s_[i_] != c) {
+      fail(strCat("expected '", c, "' at offset ", i_));
+    }
+    ++i_;
+  }
+
+  std::string parseString() {
+    expect('"');
+    std::string out;
+    while (i_ < s_.size() && s_[i_] != '"') {
+      if (s_[i_] == '\\' && i_ + 1 < s_.size()) ++i_;
+      out += s_[i_++];
+    }
+    expect('"');
+    return out;
+  }
+
+  const char* numberStart() {
+    skipWs();
+    if (i_ >= s_.size()) fail("unexpected end of input in number");
+    return s_.c_str() + i_;
+  }
+
+  long long parseLong() {
+    const char* start = numberStart();
+    char* end = nullptr;
+    long long v = std::strtoll(start, &end, 10);
+    if (end == start) fail(strCat("bad integer at offset ", i_));
+    i_ += static_cast<std::size_t>(end - start);
+    return v;
+  }
+
+  double parseDouble() {
+    const char* start = numberStart();
+    char* end = nullptr;
+    double v = std::strtod(start, &end);
+    if (end == start) fail(strCat("bad number at offset ", i_));
+    i_ += static_cast<std::size_t>(end - start);
+    return v;
+  }
+
+  [[noreturn]] void fail(const std::string& why) {
+    throw HlsError("metrics JSON: " + why);
+  }
+
+  const std::string& s_;
+  std::size_t i_ = 0;
+};
+
+}  // namespace
+
+MetricsSnapshot snapshotFromJson(const std::string& json) {
+  return SnapshotParser(json).parse();
+}
+
+bool writeSnapshotFile(const std::string& path) {
+  std::ofstream os(path);
+  if (!os) {
+    std::fprintf(stderr, "[thls] cannot open metrics output %s\n",
+                 path.c_str());
+    return false;
+  }
+  os << snapshot().toJson();
+  os.flush();
+  if (!os) {
+    std::fprintf(stderr, "[thls] failed writing metrics to %s\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+void initFromEnvironment() {
+  const char* env = std::getenv("THLS_METRICS");
+  if (!env || !*env) return;
+  if (std::strcmp(env, "0") == 0 || std::strcmp(env, "false") == 0 ||
+      std::strcmp(env, "off") == 0) {
+    setEnabled(false);
+    return;
+  }
+  setEnabled(true);
+  if (std::strcmp(env, "1") != 0 && std::strcmp(env, "true") != 0 &&
+      std::strcmp(env, "on") != 0) {
+    g_exitPath = env;
+    static bool registered = false;
+    if (!registered) {
+      registered = true;
+      std::atexit(writeAtExit);
+    }
+  }
+}
+
+namespace {
+const bool g_envInitDone = [] {
+  initFromEnvironment();
+  return true;
+}();
+}  // namespace
+
+}  // namespace thls::metrics

@@ -1,0 +1,86 @@
+// Unified metrics registry: named counters, gauges and histograms behind
+// one process-wide registry, snapshotted into a machine-readable JSON run
+// report (docs/observability.md documents every metric name).
+//
+// This absorbs the instrumentation that used to be scattered per subsystem
+// -- SchedulerStats counters, FlowResult's per-phase seconds sinks,
+// FlowCache shard hit/miss, Pareto-archive accept/reject -- without
+// removing those structs (benches and differential tests still compare
+// them); the layers that own them fold the values in here so every run can
+// emit one aggregated report.
+//
+// Thread-safety: all operations lock one registry mutex.  Recording sites
+// run at flow/point granularity (never inside scheduler inner loops), so
+// contention is negligible next to the seconds a flow evaluation costs.
+// Recording can be disabled globally (THLS_METRICS=0); like tracing, the
+// enabled check is a single relaxed atomic load.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+
+namespace thls::metrics {
+
+namespace detail {
+extern std::atomic<bool> g_enabled;
+}  // namespace detail
+
+inline bool enabled() {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+void setEnabled(bool on);
+
+/// Aggregate of every sample observe()d under one histogram name.
+struct HistogramStats {
+  long long count = 0;
+  double sum = 0;
+  double min = 0;
+  double max = 0;
+  bool operator==(const HistogramStats& o) const = default;
+};
+
+/// Point-in-time copy of the whole registry.  Keys are sorted (std::map) so
+/// serialization is deterministic.
+struct MetricsSnapshot {
+  std::map<std::string, long long> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramStats> histograms;
+  bool operator==(const MetricsSnapshot& o) const = default;
+
+  /// {"counters": {...}, "gauges": {...}, "histograms": {name: {count,
+  /// sum, min, max}}} -- the run-report format scripts/check_trace.py
+  /// validates.  Doubles use round-trippable precision.
+  std::string toJson() const;
+};
+
+/// Parses the exact shape toJson() emits (bounded subset parser, not a
+/// general JSON library).  Throws thls::HlsError on malformed input.
+MetricsSnapshot snapshotFromJson(const std::string& json);
+
+/// Adds `delta` to the named counter (created at zero on first use).
+void add(const std::string& name, long long delta = 1);
+
+/// Sets the named gauge to `value` (last write wins).
+void setGauge(const std::string& name, double value);
+
+/// Folds `sample` into the named histogram (count/sum/min/max).
+void observe(const std::string& name, double sample);
+
+MetricsSnapshot snapshot();
+
+/// Drops every metric (tests and repeated bench reps).
+void reset();
+
+/// Writes snapshot().toJson() to `path`; false + stderr note on I/O error.
+bool writeSnapshotFile(const std::string& path);
+
+/// Applies THLS_METRICS: "0"/"false"/"off" disables recording, a path
+/// enables it and writes the snapshot at process exit.  Runs once at
+/// static-init time; exposed for tests.
+void initFromEnvironment();
+
+}  // namespace thls::metrics

@@ -1,0 +1,307 @@
+#include "support/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+
+namespace thls::trace {
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+}  // namespace detail
+
+namespace {
+
+/// Events kept per thread before the ring wraps (oldest overwritten).  Sized
+/// so a full-grid DSE run with per-round scheduler spans still keeps the
+/// interesting tail; see docs/observability.md for the memory math.
+constexpr std::size_t kRingCapacity = 1 << 17;
+
+struct ThreadBuffer {
+  std::uint32_t tid = 0;
+  std::vector<Event> ring;
+  /// Total events ever recorded; ring index is written % kRingCapacity.
+  std::uint64_t written = 0;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  std::uint32_t nextTid = 0;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // leaked: threads may outlive main
+  return *r;
+}
+
+/// Trace epoch: timestamps are relative to the first clock query so traces
+/// start near t=0 regardless of process uptime.
+std::chrono::steady_clock::time_point epoch() {
+  static const std::chrono::steady_clock::time_point t0 =
+      std::chrono::steady_clock::now();
+  return t0;
+}
+
+ThreadBuffer& threadBuffer() {
+  thread_local std::shared_ptr<ThreadBuffer> tb = [] {
+    auto buf = std::make_shared<ThreadBuffer>();
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    buf->tid = r.nextTid++;
+    r.buffers.push_back(buf);
+    return buf;
+  }();
+  return *tb;
+}
+
+std::string g_exitPath;  // set by initFromEnvironment, written at exit
+
+void writeAtExit() {
+  if (!g_exitPath.empty()) writeChromeTraceFile(g_exitPath);
+}
+
+}  // namespace
+
+namespace detail {
+
+std::int64_t nowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - epoch())
+      .count();
+}
+
+void record(Event ev) {
+  ThreadBuffer& tb = threadBuffer();
+  if (tb.ring.size() < kRingCapacity) {
+    tb.ring.push_back(std::move(ev));
+  } else {
+    tb.ring[tb.written % kRingCapacity] = std::move(ev);
+  }
+  tb.written++;
+}
+
+std::string jsonQuote(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace detail
+
+void setEnabled(bool on) {
+  // Touch the epoch before the first event so t=0 is the enable point of
+  // the first session, not some later first-record race.
+  if (on) epoch();
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+Span& Span::arg(const char* key, long long v) {
+  if (active()) {
+    args_.push_back({key, std::to_string(v)});
+  }
+  return *this;
+}
+
+Span& Span::arg(const char* key, double v) {
+  if (active()) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    args_.push_back({key, buf});
+  }
+  return *this;
+}
+
+void Span::finish() {
+  if (!name_) return;
+  Event ev;
+  ev.name = name_;
+  ev.phase = 'X';
+  ev.tsNs = startNs_;
+  ev.durNs = detail::nowNs() - startNs_;
+  ev.args = std::move(args_);
+  name_ = nullptr;
+  detail::record(std::move(ev));
+}
+
+void instant(const char* name) { instant(name, {}); }
+
+void instant(const char* name, std::vector<Arg> args) {
+  if (!enabled()) return;
+  Event ev;
+  ev.name = name;
+  ev.phase = 'i';
+  ev.tsNs = detail::nowNs();
+  ev.args = std::move(args);
+  detail::record(std::move(ev));
+}
+
+TraceStats stats() {
+  TraceStats s;
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (const auto& tb : r.buffers) {
+    if (tb->written == 0) continue;
+    s.threads++;
+    s.recorded += tb->ring.size();
+    if (tb->written > kRingCapacity) s.dropped += tb->written - kRingCapacity;
+  }
+  return s;
+}
+
+void clear() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (const auto& tb : r.buffers) {
+    tb->ring.clear();
+    tb->written = 0;
+  }
+}
+
+namespace {
+
+struct FlatEvent {
+  const Event* ev;
+  std::uint32_t tid;
+};
+
+void writeEventJson(std::ostream& os, const FlatEvent& fe) {
+  const Event& e = *fe.ev;
+  char ts[40], dur[40];
+  std::snprintf(ts, sizeof(ts), "%lld.%03lld",
+                static_cast<long long>(e.tsNs / 1000),
+                static_cast<long long>(e.tsNs % 1000));
+  os << "{\"name\":" << detail::jsonQuote(e.name) << ",\"cat\":\"thls\","
+     << "\"ph\":\"" << e.phase << "\",\"pid\":1,\"tid\":" << fe.tid
+     << ",\"ts\":" << ts << ",\"ts_ns\":" << e.tsNs;
+  if (e.phase == 'X') {
+    std::snprintf(dur, sizeof(dur), "%lld.%03lld",
+                  static_cast<long long>(e.durNs / 1000),
+                  static_cast<long long>(e.durNs % 1000));
+    os << ",\"dur\":" << dur;
+  }
+  if (e.phase == 'i') os << ",\"s\":\"t\"";
+  if (!e.args.empty()) {
+    os << ",\"args\":{";
+    for (std::size_t i = 0; i < e.args.size(); ++i) {
+      if (i) os << ',';
+      os << detail::jsonQuote(e.args[i].key) << ':' << e.args[i].value;
+    }
+    os << '}';
+  }
+  os << '}';
+}
+
+}  // namespace
+
+void writeChromeTrace(std::ostream& os) {
+  Registry& r = registry();
+  std::vector<FlatEvent> flat;
+  std::vector<std::uint32_t> tids;
+  {
+    std::lock_guard<std::mutex> lock(r.mu);
+    for (const auto& tb : r.buffers) {
+      if (tb->ring.empty()) continue;
+      tids.push_back(tb->tid);
+      // Ring order: oldest event first (the wrap point when wrapped).
+      const std::size_t n = tb->ring.size();
+      const std::size_t start =
+          tb->written > n ? tb->written % kRingCapacity : 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        flat.push_back({&tb->ring[(start + i) % n], tb->tid});
+      }
+    }
+    std::stable_sort(flat.begin(), flat.end(),
+                     [](const FlatEvent& a, const FlatEvent& b) {
+                       return a.ev->tsNs < b.ev->tsNs;
+                     });
+    os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+    bool first = true;
+    for (std::uint32_t tid : tids) {
+      if (!first) os << ",\n";
+      first = false;
+      os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
+         << ",\"args\":{\"name\":\""
+         << (tid == 0 ? "main" : ("worker-" + std::to_string(tid))) << "\"}}";
+    }
+    for (const FlatEvent& fe : flat) {
+      if (!first) os << ",\n";
+      first = false;
+      writeEventJson(os, fe);
+    }
+    os << "\n]}\n";
+  }
+}
+
+bool writeChromeTraceFile(const std::string& path) {
+  std::ofstream os(path);
+  if (!os) {
+    std::fprintf(stderr, "[thls] cannot open trace output %s\n", path.c_str());
+    return false;
+  }
+  writeChromeTrace(os);
+  os.flush();
+  if (!os) {
+    std::fprintf(stderr, "[thls] failed writing trace to %s\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+void initFromEnvironment() {
+  const char* env = std::getenv("THLS_TRACE");
+  if (!env || !*env) return;
+  if (std::strcmp(env, "0") == 0 || std::strcmp(env, "false") == 0 ||
+      std::strcmp(env, "off") == 0) {
+    setEnabled(false);
+    return;
+  }
+  setEnabled(true);
+  // Any value other than a plain boolean names the export path, written at
+  // process exit (so THLS_TRACE=run.json works on any flow binary).
+  if (std::strcmp(env, "1") != 0 && std::strcmp(env, "true") != 0 &&
+      std::strcmp(env, "on") != 0) {
+    g_exitPath = env;
+    static bool registered = false;
+    if (!registered) {
+      registered = true;
+      std::atexit(writeAtExit);
+    }
+  }
+}
+
+namespace {
+// Apply THLS_TRACE before main() so even library-only callers honor it.
+const bool g_envInitDone = [] {
+  initFromEnvironment();
+  return true;
+}();
+}  // namespace
+
+}  // namespace thls::trace

@@ -1,0 +1,166 @@
+// Span-based flow tracer with Chrome/Perfetto trace-event JSON export.
+//
+// Design constraints (see docs/observability.md):
+//  * zero-cost when disabled: every macro / Span constructor is a single
+//    relaxed atomic load and a branch -- no allocation, no clock read --
+//    so the hot-path identity and speedup gates in bench/sched_scaling and
+//    bench/flow_scaling are unaffected;
+//  * no perturbation when enabled: recording only appends to per-thread
+//    ring buffers (no locks on the record path, no interaction with the
+//    algorithms), so traced runs stay bit-for-bit identical to untraced
+//    ones (tests/observability_test.cpp checks);
+//  * per-thread attribution: each OS thread records into its own buffer and
+//    exports under its own tid, so a parallel DSE run renders as one
+//    timeline lane per worker in Perfetto.
+//
+// Usage:
+//   THLS_TRACE_SPAN("sched.pass");                 // RAII, whole scope
+//   THLS_TRACE_SPAN_V(span, "dse.point");          // named, can carry args
+//   span.arg("latency", 8).arg("cache_hit", true);
+//   THLS_TRACE_INSTANT("sched.pass_failure");      // zero-duration event
+//
+// Enable programmatically (trace::setEnabled) or via the THLS_TRACE
+// environment variable: "1"/"true"/"on" collects, any other non-empty value
+// is treated as an output path written at process exit ("0"/"false"/"off"
+// disable).  Export with writeChromeTrace / writeChromeTraceFile.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace thls::trace {
+
+namespace detail {
+extern std::atomic<bool> g_enabled;
+}  // namespace detail
+
+/// True when spans/instants are being collected.  One relaxed load: this is
+/// the only cost tracing adds to a disabled run.
+inline bool enabled() {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+void setEnabled(bool on);
+
+/// One key/value argument.  `value` is a preformatted JSON value fragment
+/// (quoted+escaped for strings, plain numeral for numbers/bools) so the
+/// exporter never re-interprets it.
+struct Arg {
+  const char* key;
+  std::string value;
+};
+
+/// One recorded event.  `name` must be a string literal (or otherwise
+/// outlive the trace); events store the pointer, not a copy.
+struct Event {
+  const char* name = nullptr;
+  char phase = 'X';       ///< 'X' complete, 'i' instant
+  std::int64_t tsNs = 0;  ///< relative to the process trace epoch
+  std::int64_t durNs = 0; ///< complete events only
+  std::vector<Arg> args;
+};
+
+namespace detail {
+std::int64_t nowNs();
+void record(Event ev);
+std::string jsonQuote(const std::string& s);
+}  // namespace detail
+
+/// RAII span: records one complete ('X') event covering its lifetime.
+/// Constructing while tracing is disabled makes every member a no-op.
+class Span {
+ public:
+  explicit Span(const char* name) {
+    if (enabled()) {
+      name_ = name;
+      startNs_ = detail::nowNs();
+    }
+  }
+  ~Span() { finish(); }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// True when this span is live and will be recorded (callers use this to
+  /// skip building expensive args).
+  bool active() const { return name_ != nullptr; }
+
+  /// Attach a key/value argument (shown in the Perfetto detail pane).  Keys
+  /// must be string literals.  No-ops on an inactive span.
+  Span& arg(const char* key, const std::string& v) {
+    if (active()) args_.push_back({key, detail::jsonQuote(v)});
+    return *this;
+  }
+  Span& arg(const char* key, const char* v) {
+    return arg(key, std::string(v));
+  }
+  Span& arg(const char* key, long long v);
+  Span& arg(const char* key, int v) {
+    return arg(key, static_cast<long long>(v));
+  }
+  Span& arg(const char* key, std::size_t v) {
+    return arg(key, static_cast<long long>(v));
+  }
+  Span& arg(const char* key, double v);
+  Span& arg(const char* key, bool v) {
+    if (active()) args_.push_back({key, v ? "true" : "false"});
+    return *this;
+  }
+
+  /// Records the event now (normally the destructor's job).
+  void finish();
+
+ private:
+  const char* name_ = nullptr;
+  std::int64_t startNs_ = 0;
+  std::vector<Arg> args_;
+};
+
+/// Records a zero-duration instant event (no-op when disabled).
+void instant(const char* name);
+void instant(const char* name, std::vector<Arg> args);
+
+struct TraceStats {
+  std::size_t recorded = 0;  ///< events currently held in the ring buffers
+  std::size_t dropped = 0;   ///< oldest events overwritten on ring wrap
+  std::size_t threads = 0;   ///< threads that recorded at least one event
+};
+
+TraceStats stats();
+
+/// Drops every recorded event (thread buffers stay registered).
+void clear();
+
+/// Writes everything recorded so far as Chrome trace-event JSON
+/// ({"traceEvents": [...]}, ts/dur in microseconds, sorted by timestamp,
+/// one tid lane per recording thread).  Loadable by chrome://tracing and
+/// https://ui.perfetto.dev.
+void writeChromeTrace(std::ostream& os);
+
+/// As above into a file; returns false (and reports to stderr) on I/O error.
+bool writeChromeTraceFile(const std::string& path);
+
+/// Applies THLS_TRACE (see file comment).  Runs once automatically at
+/// static-init time; exposed for tests.
+void initFromEnvironment();
+
+}  // namespace thls::trace
+
+// Token-pasting helpers so each THLS_TRACE_SPAN gets a unique local.
+#define THLS_TRACE_CONCAT_IMPL(a, b) a##b
+#define THLS_TRACE_CONCAT(a, b) THLS_TRACE_CONCAT_IMPL(a, b)
+
+/// Anonymous RAII span covering the rest of the enclosing scope.
+#define THLS_TRACE_SPAN(name) \
+  ::thls::trace::Span THLS_TRACE_CONCAT(thlsTraceSpan_, __LINE__)(name)
+
+/// Named RAII span, for attaching args: THLS_TRACE_SPAN_V(sp, "x"); sp.arg(...)
+#define THLS_TRACE_SPAN_V(var, name) ::thls::trace::Span var(name)
+
+/// Zero-duration marker.
+#define THLS_TRACE_INSTANT(name)                             \
+  do {                                                       \
+    if (::thls::trace::enabled()) ::thls::trace::instant(name); \
+  } while (false)

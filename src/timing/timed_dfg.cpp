@@ -3,6 +3,7 @@
 #include <set>
 
 #include "support/topo.h"
+#include "support/trace.h"
 
 namespace thls {
 
@@ -25,6 +26,7 @@ void TimedDfg::addEdge(TimedNodeId from, TimedNodeId to, int weight) {
 TimedDfg::TimedDfg(const Cfg& cfg, const Dfg& dfg, const LatencyTable& lat,
                    const OpSpanAnalysis& spans)
     : dfg_(&dfg) {
+  THLS_TRACE_SPAN("timing.build_timed_dfg");
   (void)cfg;
   opToNode_.assign(dfg.numOps(), TimedNodeId::invalid());
 

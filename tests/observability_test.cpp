@@ -1,0 +1,332 @@
+// Observability stack: diagnostics macros, the span tracer, the metrics
+// registry, explore-engine progress surfaces, and the invariant that
+// tracing a run never changes its results.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+
+#include "explore/campaign.h"
+#include "support/metrics.h"
+#include "support/trace.h"
+#include "test_util.h"
+
+namespace thls {
+namespace {
+
+using testutil::chainBehavior;
+
+// ---------------------------------------------------------------------------
+// Diagnostics: assertion messages and lazy logging.
+
+TEST(Diagnostics, AssertMessageCarriesConditionAndText) {
+  try {
+    THLS_ASSERT(1 + 1 == 3, strCat("math broke at x=", 42));
+    FAIL() << "THLS_ASSERT did not throw";
+  } catch (const InternalError& e) {
+    std::string what = e.what();
+    EXPECT_NE(what.find("1 + 1 == 3"), std::string::npos) << what;
+    EXPECT_NE(what.find("math broke at x=42"), std::string::npos) << what;
+    EXPECT_NE(what.find("observability_test.cpp"), std::string::npos) << what;
+  }
+}
+
+TEST(Diagnostics, RequireThrowsHlsErrorWithMessage) {
+  EXPECT_THROW(THLS_REQUIRE(false, "clock period must be positive"), HlsError);
+  try {
+    THLS_REQUIRE(false, strCat("bad latency ", 7));
+  } catch (const HlsError& e) {
+    EXPECT_STREQ(e.what(), "bad latency 7");
+  }
+}
+
+TEST(Diagnostics, LogMacroDoesNotEvaluateSuppressedArgs) {
+  int saved = logLevel();
+  setLogLevel(0);
+  int evaluations = 0;
+  auto count = [&] {
+    ++evaluations;
+    return std::string("x");
+  };
+  THLS_LOG(3, "never built: ", count());
+  EXPECT_EQ(evaluations, 0);
+
+  // Admitted lines evaluate exactly once.
+  setLogLevel(3);
+  testing::internal::CaptureStderr();
+  THLS_LOG(3, "built: ", count());
+  std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_EQ(evaluations, 1);
+  EXPECT_NE(err.find("built: x"), std::string::npos);
+  setLogLevel(saved);
+}
+
+// ---------------------------------------------------------------------------
+// Tracer.
+
+class TraceTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    trace::clear();
+    trace::setEnabled(true);
+  }
+  void TearDown() override {
+    trace::setEnabled(false);
+    trace::clear();
+  }
+
+  static std::string exportJson() {
+    std::ostringstream os;
+    trace::writeChromeTrace(os);
+    return os.str();
+  }
+};
+
+TEST_F(TraceTest, DisabledSpansRecordNothing) {
+  trace::setEnabled(false);
+  {
+    THLS_TRACE_SPAN("should.not.appear");
+    THLS_TRACE_INSTANT("nor.this");
+  }
+  EXPECT_EQ(trace::stats().recorded, 0u);
+  // A span constructed while disabled stays inert even if args are attached.
+  trace::Span s("inert");
+  EXPECT_FALSE(s.active());
+  s.arg("k", 1);
+  s.finish();
+  EXPECT_EQ(trace::stats().recorded, 0u);
+}
+
+TEST_F(TraceTest, SpansNestAndCarryArgs) {
+  {
+    THLS_TRACE_SPAN_V(outer, "outer.span");
+    outer.arg("n", 3).arg("label", "hi\"there").arg("ok", true);
+    { THLS_TRACE_SPAN("inner.span"); }
+    THLS_TRACE_INSTANT("marker");
+  }
+  trace::TraceStats st = trace::stats();
+  EXPECT_EQ(st.recorded, 3u);
+  EXPECT_EQ(st.dropped, 0u);
+
+  std::string json = exportJson();
+  EXPECT_NE(json.find("\"outer.span\""), std::string::npos);
+  EXPECT_NE(json.find("\"inner.span\""), std::string::npos);
+  EXPECT_NE(json.find("\"marker\""), std::string::npos);
+  EXPECT_NE(json.find("\"n\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"label\":\"hi\\\"there\""), std::string::npos);
+  EXPECT_NE(json.find("\"ok\":true"), std::string::npos);
+  // The inner span closed first, so it must not outlast the outer one.
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+}
+
+TEST_F(TraceTest, ThreadsExportUnderDistinctTids) {
+  { THLS_TRACE_SPAN("main.thread.span"); }
+  std::thread t([] { THLS_TRACE_SPAN("worker.thread.span"); });
+  t.join();
+
+  EXPECT_GE(trace::stats().threads, 2u);
+  std::string json = exportJson();
+  EXPECT_NE(json.find("\"main.thread.span\""), std::string::npos);
+  EXPECT_NE(json.find("\"worker.thread.span\""), std::string::npos);
+  // Thread-name metadata rows give each lane a label.
+  EXPECT_NE(json.find("thread_name"), std::string::npos);
+  EXPECT_NE(json.find("\"main\""), std::string::npos);
+}
+
+TEST_F(TraceTest, RingWrapCountsDroppedEvents) {
+  const std::size_t kOverfill = (1u << 17) + 5;
+  for (std::size_t i = 0; i < kOverfill; ++i) trace::instant("spam");
+  trace::TraceStats st = trace::stats();
+  EXPECT_EQ(st.recorded + st.dropped, kOverfill);
+  EXPECT_GT(st.dropped, 0u);
+}
+
+TEST_F(TraceTest, ExportIsWellFormedAndSorted) {
+  for (int i = 0; i < 50; ++i) {
+    THLS_TRACE_SPAN("loop.span");
+  }
+  std::string json = exportJson();
+  EXPECT_EQ(json.find("{"), 0u);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_EQ(json.back(), '\n');
+  // Raw nanosecond timestamps must be non-decreasing in export order.
+  std::int64_t prev = -1;
+  std::size_t pos = 0, found = 0;
+  while ((pos = json.find("\"ts_ns\":", pos)) != std::string::npos) {
+    pos += 8;
+    std::int64_t ts = std::stoll(json.substr(pos));
+    EXPECT_GE(ts, prev);
+    prev = ts;
+    ++found;
+  }
+  EXPECT_EQ(found, 50u);
+}
+
+// ---------------------------------------------------------------------------
+// Metrics registry.
+
+class MetricsTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    metrics::reset();
+    metrics::setEnabled(true);
+  }
+  void TearDown() override { metrics::reset(); }
+};
+
+TEST_F(MetricsTest, CountersGaugesHistograms) {
+  metrics::add("flow.runs");
+  metrics::add("flow.runs", 2);
+  metrics::setGauge("dse.cache.hits", 10.0);
+  metrics::setGauge("dse.cache.hits", 12.0);  // last write wins
+  metrics::observe("flow.scheduling_seconds", 0.25);
+  metrics::observe("flow.scheduling_seconds", 0.75);
+
+  metrics::MetricsSnapshot s = metrics::snapshot();
+  EXPECT_EQ(s.counters.at("flow.runs"), 3);
+  EXPECT_EQ(s.gauges.at("dse.cache.hits"), 12.0);
+  const metrics::HistogramStats& h = s.histograms.at("flow.scheduling_seconds");
+  EXPECT_EQ(h.count, 2);
+  EXPECT_DOUBLE_EQ(h.sum, 1.0);
+  EXPECT_DOUBLE_EQ(h.min, 0.25);
+  EXPECT_DOUBLE_EQ(h.max, 0.75);
+
+  metrics::reset();
+  EXPECT_TRUE(metrics::snapshot().counters.empty());
+}
+
+TEST_F(MetricsTest, DisabledRecordingIsIgnored) {
+  metrics::setEnabled(false);
+  metrics::add("flow.runs");
+  metrics::setGauge("g", 1.0);
+  metrics::observe("h", 1.0);
+  metrics::setEnabled(true);
+  metrics::MetricsSnapshot s = metrics::snapshot();
+  EXPECT_TRUE(s.counters.empty());
+  EXPECT_TRUE(s.gauges.empty());
+  EXPECT_TRUE(s.histograms.empty());
+}
+
+TEST_F(MetricsTest, JsonRoundTripIsExact) {
+  metrics::add("sched.passes", 17);
+  metrics::add("flow.runs", 2);
+  metrics::setGauge("dse.cache.entries", 96.0);
+  metrics::setGauge("awkward", 0.1);  // not exactly representable
+  metrics::observe("sched.relax_seconds", 1e-9);
+  metrics::observe("sched.relax_seconds", 3.14159265358979);
+
+  metrics::MetricsSnapshot before = metrics::snapshot();
+  std::string json = before.toJson();
+  metrics::MetricsSnapshot after = metrics::snapshotFromJson(json);
+  EXPECT_EQ(before, after);
+  // Serialization is deterministic (sorted keys).
+  EXPECT_EQ(json, after.toJson());
+}
+
+TEST_F(MetricsTest, EmptySnapshotRoundTrips) {
+  metrics::MetricsSnapshot empty;
+  EXPECT_EQ(metrics::snapshotFromJson(empty.toJson()), empty);
+}
+
+TEST_F(MetricsTest, ParserRejectsMalformedInput) {
+  EXPECT_THROW(metrics::snapshotFromJson(""), HlsError);
+  EXPECT_THROW(metrics::snapshotFromJson("{\"counters\": [1,2]}"), HlsError);
+  EXPECT_THROW(metrics::snapshotFromJson("{\"counters\": {\"a\": 1}"),
+               HlsError);
+}
+
+// ---------------------------------------------------------------------------
+// Explore-engine progress surfaces.
+
+TEST(ExploreProgress, OnPointCallbackAndCounter) {
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+  FlowOptions base;
+  std::vector<DesignPoint> grid = {{"A", 3, 3000.0, false},
+                                   {"B", 4, 3000.0, false},
+                                   {"C", 5, 3000.0, false}};
+  auto gen = [](int latency) { return chainBehavior(4, latency); };
+
+  std::vector<std::string> seen;
+  explore::EngineOptions eopts;
+  eopts.threads = 2;
+  eopts.onPoint = [&](const explore::EvaluatedPoint& ev) {
+    seen.push_back(ev.result.point.name);  // serialized: no lock needed
+  };
+  explore::ExploreEngine engine(lib, base, eopts);
+  EXPECT_EQ(engine.pointsEvaluated(), 0u);
+
+  engine.evaluate("chain", gen, grid, nullptr);
+  EXPECT_EQ(seen.size(), 3u);
+  EXPECT_EQ(engine.pointsEvaluated(), 3u);
+
+  // Warm pass: callbacks fire for cache hits too, and the lifetime counter
+  // keeps climbing.
+  engine.evaluate("chain", gen, grid, nullptr);
+  EXPECT_EQ(seen.size(), 6u);
+  EXPECT_EQ(engine.pointsEvaluated(), 6u);
+}
+
+TEST(ExploreProgress, CacheProvenanceMetrics) {
+  metrics::reset();
+  metrics::setEnabled(true);
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+  FlowOptions base;
+  std::vector<DesignPoint> grid = {{"A", 3, 3000.0, false},
+                                   {"B", 4, 3000.0, false}};
+  auto gen = [](int latency) { return chainBehavior(4, latency); };
+
+  explore::ExploreEngine engine(lib, base, {});
+  engine.evaluate("chain", gen, grid, nullptr);  // cold
+  engine.evaluate("chain", gen, grid, nullptr);  // warm
+
+  metrics::MetricsSnapshot s = metrics::snapshot();
+  EXPECT_EQ(s.counters.at("dse.points_evaluated"), 4);
+  EXPECT_EQ(s.counters.at("dse.cache.slack_misses"), 2);
+  EXPECT_EQ(s.counters.at("dse.cache.slack_hits"), 2);
+  EXPECT_GE(s.counters.at("flow.runs"), 4);  // two flavors x two cold points
+  metrics::reset();
+}
+
+// ---------------------------------------------------------------------------
+// The core invariant: tracing observes, never perturbs.
+
+TEST(TraceDeterminism, TracedFlowMatchesUntracedBitForBit) {
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+  FlowOptions opts;
+  opts.sched.clockPeriod = 3000.0;
+
+  trace::setEnabled(false);
+  FlowComparison plain = compareFlows(chainBehavior(6, 4), lib, opts);
+
+  trace::clear();
+  trace::setEnabled(true);
+  FlowComparison traced = compareFlows(chainBehavior(6, 4), lib, opts);
+  trace::setEnabled(false);
+
+  ASSERT_TRUE(plain.slack.success);
+  ASSERT_TRUE(traced.slack.success);
+  EXPECT_TRUE(identicalSchedules(plain.slack.schedule, traced.slack.schedule));
+  EXPECT_TRUE(identicalSchedules(plain.conv.schedule, traced.conv.schedule));
+  EXPECT_EQ(plain.slack.area.total(), traced.slack.area.total());
+  EXPECT_EQ(plain.conv.area.total(), traced.conv.area.total());
+  EXPECT_EQ(plain.slack.power.dynamic, traced.slack.power.dynamic);
+  EXPECT_EQ(plain.slack.power.throughput, traced.slack.power.throughput);
+  EXPECT_EQ(plain.savingPercent, traced.savingPercent);
+  EXPECT_EQ(plain.slack.stats.schedulePasses, traced.slack.stats.schedulePasses);
+  EXPECT_EQ(plain.slack.stats.relaxations, traced.slack.stats.relaxations);
+
+  // And the traced run actually recorded the pipeline spans.
+  std::ostringstream os;
+  trace::writeChromeTrace(os);
+  std::string json = os.str();
+  EXPECT_NE(json.find("\"flow.run\""), std::string::npos);
+  EXPECT_NE(json.find("\"flow.schedule\""), std::string::npos);
+  EXPECT_NE(json.find("\"sched.pass\""), std::string::npos);
+  EXPECT_NE(json.find("\"budget.slack\""), std::string::npos);
+  EXPECT_NE(json.find("\"bind.compact\""), std::string::npos);
+  trace::clear();
+}
+
+}  // namespace
+}  // namespace thls
