@@ -22,6 +22,19 @@
 //                             (observation only -- the identity gates are
 //                             unaffected); see docs/observability.md
 //   --metrics PATH            write the metrics-registry snapshot JSON
+//
+// Component-pipeline mode (--components): times the component-graph
+// scheduling pipeline (FlowOptions::componentPipeline) on multi-component
+// workloads, serial TaskPool(1) vs the process-wide shared pool.  The gate
+// is determinism: both pools must produce bit-for-bit identical results
+// (schedule, area, power) and identical Pareto fronts through an
+// ExploreEngine with the pool injected; monolithic (pipeline-off) seconds
+// are recorded as reference but not gated -- multi-component quality
+// legitimately differs (see tests/partition_test.cpp).
+//   --components              run the component-pipeline mode instead
+//   --min-component-speedup X exit nonzero when shared-pool scheduling is
+//                             below X times the serial-pool wall clock
+//                             (default 0: identity-only, shared runners)
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -33,6 +46,7 @@
 #include "flow/dse.h"
 #include "netlist/report.h"
 #include "support/metrics.h"
+#include "support/task_pool.h"
 #include "support/trace.h"
 #include "workloads/workloads.h"
 
@@ -67,26 +81,195 @@ bool sameFront(const std::vector<explore::ParetoEntry>& a,
   return true;
 }
 
+/// --components mode: serial-vs-shared-pool determinism and scaling of the
+/// component pipeline.  Returns the process exit code.
+int runComponentsMode(bool small, int reps, double minComponentSpeedup,
+                      const std::string& jsonPath,
+                      const std::string& tracePath,
+                      const std::string& metricsPath) {
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+
+  struct CPoint {
+    std::string name;
+    std::function<Behavior()> make;
+    double clock;
+    int iterationCycles;
+  };
+  std::vector<CPoint> points;
+  for (int lat : {6, 8}) {
+    points.push_back({strCat("dualIdct_lat", lat),
+                      [lat] {
+                        return workloads::makeDualIdct({.latencyStates = lat});
+                      },
+                      1250.0, lat});
+  }
+  if (!small) {
+    // A wide 4-component random graph: enough per-component work for the
+    // shared pool to show real scaling.
+    workloads::RandomDfgParams p;
+    p.seed = 2300;
+    p.numOps = 240;
+    p.fanWindow = 25;
+    p.components = 4;
+    p.latencyStates = 16;
+    points.push_back({"random4x240",
+                      [p] { return workloads::makeRandomDfg(p); }, 1250.0,
+                      16});
+  }
+
+  std::printf("== flow scaling: component pipeline, serial vs shared pool ==\n\n");
+  TableWriter t({"point", "flavor", "tasks", "mono sched(s)",
+                 "serial sched(s)", "shared sched(s)", "speedup",
+                 "identical"});
+
+  TaskPool serialPool(1);
+  double serialTotal = 0, sharedTotal = 0, monoTotal = 0;
+  bool allIdentical = true;
+  std::string rows;
+  for (const CPoint& pt : points) {
+    for (int flavor = 0; flavor < 2; ++flavor) {
+      FlowOptions base;
+      base.sched.clockPeriod = pt.clock;
+      base.iterationCycles = pt.iterationCycles;
+      // [mono, serial pool, shared pool]
+      double sched[3] = {1e300, 1e300, 1e300};
+      FlowResult results[3];
+      for (int r = 0; r < reps; ++r) {
+        for (int mode = 0; mode < 3; ++mode) {
+          FlowOptions opts = base;
+          opts.componentPipeline = mode != 0;
+          opts.pool = mode == 1 ? &serialPool : nullptr;
+          FlowResult res =
+              flavor == 0 ? conventionalFlow(pt.make(), lib, opts)
+                          : slackBasedFlow(pt.make(), lib, opts);
+          sched[mode] = std::min(sched[mode], res.schedulingSeconds);
+          if (r == 0) results[mode] = std::move(res);
+        }
+      }
+      // The gate: pool size must not change the result, bit for bit.
+      bool identical = sameResult(results[1], results[2]) &&
+                       results[1].componentTasks == results[2].componentTasks &&
+                       results[1].componentTasks >= 2;
+      allIdentical = allIdentical && identical;
+      monoTotal += sched[0];
+      serialTotal += sched[1];
+      sharedTotal += sched[2];
+      const char* flavorName = flavor == 0 ? "conv" : "slack";
+      t.addRow({pt.name, flavorName, strCat(results[1].componentTasks),
+                fmt(sched[0], 4), fmt(sched[1], 4), fmt(sched[2], 4),
+                fmt(sched[2] > 0 ? sched[1] / sched[2] : 0, 2),
+                identical ? "yes" : "NO"});
+      if (!rows.empty()) rows += ",\n";
+      rows += strCat("    {\"point\": \"", pt.name, "\", \"flavor\": \"",
+                     flavorName,
+                     "\", \"component_tasks\": ", results[1].componentTasks,
+                     ", \"monolithic_seconds\": ", fmt(sched[0], 6),
+                     ", \"serial_seconds\": ", fmt(sched[1], 6),
+                     ", \"shared_seconds\": ", fmt(sched[2], 6),
+                     ", \"identical\": ", identical ? "true" : "false", "}");
+    }
+  }
+  std::printf("%s\n", t.str().c_str());
+
+  // Pareto-front determinism through the engine with the pool injected
+  // (EngineOptions::pool): serial TaskPool(1) vs the shared pool.
+  std::vector<DesignPoint> grid;
+  int idx = 1;
+  for (int lat : {8, 6}) {
+    for (double clock : {1250.0, 1000.0}) {
+      DesignPoint dp;
+      dp.name = strCat("C", idx++);
+      dp.latencyStates = lat;
+      dp.clockPeriod = clock;
+      grid.push_back(dp);
+    }
+  }
+  auto dualGenerator = [](int latencyStates) {
+    return workloads::makeDualIdct({.latencyStates = latencyStates});
+  };
+  auto frontOf = [&](TaskPool* pool) {
+    FlowOptions base;
+    explore::EngineOptions eopts;
+    eopts.pool = pool;
+    eopts.threads = pool ? 1 : 2;
+    explore::ExploreEngine engine(lib, base, eopts);
+    explore::GridExplorer strategy(grid);
+    explore::ParetoArchive archive;
+    strategy.explore(engine, "dualIdct", dualGenerator, archive);
+    return archive.front();
+  };
+  bool paretoIdentical = sameFront(frontOf(&serialPool), frontOf(nullptr));
+
+  double speedup = sharedTotal > 0 ? serialTotal / sharedTotal : 0;
+  std::printf(
+      "component scheduling: monolithic %.4fs, serial pool %.4fs, shared "
+      "pool %.4fs -> %.2fx (target >= %.2fx)\nresults %s, pareto front %s\n",
+      monoTotal, serialTotal, sharedTotal, speedup, minComponentSpeedup,
+      allIdentical ? "identical" : "MISMATCH",
+      paretoIdentical ? "identical" : "MISMATCH");
+
+  std::string json = "{\n";
+  json += "  \"bench\": \"flow_scaling\",\n";
+  json += "  \"mode\": \"components\",\n";
+  json += "  \"reps\": " + strCat(reps) + ",\n";
+  json += "  \"points\": [\n" + rows + "\n  ],\n";
+  json += "  \"monolithic_scheduling_seconds\": " + fmt(monoTotal, 6) + ",\n";
+  json += "  \"serial_scheduling_seconds\": " + fmt(serialTotal, 6) + ",\n";
+  json += "  \"shared_scheduling_seconds\": " + fmt(sharedTotal, 6) + ",\n";
+  json += "  \"component_speedup\": " + fmt(speedup, 2) + ",\n";
+  json += "  \"results_identical\": " +
+          std::string(allIdentical ? "true" : "false") + ",\n";
+  json += "  \"pareto_front_identical\": " +
+          std::string(paretoIdentical ? "true" : "false") + "\n}\n";
+  std::ofstream out(jsonPath);
+  out << json;
+  out.flush();
+  if (out) {
+    std::printf("wrote %s\n", jsonPath.c_str());
+  } else {
+    std::fprintf(stderr, "error: could not write %s\n", jsonPath.c_str());
+    return 1;
+  }
+  if (!tracePath.empty() && trace::writeChromeTraceFile(tracePath)) {
+    std::printf("wrote %s\n", tracePath.c_str());
+  }
+  if (!metricsPath.empty() && metrics::writeSnapshotFile(metricsPath)) {
+    std::printf("wrote %s\n", metricsPath.c_str());
+  }
+  return (allIdentical && paretoIdentical && speedup >= minComponentSpeedup)
+             ? 0
+             : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool small = false;
+  bool components = false;
   int reps = 3;
   double minBindingSpeedup = 3.0;
+  double minComponentSpeedup = 0.0;
   std::string jsonPath = "BENCH_flow_scaling.json";
   std::string tracePath, metricsPath;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--small") small = true;
+    if (arg == "--components") components = true;
     if (arg == "--reps" && i + 1 < argc) reps = std::atoi(argv[++i]);
     if (arg == "--json" && i + 1 < argc) jsonPath = argv[++i];
     if (arg == "--min-binding-speedup" && i + 1 < argc)
       minBindingSpeedup = std::atof(argv[++i]);
+    if (arg == "--min-component-speedup" && i + 1 < argc)
+      minComponentSpeedup = std::atof(argv[++i]);
     if (arg == "--trace" && i + 1 < argc) tracePath = argv[++i];
     if (arg == "--metrics" && i + 1 < argc) metricsPath = argv[++i];
   }
   if (reps < 1) reps = 1;
   if (!tracePath.empty()) trace::setEnabled(true);
+  if (components) {
+    return runComponentsMode(small, reps, minComponentSpeedup, jsonPath,
+                             tracePath, metricsPath);
+  }
 
   ResourceLibrary lib = ResourceLibrary::tsmc90();
   const std::string workload = small ? "idct1d" : "idct8x8";

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sched/component_schedule.h"
 #include "sched/concurrency.h"
 #include "support/trace.h"
 
@@ -342,6 +343,52 @@ int compactBinding(const Behavior& bhv, const LatencyTable& lat,
     return compactBindingIncremental(bhv, lat, lib, sched, maxShare, chains);
   }
   return compactBindingLegacy(bhv, lat, lib, sched, maxShare);
+}
+
+int compactBindingComponent(const Behavior& bhv, const DfgPartition& part,
+                            std::size_t comp, const ResourceLibrary& lib,
+                            Schedule& sched, int maxShare, bool incremental) {
+  ComponentView view = makeComponentView(bhv, part, comp);
+  ComponentScheduleSlice slice =
+      sliceComponentSchedule(bhv, part, view, comp, sched);
+  LatencyTable viewLat(view.behavior.cfg);
+  const int emptied = compactBinding(view.behavior, viewLat, lib,
+                                     slice.schedule, maxShare, incremental);
+
+  // Write-back: instances of other components (and ownerless empties) keep
+  // their relative order, the component's instances follow in view order.
+  std::vector<bool> sliced(sched.fus.size(), false);
+  for (FuId f : slice.origFuIds) sliced[f.index()] = true;
+  std::vector<std::int32_t> oldToNew(sched.fus.size(), -1);
+  std::vector<FuInstance> fus;
+  fus.reserve(sched.fus.size());
+  for (std::size_t f = 0; f < sched.fus.size(); ++f) {
+    if (sliced[f]) continue;
+    oldToNew[f] = static_cast<std::int32_t>(fus.size());
+    fus.push_back(std::move(sched.fus[f]));
+  }
+  std::vector<std::int32_t> viewToNew(slice.schedule.fus.size());
+  for (std::size_t f = 0; f < slice.schedule.fus.size(); ++f) {
+    viewToNew[f] = static_cast<std::int32_t>(fus.size());
+    FuInstance& fu = fus.emplace_back(std::move(slice.schedule.fus[f]));
+    for (OpId& o : fu.ops) o = view.toOrig[o.index()];
+  }
+  sched.fus = std::move(fus);
+
+  for (std::size_t o = 0; o < sched.opFu.size(); ++o) {
+    if (!sched.opFu[o].valid()) continue;
+    if (part.componentOf(OpId(static_cast<std::int32_t>(o))) == comp) continue;
+    sched.opFu[o] = FuId(oldToNew[sched.opFu[o].index()]);
+  }
+  for (std::size_t v = 0; v < view.toOrig.size(); ++v) {
+    std::size_t oi = view.toOrig[v].index();
+    sched.opDelay[oi] = slice.schedule.opDelay[v];
+    sched.opStart[oi] = slice.schedule.opStart[v];
+    sched.opFu[oi] = slice.schedule.opFu[v].valid()
+                         ? FuId(viewToNew[slice.schedule.opFu[v].index()])
+                         : FuId::invalid();
+  }
+  return emptied;
 }
 
 }  // namespace thls

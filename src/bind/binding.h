@@ -72,4 +72,19 @@ int compactBinding(const Behavior& bhv, const LatencyTable& lat,
                    const ResourceLibrary& lib, Schedule& sched,
                    int maxShare = 64, bool incremental = true);
 
+class DfgPartition;
+
+/// Component-scoped compaction: extracts component `comp`'s slice of
+/// `sched` (sched/component_schedule.h), runs the unmodified compactBinding
+/// engine on the component view, and writes the result back -- instances of
+/// other components keep their relative order, the component's (possibly
+/// merged) instances are re-appended after them.  Requires a partition
+/// valid for `bhv` and a schedule where no non-empty instance spans
+/// components (any pipeline- or merge-produced schedule qualifies).
+/// Returns the number of instances emptied within the component.
+int compactBindingComponent(const Behavior& bhv, const DfgPartition& part,
+                            std::size_t comp, const ResourceLibrary& lib,
+                            Schedule& sched, int maxShare = 64,
+                            bool incremental = true);
+
 }  // namespace thls

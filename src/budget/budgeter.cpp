@@ -5,6 +5,7 @@
 #include <limits>
 #include <optional>
 
+#include "support/metrics.h"
 #include "support/scoped_timer.h"
 #include "support/trace.h"
 
@@ -301,11 +302,23 @@ BudgetResult budgetSlack(const TimedDfg& graph, const Dfg& dfg,
   result.timing = *timing;
   result.feasible = result.timing.feasible;
   result.positiveGrants = grants;
+  // Leaving the loop by the grant counter (not the no-candidate break)
+  // means area was still recoverable: make the safety valve audible
+  // instead of silently under-relaxing the plan.
+  if (grants >= opts.maxPositiveGrants) {
+    result.positiveGrantsValve = true;
+    THLS_LOG(1, "budgetSlack: stopped at the maxPositiveGrants safety valve (",
+             opts.maxPositiveGrants,
+             " grants) with grant candidates remaining; delay budgets are "
+             "feasible but not fully relaxed");
+    metrics::add("budget.positive_valve_hits");
+  }
   // The shared engine counted every seeded recomputation of this budgeting
   // run (including the fixNegativeSlack calls it was threaded through).
   if (inc) result.slackOpsRecomputed = inc->opsRecomputed();
   budgetSpan.arg("feasible", result.feasible)
       .arg("grants", result.positiveGrants)
+      .arg("valve", result.positiveGrantsValve)
       .arg("seeded_sweeps", result.slackSeededSweeps);
   return result;
 }

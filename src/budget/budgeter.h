@@ -53,6 +53,13 @@ struct BudgetResult {
   bool feasible = false;
   int negativeIterations = 0;
   int positiveGrants = 0;
+  /// True when the positive-spend loop stopped at BudgetOptions::
+  /// maxPositiveGrants with grant candidates remaining (it used to stop
+  /// silently -- the IDCT (8 states, 1600 ps) point does exactly this).
+  /// The budgets are still feasible, just not fully relaxed; budgetSlack
+  /// logs a THLS_LOG(1) warning and bumps `budget.positive_valve_hits`,
+  /// and the scheduler surfaces it as SchedulerStats::budgetValveHits.
+  bool positiveGrantsValve = false;
   /// Seeded (worklist) repropagations that replaced full sweeps, and how
   /// many timed-node values they recomputed in total (a full sweep costs
   /// 2 * numNodes of them).

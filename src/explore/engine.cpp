@@ -1,78 +1,22 @@
 #include "explore/engine.h"
 
+#include <algorithm>
+
 #include "support/metrics.h"
 #include "support/trace.h"
 
 namespace thls::explore {
 
-ThreadPool::ThreadPool(std::size_t numThreads) {
-  if (numThreads <= 1) return;  // inline mode
-  workers_.reserve(numThreads);
-  for (std::size_t i = 0; i < numThreads; ++i) {
-    workers_.emplace_back([this] { workerLoop(); });
-  }
-}
-
-ThreadPool::~ThreadPool() {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    stop_ = true;
-  }
-  workCv_.notify_all();
-  for (std::thread& t : workers_) t.join();
-}
-
-void ThreadPool::workerLoop() {
-  std::unique_lock<std::mutex> lock(mu_);
-  while (true) {
-    workCv_.wait(lock, [&] { return stop_ || (task_ && next_ < count_); });
-    if (stop_) return;
-    while (task_ && next_ < count_) {
-      std::size_t i = next_++;
-      const std::function<void(std::size_t)>* task = task_;
-      lock.unlock();
-      std::exception_ptr error;
-      try {
-        (*task)(i);
-      } catch (...) {
-        error = std::current_exception();
-      }
-      lock.lock();
-      if (error && !firstError_) firstError_ = error;
-      if (--pending_ == 0) doneCv_.notify_all();
-    }
-  }
-}
-
-void ThreadPool::parallelFor(std::size_t count,
-                             const std::function<void(std::size_t)>& task) {
-  if (count == 0) return;
-  if (workers_.empty() || count == 1) {
-    for (std::size_t i = 0; i < count; ++i) task(i);
-    return;
-  }
-  std::unique_lock<std::mutex> lock(mu_);
-  task_ = &task;
-  count_ = count;
-  next_ = 0;
-  pending_ = count;
-  firstError_ = nullptr;
-  workCv_.notify_all();
-  doneCv_.wait(lock, [&] { return pending_ == 0; });
-  task_ = nullptr;
-  if (firstError_) std::rethrow_exception(firstError_);
-}
-
 namespace {
 
-std::size_t resolveThreads(int requested) {
-  unsigned hw = std::thread::hardware_concurrency();
-  if (hw == 0) hw = 1;
-  if (requested <= 0) return hw;
-  // Cap at the core count: flow evaluation is CPU-bound, so workers beyond
-  // the hardware only add context switching and cache thrash (measured as
-  // a cold run *slower than serial* on small machines).
-  return std::min<std::size_t>(static_cast<std::size_t>(requested), hw);
+std::size_t resolveWidth(int requested, const TaskPool& pool) {
+  // Cap at the pool's lane count (itself capped at the hardware
+  // concurrency): flow evaluation is CPU-bound, so workers beyond the
+  // hardware only add context switching and cache thrash (measured as a
+  // cold run *slower than serial* on small machines).
+  if (requested <= 0) return pool.size();
+  return std::min<std::size_t>(static_cast<std::size_t>(requested),
+                               pool.size());
 }
 
 }  // namespace
@@ -83,7 +27,8 @@ ExploreEngine::ExploreEngine(const ResourceLibrary& lib, FlowOptions base,
       base_(std::move(base)),
       opts_(opts),
       optionsHash_(hashFlowOptions(base_)),
-      pool_(resolveThreads(opts.threads)) {}
+      pool_(opts.pool ? opts.pool : &TaskPool::shared()),
+      maxWorkers_(resolveWidth(opts.threads, *pool_)) {}
 
 EvaluatedPoint ExploreEngine::evaluateOne(const std::string& workloadName,
                                           const GeneratorFn& generator,
@@ -171,7 +116,7 @@ std::vector<EvaluatedPoint> ExploreEngine::evaluate(
     const std::string& workloadName, const GeneratorFn& generator,
     const std::vector<DesignPoint>& points, ParetoArchive* archive) {
   std::vector<EvaluatedPoint> out(points.size());
-  pool_.parallelFor(points.size(), [&](std::size_t i) {
+  pool_->parallelFor(points.size(), [&](std::size_t i) {
     out[i] = evaluateOne(workloadName, generator, points[i]);
     if (archive && out[i].result.slack.success) {
       ParetoEntry entry;
@@ -186,7 +131,7 @@ std::vector<EvaluatedPoint> ExploreEngine::evaluate(
       }
     }
     notePoint(out[i]);
-  });
+  }, maxWorkers_);
   // Shard-aggregated cache totals as gauges: cumulative over the engine's
   // lifetime, overwritten (not summed) on every batch.
   if (metrics::enabled()) {

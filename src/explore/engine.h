@@ -1,8 +1,10 @@
 // Parallel design-point evaluation engine.
 //
 // Every (latency, clock) design point runs both §VII flows independently, so
-// the engine fans points out over a persistent worker pool, memoizes each
-// flow through a FlowCache, and streams survivors into a ParetoArchive.
+// the engine fans points out over the process-wide shared TaskPool (or an
+// injected one), memoizes each flow through a FlowCache, and streams
+// survivors into a ParetoArchive.  The flows' own component tasks draw from
+// the same pool, so nested fan-out never oversubscribes the machine.
 // Results are returned in input-point order and aggregated in that order,
 // so a run is bit-for-bit identical regardless of thread count (including
 // the serial reference loop in flow/dse.cpp).
@@ -16,47 +18,15 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <functional>
-#include <thread>
+#include <mutex>
 #include <vector>
 
 #include "explore/flow_cache.h"
 #include "explore/pareto.h"
+#include "support/task_pool.h"
 
 namespace thls::explore {
-
-/// Minimal persistent thread pool: parallelFor() dispatches index tasks to
-/// the workers and blocks until all complete.  A pool of size <= 1 runs
-/// inline on the caller thread.
-class ThreadPool {
- public:
-  explicit ThreadPool(std::size_t numThreads);
-  ~ThreadPool();
-  ThreadPool(const ThreadPool&) = delete;
-  ThreadPool& operator=(const ThreadPool&) = delete;
-
-  std::size_t size() const { return workers_.empty() ? 1 : workers_.size(); }
-
-  /// Runs task(i) for every i in [0, count); rethrows the first task
-  /// exception after the batch drains.
-  void parallelFor(std::size_t count,
-                   const std::function<void(std::size_t)>& task);
-
- private:
-  void workerLoop();
-
-  std::vector<std::thread> workers_;
-  std::mutex mu_;
-  std::condition_variable workCv_;
-  std::condition_variable doneCv_;
-  const std::function<void(std::size_t)>* task_ = nullptr;
-  std::size_t count_ = 0;
-  std::size_t next_ = 0;
-  std::size_t pending_ = 0;
-  std::exception_ptr firstError_;
-  bool stop_ = false;
-};
 
 /// One evaluated design point: the DsePointResult the classic driver
 /// produced plus per-flavor cache provenance.
@@ -67,11 +37,19 @@ struct EvaluatedPoint {
 };
 
 struct EngineOptions {
-  /// Worker threads; 0 means std::thread::hardware_concurrency().  Either
-  /// way the pool is capped at the hardware concurrency: the flows are
-  /// CPU-bound, so oversubscription only adds context switching (cold runs
-  /// measurably slower than the serial loop on small machines).
+  /// Concurrent point evaluations; 0 means "as wide as the pool".  Either
+  /// way the effective width is capped at the pool's lane count (itself
+  /// capped at the hardware concurrency): the flows are CPU-bound, so
+  /// oversubscription only adds context switching (cold runs measurably
+  /// slower than the serial loop on small machines).
   int threads = 0;
+  /// Pool the engine draws from; null = the process-wide TaskPool::shared()
+  /// -- one pool per process, shared with runFlow's component tasks, so a
+  /// DSE fanning out points and each point fanning out components never
+  /// oversubscribes the machine.  Tests and benches inject a deterministic
+  /// TaskPool(1) here; results are identical either way (aggregation is in
+  /// input-point order).
+  TaskPool* pool = nullptr;
   bool useCache = true;
   /// Live-progress hook: invoked after every evaluated point, serialized
   /// under an engine mutex (the callback need not be thread-safe, and may
@@ -103,7 +81,14 @@ class ExploreEngine {
 
   FlowCacheStats cacheStats() const { return cache_.stats(); }
   void clearCache() { cache_.clear(); }
-  std::size_t threads() const { return pool_.size(); }
+  /// Effective evaluation width: EngineOptions::threads clamped to the
+  /// pool's lane count.
+  std::size_t threads() const { return maxWorkers_; }
+  /// The pool evaluate() dispatches on -- the injected one, else the
+  /// process-wide shared pool.  Exposed so benches and tests can assert
+  /// which pool the engine uses (and warm or size-check it) instead of the
+  /// engine constructing a private pool nothing can observe.
+  TaskPool& pool() const { return *pool_; }
   const FlowOptions& baseOptions() const { return base_; }
 
   /// Points evaluated over the engine's lifetime (cache hits included).
@@ -126,7 +111,8 @@ class ExploreEngine {
   FlowOptions base_;
   EngineOptions opts_;
   std::uint64_t optionsHash_;
-  ThreadPool pool_;
+  TaskPool* pool_;
+  std::size_t maxWorkers_;
   FlowCache cache_;
   std::mutex genMu_;
   std::atomic<std::size_t> evaluated_{0};

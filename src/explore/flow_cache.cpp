@@ -42,6 +42,9 @@ std::uint64_t hashFlowOptions(const FlowOptions& opts) {
   mix(h, opts.compactBinding ? 1 : 0);
   mix(h, opts.incrementalBinding ? 1 : 0);
   mix(h, opts.binding.commutativeSwap ? 1 : 0);
+  // The pool pointer is deliberately not hashed: results are identical for
+  // any pool size (the component merge runs in stable component order).
+  mix(h, opts.componentPipeline ? 1 : 0);
   return h;
 }
 

@@ -2,8 +2,11 @@
 
 #include <chrono>
 
+#include "ir/partition.h"
+#include "sched/component_schedule.h"
 #include "support/metrics.h"
 #include "support/scoped_timer.h"
+#include "support/task_pool.h"
 #include "support/trace.h"
 
 namespace thls {
@@ -44,6 +47,11 @@ void recordFlowMetrics(const FlowResult& r) {
   metrics::add("sched.pass_ops_replaced", s.passOpsReplaced);
   metrics::add("sched.budget_reuses", s.budgetReuses);
   metrics::add("sched.grant_escalations", s.grantEscalations);
+  metrics::add("sched.budget_valve_hits", s.budgetValveHits);
+  if (r.componentTasks > 0) {
+    metrics::add("flow.component_runs");
+    metrics::add("flow.component_tasks", static_cast<int>(r.componentTasks));
+  }
   metrics::observe("sched.latency_seconds", s.latencySeconds);
   metrics::observe("sched.timing_seconds", s.timingSeconds);
   metrics::observe("sched.relax_seconds", s.relaxSeconds);
@@ -66,13 +74,54 @@ FlowResult runFlow(Behavior bhv, const ResourceLibrary& lib,
   ScheduleOutcome outcome;
   {
     THLS_TRACE_SPAN("flow.schedule");
-    outcome = scheduleBehavior(bhv, lib, opts.sched);
+    // Component pipeline: schedule weakly-connected DFG components as
+    // concurrent tasks and merge deterministically.  allowAddState runs
+    // stay monolithic (a state inserted into a component view could not be
+    // merged back), as does anything single-component -- bit-for-bit the
+    // monolithic path -- or any run whose merge reports a conflict.
+    if (opts.componentPipeline && !opts.sched.allowAddState) {
+      DfgPartition part = DfgPartition::compute(bhv);
+      if (part.schedulableComponents() > 1) {
+        std::vector<std::size_t> active;
+        for (std::size_t c = 0; c < part.count(); ++c) {
+          if (part.component(c).schedulableOps > 0) active.push_back(c);
+        }
+        std::vector<ComponentScheduleResult> tasks(active.size());
+        TaskPool& pool = opts.pool ? *opts.pool : TaskPool::shared();
+        pool.parallelFor(active.size(), [&](std::size_t i) {
+          THLS_TRACE_SPAN_V(taskSpan, "flow.component");
+          taskSpan.arg("component", active[i])
+              .arg("ops", part.component(active[i]).ops.size())
+              .arg("clock", opts.sched.clockPeriod);
+          tasks[i] = scheduleComponent(bhv, part, active[i], lib, opts.sched);
+          taskSpan.arg("success", tasks[i].outcome.success);
+        });
+        ComponentMergeResult merged =
+            mergeComponentSchedules(bhv, part, tasks);
+        if (merged.success) {
+          outcome.success = true;
+          outcome.schedule = std::move(merged.schedule);
+          outcome.stats = merged.stats;
+          outcome.initialBudgets = std::move(merged.initialBudgets);
+          result.componentTasks = active.size();
+        } else {
+          THLS_LOG(2, "componentPipeline: rolling back to the monolithic "
+                      "scheduler (",
+                   merged.reason, ")");
+          metrics::add("flow.component_rollbacks");
+        }
+      }
+    }
+    if (result.componentTasks == 0) {
+      outcome = scheduleBehavior(bhv, lib, opts.sched);
+    }
   }
   auto t1 = std::chrono::steady_clock::now();
   result.schedulingSeconds = std::chrono::duration<double>(t1 - t0).count();
   result.stats = outcome.stats;
   result.states = bhv.cfg.numStates();
-  flowSpan.arg("states", result.states);
+  flowSpan.arg("states", result.states)
+      .arg("component_tasks", result.componentTasks);
 
   if (!outcome.success) {
     result.failureReason = outcome.failureReason;

@@ -13,6 +13,8 @@
 
 namespace thls {
 
+class TaskPool;
+
 struct FlowOptions {
   SchedulerOptions sched;
   bool areaRecovery = true;
@@ -28,6 +30,28 @@ struct FlowOptions {
   BindingOptions binding;
   /// Cycles per processed sample for power (defaults to the CFG state count).
   double iterationCycles = 0;
+  /// Component-graph pipeline: partition the DFG into weakly-connected
+  /// components (ir/partition.h) and schedule them as concurrent tasks on
+  /// the shared TaskPool, merging the per-component reservations
+  /// deterministically (sched/component_schedule.h) before the ordinary
+  /// global binding/recovery/report phases.  Single-component behaviors
+  /// (and allowAddState runs) dispatch to the monolithic scheduler
+  /// unchanged -- bit-for-bit -- and any component failure or merge
+  /// conflict rolls back to it.  Multi-component results are legality- and
+  /// determinism-equivalent but not bit-identical to the monolithic path
+  /// (it couples components through its shared allocation floor): under the
+  /// paper's budgeted policy the pipeline is empirically equal or better,
+  /// under kFastest the per-component floors can cost area (see
+  /// tests/partition_test.cpp for the calibrated contract).  Part of the
+  /// flow cache key, so cached results never mix the two modes.  Off =
+  /// always monolithic, the differential baseline (bench/flow_scaling
+  /// --components).
+  bool componentPipeline = true;
+  /// Pool for the component tasks; null = the process-wide
+  /// TaskPool::shared().  Tests and benches inject a deterministic
+  /// TaskPool(1); results are identical for any pool (the merge runs in
+  /// the stable component order), so this is not part of the cache key.
+  TaskPool* pool = nullptr;
 };
 
 struct FlowResult {
@@ -49,6 +73,10 @@ struct FlowResult {
   /// rebuilding the all-pairs matrix for binding/recovery/reporting.
   bool latencyReused = false;
   std::size_t states = 0;
+  /// Component tasks the component pipeline scheduled concurrently;
+  /// 0 = the monolithic path ran (single component, pipeline disabled, or
+  /// rollback after a merge conflict).
+  std::size_t componentTasks = 0;
 };
 
 /// Runs the full flow on a copy of the behavior (the scheduler may insert

@@ -1,0 +1,112 @@
+#include "ir/partition.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace thls {
+
+namespace {
+
+std::size_t findRoot(std::vector<std::size_t>& parent, std::size_t x) {
+  while (parent[x] != x) {
+    parent[x] = parent[parent[x]];  // path halving
+    x = parent[x];
+  }
+  return x;
+}
+
+void unite(std::vector<std::size_t>& parent, std::size_t a, std::size_t b) {
+  a = findRoot(parent, a);
+  b = findRoot(parent, b);
+  if (a == b) return;
+  // Union by smaller index so the root is always the component's smallest
+  // op -- the component order below falls out of a single forward scan.
+  if (b < a) std::swap(a, b);
+  parent[b] = a;
+}
+
+}  // namespace
+
+DfgPartition DfgPartition::compute(const Behavior& bhv) {
+  const Dfg& dfg = bhv.dfg;
+  const std::size_t n = dfg.numOps();
+
+  std::vector<std::size_t> parent(n);
+  std::iota(parent.begin(), parent.end(), 0);
+  for (const DataDependence& d : dfg.dependences()) {
+    unite(parent, d.from.index(), d.to.index());
+  }
+
+  DfgPartition part;
+  part.cfgVersion_ = bhv.cfg.structureVersion();
+  part.numOps_ = n;
+  part.numDeps_ = dfg.numDeps();
+  part.opComp_.resize(n);
+  part.opView_.resize(n);
+
+  // Roots are the smallest op index of their component, so scanning ops in
+  // ascending order discovers components already in stable order.
+  std::vector<std::size_t> rootComp(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t root = findRoot(parent, i);
+    if (rootComp[root] == n) {
+      rootComp[root] = part.comps_.size();
+      part.comps_.emplace_back();
+    }
+    DfgComponent& comp = part.comps_[rootComp[root]];
+    OpId op(static_cast<std::int32_t>(i));
+    part.opComp_[i] = rootComp[root];
+    part.opView_[i] = OpId(static_cast<std::int32_t>(comp.ops.size()));
+    comp.ops.push_back(op);
+    comp.birthEdges.push_back(dfg.op(op).birth);
+    if (!isFreeKind(dfg.op(op).kind)) ++comp.schedulableOps;
+  }
+  for (DfgComponent& comp : part.comps_) {
+    std::sort(comp.birthEdges.begin(), comp.birthEdges.end(),
+              [](CfgEdgeId a, CfgEdgeId b) { return a.index() < b.index(); });
+    comp.birthEdges.erase(
+        std::unique(comp.birthEdges.begin(), comp.birthEdges.end()),
+        comp.birthEdges.end());
+    if (comp.schedulableOps > 0) ++part.schedulable_;
+  }
+  return part;
+}
+
+ComponentView makeComponentView(const Behavior& bhv, const DfgPartition& part,
+                                std::size_t comp) {
+  THLS_REQUIRE(part.validFor(bhv), "partition is stale for this behavior");
+  THLS_REQUIRE(comp < part.count(), "component index out of range");
+  const DfgComponent& c = part.component(comp);
+
+  ComponentView view;
+  view.behavior.name = strCat(bhv.name, ".c", comp);
+  view.behavior.cfg = bhv.cfg;  // structural copy: edge/state ids identical
+  view.toOrig = c.ops;
+
+  Dfg& sub = view.behavior.dfg;
+  for (OpId orig : c.ops) {
+    const Operation& o = bhv.dfg.op(orig);
+    OpId v = o.kind == OpKind::kConst
+                 ? sub.addConst(o.constValue, o.width, o.birth, o.name)
+                 : sub.addOp(o.kind, o.width, o.birth, o.name);
+    // addOp derives `fixed` from the kind and addDependence fills the
+    // operand arrays; the remaining annotations are copied verbatim.
+    Operation& vo = sub.op(v);
+    vo.fixed = o.fixed;
+    vo.joinPhi = o.joinPhi;
+  }
+  // Dependences in original order (the view's per-op input/user lists keep
+  // the relative order a builder emitting only this component would have
+  // produced).  Every endpoint is in the component by construction.
+  for (const DataDependence& d : bhv.dfg.dependences()) {
+    if (part.componentOf(d.from) != comp) continue;
+    THLS_ASSERT(part.componentOf(d.to) == comp,
+                "dependence crosses a component boundary");
+    sub.addDependence(part.viewIndexOf(d.from), part.viewIndexOf(d.to),
+                      d.toPort, d.loopCarried);
+  }
+  sub.validate(view.behavior.cfg);
+  return view;
+}
+
+}  // namespace thls

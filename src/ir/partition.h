@@ -1,0 +1,97 @@
+// DFG component partition (the component-graph pipeline's foundation).
+//
+// A Behavior's DFG frequently decomposes into weakly-connected components:
+// independent kernels sharing one controller (dual IDCT), unrolled disjoint
+// lanes, or disconnected random graphs.  Components never interact through
+// data dependences or timing arcs, so each can be scheduled on its own --
+// the component pipeline (FlowOptions::componentPipeline) runs them as
+// concurrent tasks and merges the per-component results deterministically
+// (sched/component_schedule.h).
+//
+// The partition is computed over the *full* dependence relation (forward,
+// loop-carried, and free-op edges alike): two kernels sharing even a single
+// constant or input value fall into one component.  That is deliberately
+// conservative -- it keeps the invariant that no DFG edge crosses a
+// component boundary, so a component view needs no value duplication and
+// per-component analyses see exactly the edges the monolithic ones do.
+//
+// Invariants (tests/partition_test.cpp):
+//  * every op belongs to exactly one component;
+//  * no dependence connects ops of different components;
+//  * the component order is stable: components are sorted by their smallest
+//    original op index, ops within a component stay in ascending original
+//    index order, and recomputation reproduces the partition bit-for-bit.
+//
+// Like every CFG-derived structure, a partition is only valid for the graphs
+// it was computed from: validFor() checks `Cfg::structureVersion()` plus the
+// DFG's op/dependence counts (the DFG has no version counter; flows never
+// grow the DFG mid-run, so the counts suffice as the invalidation key).
+#pragma once
+
+#include "ir/builder.h"
+
+namespace thls {
+
+/// One weakly-connected component: member ops ascending by original index,
+/// plus the sorted unique CFG edges those ops are born on (the component's
+/// anchor footprint; spans may move ops off their birth edges, but never
+/// across a dependence into another component).
+struct DfgComponent {
+  std::vector<OpId> ops;
+  std::vector<CfgEdgeId> birthEdges;
+  /// Hardware (non-free) ops in the component; components without any are
+  /// pass-through wiring and never warrant a scheduling task.
+  int schedulableOps = 0;
+};
+
+class DfgPartition {
+ public:
+  /// Deterministic partition of `bhv.dfg` into weakly-connected components.
+  static DfgPartition compute(const Behavior& bhv);
+
+  std::size_t count() const { return comps_.size(); }
+  const DfgComponent& component(std::size_t c) const { return comps_[c]; }
+
+  /// Components containing at least one schedulable op.
+  std::size_t schedulableComponents() const { return schedulable_; }
+
+  /// Component index of an op (every op has exactly one).
+  std::size_t componentOf(OpId op) const { return opComp_[op.index()]; }
+
+  /// The op's index inside its component's view DFG (ops are emitted into
+  /// the view in ascending original order, so this is its rank within
+  /// component(componentOf(op)).ops).
+  OpId viewIndexOf(OpId op) const { return opView_[op.index()]; }
+
+  /// True while the partition still describes `bhv` (structureVersion and
+  /// DFG size key, mirroring the other derived caches).
+  bool validFor(const Behavior& bhv) const {
+    return cfgVersion_ == bhv.cfg.structureVersion() &&
+           numOps_ == bhv.dfg.numOps() && numDeps_ == bhv.dfg.numDeps();
+  }
+
+ private:
+  std::vector<DfgComponent> comps_;
+  std::vector<std::size_t> opComp_;
+  std::vector<OpId> opView_;
+  std::size_t schedulable_ = 0;
+  std::uint64_t cfgVersion_ = 0;
+  std::size_t numOps_ = 0;
+  std::size_t numDeps_ = 0;
+};
+
+/// A standalone single-component Behavior: the original CFG (copied -- edge
+/// and state ids are identical) plus the component's sub-DFG.  `toOrig`
+/// maps view op index -> original OpId; the inverse is
+/// DfgPartition::viewIndexOf.  Scheduling a view with
+/// `allowAddState = false` never mutates its CFG, so view results map back
+/// onto the original behavior edge-for-edge.
+struct ComponentView {
+  Behavior behavior;
+  std::vector<OpId> toOrig;
+};
+
+ComponentView makeComponentView(const Behavior& bhv, const DfgPartition& part,
+                                std::size_t comp);
+
+}  // namespace thls

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <optional>
 
+#include "sched/component_schedule.h"
 #include "support/trace.h"
 
 namespace thls {
@@ -275,6 +276,36 @@ RecoveryResult stateLocalAreaRecovery(const Behavior& bhv,
           ? recoverIncremental(bhv, lat, std::move(sched), lib, opts)
           : recoverLegacy(bhv, lat, std::move(sched), lib, opts);
   recoverSpan.arg("fus_resized", result.fusResized);
+  return result;
+}
+
+RecoveryResult recoverComponent(const Behavior& bhv, const DfgPartition& part,
+                                std::size_t comp, Schedule sched,
+                                const ResourceLibrary& lib,
+                                const RecoveryOptions& opts) {
+  ComponentView view = makeComponentView(bhv, part, comp);
+  ComponentScheduleSlice slice =
+      sliceComponentSchedule(bhv, part, view, comp, sched);
+  LatencyTable viewLat(view.behavior.cfg);
+  RecoveryResult viewRes = stateLocalAreaRecovery(
+      view.behavior, viewLat, std::move(slice.schedule), lib, opts);
+
+  // Recovery only retunes variant delays; instances and bindings are
+  // untouched, so the write-back is a plain per-instance / per-op copy.
+  RecoveryResult result;
+  result.schedule = std::move(sched);
+  result.fusResized = viewRes.fusResized;
+  result.areaSaved = viewRes.areaSaved;
+  result.guardExhausted = viewRes.guardExhausted;
+  for (std::size_t f = 0; f < slice.origFuIds.size(); ++f) {
+    result.schedule.fus[slice.origFuIds[f].index()].delay =
+        viewRes.schedule.fus[f].delay;
+  }
+  for (std::size_t v = 0; v < view.toOrig.size(); ++v) {
+    std::size_t oi = view.toOrig[v].index();
+    result.schedule.opDelay[oi] = viewRes.schedule.opDelay[v];
+    result.schedule.opStart[oi] = viewRes.schedule.opStart[v];
+  }
   return result;
 }
 

@@ -42,4 +42,19 @@ RecoveryResult stateLocalAreaRecovery(const Behavior& bhv,
                                       const ResourceLibrary& lib,
                                       const RecoveryOptions& opts = {});
 
+class DfgPartition;
+
+/// Component-scoped recovery: extracts component `comp`'s slice of `sched`
+/// (sched/component_schedule.h), runs the unmodified recovery engine on the
+/// component view, and writes back the per-instance delays and the
+/// component ops' delay/start values (recovery never adds or removes
+/// instances, so the FU table layout is untouched).  Requires a partition
+/// valid for `bhv` and a schedule where no non-empty instance spans
+/// components.  fusResized / areaSaved / guardExhausted report the
+/// component-local pass.
+RecoveryResult recoverComponent(const Behavior& bhv, const DfgPartition& part,
+                                std::size_t comp, Schedule sched,
+                                const ResourceLibrary& lib,
+                                const RecoveryOptions& opts = {});
+
 }  // namespace thls

@@ -1,0 +1,221 @@
+#include "sched/component_schedule.h"
+
+#include <map>
+
+namespace thls {
+
+ComponentScheduleResult scheduleComponent(const Behavior& bhv,
+                                          const DfgPartition& part,
+                                          std::size_t comp,
+                                          const ResourceLibrary& lib,
+                                          const SchedulerOptions& opts) {
+  THLS_REQUIRE(!opts.allowAddState,
+               "component scheduling requires allowAddState = false (a state "
+               "inserted into a view CFG cannot be merged back)");
+  ComponentScheduleResult r;
+  r.component = comp;
+  r.view = makeComponentView(bhv, part, comp);
+  r.outcome = scheduleBehavior(r.view.behavior, lib, opts);
+  return r;
+}
+
+ComponentMergeResult mergeComponentSchedules(
+    const Behavior& bhv, const DfgPartition& part,
+    const std::vector<ComponentScheduleResult>& parts) {
+  ComponentMergeResult m;
+  for (const ComponentScheduleResult& p : parts) {
+    if (!p.outcome.success) {
+      m.reason = strCat("component ", p.component, ": ",
+                        p.outcome.failureReason.empty()
+                            ? "scheduling failed"
+                            : p.outcome.failureReason);
+      return m;
+    }
+  }
+  if (parts.empty()) {
+    m.reason = "no scheduled components";
+    return m;
+  }
+
+  const std::size_t n = bhv.dfg.numOps();
+  Schedule& sched = m.schedule;
+  sched.clockPeriod = parts.front().outcome.schedule.clockPeriod;
+  sched.opEdge.assign(n, CfgEdgeId::invalid());
+  sched.opFu.assign(n, FuId::invalid());
+  sched.opDelay.assign(n, 0.0);
+  sched.opStart.assign(n, 0.0);
+  m.initialBudgets.assign(n, 0.0);
+
+  // FU re-layout: shared instances per-(class, width) contiguous in key
+  // order -- the layout a fresh monolithic pass uses -- then dedicated
+  // instances in (component, local) order.  Within one key's block the
+  // components contribute their instances in component order.
+  using AllocKey = std::pair<ResourceClass, int>;
+  std::map<AllocKey, std::int32_t> sharedCount;
+  std::size_t dedicatedCount = 0;
+  for (const ComponentScheduleResult& p : parts) {
+    if (p.outcome.schedule.clockPeriod != sched.clockPeriod) {
+      m.reason = "component clock periods disagree";
+      return m;
+    }
+    for (const FuInstance& fu : p.outcome.schedule.fus) {
+      if (fu.dedicated) {
+        ++dedicatedCount;
+      } else {
+        ++sharedCount[{fu.cls, fu.width}];
+      }
+    }
+  }
+  std::map<AllocKey, std::int32_t> keyBase;
+  std::int32_t off = 0;
+  for (const auto& [key, cnt] : sharedCount) {
+    keyBase[key] = off;
+    off += cnt;
+  }
+  const std::int32_t sharedTotal = off;
+  sched.fus.resize(sharedTotal + dedicatedCount);
+
+  std::map<AllocKey, std::int32_t> keyNext;
+  std::int32_t dedicatedNext = sharedTotal;
+  for (const ComponentScheduleResult& p : parts) {
+    const Schedule& ps = p.outcome.schedule;
+    std::vector<std::int32_t> fuMap(ps.fus.size());
+    for (std::size_t f = 0; f < ps.fus.size(); ++f) {
+      const FuInstance& fu = ps.fus[f];
+      std::int32_t nid = fu.dedicated
+                             ? dedicatedNext++
+                             : keyBase[{fu.cls, fu.width}] +
+                                   keyNext[{fu.cls, fu.width}]++;
+      fuMap[f] = nid;
+      FuInstance& out = sched.fus[nid];
+      out.cls = fu.cls;
+      out.width = fu.width;
+      out.delay = fu.delay;
+      out.dedicated = fu.dedicated;
+      out.ops.reserve(fu.ops.size());
+      for (OpId v : fu.ops) out.ops.push_back(p.view.toOrig[v.index()]);
+    }
+    for (std::size_t v = 0; v < p.view.toOrig.size(); ++v) {
+      OpId orig = p.view.toOrig[v];
+      std::size_t oi = orig.index();
+      if (sched.opEdge[oi].valid()) {
+        m.reason = strCat("op ", bhv.dfg.op(orig).name,
+                          " scheduled by two components");
+        return m;
+      }
+      sched.opEdge[oi] = ps.opEdge[v];
+      sched.opDelay[oi] = ps.opDelay[v];
+      sched.opStart[oi] = ps.opStart[v];
+      if (ps.opFu[v].valid()) {
+        sched.opFu[oi] = FuId(fuMap[ps.opFu[v].index()]);
+      }
+      if (v < p.outcome.initialBudgets.size()) {
+        m.initialBudgets[oi] = p.outcome.initialBudgets[v];
+      }
+    }
+
+    const SchedulerStats& s = p.outcome.stats;
+    SchedulerStats& t = m.stats;
+    t.schedulePasses += s.schedulePasses;
+    t.relaxations += s.relaxations;
+    t.timingAnalyses += s.timingAnalyses;
+    t.resourcesAdded += s.resourcesAdded;
+    t.statesAdded += s.statesAdded;
+    t.fastestOverrides += s.fastestOverrides;
+    t.spanRebuilds += s.spanRebuilds;
+    t.spanUpdates += s.spanUpdates;
+    t.spanOpsRecomputed += s.spanOpsRecomputed;
+    t.readyScans += s.readyScans;
+    t.latRebuilds += s.latRebuilds;
+    t.latUpdates += s.latUpdates;
+    t.slackOpsRecomputed += s.slackOpsRecomputed;
+    t.relaxResumes += s.relaxResumes;
+    t.passOpsReplaced += s.passOpsReplaced;
+    t.budgetReuses += s.budgetReuses;
+    t.grantEscalations += s.grantEscalations;
+    t.budgetValveHits += s.budgetValveHits;
+    t.latencySeconds += s.latencySeconds;
+    t.timingSeconds += s.timingSeconds;
+    t.relaxSeconds += s.relaxSeconds;
+  }
+
+  // Names regenerated in the monolithic convention (per-key index for
+  // shared instances, table id for dedicated ones).
+  std::map<AllocKey, std::int32_t> nameIdx;
+  for (std::size_t f = 0; f < sched.fus.size(); ++f) {
+    FuInstance& fu = sched.fus[f];
+    fu.name = fu.dedicated
+                  ? strCat(toString(fu.cls), fu.width, "_", f)
+                  : strCat(toString(fu.cls), fu.width, "_",
+                           nameIdx[{fu.cls, fu.width}]++);
+  }
+
+  // Arbitration sanity: every schedulable op of a scheduled component must
+  // have landed exactly once.
+  for (const ComponentScheduleResult& p : parts) {
+    for (OpId orig : part.component(p.component).ops) {
+      if (isFreeKind(bhv.dfg.op(orig).kind)) continue;
+      if (!sched.opEdge[orig.index()].valid()) {
+        m.reason =
+            strCat("op ", bhv.dfg.op(orig).name, " lost during the merge");
+        return m;
+      }
+    }
+  }
+  m.success = true;
+  return m;
+}
+
+ComponentScheduleSlice sliceComponentSchedule(const Behavior& bhv,
+                                              const DfgPartition& part,
+                                              const ComponentView& view,
+                                              std::size_t comp,
+                                              const Schedule& sched) {
+  THLS_REQUIRE(part.validFor(bhv), "stale partition");
+  THLS_REQUIRE(comp < part.count(), "component index out of range");
+  const std::size_t n = view.toOrig.size();
+
+  ComponentScheduleSlice slice;
+  Schedule& out = slice.schedule;
+  out.clockPeriod = sched.clockPeriod;
+  out.opEdge.assign(n, CfgEdgeId::invalid());
+  out.opFu.assign(n, FuId::invalid());
+  out.opDelay.assign(n, 0.0);
+  out.opStart.assign(n, 0.0);
+
+  // Component ownership of each FU instance: empty instances (compaction
+  // donors) belong to no component and stay behind -- fuArea prices them at
+  // zero and every downstream pass skips them, so excluding them changes
+  // nothing the slice's consumer can observe.
+  std::vector<std::int32_t> fuMap(sched.fus.size(), -1);
+  for (std::size_t f = 0; f < sched.fus.size(); ++f) {
+    const FuInstance& fu = sched.fus[f];
+    if (fu.ops.empty()) continue;
+    bool mine = part.componentOf(fu.ops.front()) == comp;
+    for (OpId o : fu.ops) {
+      THLS_REQUIRE((part.componentOf(o) == comp) == mine,
+                   "FU instance spans components; slice only post-merge or "
+                   "pipeline-produced schedules");
+    }
+    if (!mine) continue;
+    fuMap[f] = static_cast<std::int32_t>(slice.origFuIds.size());
+    slice.origFuIds.push_back(FuId(static_cast<std::int32_t>(f)));
+    FuInstance& vfu = out.fus.emplace_back(fu);
+    for (OpId& o : vfu.ops) o = part.viewIndexOf(o);
+  }
+
+  for (std::size_t v = 0; v < n; ++v) {
+    std::size_t oi = view.toOrig[v].index();
+    out.opEdge[v] = sched.opEdge[oi];
+    out.opDelay[v] = sched.opDelay[oi];
+    out.opStart[v] = sched.opStart[oi];
+    if (sched.opFu[oi].valid()) {
+      std::int32_t nid = fuMap[sched.opFu[oi].index()];
+      THLS_REQUIRE(nid >= 0, "op bound to an instance outside its component");
+      out.opFu[v] = FuId(nid);
+    }
+  }
+  return slice;
+}
+
+}  // namespace thls

@@ -1,0 +1,86 @@
+// Component-scoped scheduling and the shared-allocation merge step.
+//
+// The component pipeline (FlowOptions::componentPipeline) schedules each
+// weakly-connected DFG component (ir/partition.h) as an independent task:
+// scheduleComponent() extracts the component view and runs the unmodified
+// monolithic scheduler on it, and mergeComponentSchedules() arbitrates the
+// per-component FU reservations into one Schedule in the original
+// behavior's op space.
+//
+// The merge is deterministic regardless of task execution order: results
+// are combined in the partition's stable component order, shared FU
+// instances are re-laid out per-(class, width) contiguously in key order
+// (the same layout a fresh monolithic pass uses) with dedicated instances
+// appended in (component, local) order, and names are regenerated to match.
+// Components never share FU instances with each other -- cross-component
+// sharing is recovered afterwards by the ordinary global compactBinding
+// pass, which acts as the shared-allocation arbitration layer.
+//
+// On any conflict (a failed component, a clock mismatch, an op left
+// unscheduled) the merge reports failure and the caller rolls back to the
+// monolithic scheduler, so the pipeline can never produce a result the
+// legality oracle would reject without the monolithic baseline getting a
+// chance first.
+#pragma once
+
+#include "ir/partition.h"
+#include "sched/list_scheduler.h"
+
+namespace thls {
+
+/// One scheduled component.  The view must stay alive (and unmoved) while
+/// `outcome.latency` is used: the table borrows the view's Cfg.
+struct ComponentScheduleResult {
+  std::size_t component = 0;
+  ComponentView view;
+  ScheduleOutcome outcome;  ///< in view op space
+};
+
+/// Schedules component `comp` of `bhv` in isolation.  Requires
+/// `opts.allowAddState == false`: a view schedules against a copy of the
+/// CFG, and a state inserted there could not be merged back (callers gate
+/// on this and fall back to the monolithic path).
+ComponentScheduleResult scheduleComponent(const Behavior& bhv,
+                                          const DfgPartition& part,
+                                          std::size_t comp,
+                                          const ResourceLibrary& lib,
+                                          const SchedulerOptions& opts);
+
+struct ComponentMergeResult {
+  bool success = false;
+  /// On failure: the first failing component's reason, or the conflict the
+  /// arbitration detected.
+  std::string reason;
+  Schedule schedule;  ///< original op space, re-laid-out FU table
+  SchedulerStats stats;  ///< per-component counters and seconds, summed
+  std::vector<double> initialBudgets;  ///< original op space
+};
+
+/// Deterministically merges per-component outcomes (any subset of
+/// components, in partition order) into one Schedule for `bhv`.  Free-only
+/// components need no entry; their ops stay unscheduled exactly as the
+/// monolithic scheduler leaves them.
+ComponentMergeResult mergeComponentSchedules(
+    const Behavior& bhv, const DfgPartition& part,
+    const std::vector<ComponentScheduleResult>& parts);
+
+/// A component's slice of a full Schedule, in view op space: the component's
+/// non-empty FU instances re-indexed contiguously in original table order
+/// (`origFuIds[i]` = original id of view instance i) with their op lists
+/// remapped.  Requires that no non-empty instance mixes components -- the
+/// component pipeline's post-merge invariant (the monolithic scheduler may
+/// legally share an instance across components; slicing such a schedule is
+/// a caller error).  Used by the component-scoped compactBinding /
+/// stateLocalAreaRecovery entry points.
+struct ComponentScheduleSlice {
+  Schedule schedule;
+  std::vector<FuId> origFuIds;
+};
+
+ComponentScheduleSlice sliceComponentSchedule(const Behavior& bhv,
+                                              const DfgPartition& part,
+                                              const ComponentView& view,
+                                              std::size_t comp,
+                                              const Schedule& sched);
+
+}  // namespace thls

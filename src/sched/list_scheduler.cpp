@@ -819,6 +819,7 @@ bool SchedulerImpl::setupFreshPass(PassFailure* failure, PassState* psOut,
       stats_.timingAnalyses +=
           1 + fresh.negativeIterations + fresh.positiveGrants;
       stats_.slackOpsRecomputed += fresh.slackOpsRecomputed;
+      if (fresh.positiveGrantsValve) stats_.budgetValveHits++;
       if (opts_.incrementalRelaxation) {
         budgetCache_ = std::make_unique<BudgetResult>(std::move(fresh));
         budgetCacheVersion_ = cfg.structureVersion();

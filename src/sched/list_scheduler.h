@@ -110,6 +110,9 @@ struct SchedulerStats {
   int passOpsReplaced = 0;   ///< ops re-placed by resumed passes
   int budgetReuses = 0;      ///< cross-pass budget-cache hits
   int grantEscalations = 0;  ///< geometrically-sized relaxation grants
+  /// Fresh budgeting runs that stopped at the positive-grant safety valve
+  /// (BudgetResult::positiveGrantsValve; cached replays are not recounted).
+  int budgetValveHits = 0;
   double latencySeconds = 0;  ///< LatencyTable build/update wall clock
   double timingSeconds = 0;   ///< timing-analysis wall clock
   double relaxSeconds = 0;    ///< relaxation expert system wall clock

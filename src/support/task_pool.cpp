@@ -1,0 +1,116 @@
+#include "support/task_pool.h"
+
+#include <algorithm>
+
+namespace thls {
+
+namespace {
+
+std::size_t resolveLanes(std::size_t requested) {
+  std::size_t hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 1;
+  if (requested == 0) return hw;
+  return std::min(requested, hw);
+}
+
+}  // namespace
+
+TaskPool::TaskPool(std::size_t numThreads) : lanes_(resolveLanes(numThreads)) {
+  if (lanes_ <= 1) return;  // inline mode: the caller is the only lane
+  workers_.reserve(lanes_ - 1);
+  for (std::size_t i = 0; i + 1 < lanes_; ++i) {
+    workers_.emplace_back([this] { workerLoop(); });
+  }
+}
+
+TaskPool::~TaskPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  workCv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+TaskPool::Batch* TaskPool::claimableBatchLocked() {
+  for (Batch* b : batches_) {
+    if (b->next < b->count && b->active < b->maxWorkers) return b;
+  }
+  return nullptr;
+}
+
+void TaskPool::workerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    workCv_.wait(lock, [&] { return stop_ || claimableBatchLocked(); });
+    if (stop_) return;
+    Batch* b = claimableBatchLocked();
+    if (!b) continue;
+    ++b->active;
+    while (b->next < b->count) {
+      std::size_t i = b->next++;
+      lock.unlock();
+      std::exception_ptr error;
+      try {
+        (*b->task)(i);
+      } catch (...) {
+        error = std::current_exception();
+      }
+      lock.lock();
+      if (error && !b->firstError) b->firstError = error;
+      --b->pending;
+    }
+    // Leave the batch and signal in the same critical section as the last
+    // pending decrement: after the caller observes pending == 0 &&
+    // active == 0 the Batch (caller stack) may be freed.
+    --b->active;
+    if (b->pending == 0 && b->active == 0) doneCv_.notify_all();
+  }
+}
+
+void TaskPool::parallelFor(std::size_t count,
+                           const std::function<void(std::size_t)>& task,
+                           std::size_t maxConcurrency) {
+  if (count == 0) return;
+  std::size_t cap = maxConcurrency == 0 ? lanes_ : std::min(maxConcurrency, lanes_);
+  if (workers_.empty() || cap <= 1 || count == 1) {
+    for (std::size_t i = 0; i < count; ++i) task(i);
+    return;
+  }
+
+  Batch batch;
+  batch.task = &task;
+  batch.count = count;
+  batch.pending = count;
+  batch.maxWorkers = cap - 1;  // the caller is the remaining lane
+
+  std::unique_lock<std::mutex> lock(mu_);
+  batches_.push_back(&batch);
+  workCv_.notify_all();
+
+  // The caller helps with its own batch until no index is left to claim.
+  while (batch.next < batch.count) {
+    std::size_t i = batch.next++;
+    lock.unlock();
+    std::exception_ptr error;
+    try {
+      task(i);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    lock.lock();
+    if (error && !batch.firstError) batch.firstError = error;
+    --batch.pending;
+  }
+  doneCv_.wait(lock, [&] { return batch.pending == 0 && batch.active == 0; });
+  batches_.erase(std::find(batches_.begin(), batches_.end(), &batch));
+  lock.unlock();
+  if (batch.firstError) std::rethrow_exception(batch.firstError);
+}
+
+TaskPool& TaskPool::shared() {
+  static TaskPool pool(0);
+  return pool;
+}
+
+}  // namespace thls

@@ -1,0 +1,96 @@
+// Process-wide task pool shared by every parallel phase.
+//
+// Historically each ExploreEngine owned a private thread pool, which was
+// fine while cross-point DSE was the only parallel axis.  The component
+// pipeline (ir/partition.h, FlowOptions::componentPipeline) adds intra-point
+// tasks that can be spawned *from inside* an engine worker, so two layers of
+// private pools would oversubscribe the machine and a blocking inner wait
+// could deadlock a fixed-size pool.  TaskPool solves both:
+//
+//  * one pool per process (TaskPool::shared()), capped at the hardware
+//    concurrency -- every layer draws from the same worker budget, so
+//    intra-point and cross-point tasks never oversubscribe;
+//  * the caller of parallelFor() participates: it claims and executes tasks
+//    from its own batch until none are left, then waits.  A worker that
+//    spawns a nested parallelFor therefore always makes progress on its own
+//    batch, so nested submission cannot deadlock (every claimed task is
+//    being executed by some thread, and the nesting depth is finite).
+//
+// Batches are independent: concurrent parallelFor calls from different
+// threads interleave over the same workers.  `maxConcurrency` bounds how
+// many threads (caller included) may work one batch, so callers can keep
+// the old "threads = N" semantics.  A pool of size 1 (or maxConcurrency 1)
+// runs inline on the caller in index order -- the deterministic mode tests
+// and benches inject.
+//
+// Determinism contract: parallelFor runs task(i) exactly once for every i,
+// but in no particular order or thread; callers must write results into
+// per-index slots and aggregate in index order (the ExploreEngine and the
+// component merge both do), which makes results identical for every pool
+// size.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace thls {
+
+class TaskPool {
+ public:
+  /// `numThreads` logical lanes (caller + workers); 0 means the hardware
+  /// concurrency.  Either way the lane count is capped at the hardware
+  /// concurrency: the tasks are CPU-bound, so extra workers only add
+  /// context switching.  A pool of 1 lane spawns no threads at all.
+  explicit TaskPool(std::size_t numThreads = 0);
+  ~TaskPool();
+  TaskPool(const TaskPool&) = delete;
+  TaskPool& operator=(const TaskPool&) = delete;
+
+  /// Logical lanes (caller + worker threads).
+  std::size_t size() const { return lanes_; }
+
+  /// Runs task(i) for every i in [0, count), executing on the caller plus
+  /// up to maxConcurrency-1 workers (0 = no extra bound beyond the pool
+  /// size).  Blocks until the batch drains; rethrows the first task
+  /// exception afterwards.  Safe to call from inside a task (see above).
+  void parallelFor(std::size_t count,
+                   const std::function<void(std::size_t)>& task,
+                   std::size_t maxConcurrency = 0);
+
+  /// The one pool per process, sized to the hardware concurrency.  All
+  /// library-internal parallelism (ExploreEngine points, runFlow component
+  /// tasks) defaults to this instance.
+  static TaskPool& shared();
+
+ private:
+  /// One parallelFor invocation; lives on the caller's stack.  `pending`
+  /// counts unfinished tasks and `active` the workers currently inside the
+  /// batch; the caller may free the Batch only once both reach zero, which
+  /// workers signal under the pool mutex.
+  struct Batch {
+    const std::function<void(std::size_t)>* task = nullptr;
+    std::size_t count = 0;
+    std::size_t next = 0;
+    std::size_t pending = 0;
+    std::size_t maxWorkers = 0;
+    std::size_t active = 0;
+    std::exception_ptr firstError;
+  };
+
+  void workerLoop();
+  Batch* claimableBatchLocked();
+
+  std::vector<std::thread> workers_;
+  std::size_t lanes_ = 1;
+  std::mutex mu_;
+  std::condition_variable workCv_;
+  std::condition_variable doneCv_;
+  std::vector<Batch*> batches_;
+  bool stop_ = false;
+};
+
+}  // namespace thls

@@ -97,6 +97,30 @@ Behavior makeIdct1d(const IdctParams& p) {
   return b.finish();
 }
 
+Behavior makeDualIdct(const IdctParams& p) {
+  THLS_REQUIRE(p.latencyStates >= 1, "need at least one state");
+  BehaviorBuilder b("dualIdct");
+  // Two kernel instances with disjoint inputs; each instance also creates
+  // its own coefficient constants, so the DFG is exactly two
+  // weakly-connected components sharing the latency window.
+  std::array<std::array<Value, 8>, 2> s;
+  const char* tags[2] = {"a", "b"};
+  for (int k = 0; k < 2; ++k) {
+    for (int i = 0; i < 8; ++i) {
+      s[k][i] = b.input(strCat(tags[k], "_s", i), p.width);
+    }
+  }
+  std::vector<std::pair<std::string, Value>> outs;
+  for (int k = 0; k < 2; ++k) {
+    std::array<Value, 8> y = idctKernel(b, s[k], p.width, tags[k]);
+    for (int i = 0; i < 8; ++i) {
+      outs.emplace_back(strCat(tags[k], "_y", i), y[i]);
+    }
+  }
+  closeWithOutputs(b, p.latencyStates, outs);
+  return b.finish();
+}
+
 Behavior makeIdct8x8(const IdctParams& p) {
   THLS_REQUIRE(p.latencyStates >= 1, "need at least one state");
   BehaviorBuilder b("idct8x8");

@@ -1,67 +1,103 @@
 // Seeded random layered DAG generator for property-based testing: every
 // graph is a plausible straight-line computation with mixed op kinds and a
-// reproducible structure.
+// reproducible structure.  With `components > 1` the generator emits that
+// many mutually independent copies of the construction (disjoint input
+// pools, per-component rng streams), producing a DFG whose weakly-connected
+// component count is exactly `components` -- the workload family the
+// component pipeline (ir/partition.h) is differentially tested on.
 #include <random>
 
 #include "workloads/workloads.h"
 
 namespace thls::workloads {
 
+namespace {
+
+/// Per-component state carried from op emission (all ops are born on the
+/// first CFG edge) to output emission (pinned after the latency waits).
+struct ComponentValues {
+  std::vector<Value> pool;
+  std::vector<Value> sinksNeeded;
+  int nInputs = 0;
+};
+
+}  // namespace
+
 Behavior makeRandomDfg(const RandomDfgParams& p) {
   THLS_REQUIRE(p.numOps >= 1, "need at least one op");
   THLS_REQUIRE(p.latencyStates >= 1, "need at least one state");
+  THLS_REQUIRE(p.components >= 1, "need at least one component");
+  THLS_REQUIRE(p.numOps >= p.components,
+               "need at least one op per component");
   BehaviorBuilder b(strCat("random", p.seed));
-  std::mt19937 rng(p.seed);
 
-  // A pool of live values to draw operands from.
-  std::vector<Value> pool;
-  int nInputs = std::max(2, p.numOps / 8);
-  for (int i = 0; i < nInputs; ++i) {
-    pool.push_back(b.input(strCat("in", i), p.width));
-  }
+  // Each component draws from its own rng stream seeded off the base seed,
+  // so component 0 of a K == 1 graph consumes the exact legacy stream and
+  // the single-component output stays bit-identical to what every golden
+  // pin was recorded against.
+  const int k = p.components;
+  std::vector<ComponentValues> comps(k);
+  for (int c = 0; c < k; ++c) {
+    ComponentValues& cv = comps[c];
+    const std::string prefix = k == 1 ? std::string() : strCat("c", c, "_");
+    const int compOps = p.numOps / k + (c < p.numOps % k ? 1 : 0);
+    std::mt19937 rng(p.seed + 0x9e3779b9u * static_cast<std::uint32_t>(c));
 
-  auto pick = [&](int window) -> Value {
-    std::size_t lo =
-        pool.size() > static_cast<std::size_t>(window) ? pool.size() - window : 0;
-    std::uniform_int_distribution<std::size_t> d(lo, pool.size() - 1);
-    return pool[d(rng)];
-  };
-
-  std::uniform_int_distribution<int> pct(0, 99);
-  std::vector<Value> sinksNeeded;
-  for (int i = 0; i < p.numOps; ++i) {
-    Value a = pick(p.fanWindow);
-    Value v = pick(p.fanWindow);
-    OpKind kind;
-    int roll = pct(rng);
-    if (roll < p.mulPercent) {
-      kind = OpKind::kMul;
-    } else if (roll < p.mulPercent + 35) {
-      kind = OpKind::kAdd;
-    } else if (roll < p.mulPercent + 55) {
-      kind = OpKind::kSub;
-    } else if (roll < p.mulPercent + 65) {
-      kind = OpKind::kCmpGt;
-    } else {
-      kind = OpKind::kXor;
+    // A pool of live values to draw operands from.
+    cv.nInputs = std::max(2, compOps / 8);
+    for (int i = 0; i < cv.nInputs; ++i) {
+      cv.pool.push_back(b.input(strCat(prefix, "in", i), p.width));
     }
-    int width = kind == OpKind::kCmpGt ? 1 : p.width;
-    Value r = b.binary(kind, a, v, width, strCat("op", i));
-    if (kind == OpKind::kCmpGt) {
-      // Keep comparators out of the operand pool (width mismatch).
-      sinksNeeded.push_back(r);
-    } else {
-      pool.push_back(r);
+
+    auto pick = [&](int window) -> Value {
+      std::size_t lo = cv.pool.size() > static_cast<std::size_t>(window)
+                           ? cv.pool.size() - window
+                           : 0;
+      std::uniform_int_distribution<std::size_t> d(lo, cv.pool.size() - 1);
+      return cv.pool[d(rng)];
+    };
+
+    std::uniform_int_distribution<int> pct(0, 99);
+    for (int i = 0; i < compOps; ++i) {
+      Value a = pick(p.fanWindow);
+      Value v = pick(p.fanWindow);
+      OpKind kind;
+      int roll = pct(rng);
+      if (roll < p.mulPercent) {
+        kind = OpKind::kMul;
+      } else if (roll < p.mulPercent + 35) {
+        kind = OpKind::kAdd;
+      } else if (roll < p.mulPercent + 55) {
+        kind = OpKind::kSub;
+      } else if (roll < p.mulPercent + 65) {
+        kind = OpKind::kCmpGt;
+      } else {
+        kind = OpKind::kXor;
+      }
+      int width = kind == OpKind::kCmpGt ? 1 : p.width;
+      Value r = b.binary(kind, a, v, width, strCat(prefix, "op", i));
+      if (kind == OpKind::kCmpGt) {
+        // Keep comparators out of the operand pool (width mismatch).
+        cv.sinksNeeded.push_back(r);
+      } else {
+        cv.pool.push_back(r);
+      }
     }
   }
 
   for (int s = 0; s < p.latencyStates - 1; ++s) b.wait();
   // Everything unconsumed becomes an output so no op is dead.
-  int outIdx = 0;
-  for (Value v : sinksNeeded) b.output(strCat("flag", outIdx++), v);
-  b.output("tail", pool.back());
-  for (std::size_t i = nInputs; i + 1 < pool.size(); ++i) {
-    b.output(strCat("o", outIdx++), pool[i]);
+  for (int c = 0; c < k; ++c) {
+    const ComponentValues& cv = comps[c];
+    const std::string prefix = k == 1 ? std::string() : strCat("c", c, "_");
+    int outIdx = 0;
+    for (Value v : cv.sinksNeeded) {
+      b.output(strCat(prefix, "flag", outIdx++), v);
+    }
+    b.output(strCat(prefix, "tail"), cv.pool.back());
+    for (std::size_t i = cv.nInputs; i + 1 < cv.pool.size(); ++i) {
+      b.output(strCat(prefix, "o", outIdx++), cv.pool[i]);
+    }
   }
   b.wait();
   return b.finish();

@@ -15,6 +15,17 @@ Behavior makeRandom40(int latencyStates) {
   return makeRandomDfg(kRandom40Seed, p);
 }
 
+/// Three-component random workload (same fixed-seed discipline as random40)
+/// so every registry-driven suite exercises the component pipeline's
+/// partition / merge path, not just single-component graphs.
+Behavior makeRandom3x(int latencyStates) {
+  RandomDfgParams p;
+  p.numOps = 36;
+  p.components = 3;
+  p.latencyStates = latencyStates;
+  return makeRandomDfg(kRandom40Seed, p);
+}
+
 /// Scaling family: the fan window grows with N so graphs stay wide (deep
 /// chains at small windows make low latencies infeasible) and the seed is
 /// distinct and fixed per size.
@@ -54,6 +65,13 @@ std::vector<NamedWorkload> standardWorkloads() {
                [](int l) { return makeMatmul(3, l); }, 4});
   w.push_back({"random40", [] { return makeRandom40(6); }, 1250.0,
                [](int l) { return makeRandom40(l); }, 6});
+  // Multi-component workloads: every differential / property suite over
+  // this registry exercises the component pipeline through them.
+  w.push_back({"dualIdct", [] { return makeDualIdct({.latencyStates = 6}); },
+               1250.0,
+               [](int l) { return makeDualIdct({.latencyStates = l}); }, 6});
+  w.push_back({"random3x", [] { return makeRandom3x(6); }, 1250.0,
+               [](int l) { return makeRandom3x(l); }, 6});
   return w;
 }
 

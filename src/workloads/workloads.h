@@ -43,6 +43,10 @@ struct IdctParams {
 Behavior makeIdct1d(const IdctParams& p = {});
 /// Full 8x8 row-column IDCT (16 kernel instances).
 Behavior makeIdct8x8(const IdctParams& p = {});
+/// Two independent 8-point IDCT kernels (disjoint inputs, outputs and
+/// coefficient constants) sharing one latency window: the canonical
+/// two-component workload for the component pipeline.
+Behavior makeDualIdct(const IdctParams& p = {});
 
 /// Elliptic wave filter (classic 34-op HLS benchmark: 26 add, 8 mul).
 Behavior makeEwf(int latencyStates = 14, int width = 16);
@@ -68,6 +72,10 @@ struct RandomDfgParams {
   int mulPercent = 30;
   /// Average fanin source window (larger = deeper chains).
   int fanWindow = 6;
+  /// Mutually independent component copies (disjoint pools, per-component
+  /// rng streams); numOps is the total, split evenly.  1 reproduces the
+  /// legacy single-component graph bit-for-bit.
+  int components = 1;
 };
 Behavior makeRandomDfg(const RandomDfgParams& p);
 

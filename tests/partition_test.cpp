@@ -1,0 +1,364 @@
+// Component pipeline tests: partition invariants, component views, the
+// pipeline-vs-monolithic differential across the workload registry, the
+// component-scoped binding/recovery entry points, and the budgeting
+// safety-valve accounting.
+#include "ir/partition.h"
+
+#include <gtest/gtest.h>
+
+#include "bind/binding.h"
+#include "budget/budgeter.h"
+#include "netlist/recovery.h"
+#include "sched/component_schedule.h"
+#include "support/task_pool.h"
+#include "test_util.h"
+
+namespace thls {
+namespace {
+
+using workloads::NamedWorkload;
+using workloads::standardWorkloads;
+
+const std::vector<StartPolicy> kPolicies = {
+    StartPolicy::kFastest, StartPolicy::kSlowest, StartPolicy::kBudgeted};
+
+const char* policyName(StartPolicy p) {
+  switch (p) {
+    case StartPolicy::kFastest: return "fastest";
+    case StartPolicy::kSlowest: return "slowest";
+    case StartPolicy::kBudgeted: return "budgeted";
+  }
+  return "?";
+}
+
+TEST(PartitionTest, EveryOpInExactlyOneComponent) {
+  for (const NamedWorkload& w : standardWorkloads()) {
+    Behavior bhv = w.make();
+    DfgPartition part = DfgPartition::compute(bhv);
+    ASSERT_TRUE(part.validFor(bhv)) << w.name;
+
+    std::vector<int> seen(bhv.dfg.numOps(), 0);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < part.count(); ++c) {
+      const DfgComponent& comp = part.component(c);
+      total += comp.ops.size();
+      for (std::size_t i = 0; i < comp.ops.size(); ++i) {
+        OpId op = comp.ops[i];
+        seen[op.index()]++;
+        EXPECT_EQ(part.componentOf(op), c) << w.name;
+        EXPECT_EQ(part.viewIndexOf(op).index(), static_cast<std::int32_t>(i))
+            << w.name;
+        // Stable order: ops ascend within a component.
+        if (i > 0) EXPECT_LT(comp.ops[i - 1].index(), op.index()) << w.name;
+      }
+    }
+    EXPECT_EQ(total, bhv.dfg.numOps()) << w.name;
+    for (int s : seen) EXPECT_EQ(s, 1) << w.name;
+  }
+}
+
+TEST(PartitionTest, NoCrossComponentEdges) {
+  for (const NamedWorkload& w : standardWorkloads()) {
+    Behavior bhv = w.make();
+    DfgPartition part = DfgPartition::compute(bhv);
+    for (std::size_t i = 0; i < bhv.dfg.numOps(); ++i) {
+      OpId op(static_cast<std::int32_t>(i));
+      for (OpId in : bhv.dfg.op(op).inputs) {
+        EXPECT_EQ(part.componentOf(in), part.componentOf(op))
+            << w.name << ": edge " << bhv.dfg.op(in).name << " -> "
+            << bhv.dfg.op(op).name << " crosses components";
+      }
+    }
+  }
+}
+
+TEST(PartitionTest, StableAcrossRuns) {
+  for (const NamedWorkload& w : standardWorkloads()) {
+    Behavior bhv = w.make();
+    DfgPartition a = DfgPartition::compute(bhv);
+    DfgPartition b = DfgPartition::compute(bhv);
+    ASSERT_EQ(a.count(), b.count()) << w.name;
+    for (std::size_t c = 0; c < a.count(); ++c) {
+      EXPECT_EQ(a.component(c).ops, b.component(c).ops) << w.name;
+      EXPECT_EQ(a.component(c).birthEdges, b.component(c).birthEdges)
+          << w.name;
+      EXPECT_EQ(a.component(c).schedulableOps, b.component(c).schedulableOps)
+          << w.name;
+    }
+    // Components appear in order of their smallest op index.
+    for (std::size_t c = 1; c < a.count(); ++c) {
+      EXPECT_LT(a.component(c - 1).ops.front().index(),
+                a.component(c).ops.front().index())
+          << w.name;
+    }
+  }
+}
+
+TEST(PartitionTest, StalePartitionDetected) {
+  Behavior bhv = workloads::makeDualIdct({.latencyStates = 6});
+  DfgPartition part = DfgPartition::compute(bhv);
+  ASSERT_TRUE(part.validFor(bhv));
+  Behavior other = workloads::makeIdct1d({.latencyStates = 6});
+  EXPECT_FALSE(part.validFor(other));
+}
+
+TEST(PartitionTest, CuratedWorkloadComponentCounts) {
+  // dualIdct is exactly two kernels with disjoint inputs and constants.
+  Behavior dual = workloads::makeDualIdct({.latencyStates = 6});
+  DfgPartition dpart = DfgPartition::compute(dual);
+  EXPECT_EQ(dpart.schedulableComponents(), 2u);
+
+  // random3x generates three independent pools; isolated (never-picked)
+  // inputs may add further single-op components, so >= 3.
+  workloads::RandomDfgParams p;
+  p.seed = 2012;
+  p.numOps = 36;
+  p.components = 3;
+  p.latencyStates = 6;
+  Behavior r3 = workloads::makeRandomDfg(p);
+  DfgPartition rpart = DfgPartition::compute(r3);
+  EXPECT_GE(rpart.schedulableComponents(), 3u);
+
+  // The multi-component graph really split the op budget: each component
+  // contributes its own inputs and at least one schedulable op.
+  for (std::size_t c = 0; c < rpart.count(); ++c) {
+    EXPECT_GE(rpart.component(c).ops.size(), 1u);
+  }
+}
+
+TEST(PartitionTest, ComponentViewRoundTrip) {
+  Behavior bhv = workloads::makeDualIdct({.latencyStates = 6});
+  DfgPartition part = DfgPartition::compute(bhv);
+  std::size_t totalOps = 0;
+  for (std::size_t c = 0; c < part.count(); ++c) {
+    ComponentView view = makeComponentView(bhv, part, c);
+    totalOps += view.behavior.dfg.numOps();
+    ASSERT_EQ(view.behavior.dfg.numOps(), part.component(c).ops.size());
+    ASSERT_EQ(view.toOrig.size(), part.component(c).ops.size());
+    for (std::size_t v = 0; v < view.toOrig.size(); ++v) {
+      OpId orig = view.toOrig[v];
+      OpId vid(static_cast<std::int32_t>(v));
+      EXPECT_EQ(orig, part.component(c).ops[v]);
+      const Operation& a = view.behavior.dfg.op(vid);
+      const Operation& b = bhv.dfg.op(orig);
+      EXPECT_EQ(a.kind, b.kind);
+      EXPECT_EQ(a.name, b.name);
+      EXPECT_EQ(a.width, b.width);
+      EXPECT_EQ(a.birth, b.birth);
+      EXPECT_EQ(a.fixed, b.fixed);
+      ASSERT_EQ(a.inputs.size(), b.inputs.size());
+      for (std::size_t j = 0; j < a.inputs.size(); ++j) {
+        EXPECT_EQ(view.toOrig[a.inputs[j].index()], b.inputs[j]);
+      }
+    }
+    // The view CFG is a full copy: same states and edges.
+    EXPECT_EQ(view.behavior.cfg.numStates(), bhv.cfg.numStates());
+    EXPECT_EQ(view.behavior.cfg.numEdges(), bhv.cfg.numEdges());
+  }
+  EXPECT_EQ(totalOps, bhv.dfg.numOps());
+}
+
+/// The registry-wide differential: componentPipeline on vs off, all three
+/// start policies.  Single-component workloads must be bit-for-bit (the
+/// pipeline dispatches straight to the monolithic scheduler).  For
+/// multi-component workloads exact identity is impossible -- the monolithic
+/// scheduler couples components through its shared allocation floor
+/// (ceil(n / states) over ALL ops of a class) and its global relaxation
+/// ladder -- so the contract is: legality and op conservation always; the
+/// pipeline succeeds whenever the monolithic path does (a component failure
+/// rolls back to it, and isolated components can only be easier); and under
+/// the paper's slack-based (budgeted) policy the merged result is at least
+/// as good as the monolithic one on the curated registry (per-component
+/// budgeting wastes no cross-component slack; empirically ~2-9 % better).
+/// Under kFastest the per-component allocation floors can cost area
+/// (observed +16 % on dualIdct) -- documented, not asserted equal.
+TEST(PartitionTest, PipelineMatchesMonolithicAcrossRegistry) {
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+  TaskPool serial(1);
+  for (const NamedWorkload& w : standardWorkloads()) {
+    Behavior probe = w.make();
+    DfgPartition part = DfgPartition::compute(probe);
+    const bool multi = part.schedulableComponents() > 1;
+    for (StartPolicy policy : kPolicies) {
+      SCOPED_TRACE(w.name + std::string("/") + policyName(policy));
+      FlowOptions on;
+      on.sched.clockPeriod = w.clockPeriod;
+      on.sched.startPolicy = policy;
+      on.componentPipeline = true;
+      on.pool = &serial;
+      FlowOptions off = on;
+      off.componentPipeline = false;
+      FlowResult ron = runFlow(w.make(), lib, on);
+      FlowResult roff = runFlow(w.make(), lib, off);
+
+      EXPECT_EQ(roff.componentTasks, 0u);
+      if (!multi) {
+        ASSERT_EQ(ron.success, roff.success);
+        if (!ron.success) continue;
+        EXPECT_EQ(ron.componentTasks, 0u);
+        EXPECT_TRUE(identicalSchedules(ron.schedule, roff.schedule));
+        EXPECT_NEAR(ron.area.total(), roff.area.total(), 1e-9);
+        EXPECT_NEAR(ron.power.dynamic, roff.power.dynamic, 1e-9);
+        continue;
+      }
+
+      // Multi-component: success is a superset of the monolithic path's.
+      if (roff.success) EXPECT_TRUE(ron.success);
+      if (!ron.success) continue;
+      EXPECT_GE(ron.componentTasks, 2u);
+      {
+        Behavior check = w.make();
+        testutil::expectLegal(check, lib, ron.schedule);
+        if (roff.success) testutil::expectLegal(check, lib, roff.schedule);
+      }
+      if (roff.success) {
+        if (policy == StartPolicy::kBudgeted) {
+          EXPECT_LE(ron.area.total(), roff.area.total() + 1e-9);
+        }
+        // Op conservation: both paths schedule the same op set.
+        ASSERT_EQ(ron.schedule.opEdge.size(), roff.schedule.opEdge.size());
+        for (std::size_t i = 0; i < ron.schedule.opEdge.size(); ++i) {
+          EXPECT_EQ(ron.schedule.opEdge[i].valid(),
+                    roff.schedule.opEdge[i].valid());
+        }
+      }
+    }
+  }
+}
+
+/// Pool-size independence: the merged result is identical whether the
+/// component tasks ran serially or on the process-wide shared pool.
+TEST(PartitionTest, PipelineDeterministicAcrossPools) {
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+  TaskPool serial(1);
+  for (StartPolicy policy : kPolicies) {
+    SCOPED_TRACE(policyName(policy));
+    FlowOptions a;
+    a.sched.clockPeriod = 1250.0;
+    a.sched.startPolicy = policy;
+    a.pool = &serial;
+    FlowOptions b = a;
+    b.pool = nullptr;  // TaskPool::shared()
+    FlowResult ra = runFlow(workloads::makeDualIdct({.latencyStates = 6}),
+                            lib, a);
+    FlowResult rb = runFlow(workloads::makeDualIdct({.latencyStates = 6}),
+                            lib, b);
+    ASSERT_TRUE(ra.success);
+    ASSERT_TRUE(rb.success);
+    EXPECT_EQ(ra.componentTasks, rb.componentTasks);
+    EXPECT_TRUE(identicalSchedules(ra.schedule, rb.schedule));
+    EXPECT_NEAR(ra.area.total(), rb.area.total(), 0.0);
+  }
+}
+
+/// allowAddState runs must bypass the pipeline (a state inserted into a
+/// component view cannot be merged back).
+TEST(PartitionTest, AllowAddStateStaysMonolithic) {
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+  FlowOptions opts;
+  opts.sched.clockPeriod = 1250.0;
+  opts.sched.allowAddState = true;
+  FlowResult r = runFlow(workloads::makeDualIdct({.latencyStates = 6}), lib,
+                         opts);
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(r.componentTasks, 0u);
+}
+
+/// Component-scoped compactBinding / recovery: operating per component on a
+/// pipeline-produced schedule is legal, never mixes instances across
+/// components, and lands the same area as the global passes (components
+/// never share instances, so the global engines cannot do anything the
+/// per-component ones cannot).
+TEST(PartitionTest, ComponentScopedBindAndRecover) {
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+  TaskPool serial(1);
+  Behavior bhv = workloads::makeDualIdct({.latencyStates = 6});
+  DfgPartition part = DfgPartition::compute(bhv);
+  ASSERT_EQ(part.schedulableComponents(), 2u);
+
+  // Raw merged schedule: pipeline on, global bind/recovery off.
+  FlowOptions raw;
+  raw.sched.clockPeriod = 1250.0;
+  raw.compactBinding = false;
+  raw.areaRecovery = false;
+  raw.pool = &serial;
+  FlowResult r = runFlow(bhv, lib, raw);
+  ASSERT_TRUE(r.success);
+  ASSERT_EQ(r.componentTasks, 2u);
+
+  LatencyTable lat(bhv.cfg);
+  const double rawArea = r.schedule.fuArea(lib);
+
+  // Global passes...
+  Schedule global = r.schedule;
+  compactBinding(bhv, lat, lib, global);
+  RecoveryResult grec = stateLocalAreaRecovery(bhv, lat, global, lib);
+
+  // ...vs per-component passes through the scoped entry points.
+  Schedule scoped = r.schedule;
+  for (std::size_t c = 0; c < part.count(); ++c) {
+    if (part.component(c).schedulableOps == 0) continue;
+    compactBindingComponent(bhv, part, c, lib, scoped);
+  }
+  for (std::size_t c = 0; c < part.count(); ++c) {
+    if (part.component(c).schedulableOps == 0) continue;
+    RecoveryResult rec = recoverComponent(bhv, part, c, scoped, lib);
+    scoped = std::move(rec.schedule);
+  }
+
+  testutil::expectLegal(bhv, lib, grec.schedule);
+  testutil::expectLegal(bhv, lib, scoped);
+  EXPECT_LE(scoped.fuArea(lib), rawArea + 1e-9);
+  EXPECT_NEAR(scoped.fuArea(lib), grec.schedule.fuArea(lib), 1e-9);
+
+  // No instance mixes components afterwards.
+  for (const FuInstance& fu : scoped.fus) {
+    if (fu.ops.empty()) continue;
+    std::size_t comp = part.componentOf(fu.ops.front());
+    for (OpId op : fu.ops) EXPECT_EQ(part.componentOf(op), comp);
+  }
+}
+
+/// The positive-grant safety valve must be accounted when it fires.  The
+/// IDCT 8x8 at (8 states, 1600 ps) is the known offender: its positive
+/// spend runs into the default 100k-grant valve (it used to stop silently).
+TEST(PartitionTest, BudgetValveReported) {
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+
+  // A small graph that saturates naturally reports no valve.
+  {
+    Behavior bhv = workloads::makeIdct1d({.latencyStates = 6});
+    LatencyTable lat(bhv.cfg);
+    OpSpanAnalysis spans(bhv.cfg, bhv.dfg, lat);
+    TimedDfg timed(bhv.cfg, bhv.dfg, lat, spans);
+    BudgetOptions opts;
+    opts.clockPeriod = 1250.0;
+    BudgetResult r = budgetSlack(timed, bhv.dfg, lib, opts);
+    ASSERT_TRUE(r.feasible);
+    EXPECT_FALSE(r.positiveGrantsValve);
+  }
+
+  Behavior bhv = workloads::makeIdct8x8({.latencyStates = 8});
+  LatencyTable lat(bhv.cfg);
+  OpSpanAnalysis spans(bhv.cfg, bhv.dfg, lat);
+  TimedDfg timed(bhv.cfg, bhv.dfg, lat, spans);
+  BudgetOptions opts;
+  opts.clockPeriod = 1600.0;
+
+  // A choked run stops exactly at the limit, stays feasible, and flags it.
+  BudgetOptions choked = opts;
+  choked.maxPositiveGrants = 50;
+  BudgetResult r = budgetSlack(timed, bhv.dfg, lib, choked);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.positiveGrants, 50);
+  EXPECT_TRUE(r.positiveGrantsValve);
+
+  // The default limit fires here too (the (8, 1600 ps) regression point).
+  BudgetResult full = budgetSlack(timed, bhv.dfg, lib, opts);
+  ASSERT_TRUE(full.feasible);
+  EXPECT_EQ(full.positiveGrants, 100000);
+  EXPECT_TRUE(full.positiveGrantsValve);
+}
+
+}  // namespace
+}  // namespace thls
