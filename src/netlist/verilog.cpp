@@ -4,6 +4,8 @@
 #include <map>
 #include <sstream>
 
+#include "sim/evaluate.h"
+
 namespace thls {
 
 namespace {
@@ -40,24 +42,54 @@ const char* binaryVerilogOp(OpKind kind) {
     case OpKind::kOr: return "|";
     case OpKind::kXor: return "^";
     case OpKind::kShl: return "<<";
-    case OpKind::kShr: return ">>";
+    // Arithmetic shift: Verilog `>>` zero-fills even on signed operands, so
+    // the signed semantics of sim/evaluate.h require `>>>` (the operand is
+    // wrapped in $signed(...) at the use site for emphasis).
+    case OpKind::kShr: return ">>>";
     default: return nullptr;
   }
 }
 
+/// Signed decimal Verilog literal for `value` at `width` bits.  Negative
+/// values need care: `8'sd3` denotes +3, so -3 must be emitted as the
+/// negation of the magnitude literal, and the most negative value (whose
+/// magnitude does not fit the positive literal range) as its raw bit
+/// pattern, which truncates to exactly the intended value.
+std::string constLiteral(long long value, int width) {
+  const long long v = wrapToWidth(value, width);
+  if (v >= 0) return strCat(width, "'sd", v);
+  const unsigned long long mag = ~static_cast<unsigned long long>(v) + 1;
+  if (width <= 64 && mag == (1ull << (width - 1))) {
+    return strCat(width, "'sd", mag);
+  }
+  return strCat("-", width, "'sd", mag);
+}
+
+/// Looks through zero-hardware copy chains to the real producer.
+OpId resolveCopies(const Dfg& dfg, OpId op) {
+  while (dfg.op(op).kind == OpKind::kCopy && !dfg.op(op).inputs.empty()) {
+    op = dfg.op(op).inputs[0];
+  }
+  return op;
+}
+
 }  // namespace
 
-std::string emitVerilog(const Behavior& bhv, const LatencyTable& lat,
-                        const Schedule& sched, const VerilogOptions& opts) {
+NetlistModule buildNetlist(const Behavior& bhv, const LatencyTable& lat,
+                           const Schedule& sched, const VerilogOptions& opts) {
   const Dfg& dfg = bhv.dfg;
   const Cfg& cfg = bhv.cfg;
-  std::ostringstream os;
+
+  NetlistModule m;
+  m.name = opts.moduleName;
+  m.behaviorName = bhv.name;
+  m.clockPeriod = sched.clockPeriod;
+  m.headerComment = opts.includeHeaderComment;
 
   // State index of every edge: number of state nodes crossed from the first
   // edge (undefined edges -- sibling branches -- share indices naturally).
   const CfgEdgeId entry = cfg.topoEdges().front();
   std::map<std::int32_t, int> stateOfEdge;
-  int numStates = 1;
   for (CfgEdgeId e : cfg.topoEdges()) {
     if (cfg.edge(e).backward) continue;
     int l = lat.latency(entry, e);
@@ -69,130 +101,204 @@ std::string emitVerilog(const Behavior& bhv, const LatencyTable& lat,
   for (std::size_t i = 0; i < dfg.numOps(); ++i) {
     OpId op(static_cast<std::int32_t>(i));
     if (isFreeKind(dfg.op(op).kind) || !sched.scheduled(op)) continue;
-    numStates =
-        std::max(numStates, stateOfEdge[sched.opEdge[i].value()] + 1);
+    m.numStates =
+        std::max(m.numStates, stateOfEdge[sched.opEdge[i].value()] + 1);
   }
-
-  if (opts.includeHeaderComment) {
-    os << "// Generated by TradeHLS (Kondratyev et al., DATE 2012 "
-          "reproduction)\n"
-       << "// behavior: " << bhv.name << ", states: " << numStates
-       << ", clock target: " << sched.clockPeriod << " ps\n";
-  }
-  os << "module " << opts.moduleName << " (\n  input wire clk,\n"
-     << "  input wire rst";
+  m.stateBits = 1;
+  while ((1 << m.stateBits) < m.numStates) ++m.stateBits;
 
   // Ports.
-  std::vector<OpId> inPorts, outPorts;
+  std::vector<std::int32_t> portOfOp(dfg.numOps(), -1);
+  std::vector<OpId> outPorts;
   for (std::size_t i = 0; i < dfg.numOps(); ++i) {
     OpId op(static_cast<std::int32_t>(i));
     const Operation& o = dfg.op(op);
     if (o.kind == OpKind::kInput || o.kind == OpKind::kRead) {
-      inPorts.push_back(op);
+      portOfOp[i] = static_cast<std::int32_t>(m.ports.size());
+      m.ports.push_back({sanitize(o.name), o.width, /*isInput=*/true, op});
     } else if (o.kind == OpKind::kOutput || o.kind == OpKind::kWrite) {
       if (o.name.rfind("br", 0) != 0) outPorts.push_back(op);  // skip phis' pins
     }
   }
-  for (OpId op : inPorts) {
-    const Operation& o = dfg.op(op);
-    os << ",\n  input wire signed [" << o.width - 1 << ":0] "
-       << sanitize(o.name);
-  }
   for (OpId op : outPorts) {
     const Operation& o = dfg.op(op);
-    os << ",\n  output reg signed [" << o.width - 1 << ":0] "
-       << sanitize(o.name);
+    portOfOp[op.index()] = static_cast<std::int32_t>(m.ports.size());
+    m.ports.push_back({sanitize(o.name), o.width, /*isInput=*/false, op});
   }
-  os << ",\n  output reg done\n);\n\n";
-
-  // FSM.
-  int stateBits = 1;
-  while ((1 << stateBits) < numStates) ++stateBits;
-  os << "  reg [" << stateBits - 1 << ":0] state;\n"
-     << "  always @(posedge clk) begin\n"
-     << "    if (rst) state <= 0;\n"
-     << "    else state <= (state == " << numStates - 1
-     << ") ? 0 : state + 1;\n"
-     << "  end\n\n";
-
-  // Wires / expression per op, in topological order.
-  auto operandRef = [&](OpId in) -> std::string {
-    const Operation& io = dfg.op(in);
-    if (io.kind == OpKind::kConst) {
-      return strCat(io.width, "'sd", io.constValue < 0 ? -io.constValue
-                                                       : io.constValue);
-    }
-    if (io.kind == OpKind::kInput || io.kind == OpKind::kRead) {
-      return sanitize(io.name);
-    }
-    return wireName(dfg, in);
-  };
 
   // Values crossing a state boundary are registered at the end of their
-  // producer's state.
+  // producer's state.  Copy chains are looked through on both sides so a
+  // value forwarded by a phi placeholder still gets its register.
   std::vector<bool> registered(dfg.numOps(), false);
   for (const DataDependence& d : dfg.dependences()) {
     if (d.loopCarried) continue;
-    const Operation& po = dfg.op(d.from);
+    const OpId from = resolveCopies(dfg, d.from);
+    const Operation& po = dfg.op(from);
     const Operation& co = dfg.op(d.to);
     if (isFreeKind(po.kind) || po.kind == OpKind::kRead) continue;
     if (isFreeKind(co.kind)) continue;
-    if (!sched.scheduled(d.from) || !sched.scheduled(d.to)) continue;
-    int l = lat.latency(sched.opEdge[d.from.index()],
+    if (!sched.scheduled(from) || !sched.scheduled(d.to)) continue;
+    int l = lat.latency(sched.opEdge[from.index()],
                         sched.opEdge[d.to.index()]);
     if (l != LatencyTable::kUndefined && l >= 1) {
-      registered[d.from.index()] = true;
+      registered[from.index()] = true;
     }
   }
 
-  std::ostringstream comb, seq;
+  // Nodes, in DFG topological order (so operand references always point
+  // backwards and one forward sweep evaluates a cycle).
+  std::vector<std::int32_t> nodeOfOp(dfg.numOps(), -1);
+  auto operandRef = [&](OpId in, int consumerState) -> NetlistValueRef {
+    in = resolveCopies(dfg, in);
+    const Operation& io = dfg.op(in);
+    NetlistValueRef ref;
+    ref.width = io.width;
+    if (io.kind == OpKind::kConst) {
+      ref.kind = NetlistValueRef::Kind::kConstant;
+      ref.constValue = io.constValue;
+      return ref;
+    }
+    if (io.kind == OpKind::kInput || io.kind == OpKind::kRead) {
+      ref.kind = NetlistValueRef::Kind::kPort;
+      ref.index = portOfOp[in.index()];
+      return ref;
+    }
+    ref.kind = NetlistValueRef::Kind::kNode;
+    ref.index = nodeOfOp[in.index()];
+    THLS_ASSERT(ref.index >= 0,
+                strCat("operand '", io.name, "' has no netlist node"));
+    // A later-state consumer reads the register; a same-state consumer is
+    // combinationally chained and reads the wire (the register still holds
+    // the previous iteration's value during the producer's own state).
+    ref.fromRegister =
+        registered[in.index()] && m.nodes[ref.index].state < consumerState;
+    return ref;
+  };
+
   for (OpId op : dfg.topoOrder()) {
     const Operation& o = dfg.op(op);
     if (isFreeKind(o.kind) || o.kind == OpKind::kRead) continue;
     if (o.kind == OpKind::kOutput || o.kind == OpKind::kWrite) continue;
     if (!sched.scheduled(op)) continue;
 
+    NetlistNode node;
+    node.op = op;
+    node.kind = o.kind;
+    node.name = wireName(dfg, op);
+    node.width = o.width;
+    node.state = stateOfEdge[sched.opEdge[op.index()].value()];
+    node.registered = registered[op.index()];
+    for (OpId in : o.inputs) {
+      node.operands.push_back(operandRef(in, node.state));
+    }
+    nodeOfOp[op.index()] = static_cast<std::int32_t>(m.nodes.size());
+    m.nodes.push_back(std::move(node));
+  }
+
+  // Outputs registered in their scheduled state.
+  for (OpId op : outPorts) {
+    const Operation& o = dfg.op(op);
+    if (!sched.scheduled(op) || o.inputs.empty()) continue;
+    NetlistOutputAssign assign;
+    assign.port = portOfOp[op.index()];
+    assign.state = stateOfEdge[sched.opEdge[op.index()].value()];
+    assign.value = operandRef(o.inputs[0], assign.state);
+    m.outputs.push_back(assign);
+  }
+  return m;
+}
+
+std::string emitVerilog(const NetlistModule& m) {
+  std::ostringstream os;
+  if (m.headerComment) {
+    os << "// Generated by TradeHLS (Kondratyev et al., DATE 2012 "
+          "reproduction)\n"
+       << "// behavior: " << m.behaviorName << ", states: " << m.numStates
+       << ", clock target: " << m.clockPeriod << " ps\n";
+  }
+  os << "module " << m.name << " (\n  input wire clk,\n"
+     << "  input wire rst";
+  for (const NetlistPort& p : m.ports) {
+    if (!p.isInput) continue;
+    os << ",\n  input wire signed [" << p.width - 1 << ":0] " << p.name;
+  }
+  for (const NetlistPort& p : m.ports) {
+    if (p.isInput) continue;
+    os << ",\n  output reg signed [" << p.width - 1 << ":0] " << p.name;
+  }
+  os << ",\n  output reg done\n);\n\n";
+
+  // FSM.
+  os << "  reg [" << m.stateBits - 1 << ":0] state;\n"
+     << "  always @(posedge clk) begin\n"
+     << "    if (rst) state <= 0;\n"
+     << "    else state <= (state == " << m.numStates - 1
+     << ") ? 0 : state + 1;\n"
+     << "  end\n\n";
+
+  // A registered node owns a register under its own name, fed by the
+  // combinational wire <name>_c; same-state consumers chain off the wire.
+  auto wireOf = [&](const NetlistNode& n) {
+    return n.registered ? n.name + "_c" : n.name;
+  };
+  auto refText = [&](const NetlistValueRef& ref) -> std::string {
+    switch (ref.kind) {
+      case NetlistValueRef::Kind::kConstant:
+        return constLiteral(ref.constValue, ref.width);
+      case NetlistValueRef::Kind::kPort:
+        return m.ports[ref.index].name;
+      case NetlistValueRef::Kind::kNode: {
+        const NetlistNode& n = m.nodes[ref.index];
+        return ref.fromRegister ? n.name : wireOf(n);
+      }
+    }
+    return {};
+  };
+
+  std::ostringstream seq;
+  for (const NetlistNode& n : m.nodes) {
     std::string expr;
-    if (const char* vop = binaryVerilogOp(o.kind)) {
-      expr = strCat(operandRef(o.inputs[0]), " ", vop, " ",
-                    operandRef(o.inputs[1]));
-    } else if (o.kind == OpKind::kMux) {
-      expr = strCat(operandRef(o.inputs[0]), " ? ", operandRef(o.inputs[1]),
-                    " : ", operandRef(o.inputs[2]));
-    } else if (o.kind == OpKind::kNot) {
-      expr = strCat("~", operandRef(o.inputs[0]));
+    if (const char* vop = binaryVerilogOp(n.kind)) {
+      if (n.kind == OpKind::kShr) {
+        expr = strCat("$signed(", refText(n.operands[0]), ") ", vop, " ",
+                      refText(n.operands[1]));
+      } else {
+        expr = strCat(refText(n.operands[0]), " ", vop, " ",
+                      refText(n.operands[1]));
+      }
+    } else if (n.kind == OpKind::kMux) {
+      expr = strCat(refText(n.operands[0]), " ? ", refText(n.operands[1]),
+                    " : ", refText(n.operands[2]));
+    } else if (n.kind == OpKind::kNot) {
+      expr = strCat("~", refText(n.operands[0]));
     } else {
-      expr = operandRef(o.inputs[0]);
+      expr = refText(n.operands[0]);
     }
 
-    if (registered[op.index()]) {
-      int st = stateOfEdge[sched.opEdge[op.index()].value()];
-      os << "  reg signed [" << o.width - 1 << ":0] " << wireName(dfg, op)
-         << ";\n";
-      seq << "      if (state == " << st << ") " << wireName(dfg, op)
-          << " <= " << expr << ";\n";
-    } else {
-      os << "  wire signed [" << o.width - 1 << ":0] " << wireName(dfg, op)
-         << " = " << expr << ";\n";
-      comb.str(comb.str());  // keep ordering stable (no-op)
+    os << "  wire signed [" << n.width - 1 << ":0] " << wireOf(n) << " = "
+       << expr << ";\n";
+    if (n.registered) {
+      os << "  reg signed [" << n.width - 1 << ":0] " << n.name << ";\n";
+      seq << "      if (state == " << n.state << ") " << n.name << " <= "
+          << wireOf(n) << ";\n";
     }
   }
 
   os << "\n  always @(posedge clk) begin\n"
      << "    if (rst) begin\n      done <= 1'b0;\n    end else begin\n"
      << seq.str();
-
-  // Outputs registered in their scheduled state.
-  for (OpId op : outPorts) {
-    const Operation& o = dfg.op(op);
-    if (!sched.scheduled(op) || o.inputs.empty()) continue;
-    int st = stateOfEdge[sched.opEdge[op.index()].value()];
-    os << "      if (state == " << st << ") " << sanitize(o.name)
-       << " <= " << operandRef(o.inputs[0]) << ";\n";
+  for (const NetlistOutputAssign& a : m.outputs) {
+    os << "      if (state == " << a.state << ") " << m.ports[a.port].name
+       << " <= " << refText(a.value) << ";\n";
   }
-  os << "      done <= (state == " << numStates - 1 << ");\n"
+  os << "      done <= (state == " << m.numStates - 1 << ");\n"
      << "    end\n  end\n\nendmodule\n";
   return os.str();
+}
+
+std::string emitVerilog(const Behavior& bhv, const LatencyTable& lat,
+                        const Schedule& sched, const VerilogOptions& opts) {
+  return emitVerilog(buildNetlist(bhv, lat, sched, opts));
 }
 
 }  // namespace thls

@@ -1,15 +1,27 @@
 // Verilog-2001 emission of a scheduled behavior: a linear/branching FSM
 // plus a datapath with one register per state-crossing value.
 //
-// The emitted RTL is *semantic* rather than structural: each operation
-// becomes an expression in its state (functional-unit sharing is a
-// synthesis-level property that the area model accounts for separately).
-// It elaborates in any Verilog front end and is handy for eyeballing what
-// the schedule actually computes; sim/evaluate.h is the bit-accurate
-// reference for its values.
+// Emission is split in two layers:
+//   buildNetlist()  -- lowers (behavior, latency, schedule) into a
+//                      structured NetlistModule: the port list, the FSM
+//                      state map, one NetlistNode per datapath operation
+//                      (with its expression operands resolved through
+//                      constants/copies and classified as register or
+//                      combinational reads), and the registered output
+//                      assignments;
+//   emitVerilog()   -- a thin text serializer over that IR.
+//
+// The split exists so the *meaning* of the RTL is machine-checkable:
+// sim/netlist_sim.h interprets the same NetlistModule cycle-accurately
+// (including 'x propagation and the done pulse), and sim/differential.h
+// diffs it against the behavioral evaluators on random stimulus.  The
+// emitted RTL is *semantic* rather than structural: each operation becomes
+// an expression in its state (functional-unit sharing is a synthesis-level
+// property that the area model accounts for separately).
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "sched/schedule.h"
 
@@ -20,9 +32,88 @@ struct VerilogOptions {
   bool includeHeaderComment = true;
 };
 
-/// Emits the scheduled behavior as a synthesizable Verilog module.
+/// Reference to a value consumed by a netlist node or output register.
+struct NetlistValueRef {
+  enum class Kind {
+    kConstant,  ///< immediate literal (constValue at width)
+    kPort,      ///< module input port (ports[index])
+    kNode,      ///< another node's result (nodes[index])
+  };
+  Kind kind = Kind::kConstant;
+  long long constValue = 0;
+  /// Bitwidth of the referenced value (constant width / port width / node
+  /// width, duplicated here so consumers never chase the reference).
+  int width = 0;
+  /// Port or node index, depending on `kind`.
+  std::int32_t index = -1;
+  /// For kNode reads only: true when the consumer executes in a *later*
+  /// FSM state than the producer and must read the producer's register;
+  /// false for same-state (combinationally chained) reads of the wire.
+  bool fromRegister = false;
+};
+
+/// One module port.  Inputs come from kInput/kRead ops (held stable for the
+/// whole iteration); outputs from kOutput/kWrite ops (registered in their
+/// scheduled state).  Branch-condition pins (name "br*") are internal to
+/// the FSM semantics and get no port.
+struct NetlistPort {
+  std::string name;
+  int width = 0;
+  bool isInput = false;
+  OpId op;  ///< originating DFG op
+};
+
+/// One datapath operation: a combinational expression over `operands`,
+/// always visible as a wire; when `registered`, additionally latched into a
+/// register at the end of FSM state `state` for later-state consumers.
+struct NetlistNode {
+  OpId op;  ///< originating DFG op
+  OpKind kind = OpKind::kCopy;
+  std::string name;  ///< register name; the wire is name + "_c"
+  int width = 0;
+  /// FSM state whose cycle computes this node (schedule edge's state).
+  int state = 0;
+  bool registered = false;
+  std::vector<NetlistValueRef> operands;
+};
+
+/// Registered assignment of an output port in its scheduled FSM state.
+struct NetlistOutputAssign {
+  std::int32_t port = -1;  ///< index into `ports` (an output port)
+  int state = 0;
+  NetlistValueRef value;
+};
+
+/// Structured netlist IR: everything emitVerilog prints and netlist_sim
+/// executes.  `nodes` is in DFG topological order, so a single forward pass
+/// evaluates each cycle's combinational logic.
+struct NetlistModule {
+  std::string name;          ///< module name
+  std::string behaviorName;  ///< source behavior (header comment)
+  double clockPeriod = 0;    ///< schedule's clock target, ps
+  bool headerComment = true;
+  /// FSM shape: a free-running counter over `numStates` states; `done`
+  /// pulses in the cycle after state numStates-1.
+  int numStates = 1;
+  int stateBits = 1;
+  std::vector<NetlistPort> ports;  ///< all inputs, then all outputs
+  std::vector<NetlistNode> nodes;
+  std::vector<NetlistOutputAssign> outputs;
+};
+
+/// Lowers a scheduled behavior into the netlist IR.  Free ops dissolve:
+/// constants become immediate operands, copies are looked through, inputs
+/// and reads become ports.
+NetlistModule buildNetlist(const Behavior& bhv, const LatencyTable& lat,
+                           const Schedule& sched,
+                           const VerilogOptions& opts = {});
+
+/// Serializes the netlist IR as a synthesizable Verilog module.
 /// Ports: clk, rst, per-kRead/kInput inputs, per-kWrite/kOutput outputs
 /// (registered), plus a `done` pulse at the end of the iteration.
+std::string emitVerilog(const NetlistModule& module);
+
+/// Convenience: buildNetlist + emitVerilog in one call.
 std::string emitVerilog(const Behavior& bhv, const LatencyTable& lat,
                         const Schedule& sched, const VerilogOptions& opts = {});
 

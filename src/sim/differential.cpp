@@ -1,0 +1,222 @@
+#include "sim/differential.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace thls {
+
+namespace {
+
+std::string valueText(const NetlistSimValue& v) {
+  if (!v.defined) return v.divZero ? "'x (div-by-zero)" : "'x (uninitialized)";
+  return std::to_string(v.value);
+}
+
+std::string stimulusText(const ValueMap& stimulus) {
+  std::string out;
+  for (const auto& [name, v] : stimulus) {
+    out += strCat("  ", name, " = ", v, "\n");
+  }
+  return out.empty() ? std::string("  (no inputs)\n") : out;
+}
+
+}  // namespace
+
+DifferentialResult runDifferential(const Behavior& bhv, const LatencyTable& lat,
+                                   const Schedule& sched,
+                                   const ValueMap& stimulus,
+                                   const DifferentialOptions& opts) {
+  DifferentialResult res;
+  auto fail = [&](std::string why) {
+    res.match = false;
+    res.mismatch = std::move(why);
+    return res;
+  };
+
+  const SimResult golden = evaluateDfg(bhv, stimulus);
+  SimResult scheduled;
+  try {
+    scheduled = evaluateSchedule(bhv, lat, sched, stimulus);
+  } catch (const HlsError& e) {
+    return fail(strCat("evaluateSchedule rejected the schedule: ", e.what()));
+  }
+
+  // Leg 1: golden vs schedule execution, over every output sink (including
+  // the br* branch pins that never become module ports).
+  for (const auto& [name, v] : golden.outputs) {
+    ++res.comparisons;
+    auto it = scheduled.outputs.find(name);
+    if (it == scheduled.outputs.end()) {
+      return fail(strCat("output '", name, "': present in the golden DFG ",
+                         "evaluation but never produced by the schedule"));
+    }
+    if (it->second != v) {
+      return fail(strCat("output '", name, "': golden ", v,
+                         " vs schedule evaluation ", it->second));
+    }
+  }
+
+  // Leg 2: golden vs the netlist-level simulation of the emitted RTL.
+  const NetlistModule m = buildNetlist(bhv, lat, sched, opts.verilog);
+  const NetlistSimResult net = simulateNetlist(m, stimulus);
+  for (const NetlistPort& p : m.ports) {
+    if (p.isInput) continue;
+    ++res.comparisons;
+    auto nit = net.outputValues.find(p.name);
+    if (nit == net.outputValues.end()) {
+      return fail(strCat("port '", p.name, "': missing from netlist sim"));
+    }
+    auto git = golden.outputs.find(bhv.dfg.op(p.op).name);
+    if (git == golden.outputs.end()) {
+      return fail(strCat("port '", p.name, "': no golden value"));
+    }
+    const NetlistSimValue& nv = nit->second;
+    if (!nv.defined) {
+      if (nv.divZero && opts.tolerateDivByZeroX) {
+        ++res.toleratedX;  // documented divergence: behavioral x/0 == 0
+        continue;
+      }
+      return fail(strCat("port '", p.name, "': netlist sim yields ",
+                         valueText(nv), ", golden ", git->second));
+    }
+    if (nv.value != git->second) {
+      return fail(strCat("port '", p.name, "': golden ", git->second,
+                         " vs netlist sim ", nv.value));
+    }
+  }
+
+  // Leg 3: done-pulse timing.  done must be low through the iteration,
+  // rise exactly in cycle numStates, and (numStates > 1) fall right after.
+  if (opts.checkDonePulse) {
+    if (net.doneCycle != m.numStates) {
+      return fail(strCat("done pulse at cycle ", net.doneCycle, ", expected ",
+                         m.numStates));
+    }
+    for (int c = 0; c < m.numStates; ++c) {
+      if (net.doneTrace[c]) {
+        return fail(strCat("done already high in cycle ", c));
+      }
+    }
+    if (static_cast<int>(net.doneTrace.size()) > m.numStates + 1 &&
+        net.doneTrace[m.numStates + 1] != (m.numStates == 1)) {
+      return fail(strCat("done did not ", m.numStates == 1 ? "stay high"
+                                                           : "drop",
+                         " in cycle ", m.numStates + 1));
+    }
+  }
+  return res;
+}
+
+ValueMap randomStimulus(const Behavior& bhv, std::mt19937& rng) {
+  ValueMap st;
+  for (std::size_t i = 0; i < bhv.dfg.numOps(); ++i) {
+    const Operation& o = bhv.dfg.op(OpId(static_cast<std::int32_t>(i)));
+    if (o.kind != OpKind::kInput && o.kind != OpKind::kRead) continue;
+    // Full-width signed range; draws are 64-bit and wrapped so every width
+    // (including 1 and 64) sees its extremes with sensible probability.
+    st[o.name] = wrapToWidth(
+        static_cast<long long>((static_cast<unsigned long long>(rng()) << 32) |
+                               rng()),
+        o.width);
+  }
+  return st;
+}
+
+std::vector<ValueMap> cornerStimuli(const Behavior& bhv) {
+  ValueMap zeros, minusOnes, extremes;
+  std::size_t k = 0;
+  for (std::size_t i = 0; i < bhv.dfg.numOps(); ++i) {
+    const Operation& o = bhv.dfg.op(OpId(static_cast<std::int32_t>(i)));
+    if (o.kind != OpKind::kInput && o.kind != OpKind::kRead) continue;
+    zeros[o.name] = 0;
+    minusOnes[o.name] = -1;
+    const long long min =
+        o.width >= 64 ? std::numeric_limits<long long>::min()
+                      : -(1ll << (o.width - 1));
+    const long long max =
+        o.width >= 64 ? std::numeric_limits<long long>::max()
+                      : (1ll << (o.width - 1)) - 1;
+    extremes[o.name] = (k++ % 2 == 0) ? min : max;
+  }
+  return {std::move(zeros), std::move(minusOnes), std::move(extremes)};
+}
+
+SweepReport differentialSweep(const std::function<Behavior()>& make,
+                              double clockPeriod, const ResourceLibrary& lib,
+                              const SweepOptions& opts) {
+  SweepReport rep;
+  const double clock = opts.clockPeriod > 0 ? opts.clockPeriod : clockPeriod;
+
+  // One stimulus set shared by every variant (same input names throughout).
+  Behavior proto = make();
+  std::vector<ValueMap> stimuli = cornerStimuli(proto);
+  std::mt19937 rng(opts.seed);
+  for (int i = 0; i < opts.stimuli; ++i) {
+    stimuli.push_back(randomStimulus(proto, rng));
+  }
+
+  struct Variant {
+    std::string label;
+    Behavior bhv;
+    Schedule sched;
+  };
+  std::vector<Variant> variants;
+
+  if (opts.policies) {
+    for (StartPolicy policy :
+         {StartPolicy::kFastest, StartPolicy::kSlowest, StartPolicy::kBudgeted}) {
+      Behavior bhv = make();
+      SchedulerOptions so;
+      so.clockPeriod = clock;
+      so.startPolicy = policy;
+      so.rebudgetPerEdge = policy == StartPolicy::kBudgeted;
+      ScheduleOutcome o = scheduleBehavior(bhv, lib, so);
+      if (!o.success) {
+        ++rep.schedulesSkipped;
+        continue;
+      }
+      variants.push_back({strCat("scheduleBehavior policy=", static_cast<int>(policy)),
+                          std::move(bhv), std::move(o.schedule)});
+    }
+  }
+  if (opts.flows) {
+    for (bool pipeline : {true, false}) {
+      FlowOptions fo;
+      fo.sched.clockPeriod = clock;
+      fo.componentPipeline = pipeline;
+      FlowResult fr = runFlow(make(), lib, fo);
+      if (!fr.success) {
+        ++rep.schedulesSkipped;
+        continue;
+      }
+      // allowAddState stays false, so the flow's behavior copy is
+      // structurally identical to a fresh build and the schedule's edge
+      // ids transfer.
+      variants.push_back({strCat("runFlow componentPipeline=",
+                                 pipeline ? "on" : "off"),
+                          make(), std::move(fr.schedule)});
+    }
+  }
+
+  for (const Variant& v : variants) {
+    ++rep.schedulesChecked;
+    LatencyTable lat(v.bhv.cfg);
+    for (const ValueMap& st : stimuli) {
+      ++rep.stimuliChecked;
+      DifferentialResult r = runDifferential(v.bhv, lat, v.sched, st, opts.diff);
+      rep.comparisons += r.comparisons;
+      rep.toleratedX += r.toleratedX;
+      if (!r.match && rep.ok) {
+        rep.ok = false;
+        rep.firstMismatch =
+            strCat("variant: ", v.label, "\nbehavior: ", v.bhv.name,
+                   "\nmismatch: ", r.mismatch, "\nstimulus:\n",
+                   stimulusText(st), "emitted Verilog:\n",
+                   emitVerilog(v.bhv, lat, v.sched, opts.diff.verilog));
+      }
+    }
+  }
+  return rep;
+}
+
+}  // namespace thls

@@ -1,0 +1,106 @@
+// Three-way behavioral <-> RTL differential harness: the end-to-end
+// functional-correctness gate the optimization PRs plug into.
+//
+// For one scheduled behavior and one stimulus vector, runDifferential()
+// executes
+//   1. evaluateDfg       -- the schedule-independent golden model,
+//   2. evaluateSchedule  -- the cycle-by-cycle behavioral execution of the
+//                           schedule, and
+//   3. simulateNetlist   -- the cycle-accurate interpretation of the
+//                           Verilog the schedule emits (netlist/verilog.h
+//                           -> sim/netlist_sim.h),
+// and diffs the three output sets plus the netlist's done-pulse timing.
+//
+// Tolerance rules (all documented in docs/verification.md):
+//  * division/modulo by zero: the behavioral evaluators define x/0 == 0,
+//    real RTL yields 'x; a netlist 'x tainted by divZero therefore matches
+//    anything (tolerateDivByZeroX, counted in `toleratedX`).  Any other
+//    netlist 'x -- an uninitialized register sampled into an output -- is
+//    a hard mismatch.
+//
+// differentialSweep() lifts that check over every schedule variant of one
+// workload (all three start policies via scheduleBehavior, plus full
+// runFlow results with the component pipeline on and off -- so binding,
+// area recovery and the component merge are inside the checked pipeline)
+// x corner and seeded-random signed stimulus.  tests/netlist_sim_test.cpp
+// and bench/netlist_diff drive it across the workload registry; a failure
+// carries a full reproducer (variant, stimulus, emitted Verilog).
+#pragma once
+
+#include <functional>
+#include <random>
+
+#include "flow/hls_flow.h"
+#include "sim/netlist_sim.h"
+
+namespace thls {
+
+struct DifferentialOptions {
+  /// Assert the done pulse fires exactly once per iteration, in cycle
+  /// numStates, and is low before and after.
+  bool checkDonePulse = true;
+  /// Accept a netlist 'x whose taint traces to a division/modulo by zero
+  /// in place of the behavioral 0 (the documented semantic divergence).
+  bool tolerateDivByZeroX = true;
+  VerilogOptions verilog;
+};
+
+struct DifferentialResult {
+  bool match = true;
+  /// Output-value comparisons performed (golden vs schedule vs netlist).
+  int comparisons = 0;
+  /// Mismatches waived under the div-by-zero 'x rule.
+  int toleratedX = 0;
+  /// First mismatch, human-readable; empty when `match`.
+  std::string mismatch;
+};
+
+/// Diffs the three evaluations of `sched` on `stimulus`.  `lat` must
+/// describe `bhv.cfg`.  A schedule-order violation thrown by
+/// evaluateSchedule is reported as a mismatch, not propagated.
+DifferentialResult runDifferential(const Behavior& bhv, const LatencyTable& lat,
+                                   const Schedule& sched,
+                                   const ValueMap& stimulus,
+                                   const DifferentialOptions& opts = {});
+
+/// Uniform full-width signed values for every kInput/kRead of `bhv`.
+ValueMap randomStimulus(const Behavior& bhv, std::mt19937& rng);
+
+/// Deterministic corner vectors: all zeros, all minus-one, and alternating
+/// width-extremes -- the patterns that expose sign and wrap bugs.
+std::vector<ValueMap> cornerStimuli(const Behavior& bhv);
+
+struct SweepOptions {
+  /// Stimulus rng seed (corner vectors are always included on top).
+  std::uint32_t seed = 1;
+  /// Random stimulus vectors per schedule variant.
+  int stimuli = 3;
+  /// Diff scheduleBehavior results under all three start policies.
+  bool policies = true;
+  /// Diff full runFlow results (bind + recovery + merge) with the
+  /// component pipeline on and off.
+  bool flows = true;
+  double clockPeriod = 0;  ///< 0 = the workload's registered period
+  DifferentialOptions diff;
+};
+
+struct SweepReport {
+  bool ok = true;
+  int schedulesChecked = 0;   ///< schedule variants that produced a schedule
+  int schedulesSkipped = 0;   ///< variants that failed to schedule
+  int stimuliChecked = 0;
+  int comparisons = 0;
+  int toleratedX = 0;
+  /// Reproducer for the first mismatch: variant, stimulus, emitted Verilog.
+  std::string firstMismatch;
+};
+
+/// Runs the 3-way differential over every schedule variant of the behavior
+/// `make` builds: start policies x component pipeline on/off, each under
+/// corner + random stimulus.  `make` must be deterministic -- the flow
+/// variants schedule a fresh copy and evaluate against another.
+SweepReport differentialSweep(const std::function<Behavior()>& make,
+                              double clockPeriod, const ResourceLibrary& lib,
+                              const SweepOptions& opts = {});
+
+}  // namespace thls

@@ -4,11 +4,14 @@
 
 namespace thls {
 
-namespace {
-
-/// Two's-complement wrap of `v` to `width` bits (signed interpretation).
 long long wrapToWidth(long long v, int width) {
-  if (width <= 0 || width >= 64) return v;
+  if (width <= 0) return v;  // unspecified width: leave untouched
+  if (width >= 64) {
+    // 64-bit (or wider) values are already in their native two's-complement
+    // representation; masking would need a >= 64-bit shift, which is
+    // undefined, so this case is explicit rather than falling through.
+    return v;
+  }
   const unsigned long long mask = (1ull << width) - 1;
   unsigned long long u = static_cast<unsigned long long>(v) & mask;
   // Sign-extend.
@@ -17,6 +20,8 @@ long long wrapToWidth(long long v, int width) {
   }
   return static_cast<long long>(u);
 }
+
+namespace {
 
 long long inputValueFor(const Operation& o, const ValueMap& inputs) {
   auto it = inputs.find(o.name);
@@ -49,8 +54,32 @@ long long applyOp(OpKind kind, int width,
     case OpKind::kOr: r = arg(0) | arg(1); break;
     case OpKind::kXor: r = arg(0) ^ arg(1); break;
     case OpKind::kNot: r = ~arg(0); break;
-    case OpKind::kShl: r = arg(0) << (arg(1) & 63); break;
-    case OpKind::kShr: r = arg(0) >> (arg(1) & 63); break;
+    case OpKind::kShl: {
+      // Verilog `<<`: the amount is unsigned (a negative operand is a huge
+      // shift), and shifting everything out yields 0.  Computed in unsigned
+      // arithmetic: `signed << amount` on a negative value is UB pre-C++20
+      // and trips UBSan even where the wrapped result would be fine.
+      const unsigned long long amt = static_cast<unsigned long long>(arg(1));
+      r = amt >= 64 ? 0
+                    : static_cast<long long>(
+                          static_cast<unsigned long long>(arg(0)) << amt);
+      break;
+    }
+    case OpKind::kShr: {
+      // Verilog `>>>` on a signed operand: arithmetic shift, sign fill once
+      // everything is shifted out.  Same unsigned-arithmetic discipline.
+      const unsigned long long amt = static_cast<unsigned long long>(arg(1));
+      if (amt >= 64) {
+        r = arg(0) < 0 ? -1 : 0;
+      } else if (amt == 0) {
+        r = arg(0);
+      } else {
+        unsigned long long u = static_cast<unsigned long long>(arg(0)) >> amt;
+        if (arg(0) < 0) u |= ~0ull << (64 - amt);
+        r = static_cast<long long>(u);
+      }
+      break;
+    }
     case OpKind::kCopy:
     case OpKind::kOutput:
     case OpKind::kWrite:

@@ -41,7 +41,18 @@ SimResult evaluateDfg(const Behavior& bhv, const ValueMap& inputs);
 SimResult evaluateSchedule(const Behavior& bhv, const LatencyTable& lat,
                            const Schedule& sched, const ValueMap& inputs);
 
-/// Applies `kind` to operands at `width` (two's complement wrap).
+/// Applies `kind` to operands at `width` (two's complement wrap).  Shift
+/// semantics follow the emitted Verilog exactly: the amount is the
+/// operand's unsigned interpretation (negative amounts shift everything
+/// out), kShl zero-fills, kShr is the arithmetic `>>>` of a signed operand.
+/// Division and modulo by zero return 0 (a real Verilog simulation yields
+/// 'x there; sim/netlist_sim.h models that, and the differential harness's
+/// tolerance rule reconciles the two -- see docs/verification.md).
 long long applyOp(OpKind kind, int width, const std::vector<long long>& operands);
+
+/// Two's-complement wrap of `v` to `width` bits (signed interpretation).
+/// Shared by the evaluators, the netlist builder and the netlist simulator
+/// so "value at width w" means one thing everywhere.
+long long wrapToWidth(long long v, int width);
 
 }  // namespace thls

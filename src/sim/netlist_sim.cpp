@@ -1,0 +1,144 @@
+#include "sim/netlist_sim.h"
+
+namespace thls {
+
+namespace {
+
+/// Applies one netlist node to already-resolved operand values, with 'x
+/// propagation layered over applyOp's two's-complement arithmetic.
+NetlistSimValue applyNode(const NetlistNode& node,
+                          const std::vector<NetlistSimValue>& operands) {
+  NetlistSimValue out;
+
+  // A mux with a known selector ignores the dead arm entirely (Verilog's
+  // ?: only degrades to 'x merging when the *selector* is unknown).
+  if (node.kind == OpKind::kMux && operands.size() == 3 &&
+      operands[0].defined) {
+    const NetlistSimValue& picked =
+        operands[0].value != 0 ? operands[1] : operands[2];
+    out = picked;
+    out.value = wrapToWidth(picked.value, node.width);
+    out.divZero = picked.divZero || operands[0].divZero;
+    return out;
+  }
+
+  for (const NetlistSimValue& v : operands) {
+    out.divZero = out.divZero || v.divZero;
+    if (!v.defined) out.defined = false;
+  }
+  if (!out.defined) return out;
+
+  // Division / modulo by zero is 'x in Verilog; the behavioral evaluators
+  // define it as 0 (see applyOp).  Model the RTL truthfully and let the
+  // differential harness apply its documented tolerance rule.
+  if ((node.kind == OpKind::kDiv || node.kind == OpKind::kMod) &&
+      operands.size() >= 2 && operands[1].value == 0) {
+    out.defined = false;
+    out.divZero = true;
+    return out;
+  }
+
+  std::vector<long long> raw;
+  raw.reserve(operands.size());
+  for (const NetlistSimValue& v : operands) raw.push_back(v.value);
+  out.value = applyOp(node.kind, node.width, raw);
+  return out;
+}
+
+}  // namespace
+
+NetlistSimResult simulateNetlist(const NetlistModule& m, const ValueMap& inputs,
+                                 const NetlistSimOptions& opts) {
+  NetlistSimResult result;
+  const int cycles = opts.cycles > 0 ? opts.cycles : m.numStates + 2;
+
+  // Port values: inputs resolved once and held stable; output registers
+  // start 'x (no reset value in the emitted RTL).
+  std::vector<NetlistSimValue> portVal(m.ports.size());
+  for (std::size_t i = 0; i < m.ports.size(); ++i) {
+    const NetlistPort& p = m.ports[i];
+    if (p.isInput) {
+      auto it = inputs.find(p.name);
+      portVal[i].value =
+          wrapToWidth(it == inputs.end() ? 0 : it->second, p.width);
+    } else {
+      portVal[i].defined = false;
+    }
+  }
+
+  std::vector<NetlistSimValue> combVal(m.nodes.size());
+  std::vector<NetlistSimValue> regVal(m.nodes.size());
+  for (NetlistSimValue& v : regVal) v.defined = false;  // 'x until written
+  bool done = false;  // rst drives done <= 0
+
+  auto resolve = [&](const NetlistValueRef& ref) -> NetlistSimValue {
+    switch (ref.kind) {
+      case NetlistValueRef::Kind::kConstant:
+        return {wrapToWidth(ref.constValue, ref.width), true, false};
+      case NetlistValueRef::Kind::kPort:
+        return portVal[ref.index];
+      case NetlistValueRef::Kind::kNode:
+        return ref.fromRegister ? regVal[ref.index] : combVal[ref.index];
+    }
+    return {0, false, false};
+  };
+
+  auto sampleOutputs = [&] {
+    result.outputs.clear();
+    result.outputValues.clear();
+    for (std::size_t i = 0; i < m.ports.size(); ++i) {
+      if (m.ports[i].isInput) continue;
+      result.outputValues[m.ports[i].name] = portVal[i];
+      if (portVal[i].defined) {
+        result.outputs[m.ports[i].name] = portVal[i].value;
+      }
+    }
+  };
+
+  std::vector<NetlistSimValue> operands;
+  for (int cycle = 0; cycle < cycles; ++cycle) {
+    const int state = cycle % m.numStates;
+
+    // Combinational sweep: wires settle in topological order, reading
+    // registers as committed at earlier clock edges.
+    for (std::size_t i = 0; i < m.nodes.size(); ++i) {
+      const NetlistNode& n = m.nodes[i];
+      operands.clear();
+      for (const NetlistValueRef& ref : n.operands) {
+        operands.push_back(resolve(ref));
+      }
+      combVal[i] = applyNode(n, operands);
+    }
+
+    result.doneTrace.push_back(done);
+    if (done && result.doneCycle < 0) {
+      result.doneCycle = cycle;
+      sampleOutputs();
+    }
+
+    // Clock edge: nonblocking commits.  Every right-hand side is a settled
+    // combinational value or a pre-edge register/port value, so computing
+    // the output-register updates before touching any register is exactly
+    // the Verilog update order.
+    std::vector<std::pair<std::int32_t, NetlistSimValue>> outCommits;
+    for (const NetlistOutputAssign& a : m.outputs) {
+      if (a.state != state) continue;
+      NetlistSimValue v = resolve(a.value);
+      v.value = wrapToWidth(v.value, m.ports[a.port].width);
+      outCommits.emplace_back(a.port, v);
+    }
+    for (std::size_t i = 0; i < m.nodes.size(); ++i) {
+      if (m.nodes[i].registered && m.nodes[i].state == state) {
+        regVal[i] = combVal[i];
+      }
+    }
+    for (const auto& [port, v] : outCommits) portVal[port] = v;
+    done = state == m.numStates - 1;
+  }
+
+  result.cyclesRun = cycles;
+  if (result.doneCycle < 0) sampleOutputs();
+  return result;
+}
+
+}  // namespace thls

@@ -1,0 +1,67 @@
+// Cycle-accurate interpreter for the emitted Verilog subset.
+//
+// simulateNetlist() executes a NetlistModule (netlist/verilog.h) exactly the
+// way a Verilog simulator would run the serialized text:
+//  * inputs are held stable, rst is released before cycle 0;
+//  * every cycle evaluates all combinational wires in one forward sweep
+//    (the node list is in topological order);
+//  * the clock edge ending cycle c commits, with nonblocking semantics,
+//    every register whose FSM state matches state(c) = c mod numStates,
+//    the output registers of that state, and done <= (state == last);
+//  * uninitialized registers and division/modulo by zero produce 'x, and
+//    'x propagates through expressions (a mux with a known selector picks
+//    the chosen arm, so an 'x in the dead arm does not poison the result).
+//
+// This is the third leg of the verification loop: sim/differential.h diffs
+// it against the behavioral evaluators, making the netlist lowering (and
+// everything upstream: scheduling, binding, recovery, component merge) a
+// functionally checked transformation instead of a pretty printer.
+#pragma once
+
+#include <vector>
+
+#include "netlist/verilog.h"
+#include "sim/evaluate.h"
+
+namespace thls {
+
+/// A four-state-collapsed simulation value: a two's-complement integer at
+/// the node's width, or 'x ("defined == false").  `divZero` records whether
+/// the 'x originated in a division/modulo by zero -- the one documented
+/// divergence from the behavioral evaluators, which define x/0 == 0.
+struct NetlistSimValue {
+  long long value = 0;
+  bool defined = true;
+  bool divZero = false;
+};
+
+struct NetlistSimOptions {
+  /// Clock cycles to run after reset release; 0 = numStates + 2, one full
+  /// iteration plus the cycle that exposes the done pulse and the one that
+  /// shows it dropping again.
+  int cycles = 0;
+};
+
+struct NetlistSimResult {
+  /// Defined output-port values sampled in the first done cycle ('x
+  /// outputs are omitted here; see `outputValues`).
+  ValueMap outputs;
+  /// Every output port's sampled value including 'x state, keyed by name.
+  std::map<std::string, NetlistSimValue> outputValues;
+  /// First cycle (0-based from reset release) with done == 1; -1 when the
+  /// run was too short to see it.
+  int doneCycle = -1;
+  /// done per simulated cycle.
+  std::vector<bool> doneTrace;
+  /// Cycles actually simulated.
+  int cyclesRun = 0;
+};
+
+/// Runs the module on `inputs` (missing input names read as 0, matching the
+/// behavioral evaluators).  Outputs are sampled in the first done cycle;
+/// when the run ends before done, they are sampled at the end instead and
+/// `doneCycle` stays -1.
+NetlistSimResult simulateNetlist(const NetlistModule& m, const ValueMap& inputs,
+                                 const NetlistSimOptions& opts = {});
+
+}  // namespace thls

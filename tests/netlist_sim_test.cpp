@@ -1,0 +1,455 @@
+// Unit tests for the netlist-level simulator plus the three-way
+// behavioral <-> RTL differential harness (sim/differential.h).
+#include "sim/netlist_sim.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "sim/differential.h"
+#include "test_util.h"
+
+namespace thls {
+namespace {
+
+// --- hand-built single-node modules -------------------------------------
+// Constructing the NetlistModule directly exercises the simulator on every
+// OpKind, including the ones the builder DSL has no surface for (kNot,
+// kMod, kCmpGe/kCmpLe/kCmpNe).
+
+NetlistModule opModule(OpKind kind, int width, int numOperands) {
+  NetlistModule m;
+  m.name = "t";
+  m.numStates = 1;
+  m.stateBits = 1;
+  for (int i = 0; i < numOperands; ++i) {
+    m.ports.push_back({strCat("i", i), width, /*isInput=*/true, OpId(i)});
+  }
+  m.ports.push_back({"y", width, /*isInput=*/false, OpId(numOperands)});
+
+  NetlistNode n;
+  n.op = OpId(numOperands + 1);
+  n.kind = kind;
+  n.name = "n0";
+  n.width = width;
+  n.state = 0;
+  for (int i = 0; i < numOperands; ++i) {
+    NetlistValueRef r;
+    r.kind = NetlistValueRef::Kind::kPort;
+    r.index = i;
+    r.width = width;
+    n.operands.push_back(r);
+  }
+  m.nodes.push_back(std::move(n));
+
+  NetlistOutputAssign a;
+  a.port = numOperands;
+  a.state = 0;
+  a.value.kind = NetlistValueRef::Kind::kNode;
+  a.value.index = 0;
+  a.value.width = width;
+  m.outputs.push_back(a);
+  return m;
+}
+
+NetlistSimValue runOp(OpKind kind, int width,
+                      const std::vector<long long>& ins) {
+  NetlistModule m = opModule(kind, width, static_cast<int>(ins.size()));
+  ValueMap st;
+  for (std::size_t i = 0; i < ins.size(); ++i) st[strCat("i", i)] = ins[i];
+  NetlistSimResult r = simulateNetlist(m, st);
+  EXPECT_EQ(r.doneCycle, 1);
+  return r.outputValues.at("y");
+}
+
+long long runOpDefined(OpKind kind, int width,
+                       const std::vector<long long>& ins) {
+  NetlistSimValue v = runOp(kind, width, ins);
+  EXPECT_TRUE(v.defined);
+  return v.value;
+}
+
+TEST(NetlistSimTest, EveryOpKindMatchesApplyOp) {
+  struct Case {
+    OpKind kind;
+    std::vector<long long> ins;
+  };
+  const Case cases[] = {
+      {OpKind::kAdd, {37, -12}},    {OpKind::kSub, {-100, 27}},
+      {OpKind::kMul, {-9, 14}},     {OpKind::kDiv, {-42, 5}},
+      {OpKind::kMod, {-42, 5}},     {OpKind::kMux, {1, 11, 22}},
+      {OpKind::kMux, {0, 11, 22}},  {OpKind::kCmpGt, {5, 3}},
+      {OpKind::kCmpLt, {5, 3}},     {OpKind::kCmpGe, {5, 5}},
+      {OpKind::kCmpLe, {6, 5}},     {OpKind::kCmpEq, {-1, -1}},
+      {OpKind::kCmpNe, {-1, -1}},   {OpKind::kAnd, {0x5a, 0x0f}},
+      {OpKind::kOr, {0x50, 0x05}},  {OpKind::kXor, {-1, 0x0f}},
+      {OpKind::kNot, {0x35}},       {OpKind::kShl, {3, 4}},
+      {OpKind::kShr, {-64, 3}},     {OpKind::kCopy, {-77}},
+  };
+  for (const Case& c : cases) {
+    for (int width : {8, 16}) {
+      std::vector<long long> wrapped;
+      for (long long v : c.ins) wrapped.push_back(wrapToWidth(v, width));
+      EXPECT_EQ(runOpDefined(c.kind, width, c.ins),
+                applyOp(c.kind, width, wrapped))
+          << "kind=" << static_cast<int>(c.kind) << " width=" << width;
+    }
+  }
+  // A few pinned absolute values so the test is not purely applyOp vs
+  // applyOp.
+  EXPECT_EQ(runOpDefined(OpKind::kShr, 16, {-64, 3}), -8);   // sign fill
+  EXPECT_EQ(runOpDefined(OpKind::kNot, 8, {0}), -1);         // ~0 = all ones
+  EXPECT_EQ(runOpDefined(OpKind::kMod, 16, {-7, 3}), -1);    // C semantics
+  EXPECT_EQ(runOpDefined(OpKind::kAdd, 8, {127, 1}), -128);  // wraps
+}
+
+TEST(NetlistSimTest, WidthWrapAtBoundaryWidths) {
+  for (int width : {1, 7, 32, 63}) {
+    const long long max = (1ll << (width - 1)) - 1;
+    // max + 1 wraps to the most negative value of the width.
+    EXPECT_EQ(runOpDefined(OpKind::kAdd, width, {max, 1}), -(max + 1))
+        << width;
+    // Multiplication overflow wraps like the masked product.
+    EXPECT_EQ(runOpDefined(OpKind::kMul, width, {max, max}),
+              applyOp(OpKind::kMul, width, {max, max}))
+        << width;
+  }
+  // Width 1 is the degenerate signed type {0, -1}.
+  EXPECT_EQ(runOpDefined(OpKind::kAdd, 1, {1, 0}), -1);   // 1 wraps to -1
+  EXPECT_EQ(runOpDefined(OpKind::kAdd, 1, {1, 1}), 0);    // -1 + -1 = -2 -> 0
+  // Width 64 must not shift by 64 internally.
+  EXPECT_EQ(runOpDefined(OpKind::kSub, 64, {std::numeric_limits<long long>::min(), 1}),
+            std::numeric_limits<long long>::max());
+}
+
+TEST(NetlistSimTest, DivisionByZeroYieldsTaintedX) {
+  NetlistSimValue v = runOp(OpKind::kDiv, 16, {42, 0});
+  EXPECT_FALSE(v.defined);
+  EXPECT_TRUE(v.divZero);
+  NetlistSimValue vm = runOp(OpKind::kMod, 16, {42, 0});
+  EXPECT_FALSE(vm.defined);
+  EXPECT_TRUE(vm.divZero);
+}
+
+TEST(NetlistSimTest, MuxWithKnownSelectorIgnoresDeadArmX) {
+  // y = i0 ? (i1 / i2) : i3, with i2 == 0: the dead-arm 'x must not poison
+  // the taken arm -- exactly Verilog's ?: selector rule.
+  NetlistModule m = opModule(OpKind::kMux, 16, 4);
+  NetlistNode div;
+  div.op = OpId(9);
+  div.kind = OpKind::kDiv;
+  div.name = "d0";
+  div.width = 16;
+  div.state = 0;
+  for (int i : {1, 2}) {
+    NetlistValueRef r;
+    r.kind = NetlistValueRef::Kind::kPort;
+    r.index = i;
+    r.width = 16;
+    div.operands.push_back(r);
+  }
+  // Rebuild the mux node: selector i0, arms (i1/i2) and i3.  The div node
+  // must precede its consumer in the node list (topological order).
+  NetlistNode mux = m.nodes[0];
+  mux.operands.resize(3);
+  mux.operands[1].kind = NetlistValueRef::Kind::kNode;
+  mux.operands[1].index = 0;
+  mux.operands[2] = [] {
+    NetlistValueRef r;
+    r.kind = NetlistValueRef::Kind::kPort;
+    r.index = 3;
+    r.width = 16;
+    return r;
+  }();
+  m.nodes.clear();
+  m.nodes.push_back(div);
+  m.nodes.push_back(mux);
+  m.outputs[0].value.index = 1;
+
+  NetlistSimResult taken =
+      simulateNetlist(m, {{"i0", 0}, {"i1", 5}, {"i2", 0}, {"i3", 77}});
+  ASSERT_TRUE(taken.outputValues.at("y").defined);
+  EXPECT_EQ(taken.outputValues.at("y").value, 77);
+
+  NetlistSimResult poisoned =
+      simulateNetlist(m, {{"i0", 1}, {"i1", 5}, {"i2", 0}, {"i3", 77}});
+  EXPECT_FALSE(poisoned.outputValues.at("y").defined);
+  EXPECT_TRUE(poisoned.outputValues.at("y").divZero);
+}
+
+// --- register vs wire semantics ------------------------------------------
+
+/// Two-state module: p = x + 1 computed in state 0 and registered; sSame
+/// consumes it combinationally in state 0, sLater reads the register in
+/// state 1.  Both feed output ports.
+NetlistModule mixedConsumerModule() {
+  NetlistModule m;
+  m.name = "mixed";
+  m.numStates = 2;
+  m.stateBits = 1;
+  m.ports.push_back({"x", 8, /*isInput=*/true, OpId(0)});
+  m.ports.push_back({"ySame", 8, /*isInput=*/false, OpId(1)});
+  m.ports.push_back({"yLater", 8, /*isInput=*/false, OpId(2)});
+
+  auto portRef = [](std::int32_t i) {
+    NetlistValueRef r;
+    r.kind = NetlistValueRef::Kind::kPort;
+    r.index = i;
+    r.width = 8;
+    return r;
+  };
+  auto nodeRef = [](std::int32_t i, bool fromRegister) {
+    NetlistValueRef r;
+    r.kind = NetlistValueRef::Kind::kNode;
+    r.index = i;
+    r.width = 8;
+    r.fromRegister = fromRegister;
+    return r;
+  };
+  auto constRef = [](long long v) {
+    NetlistValueRef r;
+    r.kind = NetlistValueRef::Kind::kConstant;
+    r.constValue = v;
+    r.width = 8;
+    return r;
+  };
+
+  NetlistNode p;
+  p.op = OpId(3);
+  p.kind = OpKind::kAdd;
+  p.name = "p";
+  p.width = 8;
+  p.state = 0;
+  p.registered = true;  // crossed by the state-1 consumer
+  p.operands = {portRef(0), constRef(1)};
+  m.nodes.push_back(p);
+
+  NetlistNode sSame;
+  sSame.op = OpId(4);
+  sSame.kind = OpKind::kCopy;
+  sSame.name = "sSame";
+  sSame.width = 8;
+  sSame.state = 0;
+  sSame.operands = {nodeRef(0, /*fromRegister=*/false)};
+  m.nodes.push_back(sSame);
+
+  NetlistNode sLater;
+  sLater.op = OpId(5);
+  sLater.kind = OpKind::kCopy;
+  sLater.name = "sLater";
+  sLater.width = 8;
+  sLater.state = 1;
+  sLater.operands = {nodeRef(0, /*fromRegister=*/true)};
+  m.nodes.push_back(sLater);
+
+  m.outputs.push_back({1, 0, nodeRef(1, false)});
+  m.outputs.push_back({2, 1, nodeRef(2, false)});
+  return m;
+}
+
+TEST(NetlistSimTest, SameStateConsumersReadTheWireNotTheStaleRegister) {
+  NetlistModule m = mixedConsumerModule();
+  NetlistSimResult r = simulateNetlist(m, {{"x", 41}});
+  EXPECT_EQ(r.doneCycle, 2);
+  // In the very first iteration the register behind p is still 'x when
+  // state 0 executes; the same-state consumer must read the settled wire.
+  ASSERT_TRUE(r.outputValues.at("ySame").defined);
+  EXPECT_EQ(r.outputValues.at("ySame").value, 42);
+  // The later-state consumer reads the register committed at the end of
+  // state 0.
+  ASSERT_TRUE(r.outputValues.at("yLater").defined);
+  EXPECT_EQ(r.outputValues.at("yLater").value, 42);
+}
+
+TEST(NetlistSimTest, RegisterHoldsAcrossIterations) {
+  NetlistModule m = mixedConsumerModule();
+  NetlistSimOptions o;
+  o.cycles = 2 * m.numStates + 2;  // run into the second iteration
+  NetlistSimResult r = simulateNetlist(m, {{"x", 7}}, o);
+  EXPECT_EQ(r.doneCycle, 2);
+  EXPECT_EQ(r.outputs.at("ySame"), 8);
+  EXPECT_EQ(r.outputs.at("yLater"), 8);
+  // done re-pulses once per iteration: cycles 2 and 4, nothing else.
+  ASSERT_EQ(static_cast<int>(r.doneTrace.size()), o.cycles);
+  for (int c = 0; c < o.cycles; ++c) {
+    EXPECT_EQ(r.doneTrace[c], c >= 1 && (c - 1) % m.numStates == 1) << c;
+  }
+}
+
+TEST(NetlistSimTest, UninitializedRegisterReadIsX) {
+  // Reading a register in the same state it is written samples the
+  // pre-edge value -- 'x in the first iteration.  A mis-lowered netlist
+  // (the pre-split emitter bug) produces exactly this shape.
+  NetlistModule m = mixedConsumerModule();
+  m.nodes[1].operands[0].fromRegister = true;  // sSame now reads the reg
+  NetlistSimResult r = simulateNetlist(m, {{"x", 41}});
+  EXPECT_FALSE(r.outputValues.at("ySame").defined);
+  EXPECT_FALSE(r.outputValues.at("ySame").divZero);  // a *hard* mismatch
+  EXPECT_TRUE(r.outputValues.at("yLater").defined);
+}
+
+TEST(NetlistSimTest, EmittedTextSplitsRegisteredNodesIntoWirePlusReg) {
+  std::string v = emitVerilog(mixedConsumerModule());
+  EXPECT_NE(v.find("wire signed [7:0] p_c = x + 8'sd1;"), std::string::npos)
+      << v;
+  EXPECT_NE(v.find("reg signed [7:0] p;"), std::string::npos) << v;
+  EXPECT_NE(v.find("if (state == 0) p <= p_c;"), std::string::npos) << v;
+  // Same-state consumer chains off the wire; later-state reads the reg.
+  EXPECT_NE(v.find("wire signed [7:0] sSame = p_c;"), std::string::npos) << v;
+  EXPECT_NE(v.find("wire signed [7:0] sLater = p;"), std::string::npos) << v;
+}
+
+// --- buildNetlist over scheduled behaviors -------------------------------
+
+TEST(NetlistSimTest, BuildNetlistClassifiesStateCrossingReads) {
+  Behavior bhv = testutil::chainBehavior(4, 4);
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+  SchedulerOptions opts;
+  opts.clockPeriod = 700.0;  // forces the chain to spread over states
+  ScheduleOutcome o = scheduleBehavior(bhv, lib, opts);
+  ASSERT_TRUE(o.success);
+  LatencyTable lat(bhv.cfg);
+  NetlistModule m = buildNetlist(bhv, lat, o.schedule);
+
+  auto nodeByName = [&](const std::string& prefix) -> const NetlistNode* {
+    for (const NetlistNode& n : m.nodes) {
+      if (n.name.rfind(prefix, 0) == 0) return &n;
+    }
+    return nullptr;
+  };
+  const NetlistNode* m0 = nodeByName("m0_");
+  const NetlistNode* a1 = nodeByName("a1_");
+  ASSERT_NE(m0, nullptr);
+  ASSERT_NE(a1, nullptr);
+  // At 700 ps the mul's consumer lands in a later state, so m0 must be
+  // registered and a1 must read the register, not the wire.
+  EXPECT_TRUE(m0->registered);
+  EXPECT_LT(m0->state, a1->state);
+  ASSERT_FALSE(a1->operands.empty());
+  EXPECT_EQ(a1->operands[0].kind, NetlistValueRef::Kind::kNode);
+  EXPECT_TRUE(a1->operands[0].fromRegister);
+  // And the simulation of that netlist agrees with the golden model.
+  DifferentialResult d =
+      runDifferential(bhv, lat, o.schedule, {{"x", 5}, {"k", -3}});
+  EXPECT_TRUE(d.match) << d.mismatch;
+}
+
+TEST(NetlistSimTest, DonePulseTimingOnMultiStateSchedule) {
+  Behavior bhv = testutil::chainBehavior(4, 3);
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+  SchedulerOptions opts;
+  opts.clockPeriod = 1250.0;
+  ScheduleOutcome o = scheduleBehavior(bhv, lib, opts);
+  ASSERT_TRUE(o.success);
+  LatencyTable lat(bhv.cfg);
+  NetlistModule m = buildNetlist(bhv, lat, o.schedule);
+  ASSERT_GT(m.numStates, 1);
+
+  NetlistSimResult r = simulateNetlist(m, {{"x", 2}, {"k", 3}});
+  EXPECT_EQ(r.doneCycle, m.numStates);
+  for (int c = 0; c < m.numStates; ++c) EXPECT_FALSE(r.doneTrace[c]) << c;
+  EXPECT_TRUE(r.doneTrace[m.numStates]);
+  EXPECT_FALSE(r.doneTrace[m.numStates + 1]);
+}
+
+// --- the three-way differential ------------------------------------------
+
+TEST(NetlistDifferentialTest, CatchesAnInjectedConstantBug) {
+  BehaviorBuilder b("cbug");
+  Value x = b.input("x", 16);
+  Value c = b.constant(-3, 16);
+  Value s = b.add(x, c, "s");
+  b.wait();
+  b.output("y", s);
+  b.wait();
+  Behavior bhv = b.finish();
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+  SchedulerOptions opts;
+  opts.clockPeriod = 1600.0;
+  ScheduleOutcome o = scheduleBehavior(bhv, lib, opts);
+  ASSERT_TRUE(o.success);
+  LatencyTable lat(bhv.cfg);
+  // Sanity: the unmodified netlist matches...
+  DifferentialResult good = runDifferential(bhv, lat, o.schedule, {{"x", 10}});
+  EXPECT_TRUE(good.match) << good.mismatch;
+  EXPECT_EQ(evaluateDfg(bhv, {{"x", 10}}).outputs.at("y"), 7);
+  // ...and a sign flip in the constant operand (the class of bug the old
+  // emitter had in its literal printing: -3 emitted as +3) is caught by
+  // the netlist leg of the differential.
+  NetlistModule m = buildNetlist(bhv, lat, o.schedule);
+  bool flipped = false;
+  for (NetlistNode& n : m.nodes) {
+    for (NetlistValueRef& r : n.operands) {
+      if (r.kind == NetlistValueRef::Kind::kConstant && !flipped) {
+        ASSERT_EQ(r.constValue, -3);
+        r.constValue = 3;
+        flipped = true;
+      }
+    }
+  }
+  ASSERT_TRUE(flipped);
+  NetlistSimResult bad = simulateNetlist(m, {{"x", 10}});
+  ASSERT_TRUE(bad.outputValues.at("y").defined);
+  EXPECT_EQ(bad.outputValues.at("y").value, 13);  // golden says 7
+}
+
+TEST(NetlistDifferentialTest, DivByZeroXIsToleratedAndCounted) {
+  BehaviorBuilder b("divz");
+  Value x = b.input("x", 16);
+  Value d = b.input("d", 16);
+  Value q = b.div(x, d, "q");
+  b.wait();
+  b.output("y", q);
+  b.wait();
+  Behavior bhv = b.finish();
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+  SchedulerOptions opts;
+  opts.clockPeriod = 2000.0;
+  ScheduleOutcome o = scheduleBehavior(bhv, lib, opts);
+  ASSERT_TRUE(o.success);
+  LatencyTable lat(bhv.cfg);
+
+  DifferentialResult tolerated =
+      runDifferential(bhv, lat, o.schedule, {{"x", 42}, {"d", 0}});
+  EXPECT_TRUE(tolerated.match) << tolerated.mismatch;
+  EXPECT_EQ(tolerated.toleratedX, 1);
+
+  DifferentialOptions strict;
+  strict.tolerateDivByZeroX = false;
+  DifferentialResult hard =
+      runDifferential(bhv, lat, o.schedule, {{"x", 42}, {"d", 0}}, strict);
+  EXPECT_FALSE(hard.match);
+  EXPECT_NE(hard.mismatch.find("div-by-zero"), std::string::npos)
+      << hard.mismatch;
+}
+
+TEST(NetlistDifferentialTest, SweepPassesOnEveryRegistryWorkload) {
+  // The acceptance gate: all registry workloads (dualIdct and random3x
+  // included) x three start policies x component pipeline on/off, under
+  // corner + random signed stimulus, agree across evaluateDfg,
+  // evaluateSchedule, and the netlist simulation -- done pulse included.
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+  for (const auto& w : workloads::standardWorkloads()) {
+    SweepOptions opts;
+    opts.seed = 7;
+    opts.stimuli = 3;
+    SweepReport rep = differentialSweep(w.make, w.clockPeriod, lib, opts);
+    EXPECT_TRUE(rep.ok) << w.name << "\n" << rep.firstMismatch;
+    EXPECT_GT(rep.schedulesChecked, 0) << w.name;
+    EXPECT_GT(rep.comparisons, 0) << w.name;
+  }
+}
+
+TEST(NetlistDifferentialTest, CornerStimuliCoverTheExtremes) {
+  Behavior bhv = testutil::chainBehavior(2, 2);
+  std::vector<ValueMap> corners = cornerStimuli(bhv);
+  ASSERT_EQ(corners.size(), 3u);
+  EXPECT_EQ(corners[0].at("x"), 0);
+  EXPECT_EQ(corners[1].at("x"), -1);
+  // Alternating extremes at width 16.
+  EXPECT_EQ(corners[2].at("x"), -32768);
+  EXPECT_EQ(corners[2].at("k"), 32767);
+}
+
+}  // namespace
+}  // namespace thls

@@ -4,6 +4,7 @@
 
 #include <cmath>
 
+#include "sim/differential.h"
 #include "test_util.h"
 #include "timing/timed_dfg.h"
 
@@ -239,6 +240,24 @@ TEST_P(RandomSweep, BudgetedNeverLosesToConventionalByMuchOnAverage) {
   if (cmp.conv.success && cmp.slack.success) {
     EXPECT_GT(cmp.conv.area.total(), 0.0);
     EXPECT_GT(cmp.slack.area.total(), 0.0);
+  }
+}
+
+TEST_P(RandomSweep, NetlistDifferentialMatchesGoldenOnRandomDfgs) {
+  // The behavioral <-> RTL fuzzer: random DFGs x all start policies x the
+  // component pipeline on/off, diffed across evaluateDfg, evaluateSchedule
+  // and the netlist simulation of the emitted Verilog (sim/differential.h).
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+  const workloads::RandomDfgParams p = params();
+  SweepOptions opts;
+  opts.seed = GetParam().seed * 977 + 11;
+  opts.stimuli = 2;
+  SweepReport rep = differentialSweep(
+      [&p] { return workloads::makeRandomDfg(p); }, GetParam().clock, lib,
+      opts);
+  EXPECT_TRUE(rep.ok) << rep.firstMismatch;
+  if (rep.schedulesChecked == 0) {
+    GTEST_SKIP() << "no variant schedules at this clock";
   }
 }
 

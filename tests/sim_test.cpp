@@ -19,6 +19,25 @@ TEST(SimTest, ApplyOpBasics) {
   EXPECT_EQ(applyOp(OpKind::kXor, 8, {0xF0, 0x0F}), -1);  // 0xFF signed
 }
 
+TEST(SimTest, ShiftsFollowVerilogSemantics) {
+  // The shift amount is unsigned in Verilog: a negative operand is a huge
+  // shift, so `<<` drains to 0 and `>>>` to the sign bit.  These used to be
+  // UB in applyOp (signed shift by a negative/oversized count).
+  EXPECT_EQ(applyOp(OpKind::kShl, 16, {1, -1}), 0);
+  EXPECT_EQ(applyOp(OpKind::kShr, 16, {-4, -1}), -1);  // sign fill
+  EXPECT_EQ(applyOp(OpKind::kShr, 16, {4, -1}), 0);
+  EXPECT_EQ(applyOp(OpKind::kShl, 16, {1, 64}), 0);
+  EXPECT_EQ(applyOp(OpKind::kShr, 16, {-1, 64}), -1);
+  // Negative *value* operands shift arithmetically without UB.
+  EXPECT_EQ(applyOp(OpKind::kShl, 16, {-1, 3}), -8);
+  EXPECT_EQ(applyOp(OpKind::kShr, 16, {-64, 3}), -8);
+  EXPECT_EQ(applyOp(OpKind::kShr, 8, {-128, 7}), -1);
+  // In-range shifts still behave normally at full width.
+  EXPECT_EQ(applyOp(OpKind::kShl, 64, {1, 62}), 1ll << 62);
+  EXPECT_EQ(applyOp(OpKind::kShr, 64, {1ll << 62, 62}), 1);
+  EXPECT_EQ(applyOp(OpKind::kShr, 64, {-1, 63}), -1);
+}
+
 TEST(SimTest, WidthWrapsTwosComplement) {
   EXPECT_EQ(applyOp(OpKind::kAdd, 8, {127, 1}), -128);
   EXPECT_EQ(applyOp(OpKind::kMul, 8, {16, 16}), 0);

@@ -84,6 +84,54 @@ TEST(VerilogTest, CustomModuleName) {
   EXPECT_EQ(v.rfind("module my_accel", 0), 0u);
 }
 
+TEST(VerilogTest, NegativeConstantsKeepTheirSign) {
+  // Regression: `8'sd3` is +3 in Verilog, so -3 must emit as `-8'sd3`; the
+  // old emitter printed the magnitude with no sign at all.
+  BehaviorBuilder b("negconst");
+  Value x = b.input("x", 8);
+  Value cm3 = b.constant(-3, 8);
+  Value cmin = b.constant(-128, 8);
+  Value s = b.add(x, cm3, "s");
+  Value t = b.add(s, cmin, "t");
+  b.wait();
+  b.output("y", t);
+  b.wait();
+  Behavior bhv = b.finish();
+  std::string v = emitFor(bhv, 1600.0);
+  EXPECT_NE(v.find("-8'sd3"), std::string::npos) << v;
+  // The most negative value has no positive magnitude at the same width;
+  // it is emitted as its raw bit pattern (which truncates to itself), not
+  // as the out-of-range literal `-8'sd128`.
+  EXPECT_NE(v.find("8'sd128"), std::string::npos) << v;
+  EXPECT_EQ(v.find("-8'sd128"), std::string::npos) << v;
+}
+
+TEST(VerilogTest, ShiftRightEmitsArithmeticOperator) {
+  // Regression: Verilog `>>` zero-fills even on signed operands; the
+  // behavioral semantics (applyOp) are an arithmetic shift, so the emitted
+  // operator must be `>>>` with the operand kept in a signed context.
+  BehaviorBuilder b("shifts");
+  Value x = b.input("x", 16);
+  Value k = b.input("k", 16);
+  Value r = b.shr(x, k, "r");
+  Value l = b.shl(x, k, "l");
+  Value s = b.add(r, l, "s");
+  b.wait();
+  b.output("y", s);
+  b.wait();
+  Behavior bhv = b.finish();
+  std::string v = emitFor(bhv, 1600.0);
+  EXPECT_NE(v.find(">>>"), std::string::npos) << v;
+  EXPECT_NE(v.find("$signed("), std::string::npos) << v;
+  EXPECT_NE(v.find(" << "), std::string::npos) << v;
+  // No plain logical right shift anywhere: every ">>" is part of a ">>>".
+  std::size_t pos = 0;
+  while ((pos = v.find(">>", pos)) != std::string::npos) {
+    EXPECT_EQ(v.substr(pos, 3), ">>>") << "plain >> at offset " << pos;
+    pos += 3;
+  }
+}
+
 TEST(VerilogTest, BalancedBeginEnd) {
   Behavior bhv = workloads::makeArf(6);
   std::string v = emitFor(bhv, 1250.0);
