@@ -1,0 +1,208 @@
+// Robustness acceptance harness (ISSUE 9): drives the DSE job service
+// through the three injected failure modes and asserts each degrades as
+// specified instead of crashing or corrupting state:
+//
+//   1. throw_at_point  -- one design point throws mid-campaign: the job
+//      still succeeds, the poisoned point is reported as a failed row
+//      (dse.point_failed), every other point completes normally;
+//   2. sleep_at_point_ms + deadline -- a runaway job blows its wall-clock
+//      budget: it lands in Cancelled ("deadline exceeded") within one
+//      cancellation poll, the service stays alive, and the next job on the
+//      same service succeeds;
+//   3. cache_write_tear -- a torn (crash-simulating) cache write: the torn
+//      snapshot loads as a cold start, an intact save then warm-restarts a
+//      fresh service whose re-run reproduces the cold run's Pareto front
+//      bit-for-bit (misses stay 0).
+//
+// Exits nonzero on the first violated expectation.
+//
+//   --json PATH     result JSON (default BENCH_robustness.json)
+//   --cache PATH    cache snapshot path (default BENCH_robustness_cache.bin)
+//   --trace PATH    Chrome-trace spans, incl. job.run (docs/observability.md)
+//   --metrics PATH  metrics-registry snapshot JSON at exit
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "service/job_service.h"
+#include "support/fault.h"
+#include "support/metrics.h"
+#include "support/trace.h"
+#include "workloads/workloads.h"
+
+using namespace thls;
+using namespace thls::service;
+
+namespace {
+
+int gFailures = 0;
+
+bool check(bool ok, const char* what) {
+  std::printf("  [%s] %s\n", ok ? "ok" : "FAIL", what);
+  if (!ok) ++gFailures;
+  return ok;
+}
+
+JobRequest arfJob(int points) {
+  JobRequest req;
+  req.workload = "arf";
+  req.generator = [](int lat) { return workloads::makeArf(lat); };
+  for (int i = 0; i < points; ++i) {
+    DesignPoint pt;
+    pt.name = strCat("L", 12 - i);
+    pt.latencyStates = 12 - i;
+    pt.clockPeriod = 1250.0;
+    req.points.push_back(pt);
+  }
+  return req;
+}
+
+bool sameFront(const std::vector<explore::ParetoEntry>& a,
+               const std::vector<explore::ParetoEntry>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].point.name != b[i].point.name ||
+        a[i].obj.area != b[i].obj.area || a[i].obj.power != b[i].obj.power ||
+        a[i].obj.throughput != b[i].obj.throughput) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string jsonPath = "BENCH_robustness.json";
+  std::string cachePath = "BENCH_robustness_cache.bin";
+  std::string tracePath, metricsPath;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) jsonPath = argv[++i];
+    if (arg == "--cache" && i + 1 < argc) cachePath = argv[++i];
+    if (arg == "--trace" && i + 1 < argc) tracePath = argv[++i];
+    if (arg == "--metrics" && i + 1 < argc) metricsPath = argv[++i];
+  }
+  if (!tracePath.empty()) trace::setEnabled(true);
+  if (!metricsPath.empty()) metrics::setEnabled(true);
+
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+  JobServiceOptions opts;
+  std::remove(cachePath.c_str());
+
+  // --- 1. A throwing design point degrades, the campaign continues -------
+  std::printf("scenario 1: throw_at_point degrades one row\n");
+  std::size_t failedRows = 0, okRows = 0;
+  {
+    JobService svc(lib, opts);
+    fault::configure("throw_at_point=2");
+    JobId id = svc.submit(arfJob(4));
+    check(svc.wait(id) == JobState::kSucceeded,
+          "job with a throwing point still succeeds");
+    fault::reset();
+    JobResult r = svc.result(id);
+    for (const DsePointResult& row : r.summary.points) {
+      if (!row.error.empty()) {
+        ++failedRows;
+        check(row.error.find("injected fault") != std::string::npos,
+              "failed row carries the injected-fault error string");
+      } else if (row.slack.success) {
+        ++okRows;
+      }
+    }
+    check(failedRows == 1, "exactly one row failed");
+    check(okRows == 3, "every other point completed");
+    check(svc.progress(id).pointsFailed == 1,
+          "progress counters report the degraded point");
+  }
+
+  // --- 2. A runaway job hits its deadline, the service survives ---------
+  std::printf("scenario 2: deadline cancels a runaway job\n");
+  {
+    JobService svc(lib, opts);
+    fault::configure("sleep_at_point_ms=40");
+    JobRequest runaway = arfJob(4);
+    runaway.deadlineSeconds = 0.01;
+    JobId id = svc.submit(std::move(runaway));
+    check(svc.wait(id) == JobState::kCancelled,
+          "runaway job lands in Cancelled");
+    check(svc.result(id).error == "deadline exceeded",
+          "cancellation reason is the deadline");
+    fault::reset();
+    JobId next = svc.submit(arfJob(2));
+    check(svc.wait(next) == JobState::kSucceeded,
+          "service alive: the next job succeeds");
+  }
+
+  // --- 3. Torn cache write degrades to a cold start; intact snapshot ----
+  // ---    warm-restarts bit-for-bit                                  ----
+  std::printf("scenario 3: torn cache write vs warm restart\n");
+  std::vector<explore::ParetoEntry> coldFront;
+  {
+    JobServiceOptions copts = opts;
+    copts.cachePath = cachePath;
+    JobService svc(lib, copts);
+    JobId id = svc.submit(arfJob(3));
+    check(svc.wait(id) == JobState::kSucceeded, "cold run succeeds");
+    coldFront = svc.result(id).front;
+
+    fault::configure("cache_write_tear=1");
+    check(!svc.saveCache(), "torn save reports failure");
+    fault::reset();
+    {
+      explore::FlowCache probe;
+      check(!probe.load(cachePath).loaded,
+            "torn snapshot loads as a cold start");
+    }
+    check(svc.saveCache(), "intact save succeeds after the tear");
+  }
+  {
+    JobServiceOptions wopts = opts;
+    wopts.cachePath = cachePath;
+    JobService svc(lib, wopts);  // warm restart from the intact snapshot
+    check(svc.cacheStats().entries > 0, "warm restart restored entries");
+    JobId id = svc.submit(arfJob(3));
+    check(svc.wait(id) == JobState::kSucceeded, "warm run succeeds");
+    check(svc.cacheStats().misses == 0,
+          "warm run served entirely from the snapshot");
+    check(sameFront(svc.result(id).front, coldFront),
+          "warm Pareto front is bit-for-bit the cold front");
+  }
+  std::remove(cachePath.c_str());
+
+  std::string json = "{\n";
+  json += "  \"failures\": " + strCat(gFailures) + ",\n";
+  json += "  \"scenario1_failed_rows\": " + strCat(failedRows) + ",\n";
+  json += "  \"scenario1_ok_rows\": " + strCat(okRows) + ",\n";
+  json += "  \"scenario3_front_points\": " + strCat(coldFront.size()) + "\n";
+  json += "}\n";
+  std::ofstream out(jsonPath);
+  out << json;
+  out.flush();
+  if (out) {
+    std::printf("wrote %s\n", jsonPath.c_str());
+  } else {
+    std::fprintf(stderr, "error: could not write %s\n", jsonPath.c_str());
+    return 1;
+  }
+  if (!tracePath.empty()) {
+    if (!trace::writeChromeTraceFile(tracePath)) {
+      std::fprintf(stderr, "error: could not write %s\n", tracePath.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", tracePath.c_str());
+  }
+  if (!metricsPath.empty()) {
+    if (!metrics::writeSnapshotFile(metricsPath)) {
+      std::fprintf(stderr, "error: could not write %s\n", metricsPath.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", metricsPath.c_str());
+  }
+  if (gFailures > 0) {
+    std::fprintf(stderr, "%d robustness expectation(s) violated\n", gFailures);
+    return 1;
+  }
+  std::printf("all robustness expectations held\n");
+  return 0;
+}

@@ -143,7 +143,7 @@ std::vector<std::size_t> donorOrder(const Schedule& sched) {
 /// a full recomputeChainStarts over it.  Kept as the differential baseline.
 int compactBindingLegacy(const Behavior& bhv, const LatencyTable& lat,
                          const ResourceLibrary& lib, Schedule& sched,
-                         int maxShare) {
+                         int maxShare, const CancelToken& cancel) {
   const Cfg& cfg = bhv.cfg;
   int merges = 0;
 
@@ -164,6 +164,9 @@ int compactBindingLegacy(const Behavior& bhv, const LatencyTable& lat,
     changed = false;
     std::vector<std::size_t> order = donorOrder(sched);
     for (std::size_t donorIdx : order) {
+      // Every merge boundary leaves a legal schedule, so bailing here is
+      // always safe; a cancelled flow discards the result regardless.
+      if (cancel.cancelled()) return merges;
       FuInstance& donor = sched.fus[donorIdx];
       if (donor.ops.empty()) continue;
       for (std::size_t accIdx : order) {
@@ -208,8 +211,8 @@ int compactBindingLegacy(const Behavior& bhv, const LatencyTable& lat,
 /// matrix; chain starts re-derive only inside the merged instances' cone.
 int compactBindingIncremental(const Behavior& bhv, const LatencyTable& lat,
                               const ResourceLibrary& lib, Schedule& sched,
-                              int maxShare,
-                              IncrementalChainStarts& chains) {
+                              int maxShare, IncrementalChainStarts& chains,
+                              const CancelToken& cancel) {
   const EdgeConcurrency conc(bhv.cfg, lat);
   const std::size_t words = conc.words();
 
@@ -242,6 +245,9 @@ int compactBindingIncremental(const Behavior& bhv, const LatencyTable& lat,
     changed = false;
     std::vector<std::size_t> order = donorOrder(sched);
     for (std::size_t donorIdx : order) {
+      // Merges are atomic (applied or rolled back), so the schedule is
+      // legal at every donor boundary; bail without starting another trial.
+      if (cancel.cancelled()) return merges;
       FuInstance& donor = sched.fus[donorIdx];
       if (donor.ops.empty()) continue;
       for (std::size_t accIdx : order) {
@@ -324,7 +330,7 @@ int compactBindingIncremental(const Behavior& bhv, const LatencyTable& lat,
 
 int compactBinding(const Behavior& bhv, const LatencyTable& lat,
                    const ResourceLibrary& lib, Schedule& sched, int maxShare,
-                   bool incremental) {
+                   bool incremental, CancelToken cancel) {
   THLS_TRACE_SPAN_V(bindSpan, "bind.compact");
   bindSpan.arg("incremental", incremental).arg("max_share", maxShare);
   // Both engines start from the chain-start fixpoint: the scheduler's last
@@ -340,9 +346,10 @@ int compactBinding(const Behavior& bhv, const LatencyTable& lat,
   // a merge that cures the violation, so route that case to the legacy
   // engine to keep the two bit-for-bit interchangeable.
   if (incremental && baseFits) {
-    return compactBindingIncremental(bhv, lat, lib, sched, maxShare, chains);
+    return compactBindingIncremental(bhv, lat, lib, sched, maxShare, chains,
+                                     cancel);
   }
-  return compactBindingLegacy(bhv, lat, lib, sched, maxShare);
+  return compactBindingLegacy(bhv, lat, lib, sched, maxShare, cancel);
 }
 
 int compactBindingComponent(const Behavior& bhv, const DfgPartition& part,

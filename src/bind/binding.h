@@ -8,6 +8,7 @@
 #pragma once
 
 #include "sched/schedule.h"
+#include "support/cancel.h"
 
 namespace thls {
 
@@ -68,9 +69,13 @@ BindingResult bindPorts(const Behavior& bhv, const Schedule& sched,
 /// resweeping the graph per candidate.  Results are bit-for-bit identical
 /// to the legacy whole-schedule-trial path (incremental = false), which is
 /// kept as the differential baseline for tests and bench/flow_scaling.
+/// `cancel` is polled once per merge-sweep candidate; a cancelled call
+/// returns early with the merges so far applied (the schedule is legal at
+/// every merge boundary, and a cancelled flow discards it anyway).
 int compactBinding(const Behavior& bhv, const LatencyTable& lat,
                    const ResourceLibrary& lib, Schedule& sched,
-                   int maxShare = 64, bool incremental = true);
+                   int maxShare = 64, bool incremental = true,
+                   CancelToken cancel = {});
 
 class DfgPartition;
 

@@ -133,6 +133,10 @@ BudgetResult fixNegativeSlack(const TimedDfg& graph, const Dfg& dfg,
   // round, so chains never overshoot.
   while (timing->minSlack < -topts.epsilon &&
          iter < opts.maxNegativeIterations) {
+    if ((iter & 63) == 0 && opts.cancel.cancelled()) {
+      result.cancelled = true;
+      break;
+    }
     ++iter;
     std::size_t best = dfg.numOps();
     double bestRatio = 0, bestTarget = 0;
@@ -215,6 +219,10 @@ BudgetResult budgetSlack(const TimedDfg& graph, const Dfg& dfg,
   // Step 3: budget away negative aligned slack.
   BudgetResult result =
       fixNegativeSlack(graph, dfg, lib, std::move(delays), opts, seedPtr, &pre);
+  if (result.cancelled) {
+    budgetSpan.arg("cancelled", true);
+    return result;
+  }
   if (!result.feasible) {
     budgetSpan.arg("feasible", false);
     return result;
@@ -238,6 +246,10 @@ BudgetResult budgetSlack(const TimedDfg& graph, const Dfg& dfg,
   std::vector<double> memoTarget(dfg.numOps(), 0.0);
   std::vector<double> memoGain(dfg.numOps(), -1.0);
   while (grants < opts.maxPositiveGrants) {
+    if ((grants & 63) == 0 && opts.cancel.cancelled()) {
+      result.cancelled = true;
+      break;
+    }
     // Pick the op with the largest area recovery achievable within its
     // binned slack.
     std::size_t best = dfg.numOps();
@@ -295,6 +307,10 @@ BudgetResult budgetSlack(const TimedDfg& graph, const Dfg& dfg,
       timing = &localTiming;
       result.slackSeededSweeps += fix.slackSeededSweeps;
       result.analysisSeconds += fix.analysisSeconds;
+      if (fix.cancelled) {
+        result.cancelled = true;
+        break;
+      }
     }
   }
 

@@ -18,6 +18,7 @@
 // because each operation saturates after a few grants.
 #pragma once
 
+#include "support/cancel.h"
 #include "tech/resource_library.h"
 #include "timing/bellman_ford.h"
 
@@ -41,6 +42,12 @@ struct BudgetOptions {
   /// effective with the sequential engine; results are bit-for-bit identical
   /// either way (escape hatch for the differential suites and benches).
   bool incrementalSlack = true;
+  /// Cooperative cancellation, polled every 64 iterations of the negative
+  /// fix-up and positive-grant loops (the budgeting "valve" loops can spin
+  /// for 100k+ rounds on hard points).  A cancelled run sets
+  /// BudgetResult::cancelled and returns whatever it had -- callers must
+  /// treat such a result as incomplete and never cache it.
+  CancelToken cancel;
 };
 
 struct BudgetResult {
@@ -60,6 +67,10 @@ struct BudgetResult {
   /// logs a THLS_LOG(1) warning and bumps `budget.positive_valve_hits`,
   /// and the scheduler surfaces it as SchedulerStats::budgetValveHits.
   bool positiveGrantsValve = false;
+  /// True when BudgetOptions::cancel fired mid-run; the result is partial
+  /// (delays/timing reflect the last completed iteration) and must not be
+  /// cached or acted on beyond reporting cancellation.
+  bool cancelled = false;
   /// Seeded (worklist) repropagations that replaced full sweeps, and how
   /// many timed-node values they recomputed in total (a full sweep costs
   /// 2 * numNodes of them).

@@ -83,6 +83,19 @@ CampaignResult runCampaign(const ResourceLibrary& lib, const FlowOptions& base,
 
     ParetoArchive local;
     std::vector<DesignPoint> grid = campaignGrid(w, opts);
+    // Reject malformed grids (bad registered clock period, degenerate
+    // scales) before any point reaches a worker; name the workload so a
+    // multi-workload campaign error is actionable.
+    if (std::vector<std::string> issues = validateDesignPoints(grid);
+        !issues.empty()) {
+      std::string joined;
+      for (const std::string& s : issues) {
+        if (!joined.empty()) joined += "; ";
+        joined += s;
+      }
+      throw HlsError(strCat("invalid campaign grid for workload '", w.name,
+                            "': ", joined));
+    }
     std::vector<EvaluatedPoint> points;
     if (opts.adaptiveRounds > 0) {
       AdaptiveOptions aopts;

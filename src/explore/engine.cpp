@@ -1,7 +1,11 @@
 #include "explore/engine.h"
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
 
+#include "support/diagnostics.h"
+#include "support/fault.h"
 #include "support/metrics.h"
 #include "support/trace.h"
 
@@ -28,11 +32,13 @@ ExploreEngine::ExploreEngine(const ResourceLibrary& lib, FlowOptions base,
       opts_(opts),
       optionsHash_(hashFlowOptions(base_)),
       pool_(opts.pool ? opts.pool : &TaskPool::shared()),
-      maxWorkers_(resolveWidth(opts.threads, *pool_)) {}
+      maxWorkers_(resolveWidth(opts.threads, *pool_)),
+      cache_(opts.cache ? opts.cache : &ownCache_) {}
 
 EvaluatedPoint ExploreEngine::evaluateOne(const std::string& workloadName,
                                           const GeneratorFn& generator,
-                                          const DesignPoint& pt) {
+                                          const DesignPoint& pt,
+                                          const CancelToken& cancel) {
   // One span per design point, recorded in the worker's own thread lane:
   // a parallel run renders as a per-worker timeline in Perfetto, making
   // stragglers and pool idle gaps directly visible.
@@ -46,51 +52,112 @@ EvaluatedPoint ExploreEngine::evaluateOne(const std::string& workloadName,
 
   FlowOptions opts = base_;
   opts.sched.clockPeriod = pt.clockPeriod;
+  opts.sched.cancel = cancel;
   opts.iterationCycles = pt.latencyStates;
 
-  auto keyFor = [&](FlowFlavor flavor) {
-    return FlowCacheKey{workloadName, pt.latencyStates, pt.clockPeriod,
-                        opts.iterationCycles, flavor, optionsHash_};
+  auto markCancelled = [&]() {
+    ev.result.cancelled = true;
+    ev.result.conv.success = false;
+    ev.result.conv.cancelled = true;
+    ev.result.conv.failureReason = "cancelled";
+    ev.result.slack.success = false;
+    ev.result.slack.cancelled = true;
+    ev.result.slack.failureReason = "cancelled";
+    pointSpan.arg("cancelled", true);
   };
-  std::shared_ptr<const FlowResult> convHit, slackHit;
-  if (opts_.useCache) {
-    convHit = cache_.lookup(keyFor(FlowFlavor::kConventional));
-    slackHit = cache_.lookup(keyFor(FlowFlavor::kSlackBased));
-    ev.convCacheHit = convHit != nullptr;
-    ev.slackCacheHit = slackHit != nullptr;
+  if (cancel.cancelled()) {
+    markCancelled();
+    return ev;
   }
 
-  // One generator call covers both flavors (the builders are deterministic
-  // per latency -- caching already requires that): the first cold flavor
-  // schedules a copy, the last consumes the behavior itself.  The old
-  // per-flavor generation doubled the time every worker spent serialized
-  // on the generator mutex during a cold run.
-  Behavior base;
-  const bool needConv = !convHit;
-  const bool needSlack = !slackHit;
-  if (needConv || needSlack) {
-    std::lock_guard<std::mutex> lock(genMu_);
-    base = generator(pt.latencyStates);
+  try {
+    if (fault::armed()) {
+      if (int ms = fault::sleepAtPointMs(); ms > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+      }
+      if (fault::fireThrowAtPoint()) {
+        throw HlsError(strCat("injected fault: throw_at_point at ", pt.name));
+      }
+    }
+
+    auto keyFor = [&](FlowFlavor flavor) {
+      return FlowCacheKey{workloadName, pt.latencyStates, pt.clockPeriod,
+                          opts.iterationCycles, flavor, optionsHash_};
+    };
+    std::shared_ptr<const FlowResult> convHit, slackHit;
+    if (opts_.useCache) {
+      convHit = cache_->lookup(keyFor(FlowFlavor::kConventional));
+      slackHit = cache_->lookup(keyFor(FlowFlavor::kSlackBased));
+      ev.convCacheHit = convHit != nullptr;
+      ev.slackCacheHit = slackHit != nullptr;
+    }
+
+    // One generator call covers both flavors (the builders are deterministic
+    // per latency -- caching already requires that): the first cold flavor
+    // schedules a copy, the last consumes the behavior itself.  The old
+    // per-flavor generation doubled the time every worker spent serialized
+    // on the generator mutex during a cold run.
+    Behavior base;
+    const bool needConv = !convHit;
+    const bool needSlack = !slackHit;
+    if (needConv || needSlack) {
+      std::lock_guard<std::mutex> lock(genMu_);
+      base = generator(pt.latencyStates);
+    }
+    // Cancelled flow results are incomplete by construction: they must
+    // never enter the cache, or a later uncancelled run would replay them.
+    auto finish = [&](FlowFlavor flavor, FlowResult res) -> FlowResult {
+      if (opts_.useCache && !res.cancelled) {
+        return *cache_->insert(keyFor(flavor), std::move(res));
+      }
+      return res;
+    };
+    if (needConv) {
+      Behavior bhv = needSlack ? base : std::move(base);
+      ev.result.conv =
+          finish(FlowFlavor::kConventional,
+                 conventionalFlow(std::move(bhv), lib_, opts));
+    } else {
+      ev.result.conv = *convHit;
+    }
+    if (needSlack && !ev.result.conv.cancelled) {
+      ev.result.slack = finish(FlowFlavor::kSlackBased,
+                               slackBasedFlow(std::move(base), lib_, opts));
+    } else if (needSlack) {
+      ev.result.slack.success = false;
+    } else {
+      ev.result.slack = *slackHit;
+    }
+    if (ev.result.conv.cancelled || ev.result.slack.cancelled) {
+      markCancelled();
+      return ev;
+    }
+    ev.result.savingPercent =
+        areaSavingPercent(ev.result.conv, ev.result.slack);
+  } catch (const std::exception& e) {
+    // Graceful per-point degradation: one throwing point (generator bug,
+    // injected fault, pathological input) must not abort the campaign.
+    ev.result.error = e.what();
+    ev.result.savingPercent.reset();
+    ev.result.conv.success = false;
+    ev.result.slack.success = false;
+    if (ev.result.conv.failureReason.empty()) {
+      ev.result.conv.failureReason = ev.result.error;
+    }
+    if (ev.result.slack.failureReason.empty()) {
+      ev.result.slack.failureReason = ev.result.error;
+    }
+    THLS_LOG(1, "dse point '", pt.name, "' failed: ", ev.result.error);
+    metrics::add("dse.point_failed");
+    if (trace::enabled()) {
+      trace::instant(
+          "dse.point_failed",
+          {{"point", trace::detail::jsonQuote(pt.name)},
+           {"workload", trace::detail::jsonQuote(workloadName)},
+           {"error", trace::detail::jsonQuote(ev.result.error)}});
+    }
+    pointSpan.arg("error", ev.result.error);
   }
-  auto finish = [&](FlowFlavor flavor, FlowResult res) -> FlowResult {
-    if (opts_.useCache) return *cache_.insert(keyFor(flavor), std::move(res));
-    return res;
-  };
-  if (needConv) {
-    Behavior bhv = needSlack ? base : std::move(base);
-    ev.result.conv =
-        finish(FlowFlavor::kConventional,
-               conventionalFlow(std::move(bhv), lib_, opts));
-  } else {
-    ev.result.conv = *convHit;
-  }
-  if (needSlack) {
-    ev.result.slack = finish(FlowFlavor::kSlackBased,
-                             slackBasedFlow(std::move(base), lib_, opts));
-  } else {
-    ev.result.slack = *slackHit;
-  }
-  ev.result.savingPercent = areaSavingPercent(ev.result.conv, ev.result.slack);
   pointSpan.arg("conv_cache_hit", ev.convCacheHit)
       .arg("slack_cache_hit", ev.slackCacheHit)
       .arg("slack_success", ev.result.slack.success);
@@ -98,13 +165,23 @@ EvaluatedPoint ExploreEngine::evaluateOne(const std::string& workloadName,
 }
 
 void ExploreEngine::notePoint(const EvaluatedPoint& ev) {
-  evaluated_.fetch_add(1, std::memory_order_relaxed);
-  if (metrics::enabled()) {
-    metrics::add("dse.points_evaluated");
-    metrics::add(ev.convCacheHit ? "dse.cache.conv_hits"
-                                 : "dse.cache.conv_misses");
-    metrics::add(ev.slackCacheHit ? "dse.cache.slack_hits"
-                                  : "dse.cache.slack_misses");
+  if (ev.result.cancelled) {
+    // A cancelled point was not evaluated: it keeps its own counter so a
+    // progress poller can distinguish "done" from "stopped".
+    cancelledPoints_.fetch_add(1, std::memory_order_relaxed);
+    if (metrics::enabled()) metrics::add("dse.points_cancelled");
+  } else {
+    evaluated_.fetch_add(1, std::memory_order_relaxed);
+    if (!ev.result.error.empty()) {
+      failed_.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (metrics::enabled()) {
+      metrics::add("dse.points_evaluated");
+      metrics::add(ev.convCacheHit ? "dse.cache.conv_hits"
+                                   : "dse.cache.conv_misses");
+      metrics::add(ev.slackCacheHit ? "dse.cache.slack_hits"
+                                    : "dse.cache.slack_misses");
+    }
   }
   if (opts_.onPoint) {
     std::lock_guard<std::mutex> lock(progressMu_);
@@ -114,10 +191,16 @@ void ExploreEngine::notePoint(const EvaluatedPoint& ev) {
 
 std::vector<EvaluatedPoint> ExploreEngine::evaluate(
     const std::string& workloadName, const GeneratorFn& generator,
-    const std::vector<DesignPoint>& points, ParetoArchive* archive) {
+    const std::vector<DesignPoint>& points, ParetoArchive* archive,
+    CancelToken cancel) {
+  // Per-batch token: a valid argument replaces the engine-lifetime token
+  // for this call, so a later batch with a fresh (or no) token runs
+  // unaffected -- cancellation never poisons the engine.
+  const CancelToken batchCancel =
+      cancel.valid() ? std::move(cancel) : opts_.cancel;
   std::vector<EvaluatedPoint> out(points.size());
   pool_->parallelFor(points.size(), [&](std::size_t i) {
-    out[i] = evaluateOne(workloadName, generator, points[i]);
+    out[i] = evaluateOne(workloadName, generator, points[i], batchCancel);
     if (archive && out[i].result.slack.success) {
       ParetoEntry entry;
       entry.workload = workloadName;
@@ -135,7 +218,7 @@ std::vector<EvaluatedPoint> ExploreEngine::evaluate(
   // Shard-aggregated cache totals as gauges: cumulative over the engine's
   // lifetime, overwritten (not summed) on every batch.
   if (metrics::enabled()) {
-    FlowCacheStats cs = cache_.stats();
+    FlowCacheStats cs = cache_->stats();
     metrics::setGauge("dse.cache.hits", static_cast<double>(cs.hits));
     metrics::setGauge("dse.cache.misses", static_cast<double>(cs.misses));
     metrics::setGauge("dse.cache.entries", static_cast<double>(cs.entries));

@@ -24,6 +24,7 @@
 
 #include "explore/flow_cache.h"
 #include "explore/pareto.h"
+#include "support/cancel.h"
 #include "support/task_pool.h"
 
 namespace thls::explore {
@@ -60,6 +61,16 @@ struct EngineOptions {
   /// ExploreEngine::pointsEvaluated() and the `dse.points_evaluated`
   /// metrics counter.
   std::function<void(const EvaluatedPoint&)> onPoint;
+  /// Shared flow cache; null = the engine owns a private one.  The job
+  /// service injects its persistent process-wide cache here so every job
+  /// (and a warm restart) hits the same memo.  The caller keeps ownership
+  /// and must outlive the engine; FlowCache is internally sharded and
+  /// thread-safe, so engines may share one concurrently.
+  FlowCache* cache = nullptr;
+  /// Engine-lifetime cancellation, composed per batch with the token passed
+  /// to evaluate().  Cancelled points are returned flagged (never cached,
+  /// never archived) and the engine stays fully reusable afterwards.
+  CancelToken cancel;
 };
 
 using GeneratorFn = std::function<Behavior(int latencyStates)>;
@@ -74,13 +85,22 @@ class ExploreEngine {
   /// Evaluates every point (conventional + slack flow) in parallel.
   /// `workloadName` scopes the cache; results come back in input order.
   /// Successful slack points are offered to `archive` when non-null.
+  /// A valid `cancel` scopes cancellation to this batch (it replaces the
+  /// engine-lifetime EngineOptions::cancel for the call; compose the two by
+  /// linking a CancelSource); a cancelled batch marks its unfinished points
+  /// and leaves the engine reusable -- a subsequent uncancelled evaluate()
+  /// on the same instance is bit-for-bit identical to a fresh engine's.
+  /// A throwing point (generator or flow) is recorded as a failed
+  /// DsePointResult (error string, `dse.point_failed` metric + trace
+  /// instant) and the rest of the grid keeps running.
   std::vector<EvaluatedPoint> evaluate(const std::string& workloadName,
                                        const GeneratorFn& generator,
                                        const std::vector<DesignPoint>& points,
-                                       ParetoArchive* archive = nullptr);
+                                       ParetoArchive* archive = nullptr,
+                                       CancelToken cancel = {});
 
-  FlowCacheStats cacheStats() const { return cache_.stats(); }
-  void clearCache() { cache_.clear(); }
+  FlowCacheStats cacheStats() const { return cache_->stats(); }
+  void clearCache() { cache_->clear(); }
   /// Effective evaluation width: EngineOptions::threads clamped to the
   /// pool's lane count.
   std::size_t threads() const { return maxWorkers_; }
@@ -97,11 +117,19 @@ class ExploreEngine {
   std::size_t pointsEvaluated() const {
     return evaluated_.load(std::memory_order_relaxed);
   }
+  /// Points whose evaluation threw (recorded as failed rows, campaign kept
+  /// running) and points skipped/stopped by cancellation, engine-lifetime.
+  std::size_t pointsFailed() const {
+    return failed_.load(std::memory_order_relaxed);
+  }
+  std::size_t pointsCancelled() const {
+    return cancelledPoints_.load(std::memory_order_relaxed);
+  }
 
  private:
   EvaluatedPoint evaluateOne(const std::string& workloadName,
                              const GeneratorFn& generator,
-                             const DesignPoint& pt);
+                             const DesignPoint& pt, const CancelToken& cancel);
   /// Progress/metrics bookkeeping after one point: bumps the atomic
   /// counter, mirrors cache provenance into the metrics registry, and runs
   /// the serialized onPoint callback.
@@ -113,9 +141,12 @@ class ExploreEngine {
   std::uint64_t optionsHash_;
   TaskPool* pool_;
   std::size_t maxWorkers_;
-  FlowCache cache_;
+  FlowCache ownCache_;
+  FlowCache* cache_;  ///< the injected EngineOptions::cache, else &ownCache_
   std::mutex genMu_;
   std::atomic<std::size_t> evaluated_{0};
+  std::atomic<std::size_t> failed_{0};
+  std::atomic<std::size_t> cancelledPoints_{0};
   std::mutex progressMu_;
 };
 

@@ -1,6 +1,15 @@
 #include "explore/flow_cache.h"
 
+#include <algorithm>
 #include <bit>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <tuple>
+#include <vector>
+
+#include "support/diagnostics.h"
+#include "support/fault.h"
 
 namespace thls::explore {
 
@@ -114,6 +123,431 @@ void FlowCache::clear() {
     shard.hits = 0;
     shard.misses = 0;
   }
+}
+
+// ---------------------------------------------------------------------------
+// Persistence.
+//
+// Layout (all integers little-endian, doubles as IEEE-754 bit patterns):
+//   u32 magic ("TFC1")  u32 version  u64 entryCount
+//   entryCount x { key, FlowResult }
+//   u64 FNV-1a checksum over every preceding byte
+// Entries are written in sorted key order so equal cache contents always
+// produce byte-identical files (the warm-restart identity gate diffs them).
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x31434654;  // "TFC1"
+
+struct ByteWriter {
+  std::string buf;
+
+  void u8(std::uint8_t v) { buf.push_back(static_cast<char>(v)); }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) buf.push_back(static_cast<char>(v >> (i * 8)));
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) buf.push_back(static_cast<char>(v >> (i * 8)));
+  }
+  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+  void str(const std::string& s) {
+    u64(s.size());
+    buf.append(s);
+  }
+  void i32vec(const std::vector<std::int32_t>& v) {
+    u64(v.size());
+    for (std::int32_t x : v) i32(x);
+  }
+  void f64vec(const std::vector<double>& v) {
+    u64(v.size());
+    for (double x : v) f64(x);
+  }
+};
+
+/// Bounds-checked little-endian reader.  Every accessor returns a value and
+/// clears `ok` on overrun; callers check `ok` once per entry (reads after a
+/// failure return zeros and never touch out-of-range memory).
+struct ByteReader {
+  const std::string& buf;
+  std::size_t pos = 0;
+  bool ok = true;
+
+  explicit ByteReader(const std::string& b) : buf(b) {}
+
+  bool has(std::size_t n) {
+    if (buf.size() - pos < n) ok = false;
+    return ok;
+  }
+  std::uint8_t u8() {
+    if (!has(1)) return 0;
+    return static_cast<std::uint8_t>(buf[pos++]);
+  }
+  std::uint32_t u32() {
+    if (!has(4)) return 0;
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(static_cast<unsigned char>(buf[pos++]))
+           << (i * 8);
+    }
+    return v;
+  }
+  std::uint64_t u64() {
+    if (!has(8)) return 0;
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(static_cast<unsigned char>(buf[pos++]))
+           << (i * 8);
+    }
+    return v;
+  }
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  double f64() { return std::bit_cast<double>(u64()); }
+  std::string str() {
+    std::uint64_t n = u64();
+    // The length is validated against the remaining bytes before any
+    // allocation, so a corrupt length field cannot trigger a huge resize.
+    if (!ok || !has(static_cast<std::size_t>(n))) {
+      ok = false;
+      return {};
+    }
+    std::string s = buf.substr(pos, static_cast<std::size_t>(n));
+    pos += static_cast<std::size_t>(n);
+    return s;
+  }
+  std::vector<std::int32_t> i32vec() {
+    std::uint64_t n = u64();
+    if (!ok || !has(static_cast<std::size_t>(n) * 4)) {
+      ok = false;
+      return {};
+    }
+    std::vector<std::int32_t> v(static_cast<std::size_t>(n));
+    for (auto& x : v) x = i32();
+    return v;
+  }
+  std::vector<double> f64vec() {
+    std::uint64_t n = u64();
+    if (!ok || !has(static_cast<std::size_t>(n) * 8)) {
+      ok = false;
+      return {};
+    }
+    std::vector<double> v(static_cast<std::size_t>(n));
+    for (auto& x : v) x = f64();
+    return v;
+  }
+};
+
+std::uint64_t fnv1a(const char* data, std::size_t n) {
+  std::uint64_t h = kFnvOffset;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+void writeKey(ByteWriter& w, const FlowCacheKey& k) {
+  w.str(k.workload);
+  w.i32(k.latencyStates);
+  w.f64(k.clockPeriod);
+  w.f64(k.iterationCycles);
+  w.u32(static_cast<std::uint32_t>(k.flavor));
+  w.u64(k.optionsHash);
+}
+
+FlowCacheKey readKey(ByteReader& r) {
+  FlowCacheKey k;
+  k.workload = r.str();
+  k.latencyStates = r.i32();
+  k.clockPeriod = r.f64();
+  k.iterationCycles = r.f64();
+  k.flavor = static_cast<FlowFlavor>(r.u32());
+  k.optionsHash = r.u64();
+  return k;
+}
+
+void writeSchedule(ByteWriter& w, const Schedule& s) {
+  w.f64(s.clockPeriod);
+  w.u64(s.opEdge.size());
+  for (CfgEdgeId e : s.opEdge) w.i32(e.value());
+  w.u64(s.opFu.size());
+  for (FuId f : s.opFu) w.i32(f.value());
+  w.f64vec(s.opDelay);
+  w.f64vec(s.opStart);
+  w.u64(s.fus.size());
+  for (const FuInstance& fu : s.fus) {
+    w.u32(static_cast<std::uint32_t>(fu.cls));
+    w.i32(fu.width);
+    w.f64(fu.delay);
+    w.str(fu.name);
+    w.u64(fu.ops.size());
+    for (OpId op : fu.ops) w.i32(op.value());
+    w.u8(fu.dedicated ? 1 : 0);
+  }
+}
+
+Schedule readSchedule(ByteReader& r) {
+  Schedule s;
+  s.clockPeriod = r.f64();
+  std::uint64_t n = r.u64();
+  if (r.ok && r.has(static_cast<std::size_t>(n) * 4)) {
+    s.opEdge.reserve(static_cast<std::size_t>(n));
+    for (std::uint64_t i = 0; i < n; ++i) s.opEdge.push_back(CfgEdgeId(r.i32()));
+  } else {
+    r.ok = false;
+  }
+  n = r.u64();
+  if (r.ok && r.has(static_cast<std::size_t>(n) * 4)) {
+    s.opFu.reserve(static_cast<std::size_t>(n));
+    for (std::uint64_t i = 0; i < n; ++i) s.opFu.push_back(FuId(r.i32()));
+  } else {
+    r.ok = false;
+  }
+  s.opDelay = r.f64vec();
+  s.opStart = r.f64vec();
+  n = r.u64();
+  for (std::uint64_t i = 0; r.ok && i < n; ++i) {
+    FuInstance fu;
+    fu.cls = static_cast<ResourceClass>(r.u32());
+    fu.width = r.i32();
+    fu.delay = r.f64();
+    fu.name = r.str();
+    std::uint64_t ops = r.u64();
+    if (!r.ok || !r.has(static_cast<std::size_t>(ops) * 4)) {
+      r.ok = false;
+      break;
+    }
+    fu.ops.reserve(static_cast<std::size_t>(ops));
+    for (std::uint64_t j = 0; j < ops; ++j) fu.ops.push_back(OpId(r.i32()));
+    fu.dedicated = r.u8() != 0;
+    s.fus.push_back(std::move(fu));
+  }
+  return s;
+}
+
+void writeStats(ByteWriter& w, const SchedulerStats& s) {
+  w.i32(s.schedulePasses);
+  w.i32(s.relaxations);
+  w.i32(s.timingAnalyses);
+  w.i32(s.resourcesAdded);
+  w.i32(s.statesAdded);
+  w.i32(s.fastestOverrides);
+  w.i32(s.spanRebuilds);
+  w.i32(s.spanUpdates);
+  w.i32(s.spanOpsRecomputed);
+  w.i32(s.readyScans);
+  w.i32(s.latRebuilds);
+  w.i32(s.latUpdates);
+  w.i64(s.slackOpsRecomputed);
+  w.i32(s.relaxResumes);
+  w.i32(s.passOpsReplaced);
+  w.i32(s.budgetReuses);
+  w.i32(s.grantEscalations);
+  w.i32(s.budgetValveHits);
+  w.f64(s.latencySeconds);
+  w.f64(s.timingSeconds);
+  w.f64(s.relaxSeconds);
+}
+
+SchedulerStats readStats(ByteReader& r) {
+  SchedulerStats s;
+  s.schedulePasses = r.i32();
+  s.relaxations = r.i32();
+  s.timingAnalyses = r.i32();
+  s.resourcesAdded = r.i32();
+  s.statesAdded = r.i32();
+  s.fastestOverrides = r.i32();
+  s.spanRebuilds = r.i32();
+  s.spanUpdates = r.i32();
+  s.spanOpsRecomputed = r.i32();
+  s.readyScans = r.i32();
+  s.latRebuilds = r.i32();
+  s.latUpdates = r.i32();
+  s.slackOpsRecomputed = r.i64();
+  s.relaxResumes = r.i32();
+  s.passOpsReplaced = r.i32();
+  s.budgetReuses = r.i32();
+  s.grantEscalations = r.i32();
+  s.budgetValveHits = r.i32();
+  s.latencySeconds = r.f64();
+  s.timingSeconds = r.f64();
+  s.relaxSeconds = r.f64();
+  return s;
+}
+
+void writeResult(ByteWriter& w, const FlowResult& res) {
+  w.u8(res.success ? 1 : 0);
+  w.str(res.failureReason);
+  writeSchedule(w, res.schedule);
+  writeStats(w, res.stats);
+  w.f64(res.area.fuArea);
+  w.f64(res.area.muxArea);
+  w.f64(res.area.regArea);
+  w.f64(res.area.fsmArea);
+  w.f64(res.power.dynamic);
+  w.f64(res.power.energyPerSample);
+  w.f64(res.power.throughput);
+  w.f64(res.schedulingSeconds);
+  w.f64(res.bindingSeconds);
+  w.f64(res.recoverySeconds);
+  w.f64(res.reportSeconds);
+  w.u8(res.latencyReused ? 1 : 0);
+  w.u64(res.states);
+  w.u64(res.componentTasks);
+}
+
+FlowResult readResult(ByteReader& r) {
+  FlowResult res;
+  res.success = r.u8() != 0;
+  res.failureReason = r.str();
+  res.schedule = readSchedule(r);
+  res.stats = readStats(r);
+  res.area.fuArea = r.f64();
+  res.area.muxArea = r.f64();
+  res.area.regArea = r.f64();
+  res.area.fsmArea = r.f64();
+  res.power.dynamic = r.f64();
+  res.power.energyPerSample = r.f64();
+  res.power.throughput = r.f64();
+  res.schedulingSeconds = r.f64();
+  res.bindingSeconds = r.f64();
+  res.recoverySeconds = r.f64();
+  res.reportSeconds = r.f64();
+  res.latencyReused = r.u8() != 0;
+  res.states = static_cast<std::size_t>(r.u64());
+  res.componentTasks = static_cast<std::size_t>(r.u64());
+  return res;
+}
+
+/// Sort key comparing doubles by bit pattern: total order (no NaN traps)
+/// and exactly as discriminating as FlowCacheKey::operator==.
+std::tuple<const std::string&, int, std::uint64_t, std::uint64_t, int,
+           std::uint64_t>
+sortKey(const FlowCacheKey& k) {
+  return {k.workload,
+          k.latencyStates,
+          std::bit_cast<std::uint64_t>(k.clockPeriod),
+          std::bit_cast<std::uint64_t>(k.iterationCycles),
+          static_cast<int>(k.flavor),
+          k.optionsHash};
+}
+
+}  // namespace
+
+bool FlowCache::save(const std::string& path) const {
+  // Snapshot under the shard locks, then serialize and write outside them.
+  std::vector<std::pair<FlowCacheKey, std::shared_ptr<const FlowResult>>>
+      entries;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [key, value] : shard.map) entries.emplace_back(key, value);
+  }
+  std::sort(entries.begin(), entries.end(), [](const auto& a, const auto& b) {
+    return sortKey(a.first) < sortKey(b.first);
+  });
+
+  ByteWriter w;
+  w.u32(kMagic);
+  w.u32(kFileVersion);
+  w.u64(entries.size());
+  for (const auto& [key, value] : entries) {
+    writeKey(w, key);
+    writeResult(w, *value);
+  }
+  w.u64(fnv1a(w.buf.data(), w.buf.size()));
+
+  // Injected tear: drop half the payload straight at the *final* path --
+  // the torn state a crash between write and rename could never produce
+  // with the tmp+rename protocol, which is exactly what load() must
+  // survive as a cold start.
+  if (fault::armed() && fault::fireCacheWriteTear()) {
+    std::ofstream torn(path, std::ios::binary | std::ios::trunc);
+    torn.write(w.buf.data(),
+               static_cast<std::streamsize>(w.buf.size() / 2));
+    THLS_LOG(1, "flow cache save torn by fault injection: ", path);
+    return false;
+  }
+
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      THLS_LOG(1, "flow cache save failed: cannot open ", tmp);
+      return false;
+    }
+    out.write(w.buf.data(), static_cast<std::streamsize>(w.buf.size()));
+    if (!out) {
+      THLS_LOG(1, "flow cache save failed: short write to ", tmp);
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    THLS_LOG(1, "flow cache save failed: cannot rename ", tmp, " -> ", path);
+    std::remove(tmp.c_str());
+    return false;
+  }
+  THLS_LOG(2, "flow cache saved: ", entries.size(), " entries -> ", path);
+  return true;
+}
+
+FlowCacheLoadResult FlowCache::load(const std::string& path) {
+  FlowCacheLoadResult out;
+  std::string buf;
+  {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      THLS_LOG(1, "flow cache cold start: no snapshot at ", path);
+      return out;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    buf = std::move(ss).str();
+  }
+  // Header (magic + version + count) and checksum footer are the floor.
+  if (buf.size() < 4 + 4 + 8 + 8) {
+    THLS_LOG(1, "flow cache cold start: truncated snapshot ", path, " (",
+             buf.size(), " bytes)");
+    return out;
+  }
+  const std::size_t payload = buf.size() - 8;
+  ByteReader footer(buf);
+  footer.pos = payload;
+  if (footer.u64() != fnv1a(buf.data(), payload)) {
+    THLS_LOG(1, "flow cache cold start: checksum mismatch in ", path);
+    return out;
+  }
+
+  ByteReader r(buf);
+  if (r.u32() != kMagic) {
+    THLS_LOG(1, "flow cache cold start: bad magic in ", path);
+    return out;
+  }
+  if (std::uint32_t v = r.u32(); v != kFileVersion) {
+    THLS_LOG(1, "flow cache cold start: snapshot version ", v,
+             " != expected ", kFileVersion, " in ", path);
+    return out;
+  }
+  const std::uint64_t count = r.u64();
+  // Parse every entry into a staging vector first: a malformed payload must
+  // leave the cache untouched, not half-loaded.
+  std::vector<std::pair<FlowCacheKey, FlowResult>> staged;
+  staged.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count && r.ok; ++i) {
+    FlowCacheKey key = readKey(r);
+    FlowResult res = readResult(r);
+    if (r.ok) staged.emplace_back(std::move(key), std::move(res));
+  }
+  if (!r.ok || r.pos != payload) {
+    THLS_LOG(1, "flow cache cold start: malformed snapshot payload in ", path);
+    return out;
+  }
+  for (auto& [key, res] : staged) insert(key, std::move(res));
+  out.loaded = true;
+  out.entries = staged.size();
+  THLS_LOG(2, "flow cache warm start: ", out.entries, " entries from ", path);
+  return out;
 }
 
 }  // namespace thls::explore

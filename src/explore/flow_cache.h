@@ -51,6 +51,14 @@ struct FlowCacheStats {
   std::size_t entries = 0;
 };
 
+/// Outcome of FlowCache::load().  `loaded` is false on a cold start --
+/// missing file, short/truncated file, checksum mismatch, version skew or
+/// any malformed payload -- in which case the cache is left untouched.
+struct FlowCacheLoadResult {
+  bool loaded = false;
+  std::size_t entries = 0;
+};
+
 /// Sharded by key hash so concurrent workers rarely contend on one mutex
 /// (a single lock serialized every lookup+insert of a cold parallel run).
 class FlowCache {
@@ -67,6 +75,31 @@ class FlowCache {
   /// taken during concurrent inserts is per-shard consistent).
   FlowCacheStats stats() const;
   void clear();
+
+  /// On-disk snapshot format version.  Bumped on any layout change; load()
+  /// treats a version-skewed file as a cold start, never as parseable.
+  static constexpr std::uint32_t kFileVersion = 1;
+
+  /// Crash-safe persistence: serializes every entry (versioned binary
+  /// format, FNV-1a checksum footer, entries in a deterministic sorted
+  /// order so identical contents produce byte-identical files) to
+  /// `path`.tmp and atomically renames it over `path` -- a crash mid-save
+  /// leaves the previous snapshot intact.  Cancelled results are never in
+  /// the cache by contract, so every saved entry replays as a complete
+  /// flow.  Returns false (with a THLS_LOG(1) warning) when the file
+  /// cannot be written; the fault::cache_write_tear hook instead tears the
+  /// write -- truncated bytes land at the final path, simulating a crash
+  /// mid-rename -- and also returns false.
+  bool save(const std::string& path) const;
+
+  /// Loads a save() snapshot into this cache (entries are insert()ed, so
+  /// pre-existing keys keep their first-writer value).  Any anomaly --
+  /// missing file, truncation, checksum mismatch, bad magic, version skew,
+  /// malformed payload -- logs a THLS_LOG(1) warning and returns
+  /// {loaded=false}, leaving the cache exactly as it was: a corrupt
+  /// snapshot degrades to a cold start, never to a crash or a poisoned
+  /// cache.
+  FlowCacheLoadResult load(const std::string& path);
 
  private:
   static constexpr std::size_t kShards = 16;

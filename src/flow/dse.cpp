@@ -2,10 +2,61 @@
 
 #include <algorithm>
 #include <cmath>
+#include <set>
+#include <utility>
 
 #include "explore/engine.h"
 
 namespace thls {
+
+std::vector<std::string> validateDesignPoints(
+    const std::vector<DesignPoint>& points) {
+  std::vector<std::string> issues;
+  // Duplicate detection compares exact coordinate bit patterns: two points
+  // are redundant work (and ambiguous labels) only when truly identical.
+  std::set<std::pair<int, double>> seen;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const DesignPoint& pt = points[i];
+    const std::string where =
+        strCat("point ", i, pt.name.empty() ? "" : strCat(" '", pt.name, "'"),
+               " (latency=", pt.latencyStates, ", clock=", pt.clockPeriod,
+               ")");
+    if (pt.latencyStates < 1) {
+      issues.push_back(strCat(where, ": latencyStates must be >= 1"));
+      continue;
+    }
+    if (std::isnan(pt.clockPeriod)) {
+      issues.push_back(strCat(where, ": clockPeriod is NaN"));
+      continue;
+    }
+    if (!(pt.clockPeriod > 0) || !std::isfinite(pt.clockPeriod)) {
+      issues.push_back(
+          strCat(where, ": clockPeriod must be positive and finite"));
+      continue;
+    }
+    if (!seen.insert({pt.latencyStates, pt.clockPeriod}).second) {
+      issues.push_back(strCat(where, ": duplicate grid coordinates"));
+    }
+  }
+  return issues;
+}
+
+namespace {
+
+/// Shared guard for both explore entry points (serial + engine): they are
+/// differentially compared, so they must reject identically too.
+void requireValidGrid(const std::vector<DesignPoint>& points) {
+  std::vector<std::string> issues = validateDesignPoints(points);
+  if (issues.empty()) return;
+  std::string joined;
+  for (const std::string& s : issues) {
+    if (!joined.empty()) joined += "; ";
+    joined += s;
+  }
+  throw HlsError(strCat("invalid design grid: ", joined));
+}
+
+}  // namespace
 
 DseSummary summarizeDsePoints(std::vector<DsePointResult> points) {
   DseSummary summary;
@@ -49,6 +100,7 @@ DseSummary exploreDesignSpace(
     const std::function<Behavior(int latencyStates)>& generator,
     const std::vector<DesignPoint>& points, const ResourceLibrary& lib,
     const FlowOptions& base, int threads, bool useCache) {
+  requireValidGrid(points);
   explore::EngineOptions eopts;
   eopts.threads = threads;
   eopts.useCache = useCache;
@@ -61,6 +113,7 @@ DseSummary exploreDesignSpaceSerial(
     const std::function<Behavior(int latencyStates)>& generator,
     const std::vector<DesignPoint>& points, const ResourceLibrary& lib,
     const FlowOptions& base) {
+  requireValidGrid(points);
   std::vector<DsePointResult> rows;
   for (const DesignPoint& pt : points) {
     DsePointResult r;

@@ -27,6 +27,14 @@ struct DsePointResult {
   FlowResult slack;
   /// Absent when the flows cannot be compared (a failure or zero conv area).
   std::optional<double> savingPercent;
+  /// Non-empty when evaluating this point threw (a generator or flow
+  /// exception, including injected faults): both flows are reported as
+  /// failed with this message and the rest of the grid keeps running
+  /// (`dse.point_failed` metric + trace instant).
+  std::string error;
+  /// True when the point was skipped or stopped by a CancelToken; the
+  /// point was not evaluated and its flows carry cancelled outcomes.
+  bool cancelled = false;
 };
 
 struct DseSummary {
@@ -45,6 +53,15 @@ struct DseSummary {
 /// Folds evaluated rows into the summary (average saving + guarded ranges).
 /// Shared by the serial reference loop and the parallel explore engine.
 DseSummary summarizeDsePoints(std::vector<DsePointResult> points);
+
+/// Validates a DSE grid before any point touches a worker: every point
+/// needs latencyStates >= 1 and a positive, finite clockPeriod, and no two
+/// points may share (latencyStates, clockPeriod) coordinates.  Returns one
+/// human-readable issue per offending point (empty = valid).  Both explore
+/// entry points and the campaign/job-service layers reject invalid grids
+/// with an HlsError listing these issues.
+std::vector<std::string> validateDesignPoints(
+    const std::vector<DesignPoint>& points);
 
 /// `generator(latencyStates)` must build the workload targeting the given
 /// number of states.  Evaluates points on the explore-engine worker pool

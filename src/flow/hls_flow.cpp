@@ -19,6 +19,11 @@ namespace {
 void recordFlowMetrics(const FlowResult& r) {
   if (!metrics::enabled()) return;
   metrics::add("flow.runs");
+  if (r.cancelled) {
+    // Cancelled is not a failure: the run was stopped, not wrong.
+    metrics::add("flow.cancelled");
+    return;
+  }
   if (!r.success) {
     metrics::add("flow.failures");
     return;
@@ -70,6 +75,17 @@ FlowResult runFlow(Behavior bhv, const ResourceLibrary& lib,
                                ? "slowest"
                                : "budgeted");
 
+  const CancelToken& cancel = opts.sched.cancel;
+  auto cancelledResult = [&]() -> FlowResult& {
+    result.success = false;
+    result.cancelled = true;
+    result.failureReason = "cancelled";
+    flowSpan.arg("success", false).arg("cancelled", true);
+    recordFlowMetrics(result);
+    return result;
+  };
+  if (cancel.cancelled()) return cancelledResult();
+
   auto t0 = std::chrono::steady_clock::now();
   ScheduleOutcome outcome;
   {
@@ -104,6 +120,13 @@ FlowResult runFlow(Behavior bhv, const ResourceLibrary& lib,
           outcome.stats = merged.stats;
           outcome.initialBudgets = std::move(merged.initialBudgets);
           result.componentTasks = active.size();
+        } else if (cancel.cancelled()) {
+          // The merge failed because component tasks were cancelled (or the
+          // token fired during the merge): do NOT roll back to a monolithic
+          // pass -- that would re-run the whole schedule the caller just
+          // asked to stop.
+          result.stats = merged.stats;
+          return cancelledResult();
         } else {
           THLS_LOG(2, "componentPipeline: rolling back to the monolithic "
                       "scheduler (",
@@ -123,6 +146,7 @@ FlowResult runFlow(Behavior bhv, const ResourceLibrary& lib,
   flowSpan.arg("states", result.states)
       .arg("component_tasks", result.componentTasks);
 
+  if (outcome.cancelled || cancel.cancelled()) return cancelledResult();
   if (!outcome.success) {
     result.failureReason = outcome.failureReason;
     flowSpan.arg("success", false);
@@ -143,17 +167,20 @@ FlowResult runFlow(Behavior bhv, const ResourceLibrary& lib,
     ScopedSecondsTimer timer(result.bindingSeconds);
     THLS_TRACE_SPAN("flow.bind");
     compactBinding(bhv, *lat, lib, sched, opts.sched.maxShare,
-                   opts.incrementalBinding);
+                   opts.incrementalBinding, cancel);
   }
+  if (cancel.cancelled()) return cancelledResult();
   if (opts.areaRecovery) {
     ScopedSecondsTimer timer(result.recoverySeconds);
     THLS_TRACE_SPAN("flow.recover");
     RecoveryOptions ropts;
     ropts.incremental = opts.incrementalBinding;
+    ropts.cancel = cancel;
     RecoveryResult rec =
         stateLocalAreaRecovery(bhv, *lat, std::move(sched), lib, ropts);
     sched = std::move(rec.schedule);
   }
+  if (cancel.cancelled()) return cancelledResult();
 
   {
     ScopedSecondsTimer timer(result.reportSeconds);

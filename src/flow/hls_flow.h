@@ -56,6 +56,12 @@ struct FlowOptions {
 
 struct FlowResult {
   bool success = false;
+  /// True when SchedulerOptions::cancel stopped the flow (at a scheduler
+  /// round, a budgeting iteration, a binding/recovery sweep, or a phase
+  /// boundary).  Always paired with success == false and failureReason ==
+  /// "cancelled"; partial phase results are discarded.  A cancelled result
+  /// must never enter the FlowCache or a Pareto archive.
+  bool cancelled = false;
   std::string failureReason;
   Schedule schedule;  ///< after area recovery
   SchedulerStats stats;

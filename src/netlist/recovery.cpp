@@ -97,6 +97,7 @@ RecoveryResult recoverLegacy(const Behavior& bhv, const LatencyTable& lat,
   bool changed = true;
   int guard = 0;
   while (changed && guard++ < opts.maxResizes) {
+    if (opts.cancel.cancelled()) break;
     changed = false;
     recomputeChainStarts(bhv, lat, lib, sched);
     std::vector<double> finReq;
@@ -202,6 +203,7 @@ RecoveryResult recoverIncremental(const Behavior& bhv, const LatencyTable& lat,
 
   double savedTotal = 0;
   while (result.fusResized < opts.maxResizes) {
+    if (opts.cancel.cancelled()) break;
     while (!queue.empty() && queue.front().stamp != stamp[queue.front().fu]) {
       std::pop_heap(queue.begin(), queue.end(), worse);
       queue.pop_back();

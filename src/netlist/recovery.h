@@ -11,6 +11,7 @@
 #pragma once
 
 #include "sched/schedule.h"
+#include "support/cancel.h"
 
 namespace thls {
 
@@ -25,6 +26,10 @@ struct RecoveryOptions {
   /// Resize budget per invocation (the legacy loop guard).  Exceeding it
   /// sets RecoveryResult::guardExhausted instead of failing.
   int maxResizes = 1000;
+  /// Cooperative cancellation, polled once per resize.  Each resize leaves
+  /// a consistent schedule, so a cancelled pass just returns early with the
+  /// recovery applied so far (discarded by a cancelled flow anyway).
+  CancelToken cancel;
 };
 
 struct RecoveryResult {

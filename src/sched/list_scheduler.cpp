@@ -20,7 +20,7 @@ namespace {
 
 constexpr double kEps = 1e-6;
 
-enum class FailReason { kNone, kResource, kTiming, kBudgetInfeasible };
+enum class FailReason { kNone, kResource, kTiming, kBudgetInfeasible, kCancelled };
 
 struct PassFailure {
   FailReason reason = FailReason::kNone;
@@ -455,6 +455,7 @@ void SchedulerImpl::rebudget(PassState& ps, const LatencyTable& lat,
   bopts.marginFraction = opts_.marginFraction;
   bopts.engine = opts_.engine;
   bopts.incrementalSlack = opts_.incrementalSlack;
+  bopts.cancel = opts_.cancel;
   SeededSlackState seededState;
   SeededSlackState* seededPtr = nullptr;
   if (opts_.incrementalSpans && slackEngine_) {
@@ -547,6 +548,7 @@ bool SchedulerImpl::schedulePass(PassFailure* failure,
   bopts.marginFraction = opts_.marginFraction;
   bopts.engine = opts_.engine;
   bopts.incrementalSlack = opts_.incrementalSlack;
+  bopts.cancel = opts_.cancel;
 
   std::unique_ptr<OpSpanAnalysis> spans;
   if (resume) {
@@ -606,6 +608,12 @@ bool SchedulerImpl::schedulePass(PassFailure* failure,
       while (placedAny && remaining > 0) {
         placedAny = false;
         THLS_TRACE_SPAN("sched.round");
+        // Cancellation boundary: one poll per placement round bounds the
+        // cancel latency to a single round's work.
+        if (opts_.cancel.cancelled()) {
+          failure->reason = FailReason::kCancelled;
+          return false;
+        }
         if (opts_.incrementalRelaxation) {
           noteRoundStart(ps, readyPool, unsatisfied, remaining, eIdx,
                          readyHere, repaired);
@@ -820,6 +828,12 @@ bool SchedulerImpl::setupFreshPass(PassFailure* failure, PassState* psOut,
           1 + fresh.negativeIterations + fresh.positiveGrants;
       stats_.slackOpsRecomputed += fresh.slackOpsRecomputed;
       if (fresh.positiveGrantsValve) stats_.budgetValveHits++;
+      if (fresh.cancelled) {
+        // A cancelled budgeting run is incomplete: report the pass as
+        // cancelled and never let the partial result into budgetCache_.
+        failure->reason = FailReason::kCancelled;
+        return false;
+      }
       if (opts_.incrementalRelaxation) {
         budgetCache_ = std::make_unique<BudgetResult>(std::move(fresh));
         budgetCacheVersion_ = cfg.structureVersion();
@@ -1025,6 +1039,7 @@ bool SchedulerImpl::relax(const PassFailure& failure, RelaxOutcome* out) {
       return false;
     }
     case FailReason::kNone:
+    case FailReason::kCancelled:  // run() returns before relaxing
       return false;
   }
   return false;
@@ -1186,8 +1201,18 @@ ScheduleOutcome SchedulerImpl::run() {
   budgetBounds_ = budgetBoundsFor(bhv_.dfg, lib_, opts_.clockPeriod);
 
   ScheduleOutcome outcome;
+  auto cancelledOutcome = [&]() {
+    ScheduleOutcome out;
+    out.success = false;
+    out.cancelled = true;
+    out.failureReason = "cancelled";
+    out.stats = stats_;
+    return out;
+  };
   std::unique_ptr<RoundCheckpoint> resume;
   for (int attempt = 0; attempt <= opts_.maxRelaxations; ++attempt) {
+    // Prompt return for tokens cancelled before (or between) passes.
+    if (opts_.cancel.cancelled()) return cancelledOutcome();
     PassFailure failure;
     if (schedulePass(&failure, resume.get())) {
       outcome.success = true;
@@ -1199,6 +1224,7 @@ ScheduleOutcome SchedulerImpl::run() {
       outcome.latency = std::shared_ptr<const LatencyTable>(std::move(lat_));
       return outcome;
     }
+    if (failure.reason == FailReason::kCancelled) return cancelledOutcome();
     resume.reset();
     bool relaxed = false;
     if (attempt < opts_.maxRelaxations) {

@@ -22,6 +22,7 @@
 
 #include "budget/budgeter.h"
 #include "sched/schedule.h"
+#include "support/cancel.h"
 
 namespace thls {
 
@@ -85,6 +86,14 @@ struct SchedulerOptions {
   /// are bit-for-bit identical either way (differentially tested in
   /// tests/relaxation_incremental_test.cpp).
   bool incrementalRelaxation = true;
+  /// Cooperative cancellation (support/cancel.h), polled at pass starts,
+  /// placement-round boundaries, and inside the budgeting loops.  A
+  /// cancelled run returns `ScheduleOutcome::cancelled` within one
+  /// placement round -- never an exception mid-mutation.  Like the flow's
+  /// TaskPool pointer, the token does not participate in option hashing
+  /// (explore/flow_cache.h): it changes when a run stops, not what it
+  /// computes.
+  CancelToken cancel;
 };
 
 /// Per-run scheduler instrumentation.  Every field is documented in
@@ -120,6 +129,9 @@ struct SchedulerStats {
 
 struct ScheduleOutcome {
   bool success = false;
+  /// True when the run stopped because SchedulerOptions::cancel fired.
+  /// Always paired with success == false and failureReason == "cancelled".
+  bool cancelled = false;
   Schedule schedule;
   std::string failureReason;
   SchedulerStats stats;

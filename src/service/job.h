@@ -1,0 +1,84 @@
+// DSE job-service types: requests, lifecycle states, progress snapshots.
+//
+// A job is one (workload, grid, options) DSE batch submitted to the
+// JobService (service/job_service.h).  States move strictly forward:
+//
+//   kQueued ----> kRunning ----> kSucceeded | kFailed | kCancelled
+//      \--> kCancelled (cancelled before a worker picked it up)
+//   kRejected (validation or admission failure; never queued)
+//
+// and every terminal state is final -- a job object is never reused.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "explore/engine.h"
+
+namespace thls::service {
+
+/// Service-scoped job handle; 0 is never issued (the invalid sentinel).
+using JobId = std::uint64_t;
+inline constexpr JobId kInvalidJobId = 0;
+
+enum class JobState {
+  kQueued,     ///< admitted, waiting for a worker (FIFO)
+  kRunning,    ///< a worker is evaluating the grid
+  kSucceeded,  ///< every point ran (individual points may still have failed)
+  kFailed,     ///< the job itself threw outside per-point degradation
+  kCancelled,  ///< stopped by token, deadline, or service shutdown
+  kRejected,   ///< refused before queueing (bad request or queue full)
+};
+
+const char* toString(JobState s);
+
+/// True for the states a job can never leave.
+bool isTerminal(JobState s);
+
+struct JobRequest {
+  /// Cache / front scoping tag; must be non-empty (the flow cache keys on
+  /// it, so an empty name would alias every unnamed job's results).
+  std::string workload;
+  /// Behavior generator, invoked as generator(latencyStates) under the
+  /// engine's serialization mutex; must be non-null and deterministic per
+  /// latency (the flow-cache contract).
+  explore::GeneratorFn generator;
+  /// Design grid; validated by validateJobRequest before any worker sees
+  /// it (service/job_validation.h).
+  std::vector<DesignPoint> points;
+  /// Wall-clock budget in seconds, armed when the job *starts running* --
+  /// queue wait does not consume it.  <= 0 means no deadline.  An expired
+  /// deadline cancels the job cooperatively (state kCancelled, error
+  /// "deadline exceeded"): in-flight points stop at the next cancellation
+  /// poll, so the observed stop latency is bounded by one scheduler round.
+  double deadlineSeconds = 0;
+  /// Caller-held cancellation, composed with the job's own source: firing
+  /// this token cancels the job (and only this job) whether queued or
+  /// running.  Default (invalid) token = cancellable only via
+  /// JobService::cancel() / the deadline.
+  CancelToken cancel;
+};
+
+/// Lock-free progress snapshot, safe to poll from any thread while the job
+/// runs.  Counts follow ExploreEngine semantics: evaluated includes failed
+/// (degraded) points, cancelled points are counted separately.
+struct JobProgress {
+  JobState state = JobState::kQueued;
+  std::size_t pointsTotal = 0;
+  std::size_t pointsEvaluated = 0;
+  std::size_t pointsFailed = 0;
+  std::size_t pointsCancelled = 0;
+};
+
+/// Terminal outcome of a job.  `summary.points` carries the per-point rows
+/// (including degraded/cancelled markers); `front` is the job's final
+/// Pareto front.  For kRejected / kFailed / kCancelled, `error` says why.
+struct JobResult {
+  JobState state = JobState::kQueued;
+  std::string error;
+  DseSummary summary;
+  std::vector<explore::ParetoEntry> front;
+};
+
+}  // namespace thls::service

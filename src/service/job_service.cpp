@@ -1,0 +1,287 @@
+#include "service/job_service.h"
+
+#include <algorithm>
+
+#include "service/job_validation.h"
+#include "support/diagnostics.h"
+#include "support/metrics.h"
+#include "support/trace.h"
+
+namespace thls::service {
+
+namespace {
+
+std::string joinIssues(const std::vector<std::string>& issues) {
+  std::string joined;
+  for (const std::string& s : issues) {
+    if (!joined.empty()) joined += "; ";
+    joined += s;
+  }
+  return joined;
+}
+
+}  // namespace
+
+JobService::JobService(const ResourceLibrary& lib, JobServiceOptions opts)
+    : lib_(lib), opts_(std::move(opts)) {
+  if (!opts_.cachePath.empty()) {
+    explore::FlowCacheLoadResult warm = cache_.load(opts_.cachePath);
+    if (metrics::enabled()) {
+      metrics::setGauge("job.cache_warm_entries",
+                        static_cast<double>(warm.entries));
+    }
+  }
+  const int workers = std::max(1, opts_.maxConcurrentJobs);
+  workers_.reserve(static_cast<std::size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { workerLoop(); });
+  }
+}
+
+JobService::~JobService() { shutdown(); }
+
+JobId JobService::submit(JobRequest req) {
+  std::vector<std::string> issues = validateJobRequest(req);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  auto job = std::make_shared<Job>(std::move(req));
+  job->id = nextId_++;
+  if (stopping_) {
+    issues.push_back("service is shutting down");
+  } else if (issues.empty() && opts_.maxQueuedJobs > 0 &&
+             queue_.size() >= static_cast<std::size_t>(opts_.maxQueuedJobs)) {
+    issues.push_back(
+        strCat("queue full (", queue_.size(), " jobs already waiting)"));
+  }
+  if (!issues.empty()) {
+    job->state = JobState::kRejected;
+    job->error = joinIssues(issues);
+    jobs_.emplace(job->id, job);
+    THLS_LOG(1, "job ", job->id, " rejected: ", job->error);
+    if (metrics::enabled()) metrics::add("job.rejected");
+    // Terminal on arrival: waiters must not block on a job that will
+    // never reach a worker.
+    doneCv_.notify_all();
+    return job->id;
+  }
+  jobs_.emplace(job->id, job);
+  queue_.push_back(job);
+  if (metrics::enabled()) {
+    metrics::add("job.submitted");
+    metrics::setGauge("job.queue_depth", static_cast<double>(queue_.size()));
+  }
+  workCv_.notify_one();
+  return job->id;
+}
+
+void JobService::workerLoop() {
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      workCv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and nothing left to drain
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      if (metrics::enabled()) {
+        metrics::setGauge("job.queue_depth",
+                          static_cast<double>(queue_.size()));
+      }
+      // Cancelled while queued: already terminal, nothing to run.
+      if (job->state != JobState::kQueued) continue;
+      job->state = JobState::kRunning;
+    }
+
+    std::string error;
+    JobState final = runJob(*job, &error);
+
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      job->error = std::move(error);
+      job->state = final;
+    }
+    doneCv_.notify_all();
+  }
+}
+
+JobState JobService::runJob(Job& job, std::string* error) {
+  THLS_TRACE_SPAN_V(span, "job.run");
+  span.arg("job", static_cast<std::size_t>(job.id))
+      .arg("workload", job.req.workload)
+      .arg("points", job.req.points.size());
+  if (metrics::enabled()) metrics::add("job.started");
+
+  try {
+    // The deadline is armed here, not at submit(): queue wait must not
+    // consume the caller's wall-clock budget.
+    if (job.req.deadlineSeconds > 0) {
+      job.source.setDeadlineAfter(job.req.deadlineSeconds);
+    }
+    const CancelToken token = job.source.token();
+
+    explore::EngineOptions eopts;
+    eopts.threads = opts_.threads;
+    eopts.pool = opts_.pool;
+    eopts.useCache = opts_.useCache;
+    eopts.cache = &cache_;
+    eopts.onPoint = [&job](const explore::EvaluatedPoint& ev) {
+      if (ev.result.cancelled) {
+        job.cancelledPoints.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        job.evaluated.fetch_add(1, std::memory_order_relaxed);
+        if (!ev.result.error.empty()) {
+          job.failed.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    };
+    explore::ExploreEngine engine(lib_, opts_.base, eopts);
+
+    std::vector<explore::EvaluatedPoint> points = engine.evaluate(
+        job.req.workload, job.req.generator, job.req.points, &job.archive,
+        token);
+
+    const bool cancelled =
+        token.cancelled() ||
+        std::any_of(points.begin(), points.end(),
+                    [](const explore::EvaluatedPoint& p) {
+                      return p.result.cancelled;
+                    });
+    DseSummary summary =
+        summarizeDsePoints(explore::toDsePoints(std::move(points)));
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      job.summary = std::move(summary);
+    }
+    if (cancelled) {
+      const bool deadline = token.deadlineExpired();
+      *error = deadline ? "deadline exceeded" : "cancelled";
+      span.arg("state", "cancelled").arg("deadline", deadline);
+      if (metrics::enabled()) {
+        metrics::add("job.cancelled");
+        if (deadline) metrics::add("job.deadline_exceeded");
+      }
+      THLS_LOG(1, "job ", job.id, " cancelled (", *error, ")");
+      return JobState::kCancelled;
+    }
+    span.arg("state", "succeeded")
+        .arg("failed_points",
+             job.failed.load(std::memory_order_relaxed));
+    if (metrics::enabled()) metrics::add("job.succeeded");
+    return JobState::kSucceeded;
+  } catch (const std::exception& e) {
+    // Per-point throws already degraded inside the engine; reaching here
+    // means the job itself broke (generator setup, engine construction).
+    // The service must outlive it: record and move to the next job.
+    *error = e.what();
+    span.arg("state", "failed").arg("error", *error);
+    if (metrics::enabled()) metrics::add("job.failed");
+    THLS_LOG(1, "job ", job.id, " failed: ", *error);
+    return JobState::kFailed;
+  }
+}
+
+std::shared_ptr<JobService::Job> JobService::find(JobId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = jobs_.find(id);
+  return it == jobs_.end() ? nullptr : it->second;
+}
+
+JobProgress JobService::progress(JobId id) const {
+  JobProgress p;
+  std::shared_ptr<Job> job = find(id);
+  if (!job) {
+    p.state = JobState::kRejected;
+    return p;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    p.state = job->state;
+  }
+  p.pointsTotal = job->req.points.size();
+  p.pointsEvaluated = job->evaluated.load(std::memory_order_relaxed);
+  p.pointsFailed = job->failed.load(std::memory_order_relaxed);
+  p.pointsCancelled = job->cancelledPoints.load(std::memory_order_relaxed);
+  return p;
+}
+
+std::vector<explore::ParetoEntry> JobService::front(JobId id) const {
+  std::shared_ptr<Job> job = find(id);
+  return job ? job->archive.front() : std::vector<explore::ParetoEntry>{};
+}
+
+JobResult JobService::result(JobId id) const {
+  JobResult r;
+  std::shared_ptr<Job> job = find(id);
+  if (!job) {
+    r.state = JobState::kRejected;
+    r.error = "unknown job id";
+    return r;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  r.state = job->state;
+  r.error = job->error;
+  if (isTerminal(job->state)) {
+    r.summary = job->summary;
+    r.front = job->archive.front();
+  }
+  return r;
+}
+
+bool JobService::cancel(JobId id) {
+  std::shared_ptr<Job> job = find(id);
+  if (!job) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (isTerminal(job->state)) return false;
+  job->source.cancel();
+  if (job->state == JobState::kQueued) {
+    // Never picked up: terminal right away (the worker skips it).
+    job->state = JobState::kCancelled;
+    job->error = "cancelled";
+    if (metrics::enabled()) metrics::add("job.cancelled");
+    doneCv_.notify_all();
+  }
+  return true;
+}
+
+JobState JobService::wait(JobId id) {
+  std::shared_ptr<Job> job = find(id);
+  if (!job) return JobState::kRejected;
+  std::unique_lock<std::mutex> lock(mu_);
+  doneCv_.wait(lock, [&] { return isTerminal(job->state); });
+  return job->state;
+}
+
+std::size_t JobService::queueDepth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+bool JobService::saveCache() {
+  if (opts_.cachePath.empty()) return false;
+  return cache_.save(opts_.cachePath);
+}
+
+void JobService::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_ && workers_.empty()) return;
+    stopping_ = true;
+    // Queued jobs will never run: cancel them now so waiters unblock.
+    for (std::shared_ptr<Job>& job : queue_) {
+      job->source.cancel();
+      job->state = JobState::kCancelled;
+      job->error = "service shutdown";
+      if (metrics::enabled()) metrics::add("job.cancelled");
+    }
+    queue_.clear();
+  }
+  workCv_.notify_all();
+  doneCv_.notify_all();
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+  workers_.clear();
+  saveCache();
+}
+
+}  // namespace thls::service

@@ -1,0 +1,152 @@
+// Deadline- and cancellation-aware DSE job service.
+//
+// Long-running exploration as a service: callers submit() (workload, grid)
+// jobs and get an id back immediately; a fixed set of worker threads drains
+// the FIFO queue, each job evaluated by an ExploreEngine drawing on the
+// process-wide shared TaskPool (so N concurrent jobs and their component
+// tasks share one machine-wide worker budget instead of oversubscribing).
+// Robustness contract:
+//
+//  * malformed requests are Rejected at submit() with every offending
+//    coordinate listed (service/job_validation.h) -- nothing reaches a
+//    worker;
+//  * admission is bounded: when maxQueuedJobs jobs are already waiting,
+//    submit() rejects ("queue full") instead of growing without limit;
+//  * every job has its own CancelSource, composed with the caller's
+//    optional token; cancel() stops a queued job instantly and a running
+//    one within a bounded number of cancellation polls (one scheduler
+//    round);
+//  * deadlines are armed when the job starts running (queue wait is free)
+//    and expire into the same cooperative-cancel path (error "deadline
+//    exceeded");
+//  * one throwing design point degrades to a failed row, the rest of the
+//    grid keeps running (ExploreEngine's per-point catch); only a failure
+//    outside that degradation marks the whole job kFailed;
+//  * all jobs share one FlowCache, optionally persisted crash-safely to
+//    JobServiceOptions::cachePath (loaded at construction, saved at
+//    shutdown; see explore/flow_cache.h for the corruption policy).
+//
+// Progress is observable while a job runs: progress() reads lock-free
+// counters fed by the engine's onPoint hook, front() snapshots the job's
+// live Pareto archive.  Every job emits a "job.run" trace span and job.*
+// metrics (docs/observability.md).
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "service/job.h"
+
+namespace thls::service {
+
+struct JobServiceOptions {
+  /// Base flow options every job runs under (per-point clock/latency are
+  /// overridden per grid coordinate, like any DSE run).
+  FlowOptions base;
+  /// Worker threads draining the job queue = the concurrent-job cap.
+  int maxConcurrentJobs = 1;
+  /// Admission bound: submissions beyond this many *waiting* jobs are
+  /// Rejected ("queue full").  <= 0 means unbounded.
+  int maxQueuedJobs = 64;
+  /// Per-job engine width (EngineOptions::threads); 0 = as wide as the
+  /// pool.  All jobs share `pool` (null = the process-wide
+  /// TaskPool::shared()), so concurrent jobs time-slice one budget.
+  int threads = 0;
+  TaskPool* pool = nullptr;
+  bool useCache = true;
+  /// Persistent flow-cache snapshot path; empty = in-memory only.  Loaded
+  /// (cold start on any corruption) at construction, saved at shutdown
+  /// and on saveCache().
+  std::string cachePath;
+};
+
+class JobService {
+ public:
+  /// The library is captured by reference and must outlive the service
+  /// (matching ExploreEngine's own copy-in happens per job).
+  JobService(const ResourceLibrary& lib, JobServiceOptions opts);
+  ~JobService();
+  JobService(const JobService&) = delete;
+  JobService& operator=(const JobService&) = delete;
+
+  /// Validates and enqueues a job.  Always returns a queryable id, even
+  /// for rejected requests -- result(id).error then lists every issue.
+  JobId submit(JobRequest req);
+
+  /// Live progress snapshot; unknown ids report a default (kRejected,
+  /// zero-count) snapshot.
+  JobProgress progress(JobId id) const;
+
+  /// The job's current Pareto front (incrementally updated while the job
+  /// runs; final once the job is terminal).  Deterministic total order.
+  std::vector<explore::ParetoEntry> front(JobId id) const;
+
+  /// Terminal outcome (rows + summary + front).  For a job that is not
+  /// yet terminal, returns a snapshot with the current state and no rows.
+  JobResult result(JobId id) const;
+
+  /// Requests cancellation: a queued job goes terminal immediately, a
+  /// running one stops at its next cancellation poll.  Returns false for
+  /// unknown or already-terminal ids.
+  bool cancel(JobId id);
+
+  /// Blocks until the job is terminal; returns its final state.
+  JobState wait(JobId id);
+
+  /// Jobs admitted and not yet picked up by a worker.
+  std::size_t queueDepth() const;
+
+  explore::FlowCacheStats cacheStats() const { return cache_.stats(); }
+  /// Persists the shared flow cache to cachePath (no-op without one).
+  bool saveCache();
+
+  /// Stops admission, cancels queued jobs, waits for running jobs to
+  /// finish (they keep their own deadlines/tokens -- cancel them first
+  /// for a fast stop), saves the cache, joins the workers.  Idempotent;
+  /// also run by the destructor.
+  void shutdown();
+
+ private:
+  struct Job {
+    JobId id = kInvalidJobId;
+    JobRequest req;
+    JobState state = JobState::kQueued;  ///< guarded by the service mutex
+    std::string error;                   ///< guarded by the service mutex
+    /// Per-job cancellation, parented to req.cancel; the deadline is
+    /// armed on this source when the job starts running.
+    CancelSource source;
+    explore::ParetoArchive archive;  ///< internally thread-safe
+    std::atomic<std::size_t> evaluated{0};
+    std::atomic<std::size_t> failed{0};
+    std::atomic<std::size_t> cancelledPoints{0};
+    DseSummary summary;  ///< written by the worker before the state flip
+
+    explicit Job(JobRequest r)
+        : req(std::move(r)), source(req.cancel) {}
+  };
+
+  void workerLoop();
+  /// Runs one job end to end (engine, deadline, counters, summary) and
+  /// returns its terminal state; never throws.
+  JobState runJob(Job& job, std::string* error);
+  std::shared_ptr<Job> find(JobId id) const;
+
+  const ResourceLibrary& lib_;
+  JobServiceOptions opts_;
+  explore::FlowCache cache_;
+
+  mutable std::mutex mu_;
+  std::condition_variable workCv_;   ///< workers: queue or stop changed
+  std::condition_variable doneCv_;   ///< waiters: some job went terminal
+  std::unordered_map<JobId, std::shared_ptr<Job>> jobs_;
+  std::deque<std::shared_ptr<Job>> queue_;
+  JobId nextId_ = 1;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace thls::service

@@ -1,0 +1,44 @@
+#include "service/job_validation.h"
+
+#include <cmath>
+
+namespace thls::service {
+
+const char* toString(JobState s) {
+  switch (s) {
+    case JobState::kQueued: return "queued";
+    case JobState::kRunning: return "running";
+    case JobState::kSucceeded: return "succeeded";
+    case JobState::kFailed: return "failed";
+    case JobState::kCancelled: return "cancelled";
+    case JobState::kRejected: return "rejected";
+  }
+  return "unknown";
+}
+
+bool isTerminal(JobState s) {
+  return s == JobState::kSucceeded || s == JobState::kFailed ||
+         s == JobState::kCancelled || s == JobState::kRejected;
+}
+
+std::vector<std::string> validateJobRequest(const JobRequest& req) {
+  std::vector<std::string> issues;
+  if (req.workload.empty()) {
+    issues.push_back("workload name must be non-empty");
+  }
+  if (!req.generator) {
+    issues.push_back("generator must be non-null");
+  }
+  if (req.points.empty()) {
+    issues.push_back("design grid must be non-empty");
+  }
+  for (std::string& s : validateDesignPoints(req.points)) {
+    issues.push_back(std::move(s));
+  }
+  if (std::isnan(req.deadlineSeconds)) {
+    issues.push_back("deadlineSeconds is NaN (use <= 0 for no deadline)");
+  }
+  return issues;
+}
+
+}  // namespace thls::service

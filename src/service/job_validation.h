@@ -1,0 +1,25 @@
+// Pre-admission validation of DSE job requests.
+//
+// Every malformed request is rejected before it can reach a worker thread:
+// a bad grid coordinate discovered mid-campaign would waste the queue's
+// budget and leave a half-evaluated job, while rejection at submit() is
+// free and names every offending field.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "service/job.h"
+
+namespace thls::service {
+
+/// Returns one human-readable issue per defect (empty = admissible):
+///  * workload name must be non-empty (it scopes the flow cache),
+///  * generator must be non-null,
+///  * the grid must be non-empty and pass validateDesignPoints (positive
+///    finite clocks, latencies >= 1, no duplicate coordinates -- each
+///    issue lists the offending point's index, name and coordinates),
+///  * deadlineSeconds must not be NaN (any value <= 0 just means "none").
+std::vector<std::string> validateJobRequest(const JobRequest& req);
+
+}  // namespace thls::service

@@ -1,0 +1,67 @@
+#include "support/cancel.h"
+
+namespace thls {
+namespace {
+
+std::int64_t nowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+bool CancelToken::cancelled() const {
+  std::int64_t now = 0;
+  for (const State* s = state_.get(); s != nullptr; s = s->parent.get()) {
+    if (s->flag.load(std::memory_order_relaxed)) return true;
+    const std::int64_t deadline = s->deadlineNs.load(std::memory_order_relaxed);
+    if (deadline != 0) {
+      if (now == 0) now = nowNs();
+      if (now >= deadline) return true;
+    }
+  }
+  return false;
+}
+
+bool CancelToken::deadlineExpired() const {
+  std::int64_t now = 0;
+  for (const State* s = state_.get(); s != nullptr; s = s->parent.get()) {
+    const std::int64_t deadline = s->deadlineNs.load(std::memory_order_relaxed);
+    if (deadline != 0) {
+      if (now == 0) now = nowNs();
+      if (now >= deadline) return true;
+    }
+  }
+  return false;
+}
+
+CancelSource::CancelSource() : state_(std::make_shared<CancelToken::State>()) {}
+
+CancelSource::CancelSource(const CancelToken& parent)
+    : state_(std::make_shared<CancelToken::State>()) {
+  state_->parent = parent.state_;
+}
+
+void CancelSource::cancel() {
+  state_->flag.store(true, std::memory_order_relaxed);
+}
+
+void CancelSource::setDeadlineAfter(double seconds) {
+  if (!(seconds > 0)) {
+    state_->deadlineNs.store(0, std::memory_order_relaxed);
+    return;
+  }
+  const auto ns = static_cast<std::int64_t>(seconds * 1e9);
+  state_->deadlineNs.store(nowNs() + ns, std::memory_order_relaxed);
+}
+
+void CancelSource::setDeadline(std::chrono::steady_clock::time_point deadline) {
+  state_->deadlineNs.store(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          deadline.time_since_epoch())
+          .count(),
+      std::memory_order_relaxed);
+}
+
+}  // namespace thls

@@ -1,0 +1,89 @@
+// Cooperative cancellation: CancelToken / CancelSource.
+//
+// A CancelToken is a cheap, copyable handle that long-running passes poll
+// at their natural loop boundaries (scheduler pass/round loops, the
+// budgeting valve loops, binding/recovery sweeps, per-point DSE dispatch).
+// Cancellation is always reported as a flagged *outcome* -- never an
+// exception thrown mid-mutation -- so a cancelled run leaves the engine,
+// the shared TaskPool, and any caller-owned IR reusable.
+//
+// A CancelSource owns the cancellable state.  It supports
+//   - manual cancellation (`cancel()`),
+//   - a deadline (`setDeadlineAfter()` / `setDeadline()`), armable at any
+//     time after tokens were handed out, and
+//   - composition: a source constructed from a parent token is cancelled
+//     whenever the parent is (the job service links a per-job
+//     deadline-bearing source under the caller's token this way).
+//
+// `CancelToken::cancelled()` is a relaxed atomic load per chain link (the
+// chain is one or two links in practice) plus one steady_clock read when a
+// deadline is armed anywhere in the chain.  A default-constructed token
+// never cancels and costs a single null check, so APIs can take it by
+// value with a `{}` default.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+
+namespace thls {
+
+class CancelSource;
+
+class CancelToken {
+ public:
+  CancelToken() = default;
+
+  /// False for a default-constructed token (which can never cancel).
+  bool valid() const { return state_ != nullptr; }
+
+  /// True once the owning source (or any ancestor) was cancelled manually
+  /// or passed its deadline.  Safe to call from any thread.
+  bool cancelled() const;
+
+  /// True when cancellation came from an expired deadline somewhere in the
+  /// chain (as opposed to, or in addition to, a manual cancel()).  Lets
+  /// callers report "deadline exceeded" distinctly.
+  bool deadlineExpired() const;
+
+ private:
+  friend class CancelSource;
+
+  struct State {
+    std::atomic<bool> flag{false};
+    /// Deadline as steady_clock nanoseconds-since-epoch; 0 = none.  Atomic
+    /// so the owner can arm a deadline after tokens were shared.
+    std::atomic<std::int64_t> deadlineNs{0};
+    std::shared_ptr<const State> parent;
+  };
+
+  explicit CancelToken(std::shared_ptr<const State> s)
+      : state_(std::move(s)) {}
+
+  std::shared_ptr<const State> state_;
+};
+
+class CancelSource {
+ public:
+  CancelSource();
+  /// Linked source: cancelled whenever `parent` is, in addition to its own
+  /// cancel()/deadline.  An invalid parent token yields an unlinked source.
+  explicit CancelSource(const CancelToken& parent);
+
+  /// Requests cancellation.  Idempotent; safe from any thread.
+  void cancel();
+
+  /// Arms (or re-arms) a deadline `seconds` from now.  Non-positive or
+  /// non-finite values disarm the deadline.
+  void setDeadlineAfter(double seconds);
+  void setDeadline(std::chrono::steady_clock::time_point deadline);
+
+  bool cancelled() const { return token().cancelled(); }
+  CancelToken token() const { return CancelToken(state_); }
+
+ private:
+  std::shared_ptr<CancelToken::State> state_;
+};
+
+}  // namespace thls

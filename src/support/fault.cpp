@@ -1,0 +1,104 @@
+#include "support/fault.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+
+#include "support/diagnostics.h"
+
+namespace thls::fault {
+namespace {
+
+std::atomic<bool> gArmed{false};
+std::atomic<long long> gThrowAtPoint{0};  // 0 = disarmed
+std::atomic<long long> gPointCalls{0};
+std::atomic<int> gSleepMs{0};
+std::atomic<bool> gCacheWriteTear{false};
+
+void applyEntry(const std::string& key, long long value) {
+  if (key == "throw_at_point") {
+    gThrowAtPoint.store(value, std::memory_order_relaxed);
+  } else if (key == "sleep_at_point_ms") {
+    gSleepMs.store(static_cast<int>(value), std::memory_order_relaxed);
+  } else if (key == "cache_write_tear") {
+    gCacheWriteTear.store(value != 0, std::memory_order_relaxed);
+  } else {
+    throw HlsError(strCat("unknown fault key '", key, "'"));
+  }
+}
+
+void configureLocked(const std::string& spec) {
+  gThrowAtPoint.store(0, std::memory_order_relaxed);
+  gPointCalls.store(0, std::memory_order_relaxed);
+  gSleepMs.store(0, std::memory_order_relaxed);
+  gCacheWriteTear.store(false, std::memory_order_relaxed);
+
+  std::size_t pos = 0;
+  bool any = false;
+  while (pos < spec.size()) {
+    std::size_t end = spec.find_first_of(";,", pos);
+    if (end == std::string::npos) end = spec.size();
+    const std::string entry = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (entry.empty()) continue;
+    const std::size_t eq = entry.find('=');
+    const std::string key = entry.substr(0, eq);
+    long long value = 1;
+    if (eq != std::string::npos) {
+      try {
+        value = std::stoll(entry.substr(eq + 1));
+      } catch (const std::exception&) {
+        throw HlsError(strCat("bad fault value in '", entry, "'"));
+      }
+    }
+    applyEntry(key, value);
+    any = true;
+  }
+  gArmed.store(any, std::memory_order_relaxed);
+  if (any) THLS_LOG(1, "fault injection armed: ", spec);
+}
+
+/// Reads THLS_FAULT exactly once, lazily, before the first hook decision.
+void ensureEnvApplied() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    if (const char* env = std::getenv("THLS_FAULT"); env && *env) {
+      configureLocked(env);
+    }
+  });
+}
+
+}  // namespace
+
+bool armed() {
+  ensureEnvApplied();
+  return gArmed.load(std::memory_order_relaxed);
+}
+
+void configure(const std::string& spec) {
+  ensureEnvApplied();  // an explicit configure overrides the env spec
+  configureLocked(spec);
+}
+
+void reset() { configure(""); }
+
+bool fireThrowAtPoint() {
+  if (!armed()) return false;
+  const long long n = gThrowAtPoint.load(std::memory_order_relaxed);
+  if (n <= 0) return false;
+  const long long call =
+      gPointCalls.fetch_add(1, std::memory_order_relaxed) + 1;
+  return call == n;
+}
+
+int sleepAtPointMs() {
+  if (!armed()) return 0;
+  return gSleepMs.load(std::memory_order_relaxed);
+}
+
+bool fireCacheWriteTear() {
+  if (!armed()) return false;
+  return gCacheWriteTear.exchange(false, std::memory_order_relaxed);
+}
+
+}  // namespace thls::fault

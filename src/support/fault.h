@@ -1,0 +1,50 @@
+// Fault injection hooks for robustness testing.
+//
+// Production code calls the fire*() hooks at a handful of interesting
+// sites (ExploreEngine point evaluation, FlowCache::save).  When nothing
+// is armed -- the normal case -- every hook is a single relaxed atomic
+// load.  Faults are armed either programmatically (fault::configure) or
+// via the THLS_FAULT environment variable read at first use, with the
+// same spec syntax:
+//
+//   THLS_FAULT="throw_at_point=3"            3rd point evaluation throws
+//   THLS_FAULT="sleep_at_point_ms=200"       every point sleeps 200 ms
+//   THLS_FAULT="cache_write_tear=1"          next FlowCache::save writes a
+//                                            torn (truncated, non-atomic)
+//                                            file, simulating a crash
+//                                            mid-write
+//
+// Entries are separated by ';' or ','.  Unknown keys raise HlsError so a
+// typo in a test never silently disables the fault.  The point counter is
+// process-wide and monotonic until reset(), so throw_at_point fires
+// exactly once.
+#pragma once
+
+#include <string>
+
+namespace thls::fault {
+
+/// True when any fault is armed.  One relaxed atomic load; hooks return
+/// immediately when it is false.
+bool armed();
+
+/// Parses and arms `spec` (see file comment).  Replaces the previous
+/// configuration entirely; configure("") is equivalent to reset().
+void configure(const std::string& spec);
+
+/// Disarms everything and zeroes the point counter.
+void reset();
+
+/// Point-evaluation hook: counts the call and returns true exactly when
+/// this is the armed N-th evaluation (1-based, process-wide).
+bool fireThrowAtPoint();
+
+/// Point-evaluation hook: milliseconds every evaluation should sleep
+/// before running (0 = disarmed).
+int sleepAtPointMs();
+
+/// Cache-save hook: true at most once after arming, telling save() to
+/// write a torn file in place of the atomic tmp+rename protocol.
+bool fireCacheWriteTear();
+
+}  // namespace thls::fault

@@ -1,0 +1,235 @@
+// FlowCache persistence tests: round-trip fidelity, deterministic
+// (byte-identical) saves, and the corruption policy -- every damaged
+// snapshot (torn, truncated, bit-flipped, version-skewed, missing) must
+// degrade to a cold start, never to a crash or a poisoned cache.
+#include "explore/flow_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "explore/engine.h"
+#include "support/fault.h"
+#include "test_util.h"
+
+namespace thls::explore {
+namespace {
+
+std::string tempPath(const char* name) {
+  return testing::TempDir() + name;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+void spit(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/// Populates `cache` by running a tiny DSE through an engine that shares
+/// it; returns the evaluated points for later comparisons.
+std::vector<EvaluatedPoint> populate(FlowCache& cache,
+                                     const ResourceLibrary& lib,
+                                     TaskPool& pool) {
+  FlowOptions base;
+  EngineOptions eopts;
+  eopts.pool = &pool;
+  eopts.cache = &cache;
+  ExploreEngine engine(lib, base, eopts);
+  std::vector<DesignPoint> grid;
+  for (int lat : {10, 8}) {
+    DesignPoint pt;
+    pt.name = strCat("L", lat);
+    pt.latencyStates = lat;
+    pt.clockPeriod = 1250.0;
+    grid.push_back(pt);
+  }
+  return engine.evaluate(
+      "arf", [](int lat) { return workloads::makeArf(lat); }, grid);
+}
+
+TEST(FlowCachePersistTest, RoundTripIsBitForBit) {
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+  TaskPool pool(1);
+  FlowCache cache;
+  std::vector<EvaluatedPoint> cold = populate(cache, lib, pool);
+  const std::string path = tempPath("thls_cache_roundtrip.bin");
+  ASSERT_TRUE(cache.save(path));
+
+  FlowCache restored;
+  FlowCacheLoadResult load = restored.load(path);
+  EXPECT_TRUE(load.loaded);
+  EXPECT_EQ(load.entries, cache.stats().entries);
+  EXPECT_EQ(restored.stats().entries, cache.stats().entries);
+
+  // An engine over the restored cache serves every point from the
+  // snapshot, bit-for-bit identical to the original computation.
+  std::vector<EvaluatedPoint> warm = populate(restored, lib, pool);
+  ASSERT_EQ(warm.size(), cold.size());
+  for (std::size_t i = 0; i < warm.size(); ++i) {
+    SCOPED_TRACE(strCat("point ", i));
+    EXPECT_TRUE(warm[i].convCacheHit);
+    EXPECT_TRUE(warm[i].slackCacheHit);
+    EXPECT_TRUE(identicalSchedules(warm[i].result.slack.schedule,
+                                   cold[i].result.slack.schedule));
+    EXPECT_TRUE(identicalSchedules(warm[i].result.conv.schedule,
+                                   cold[i].result.conv.schedule));
+    EXPECT_EQ(warm[i].result.slack.area.total(),
+              cold[i].result.slack.area.total());
+    EXPECT_EQ(warm[i].result.slack.power.dynamic,
+              cold[i].result.slack.power.dynamic);
+    EXPECT_EQ(warm[i].result.slack.stats.schedulePasses,
+              cold[i].result.slack.stats.schedulePasses);
+    ASSERT_TRUE(warm[i].result.savingPercent.has_value());
+    EXPECT_EQ(*warm[i].result.savingPercent, *cold[i].result.savingPercent);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(FlowCachePersistTest, SavesAreByteIdentical) {
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+  TaskPool pool(1);
+  FlowCache cache;
+  populate(cache, lib, pool);
+  const std::string a = tempPath("thls_cache_det_a.bin");
+  const std::string b = tempPath("thls_cache_det_b.bin");
+  ASSERT_TRUE(cache.save(a));
+  ASSERT_TRUE(cache.save(b));
+  EXPECT_EQ(slurp(a), slurp(b));
+
+  // A load-then-save cycle is also byte-identical (sorted entry order, no
+  // map-iteration nondeterminism).
+  FlowCache restored;
+  ASSERT_TRUE(restored.load(a).loaded);
+  const std::string c = tempPath("thls_cache_det_c.bin");
+  ASSERT_TRUE(restored.save(c));
+  EXPECT_EQ(slurp(a), slurp(c));
+  std::remove(a.c_str());
+  std::remove(b.c_str());
+  std::remove(c.c_str());
+}
+
+TEST(FlowCachePersistTest, MissingFileIsColdStart) {
+  FlowCache cache;
+  FlowCacheLoadResult r = cache.load(tempPath("thls_cache_nonexistent.bin"));
+  EXPECT_FALSE(r.loaded);
+  EXPECT_EQ(r.entries, 0u);
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(FlowCachePersistTest, BitFlipIsColdStart) {
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+  TaskPool pool(1);
+  FlowCache cache;
+  populate(cache, lib, pool);
+  const std::string path = tempPath("thls_cache_corrupt.bin");
+  ASSERT_TRUE(cache.save(path));
+
+  std::string bytes = slurp(path);
+  bytes[bytes.size() / 2] ^= 0x40;  // flip one payload bit
+  spit(path, bytes);
+
+  FlowCache restored;
+  EXPECT_FALSE(restored.load(path).loaded);
+  EXPECT_EQ(restored.stats().entries, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(FlowCachePersistTest, TruncationIsColdStart) {
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+  TaskPool pool(1);
+  FlowCache cache;
+  populate(cache, lib, pool);
+  const std::string path = tempPath("thls_cache_trunc.bin");
+  ASSERT_TRUE(cache.save(path));
+
+  std::string bytes = slurp(path);
+  for (std::size_t keep : {bytes.size() - 1, bytes.size() / 2,
+                           std::size_t{20}, std::size_t{0}}) {
+    SCOPED_TRACE(strCat("keep ", keep, " bytes"));
+    spit(path, bytes.substr(0, keep));
+    FlowCache restored;
+    EXPECT_FALSE(restored.load(path).loaded);
+    EXPECT_EQ(restored.stats().entries, 0u);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(FlowCachePersistTest, VersionSkewIsColdStart) {
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+  TaskPool pool(1);
+  FlowCache cache;
+  populate(cache, lib, pool);
+  const std::string path = tempPath("thls_cache_skew.bin");
+  ASSERT_TRUE(cache.save(path));
+
+  // Bump the version field (bytes 4..7) and re-stamp the checksum so the
+  // skew -- not a checksum mismatch -- is what load() rejects.
+  std::string bytes = slurp(path);
+  bytes[4] = static_cast<char>(FlowCache::kFileVersion + 1);
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a, matching the format
+  for (std::size_t i = 0; i + 8 < bytes.size(); ++i) {
+    h ^= static_cast<unsigned char>(bytes[i]);
+    h *= 1099511628211ull;
+  }
+  for (int i = 0; i < 8; ++i) {
+    bytes[bytes.size() - 8 + static_cast<std::size_t>(i)] =
+        static_cast<char>(h >> (i * 8));
+  }
+  spit(path, bytes);
+
+  FlowCache restored;
+  EXPECT_FALSE(restored.load(path).loaded);
+  EXPECT_EQ(restored.stats().entries, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(FlowCachePersistTest, TornWriteFaultDegradesToColdStart) {
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+  TaskPool pool(1);
+  FlowCache cache;
+  populate(cache, lib, pool);
+  const std::string path = tempPath("thls_cache_torn.bin");
+
+  fault::configure("cache_write_tear=1");
+  EXPECT_FALSE(cache.save(path));  // torn: reported as a failed save
+  fault::reset();
+
+  // The torn file exists but must load as a cold start...
+  FlowCache restored;
+  EXPECT_FALSE(restored.load(path).loaded);
+  EXPECT_EQ(restored.stats().entries, 0u);
+
+  // ...and the tear is one-shot: the next save is intact and loads fully.
+  ASSERT_TRUE(cache.save(path));
+  FlowCacheLoadResult r = restored.load(path);
+  EXPECT_TRUE(r.loaded);
+  EXPECT_EQ(r.entries, cache.stats().entries);
+  std::remove(path.c_str());
+}
+
+TEST(FlowCachePersistTest, LoadMergesUnderFirstWriterWins) {
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+  TaskPool pool(1);
+  FlowCache cache;
+  populate(cache, lib, pool);
+  const std::string path = tempPath("thls_cache_merge.bin");
+  ASSERT_TRUE(cache.save(path));
+
+  // Loading a snapshot into a cache that already holds those keys keeps
+  // the resident entries (insert() is first-writer-wins) -- no flip-flop.
+  FlowCacheLoadResult r = cache.load(path);
+  EXPECT_TRUE(r.loaded);
+  EXPECT_EQ(cache.stats().entries, r.entries);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace thls::explore

@@ -1,0 +1,326 @@
+// Cancellation coverage: CancelToken/CancelSource semantics, cancelled
+// outcomes across the scheduler/budgeter/flow layers for every registry
+// workload x start policy, and the engine-reuse contract -- a cancelled
+// batch leaves the engine able to reproduce an uncancelled run
+// bit-for-bit (ISSUE 9 satellite).
+#include "support/cancel.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <thread>
+
+#include "budget/budgeter.h"
+#include "explore/engine.h"
+#include "test_util.h"
+
+namespace thls {
+namespace {
+
+TEST(CancelTokenTest, DefaultTokenNeverCancels) {
+  CancelToken t;
+  EXPECT_FALSE(t.valid());
+  EXPECT_FALSE(t.cancelled());
+  EXPECT_FALSE(t.deadlineExpired());
+}
+
+TEST(CancelTokenTest, SourceCancelPropagates) {
+  CancelSource src;
+  CancelToken t = src.token();
+  EXPECT_TRUE(t.valid());
+  EXPECT_FALSE(t.cancelled());
+  src.cancel();
+  EXPECT_TRUE(t.cancelled());
+  EXPECT_FALSE(t.deadlineExpired());  // manual cancel, not a deadline
+}
+
+TEST(CancelTokenTest, TokensShareStateByCopy) {
+  CancelSource src;
+  CancelToken a = src.token();
+  CancelToken b = a;  // copies share the same state
+  src.cancel();
+  EXPECT_TRUE(a.cancelled());
+  EXPECT_TRUE(b.cancelled());
+}
+
+TEST(CancelTokenTest, ParentCancellationReachesChild) {
+  CancelSource parent;
+  CancelSource child(parent.token());
+  CancelToken t = child.token();
+  EXPECT_FALSE(t.cancelled());
+  parent.cancel();
+  // The chain walk finds the fired parent through the child's state.
+  EXPECT_TRUE(t.cancelled());
+}
+
+TEST(CancelTokenTest, ChildCancellationDoesNotReachParent) {
+  CancelSource parent;
+  CancelSource child(parent.token());
+  child.cancel();
+  EXPECT_TRUE(child.token().cancelled());
+  EXPECT_FALSE(parent.token().cancelled());
+}
+
+TEST(CancelTokenTest, DeadlineExpires) {
+  CancelSource src;
+  src.setDeadlineAfter(1e-9);  // effectively immediate
+  CancelToken t = src.token();
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  EXPECT_TRUE(t.cancelled());
+  EXPECT_TRUE(t.deadlineExpired());
+}
+
+TEST(CancelTokenTest, NonPositiveDeadlineDisarms) {
+  CancelSource src;
+  src.setDeadlineAfter(0);
+  EXPECT_FALSE(src.token().cancelled());
+  src.setDeadlineAfter(-1);
+  EXPECT_FALSE(src.token().cancelled());
+}
+
+// --- Cancelled outcomes are flagged results, never exceptions ------------
+
+TEST(CancelOutcomeTest, BudgeterReturnsCancelled) {
+  Behavior bhv = workloads::makeArf(8);
+  LatencyTable lat(bhv.cfg);
+  OpSpanAnalysis spans(bhv.cfg, bhv.dfg, lat);
+  TimedDfg timed(bhv.cfg, bhv.dfg, lat, spans);
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+  CancelSource src;
+  src.cancel();
+  BudgetOptions opts;
+  opts.clockPeriod = 1250.0;
+  opts.cancel = src.token();
+  BudgetResult r = budgetSlack(timed, bhv.dfg, lib, opts);
+  EXPECT_TRUE(r.cancelled);
+}
+
+struct PolicyCase {
+  StartPolicy policy;
+  const char* name;
+};
+
+const PolicyCase kPolicies[] = {
+    {StartPolicy::kFastest, "fastest"},
+    {StartPolicy::kSlowest, "slowest"},
+    {StartPolicy::kBudgeted, "budgeted"},
+};
+
+// Every registry workload x every start policy: a pre-fired token yields a
+// Cancelled outcome promptly (before any pass runs), the caller's Behavior
+// is not mutated, and the flow result carries the documented markers.
+TEST(CancelOutcomeTest, RegistryWorkloadsAllPoliciesCancelCleanly) {
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+  for (const workloads::NamedWorkload& w : workloads::standardWorkloads()) {
+    for (const PolicyCase& pc : kPolicies) {
+      SCOPED_TRACE(w.name + std::string("/") + pc.name);
+      Behavior bhv = w.make();
+      const std::size_t statesBefore = bhv.cfg.numStates();
+      const std::size_t opsBefore = bhv.dfg.numOps();
+
+      CancelSource src;
+      src.cancel();
+      SchedulerOptions sopts;
+      sopts.clockPeriod = w.clockPeriod;
+      sopts.startPolicy = pc.policy;
+      sopts.rebudgetPerEdge = pc.policy == StartPolicy::kBudgeted;
+      sopts.cancel = src.token();
+
+      ScheduleOutcome outcome = scheduleBehavior(bhv, lib, sopts);
+      EXPECT_FALSE(outcome.success);
+      EXPECT_TRUE(outcome.cancelled);
+      EXPECT_EQ(outcome.failureReason, "cancelled");
+      // No caller state mutated: the relaxation engine never ran, so the
+      // CFG kept its states and the DFG its ops.
+      EXPECT_EQ(bhv.cfg.numStates(), statesBefore);
+      EXPECT_EQ(bhv.dfg.numOps(), opsBefore);
+
+      FlowOptions fopts;
+      fopts.sched = sopts;
+      FlowResult fr = runFlow(w.make(), lib, fopts);
+      EXPECT_FALSE(fr.success);
+      EXPECT_TRUE(fr.cancelled);
+      EXPECT_EQ(fr.failureReason, "cancelled");
+    }
+  }
+}
+
+// --- Engine reuse after cancellation -------------------------------------
+
+std::vector<DesignPoint> smallGrid() {
+  std::vector<DesignPoint> grid;
+  for (int lat : {10, 8}) {
+    for (double clk : {1250.0, 1000.0}) {
+      DesignPoint pt;
+      pt.name = strCat("L", lat, "C", clk);
+      pt.latencyStates = lat;
+      pt.clockPeriod = clk;
+      grid.push_back(pt);
+    }
+  }
+  return grid;
+}
+
+void expectIdenticalBatches(const std::vector<explore::EvaluatedPoint>& a,
+                            const std::vector<explore::EvaluatedPoint>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    SCOPED_TRACE(strCat("point ", i));
+    EXPECT_EQ(a[i].result.conv.success, b[i].result.conv.success);
+    EXPECT_EQ(a[i].result.slack.success, b[i].result.slack.success);
+    EXPECT_EQ(a[i].result.savingPercent.has_value(),
+              b[i].result.savingPercent.has_value());
+    if (a[i].result.savingPercent && b[i].result.savingPercent) {
+      EXPECT_EQ(*a[i].result.savingPercent, *b[i].result.savingPercent);
+    }
+    EXPECT_TRUE(identicalSchedules(a[i].result.slack.schedule,
+                                   b[i].result.slack.schedule));
+    EXPECT_TRUE(identicalSchedules(a[i].result.conv.schedule,
+                                   b[i].result.conv.schedule));
+  }
+}
+
+TEST(CancelEngineTest, PreCancelledBatchSkipsAllPoints) {
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+  FlowOptions base;
+  TaskPool pool(1);
+  explore::EngineOptions eopts;
+  eopts.pool = &pool;
+  explore::ExploreEngine engine(lib, base, eopts);
+
+  CancelSource src;
+  src.cancel();
+  auto gen = [](int lat) { return workloads::makeArf(lat); };
+  std::vector<explore::EvaluatedPoint> out =
+      engine.evaluate("arf", gen, smallGrid(), nullptr, src.token());
+  ASSERT_EQ(out.size(), smallGrid().size());
+  for (const explore::EvaluatedPoint& ev : out) {
+    EXPECT_TRUE(ev.result.cancelled);
+    EXPECT_FALSE(ev.result.conv.success);
+    EXPECT_EQ(ev.result.conv.failureReason, "cancelled");
+  }
+  EXPECT_EQ(engine.pointsEvaluated(), 0u);
+  EXPECT_EQ(engine.pointsCancelled(), smallGrid().size());
+  // Cancelled results must never have entered the cache.
+  EXPECT_EQ(engine.cacheStats().entries, 0u);
+}
+
+// The acceptance sweep: cancel a batch mid-run, then prove the *same*
+// engine instance completes an uncancelled run bit-for-bit identical to a
+// fresh engine's -- cancellation never poisons engine state.
+TEST(CancelEngineTest, EngineReusableAfterMidRunCancel) {
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+  FlowOptions base;
+  auto gen = [](int lat) { return workloads::makeArf(lat); };
+  std::vector<DesignPoint> grid = smallGrid();
+
+  TaskPool pool(1);
+  CancelSource src;
+  explore::EngineOptions eopts;
+  eopts.pool = &pool;
+  // Serial pool + cancel-after-first-point: deterministic split between
+  // evaluated and cancelled points.
+  eopts.onPoint = [&src](const explore::EvaluatedPoint&) { src.cancel(); };
+  explore::ExploreEngine engine(lib, base, eopts);
+  std::vector<explore::EvaluatedPoint> cancelledRun =
+      engine.evaluate("arf", gen, grid, nullptr, src.token());
+  EXPECT_GE(engine.pointsCancelled(), 1u)
+      << "cancel fired after the first point; later points must be skipped";
+
+  // Same instance, fresh (uncancelled) batch.  Clear the cache so the
+  // comparison is compute-vs-compute, not hit-vs-compute.
+  engine.clearCache();
+  explore::EngineOptions plainOpts;
+  plainOpts.pool = &pool;
+  explore::ExploreEngine fresh(lib, base, plainOpts);
+  std::vector<explore::EvaluatedPoint> reused =
+      engine.evaluate("arf", gen, grid);
+  std::vector<explore::EvaluatedPoint> baseline =
+      fresh.evaluate("arf", gen, grid);
+  expectIdenticalBatches(reused, baseline);
+  for (const explore::EvaluatedPoint& ev : reused) {
+    EXPECT_FALSE(ev.result.cancelled);
+  }
+}
+
+TEST(CancelEngineTest, DeadlineTokenCancelsBatch) {
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+  FlowOptions base;
+  TaskPool pool(1);
+  explore::EngineOptions eopts;
+  eopts.pool = &pool;
+  explore::ExploreEngine engine(lib, base, eopts);
+
+  CancelSource src;
+  src.setDeadlineAfter(1e-9);
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  auto gen = [](int lat) { return workloads::makeArf(lat); };
+  std::vector<explore::EvaluatedPoint> out =
+      engine.evaluate("arf", gen, smallGrid(), nullptr, src.token());
+  for (const explore::EvaluatedPoint& ev : out) {
+    EXPECT_TRUE(ev.result.cancelled);
+  }
+  EXPECT_TRUE(src.token().deadlineExpired());
+}
+
+// Grid validation (ISSUE 9 satellite): malformed grids are rejected up
+// front with every offending coordinate named, on both entry points.
+TEST(GridValidationTest, RejectsBadCoordinates) {
+  std::vector<DesignPoint> bad(4);
+  bad[0].name = "ok";
+  bad[0].latencyStates = 8;
+  bad[0].clockPeriod = 1000.0;
+  bad[1].name = "zero-latency";
+  bad[1].latencyStates = 0;
+  bad[1].clockPeriod = 1000.0;
+  bad[2].name = "nan-clock";
+  bad[2].latencyStates = 8;
+  bad[2].clockPeriod = std::nan("");
+  bad[3].name = "dup";
+  bad[3].latencyStates = 8;
+  bad[3].clockPeriod = 1000.0;  // duplicate of bad[0]
+
+  std::vector<std::string> issues = validateDesignPoints(bad);
+  ASSERT_EQ(issues.size(), 3u);
+  EXPECT_NE(issues[0].find("zero-latency"), std::string::npos);
+  EXPECT_NE(issues[0].find("latencyStates"), std::string::npos);
+  EXPECT_NE(issues[1].find("nan-clock"), std::string::npos);
+  EXPECT_NE(issues[1].find("NaN"), std::string::npos);
+  EXPECT_NE(issues[2].find("dup"), std::string::npos);
+  EXPECT_NE(issues[2].find("duplicate"), std::string::npos);
+
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+  FlowOptions base;
+  auto gen = [](int lat) { return workloads::makeArf(lat); };
+  EXPECT_THROW(exploreDesignSpace(gen, bad, lib, base), HlsError);
+  EXPECT_THROW(exploreDesignSpaceSerial(gen, bad, lib, base), HlsError);
+  try {
+    exploreDesignSpace(gen, bad, lib, base);
+    FAIL() << "expected HlsError";
+  } catch (const HlsError& e) {
+    // The message lists the offending coordinates.
+    EXPECT_NE(std::string(e.what()).find("nan-clock"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("duplicate"), std::string::npos);
+  }
+}
+
+TEST(GridValidationTest, NonPositiveAndInfiniteClocksRejected) {
+  std::vector<DesignPoint> bad(2);
+  bad[0].latencyStates = 8;
+  bad[0].clockPeriod = -5.0;
+  bad[1].latencyStates = 8;
+  bad[1].clockPeriod = std::numeric_limits<double>::infinity();
+  std::vector<std::string> issues = validateDesignPoints(bad);
+  ASSERT_EQ(issues.size(), 2u);
+  EXPECT_NE(issues[0].find("positive"), std::string::npos);
+  EXPECT_NE(issues[1].find("finite"), std::string::npos);
+}
+
+TEST(GridValidationTest, ValidGridPasses) {
+  EXPECT_TRUE(validateDesignPoints(idctDesignGrid()).empty());
+  EXPECT_TRUE(validateDesignPoints(idctDesignGridSmall()).empty());
+}
+
+}  // namespace
+}  // namespace thls

@@ -1,0 +1,345 @@
+// JobService lifecycle tests: validation/admission rejection, FIFO
+// execution, live progress, deadlines, queued-job cancellation, shared
+// persistent cache, and service survival across failing jobs.
+#include "service/job_service.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <future>
+#include <thread>
+
+#include "service/job_validation.h"
+#include "support/fault.h"
+#include "test_util.h"
+
+namespace thls::service {
+namespace {
+
+std::vector<DesignPoint> tinyGrid() {
+  std::vector<DesignPoint> grid;
+  for (int lat : {10, 8}) {
+    DesignPoint pt;
+    pt.name = strCat("L", lat);
+    pt.latencyStates = lat;
+    pt.clockPeriod = 1250.0;
+    grid.push_back(pt);
+  }
+  return grid;
+}
+
+JobRequest arfRequest() {
+  JobRequest req;
+  req.workload = "arf";
+  req.generator = [](int lat) { return workloads::makeArf(lat); };
+  req.points = tinyGrid();
+  return req;
+}
+
+struct ServiceFixture {
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+  TaskPool pool{1};
+
+  JobServiceOptions options() {
+    JobServiceOptions opts;
+    opts.pool = &pool;
+    return opts;
+  }
+};
+
+TEST(JobValidationTest, ListsEveryIssue) {
+  JobRequest req;  // everything wrong at once
+  req.deadlineSeconds = std::nan("");
+  std::vector<std::string> issues = validateJobRequest(req);
+  ASSERT_EQ(issues.size(), 4u);
+  EXPECT_NE(issues[0].find("workload"), std::string::npos);
+  EXPECT_NE(issues[1].find("generator"), std::string::npos);
+  EXPECT_NE(issues[2].find("non-empty"), std::string::npos);
+  EXPECT_NE(issues[3].find("NaN"), std::string::npos);
+}
+
+TEST(JobServiceTest, RejectsMalformedGridWithCoordinates) {
+  ServiceFixture f;
+  JobService svc(f.lib, f.options());
+  JobRequest req = arfRequest();
+  req.points[1].clockPeriod = -3.0;
+  req.points[1].name = "badclk";
+  JobId id = svc.submit(std::move(req));
+  EXPECT_EQ(svc.wait(id), JobState::kRejected);
+  JobResult r = svc.result(id);
+  EXPECT_EQ(r.state, JobState::kRejected);
+  // The rejection names the offending point before any worker ran.
+  EXPECT_NE(r.error.find("badclk"), std::string::npos);
+  EXPECT_NE(r.error.find("positive"), std::string::npos);
+  EXPECT_TRUE(r.summary.points.empty());
+}
+
+TEST(JobServiceTest, LifecycleQueuedToSucceeded) {
+  ServiceFixture f;
+  JobService svc(f.lib, f.options());
+  JobId id = svc.submit(arfRequest());
+  ASSERT_NE(id, kInvalidJobId);
+  EXPECT_EQ(svc.wait(id), JobState::kSucceeded);
+
+  JobProgress p = svc.progress(id);
+  EXPECT_EQ(p.state, JobState::kSucceeded);
+  EXPECT_EQ(p.pointsTotal, 2u);
+  EXPECT_EQ(p.pointsEvaluated, 2u);
+  EXPECT_EQ(p.pointsFailed, 0u);
+  EXPECT_EQ(p.pointsCancelled, 0u);
+
+  JobResult r = svc.result(id);
+  ASSERT_EQ(r.summary.points.size(), 2u);
+  EXPECT_TRUE(r.summary.points[0].slack.success);
+  EXPECT_FALSE(r.front.empty());
+  EXPECT_EQ(svc.front(id).size(), r.front.size());
+}
+
+TEST(JobServiceTest, UnknownIdIsSafe) {
+  ServiceFixture f;
+  JobService svc(f.lib, f.options());
+  EXPECT_EQ(svc.progress(999).state, JobState::kRejected);
+  EXPECT_EQ(svc.result(999).error, "unknown job id");
+  EXPECT_FALSE(svc.cancel(999));
+  EXPECT_TRUE(svc.front(999).empty());
+}
+
+TEST(JobServiceTest, CallerTokenCancelsJob) {
+  ServiceFixture f;
+  JobService svc(f.lib, f.options());
+  CancelSource src;
+  src.cancel();  // fired before submission: the job must not evaluate
+  JobRequest req = arfRequest();
+  req.cancel = src.token();
+  JobId id = svc.submit(std::move(req));
+  EXPECT_EQ(svc.wait(id), JobState::kCancelled);
+  JobResult r = svc.result(id);
+  EXPECT_EQ(r.error, "cancelled");
+  JobProgress p = svc.progress(id);
+  EXPECT_EQ(p.pointsEvaluated, 0u);
+  EXPECT_EQ(p.pointsCancelled, 2u);
+}
+
+TEST(JobServiceTest, DeadlineExpiresIntoCancelled) {
+  fault::configure("sleep_at_point_ms=30");
+  ServiceFixture f;
+  JobService svc(f.lib, f.options());
+  JobRequest req = arfRequest();
+  req.deadlineSeconds = 0.005;  // expires during the first sleeping point
+  JobId id = svc.submit(std::move(req));
+  EXPECT_EQ(svc.wait(id), JobState::kCancelled);
+  EXPECT_EQ(svc.result(id).error, "deadline exceeded");
+  fault::reset();
+
+  // The service is still alive: the next (undeadlined) job succeeds.
+  JobId next = svc.submit(arfRequest());
+  EXPECT_EQ(svc.wait(next), JobState::kSucceeded);
+}
+
+TEST(JobServiceTest, QueuedJobCancelsImmediately) {
+  ServiceFixture f;
+  JobService svc(f.lib, f.options());
+
+  // Hold the single worker hostage inside job 1's generator.
+  std::promise<void> started, release;
+  std::shared_future<void> releaseF = release.get_future().share();
+  JobRequest blocker = arfRequest();
+  blocker.workload = "blocker";
+  bool first = true;
+  std::promise<void>* startedP = &started;
+  blocker.generator = [releaseF, startedP,
+                       first](int lat) mutable -> Behavior {
+    if (first) {
+      first = false;
+      startedP->set_value();
+    }
+    releaseF.wait();
+    return workloads::makeArf(lat);
+  };
+  JobId running = svc.submit(std::move(blocker));
+  started.get_future().wait();
+
+  JobId queued = svc.submit(arfRequest());
+  EXPECT_EQ(svc.progress(queued).state, JobState::kQueued);
+  EXPECT_EQ(svc.queueDepth(), 1u);
+  EXPECT_TRUE(svc.cancel(queued));
+  // Terminal without ever reaching a worker.
+  EXPECT_EQ(svc.result(queued).state, JobState::kCancelled);
+  EXPECT_EQ(svc.progress(queued).pointsEvaluated, 0u);
+
+  release.set_value();
+  EXPECT_EQ(svc.wait(running), JobState::kSucceeded);
+}
+
+TEST(JobServiceTest, AdmissionCapRejectsQueueOverflow) {
+  ServiceFixture f;
+  JobServiceOptions opts = f.options();
+  opts.maxQueuedJobs = 1;
+  JobService svc(f.lib, opts);
+
+  std::promise<void> started, release;
+  std::shared_future<void> releaseF = release.get_future().share();
+  JobRequest blocker = arfRequest();
+  bool first = true;
+  std::promise<void>* startedP = &started;
+  blocker.generator = [releaseF, startedP,
+                       first](int lat) mutable -> Behavior {
+    if (first) {
+      first = false;
+      startedP->set_value();
+    }
+    releaseF.wait();
+    return workloads::makeArf(lat);
+  };
+  JobId running = svc.submit(std::move(blocker));
+  started.get_future().wait();
+
+  JobId queued = svc.submit(arfRequest());    // fills the one queue slot
+  JobId overflow = svc.submit(arfRequest());  // must bounce
+  EXPECT_EQ(svc.result(overflow).state, JobState::kRejected);
+  EXPECT_NE(svc.result(overflow).error.find("queue full"), std::string::npos);
+
+  release.set_value();
+  EXPECT_EQ(svc.wait(running), JobState::kSucceeded);
+  EXPECT_EQ(svc.wait(queued), JobState::kSucceeded);
+}
+
+TEST(JobServiceTest, ThrowingGeneratorFailsJobNotService) {
+  ServiceFixture f;
+  JobService svc(f.lib, f.options());
+  JobRequest req = arfRequest();
+  req.generator = [](int) -> Behavior {
+    throw HlsError("generator exploded");
+  };
+  JobId id = svc.submit(std::move(req));
+  // A generator throw degrades per point (the engine catches it): the job
+  // completes with every point marked failed, the service stays alive.
+  EXPECT_EQ(svc.wait(id), JobState::kSucceeded);
+  JobProgress p = svc.progress(id);
+  EXPECT_EQ(p.pointsEvaluated, 2u);
+  EXPECT_EQ(p.pointsFailed, 2u);
+  JobResult r = svc.result(id);
+  for (const DsePointResult& row : r.summary.points) {
+    EXPECT_NE(row.error.find("generator exploded"), std::string::npos);
+    EXPECT_FALSE(row.conv.success);
+  }
+  EXPECT_TRUE(r.front.empty());
+
+  JobId next = svc.submit(arfRequest());
+  EXPECT_EQ(svc.wait(next), JobState::kSucceeded);
+}
+
+TEST(JobServiceTest, SharedCacheWarmsAcrossJobs) {
+  ServiceFixture f;
+  JobService svc(f.lib, f.options());
+  JobId a = svc.submit(arfRequest());
+  EXPECT_EQ(svc.wait(a), JobState::kSucceeded);
+  explore::FlowCacheStats cold = svc.cacheStats();
+  EXPECT_GT(cold.entries, 0u);
+
+  JobId b = svc.submit(arfRequest());
+  EXPECT_EQ(svc.wait(b), JobState::kSucceeded);
+  explore::FlowCacheStats warm = svc.cacheStats();
+  // Same grid again: every flavor of every point hits the shared cache.
+  EXPECT_EQ(warm.entries, cold.entries);
+  EXPECT_GE(warm.hits, cold.hits + 2 * tinyGrid().size());
+
+  // Warm and cold runs of the same job are identical rows.
+  JobResult ra = svc.result(a), rb = svc.result(b);
+  ASSERT_EQ(ra.summary.points.size(), rb.summary.points.size());
+  for (std::size_t i = 0; i < ra.summary.points.size(); ++i) {
+    EXPECT_EQ(ra.summary.points[i].slack.area.total(),
+              rb.summary.points[i].slack.area.total());
+    EXPECT_TRUE(identicalSchedules(ra.summary.points[i].slack.schedule,
+                                   rb.summary.points[i].slack.schedule));
+  }
+}
+
+TEST(JobServiceTest, PersistentCacheSurvivesRestart) {
+  ServiceFixture f;
+  const std::string path =
+      testing::TempDir() + "thls_service_cache_test.bin";
+  std::remove(path.c_str());
+
+  JobResult coldResult;
+  std::size_t coldEntries = 0;
+  {
+    JobServiceOptions opts = f.options();
+    opts.cachePath = path;
+    JobService svc(f.lib, opts);
+    JobId id = svc.submit(arfRequest());
+    EXPECT_EQ(svc.wait(id), JobState::kSucceeded);
+    coldResult = svc.result(id);
+    coldEntries = svc.cacheStats().entries;
+    svc.shutdown();  // persists the cache
+  }
+
+  {
+    JobServiceOptions opts = f.options();
+    opts.cachePath = path;
+    JobService svc(f.lib, opts);  // warm restart
+    EXPECT_EQ(svc.cacheStats().entries, coldEntries);
+    JobId id = svc.submit(arfRequest());
+    EXPECT_EQ(svc.wait(id), JobState::kSucceeded);
+    // Every point served from the restored snapshot, bit-for-bit.
+    explore::FlowCacheStats stats = svc.cacheStats();
+    EXPECT_EQ(stats.misses, 0u);
+    JobResult warm = svc.result(id);
+    ASSERT_EQ(warm.summary.points.size(), coldResult.summary.points.size());
+    for (std::size_t i = 0; i < warm.summary.points.size(); ++i) {
+      EXPECT_TRUE(
+          identicalSchedules(warm.summary.points[i].slack.schedule,
+                             coldResult.summary.points[i].slack.schedule));
+      EXPECT_EQ(warm.summary.points[i].slack.power.dynamic,
+                coldResult.summary.points[i].slack.power.dynamic);
+    }
+    ASSERT_EQ(warm.front.size(), coldResult.front.size());
+    for (std::size_t i = 0; i < warm.front.size(); ++i) {
+      EXPECT_EQ(warm.front[i].obj.area, coldResult.front[i].obj.area);
+      EXPECT_EQ(warm.front[i].point.name, coldResult.front[i].point.name);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(JobServiceTest, ShutdownCancelsQueuedJobs) {
+  ServiceFixture f;
+  JobService svc(f.lib, f.options());
+
+  std::promise<void> started, release;
+  std::shared_future<void> releaseF = release.get_future().share();
+  JobRequest blocker = arfRequest();
+  bool first = true;
+  std::promise<void>* startedP = &started;
+  blocker.generator = [releaseF, startedP,
+                       first](int lat) mutable -> Behavior {
+    if (first) {
+      first = false;
+      startedP->set_value();
+    }
+    releaseF.wait();
+    return workloads::makeArf(lat);
+  };
+  JobId running = svc.submit(std::move(blocker));
+  started.get_future().wait();
+  JobId queued = svc.submit(arfRequest());
+
+  // shutdown() marks queued jobs terminal before joining the (still
+  // blocked) worker, so the cancellation is observable while the running
+  // job is held hostage; only then is the worker released.
+  std::thread stopper([&svc] { svc.shutdown(); });
+  EXPECT_EQ(svc.wait(queued), JobState::kCancelled);
+  release.set_value();
+  stopper.join();
+  EXPECT_EQ(svc.result(queued).state, JobState::kCancelled);
+  EXPECT_EQ(svc.result(queued).error, "service shutdown");
+  // The running job was allowed to finish.
+  EXPECT_EQ(svc.result(running).state, JobState::kSucceeded);
+  // Post-shutdown submissions bounce.
+  JobId late = svc.submit(arfRequest());
+  EXPECT_EQ(svc.result(late).state, JobState::kRejected);
+}
+
+}  // namespace
+}  // namespace thls::service
