@@ -93,8 +93,8 @@ CampaignResult runCampaign(const ResourceLibrary& lib, const FlowOptions& base,
         if (!joined.empty()) joined += "; ";
         joined += s;
       }
-      throw HlsError(strCat("invalid campaign grid for workload '", w.name,
-                            "': ", joined));
+      throw ValidationError(strCat("invalid campaign grid for workload '",
+                                   w.name, "': ", joined));
     }
     std::vector<EvaluatedPoint> points;
     if (opts.adaptiveRounds > 0) {

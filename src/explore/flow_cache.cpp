@@ -47,6 +47,12 @@ std::uint64_t hashFlowOptions(const FlowOptions& opts) {
   mix(h, opts.sched.incrementalLatency ? 1 : 0);
   mix(h, opts.sched.incrementalSlack ? 1 : 0);
   mix(h, opts.sched.incrementalRelaxation ? 1 : 0);
+  mix(h, static_cast<std::uint64_t>(opts.sched.mode));
+  mix(h, static_cast<std::uint64_t>(opts.sched.exactNodeBudget));
+  mixDouble(h, opts.sched.exactTimeBudgetSeconds);
+  mix(h, opts.sched.exactSeedRelaxation ? 1 : 0);
+  mix(h, static_cast<std::uint64_t>(opts.sched.exactSeedNodeBudget));
+  mix(h, opts.sched.exactSeedBudgetCaps ? 1 : 0);
   mix(h, opts.areaRecovery ? 1 : 0);
   mix(h, opts.compactBinding ? 1 : 0);
   mix(h, opts.incrementalBinding ? 1 : 0);

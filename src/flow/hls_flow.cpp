@@ -34,7 +34,17 @@ void recordFlowMetrics(const FlowResult& r) {
   metrics::observe("flow.recovery_seconds", r.recoverySeconds);
   metrics::observe("flow.report_seconds", r.reportSeconds);
 
-  const SchedulerStats& s = r.stats;
+  recordSchedulerMetrics(r.stats);
+  if (r.componentTasks > 0) {
+    metrics::add("flow.component_runs");
+    metrics::add("flow.component_tasks", static_cast<int>(r.componentTasks));
+  }
+}
+
+}  // namespace
+
+void recordSchedulerMetrics(const SchedulerStats& s) {
+  if (!metrics::enabled()) return;
   metrics::add("sched.passes", s.schedulePasses);
   metrics::add("sched.relaxations", s.relaxations);
   metrics::add("sched.timing_analyses", s.timingAnalyses);
@@ -53,16 +63,17 @@ void recordFlowMetrics(const FlowResult& r) {
   metrics::add("sched.budget_reuses", s.budgetReuses);
   metrics::add("sched.grant_escalations", s.grantEscalations);
   metrics::add("sched.budget_valve_hits", s.budgetValveHits);
-  if (r.componentTasks > 0) {
-    metrics::add("flow.component_runs");
-    metrics::add("flow.component_tasks", static_cast<int>(r.componentTasks));
+  if (s.exactNodesExplored > 0) {
+    metrics::add("sched.exact_nodes", s.exactNodesExplored);
+    metrics::add("sched.exact_seeded_grants", s.exactSeededGrants);
+    if (s.exactTimedOut) metrics::add("sched.exact_timeouts");
+    if (s.exactOptimal) metrics::add("sched.exact_optimal");
+    metrics::setGauge("sched.exact_lower_bound", s.exactLowerBound);
   }
   metrics::observe("sched.latency_seconds", s.latencySeconds);
   metrics::observe("sched.timing_seconds", s.timingSeconds);
   metrics::observe("sched.relax_seconds", s.relaxSeconds);
 }
-
-}  // namespace
 
 FlowResult runFlow(Behavior bhv, const ResourceLibrary& lib,
                    const FlowOptions& opts) {
@@ -94,8 +105,11 @@ FlowResult runFlow(Behavior bhv, const ResourceLibrary& lib,
     // concurrent tasks and merge deterministically.  allowAddState runs
     // stay monolithic (a state inserted into a component view could not be
     // merged back), as does anything single-component -- bit-for-bit the
-    // monolithic path -- or any run whose merge reports a conflict.
-    if (opts.componentPipeline && !opts.sched.allowAddState) {
+    // monolithic path -- or any run whose merge reports a conflict.  The
+    // exact modes also stay monolithic: per-component optima do not compose
+    // into a global optimality proof (sharing crosses components).
+    if (opts.componentPipeline && !opts.sched.allowAddState &&
+        opts.sched.mode == SchedulerMode::kList) {
       DfgPartition part = DfgPartition::compute(bhv);
       if (part.schedulableComponents() > 1) {
         std::vector<std::size_t> active;

@@ -90,6 +90,13 @@ struct FlowResult {
 FlowResult runFlow(Behavior bhv, const ResourceLibrary& lib,
                    const FlowOptions& opts);
 
+/// Folds one run's SchedulerStats into the metrics registry (the sched.*
+/// names of docs/observability.md).  runFlow calls this for every flow;
+/// benches that drive scheduleBehavior directly call it themselves so
+/// their snapshots carry the same counters.  No-op while metrics are
+/// disabled.
+void recordSchedulerMetrics(const SchedulerStats& s);
+
 /// Convenience wrappers fixing the §VII flavor.
 FlowResult conventionalFlow(Behavior bhv, const ResourceLibrary& lib,
                             FlowOptions opts);

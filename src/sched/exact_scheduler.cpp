@@ -1,0 +1,584 @@
+#include "sched/exact_scheduler.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <utility>
+
+#include "ir/opspan.h"
+#include "support/trace.h"
+
+namespace thls {
+
+namespace {
+
+constexpr double kEps = 1e-6;
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+bool isDedicatedClass(ResourceClass cls) {
+  return cls == ResourceClass::kMux || cls == ResourceClass::kLogic;
+}
+
+/// Depth-first branch-and-bound over the ops in DFG topological order.
+/// Each search node assigns one op a (CFG edge, binding) pair; bindings are
+/// "join existing instance i" or "open one new instance at variant point p".
+/// Opening commits the instance's variant delay for good (all choices are
+/// sibling branches, so completeness is preserved without the list
+/// scheduler's on-the-fly upgrades), which keeps every chain check exact.
+class ExactSearch {
+ public:
+  struct Result {
+    bool found = false;  ///< an incumbent (seed or leaf) exists
+    Schedule schedule;
+    double bestCost = kInf;
+    bool exhausted = false;  ///< whole space searched (=> bestCost optimal)
+    bool cutoff = false;     ///< node/time budget fired first
+    bool cancelled = false;
+    long long nodes = 0;
+    /// Min lower bound over subtrees abandoned by the cutoff (kInf when the
+    /// search was not cut off): the proven optimality floor on a timeout.
+    double minAbandonedBound = kInf;
+  };
+
+  ExactSearch(Behavior& bhv, const ResourceLibrary& lib,
+              const SchedulerOptions& opts, long long nodeBudget,
+              double timeBudgetSeconds)
+      : bhv_(bhv),
+        lib_(lib),
+        opts_(opts),
+        nodeBudget_(nodeBudget),
+        timeBudgetSeconds_(timeBudgetSeconds),
+        lat_(std::make_shared<LatencyTable>(bhv.cfg)) {}
+
+  std::shared_ptr<const LatencyTable> latency() const { return lat_; }
+
+  Result run(const Schedule* seed, double seedCost);
+
+ private:
+  struct KeyInfo {
+    ResourceClass cls = ResourceClass::kNone;
+    int width = 0;
+    const VariantCurve* curve = nullptr;
+    double minArea = 0;
+    bool dedicated = false;
+    int remaining = 0;  ///< unassigned ops of this key
+  };
+
+  struct PerOp {
+    OpId op;
+    bool io = false;
+    double ioDelay = 0;
+    bool oneStateIn = false;  ///< fixed write: preds need latency >= 1
+    int keyIdx = -1;          ///< into keys_; -1 for I/O
+    std::vector<CfgEdgeId> spanEdges;
+    std::vector<OpId> preds;
+  };
+
+  struct Inst {
+    int keyIdx = -1;
+    double delay = 0;
+    bool dedicated = false;
+    std::vector<OpId> ops;
+  };
+
+  void dfs(std::size_t idx);
+  bool depsOk(const PerOp& po, CfgEdgeId e) const;
+  bool chainsFeasible(std::size_t upto);
+  double lowerBound() const;
+  /// Counts one search node against the budgets; true = stop searching.
+  bool tick();
+  void signalDone();
+  void recordIncumbent();
+  double effDelayOf(std::size_t opOrd) const;
+
+  Behavior& bhv_;
+  const ResourceLibrary& lib_;
+  const SchedulerOptions& opts_;
+  const long long nodeBudget_;
+  const double timeBudgetSeconds_;
+  std::shared_ptr<LatencyTable> lat_;
+  std::chrono::steady_clock::time_point startTime_;
+
+  std::vector<PerOp> ops_;  ///< schedulable ops, DFG topological order
+  std::vector<KeyInfo> keys_;
+  int shareCap_ = 1;  ///< max ops one shared instance can ever hold
+
+  // --- mutable search state -----------------------------------------------
+  std::vector<CfgEdgeId> edgeOf_;   ///< by op index; invalid = unassigned
+  std::vector<int> instOf_;         ///< by op index; -1 = I/O / unassigned
+  std::vector<double> startOf_;     ///< by op index, valid for assigned ops
+  std::vector<double> effOf_;       ///< mux + variant delay, assigned ops
+  std::vector<Inst> insts_;
+  std::vector<std::vector<int>> keyInsts_;  ///< per key, creation order
+  double cost_ = 0;
+
+  double best_ = kInf;
+  bool done_ = false;
+  std::vector<double> stackLb_;
+  Result result_;
+};
+
+ExactSearch::Result ExactSearch::run(const Schedule* seed, double seedCost) {
+  const Cfg& cfg = bhv_.cfg;
+  const Dfg& dfg = bhv_.dfg;
+  startTime_ = std::chrono::steady_clock::now();
+
+  // Shared-class width grouping mirrors the list scheduler's keyFor so both
+  // engines answer the same allocation problem.
+  std::map<ResourceClass, int> maxWidth;
+  if (opts_.mergeWidths) {
+    for (OpId op : dfg.schedulableOps()) {
+      const Operation& o = dfg.op(op);
+      ResourceClass cls = resourceClassOf(o.kind);
+      if (cls == ResourceClass::kIo || isDedicatedClass(cls)) continue;
+      auto [it, inserted] = maxWidth.emplace(cls, o.width);
+      if (!inserted) it->second = std::max(it->second, o.width);
+    }
+  }
+
+  OpSpanAnalysis spans(cfg, dfg, *lat_);
+  std::map<std::pair<ResourceClass, int>, int> keyIndex;
+  std::vector<char> schedulable(dfg.numOps(), 0);
+  for (OpId op : dfg.schedulableOps()) schedulable[op.index()] = 1;
+  for (OpId op : dfg.topoOrder()) {
+    if (!schedulable[op.index()]) continue;
+    const Operation& o = dfg.op(op);
+    PerOp po;
+    po.op = op;
+    po.spanEdges = spans.span(op).edges;
+    po.preds = dfg.timingPreds(op);
+    ResourceClass cls = resourceClassOf(o.kind);
+    if (cls == ResourceClass::kIo) {
+      po.io = true;
+      po.ioDelay = o.kind == OpKind::kOutput ? 0.0 : lib_.config().ioDelay;
+      po.oneStateIn = o.fixed && o.kind == OpKind::kWrite;
+    } else {
+      int width = o.width;
+      if (!isDedicatedClass(cls)) {
+        auto it = maxWidth.find(cls);
+        if (it != maxWidth.end()) width = it->second;
+      }
+      auto [it, inserted] =
+          keyIndex.emplace(std::make_pair(cls, width), keys_.size());
+      if (inserted) {
+        KeyInfo ki;
+        ki.cls = cls;
+        ki.width = width;
+        ki.curve = &lib_.curve(cls, width);
+        ki.minArea = ki.curve->minArea();
+        ki.dedicated = isDedicatedClass(cls);
+        keys_.push_back(ki);
+      }
+      po.keyIdx = it->second;
+      keys_[po.keyIdx].remaining++;
+    }
+    ops_.push_back(std::move(po));
+  }
+  keyInsts_.assign(keys_.size(), {});
+
+  int forwardEdges = 0;
+  for (CfgEdgeId e : cfg.topoEdges()) {
+    if (!cfg.edge(e).backward) forwardEdges++;
+  }
+  shareCap_ = std::max(1, std::min(forwardEdges, opts_.maxShare));
+
+  edgeOf_.assign(dfg.numOps(), CfgEdgeId::invalid());
+  instOf_.assign(dfg.numOps(), -1);
+  startOf_.assign(dfg.numOps(), 0.0);
+  effOf_.assign(dfg.numOps(), 0.0);
+
+  if (seed) {
+    best_ = seedCost;
+    result_.found = true;
+    result_.schedule = *seed;
+    result_.bestCost = seedCost;
+  }
+
+  dfs(0);
+
+  result_.exhausted = !done_;
+  return result_;
+}
+
+bool ExactSearch::depsOk(const PerOp& po, CfgEdgeId e) const {
+  const Cfg& cfg = bhv_.cfg;
+  for (OpId p : po.preds) {
+    CfgEdgeId pe = edgeOf_[p.index()];
+    if (!cfg.edgeReaches(pe, e)) return false;
+    int l = lat_->latency(pe, e);
+    if (l == LatencyTable::kUndefined) return false;
+    if (po.oneStateIn && l < 1) return false;
+  }
+  return true;
+}
+
+double ExactSearch::effDelayOf(std::size_t opOrd) const {
+  const PerOp& po = ops_[opOrd];
+  if (po.io) return po.ioDelay;
+  const Inst& inst = insts_[instOf_[po.op.index()]];
+  double muxD =
+      inst.dedicated ? 0.0 : lib_.muxDelay(static_cast<int>(inst.ops.size()));
+  return muxD + inst.delay;
+}
+
+bool ExactSearch::chainsFeasible(std::size_t upto) {
+  // Full ASAP recompute over the assigned prefix: joining an instance grows
+  // its input mux and slows every mate, so earlier starts can shift.  The
+  // prefix is in DFG topological order, so one sweep reaches the fixpoint.
+  const double T = opts_.clockPeriod;
+  const double seqMargin = lib_.config().seqMargin;
+  for (std::size_t i = 0; i <= upto; ++i) {
+    const PerOp& po = ops_[i];
+    const CfgEdgeId e = edgeOf_[po.op.index()];
+    const double eff = effDelayOf(i);
+    double start = seqMargin;
+    for (OpId p : po.preds) {
+      if (lat_->latency(edgeOf_[p.index()], e) == 0) {
+        start = std::max(start, startOf_[p.index()] + effOf_[p.index()]);
+      }
+    }
+    if (start + eff > T + kEps) return false;
+    startOf_[po.op.index()] = start;
+    effOf_[po.op.index()] = eff;
+  }
+  return true;
+}
+
+double ExactSearch::lowerBound() const {
+  // Admissible: opened instances are already paid for in cost_ at their
+  // exact committed variants; every unassigned op of a key must land on an
+  // existing instance's spare slot or force new instances, each at least
+  // minArea.  A shared instance can never hold more ops than there are
+  // pairwise non-concurrent forward edges (two ops on one edge always
+  // conflict), so shareCap_ bounds both spare and new-instance capacity.
+  double lb = cost_;
+  for (std::size_t k = 0; k < keys_.size(); ++k) {
+    const KeyInfo& ki = keys_[k];
+    if (ki.remaining <= 0) continue;
+    if (ki.dedicated) {
+      lb += ki.remaining * ki.minArea;
+      continue;
+    }
+    long long spare = 0;
+    for (int id : keyInsts_[k]) {
+      spare += std::max<long long>(
+          0, shareCap_ - static_cast<long long>(insts_[id].ops.size()));
+    }
+    long long need = ki.remaining - spare;
+    if (need > 0) {
+      lb += static_cast<double>((need + shareCap_ - 1) / shareCap_) *
+            ki.minArea;
+    }
+  }
+  return lb;
+}
+
+bool ExactSearch::tick() {
+  ++result_.nodes;
+  if (nodeBudget_ > 0 && result_.nodes > nodeBudget_) {
+    result_.cutoff = true;
+    signalDone();
+    return true;
+  }
+  if ((result_.nodes & 0xff) == 0) {
+    if (opts_.cancel.cancelled()) {
+      result_.cancelled = true;
+      signalDone();
+      return true;
+    }
+    if (timeBudgetSeconds_ > 0) {
+      double elapsed = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - startTime_)
+                           .count();
+      if (elapsed > timeBudgetSeconds_) {
+        result_.cutoff = true;
+        signalDone();
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+void ExactSearch::signalDone() {
+  done_ = true;
+  // Everything still unexplored hangs off the current DFS stack; each
+  // frame's entry bound underestimates all of its abandoned siblings'
+  // subtrees, so the min over the stack is a valid global floor.
+  for (double lb : stackLb_) {
+    result_.minAbandonedBound = std::min(result_.minAbandonedBound, lb);
+  }
+}
+
+void ExactSearch::recordIncumbent() {
+  const Dfg& dfg = bhv_.dfg;
+  Schedule s;
+  s.clockPeriod = opts_.clockPeriod;
+  s.opEdge.assign(dfg.numOps(), CfgEdgeId::invalid());
+  s.opFu.assign(dfg.numOps(), FuId::invalid());
+  s.opStart.assign(dfg.numOps(), 0.0);
+  s.opDelay.assign(dfg.numOps(), 0.0);
+  s.fus.reserve(insts_.size());
+  for (std::size_t f = 0; f < insts_.size(); ++f) {
+    const Inst& in = insts_[f];
+    const KeyInfo& ki = keys_[in.keyIdx];
+    FuInstance fu;
+    fu.cls = ki.cls;
+    fu.width = ki.width;
+    fu.delay = in.delay;
+    fu.dedicated = in.dedicated;
+    fu.ops = in.ops;
+    fu.name = strCat(toString(ki.cls), ki.width, "_", f);
+    s.fus.push_back(std::move(fu));
+  }
+  for (const PerOp& po : ops_) {
+    const std::size_t i = po.op.index();
+    s.opEdge[i] = edgeOf_[i];
+    s.opStart[i] = startOf_[i];
+    s.opDelay[i] = effOf_[i];
+    if (instOf_[i] >= 0) {
+      s.opFu[i] = FuId(static_cast<std::int32_t>(instOf_[i]));
+    }
+  }
+  best_ = cost_;
+  result_.found = true;
+  result_.bestCost = cost_;
+  result_.schedule = std::move(s);
+}
+
+void ExactSearch::dfs(std::size_t idx) {
+  if (done_) return;
+  const double lb = lowerBound();
+  if (lb >= best_ - kEps) return;
+  if (idx == ops_.size()) {
+    recordIncumbent();
+    return;
+  }
+  stackLb_.push_back(lb);
+  const PerOp& po = ops_[idx];
+  const std::size_t oi = po.op.index();
+  KeyInfo* ki = po.keyIdx >= 0 ? &keys_[po.keyIdx] : nullptr;
+
+  for (CfgEdgeId e : po.spanEdges) {
+    if (done_) break;
+    if (!depsOk(po, e)) continue;
+
+    if (po.io) {
+      if (tick()) break;
+      edgeOf_[oi] = e;
+      if (chainsFeasible(idx)) dfs(idx + 1);
+      edgeOf_[oi] = CfgEdgeId::invalid();
+      continue;
+    }
+
+    // Join an existing shared instance (committed delay, zero area delta;
+    // fuArea carries no mux cost, so sharing is free unless a grown mux
+    // breaks a chain -- chainsFeasible decides).
+    if (!ki->dedicated) {
+      const std::size_t nOpen = keyInsts_[po.keyIdx].size();
+      for (std::size_t ii = 0; ii < nOpen; ++ii) {
+        if (done_) break;
+        const int id = keyInsts_[po.keyIdx][ii];
+        if (static_cast<int>(insts_[id].ops.size()) >= opts_.maxShare) {
+          continue;
+        }
+        bool conflict = false;
+        for (OpId q : insts_[id].ops) {
+          if (edgesConcurrent(bhv_.cfg, *lat_, edgeOf_[q.index()], e)) {
+            conflict = true;
+            break;
+          }
+        }
+        if (conflict) continue;
+        if (tick()) break;
+        // Index insts_ afresh around the recursion: deeper frames opening
+        // instances may reallocate the vector.
+        insts_[id].ops.push_back(po.op);
+        edgeOf_[oi] = e;
+        instOf_[oi] = id;
+        ki->remaining--;
+        if (chainsFeasible(idx)) dfs(idx + 1);
+        ki->remaining++;
+        instOf_[oi] = -1;
+        edgeOf_[oi] = CfgEdgeId::invalid();
+        insts_[id].ops.pop_back();
+      }
+      if (done_) break;
+    }
+
+    // Open ONE new instance (empty instances are interchangeable, so a
+    // single fresh slot per step covers all bindings), branching over the
+    // discrete variant points slowest/cheapest first.
+    const auto& points = ki->curve->points();
+    for (auto it = points.rbegin(); it != points.rend(); ++it) {
+      if (done_) break;
+      if (tick()) break;
+      const double area = ki->curve->areaAt(it->delay);
+      Inst inst;
+      inst.keyIdx = po.keyIdx;
+      inst.delay = it->delay;
+      inst.dedicated = ki->dedicated;
+      inst.ops.push_back(po.op);
+      const int id = static_cast<int>(insts_.size());
+      insts_.push_back(std::move(inst));
+      keyInsts_[po.keyIdx].push_back(id);
+      edgeOf_[oi] = e;
+      instOf_[oi] = id;
+      ki->remaining--;
+      cost_ += area;
+      if (chainsFeasible(idx)) dfs(idx + 1);
+      cost_ -= area;
+      ki->remaining++;
+      instOf_[oi] = -1;
+      edgeOf_[oi] = CfgEdgeId::invalid();
+      keyInsts_[po.keyIdx].pop_back();
+      insts_.pop_back();
+    }
+  }
+  stackLb_.pop_back();
+}
+
+}  // namespace
+
+ScheduleOutcome exactScheduleBehavior(Behavior& bhv, const ResourceLibrary& lib,
+                                      const SchedulerOptions& opts) {
+  THLS_REQUIRE(opts.clockPeriod > 0, "clock period must be positive");
+  THLS_REQUIRE(opts.mode != SchedulerMode::kList,
+               "exactScheduleBehavior called in list mode");
+  THLS_TRACE_SPAN_V(span, "sched.exact");
+
+  ScheduleOutcome outcome;
+  // Pre-fired tokens stop the run before any search node: the in-search
+  // poll only fires every 256 nodes, which a tiny problem never reaches.
+  if (opts.cancel.cancelled()) {
+    outcome.success = false;
+    outcome.cancelled = true;
+    outcome.failureReason = "cancelled";
+    span.arg("cancelled", true);
+    return outcome;
+  }
+  double seedCost = kInf;
+  bool haveSeed = false;
+  if (opts.mode == SchedulerMode::kExactWithFallback) {
+    // The list scheduler runs first: its relaxation ladder may legally
+    // mutate the CFG (allowAddState), and the exact search then answers the
+    // same final problem.  Its result seeds the incumbent, making "never
+    // worse than the list scheduler" structural.
+    SchedulerOptions listOpts = opts;
+    listOpts.mode = SchedulerMode::kList;
+    listOpts.exactSeedRelaxation = false;
+    listOpts.exactSeedBudgetCaps = false;
+    ScheduleOutcome listOut = scheduleBehavior(bhv, lib, listOpts);
+    if (listOut.cancelled) return listOut;
+    haveSeed = listOut.success;
+    if (haveSeed) seedCost = listOut.schedule.fuArea(lib);
+    outcome = std::move(listOut);  // stats/budgets/latency carried forward
+  }
+
+  ExactSearch search(bhv, lib, opts, opts.exactNodeBudget,
+                     opts.exactTimeBudgetSeconds);
+  ExactSearch::Result res =
+      search.run(haveSeed ? &outcome.schedule : nullptr, seedCost);
+
+  SchedulerStats& stats = outcome.stats;
+  stats.exactNodesExplored += res.nodes;
+  stats.exactTimedOut = res.cutoff;
+  stats.exactOptimal = res.exhausted && res.found;
+  double lower = res.exhausted
+                     ? res.bestCost
+                     : std::min(res.minAbandonedBound, res.bestCost);
+  stats.exactLowerBound = std::isfinite(lower) ? lower : 0.0;
+
+  if (span.active()) {
+    span.arg("ops", bhv.dfg.schedulableOps().size())
+        .arg("nodes", res.nodes)
+        .arg("lower_bound", stats.exactLowerBound)
+        .arg("optimal", stats.exactOptimal)
+        .arg("timed_out", stats.exactTimedOut)
+        .arg("fallback", haveSeed);
+    if (res.found) span.arg("area", res.bestCost);
+  }
+
+  if (res.cancelled) {
+    outcome.success = false;
+    outcome.cancelled = true;
+    outcome.failureReason = "cancelled";
+    // The incumbent (if any) is carried for inspection; callers key off the
+    // cancelled flag, never off schedule contents.
+    outcome.schedule = std::move(res.schedule);
+    outcome.latency = nullptr;
+    return outcome;
+  }
+  if (res.found) {
+    outcome.success = true;
+    outcome.cancelled = false;
+    outcome.failureReason.clear();
+    outcome.schedule = std::move(res.schedule);
+    outcome.latency = search.latency();
+    return outcome;
+  }
+  outcome.success = false;
+  outcome.cancelled = false;
+  outcome.latency = nullptr;
+  outcome.failureReason =
+      res.cutoff ? strCat("exact: search budget exhausted without a schedule"
+                          " (proven lower bound ",
+                          stats.exactLowerBound, ")")
+                 : "exact: no feasible schedule over the discrete variant "
+                   "space";
+  return outcome;
+}
+
+ExactAllocation exactProbeAllocation(Behavior& bhv, const ResourceLibrary& lib,
+                                     const SchedulerOptions& opts,
+                                     long long nodeBudget,
+                                     ScheduleOutcome* outcome) {
+  THLS_TRACE_SPAN_V(span, "sched.exact");
+  span.arg("probe", true);
+  // The probe is pure exact (no list fallback -- the caller IS the list
+  // scheduler) and node-budgeted only: a wall-clock cutoff would make the
+  // seeded grant sizes nondeterministic.
+  ExactSearch search(bhv, lib, opts, nodeBudget, /*timeBudgetSeconds=*/0);
+  ExactSearch::Result res = search.run(nullptr, kInf);
+
+  ScheduleOutcome out;
+  out.success = res.found && !res.cancelled;
+  out.cancelled = res.cancelled;
+  out.stats.exactNodesExplored = res.nodes;
+  out.stats.exactTimedOut = res.cutoff;
+  out.stats.exactOptimal = res.exhausted && res.found;
+  double lower = res.exhausted
+                     ? res.bestCost
+                     : std::min(res.minAbandonedBound, res.bestCost);
+  out.stats.exactLowerBound = std::isfinite(lower) ? lower : 0.0;
+
+  ExactAllocation alloc;
+  if (res.found) {
+    std::map<std::pair<ResourceClass, int>, int> counts;
+    for (const FuInstance& fu : res.schedule.fus) {
+      if (fu.ops.empty() || fu.dedicated || fu.cls == ResourceClass::kIo) {
+        continue;
+      }
+      counts[{fu.cls, fu.width}]++;
+    }
+    for (const auto& [key, n] : counts) {
+      alloc.cls.push_back(key.first);
+      alloc.width.push_back(key.second);
+      alloc.instances.push_back(n);
+    }
+  }
+  if (span.active()) {
+    span.arg("nodes", res.nodes)
+        .arg("optimal", out.stats.exactOptimal)
+        .arg("timed_out", out.stats.exactTimedOut);
+  }
+  if (outcome) {
+    out.schedule = std::move(res.schedule);
+    *outcome = std::move(out);
+  }
+  return alloc;
+}
+
+}  // namespace thls

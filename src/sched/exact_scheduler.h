@@ -1,0 +1,57 @@
+// Exact branch-and-bound reference scheduler (docs/optimality.md).
+//
+// Explores the joint space the list scheduler navigates heuristically:
+//   * sched: O -> E   over each op's free span,
+//   * bind:  O -> Res over compatible instances (one fresh instance per
+//     step -- empty instances are interchangeable, so first-fit new-instance
+//     branching is complete), and
+//   * one library variant point per instance, chosen when it opens,
+// minimizing Schedule::fuArea (the quantity Table 2 compares).  Partial
+// assignments are pruned with an admissible area lower bound (opened
+// instances at their committed variants plus the cheapest-variant cost of
+// the instances the unassigned ops still force), so a completed search is a
+// proof of optimality over that discrete space; the continuous-sizing
+// refinement the heuristic flow enjoys is deliberately outside it.
+//
+// The search honors CancelToken and two budgets (node count = the
+// deterministic cutoff, wall clock = opt-in), returning the incumbent with
+// `SchedulerStats::exactTimedOut` and a proven lower bound when cut off.
+// `SchedulerMode::kExactWithFallback` seeds the incumbent from a full list
+// scheduler run first, making "never worse than the list scheduler" true by
+// construction.
+#pragma once
+
+#include "sched/list_scheduler.h"
+
+namespace thls {
+
+/// scheduleBehavior's exact-mode backend; call through scheduleBehavior
+/// (which dispatches on SchedulerOptions::mode) unless a test needs the
+/// engine in isolation.  `opts.mode` must be kExact or kExactWithFallback.
+/// The exact search itself never mutates `bhv`; the embedded list fallback
+/// may insert states when opts.allowAddState is set (the exact search then
+/// runs on the relaxed CFG -- both engines answer the same final problem).
+ScheduleOutcome exactScheduleBehavior(Behavior& bhv, const ResourceLibrary& lib,
+                                      const SchedulerOptions& opts);
+
+/// Per-(class, width) instance usage of a schedule, the shape the
+/// exactSeedRelaxation hatch feeds back into the ladder's grant sizing.
+/// Shared classes count non-empty instances; dedicated and I/O classes are
+/// omitted (the ladder never grants them).
+struct ExactAllocation {
+  std::vector<ResourceClass> cls;
+  std::vector<int> width;
+  std::vector<int> instances;
+};
+
+/// Bounded pure-exact probe for the relaxation-seeding hatch: no list
+/// fallback, `nodeBudget` nodes, never mutates `bhv`.  Returns an empty
+/// allocation when the probe found no complete schedule in budget (callers
+/// fall back to default grant sizing).  `outcome` (optional) receives the
+/// probe's full result for cap seeding and instrumentation.
+ExactAllocation exactProbeAllocation(Behavior& bhv, const ResourceLibrary& lib,
+                                     const SchedulerOptions& opts,
+                                     long long nodeBudget,
+                                     ScheduleOutcome* outcome = nullptr);
+
+}  // namespace thls

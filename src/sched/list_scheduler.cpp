@@ -10,6 +10,7 @@
 #include <tuple>
 
 #include "ir/opspan.h"
+#include "sched/exact_scheduler.h"
 #include "support/scoped_timer.h"
 #include "support/trace.h"
 #include "timing/timed_dfg.h"
@@ -135,6 +136,14 @@ class SchedulerImpl {
   /// Adaptive escalation: base step, doubled while the same (cls, width)
   /// keeps falling short on consecutive relaxations.
   int sizeWant(const AllocKey& key, int base);
+  /// sizeWant plus the exactSeedRelaxation hatch: when the bounded exact
+  /// probe found a complete schedule, jump the grant straight to the probe's
+  /// per-key instance count instead of geometrically feeling the way there.
+  /// With the hatch off this IS sizeWant -- bit-for-bit.
+  int seededWant(const AllocKey& key, int base);
+  /// Runs the bounded exact probe once per SchedulerImpl lifetime (lazy:
+  /// callers only reach it from a relaxation shortfall or the caps hatch).
+  void maybeRunSeedProbe();
   int groupSizeOf(const AllocKey& key) const {
     auto it = groupSize_.find(key);
     return it == groupSize_.end() ? 0 : it->second;
@@ -220,6 +229,15 @@ class SchedulerImpl {
   };
   std::map<AllocKey, GrantRecord> grantHistory_;
   int relaxAttempt_ = 0;
+
+  // --- exactSeedRelaxation / exactSeedBudgetCaps state ---
+  bool seedProbeDone_ = false;
+  /// Per-key shared instance counts of the probe's best complete schedule;
+  /// empty when the probe was skipped, exhausted, or found nothing.
+  std::map<AllocKey, int> seedAlloc_;
+  /// Full probe result, kept for the caps hatch (needs the optimal
+  /// schedule's per-op variant delays).
+  ScheduleOutcome seedProbeOutcome_;
 };
 
 void SchedulerImpl::computeInitialAllocation() {
@@ -940,6 +958,43 @@ int SchedulerImpl::sizeWant(const AllocKey& key, int base) {
   return want;
 }
 
+void SchedulerImpl::maybeRunSeedProbe() {
+  if (seedProbeDone_) return;
+  seedProbeDone_ = true;
+  THLS_TRACE_SPAN_V(probeSpan, "sched.seed_probe");
+  SchedulerOptions popts = opts_;
+  popts.mode = SchedulerMode::kExact;
+  popts.exactSeedRelaxation = false;
+  popts.exactSeedBudgetCaps = false;
+  ExactAllocation pa = exactProbeAllocation(bhv_, lib_, popts,
+                                            opts_.exactSeedNodeBudget,
+                                            &seedProbeOutcome_);
+  stats_.exactNodesExplored += seedProbeOutcome_.stats.exactNodesExplored;
+  for (std::size_t i = 0; i < pa.cls.size(); ++i) {
+    seedAlloc_[{pa.cls[i], pa.width[i]}] = pa.instances[i];
+  }
+  probeSpan.arg("found", seedProbeOutcome_.success)
+      .arg("optimal", seedProbeOutcome_.stats.exactOptimal)
+      .arg("nodes", seedProbeOutcome_.stats.exactNodesExplored);
+}
+
+int SchedulerImpl::seededWant(const AllocKey& key, int base) {
+  int want = sizeWant(key, base);
+  if (!opts_.exactSeedRelaxation) return want;
+  maybeRunSeedProbe();
+  auto it = seedAlloc_.find(key);
+  if (it != seedAlloc_.end()) {
+    auto cur = allocation_.find(key);
+    const int have = cur == allocation_.end() ? 0 : cur->second;
+    const int probeWant = it->second - have;
+    if (probeWant > want) {
+      want = probeWant;
+      stats_.exactSeededGrants++;
+    }
+  }
+  return want;
+}
+
 bool SchedulerImpl::relax(const PassFailure& failure, RelaxOutcome* out) {
   stats_.relaxations++;
   ++relaxAttempt_;
@@ -970,7 +1025,7 @@ bool SchedulerImpl::relax(const PassFailure& failure, RelaxOutcome* out) {
       // they greedily fill, losing sharing.  Repeated shortfalls of the
       // same class double the step (sizeWant).
       int want =
-          sizeWant(key, (failure.unscheduledOfClass + states - 1) / states);
+          seededWant(key, (failure.unscheduledOfClass + states - 1) / states);
       if (addInstances(key, want)) return true;
       // Fully dedicated already; treat as a timing problem.
       [[fallthrough]];
@@ -988,8 +1043,8 @@ bool SchedulerImpl::relax(const PassFailure& failure, RelaxOutcome* out) {
       // Extra instances also relieve timing (shallower input muxes, more
       // same-cycle slots); a stranded op usually means its whole class was
       // starved of slots upstream, so size the step like a shortage.
-      int want = sizeWant({failure.cls, failure.width},
-                          (failure.unscheduledOfClass + states - 1) / states);
+      int want = seededWant({failure.cls, failure.width},
+                            (failure.unscheduledOfClass + states - 1) / states);
       if (addInstances({failure.cls, failure.width}, want)) did = true;
       // Same op stranded twice with its variant already fastest and its own
       // class saturated: the blamed class is not the real bottleneck (often
@@ -1199,6 +1254,23 @@ ScheduleOutcome SchedulerImpl::run() {
   }
   computeInitialAllocation();
   budgetBounds_ = budgetBoundsFor(bhv_.dfg, lib_, opts_.clockPeriod);
+  if (opts_.exactSeedBudgetCaps) {
+    // Caps steer the initial budgeting, so this hatch runs the probe
+    // eagerly (unlike the lazy grant seeding).  Only a PROVEN-optimal probe
+    // may tighten: a merely-good incumbent's variant mix is not a target.
+    maybeRunSeedProbe();
+    if (seedProbeOutcome_.success && seedProbeOutcome_.stats.exactOptimal) {
+      const Schedule& s = seedProbeOutcome_.schedule;
+      for (OpId op : schedulable_) {
+        FuId f = s.opFu[op.index()];
+        if (!f.valid()) continue;
+        double core = std::max(s.fus[f.index()].delay,
+                               budgetBounds_.bounds.minDelay[op.index()]);
+        budgetBounds_.caps[op.index()] =
+            std::min(budgetBounds_.caps[op.index()], core);
+      }
+    }
+  }
 
   ScheduleOutcome outcome;
   auto cancelledOutcome = [&]() {
@@ -1268,6 +1340,9 @@ ScheduleOutcome SchedulerImpl::run() {
 
 ScheduleOutcome scheduleBehavior(Behavior& bhv, const ResourceLibrary& lib,
                                  const SchedulerOptions& opts) {
+  if (opts.mode != SchedulerMode::kList) {
+    return exactScheduleBehavior(bhv, lib, opts);
+  }
   SchedulerImpl impl(bhv, lib, opts);
   return impl.run();
 }

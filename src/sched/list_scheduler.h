@@ -32,6 +32,20 @@ namespace thls {
 ///   kBudgeted -- the paper's proposal: Fig. 7 slack budgeting up front.
 enum class StartPolicy { kFastest, kSlowest, kBudgeted };
 
+/// Which engine answers scheduleBehavior (docs/optimality.md):
+///   kList             -- the production list scheduler (paper §VI);
+///   kExact            -- branch-and-bound exact search over (edge, binding,
+///                        library variant) assignments, minimizing
+///                        Schedule::fuArea.  No fallback: a budget-exhausted
+///                        run without an incumbent reports failure with the
+///                        proven lower bound.
+///   kExactWithFallback-- runs the list scheduler first, seeds the exact
+///                        search's incumbent with its result, and returns the
+///                        best of the two -- never worse than the list
+///                        scheduler by construction; on budget exhaustion the
+///                        incumbent is returned with `exactTimedOut` set.
+enum class SchedulerMode { kList, kExact, kExactWithFallback };
+
 struct SchedulerOptions {
   double clockPeriod = 0;
   StartPolicy startPolicy = StartPolicy::kBudgeted;
@@ -86,13 +100,47 @@ struct SchedulerOptions {
   /// are bit-for-bit identical either way (differentially tested in
   /// tests/relaxation_incremental_test.cpp).
   bool incrementalRelaxation = true;
+  /// Engine selection (see SchedulerMode).  Exact modes never mutate the
+  /// CFG themselves (kExactWithFallback's embedded list run may, when
+  /// allowAddState is set) and bypass the flow's component pipeline.
+  SchedulerMode mode = SchedulerMode::kList;
+  /// Search-node budget for the exact modes: the deterministic timeout
+  /// mechanism (identical runs explore identical node sequences).  <= 0
+  /// disables the node cutoff.  The default exhausts (proves optimality
+  /// for) the small registry workloads -- resizer and interpolation -- in
+  /// well under a second; the bigger ones time out with a certificate.
+  long long exactNodeBudget = 10'000'000;
+  /// Wall-clock budget for the exact modes, seconds; <= 0 (default)
+  /// disables it.  NOTE: a time-based cutoff is nondeterministic -- two
+  /// runs may abandon the search at different nodes and return different
+  /// (still legal, still incumbent-best) schedules.  Keep it disabled for
+  /// anything flow-cached or differentially compared; prefer
+  /// exactNodeBudget.
+  double exactTimeBudgetSeconds = 0;
+  /// Escape hatch (docs/optimality.md §6): when the list-mode relaxation
+  /// ladder hits a resource shortfall, run a bounded exact probe once and
+  /// size the ladder's grants so the allocation jumps straight to the
+  /// probe's per-class instance counts instead of geometrically feeling
+  /// its way there.  Runs that never relax are bit-for-bit unaffected (the
+  /// probe is lazy -- it only runs on the first shortfall).
+  bool exactSeedRelaxation = false;
+  /// Node budget of the exactSeedRelaxation probe (kept small: an
+  /// exhausted probe simply leaves the ladder's default sizing in place).
+  long long exactSeedNodeBudget = 50'000;
+  /// Second half of the escape hatch: when the probe proves optimality,
+  /// also tighten BudgetBounds::caps to each op's delay in the optimal
+  /// schedule, steering the positive-slack spend toward the optimum's
+  /// variant mix.  Changes budgets (and therefore schedules) whenever the
+  /// probe succeeds -- experimental, off by default, legality-tested but
+  /// not bit-for-bit.
+  bool exactSeedBudgetCaps = false;
   /// Cooperative cancellation (support/cancel.h), polled at pass starts,
-  /// placement-round boundaries, and inside the budgeting loops.  A
-  /// cancelled run returns `ScheduleOutcome::cancelled` within one
-  /// placement round -- never an exception mid-mutation.  Like the flow's
-  /// TaskPool pointer, the token does not participate in option hashing
-  /// (explore/flow_cache.h): it changes when a run stops, not what it
-  /// computes.
+  /// placement-round boundaries, inside the budgeting loops, and every few
+  /// hundred nodes of the exact search.  A cancelled run returns
+  /// `ScheduleOutcome::cancelled` within one placement round -- never an
+  /// exception mid-mutation.  Like the flow's TaskPool pointer, the token
+  /// does not participate in option hashing (explore/flow_cache.h): it
+  /// changes when a run stops, not what it computes.
   CancelToken cancel;
 };
 
@@ -125,6 +173,25 @@ struct SchedulerStats {
   double latencySeconds = 0;  ///< LatencyTable build/update wall clock
   double timingSeconds = 0;   ///< timing-analysis wall clock
   double relaxSeconds = 0;    ///< relaxation expert system wall clock
+  // --- exact branch-and-bound instrumentation (modes kExact* and the
+  // exactSeedRelaxation probe; docs/optimality.md) ---
+  /// Search nodes expanded (assignment attempts), across the main exact
+  /// search and any seeding probe.
+  long long exactNodesExplored = 0;
+  /// True when the exact search was cut off by its node/time budget before
+  /// exhausting the space; the returned schedule is the incumbent (or the
+  /// list fallback) and exactLowerBound is the proven floor.
+  bool exactTimedOut = false;
+  /// True when the search exhausted the space: the returned fuArea is
+  /// optimal over (edge, binding, library variant point) assignments
+  /// within 1e-6 area units.
+  bool exactOptimal = false;
+  /// Proven lower bound on the optimal Schedule::fuArea.  Equals the
+  /// returned area when exactOptimal; on a timeout it is the min over the
+  /// abandoned frontier's bounds.  0 when no exact search ran.
+  double exactLowerBound = 0;
+  /// Relaxation grants resized by the exactSeedRelaxation probe.
+  int exactSeededGrants = 0;
 };
 
 struct ScheduleOutcome {

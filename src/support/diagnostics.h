@@ -21,6 +21,16 @@ class HlsError : public std::runtime_error {
   explicit HlsError(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// Malformed *request* shape, as opposed to an infeasible-but-well-formed
+/// problem: a campaign grid with a non-positive clock, a degenerate scale
+/// list, an empty workload set.  Subclasses HlsError so existing catch
+/// sites keep recovering; catch ValidationError specifically to tell "fix
+/// the request" apart from "the constraints cannot be met".
+class ValidationError : public HlsError {
+ public:
+  explicit ValidationError(const std::string& what) : HlsError(what) {}
+};
+
 /// Internal invariant violation (a bug in TradeHLS itself).
 class InternalError : public std::logic_error {
  public:

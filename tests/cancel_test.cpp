@@ -264,6 +264,120 @@ TEST(CancelEngineTest, DeadlineTokenCancelsBatch) {
   EXPECT_TRUE(src.token().deadlineExpired());
 }
 
+// --- Exact branch-and-bound search under cancellation ---------------------
+
+workloads::NamedWorkload interpolationWorkload() {
+  for (const workloads::NamedWorkload& w : workloads::standardWorkloads()) {
+    if (w.name == "interpolation") return w;
+  }
+  ADD_FAILURE() << "registry lost the interpolation workload";
+  return workloads::standardWorkloads().front();
+}
+
+SchedulerOptions exactInterpolationOpts(const workloads::NamedWorkload& w) {
+  SchedulerOptions opts;
+  opts.clockPeriod = w.clockPeriod;
+  opts.mode = SchedulerMode::kExact;
+  opts.exactNodeBudget = 0;  // no node cutoff: only the token can stop it
+  return opts;
+}
+
+// A deadline firing *inside* the B&B loop (the every-256-nodes poll) must
+// surface as a cancelled outcome -- flagged, never thrown -- and must not
+// mutate the caller's Behavior.
+TEST(CancelExactSearchTest, DeadlineMidSearchReturnsCancelled) {
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+  const workloads::NamedWorkload w = interpolationWorkload();
+  Behavior bhv = w.make();
+  const std::size_t statesBefore = bhv.cfg.numStates();
+
+  CancelSource src;
+  SchedulerOptions opts = exactInterpolationOpts(w);
+  opts.cancel = src.token();
+  // The full search takes well over this (~3M nodes); the deadline lands
+  // mid-flight.  A pathologically slow machine only moves the firing node
+  // earlier, never past the end of the search.
+  src.setDeadlineAfter(0.01);
+  ScheduleOutcome out = scheduleBehavior(bhv, lib, opts);
+  EXPECT_FALSE(out.success);
+  EXPECT_TRUE(out.cancelled);
+  EXPECT_EQ(out.failureReason, "cancelled");
+  EXPECT_FALSE(out.stats.exactOptimal);
+  EXPECT_EQ(out.latency, nullptr);
+  EXPECT_EQ(bhv.cfg.numStates(), statesBefore);
+  EXPECT_TRUE(src.token().deadlineExpired());
+}
+
+// The reuse contract: a cancelled search poisons nothing -- the very same
+// options (token removed) reproduce an untouched run bit-for-bit,
+// including the node count and the optimality proof.
+TEST(CancelExactSearchTest, SearchReusableBitForBitAfterCancel) {
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+  const workloads::NamedWorkload w = interpolationWorkload();
+
+  Behavior clean = w.make();
+  ScheduleOutcome before =
+      scheduleBehavior(clean, lib, exactInterpolationOpts(w));
+  ASSERT_TRUE(before.success) << before.failureReason;
+  ASSERT_TRUE(before.stats.exactOptimal);
+
+  Behavior doomed = w.make();
+  CancelSource src;
+  SchedulerOptions opts = exactInterpolationOpts(w);
+  opts.cancel = src.token();
+  src.setDeadlineAfter(0.01);
+  ScheduleOutcome cancelled = scheduleBehavior(doomed, lib, opts);
+  EXPECT_TRUE(cancelled.cancelled);
+
+  Behavior retry = w.make();
+  ScheduleOutcome after =
+      scheduleBehavior(retry, lib, exactInterpolationOpts(w));
+  ASSERT_TRUE(after.success) << after.failureReason;
+  EXPECT_TRUE(after.stats.exactOptimal);
+  EXPECT_TRUE(identicalSchedules(before.schedule, after.schedule));
+  EXPECT_EQ(before.stats.exactNodesExplored, after.stats.exactNodesExplored);
+  EXPECT_EQ(before.stats.exactLowerBound, after.stats.exactLowerBound);
+}
+
+// Fallback mode under a mid-run deadline: whether the token fires during
+// the embedded list run or during the exact search, the outcome is a
+// flagged cancellation, never a silent success with a half-searched bound.
+TEST(CancelExactSearchTest, FallbackModeReportsCancelledMidRun) {
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+  const workloads::NamedWorkload w = interpolationWorkload();
+  Behavior bhv = w.make();
+  CancelSource src;
+  SchedulerOptions opts = exactInterpolationOpts(w);
+  opts.mode = SchedulerMode::kExactWithFallback;
+  opts.cancel = src.token();
+  src.setDeadlineAfter(0.01);
+  ScheduleOutcome out = scheduleBehavior(bhv, lib, opts);
+  EXPECT_FALSE(out.success);
+  EXPECT_TRUE(out.cancelled);
+  EXPECT_EQ(out.failureReason, "cancelled");
+}
+
+// Pre-fired tokens never reach the search at all -- even on problems so
+// small the every-256-nodes poll would never trigger.
+TEST(CancelExactSearchTest, PreCancelledTokenSkipsTinySearch) {
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+  for (SchedulerMode mode :
+       {SchedulerMode::kExact, SchedulerMode::kExactWithFallback}) {
+    Behavior bhv = testutil::chainBehavior(2, 2);
+    CancelSource src;
+    src.cancel();
+    SchedulerOptions opts;
+    opts.clockPeriod = 2500.0;
+    opts.mode = mode;
+    opts.cancel = src.token();
+    ScheduleOutcome out = scheduleBehavior(bhv, lib, opts);
+    EXPECT_FALSE(out.success);
+    EXPECT_TRUE(out.cancelled);
+    EXPECT_EQ(out.failureReason, "cancelled");
+    EXPECT_EQ(out.stats.exactNodesExplored, 0);
+  }
+}
+
 // Grid validation (ISSUE 9 satellite): malformed grids are rejected up
 // front with every offending coordinate named, on both entry points.
 TEST(GridValidationTest, RejectsBadCoordinates) {

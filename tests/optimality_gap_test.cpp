@@ -1,0 +1,134 @@
+// The list scheduler's distance from proven optima (docs/optimality.md §5):
+// every small registry workload x all three start policies, with the exact
+// engine as the oracle.  The area numbers pinned here are the same ones
+// bench/optimality_gap gates in CI; a drift in either place means the
+// heuristic (or the cost model under it) changed quality, not just speed.
+#include <gtest/gtest.h>
+
+#include "sched/exact_scheduler.h"
+#include "test_util.h"
+
+namespace thls {
+namespace {
+
+struct PolicyRun {
+  StartPolicy policy;
+  const char* name;
+};
+
+constexpr PolicyRun kPolicies[] = {
+    {StartPolicy::kFastest, "fastest"},
+    {StartPolicy::kSlowest, "slowest"},
+    {StartPolicy::kBudgeted, "budgeted"},
+};
+
+SchedulerOptions optsFor(const workloads::NamedWorkload& w, StartPolicy p,
+                         SchedulerMode mode) {
+  SchedulerOptions opts;
+  opts.clockPeriod = w.clockPeriod;
+  opts.startPolicy = p;
+  opts.rebudgetPerEdge = p == StartPolicy::kBudgeted;
+  opts.mode = mode;
+  return opts;
+}
+
+const workloads::NamedWorkload& registryWorkload(const std::string& name) {
+  static std::vector<workloads::NamedWorkload> all =
+      workloads::standardWorkloads();
+  for (const auto& w : all) {
+    if (w.name == name) return w;
+  }
+  ADD_FAILURE() << "no registry workload named " << name;
+  return all.front();
+}
+
+// The workloads the default node budget exhausts: the optimum is *proven*,
+// so the gap is a real measurement, and the optimum must not depend on the
+// start policy (the exact search never reads it; only the fallback's
+// incumbent seed does).
+TEST(OptimalityGapTest, SmallWorkloadsPinnedAgainstProvenOptima) {
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+  struct Pin {
+    const char* workload;
+    double optimalArea;
+    // Upper bounds on the list gap (percent of optimal), per policy, in
+    // kPolicies order.  Documented in docs/optimality.md §5.
+    double maxGapPercent[3];
+  };
+  const Pin pins[] = {
+      // interpolation: the paper's flagship.  Even the slack-budgeted
+      // heuristic leaves ~71 % on the table at the registry point (the
+      // conventional fastest-start flow ~143 %) -- folding the multiplies
+      // onto few slow instances needs a joint sched+bind view the list
+      // scheduler does not have.  Measured gaps: 143.5 / 65.8 / 71.2.
+      {"interpolation", 2260.0, {150.0, 70.0, 75.0}},
+      // resizer: measured gaps 22.6 / 6.2 / 6.2.
+      {"resizer", 8958.0125, {25.0, 10.0, 10.0}},
+  };
+
+  for (const Pin& pin : pins) {
+    const auto& w = registryWorkload(pin.workload);
+    for (std::size_t pi = 0; pi < std::size(kPolicies); ++pi) {
+      const PolicyRun& p = kPolicies[pi];
+      SCOPED_TRACE(strCat(pin.workload, " / ", p.name));
+
+      Behavior exactBhv = w.make();
+      ScheduleOutcome exact = scheduleBehavior(
+          exactBhv, lib,
+          optsFor(w, p.policy, SchedulerMode::kExactWithFallback));
+      ASSERT_TRUE(exact.success) << exact.failureReason;
+      ASSERT_TRUE(exact.stats.exactOptimal);
+      testutil::expectLegal(exactBhv, lib, exact.schedule);
+      const double optimal = exact.schedule.fuArea(lib);
+      EXPECT_NEAR(optimal, pin.optimalArea, 1e-6);
+      EXPECT_NEAR(exact.stats.exactLowerBound, optimal, 1e-6);
+
+      Behavior listBhv = w.make();
+      ScheduleOutcome list = scheduleBehavior(
+          listBhv, lib, optsFor(w, p.policy, SchedulerMode::kList));
+      ASSERT_TRUE(list.success) << list.failureReason;
+      const double listAreaV = list.schedule.fuArea(lib);
+      EXPECT_GE(listAreaV, optimal - 1e-6);
+      const double gap = (listAreaV - optimal) / optimal * 100.0;
+      EXPECT_LE(gap, pin.maxGapPercent[pi])
+          << "list " << listAreaV << " vs optimal " << optimal;
+    }
+  }
+}
+
+// Workloads the budget cannot exhaust still owe the full contract: the
+// fallback result is never worse than the list scheduler, and the reported
+// lower bound really is below the returned area.
+TEST(OptimalityGapTest, LargeWorkloadsReportSoundCertificates) {
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+  // arf / matmul3 / idct1d schedule under every policy; ewf and fir16 fail
+  // at kSlowest, which the fallback correctly inherits -- no gap to check.
+  for (const char* name : {"arf", "matmul3", "idct1d"}) {
+    const auto& w = registryWorkload(name);
+    for (const PolicyRun& p : kPolicies) {
+      SCOPED_TRACE(strCat(name, " / ", p.name));
+      SchedulerOptions opts =
+          optsFor(w, p.policy, SchedulerMode::kExactWithFallback);
+      opts.exactNodeBudget = 50'000;  // deliberately far from exhausting
+
+      Behavior exactBhv = w.make();
+      ScheduleOutcome exact = scheduleBehavior(exactBhv, lib, opts);
+      ASSERT_TRUE(exact.success) << exact.failureReason;
+      EXPECT_TRUE(exact.stats.exactTimedOut);
+      EXPECT_FALSE(exact.stats.exactOptimal);
+      testutil::expectLegal(exactBhv, lib, exact.schedule);
+      const double area = exact.schedule.fuArea(lib);
+      EXPECT_GT(exact.stats.exactLowerBound, 0.0);
+      EXPECT_LE(exact.stats.exactLowerBound, area + 1e-6);
+
+      Behavior listBhv = w.make();
+      ScheduleOutcome list = scheduleBehavior(
+          listBhv, lib, optsFor(w, p.policy, SchedulerMode::kList));
+      ASSERT_TRUE(list.success) << list.failureReason;
+      EXPECT_LE(area, list.schedule.fuArea(lib) + 1e-6);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace thls

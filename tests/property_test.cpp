@@ -261,6 +261,31 @@ TEST_P(RandomSweep, NetlistDifferentialMatchesGoldenOnRandomDfgs) {
   }
 }
 
+// Exact-vs-list fuzz (the testutil::withOracle harness): on DFGs small
+// enough for the branch-and-bound search to exhaust, the list scheduler is
+// never better than the proven optimum, the exact schedule validates, and
+// its certificate holds.  Runs on shrunken cousins of the sweep
+// configurations -- the full-size ones only yield timeout certificates,
+// which SchedulesAreLegalWheneverProduced already covers indirectly.
+TEST_P(RandomSweep, ListNeverBeatsExactOracleOnSmallDfgs) {
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+  workloads::RandomDfgParams p = params();
+  p.numOps = 6 + static_cast<int>(GetParam().seed % 3);
+  p.latencyStates = 2 + static_cast<int>(GetParam().seed % 2);
+  // All twelve configurations exhaust well inside this budget (the worst,
+  // seed 1, needs ~1.1M nodes).
+  testutil::OracleReport r = testutil::withOracle(
+      [&p] { return workloads::makeRandomDfg(p); }, GetParam().clock, lib,
+      /*nodeBudget=*/2'000'000);
+  if (!r.exactSuccess) {
+    GTEST_SKIP() << "unschedulable at this clock";
+  }
+  // The harness already asserted legality, never-worse and the bound; the
+  // sweep additionally requires the oracle to actually bite at this size.
+  EXPECT_TRUE(r.optimal) << "search did not exhaust on a " << p.numOps
+                         << "-op DFG; raise the budget";
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Seeds, RandomSweep,
     ::testing::Values(SweepCase{1, 1250}, SweepCase{2, 1250},

@@ -180,8 +180,10 @@ TEST(RelaxationIncrementalTest, Idct8StatesAt1600Regression) {
   EXPECT_GT(inc.stats.budgetReuses, 0);
   EXPECT_GT(inc.stats.relaxResumes, 0);
   // This point's budgeting runs into the 100k positive-grant safety valve;
-  // the stop must be accounted, not silent (see SchedulerStats).
-  EXPECT_GE(inc.stats.budgetValveHits, 1);
+  // the stop must be accounted, not silent (see SchedulerStats).  Pinned
+  // exactly: the warm-started ladder budgets once and caches it, so a
+  // second valve hit would mean the cross-pass budget cache regressed.
+  EXPECT_EQ(inc.stats.budgetValveHits, 1);
   // Replay stays bounded: the from-scratch equivalent re-places every op on
   // every pass (schedulePasses * nOps placements).
   EXPECT_LT(inc.stats.passOpsReplaced,

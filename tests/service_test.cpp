@@ -10,6 +10,7 @@
 #include <future>
 #include <thread>
 
+#include "explore/campaign.h"
 #include "service/job_validation.h"
 #include "support/fault.h"
 #include "test_util.h"
@@ -73,6 +74,38 @@ TEST(JobServiceTest, RejectsMalformedGridWithCoordinates) {
   EXPECT_NE(r.error.find("badclk"), std::string::npos);
   EXPECT_NE(r.error.find("positive"), std::string::npos);
   EXPECT_TRUE(r.summary.points.empty());
+}
+
+// runCampaign's up-front grid rejection (explore/campaign.cpp): a direct
+// unit test of the throw itself -- malformed scale axes must surface as a
+// typed ValidationError naming the workload, before any worker runs.
+TEST(JobServiceTest, CampaignThrowsValidationErrorOnMalformedGrid) {
+  ResourceLibrary lib = ResourceLibrary::tsmc90();
+  FlowOptions base;
+  explore::CampaignOptions opts;
+  opts.engine.threads = 1;
+  opts.latencyScales = {1.0};
+  opts.clockScales = {-1.0};  // every grid point gets a negative clock
+
+  std::vector<workloads::NamedWorkload> named;
+  for (const workloads::NamedWorkload& w : workloads::standardWorkloads()) {
+    if (w.name == "resizer") named.push_back(w);
+  }
+  ASSERT_EQ(named.size(), 1u);
+
+  try {
+    explore::runCampaign(lib, base, opts, named);
+    FAIL() << "expected ValidationError";
+  } catch (const ValidationError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("invalid campaign grid for workload 'resizer'"),
+              std::string::npos)
+        << what;
+    EXPECT_NE(what.find("positive"), std::string::npos) << what;
+  }
+  // ValidationError remains an HlsError: existing recovery sites still
+  // catch it.
+  EXPECT_THROW(explore::runCampaign(lib, base, opts, named), HlsError);
 }
 
 TEST(JobServiceTest, LifecycleQueuedToSucceeded) {

@@ -52,4 +52,62 @@ inline void expectLegal(const Behavior& bhv, const ResourceLibrary& lib,
   for (const std::string& e : errors) ADD_FAILURE() << e;
 }
 
+/// What withOracle measured; callers typically only look at `optimal` (did
+/// the search exhaust?) and the two areas.
+struct OracleReport {
+  bool listSuccess = false;
+  bool exactSuccess = false;
+  bool optimal = false;  ///< exact area is the proven discrete optimum
+  double listArea = 0;
+  double exactArea = 0;
+  double lowerBound = 0;
+};
+
+/// Oracle comparison harness (docs/optimality.md §5): schedules `make()`
+/// once with the production list scheduler and once with the exact engine
+/// in fallback mode, then asserts the oracle invariants that must hold for
+/// ANY input --
+///  * the exact schedule validates,
+///  * exact area <= list area (fallback construction),
+///  * exact area >= its own proven lower bound,
+///  * the fallback succeeds whenever the list scheduler does.
+/// Returns the measurements so suites can additionally gate coverage
+/// ("enough seeds actually proved optimality") or pin areas.
+template <typename MakeFn>
+OracleReport withOracle(MakeFn&& make, double clockPeriod,
+                        const ResourceLibrary& lib,
+                        long long nodeBudget = 500'000) {
+  SchedulerOptions listOpts;
+  listOpts.clockPeriod = clockPeriod;
+  Behavior listBhv = make();
+  ScheduleOutcome list = scheduleBehavior(listBhv, lib, listOpts);
+
+  SchedulerOptions exactOpts = listOpts;
+  exactOpts.mode = SchedulerMode::kExactWithFallback;
+  exactOpts.exactNodeBudget = nodeBudget;
+  Behavior exactBhv = make();
+  ScheduleOutcome exact = scheduleBehavior(exactBhv, lib, exactOpts);
+
+  OracleReport r;
+  r.listSuccess = list.success;
+  r.exactSuccess = exact.success;
+  if (list.success) {
+    r.listArea = list.schedule.fuArea(lib);
+    EXPECT_TRUE(exact.success)
+        << "fallback mode failed where the list scheduler succeeded: "
+        << exact.failureReason;
+  }
+  if (!exact.success) return r;
+  expectLegal(exactBhv, lib, exact.schedule);
+  r.exactArea = exact.schedule.fuArea(lib);
+  r.optimal = exact.stats.exactOptimal;
+  r.lowerBound = exact.stats.exactLowerBound;
+  EXPECT_GE(r.exactArea, r.lowerBound - 1e-6);
+  if (list.success) {
+    EXPECT_LE(r.exactArea, r.listArea + 1e-6)
+        << "exact engine returned a worse schedule than its own incumbent";
+  }
+  return r;
+}
+
 }  // namespace thls::testutil
